@@ -1,0 +1,46 @@
+#!/bin/sh
+# Assembles bench_output.txt from the two capture files, in the same order
+# as `for b in build/bench/*; do $b; done` would visit the binaries.
+# (On this 1-CPU machine the single serial loop exceeds the session budget;
+# the sections below were produced by the same binaries with the same
+# deterministic seeds, in two batches.)
+set -eu
+core=${1:-/tmp/bench_final.txt}
+extras=${2:-/tmp/bench_extras.txt}
+out=${3:-/root/repo/bench_output.txt}
+
+section() {  # section <file> <name>
+  awk -v name="$2" '
+    $0 == "== " name { inside = 1; print "===================================================================="; print; next }
+    /^== / && inside { inside = 0 }
+    inside { print }
+  ' "$1"
+}
+
+{
+  echo "# bench_output.txt — output of every binary in build/bench/, quick scale"
+  echo "# (assembled from two serial batches; identical binaries and seeds)"
+  echo
+  for name in \
+      bench_ablation_bias bench_ablation_gain bench_ablation_minfilter; do
+    section "$core" "$name"
+  done
+  section "$extras" bench_ablation_r_sweep
+  section "$extras" bench_ext_fusion
+  section "$extras" bench_ext_layer_detection
+  section "$extras" bench_ext_online_dtw
+  for name in \
+      bench_fig01_time_noise bench_fig02_no_sync_distance \
+      bench_fig06_dwm_params bench_fig10_hdisp_consistency \
+      bench_fig11_sync_speed bench_fig12_overall_accuracy; do
+    section "$core" "$name"
+  done
+  section "$extras" bench_micro
+  for name in \
+      bench_table04_dwm_params bench_table05_moore_gao bench_table06_bayens \
+      bench_table06b_belikovetsky bench_table07_gatlin \
+      bench_table08_nsync_dwm bench_table09_nsync_dtw; do
+    section "$core" "$name"
+  done
+} > "$out"
+echo "wrote $out"

@@ -1,0 +1,113 @@
+// Extension experiment: on-line DTW (the real-time DTW the paper cites as
+// an ongoing effort, Section VI-A) as an NSYNC synchronizer, compared with
+// DWM on the same data.
+//
+// Measures per-signal-second compute cost and the resulting detection
+// quality when the discriminator runs on the online-DTW h_disp / v_dist.
+#include <chrono>
+#include <iostream>
+
+#include "core/discriminator.hpp"
+#include "core/online_dtw.hpp"
+#include "eval/dataset.hpp"
+#include "eval/experiments.hpp"
+#include "eval/options.hpp"
+#include "eval/table.hpp"
+
+using namespace nsync;
+using namespace nsync::eval;
+
+namespace {
+
+struct OdtwFeatures {
+  core::DetectionFeatures features;
+  double seconds = 0.0;
+};
+
+OdtwFeatures analyze(const signal::Signal& observed,
+                     const signal::Signal& reference, std::size_t band) {
+  const auto t0 = std::chrono::steady_clock::now();
+  core::OnlineDtw dtw(reference, band, core::DistanceMetric::kEuclidean);
+  dtw.push(observed);
+  OdtwFeatures out;
+  out.features = core::compute_features(dtw.h_disp(), dtw.v_dist(), 3);
+  out.seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  try {
+    opt = CliOptions::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  if (opt.help) {
+    std::cout << CliOptions::usage(argv[0]);
+    return 0;
+  }
+
+  std::cout << "EXTENSION: on-line (banded streaming) DTW as the NSYNC\n"
+            << "synchronizer, ACC spectrogram, vs DWM on the same data.\n"
+            << "(expected shape: online DTW is cheap and causal like DWM,\n"
+            << " but its greedy band mis-tracks more, costing accuracy)\n\n";
+
+  AsciiTable table({"Printer", "Synchronizer", "FPR/TPR", "Accuracy",
+                    "compute (s/s)"});
+  for (PrinterKind printer : opt.printers) {
+    Dataset ds(printer, opt.scale, {sensors::SideChannel::kAcc});
+    const ChannelData data =
+        ds.channel_data(sensors::SideChannel::kAcc, Transform::kSpectrogram);
+    const double dur = data.reference.signal.duration();
+    // Band half-width comparable to DWM's search extent.
+    const std::size_t band = std::max<std::size_t>(
+        4, dwm_params_for(printer, data.sample_rate).n_ext);
+
+    // --- online DTW ---
+    {
+      std::vector<core::FeatureMaxima> maxima;
+      double secs = 0.0;
+      for (const auto& s : data.train) {
+        const auto a = analyze(s.signal, data.reference.signal, band);
+        maxima.push_back(core::feature_maxima(a.features));
+        secs += a.seconds;
+      }
+      const auto th = core::learn_thresholds(maxima, 0.3);
+      Confusion c;
+      for (const auto& t : data.test) {
+        const auto a = analyze(t.sig.signal, data.reference.signal, band);
+        secs += a.seconds;
+        c.add(core::discriminate(a.features, th).intrusion, t.malicious);
+      }
+      const double per_second =
+          secs / (dur * static_cast<double>(data.train.size() +
+                                            data.test.size()));
+      table.add_row({printer_name(printer), "OnlineDTW(w=" +
+                     std::to_string(band) + ")", c.fpr_tpr(),
+                     fmt(c.balanced_accuracy()), fmt(per_second, 5)});
+    }
+
+    // --- DWM reference point ---
+    {
+      const auto t0 = std::chrono::steady_clock::now();
+      const NsyncResult r =
+          run_nsync(data, printer, core::SyncMethod::kDwm, 0.3);
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      const double per_second =
+          secs / (dur * static_cast<double>(data.train.size() +
+                                            data.test.size()));
+      table.add_row({printer_name(printer), "DWM", r.overall.fpr_tpr(),
+                     fmt(r.overall.balanced_accuracy()),
+                     fmt(per_second, 5)});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

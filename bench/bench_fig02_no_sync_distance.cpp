@@ -1,0 +1,68 @@
+// Regenerates Fig. 2: correlation distances of a benign process and a
+// malicious process when compared window by window WITHOUT dynamic
+// synchronization.  The paper's point: due to time noise the benign
+// distances become as large as the malicious ones, so the comparison is
+// useless.
+#include <iostream>
+
+#include "core/comparator.hpp"
+#include "eval/dataset.hpp"
+#include "eval/options.hpp"
+#include "eval/table.hpp"
+#include "signal/stats.hpp"
+
+using namespace nsync;
+using namespace nsync::eval;
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  try {
+    opt = CliOptions::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  if (opt.help) {
+    std::cout << CliOptions::usage(argv[0]);
+    return 0;
+  }
+
+  std::cout << "FIG. 2: correlation distances without DSYNC (ACC, windowed)\n"
+            << "(paper shape: benign distances grow as the signals drift\n"
+            << " apart and end up as large as malicious ones)\n\n";
+
+  for (PrinterKind printer : opt.printers) {
+    EvalScale scale = opt.scale;
+    scale.train_count = 0;
+    scale.benign_test_count = 1;
+    scale.malicious_per_attack = 1;
+    Dataset ds(printer, scale, {sensors::SideChannel::kAcc});
+    const auto ref = ds.channel_data(sensors::SideChannel::kAcc,
+                                     Transform::kRaw);
+
+    const auto params = dwm_params_for(printer, ref.sample_rate);
+    std::cout << printer_name(printer) << ":\n";
+    AsciiTable table({"process", "first-qtr mean dist", "last-qtr mean dist",
+                      "max dist"});
+    for (const auto& t : ref.test) {
+      const auto d = core::vertical_distances_unsynced_windows(
+          t.sig.signal, ref.reference.signal, params.n_win, params.n_hop,
+          core::DistanceMetric::kCorrelation);
+      if (d.size() < 4) continue;
+      const std::size_t q = d.size() / 4;
+      const double first = signal::mean(std::span(d).subspan(0, q));
+      const double last = signal::mean(std::span(d).subspan(d.size() - q, q));
+      table.add_row({t.label + (t.malicious ? " (malicious)" : " (benign)"),
+                     fmt(first, 3), fmt(last, 3),
+                     fmt(signal::max_value(d), 3)});
+      if (t.label == "Benign" || t.label == "Void") {
+        std::cout << "  " << t.label << " distance series:";
+        for (double v : d) std::cout << " " << fmt(v, 2);
+        std::cout << "\n";
+      }
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Regenerates Fig. 10: h_disp obtained by six different side channels and
+// two transformations (raw / spectrogram) for one benign process.
+//
+// The paper's findings, which this bench checks quantitatively:
+//   * ACC and AUD h_disp are almost identical regardless of transform;
+//   * raw EPT h_disp "does not make sense" but spectrogram EPT matches;
+//   * MAG is noisy but shares the overall shape;
+//   * TMP and PWR are noise-like (weakly correlated with printer state).
+// We report the correlation of each channel's h_disp (resampled to a
+// common time axis) against the ACC-raw curve.
+#include <iostream>
+
+#include "core/dwm.hpp"
+#include "eval/dataset.hpp"
+#include "eval/options.hpp"
+#include "eval/table.hpp"
+#include "signal/filters.hpp"
+#include "signal/stats.hpp"
+
+using namespace nsync;
+using namespace nsync::eval;
+
+namespace {
+
+/// h_disp (in seconds vs window time) for one channel+transform.
+struct Curve {
+  std::vector<double> time;    // window center, seconds
+  std::vector<double> h_disp;  // seconds
+};
+
+Curve dwm_curve(const ChannelData& data, PrinterKind printer) {
+  const auto params = dwm_params_for(printer, data.sample_rate);
+  const auto r = core::DwmSynchronizer::align(
+      data.test.front().sig.signal, data.reference.signal, params);
+  Curve c;
+  for (std::size_t i = 0; i < r.h_disp.size(); ++i) {
+    c.time.push_back(static_cast<double>(i * params.n_hop + params.n_win / 2) /
+                     data.sample_rate);
+    c.h_disp.push_back(r.h_disp[i] / data.sample_rate);
+  }
+  // Isolated single-window mis-locks would dominate a Pearson comparison of
+  // the curves; remove them the same way the discriminator does (spike
+  // suppression, Section VII-B) so the comparison sees the curve *shape*.
+  if (c.h_disp.size() >= 3) {
+    c.h_disp = nsync::signal::median_filter(c.h_disp, 3);
+  }
+  return c;
+}
+
+/// Samples a curve at time t by nearest neighbour.
+double sample(const Curve& c, double t) {
+  if (c.time.empty()) return 0.0;
+  std::size_t best = 0;
+  double best_d = 1e300;
+  for (std::size_t i = 0; i < c.time.size(); ++i) {
+    const double d = std::abs(c.time[i] - t);
+    if (d < best_d) {
+      best_d = d;
+      best = i;
+    }
+  }
+  return c.h_disp[best];
+}
+
+double curve_correlation(const Curve& a, const Curve& b) {
+  if (a.time.size() < 3 || b.time.size() < 3) return 0.0;
+  std::vector<double> va, vb;
+  for (std::size_t i = 0; i < a.time.size(); ++i) {
+    va.push_back(a.h_disp[i]);
+    vb.push_back(sample(b, a.time[i]));
+  }
+  return signal::pearson(va, vb);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  try {
+    opt = CliOptions::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  if (opt.help) {
+    std::cout << CliOptions::usage(argv[0]);
+    return 0;
+  }
+
+  std::cout << "FIG. 10: h_disp consistency across side channels\n"
+            << "(correlation vs the ACC-raw h_disp curve; paper shape:\n"
+            << " ACC/AUD ~1.0 for both transforms, EPT raw nonsense but\n"
+            << " EPT spectrogram high, MAG noisy-but-correlated, TMP/PWR\n"
+            << " noise-like)\n\n";
+
+  for (PrinterKind printer : opt.printers) {
+    EvalScale scale = opt.scale;
+    scale.train_count = 0;
+    scale.benign_test_count = 1;
+    scale.malicious_per_attack = 0;
+    // A taller object gives the drift time to develop a clear shape, as in
+    // the paper's full-length prints.
+    scale.object_height *= 1.0;
+    Dataset ds(printer, scale, sensors::all_side_channels());
+
+    // ACC raw is the anchor curve.
+    const Curve anchor = dwm_curve(
+        ds.channel_data(sensors::SideChannel::kAcc, Transform::kRaw), printer);
+
+    std::cout << printer_name(printer) << " (benign process, "
+              << fmt(ds.test().front().raw.begin()->second.duration(), 1)
+              << " s)\n";
+    AsciiTable table({"Side Ch.", "Transform", "corr vs ACC-raw",
+                      "h_disp range (ms)"});
+    for (sensors::SideChannel ch : sensors::all_side_channels()) {
+      for (Transform t : {Transform::kRaw, Transform::kSpectrogram}) {
+        const Curve c = dwm_curve(ds.channel_data(ch, t), printer);
+        double lo = 0.0, hi = 0.0;
+        if (!c.h_disp.empty()) {
+          lo = *std::min_element(c.h_disp.begin(), c.h_disp.end());
+          hi = *std::max_element(c.h_disp.begin(), c.h_disp.end());
+        }
+        table.add_row({sensors::side_channel_name(ch), transform_name(t),
+                       fmt(curve_correlation(c, anchor)),
+                       fmt(lo * 1000.0, 0) + " .. " + fmt(hi * 1000.0, 0)});
+      }
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

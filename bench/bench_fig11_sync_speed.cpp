@@ -1,0 +1,74 @@
+// Regenerates Fig. 11: average time it takes DWM and DTW to dynamically
+// synchronize one second of the spectrograms of the side-channel signals
+// (the "time ratio").  The paper's shape: DTW is orders of magnitude
+// slower than DWM even with FastDTW at the smallest radius.
+#include <iostream>
+
+#include "eval/dataset.hpp"
+#include "eval/experiments.hpp"
+#include "eval/options.hpp"
+#include <algorithm>
+
+#include "eval/table.hpp"
+
+using namespace nsync;
+using namespace nsync::eval;
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  try {
+    opt = CliOptions::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  if (opt.help) {
+    std::cout << CliOptions::usage(argv[0]);
+    return 0;
+  }
+
+  std::cout << "FIG. 11: seconds of compute per second of spectrogram signal\n"
+            << "for REAL-TIME operation.  DWM is causal (one pass == live\n"
+            << "operation); DTW must re-run on the grown prefix at every new\n"
+            << "hop of data.  A single offline DTW pass is shown for\n"
+            << "transparency.  (paper shape: DTW uses far more compute)\n\n";
+
+  AsciiTable table({"Printer", "Side Ch.", "DWM live (s/s)", "DTW live (s/s)",
+                    "DTW offline (s/s)", "live DTW/DWM"});
+  double dwm_total = 0.0, dtw_total = 0.0;
+  std::size_t cells = 0;
+  for (PrinterKind printer : opt.printers) {
+    EvalScale scale = opt.scale;
+    scale.train_count = 0;
+    scale.benign_test_count = 1;
+    scale.malicious_per_attack = 0;
+    // A taller object: streaming DTW's cost per signal-second grows
+    // linearly with the print length (quadratic total), so the gap to DWM
+    // widens with realistic print durations.  DWM's cost is constant.
+    scale.object_height *= 3.0;
+    Dataset ds(printer, scale, table_channels());
+    for (sensors::SideChannel ch : ds.channels()) {
+      const ChannelData data = ds.channel_data(ch, Transform::kSpectrogram);
+      const SyncSpeed s = measure_sync_speed(data, printer);
+      table.add_row({printer_name(printer), sensors::side_channel_name(ch),
+                     fmt(s.dwm_seconds_per_signal_second, 5),
+                     fmt(s.dtw_seconds_per_signal_second, 5),
+                     fmt(s.dtw_offline_seconds_per_signal_second, 5),
+                     fmt(s.dtw_seconds_per_signal_second /
+                             std::max(1e-12, s.dwm_seconds_per_signal_second),
+                         1) + "x"});
+      dwm_total += s.dwm_seconds_per_signal_second;
+      dtw_total += s.dtw_seconds_per_signal_second;
+      ++cells;
+    }
+  }
+  table.print(std::cout);
+  if (cells > 0) {
+    std::cout << "\naverage over side channels: DWM "
+              << fmt(dwm_total / cells, 5) << " s/s, DTW "
+              << fmt(dtw_total / cells, 5) << " s/s ("
+              << fmt(dtw_total / std::max(1e-12, dwm_total), 1)
+              << "x slower)\n";
+  }
+  return 0;
+}

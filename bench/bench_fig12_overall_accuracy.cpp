@@ -1,0 +1,92 @@
+// Regenerates Fig. 12: average accuracy of the seven IDSs, averaged over
+// printers, retained side channels and transforms (raw EPT excluded, as in
+// Section VIII-B).
+//
+// Paper values (approximate, read off Fig. 12):
+//   Moore ~0.52, Belikovetsky ~0.50, Bayens ~0.55, Gao ~0.53,
+//   Gatlin ~0.88, NSYNC/DTW ~0.73, NSYNC/DWM 0.99.
+// The expected *shape*: accuracy rises with the level of DSYNC
+// (none -> coarse -> fine), and NSYNC/DWM wins.
+#include <iostream>
+
+#include "eval/dataset.hpp"
+#include "eval/experiments.hpp"
+#include "eval/options.hpp"
+#include "eval/table.hpp"
+
+using namespace nsync;
+using namespace nsync::eval;
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  try {
+    opt = CliOptions::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  if (opt.help) {
+    std::cout << CliOptions::usage(argv[0]);
+    return 0;
+  }
+
+  Confusion moore, gao, bayens, belikovetsky, gatlin, nsync_dtw, nsync_dwm;
+
+  for (PrinterKind printer : opt.printers) {
+    Dataset ds(printer, opt.scale, table_channels(),
+               opt.verbose ? [](std::size_t d, std::size_t t) {
+                 std::cerr << "\rsimulating " << d << "/" << t << std::flush;
+               } : Dataset::ProgressFn{});
+    if (opt.verbose) std::cerr << "\n";
+    for (sensors::SideChannel ch : ds.channels()) {
+      for (Transform t : {Transform::kRaw, Transform::kSpectrogram}) {
+        if (!is_retained(ch, t)) continue;  // drop raw EPT
+        const ChannelData data = ds.channel_data(ch, t);
+        moore.merge(run_moore(data));
+        gao.merge(run_gao(data));
+        gatlin.merge(run_gatlin(data).overall);
+        nsync_dwm.merge(
+            run_nsync(data, printer, core::SyncMethod::kDwm, 0.3).overall);
+        if (t == Transform::kSpectrogram) {
+          nsync_dtw.merge(
+              run_nsync(data, printer, core::SyncMethod::kDtw, 0.3).overall);
+        }
+        if (opt.verbose) {
+          std::cerr << printer_name(printer) << " "
+                    << sensors::side_channel_name(ch) << " "
+                    << transform_name(t) << " done\n";
+        }
+      }
+    }
+    // Audio-only IDSs.
+    {
+      const ChannelData aud_raw =
+          ds.channel_data(sensors::SideChannel::kAud, Transform::kRaw);
+      const double duration = aud_raw.reference.signal.duration();
+      bayens.merge(
+          run_bayens(aud_raw, std::max(0.75, duration * 90.0 / 3600.0))
+              .overall);
+      const ChannelData aud_spec = ds.channel_data(
+          sensors::SideChannel::kAud, Transform::kSpectrogram);
+      belikovetsky.merge(run_belikovetsky(aud_spec));
+    }
+  }
+
+  std::cout << "FIG. 12: average accuracy of seven IDSs\n"
+            << "(T = uses time as an intrusion indicator)\n\n";
+  AsciiTable table({"IDS", "DSYNC level", "Accuracy", "Paper"});
+  table.add_row({"Moore", "none", fmt(moore.balanced_accuracy()), "~0.52"});
+  table.add_row({"Belikovetsky", "none",
+                 fmt(belikovetsky.balanced_accuracy()), "~0.50"});
+  table.add_row({"Bayens (T)", "none", fmt(bayens.balanced_accuracy()),
+                 "~0.55"});
+  table.add_row({"Gao", "coarse", fmt(gao.balanced_accuracy()), "~0.53"});
+  table.add_row({"Gatlin (T)", "coarse", fmt(gatlin.balanced_accuracy()),
+                 "~0.88"});
+  table.add_row({"NSYNC/DTW (T)", "fine", fmt(nsync_dtw.balanced_accuracy()),
+                 "~0.73"});
+  table.add_row({"NSYNC/DWM (T)", "fine", fmt(nsync_dwm.balanced_accuracy()),
+                 "0.99"});
+  table.print(std::cout);
+  return 0;
+}

@@ -1,0 +1,142 @@
+// google-benchmark micro benchmarks for the hot paths: FFT, sliding
+// correlation (naive vs FFT — the TDE ablation), one DWM window step,
+// spectrogram columns, and FastDTW.
+#include <benchmark/benchmark.h>
+
+#include "core/dtw.hpp"
+#include "core/dwm.hpp"
+#include "core/tde.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/stft.hpp"
+#include "dsp/xcorr.hpp"
+#include "signal/rng.hpp"
+#include "signal/signal.hpp"
+
+using namespace nsync;
+
+namespace {
+
+std::vector<double> random_series(std::size_t n, std::uint64_t seed) {
+  signal::Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.normal();
+  return v;
+}
+
+signal::Signal random_signal(std::size_t frames, std::size_t channels,
+                             std::uint64_t seed) {
+  signal::Rng rng(seed);
+  signal::Signal s(frames, channels, 1000.0);
+  for (std::size_t n = 0; n < frames; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      s(n, c) = rng.normal();
+    }
+  }
+  return s;
+}
+
+void BM_FftRadix2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<dsp::Complex> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = dsp::Complex(std::sin(0.1 * static_cast<double>(i)), 0.0);
+  }
+  for (auto _ : state) {
+    auto copy = data;
+    dsp::fft_radix2(copy);
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftRadix2)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_FftBluestein(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<dsp::Complex> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = dsp::Complex(std::sin(0.1 * static_cast<double>(i)), 0.0);
+  }
+  for (auto _ : state) {
+    auto out = dsp::fft(data);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_FftBluestein)->Arg(1000)->Arg(4095);
+
+void BM_SlidingPearsonNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_series(n, 1);
+  const auto y = random_series(n / 4, 2);
+  for (auto _ : state) {
+    auto s = dsp::sliding_pearson_naive(x, y);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_SlidingPearsonNaive)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_SlidingPearsonFft(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_series(n, 1);
+  const auto y = random_series(n / 4, 2);
+  for (auto _ : state) {
+    auto s = dsp::sliding_pearson_fft(x, y);
+    benchmark::DoNotOptimize(s);
+  }
+}
+BENCHMARK(BM_SlidingPearsonFft)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_DwmWindowStep(benchmark::State& state) {
+  // One TDEB evaluation with UM3-at-400Hz-like dimensions.
+  const auto b = random_signal(4096, 6, 3);
+  const auto a = random_signal(1600, 6, 4);
+  for (auto _ : state) {
+    auto j = core::estimate_delay_biased(b, signal::SignalView(a), 800.0,
+                                         400.0);
+    benchmark::DoNotOptimize(j);
+  }
+}
+BENCHMARK(BM_DwmWindowStep);
+
+void BM_Spectrogram(benchmark::State& state) {
+  const auto s = random_signal(static_cast<std::size_t>(state.range(0)), 2,
+                               7);
+  dsp::StftConfig cfg;
+  cfg.delta_f = 20.0;
+  cfg.delta_t = 1.0 / 80.0;
+  for (auto _ : state) {
+    auto sp = dsp::spectrogram(s, cfg);
+    benchmark::DoNotOptimize(sp);
+  }
+}
+BENCHMARK(BM_Spectrogram)->Arg(8192)->Arg(32768);
+
+void BM_FastDtw(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_signal(n, 4, 11);
+  const auto b = random_signal(n, 4, 12);
+  for (auto _ : state) {
+    auto r = core::fast_dtw(a, b, 1, core::DistanceMetric::kCorrelation);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_FastDtw)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_DwmAlign(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto a = random_signal(n, 4, 21);
+  const auto b = random_signal(n, 4, 22);
+  core::DwmParams p;
+  p.n_win = 200;
+  p.n_hop = 100;
+  p.n_ext = 50;
+  p.n_sigma = 25.0;
+  for (auto _ : state) {
+    auto r = core::DwmSynchronizer::align(a, b, p);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DwmAlign)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Prints Table IV (the DWM parameters selected per printer) and the
+// sample-domain values they resolve to at each side channel's evaluation
+// sampling rate (raw and spectrogram).
+#include <iostream>
+
+#include "eval/experiments.hpp"
+#include "eval/options.hpp"
+#include "eval/setup.hpp"
+#include "eval/table.hpp"
+
+using namespace nsync;
+using namespace nsync::eval;
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  try {
+    opt = CliOptions::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  if (opt.help) {
+    std::cout << CliOptions::usage(argv[0]);
+    return 0;
+  }
+
+  std::cout << "TABLE IV: Parameters in DWM\n\n";
+  {
+    AsciiTable t({"Printer", "t_win", "t_hop", "t_ext", "t_sigma", "eta"});
+    for (PrinterKind p : {PrinterKind::kUm3, PrinterKind::kRm3}) {
+      const DwmSeconds s = table4_dwm(p);
+      t.add_row({printer_name(p), fmt(s.t_win, 1) + " s",
+                 fmt(s.t_hop, 1) + " s", fmt(s.t_ext, 1) + " s",
+                 fmt(s.t_sigma, 2) + " s", fmt(s.eta, 1)});
+    }
+    t.print(std::cout);
+  }
+
+  std::cout << "\nResolved sample-domain parameters at the evaluation rates:\n";
+  AsciiTable t({"Printer", "Side Ch.", "T", "fs (Hz)", "n_win", "n_hop",
+                "n_ext", "n_sigma"});
+  for (PrinterKind p : opt.printers) {
+    for (sensors::SideChannel ch : sensors::all_side_channels()) {
+      for (Transform tr : {Transform::kRaw, Transform::kSpectrogram}) {
+        const double raw_rate = eval_channel_rate(ch);
+        const double fs = tr == Transform::kRaw
+                              ? raw_rate
+                              : 1.0 / table3_stft(ch).delta_t;
+        const auto params = dwm_params_for(p, fs);
+        t.add_row({printer_name(p), sensors::side_channel_name(ch),
+                   transform_name(tr), fmt(fs, 0),
+                   std::to_string(params.n_win), std::to_string(params.n_hop),
+                   std::to_string(params.n_ext), fmt(params.n_sigma, 1)});
+      }
+    }
+  }
+  t.print(std::cout);
+  return 0;
+}

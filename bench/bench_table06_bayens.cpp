@@ -1,0 +1,58 @@
+// Regenerates Table VI: Bayens' window-matching IDS on the audio channel,
+// with two matching-window sizes.  The paper's 90 s / 120 s windows were
+// chosen for multi-hour prints; the synthetic prints are far shorter, so
+// the window sizes are scaled to the same *fraction* of the print duration
+// (90/3600 and 120/3600) unless --paper-scale is given.
+#include <algorithm>
+#include <iostream>
+
+#include "eval/dataset.hpp"
+#include "eval/experiments.hpp"
+#include "eval/options.hpp"
+#include "eval/table.hpp"
+
+using namespace nsync;
+using namespace nsync::eval;
+
+int main(int argc, char** argv) {
+  CliOptions opt;
+  try {
+    opt = CliOptions::parse(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << e.what() << "\n";
+    return 2;
+  }
+  if (opt.help) {
+    std::cout << CliOptions::usage(argv[0]);
+    return 0;
+  }
+
+  std::cout << "TABLE VI: Detection Results for Bayens' IDS (AUD only)\n"
+            << "(paper shape: the sequence sub-module false-alarms heavily\n"
+            << " under time noise — overall FPR 1.00 on UM3, 0.3-0.5 on\n"
+            << " RM3 — while TPR stays 1.00)\n\n";
+
+  AsciiTable table({"Printer", "Window", "Overall", "Sequence", "Threshold"});
+  for (PrinterKind printer : opt.printers) {
+    Dataset ds(printer, opt.scale, {sensors::SideChannel::kAud},
+               opt.verbose ? [](std::size_t d, std::size_t t) {
+                 std::cerr << "\rsimulating " << d << "/" << t << std::flush;
+               } : Dataset::ProgressFn{});
+    if (opt.verbose) std::cerr << "\n";
+    const ChannelData data = ds.channel_data(sensors::SideChannel::kAud,
+                                             Transform::kRaw);
+    const double duration = data.reference.signal.duration();
+    for (double paper_window : {90.0, 120.0}) {
+      // Keep the paper's window-to-print ratio (paper prints ~1 h).
+      const double window =
+          std::max(0.75, duration * paper_window / 3600.0);
+      const BayensResult r = run_bayens(data, window);
+      table.add_row({printer_name(printer),
+                     fmt(paper_window, 0) + "s->" + fmt(window, 2) + "s",
+                     r.overall.fpr_tpr(), r.sequence.fpr_tpr(),
+                     r.threshold.fpr_tpr()});
+    }
+  }
+  table.print(std::cout);
+  return 0;
+}

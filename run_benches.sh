@@ -1,0 +1,11 @@
+#!/bin/sh
+# Runs every experiment binary at its default (quick) scale and captures
+# the output; used to produce bench_output.txt for EXPERIMENTS.md.
+set -u
+for b in "$@"; do
+  echo "===================================================================="
+  echo "== $b"
+  echo "===================================================================="
+  ./build/bench/"$b" 2>&1
+  echo
+done

@@ -1,0 +1,136 @@
+#include "baselines/bayens.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include <cmath>
+
+#include "core/metrics.hpp"
+#include "dsp/fft.hpp"
+#include "signal/stats.hpp"
+
+namespace nsync::baselines {
+
+using nsync::signal::Signal;
+using nsync::signal::SignalView;
+
+namespace {
+
+/// Dejavu-style matching is anchored to spectral peak constellations: it is
+/// tolerant to misalignment *within* a chunk but keyed to the short-time
+/// frequency content.  We model that with a time-frequency fingerprint:
+/// the window is cut into short chunks, each chunk contributes a coarse
+/// magnitude spectrum, and fingerprints are compared by Pearson
+/// correlation.  Shifts below one chunk barely move the score; shifts of a
+/// chunk or more scramble which spectrum lands in which slot.
+std::vector<double> window_fingerprint(const SignalView& w,
+                                       double chunk_seconds) {
+  constexpr std::size_t kChunkFft = 128;
+  const auto chunk = std::max<std::size_t>(
+      kChunkFft, static_cast<std::size_t>(chunk_seconds * w.sample_rate()));
+  std::vector<double> print;
+  std::vector<double> buf(kChunkFft);
+  for (std::size_t start = 0; start + chunk <= w.frames(); start += chunk) {
+    // Average the chunk's content down to kChunkFft samples per channel and
+    // accumulate the magnitude spectrum over channels.
+    std::vector<double> spec(kChunkFft / 2 + 1, 0.0);
+    const std::size_t stride = chunk / kChunkFft;
+    for (std::size_t c = 0; c < w.channels(); ++c) {
+      for (std::size_t i = 0; i < kChunkFft; ++i) {
+        buf[i] = w(start + i * stride, c);
+      }
+      const auto mags = nsync::dsp::rfft_magnitude(buf);
+      for (std::size_t k = 1; k < spec.size(); ++k) spec[k] += mags[k];
+    }
+    print.insert(print.end(), spec.begin() + 1, spec.end());
+  }
+  return print;
+}
+
+}  // namespace
+
+BayensIds::BayensIds(Signal reference, BayensConfig config)
+    : reference_(std::move(reference)), config_(config) {
+  if (config_.window_seconds <= 0.0) {
+    throw std::invalid_argument("BayensIds: window_seconds must be positive");
+  }
+  n_win_ = static_cast<std::size_t>(config_.window_seconds *
+                                    reference_.sample_rate());
+  n_win_ = std::max<std::size_t>(n_win_, 2);
+  if (reference_.frames() < n_win_) {
+    throw std::invalid_argument(
+        "BayensIds: reference shorter than one matching window");
+  }
+}
+
+std::vector<WindowMatch> BayensIds::match_windows(
+    const SignalView& observed) const {
+  constexpr double kChunkSeconds = 0.2;
+  const std::size_t n_obs = observed.frames() / n_win_;
+  const std::size_t n_ref = reference_.frames() / n_win_;
+  const SignalView b = reference_;
+  // Precompute reference envelopes once.
+  std::vector<std::vector<double>> ref_env;
+  ref_env.reserve(n_ref);
+  for (std::size_t j = 0; j < n_ref; ++j) {
+    ref_env.push_back(window_fingerprint(b.slice(j * n_win_, (j + 1) * n_win_),
+                                           kChunkSeconds));
+  }
+  std::vector<WindowMatch> out;
+  out.reserve(n_obs);
+  for (std::size_t i = 0; i < n_obs; ++i) {
+    const auto env_i = window_fingerprint(
+        observed.slice(i * n_win_, (i + 1) * n_win_), kChunkSeconds);
+    WindowMatch best;
+    best.score = -std::numeric_limits<double>::infinity();
+    for (std::size_t j = 0; j < n_ref; ++j) {
+      const double s = nsync::signal::pearson(env_i, ref_env[j]);
+      if (s > best.score) {
+        best.score = s;
+        best.matched_index = j;
+      }
+    }
+    out.push_back(best);
+  }
+  return out;
+}
+
+void BayensIds::fit(std::span<const Signal> benign) {
+  if (benign.empty()) {
+    throw std::invalid_argument("BayensIds::fit: no training signals");
+  }
+  double lo = std::numeric_limits<double>::max();
+  double hi = std::numeric_limits<double>::lowest();
+  for (const auto& s : benign) {
+    const auto matches = match_windows(s);
+    for (const auto& m : matches) {
+      lo = std::min(lo, m.score);
+      hi = std::max(hi, m.score);
+    }
+  }
+  if (lo > hi) lo = hi = 0.0;
+  // Scores below the learned floor raise the alarm; r widens the floor
+  // downward (mirror of Eq. 26 for a lower bound).
+  score_threshold_ = lo - config_.r * (hi - lo);
+  trained_ = true;
+}
+
+BayensDetection BayensIds::detect(const SignalView& observed) const {
+  if (!trained_) {
+    throw std::logic_error("BayensIds::detect: call fit() first");
+  }
+  const auto matches = match_windows(observed);
+  BayensDetection d;
+  // "In sequence" = the matched reference windows never move backwards.
+  std::size_t prev = 0;
+  for (std::size_t i = 0; i < matches.size(); ++i) {
+    if (matches[i].matched_index < prev) d.by_sequence = true;
+    prev = matches[i].matched_index;
+    if (matches[i].score < score_threshold_) d.by_threshold = true;
+  }
+  d.intrusion = d.by_sequence || d.by_threshold;
+  return d;
+}
+
+}  // namespace nsync::baselines

@@ -1,0 +1,68 @@
+// Bayens' IDS [4] (Section VIII-C): audio-only, window-by-window matching
+// in the style of Dejavu/Shazam.  Each observed window is matched against
+// every reference window; two sub-modules:
+//   Sequence  — the matched reference windows must appear in order
+//               (0, 1, 2, ...); any out-of-order match raises the alarm;
+//   Threshold — every window's best match score must clear a learned
+//               threshold.
+// The original paper gives no threshold-derivation procedure, so (as in the
+// paper's evaluation) the NSYNC OCC rule with r = 0 is used.
+//
+// The paper uses 90 s and 120 s windows on multi-hour prints; with the
+// simulator's shorter processes the window length is configurable and the
+// eval harness scales it to the print duration (see EXPERIMENTS.md).
+#ifndef NSYNC_BASELINES_BAYENS_HPP
+#define NSYNC_BASELINES_BAYENS_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "signal/signal.hpp"
+
+namespace nsync::baselines {
+
+struct BayensConfig {
+  double window_seconds = 90.0;
+  double r = 0.0;
+};
+
+struct BayensDetection {
+  bool intrusion = false;
+  bool by_sequence = false;   ///< windows matched out of order
+  bool by_threshold = false;  ///< some window scored below the threshold
+};
+
+/// Per-window match against the reference: the best-matching reference
+/// window index and its similarity score.
+struct WindowMatch {
+  std::size_t matched_index = 0;
+  double score = 0.0;
+};
+
+class BayensIds {
+ public:
+  BayensIds(nsync::signal::Signal reference, BayensConfig config);
+
+  /// Matches every observed window against all reference windows.
+  [[nodiscard]] std::vector<WindowMatch> match_windows(
+      const nsync::signal::SignalView& observed) const;
+
+  void fit(std::span<const nsync::signal::Signal> benign);
+  [[nodiscard]] BayensDetection detect(
+      const nsync::signal::SignalView& observed) const;
+
+  [[nodiscard]] double score_threshold() const { return score_threshold_; }
+  [[nodiscard]] std::size_t window_samples() const { return n_win_; }
+
+ private:
+  nsync::signal::Signal reference_;
+  BayensConfig config_;
+  std::size_t n_win_ = 0;
+  double score_threshold_ = 0.0;
+  bool trained_ = false;
+};
+
+}  // namespace nsync::baselines
+
+#endif  // NSYNC_BASELINES_BAYENS_HPP

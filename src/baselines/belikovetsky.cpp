@@ -1,0 +1,57 @@
+#include "baselines/belikovetsky.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/metrics.hpp"
+#include "signal/filters.hpp"
+
+namespace nsync::baselines {
+
+using nsync::signal::Signal;
+using nsync::signal::SignalView;
+
+BelikovetskyIds::BelikovetskyIds(Signal reference, BelikovetskyConfig config)
+    : pca_(nsync::dsp::Pca::fit(reference, config.pca_components)),
+      config_(config) {
+  if (config_.consecutive_windows == 0) {
+    throw std::invalid_argument(
+        "BelikovetskyIds: consecutive_windows must be >= 1");
+  }
+  compressed_reference_ = pca_.transform(reference);
+}
+
+std::vector<double> BelikovetskyIds::similarity_trace(
+    const SignalView& observed) const {
+  const Signal a = pca_.transform(observed);
+  const SignalView b = compressed_reference_;
+  const std::size_t n = std::min(a.frames(), b.frames());
+  std::vector<double> sim(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    sim[i] = 1.0 - core::frame_distance(a, i, b, i,
+                                        core::DistanceMetric::kCosine);
+  }
+  const auto w = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.average_seconds * a.sample_rate()));
+  return nsync::signal::moving_average(sim, w);
+}
+
+bool BelikovetskyIds::detect(const SignalView& observed) const {
+  const auto sim = similarity_trace(observed);
+  const auto w = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.average_seconds *
+                                  observed.sample_rate()));
+  // "Four consecutive windows": sample the moving average once per window
+  // and require `consecutive_windows` sub-floor values in a row.
+  std::size_t streak = 0;
+  for (std::size_t i = w > 0 ? w - 1 : 0; i < sim.size(); i += w) {
+    if (sim[i] < config_.similarity_floor) {
+      if (++streak >= config_.consecutive_windows) return true;
+    } else {
+      streak = 0;
+    }
+  }
+  return false;
+}
+
+}  // namespace nsync::baselines

@@ -1,0 +1,57 @@
+// Belikovetsky's IDS [5] (Section VIII-C): audio-only, no DSYNC.
+// The spectrogram of the signal is compressed by PCA to three channels; the
+// compressed observed and reference signals are compared point by point
+// with the cosine similarity.  A 5-second moving average is taken and an
+// intrusion is declared when four consecutive window averages drop below
+// 0.63.
+//
+// Note on polarity: the paper's text says "average distances ... drop
+// below 0.63"; since a *distance* of zero means identical signals, the
+// operational rule must act on the cosine *similarity* (as in
+// Belikovetsky's original audio-signature work).  We alarm when the
+// moving-average similarity of `consecutive_windows` windows stays below
+// `similarity_floor`.
+#ifndef NSYNC_BASELINES_BELIKOVETSKY_HPP
+#define NSYNC_BASELINES_BELIKOVETSKY_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/pca.hpp"
+#include "signal/signal.hpp"
+
+namespace nsync::baselines {
+
+struct BelikovetskyConfig {
+  std::size_t pca_components = 3;
+  double average_seconds = 5.0;
+  std::size_t consecutive_windows = 4;
+  double similarity_floor = 0.63;
+};
+
+class BelikovetskyIds {
+ public:
+  /// `reference` is the spectrogram of the reference audio (the PCA model
+  /// is fit on it).
+  BelikovetskyIds(nsync::signal::Signal reference, BelikovetskyConfig config);
+
+  /// Per-window moving-average cosine similarity between the compressed
+  /// observed and reference signals.
+  [[nodiscard]] std::vector<double> similarity_trace(
+      const nsync::signal::SignalView& observed) const;
+
+  /// No training beyond the PCA fit is needed (the 0.63 floor is the
+  /// original's magic number).  True = intrusion.
+  [[nodiscard]] bool detect(const nsync::signal::SignalView& observed) const;
+
+  [[nodiscard]] const nsync::dsp::Pca& pca() const { return pca_; }
+
+ private:
+  nsync::signal::Signal compressed_reference_;
+  nsync::dsp::Pca pca_;
+  BelikovetskyConfig config_;
+};
+
+}  // namespace nsync::baselines
+
+#endif  // NSYNC_BASELINES_BELIKOVETSKY_HPP

@@ -1,0 +1,87 @@
+#include "baselines/gao.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "signal/filters.hpp"
+#include "signal/stats.hpp"
+
+namespace nsync::baselines {
+
+using nsync::signal::SignalView;
+
+namespace {
+
+/// Layer boundaries in sample indexes, with an implicit final boundary at
+/// the end of the signal.
+std::vector<std::size_t> layer_bounds(const LayeredSignal& s) {
+  std::vector<std::size_t> bounds;
+  bounds.reserve(s.layer_times.size() + 2);
+  bounds.push_back(0);
+  for (double t : s.layer_times) {
+    const auto idx = static_cast<std::size_t>(t * s.signal.sample_rate());
+    if (idx > bounds.back() && idx < s.signal.frames()) {
+      bounds.push_back(idx);
+    }
+  }
+  bounds.push_back(s.signal.frames());
+  return bounds;
+}
+
+}  // namespace
+
+GaoIds::GaoIds(LayeredSignal reference, GaoConfig config)
+    : reference_(std::move(reference)), config_(config) {
+  if (reference_.signal.frames() == 0) {
+    throw std::invalid_argument("GaoIds: empty reference");
+  }
+}
+
+std::vector<double> GaoIds::distance_trace(const LayeredSignal& observed) const {
+  const auto rb = layer_bounds(reference_);
+  const auto ob = layer_bounds(observed);
+  const std::size_t layers = std::min(rb.size(), ob.size()) - 1;
+  const SignalView a = observed.signal;
+  const SignalView b = reference_.signal;
+  std::vector<double> d;
+  d.reserve(a.frames());
+  for (std::size_t k = 0; k < layers; ++k) {
+    const std::size_t len = std::min(ob[k + 1] - ob[k], rb[k + 1] - rb[k]);
+    for (std::size_t i = 0; i < len; ++i) {
+      d.push_back(core::frame_distance(a, ob[k] + i, b, rb[k] + i,
+                                       config_.metric));
+    }
+  }
+  const auto w = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.smooth_seconds *
+                                  b.sample_rate()));
+  return nsync::signal::moving_average(d, w);
+}
+
+void GaoIds::fit(std::span<const LayeredSignal> benign) {
+  if (benign.empty()) {
+    throw std::invalid_argument("GaoIds::fit: no training signals");
+  }
+  double hi = 0.0, lo = std::numeric_limits<double>::max();
+  for (const auto& s : benign) {
+    const auto d = distance_trace(s);
+    const double m = d.empty() ? 0.0 : nsync::signal::max_value(d);
+    hi = std::max(hi, m);
+    lo = std::min(lo, m);
+  }
+  threshold_ = hi + config_.r * (hi - lo);
+  trained_ = true;
+}
+
+bool GaoIds::detect(const LayeredSignal& observed) const {
+  if (!trained_) {
+    throw std::logic_error("GaoIds::detect: call fit() first");
+  }
+  const auto d = distance_trace(observed);
+  return std::any_of(d.begin(), d.end(),
+                     [&](double x) { return x > threshold_; });
+}
+
+}  // namespace nsync::baselines

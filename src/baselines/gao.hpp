@@ -1,0 +1,56 @@
+// Gao's IDS [12] (Section VIII-D): like Moore's point-by-point comparison
+// but with coarse dynamic synchronization — the observed and reference
+// signals are re-aligned at every layer change.  The original has no
+// automatic decision module, so (following the paper) the NSYNC OCC
+// discriminator is used with r = 0.
+//
+// Layer-change moments come from ground truth supplied with each signal;
+// the paper obtained them from a dedicated bed accelerometer.
+#ifndef NSYNC_BASELINES_GAO_HPP
+#define NSYNC_BASELINES_GAO_HPP
+
+#include <span>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "signal/signal.hpp"
+
+namespace nsync::baselines {
+
+/// A signal plus the layer-change timestamps (seconds from signal start)
+/// that the layer-coarse baselines require.
+struct LayeredSignal {
+  nsync::signal::Signal signal;
+  std::vector<double> layer_times;
+};
+
+struct GaoConfig {
+  core::DistanceMetric metric = core::DistanceMetric::kMae;
+  double smooth_seconds = 0.5;
+  double r = 0.0;
+};
+
+class GaoIds {
+ public:
+  GaoIds(LayeredSignal reference, GaoConfig config);
+
+  /// Distance trace with per-layer re-alignment: within layer k, sample i
+  /// of the observed layer is compared against sample i of the reference
+  /// layer (up to the shorter of the two).
+  [[nodiscard]] std::vector<double> distance_trace(
+      const LayeredSignal& observed) const;
+
+  void fit(std::span<const LayeredSignal> benign);
+  [[nodiscard]] bool detect(const LayeredSignal& observed) const;
+  [[nodiscard]] double threshold() const { return threshold_; }
+
+ private:
+  LayeredSignal reference_;
+  GaoConfig config_;
+  double threshold_ = 0.0;
+  bool trained_ = false;
+};
+
+}  // namespace nsync::baselines
+
+#endif  // NSYNC_BASELINES_GAO_HPP

@@ -1,0 +1,152 @@
+#include "baselines/gatlin.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace nsync::baselines {
+
+using nsync::signal::SignalView;
+
+namespace {
+
+std::vector<std::size_t> layer_bounds(const LayeredSignal& s) {
+  std::vector<std::size_t> bounds;
+  bounds.push_back(0);
+  for (double t : s.layer_times) {
+    const auto idx = static_cast<std::size_t>(t * s.signal.sample_rate());
+    if (idx > bounds.back() && idx < s.signal.frames()) bounds.push_back(idx);
+  }
+  bounds.push_back(s.signal.frames());
+  return bounds;
+}
+
+/// Average power spectrum of a segment across channels, chunked to a fixed
+/// FFT size so layers of different lengths produce comparable bins.
+std::vector<double> segment_spectrum(const SignalView& s, std::size_t start,
+                                     std::size_t end) {
+  constexpr std::size_t kFft = 256;
+  std::vector<double> acc(kFft / 2 + 1, 0.0);
+  if (end - start < kFft) end = std::min(start + kFft, s.frames());
+  std::size_t chunks = 0;
+  std::vector<double> buf(kFft);
+  for (std::size_t pos = start; pos + kFft <= end; pos += kFft) {
+    for (std::size_t c = 0; c < s.channels(); ++c) {
+      for (std::size_t i = 0; i < kFft; ++i) buf[i] = s(pos + i, c);
+      const auto mags = nsync::dsp::rfft_magnitude(buf);
+      for (std::size_t k = 0; k < acc.size(); ++k) acc[k] += mags[k];
+      ++chunks;
+    }
+  }
+  if (chunks > 0) {
+    for (auto& v : acc) v /= static_cast<double>(chunks);
+  }
+  return acc;
+}
+
+}  // namespace
+
+std::vector<LayerFingerprint> layer_fingerprints(const LayeredSignal& s,
+                                                 std::size_t peaks) {
+  const auto bounds = layer_bounds(s);
+  std::vector<LayerFingerprint> prints;
+  prints.reserve(bounds.size() - 1);
+  for (std::size_t k = 0; k + 1 < bounds.size(); ++k) {
+    const auto spec = segment_spectrum(s.signal, bounds[k], bounds[k + 1]);
+    // Top `peaks` bins, excluding DC.
+    std::vector<std::size_t> order(spec.size() > 1 ? spec.size() - 1 : 0);
+    std::iota(order.begin(), order.end(), 1);
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return spec[a] > spec[b];
+    });
+    order.resize(std::min(peaks, order.size()));
+    std::sort(order.begin(), order.end());
+    prints.push_back(std::move(order));
+  }
+  return prints;
+}
+
+double fingerprint_match(const LayerFingerprint& a, const LayerFingerprint& b) {
+  if (a.empty()) return 1.0;
+  std::size_t shared = 0;
+  for (std::size_t bin : a) {
+    if (std::binary_search(b.begin(), b.end(), bin)) ++shared;
+  }
+  return static_cast<double>(shared) / static_cast<double>(a.size());
+}
+
+GatlinIds::GatlinIds(LayeredSignal reference, GatlinConfig config)
+    : reference_(std::move(reference)), config_(config) {
+  if (reference_.signal.frames() == 0) {
+    throw std::invalid_argument("GatlinIds: empty reference");
+  }
+  reference_prints_ =
+      layer_fingerprints(reference_, config_.fingerprint_peaks);
+}
+
+std::pair<double, std::size_t> GatlinIds::evaluate(
+    const LayeredSignal& observed) const {
+  // Time sub-module: deviation of layer-change moments.
+  double max_dev = 0.0;
+  const std::size_t n_layers =
+      std::min(observed.layer_times.size(), reference_.layer_times.size());
+  for (std::size_t k = 0; k < n_layers; ++k) {
+    max_dev = std::max(max_dev, std::abs(observed.layer_times[k] -
+                                         reference_.layer_times[k]));
+  }
+  // A different layer count is itself a maximal timing deviation.
+  if (observed.layer_times.size() != reference_.layer_times.size()) {
+    max_dev = std::numeric_limits<double>::infinity();
+  }
+
+  // Match sub-module: count mismatched layer fingerprints.
+  const auto prints = layer_fingerprints(observed, config_.fingerprint_peaks);
+  const std::size_t n_prints = std::min(prints.size(),
+                                        reference_prints_.size());
+  std::size_t mismatches =
+      std::max(prints.size(), reference_prints_.size()) - n_prints;
+  for (std::size_t k = 0; k < n_prints; ++k) {
+    if (fingerprint_match(prints[k], reference_prints_[k]) <
+        config_.match_fraction) {
+      ++mismatches;
+    }
+  }
+  return {max_dev, mismatches};
+}
+
+void GatlinIds::fit(std::span<const LayeredSignal> benign) {
+  if (benign.empty()) {
+    throw std::invalid_argument("GatlinIds::fit: no training signals");
+  }
+  double t_hi = 0.0, t_lo = std::numeric_limits<double>::max();
+  double m_hi = 0.0, m_lo = std::numeric_limits<double>::max();
+  for (const auto& s : benign) {
+    const auto [dev, mism] = evaluate(s);
+    const auto mism_d = static_cast<double>(mism);
+    t_hi = std::max(t_hi, dev);
+    t_lo = std::min(t_lo, dev);
+    m_hi = std::max(m_hi, mism_d);
+    m_lo = std::min(m_lo, mism_d);
+  }
+  time_threshold_ = t_hi + config_.r * (t_hi - t_lo);
+  mismatch_threshold_ = m_hi + config_.r * (m_hi - m_lo);
+  trained_ = true;
+}
+
+GatlinDetection GatlinIds::detect(const LayeredSignal& observed) const {
+  if (!trained_) {
+    throw std::logic_error("GatlinIds::detect: call fit() first");
+  }
+  const auto [dev, mism] = evaluate(observed);
+  GatlinDetection d;
+  d.by_time = dev > time_threshold_;
+  d.by_match = static_cast<double>(mism) > mismatch_threshold_;
+  d.intrusion = d.by_time || d.by_match;
+  return d;
+}
+
+}  // namespace nsync::baselines

@@ -1,0 +1,76 @@
+// Gatlin's IDS [13] (Section VIII-D): coarse layer-level synchronization
+// with two sub-modules:
+//   Time  — the layer-change moments of the observed process must not
+//           deviate from the reference by more than a learned threshold;
+//   Match — a spectral fingerprint is extracted per layer and compared
+//           against the reference layer's fingerprint; too many mismatched
+//           layers raise the alarm.
+// The original derives layer moments from Z-motor currents; as in the
+// paper's own evaluation (which marked layers manually), we use the layer
+// ground truth carried by LayeredSignal.
+#ifndef NSYNC_BASELINES_GATLIN_HPP
+#define NSYNC_BASELINES_GATLIN_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "baselines/gao.hpp"
+#include "signal/signal.hpp"
+
+namespace nsync::baselines {
+
+struct GatlinConfig {
+  /// Number of strongest spectral peaks forming a layer fingerprint.
+  std::size_t fingerprint_peaks = 12;
+  /// Minimum fraction of shared peaks for two fingerprints to match.
+  double match_fraction = 0.5;
+  double r = 0.0;  ///< OCC margin for both learned thresholds
+};
+
+struct GatlinDetection {
+  bool intrusion = false;
+  bool by_time = false;   ///< layer-moment deviation sub-module
+  bool by_match = false;  ///< fingerprint mismatch-count sub-module
+};
+
+/// A layer fingerprint: the sorted indexes of the strongest spectrum bins.
+using LayerFingerprint = std::vector<std::size_t>;
+
+/// Extracts per-layer fingerprints from a layered signal.  Exposed for
+/// testing.
+[[nodiscard]] std::vector<LayerFingerprint> layer_fingerprints(
+    const LayeredSignal& s, std::size_t peaks);
+
+/// Fraction of `a`'s peaks also present in `b`.
+[[nodiscard]] double fingerprint_match(const LayerFingerprint& a,
+                                       const LayerFingerprint& b);
+
+class GatlinIds {
+ public:
+  GatlinIds(LayeredSignal reference, GatlinConfig config);
+
+  void fit(std::span<const LayeredSignal> benign);
+  [[nodiscard]] GatlinDetection detect(const LayeredSignal& observed) const;
+
+  [[nodiscard]] double time_threshold() const { return time_threshold_; }
+  [[nodiscard]] double mismatch_threshold() const {
+    return mismatch_threshold_;
+  }
+
+ private:
+  /// Max |t_obs_k - t_ref_k| over layers, and mismatched-layer count.
+  [[nodiscard]] std::pair<double, std::size_t> evaluate(
+      const LayeredSignal& observed) const;
+
+  LayeredSignal reference_;
+  GatlinConfig config_;
+  std::vector<LayerFingerprint> reference_prints_;
+  double time_threshold_ = 0.0;
+  double mismatch_threshold_ = 0.0;
+  bool trained_ = false;
+};
+
+}  // namespace nsync::baselines
+
+#endif  // NSYNC_BASELINES_GATLIN_HPP

@@ -1,0 +1,78 @@
+#include "baselines/layer_detect.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "signal/filters.hpp"
+#include "signal/stats.hpp"
+
+namespace nsync::baselines {
+
+using nsync::signal::SignalView;
+
+std::vector<double> detect_layer_changes(const SignalView& acc,
+                                         const LayerDetectConfig& cfg) {
+  if (cfg.z_channel >= acc.channels()) {
+    throw std::invalid_argument("detect_layer_changes: z_channel out of range");
+  }
+  if (acc.frames() < 8) return {};
+  const double fs = acc.sample_rate();
+
+  // Rectified, de-meaned Z acceleration, lightly smoothed.
+  auto z = acc.channel(cfg.z_channel);
+  const double mu = nsync::signal::mean(z);
+  for (auto& v : z) v = std::abs(v - mu);
+  const auto smooth_window = std::max<std::size_t>(
+      1, static_cast<std::size_t>(cfg.smooth_seconds * fs));
+  const auto smoothed = nsync::signal::moving_average(z, smooth_window);
+
+  // Robust noise scale: median absolute deviation around the median.
+  std::vector<double> sorted = smoothed;
+  auto mid = sorted.begin() + sorted.size() / 2;
+  std::nth_element(sorted.begin(), mid, sorted.end());
+  const double median = *mid;
+  std::vector<double> dev(smoothed.size());
+  for (std::size_t i = 0; i < smoothed.size(); ++i) {
+    dev[i] = std::abs(smoothed[i] - median);
+  }
+  auto dmid = dev.begin() + dev.size() / 2;
+  std::nth_element(dev.begin(), dmid, dev.end());
+  const double mad = std::max(*dmid, 1e-12);
+  const double threshold = median + cfg.threshold_mads * mad;
+
+  // Threshold crossings with a minimum-separation debounce.
+  std::vector<double> times;
+  const auto min_gap = static_cast<std::size_t>(cfg.min_layer_seconds * fs);
+  std::size_t last = 0;
+  bool armed = true;
+  for (std::size_t i = 0; i < smoothed.size(); ++i) {
+    if (armed && smoothed[i] > threshold) {
+      times.push_back(static_cast<double>(i) / fs);
+      last = i;
+      armed = false;
+    }
+    if (!armed && i >= last + min_gap) armed = true;
+  }
+  return times;
+}
+
+double layer_timing_error(const std::vector<double>& detected,
+                          const std::vector<double>& truth,
+                          std::size_t count_slack) {
+  const std::size_t nd = detected.size();
+  const std::size_t nt = truth.size();
+  if (nd + count_slack < nt || nt + count_slack < nd) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const std::size_t n = std::min(nd, nt);
+  if (n == 0) return 0.0;
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += std::abs(detected[i] - truth[i]);
+  }
+  return acc / static_cast<double>(n);
+}
+
+}  // namespace nsync::baselines

@@ -1,0 +1,50 @@
+// Signal-based layer-change detection.
+//
+// The layer-coarse baselines need the moments when a layer change happens.
+// In the paper, Gao used a dedicated accelerometer on the printing bed and
+// Gatlin analyzed Z-motor currents (which our rig cannot observe either —
+// the paper marked layers manually).  This module recovers layer-change
+// moments from the printhead accelerometer itself: a layer change is the
+// only time the Z axis accelerates, so Z-acceleration bursts separated by
+// at least a minimum layer time segment the print.
+//
+// bench_ext_layer_detection quantifies the timing error against the
+// simulator's ground truth and its effect on Gao's and Gatlin's IDSs.
+#ifndef NSYNC_BASELINES_LAYER_DETECT_HPP
+#define NSYNC_BASELINES_LAYER_DETECT_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "signal/signal.hpp"
+
+namespace nsync::baselines {
+
+struct LayerDetectConfig {
+  /// Channel of the input signal carrying Z acceleration (ACC channel 2).
+  std::size_t z_channel = 2;
+  /// Detection threshold as a multiple of the channel's noise scale
+  /// (median absolute deviation).
+  double threshold_mads = 14.0;
+  /// Minimum time between consecutive layer changes (debounce), seconds.
+  double min_layer_seconds = 2.0;
+  /// Smoothing window for the rectified Z signal, seconds.
+  double smooth_seconds = 0.02;
+};
+
+/// Returns the detected layer-change timestamps (seconds from the start of
+/// `acc`), sorted ascending.  Works on the raw ACC side-channel signal.
+/// Throws std::invalid_argument when the channel index is out of range.
+[[nodiscard]] std::vector<double> detect_layer_changes(
+    const nsync::signal::SignalView& acc, const LayerDetectConfig& cfg = {});
+
+/// Mean absolute error (seconds) between detected and ground-truth layer
+/// times, matched one-to-one in order over the shorter list; returns
+/// +infinity when the counts differ by more than `count_slack`.
+[[nodiscard]] double layer_timing_error(
+    const std::vector<double>& detected, const std::vector<double>& truth,
+    std::size_t count_slack = 1);
+
+}  // namespace nsync::baselines
+
+#endif  // NSYNC_BASELINES_LAYER_DETECT_HPP

@@ -1,0 +1,56 @@
+#include "baselines/moore.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+#include "core/comparator.hpp"
+#include "signal/filters.hpp"
+#include "signal/stats.hpp"
+
+namespace nsync::baselines {
+
+using nsync::signal::Signal;
+using nsync::signal::SignalView;
+
+MooreIds::MooreIds(Signal reference, MooreConfig config)
+    : reference_(std::move(reference)), config_(config) {
+  if (reference_.frames() == 0) {
+    throw std::invalid_argument("MooreIds: empty reference");
+  }
+}
+
+std::vector<double> MooreIds::distance_trace(const SignalView& observed) const {
+  auto d = core::vertical_distances_unsynced(observed, reference_,
+                                             config_.metric);
+  const auto w = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.smooth_seconds *
+                                  reference_.sample_rate()));
+  return nsync::signal::moving_average(d, w);
+}
+
+void MooreIds::fit(std::span<const Signal> benign) {
+  if (benign.empty()) {
+    throw std::invalid_argument("MooreIds::fit: no training signals");
+  }
+  double hi = 0.0, lo = std::numeric_limits<double>::max();
+  for (const auto& s : benign) {
+    const auto d = distance_trace(s);
+    const double m = d.empty() ? 0.0 : nsync::signal::max_value(d);
+    hi = std::max(hi, m);
+    lo = std::min(lo, m);
+  }
+  threshold_ = hi + config_.r * (hi - lo);
+  trained_ = true;
+}
+
+bool MooreIds::detect(const SignalView& observed) const {
+  if (!trained_) {
+    throw std::logic_error("MooreIds::detect: call fit() first");
+  }
+  const auto d = distance_trace(observed);
+  return std::any_of(d.begin(), d.end(),
+                     [&](double x) { return x > threshold_; });
+}
+
+}  // namespace nsync::baselines

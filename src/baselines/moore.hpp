@@ -1,0 +1,53 @@
+// Moore's IDS [18] (Section VIII-C): compares the observed signal against
+// the reference point by point with no dynamic synchronization, using the
+// Mean Absolute Error as the distance.  Originally designed for actuator
+// current signals; the paper applies it to all available side channels.
+//
+// Thresholding: the original uses pre-determined thresholds; following the
+// paper's evaluation methodology we learn the threshold from benign
+// training runs with the NSYNC OCC rule (r configurable, 0 by default).
+#ifndef NSYNC_BASELINES_MOORE_HPP
+#define NSYNC_BASELINES_MOORE_HPP
+
+#include <span>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "signal/signal.hpp"
+
+namespace nsync::baselines {
+
+struct MooreConfig {
+  core::DistanceMetric metric = core::DistanceMetric::kMae;
+  /// Smoothing window (seconds) applied to the point distances before the
+  /// maximum is taken; tames single-sample spikes.
+  double smooth_seconds = 0.5;
+  double r = 0.0;  ///< OCC margin
+};
+
+class MooreIds {
+ public:
+  MooreIds(nsync::signal::Signal reference, MooreConfig config);
+
+  /// Smoothed point-by-point distance trace for one observed signal.
+  [[nodiscard]] std::vector<double> distance_trace(
+      const nsync::signal::SignalView& observed) const;
+
+  /// Learns the alarm threshold from benign runs.
+  void fit(std::span<const nsync::signal::Signal> benign);
+
+  /// True = intrusion declared.
+  [[nodiscard]] bool detect(const nsync::signal::SignalView& observed) const;
+
+  [[nodiscard]] double threshold() const { return threshold_; }
+
+ private:
+  nsync::signal::Signal reference_;
+  MooreConfig config_;
+  double threshold_ = 0.0;
+  bool trained_ = false;
+};
+
+}  // namespace nsync::baselines
+
+#endif  // NSYNC_BASELINES_MOORE_HPP

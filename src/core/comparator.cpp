@@ -1,0 +1,82 @@
+#include "core/comparator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nsync::core {
+
+using nsync::signal::SignalView;
+
+std::vector<double> vertical_distances_dwm(const SignalView& a,
+                                           const SignalView& b,
+                                           const std::vector<double>& h_disp,
+                                           const DwmParams& params,
+                                           DistanceMetric metric) {
+  params.validate();
+  std::vector<double> out;
+  out.reserve(h_disp.size());
+  for (std::size_t i = 0; i < h_disp.size(); ++i) {
+    const std::size_t a_start = i * params.n_hop;
+    const std::size_t a_end = a_start + params.n_win;
+    if (a_end > a.frames()) break;
+    const SignalView a_win = a.slice(a_start, a_end);
+
+    auto b_start = static_cast<std::ptrdiff_t>(a_start) +
+                   static_cast<std::ptrdiff_t>(std::llround(h_disp[i]));
+    // Clamp the matched window fully inside the reference.
+    b_start = std::clamp<std::ptrdiff_t>(
+        b_start, 0,
+        static_cast<std::ptrdiff_t>(b.frames()) -
+            static_cast<std::ptrdiff_t>(params.n_win));
+    if (b_start < 0) {
+      throw std::invalid_argument(
+          "vertical_distances_dwm: reference shorter than one window");
+    }
+    const SignalView b_win =
+        b.slice(static_cast<std::size_t>(b_start),
+                static_cast<std::size_t>(b_start) + params.n_win);
+    out.push_back(window_distance(a_win, b_win, metric));
+  }
+  return out;
+}
+
+std::vector<double> vertical_distances_dtw(const SignalView& a,
+                                           const SignalView& b,
+                                           const WarpPath& path,
+                                           DistanceMetric metric) {
+  return v_dist_from_path(a, b, path, metric);
+}
+
+std::vector<double> vertical_distances_unsynced(const SignalView& a,
+                                                const SignalView& b,
+                                                DistanceMetric metric) {
+  const std::size_t n = std::min(a.frames(), b.frames());
+  std::vector<double> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = frame_distance(a, i, b, i, metric);
+  }
+  return out;
+}
+
+std::vector<double> vertical_distances_unsynced_windows(const SignalView& a,
+                                                        const SignalView& b,
+                                                        std::size_t n_win,
+                                                        std::size_t n_hop,
+                                                        DistanceMetric metric) {
+  if (n_win < 2 || n_hop == 0) {
+    throw std::invalid_argument(
+        "vertical_distances_unsynced_windows: bad window/hop");
+  }
+  std::vector<double> out;
+  for (std::size_t i = 0;; ++i) {
+    const std::size_t start = i * n_hop;
+    const std::size_t end = start + n_win;
+    if (end > a.frames() || end > b.frames()) break;
+    out.push_back(window_distance(a.slice(start, end), b.slice(start, end),
+                                  metric));
+  }
+  return out;
+}
+
+}  // namespace nsync::core

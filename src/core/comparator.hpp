@@ -1,0 +1,45 @@
+// The NSYNC comparator (Section VII-A): computes vertical distances between
+// corresponding points (DTW) or windows (DWM) once the synchronizer has
+// produced the horizontal displacements.
+#ifndef NSYNC_CORE_COMPARATOR_HPP
+#define NSYNC_CORE_COMPARATOR_HPP
+
+#include <vector>
+
+#include "core/dtw.hpp"
+#include "core/dwm.hpp"
+#include "core/metrics.hpp"
+#include "signal/signal.hpp"
+
+namespace nsync::core {
+
+/// Window-by-window vertical distances (Eq. 16):
+///   v_dist[i] = d(a{i}, b{i; h_disp[i]}).
+/// The matched window of b is clamped into the reference when h_disp points
+/// outside it.  `h_disp` must have one entry per processed window.
+[[nodiscard]] std::vector<double> vertical_distances_dwm(
+    const nsync::signal::SignalView& a, const nsync::signal::SignalView& b,
+    const std::vector<double>& h_disp, const DwmParams& params,
+    DistanceMetric metric = DistanceMetric::kCorrelation);
+
+/// Point-by-point vertical distances from a DTW path (Eq. 15).  Alias of
+/// v_dist_from_path, named for symmetry with the DWM comparator.
+[[nodiscard]] std::vector<double> vertical_distances_dtw(
+    const nsync::signal::SignalView& a, const nsync::signal::SignalView& b,
+    const WarpPath& path, DistanceMetric metric = DistanceMetric::kCorrelation);
+
+/// Naive comparator with no synchronization: v_dist[i] = d(a[i], b[i]) for
+/// overlapping indexes (the comparison existing IDSs perform, Fig. 2).
+[[nodiscard]] std::vector<double> vertical_distances_unsynced(
+    const nsync::signal::SignalView& a, const nsync::signal::SignalView& b,
+    DistanceMetric metric);
+
+/// Window-by-window distances with zero displacement: v_dist[i] =
+/// d(a{i}, b{i}).  Used to demonstrate time-noise failure window-wise.
+[[nodiscard]] std::vector<double> vertical_distances_unsynced_windows(
+    const nsync::signal::SignalView& a, const nsync::signal::SignalView& b,
+    std::size_t n_win, std::size_t n_hop, DistanceMetric metric);
+
+}  // namespace nsync::core
+
+#endif  // NSYNC_CORE_COMPARATOR_HPP

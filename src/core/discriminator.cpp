@@ -1,0 +1,91 @@
+#include "core/discriminator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "signal/filters.hpp"
+
+namespace nsync::core {
+
+DetectionFeatures compute_features(std::span<const double> h_disp,
+                                   std::span<const double> v_dist,
+                                   std::size_t filter_window) {
+  if (filter_window == 0) {
+    throw std::invalid_argument("compute_features: filter_window must be >= 1");
+  }
+  DetectionFeatures f;
+  // Eq. 17 with h_disp[-1] = 0.
+  f.c_disp = nsync::signal::cumulative_abs_diff(h_disp, 0.0);
+  // Horizontal distance |h_disp| then the trailing min filter (Eq. 21).
+  std::vector<double> h_dist(h_disp.size());
+  for (std::size_t i = 0; i < h_disp.size(); ++i) {
+    h_dist[i] = std::abs(h_disp[i]);
+  }
+  f.h_dist_f = nsync::signal::min_filter(h_dist, filter_window);
+  f.v_dist_f = nsync::signal::min_filter(v_dist, filter_window);
+  return f;
+}
+
+FeatureMaxima feature_maxima(const DetectionFeatures& f) {
+  auto max_of = [](const std::vector<double>& v) {
+    double m = 0.0;
+    for (double x : v) m = std::max(m, x);
+    return m;
+  };
+  return {max_of(f.c_disp), max_of(f.h_dist_f), max_of(f.v_dist_f)};
+}
+
+Thresholds learn_thresholds(std::span<const FeatureMaxima> train, double r) {
+  if (train.empty()) {
+    throw std::invalid_argument("learn_thresholds: no training maxima");
+  }
+  if (r < 0.0) {
+    throw std::invalid_argument("learn_thresholds: r must be >= 0");
+  }
+  double c_lo = std::numeric_limits<double>::max(), c_hi = 0.0;
+  double h_lo = std::numeric_limits<double>::max(), h_hi = 0.0;
+  double v_lo = std::numeric_limits<double>::max(), v_hi = 0.0;
+  for (const auto& m : train) {
+    c_lo = std::min(c_lo, m.c_max);
+    c_hi = std::max(c_hi, m.c_max);
+    h_lo = std::min(h_lo, m.h_max);
+    h_hi = std::max(h_hi, m.h_max);
+    v_lo = std::min(v_lo, m.v_max);
+    v_hi = std::max(v_hi, m.v_max);
+  }
+  Thresholds t;
+  t.c_c = c_hi + r * (c_hi - c_lo);
+  t.h_c = h_hi + r * (h_hi - h_lo);
+  t.v_c = v_hi + r * (v_hi - v_lo);
+  return t;
+}
+
+Detection discriminate(const DetectionFeatures& f, const Thresholds& t) {
+  Detection d;
+  auto first_over = [](const std::vector<double>& v,
+                       double limit) -> std::ptrdiff_t {
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      if (v[i] > limit) return static_cast<std::ptrdiff_t>(i);
+    }
+    return -1;
+  };
+  const std::ptrdiff_t ic = first_over(f.c_disp, t.c_c);
+  const std::ptrdiff_t ih = first_over(f.h_dist_f, t.h_c);
+  const std::ptrdiff_t iv = first_over(f.v_dist_f, t.v_c);
+  d.by_c_disp = ic >= 0;
+  d.by_h_dist = ih >= 0;
+  d.by_v_dist = iv >= 0;
+  d.intrusion = d.by_c_disp || d.by_h_dist || d.by_v_dist;
+  d.first_alarm_index = -1;
+  for (std::ptrdiff_t idx : {ic, ih, iv}) {
+    if (idx >= 0 &&
+        (d.first_alarm_index < 0 || idx < d.first_alarm_index)) {
+      d.first_alarm_index = idx;
+    }
+  }
+  return d;
+}
+
+}  // namespace nsync::core

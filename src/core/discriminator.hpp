@@ -1,0 +1,74 @@
+// The NSYNC discriminator (Section VII-B) and its One-Class-Classification
+// threshold learning (Section VII-C).
+//
+// Three sub-modules, each with a learned critical value; any one alarming
+// declares an intrusion:
+//   1. c_disp: Cumulative Absolute Difference of the Horizontal
+//      Displacement (CADHD, Eq. 17) -- catches failed synchronization;
+//   2. h_dist: filtered |h_disp| (Eq. 19/21) -- catches timing divergence;
+//   3. v_dist: filtered vertical distance (Eq. 20/22) -- catches amplitude
+//      divergence.
+#ifndef NSYNC_CORE_DISCRIMINATOR_HPP
+#define NSYNC_CORE_DISCRIMINATOR_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace nsync::core {
+
+/// Derived per-window (or per-point) detection features.
+struct DetectionFeatures {
+  std::vector<double> c_disp;    ///< CADHD (Eq. 17)
+  std::vector<double> h_dist_f;  ///< min-filtered horizontal distance
+  std::vector<double> v_dist_f;  ///< min-filtered vertical distance
+};
+
+/// Computes the three feature arrays from the synchronizer/comparator
+/// outputs.  `filter_window` is the spike-suppression window (3 by
+/// default, Section VII-B).  h_disp and v_dist may differ in length (DWM
+/// produces one v_dist per h_disp; DTW one per point) — each feature uses
+/// its own source length.
+[[nodiscard]] DetectionFeatures compute_features(
+    std::span<const double> h_disp, std::span<const double> v_dist,
+    std::size_t filter_window = 3);
+
+/// Learned critical values.
+struct Thresholds {
+  double c_c = 0.0;
+  double h_c = 0.0;
+  double v_c = 0.0;
+};
+
+/// Per-signal training maxima (Eq. 23-25).
+struct FeatureMaxima {
+  double c_max = 0.0;
+  double h_max = 0.0;
+  double v_max = 0.0;
+};
+
+/// Maxima of one training signal's features (0 when a feature is empty).
+[[nodiscard]] FeatureMaxima feature_maxima(const DetectionFeatures& f);
+
+/// OCC threshold learning (Eq. 26-28): critical = max_m + r (max_m -
+/// min_m).  `r` trades FPR against FNR.  Throws on empty input.
+[[nodiscard]] Thresholds learn_thresholds(std::span<const FeatureMaxima> train,
+                                          double r);
+
+/// Outcome of running the discriminator over one signal.
+struct Detection {
+  bool intrusion = false;
+  bool by_c_disp = false;  ///< sub-module 1 alarmed
+  bool by_h_dist = false;  ///< sub-module 2 alarmed
+  bool by_v_dist = false;  ///< sub-module 3 alarmed
+  /// First feature index at which any sub-module alarmed; -1 when benign.
+  std::ptrdiff_t first_alarm_index = -1;
+};
+
+/// Applies Eq. 18-20 to the features.
+[[nodiscard]] Detection discriminate(const DetectionFeatures& f,
+                                     const Thresholds& t);
+
+}  // namespace nsync::core
+
+#endif  // NSYNC_CORE_DISCRIMINATOR_HPP

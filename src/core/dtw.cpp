@@ -1,0 +1,268 @@
+#include "core/dtw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace nsync::core {
+
+using nsync::signal::Signal;
+using nsync::signal::SignalView;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Row-banded cost matrix with parent tracking for traceback.
+class BandedDp {
+ public:
+  BandedDp(const SignalView& a, const SignalView& b, DistanceMetric metric,
+           const DtwWindow& window)
+      : a_(a), b_(b), metric_(metric), window_(window) {
+    offsets_.resize(window.size() + 1, 0);
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      if (window[i].second <= window[i].first ||
+          window[i].second > b.frames()) {
+        throw std::invalid_argument("dtw_windowed: malformed band row");
+      }
+      offsets_[i + 1] = offsets_[i] + (window[i].second - window[i].first);
+    }
+    cost_.assign(offsets_.back(), kInf);
+    parent_.assign(offsets_.back(), -1);
+  }
+
+  [[nodiscard]] bool in_band(std::size_t i, std::size_t j) const {
+    return i < window_.size() && j >= window_[i].first &&
+           j < window_[i].second;
+  }
+
+  double& cost(std::size_t i, std::size_t j) {
+    return cost_[offsets_[i] + (j - window_[i].first)];
+  }
+  [[nodiscard]] double cost_or_inf(std::size_t i, std::size_t j) const {
+    if (!in_band(i, j)) return kInf;
+    return cost_[offsets_[i] + (j - window_[i].first)];
+  }
+  signed char& parent(std::size_t i, std::size_t j) {
+    return parent_[offsets_[i] + (j - window_[i].first)];
+  }
+  [[nodiscard]] signed char parent(std::size_t i, std::size_t j) const {
+    return parent_[offsets_[i] + (j - window_[i].first)];
+  }
+
+  DtwResult solve() {
+    const std::size_t na = a_.frames();
+    if (!in_band(0, 0) || !in_band(na - 1, b_.frames() - 1)) {
+      throw std::invalid_argument(
+          "dtw_windowed: band must include both path endpoints");
+    }
+    for (std::size_t i = 0; i < na; ++i) {
+      for (std::size_t j = window_[i].first; j < window_[i].second; ++j) {
+        const double d = frame_distance(a_, i, b_, j, metric_);
+        if (i == 0 && j == 0) {
+          cost(i, j) = d;
+          parent(i, j) = 0;
+          continue;
+        }
+        // Parents: 1 = (i-1, j-1), 2 = (i-1, j), 3 = (i, j-1).
+        double best = kInf;
+        signed char dir = -1;
+        if (i > 0 && j > 0) {
+          const double c = cost_or_inf(i - 1, j - 1);
+          if (c < best) {
+            best = c;
+            dir = 1;
+          }
+        }
+        if (i > 0) {
+          const double c = cost_or_inf(i - 1, j);
+          if (c < best) {
+            best = c;
+            dir = 2;
+          }
+        }
+        if (j > 0) {
+          const double c = cost_or_inf(i, j - 1);
+          if (c < best) {
+            best = c;
+            dir = 3;
+          }
+        }
+        if (dir < 0) continue;  // unreachable band cell
+        cost(i, j) = best + d;
+        parent(i, j) = dir;
+      }
+    }
+    DtwResult out;
+    out.cost = cost_or_inf(na - 1, b_.frames() - 1);
+    if (!std::isfinite(out.cost)) {
+      throw std::runtime_error("dtw_windowed: endpoint unreachable in band");
+    }
+    // Traceback.
+    std::size_t i = na - 1;
+    std::size_t j = b_.frames() - 1;
+    while (true) {
+      out.path.push_back({i, j});
+      const signed char dir = parent(i, j);
+      if (dir == 0) break;
+      if (dir == 1) {
+        --i;
+        --j;
+      } else if (dir == 2) {
+        --i;
+      } else {
+        --j;
+      }
+    }
+    std::reverse(out.path.begin(), out.path.end());
+    return out;
+  }
+
+ private:
+  const SignalView& a_;
+  const SignalView& b_;
+  DistanceMetric metric_;
+  const DtwWindow& window_;
+  std::vector<std::size_t> offsets_;
+  std::vector<double> cost_;
+  std::vector<signed char> parent_;
+};
+
+DtwWindow full_window(std::size_t na, std::size_t nb) {
+  return DtwWindow(na, {0, nb});
+}
+
+/// Expands a coarse path to the fine grid and inflates it by `radius`.
+DtwWindow expand_window(const WarpPath& coarse_path, std::size_t na,
+                        std::size_t nb, std::size_t radius) {
+  const auto r = static_cast<std::ptrdiff_t>(radius);
+  std::vector<std::ptrdiff_t> lo(na, std::numeric_limits<std::ptrdiff_t>::max());
+  std::vector<std::ptrdiff_t> hi(na, -1);
+  auto mark = [&](std::ptrdiff_t i, std::ptrdiff_t j0, std::ptrdiff_t j1) {
+    if (i < 0 || i >= static_cast<std::ptrdiff_t>(na)) return;
+    lo[i] = std::min(lo[i], std::max<std::ptrdiff_t>(0, j0));
+    hi[i] = std::max(hi[i], std::min<std::ptrdiff_t>(
+                                static_cast<std::ptrdiff_t>(nb) - 1, j1));
+  };
+  for (const auto& p : coarse_path) {
+    const auto ci = static_cast<std::ptrdiff_t>(p.i);
+    const auto cj = static_cast<std::ptrdiff_t>(p.j);
+    for (std::ptrdiff_t di = -r; di <= r + 1; ++di) {
+      mark(2 * ci + di, 2 * cj - r, 2 * cj + 1 + r);
+    }
+  }
+  // Rows never touched (can happen at the fine edge) inherit neighbors.
+  for (std::size_t i = 0; i < na; ++i) {
+    if (hi[i] < 0) {
+      lo[i] = i > 0 ? lo[i - 1] : 0;
+      hi[i] = i > 0 ? hi[i - 1] : static_cast<std::ptrdiff_t>(nb) - 1;
+    }
+  }
+  // Enforce monotone, overlapping bands so the DP stays connected.
+  for (std::size_t i = 1; i < na; ++i) {
+    lo[i] = std::max(lo[i], std::ptrdiff_t{0});
+    if (lo[i] > hi[i - 1]) lo[i] = hi[i - 1];
+    if (hi[i] < hi[i - 1]) hi[i] = hi[i - 1];
+  }
+  hi[na - 1] = static_cast<std::ptrdiff_t>(nb) - 1;
+  DtwWindow w(na);
+  for (std::size_t i = 0; i < na; ++i) {
+    w[i] = {static_cast<std::size_t>(lo[i]),
+            static_cast<std::size_t>(hi[i]) + 1};
+  }
+  return w;
+}
+
+}  // namespace
+
+Signal half_resolution(const SignalView& s) {
+  const std::size_t out_frames = (s.frames() + 1) / 2;
+  Signal out(out_frames, s.channels(), s.sample_rate() / 2.0);
+  for (std::size_t n = 0; n < out_frames; ++n) {
+    const std::size_t n0 = 2 * n;
+    const std::size_t n1 = std::min(2 * n + 1, s.frames() - 1);
+    for (std::size_t c = 0; c < s.channels(); ++c) {
+      out(n, c) = 0.5 * (s(n0, c) + s(n1, c));
+    }
+  }
+  return out;
+}
+
+DtwResult dtw(const SignalView& a, const SignalView& b,
+              DistanceMetric metric) {
+  if (a.frames() == 0 || b.frames() == 0) {
+    throw std::invalid_argument("dtw: empty input");
+  }
+  if (a.channels() != b.channels()) {
+    throw std::invalid_argument("dtw: channel mismatch");
+  }
+  const DtwWindow w = full_window(a.frames(), b.frames());
+  return BandedDp(a, b, metric, w).solve();
+}
+
+DtwResult dtw_windowed(const SignalView& a, const SignalView& b,
+                       DistanceMetric metric, const DtwWindow& window) {
+  if (a.frames() == 0 || b.frames() == 0) {
+    throw std::invalid_argument("dtw_windowed: empty input");
+  }
+  if (window.size() != a.frames()) {
+    throw std::invalid_argument("dtw_windowed: band row count mismatch");
+  }
+  return BandedDp(a, b, metric, window).solve();
+}
+
+DtwResult fast_dtw(const SignalView& a, const SignalView& b,
+                   std::size_t radius, DistanceMetric metric) {
+  if (radius == 0) {
+    throw std::invalid_argument("fast_dtw: radius must be >= 1");
+  }
+  const std::size_t min_size = radius + 2;
+  if (a.frames() <= min_size || b.frames() <= min_size) {
+    return dtw(a, b, metric);
+  }
+  const Signal a2 = half_resolution(a);
+  const Signal b2 = half_resolution(b);
+  const DtwResult coarse = fast_dtw(a2, b2, radius, metric);
+  const DtwWindow w =
+      expand_window(coarse.path, a.frames(), b.frames(), radius);
+  return dtw_windowed(a, b, metric, w);
+}
+
+std::vector<double> h_disp_from_path(const WarpPath& path, std::size_t n_a) {
+  std::vector<double> sum(n_a, 0.0);
+  std::vector<std::size_t> count(n_a, 0);
+  for (const auto& p : path) {
+    if (p.i >= n_a) continue;
+    sum[p.i] += static_cast<double>(p.j) - static_cast<double>(p.i);
+    ++count[p.i];
+  }
+  std::vector<double> out(n_a, 0.0);
+  double last = 0.0;
+  for (std::size_t i = 0; i < n_a; ++i) {
+    if (count[i] > 0) {
+      last = sum[i] / static_cast<double>(count[i]);
+    }
+    out[i] = last;  // carry forward for indexes the path skipped
+  }
+  return out;
+}
+
+std::vector<double> v_dist_from_path(const SignalView& a, const SignalView& b,
+                                     const WarpPath& path,
+                                     DistanceMetric metric) {
+  std::vector<double> sum(a.frames(), 0.0);
+  std::vector<std::size_t> count(a.frames(), 0);
+  for (const auto& p : path) {
+    if (p.i >= a.frames() || p.j >= b.frames()) continue;
+    sum[p.i] += frame_distance(a, p.i, b, p.j, metric);
+    ++count[p.i];
+  }
+  std::vector<double> out(a.frames(), 0.0);
+  for (std::size_t i = 0; i < a.frames(); ++i) {
+    out[i] = count[i] > 0 ? sum[i] / static_cast<double>(count[i]) : 0.0;
+  }
+  return out;
+}
+
+}  // namespace nsync::core

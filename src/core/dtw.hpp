@@ -1,0 +1,76 @@
+// Dynamic Time Warping (Section VI-A): the existing point-based dynamic
+// synchronizer that DWM replaces, kept as both a baseline and an
+// alternative NSYNC synchronizer (Table IX).
+//
+// Provides exact DTW (Sakoe & Chiba), a windowed variant, and FastDTW
+// (Salvador & Chan) whose `radius` trades accuracy for speed; the paper
+// always uses the smallest radius because DTW is otherwise too slow for
+// side-channel signals (Fig. 11).
+#ifndef NSYNC_CORE_DTW_HPP
+#define NSYNC_CORE_DTW_HPP
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "signal/signal.hpp"
+
+namespace nsync::core {
+
+/// One correspondence (i, j): a[i] matches b[j].
+struct WarpPoint {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  friend bool operator==(const WarpPoint&, const WarpPoint&) = default;
+};
+
+/// Monotonic warping path from (0, 0) to (Na-1, Nb-1).
+using WarpPath = std::vector<WarpPoint>;
+
+struct DtwResult {
+  WarpPath path;
+  double cost = 0.0;  ///< accumulated distance along the path
+};
+
+/// Exact DTW over all Na x Nb cells.  Memory O(Na * Nb) — intended for
+/// short signals and for validating FastDTW.
+[[nodiscard]] DtwResult dtw(const nsync::signal::SignalView& a,
+                            const nsync::signal::SignalView& b,
+                            DistanceMetric metric);
+
+/// Per-row search band: row i may use columns [window[i].first,
+/// window[i].second).
+using DtwWindow = std::vector<std::pair<std::size_t, std::size_t>>;
+
+/// DTW constrained to `window` (must cover (0,0) and (Na-1, Nb-1) and be
+/// row-wise contiguous).  Throws std::invalid_argument on malformed bands.
+[[nodiscard]] DtwResult dtw_windowed(const nsync::signal::SignalView& a,
+                                     const nsync::signal::SignalView& b,
+                                     DistanceMetric metric,
+                                     const DtwWindow& window);
+
+/// FastDTW: recursive coarsening with search `radius` (>= 1).
+[[nodiscard]] DtwResult fast_dtw(const nsync::signal::SignalView& a,
+                                 const nsync::signal::SignalView& b,
+                                 std::size_t radius, DistanceMetric metric);
+
+/// Horizontal displacement per index of `a` (Eq. 5): the mean of j - i over
+/// all path tuples with first index i.
+[[nodiscard]] std::vector<double> h_disp_from_path(const WarpPath& path,
+                                                   std::size_t n_a);
+
+/// Vertical distance per index of `a` (Eq. 15): the mean of d(a[i], b[j])
+/// over all path tuples with first index i.
+[[nodiscard]] std::vector<double> v_dist_from_path(
+    const nsync::signal::SignalView& a, const nsync::signal::SignalView& b,
+    const WarpPath& path, DistanceMetric metric);
+
+/// Halves a signal's time resolution by averaging adjacent frame pairs
+/// (FastDTW's coarsening step).  Exposed for testing.
+[[nodiscard]] nsync::signal::Signal half_resolution(
+    const nsync::signal::SignalView& s);
+
+}  // namespace nsync::core
+
+#endif  // NSYNC_CORE_DTW_HPP

@@ -1,0 +1,132 @@
+#include "core/dwm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nsync::core {
+
+using nsync::signal::Signal;
+using nsync::signal::SignalView;
+
+DwmParams DwmParams::from_seconds(double t_win, double t_hop, double t_ext,
+                                  double t_sigma, double eta,
+                                  double sample_rate) {
+  if (sample_rate <= 0.0) {
+    throw std::invalid_argument("DwmParams::from_seconds: bad sample rate");
+  }
+  DwmParams p;
+  p.n_win = static_cast<std::size_t>(std::llround(t_win * sample_rate));
+  p.n_hop = static_cast<std::size_t>(std::llround(t_hop * sample_rate));
+  p.n_ext = static_cast<std::size_t>(std::llround(t_ext * sample_rate));
+  p.n_sigma = t_sigma * sample_rate;
+  p.eta = eta;
+  p.validate();
+  return p;
+}
+
+void DwmParams::validate() const {
+  if (n_win < 2) {
+    throw std::invalid_argument("DwmParams: n_win must be >= 2");
+  }
+  if (n_hop == 0 || n_hop > n_win) {
+    throw std::invalid_argument("DwmParams: need 1 <= n_hop <= n_win");
+  }
+  if (n_ext == 0) {
+    throw std::invalid_argument("DwmParams: n_ext must be >= 1");
+  }
+  if (n_sigma <= 0.0) {
+    throw std::invalid_argument("DwmParams: n_sigma must be positive");
+  }
+  if (eta <= 0.0 || eta > 1.0) {
+    throw std::invalid_argument("DwmParams: eta must be in (0, 1]");
+  }
+}
+
+DwmSynchronizer::DwmSynchronizer(Signal reference, DwmParams params)
+    : reference_(std::move(reference)),
+      observed_(Signal::empty(reference_.channels(), reference_.sample_rate())),
+      params_(params) {
+  params_.validate();
+  if (reference_.frames() < params_.n_win + 1) {
+    throw std::invalid_argument(
+        "DwmSynchronizer: reference shorter than one window");
+  }
+}
+
+std::size_t DwmSynchronizer::push(const SignalView& frames) {
+  if (frames.channels() != reference_.channels()) {
+    throw std::invalid_argument("DwmSynchronizer::push: channel mismatch");
+  }
+  observed_.append(frames);
+  std::size_t processed = 0;
+  while (!reference_exhausted_ && process_next_window()) {
+    ++processed;
+  }
+  return processed;
+}
+
+bool DwmSynchronizer::process_next_window() {
+  const std::size_t i = result_.h_disp.size();
+  const std::size_t a_start = i * params_.n_hop;
+  const std::size_t a_end = a_start + params_.n_win;
+  if (a_end > observed_.frames()) return false;  // window not complete yet
+
+  const auto low_prev = static_cast<std::ptrdiff_t>(h_disp_low_prev_);
+  // Extended window of b around the expected location (Eq. 9 shifted by
+  // h_disp_low[i-1], line 8 of the final algorithm).
+  const std::ptrdiff_t want_start = static_cast<std::ptrdiff_t>(a_start) -
+                                    static_cast<std::ptrdiff_t>(params_.n_ext) +
+                                    low_prev;
+  const std::ptrdiff_t want_end = static_cast<std::ptrdiff_t>(a_end) +
+                                  static_cast<std::ptrdiff_t>(params_.n_ext) +
+                                  low_prev;
+  if (want_start >= static_cast<std::ptrdiff_t>(reference_.frames())) {
+    reference_exhausted_ = true;
+    return false;
+  }
+  const SignalView b_ext = SignalView(reference_).clamped_slice(want_start,
+                                                                want_end);
+  if (b_ext.frames() < params_.n_win + 1) {
+    // Not enough reference left to search in: the observed process has
+    // outlived the reference (itself a strong intrusion indicator, surfaced
+    // via reference_exhausted()).
+    reference_exhausted_ = true;
+    return false;
+  }
+  const std::ptrdiff_t actual_start =
+      std::clamp<std::ptrdiff_t>(want_start, 0,
+                                 static_cast<std::ptrdiff_t>(reference_.frames()));
+
+  // Bias center: the score index that corresponds to keeping the previous
+  // displacement (j = n_ext when no clamping occurred).
+  const double center = static_cast<double>(
+      static_cast<std::ptrdiff_t>(a_start) + low_prev - actual_start);
+  const SignalView a_win = SignalView(observed_).slice(a_start, a_end);
+  const std::size_t j =
+      estimate_delay_biased(b_ext, a_win, center, params_.n_sigma, params_.tde);
+
+  // h_disp[i] = (position of the matched window in b) - (position in a).
+  const double h_disp = static_cast<double>(
+      actual_start + static_cast<std::ptrdiff_t>(j) -
+      static_cast<std::ptrdiff_t>(a_start));
+  // Eq. 12: h_disp_low[i] = round(eta * (h_disp[i] - h_disp_low[i-1]))
+  //                         + h_disp_low[i-1].
+  const double h_low = std::round(params_.eta * (h_disp - h_disp_low_prev_)) +
+                       h_disp_low_prev_;
+
+  result_.h_disp.push_back(h_disp);
+  result_.h_disp_low.push_back(h_low);
+  result_.h_dist.push_back(std::abs(h_disp));
+  h_disp_low_prev_ = h_low;
+  return true;
+}
+
+DwmResult DwmSynchronizer::align(const SignalView& a, const SignalView& b,
+                                 const DwmParams& params) {
+  DwmSynchronizer sync(b.to_signal(), params);
+  sync.push(a);
+  return sync.result();
+}
+
+}  // namespace nsync::core

@@ -1,0 +1,105 @@
+// Dynamic Window Matching (Section VI-B) — the paper's core contribution.
+//
+// DWM slides a pair of windows across the observed signal `a` and the
+// reference signal `b`.  For each window index i it runs biased TDE (TDEB)
+// to locate a's window inside an extended window of b centered at the
+// current low-frequency displacement estimate, producing the horizontal
+// displacement array h_disp.  An inertial tracker h_disp_low (Eq. 12)
+// prevents runaway, and the Gaussian bias stabilizes periodic/noisy
+// windows.
+//
+// Unlike DTW, DWM is causal: it only ever looks at samples of `a` up to the
+// current window, so it runs in real time while the print progresses
+// (the DwmSynchronizer::push streaming interface).
+#ifndef NSYNC_CORE_DWM_HPP
+#define NSYNC_CORE_DWM_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "core/tde.hpp"
+#include "signal/signal.hpp"
+
+namespace nsync::core {
+
+/// DWM parameters (Section VI-C, Table IV).  All counts are in samples of
+/// the signal being synchronized (raw samples or spectrogram columns).
+struct DwmParams {
+  std::size_t n_win = 0;    ///< window width
+  std::size_t n_hop = 0;    ///< hop between windows (default n_win / 2)
+  std::size_t n_ext = 0;    ///< extended-window half width
+  double n_sigma = 0.0;     ///< TDEB Gaussian std (samples)
+  double eta = 0.1;         ///< inertial gain of the low-frequency tracker
+  TdeOptions tde;
+
+  /// Builds parameters from the time-domain values of Table IV and a
+  /// sampling rate.  Enforces the paper's constraints (t_hop <= t_win,
+  /// positive values) and rounds to whole samples.
+  [[nodiscard]] static DwmParams from_seconds(double t_win, double t_hop,
+                                              double t_ext, double t_sigma,
+                                              double eta, double sample_rate);
+
+  /// Throws std::invalid_argument when any field is out of range.
+  void validate() const;
+};
+
+/// Output of a DWM run; all arrays share length = number of windows
+/// processed.
+struct DwmResult {
+  std::vector<double> h_disp;      ///< horizontal displacement per window
+  std::vector<double> h_disp_low;  ///< low-frequency (inertial) component
+  std::vector<double> h_dist;      ///< |h_disp| (horizontal distance)
+};
+
+/// Streaming DWM.  Owns a copy of the reference and consumes observed
+/// frames incrementally; results for completed windows are available
+/// immediately after each push.
+class DwmSynchronizer {
+ public:
+  /// `reference` is b; throws on invalid params / channel mismatch checks
+  /// happen at push time.
+  DwmSynchronizer(nsync::signal::Signal reference, DwmParams params);
+
+  /// Appends observed frames (channel count must match the reference) and
+  /// processes every window that became complete.  Returns the number of
+  /// windows newly processed.
+  std::size_t push(const nsync::signal::SignalView& frames);
+
+  /// True when the reference has been exhausted: the next window of `a`
+  /// would need reference samples beyond the end of b.  Windows are no
+  /// longer processed once exhausted.
+  [[nodiscard]] bool reference_exhausted() const {
+    return reference_exhausted_;
+  }
+
+  /// Number of windows processed so far.
+  [[nodiscard]] std::size_t windows() const { return result_.h_disp.size(); }
+
+  [[nodiscard]] const DwmResult& result() const { return result_; }
+  [[nodiscard]] const DwmParams& params() const { return params_; }
+  [[nodiscard]] const nsync::signal::Signal& reference() const {
+    return reference_;
+  }
+  [[nodiscard]] const nsync::signal::Signal& observed() const {
+    return observed_;
+  }
+
+  /// One-shot convenience: runs DWM over the whole of `a` against `b`.
+  [[nodiscard]] static DwmResult align(const nsync::signal::SignalView& a,
+                                       const nsync::signal::SignalView& b,
+                                       const DwmParams& params);
+
+ private:
+  bool process_next_window();
+
+  nsync::signal::Signal reference_;  // b
+  nsync::signal::Signal observed_;   // a, grows with push()
+  DwmParams params_;
+  DwmResult result_;
+  double h_disp_low_prev_ = 0.0;  // h_disp_low[i-1], seeded with 0
+  bool reference_exhausted_ = false;
+};
+
+}  // namespace nsync::core
+
+#endif  // NSYNC_CORE_DWM_HPP

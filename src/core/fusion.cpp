@@ -1,0 +1,86 @@
+#include "core/fusion.hpp"
+
+#include <stdexcept>
+
+namespace nsync::core {
+
+std::string fusion_rule_name(FusionRule r) {
+  switch (r) {
+    case FusionRule::kAny: return "any";
+    case FusionRule::kMajority: return "majority";
+    case FusionRule::kAll: return "all";
+  }
+  return "unknown";
+}
+
+void FusionIds::add_channel(const std::string& name,
+                            nsync::signal::Signal reference,
+                            const NsyncConfig& config) {
+  if (members_.contains(name)) {
+    throw std::invalid_argument("FusionIds: channel '" + name +
+                                "' already registered");
+  }
+  members_.emplace(name, NsyncIds(std::move(reference), config));
+}
+
+void FusionIds::fit(std::span<const SignalMap> benign_runs) {
+  if (members_.empty()) {
+    throw std::logic_error("FusionIds::fit: no channels registered");
+  }
+  if (benign_runs.empty()) {
+    throw std::invalid_argument("FusionIds::fit: no training runs");
+  }
+  for (auto& [name, ids] : members_) {
+    std::vector<nsync::signal::Signal> train;
+    train.reserve(benign_runs.size());
+    for (const auto& run : benign_runs) {
+      const auto it = run.find(name);
+      if (it == run.end()) {
+        throw std::invalid_argument("FusionIds::fit: training run missing '" +
+                                    name + "'");
+      }
+      train.push_back(it->second);
+    }
+    ids.fit(train);
+  }
+}
+
+FusionDetection FusionIds::detect(const SignalMap& observed) const {
+  if (members_.empty()) {
+    throw std::logic_error("FusionIds::detect: no channels registered");
+  }
+  FusionDetection out;
+  for (const auto& [name, ids] : members_) {
+    const auto it = observed.find(name);
+    if (it == observed.end()) {
+      throw std::invalid_argument("FusionIds::detect: observation missing '" +
+                                  name + "'");
+    }
+    const Detection d = ids.detect(it->second);
+    if (d.intrusion) ++out.alarming_channels;
+    out.per_channel.emplace_back(name, d);
+  }
+  switch (rule_) {
+    case FusionRule::kAny:
+      out.intrusion = out.alarming_channels > 0;
+      break;
+    case FusionRule::kMajority:
+      out.intrusion = 2 * out.alarming_channels > members_.size();
+      break;
+    case FusionRule::kAll:
+      out.intrusion = out.alarming_channels == members_.size();
+      break;
+  }
+  return out;
+}
+
+const NsyncIds& FusionIds::member(const std::string& name) const {
+  const auto it = members_.find(name);
+  if (it == members_.end()) {
+    throw std::invalid_argument("FusionIds::member: unknown channel '" +
+                                name + "'");
+  }
+  return it->second;
+}
+
+}  // namespace nsync::core

@@ -1,0 +1,78 @@
+// Multi-channel fusion IDS — an extension beyond the paper.
+//
+// The paper evaluates NSYNC one side channel at a time (Tables VIII/IX) and
+// notes that h_disp is "a property of the printing process, not the side
+// channels" (Section VIII-B).  That observation invites fusion: run one
+// NSYNC instance per side channel against per-channel references of the
+// same benign process and combine the verdicts.  kAny maximizes TPR (an
+// attack only needs to leak through one channel), kMajority suppresses
+// per-channel false positives, kAll minimizes FPR.
+#ifndef NSYNC_CORE_FUSION_HPP
+#define NSYNC_CORE_FUSION_HPP
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/nsync.hpp"
+
+namespace nsync::core {
+
+enum class FusionRule {
+  kAny,       ///< alarm if any channel alarms (union)
+  kMajority,  ///< alarm if more than half of the channels alarm
+  kAll,       ///< alarm only if every channel alarms (intersection)
+};
+
+[[nodiscard]] std::string fusion_rule_name(FusionRule r);
+
+/// Verdict of the fused IDS, with the per-channel breakdown.
+struct FusionDetection {
+  bool intrusion = false;
+  std::size_t alarming_channels = 0;
+  std::vector<std::pair<std::string, Detection>> per_channel;
+};
+
+/// An NSYNC IDS per named channel, fused by `rule`.
+///
+/// Usage mirrors NsyncIds but with per-channel signal maps (key = channel
+/// name, e.g. "ACC"):
+///   FusionIds ids(rule);
+///   ids.add_channel("ACC", acc_reference, acc_config);
+///   ids.add_channel("AUD", aud_reference, aud_config);
+///   ids.fit(training_runs);          // vector of per-channel maps
+///   auto d = ids.detect(observed);   // per-channel map
+class FusionIds {
+ public:
+  using SignalMap = std::map<std::string, nsync::signal::Signal>;
+
+  explicit FusionIds(FusionRule rule) : rule_(rule) {}
+
+  /// Registers a channel with its reference signal and NSYNC config.
+  /// Throws if the name is already registered.
+  void add_channel(const std::string& name, nsync::signal::Signal reference,
+                   const NsyncConfig& config);
+
+  [[nodiscard]] std::size_t channels() const { return members_.size(); }
+
+  /// Trains every member on its channel's training signals.  Each map must
+  /// contain every registered channel; throws otherwise.
+  void fit(std::span<const SignalMap> benign_runs);
+
+  /// Detects on one observed process (per-channel signals).
+  [[nodiscard]] FusionDetection detect(const SignalMap& observed) const;
+
+  [[nodiscard]] FusionRule rule() const { return rule_; }
+  /// Access to a member IDS (for thresholds introspection).
+  [[nodiscard]] const NsyncIds& member(const std::string& name) const;
+
+ private:
+  FusionRule rule_;
+  std::map<std::string, NsyncIds> members_;
+};
+
+}  // namespace nsync::core
+
+#endif  // NSYNC_CORE_FUSION_HPP

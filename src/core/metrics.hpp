@@ -1,0 +1,62 @@
+// Similarity functions and distance metrics (Sections V-B and VII-A).
+//
+// Two shapes of comparison appear in the paper:
+//  * point (frame) comparisons across the C channel values — used by DTW
+//    and by point-by-point baselines;
+//  * window comparisons along the time axis, computed per channel and then
+//    averaged across channels — used by TDE and the DWM comparator (this
+//    "discards channel-wise information and focuses on time-wise
+//    information", Section V-B).
+#ifndef NSYNC_CORE_METRICS_HPP
+#define NSYNC_CORE_METRICS_HPP
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "signal/signal.hpp"
+
+namespace nsync::core {
+
+/// Distance metrics supported by the comparator.  The paper defaults to
+/// correlation distance because it is insensitive to per-run gain changes
+/// (footnote 2); Euclidean/Manhattan/MAE are provided for the baselines and
+/// the gain-sensitivity ablation.
+enum class DistanceMetric {
+  kCorrelation,  ///< 1 - Pearson (Eq. 14)
+  kCosine,       ///< 1 - cos angle (Belikovetsky's IDS)
+  kEuclidean,    ///< L2
+  kManhattan,    ///< L1
+  kMae,          ///< mean absolute error (Moore's IDS)
+};
+
+[[nodiscard]] std::string distance_metric_name(DistanceMetric m);
+[[nodiscard]] DistanceMetric parse_distance_metric(const std::string& name);
+
+/// Distance between two equal-length 1-D vectors.
+[[nodiscard]] double vector_distance(std::span<const double> u,
+                                     std::span<const double> v,
+                                     DistanceMetric metric);
+
+/// Point distance between frame i of `a` and frame j of `b` across the
+/// channel dimension (used by DTW and point-based baselines).
+[[nodiscard]] double frame_distance(const nsync::signal::SignalView& a,
+                                    std::size_t i,
+                                    const nsync::signal::SignalView& b,
+                                    std::size_t j, DistanceMetric metric);
+
+/// Window distance between two equal-shape windows: the metric is computed
+/// along time per channel, then averaged across channels (Section VII-A).
+/// Throws std::invalid_argument on shape mismatch.
+[[nodiscard]] double window_distance(const nsync::signal::SignalView& u,
+                                     const nsync::signal::SignalView& v,
+                                     DistanceMetric metric);
+
+/// Window similarity: per-channel Pearson correlation averaged across
+/// channels (Eq. 3 extended per Section V-B).  Shape must match.
+[[nodiscard]] double window_similarity(const nsync::signal::SignalView& u,
+                                       const nsync::signal::SignalView& v);
+
+}  // namespace nsync::core
+
+#endif  // NSYNC_CORE_METRICS_HPP

@@ -1,0 +1,175 @@
+#include "core/nsync.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nsync::core {
+
+using nsync::signal::Signal;
+using nsync::signal::SignalView;
+
+std::string sync_method_name(SyncMethod m) {
+  switch (m) {
+    case SyncMethod::kDwm: return "DWM";
+    case SyncMethod::kDtw: return "DTW";
+  }
+  return "unknown";
+}
+
+NsyncIds::NsyncIds(Signal reference, NsyncConfig config)
+    : reference_(std::move(reference)), config_(config) {
+  if (reference_.frames() == 0) {
+    throw std::invalid_argument("NsyncIds: empty reference signal");
+  }
+  if (config_.sync == SyncMethod::kDwm) {
+    config_.dwm.validate();
+  }
+  if (config_.sync == SyncMethod::kDtw && config_.dtw_radius == 0) {
+    throw std::invalid_argument("NsyncIds: dtw_radius must be >= 1");
+  }
+}
+
+Analysis NsyncIds::analyze(const SignalView& observed) const {
+  Analysis a;
+  if (config_.sync == SyncMethod::kDwm) {
+    const DwmResult r =
+        DwmSynchronizer::align(observed, reference_, config_.dwm);
+    a.h_disp = r.h_disp;
+    a.v_dist = vertical_distances_dwm(observed, reference_, r.h_disp,
+                                      config_.dwm, config_.metric);
+  } else {
+    const DtwResult r =
+        fast_dtw(observed, reference_, config_.dtw_radius, config_.metric);
+    a.h_disp = h_disp_from_path(r.path, observed.frames());
+    a.v_dist = vertical_distances_dtw(observed, reference_, r.path,
+                                      config_.metric);
+  }
+  a.features = compute_features(a.h_disp, a.v_dist, config_.filter_window);
+  return a;
+}
+
+void NsyncIds::fit(std::span<const Signal> benign) {
+  if (benign.empty()) {
+    throw std::invalid_argument("NsyncIds::fit: no training signals");
+  }
+  std::vector<Analysis> analyses;
+  analyses.reserve(benign.size());
+  for (const auto& s : benign) {
+    analyses.push_back(analyze(s));
+  }
+  fit_from_analyses(analyses);
+}
+
+void NsyncIds::fit_from_analyses(std::span<const Analysis> analyses) {
+  if (analyses.empty()) {
+    throw std::invalid_argument("NsyncIds::fit_from_analyses: empty input");
+  }
+  std::vector<FeatureMaxima> maxima;
+  maxima.reserve(analyses.size());
+  for (const auto& a : analyses) {
+    maxima.push_back(feature_maxima(a.features));
+  }
+  thresholds_ = learn_thresholds(maxima, config_.r);
+  trained_ = true;
+}
+
+Detection NsyncIds::detect(const SignalView& observed) const {
+  return detect(analyze(observed));
+}
+
+Detection NsyncIds::detect(const Analysis& analysis) const {
+  if (!trained_) {
+    throw std::logic_error("NsyncIds::detect: call fit() first");
+  }
+  return discriminate(analysis.features, thresholds_);
+}
+
+const Thresholds& NsyncIds::thresholds() const {
+  if (!trained_) {
+    throw std::logic_error("NsyncIds::thresholds: call fit() first");
+  }
+  return thresholds_;
+}
+
+RealtimeMonitor::RealtimeMonitor(Signal reference, NsyncConfig config,
+                                 Thresholds thresholds)
+    : sync_(std::move(reference), config.dwm),
+      config_(config),
+      thresholds_(thresholds) {
+  if (config.sync != SyncMethod::kDwm) {
+    throw std::invalid_argument(
+        "RealtimeMonitor: only DWM supports real-time operation");
+  }
+}
+
+std::size_t RealtimeMonitor::push(const SignalView& frames) {
+  const std::size_t before = sync_.windows();
+  sync_.push(frames);
+  const std::size_t after = sync_.windows();
+
+  const auto& r = sync_.result();
+  for (std::size_t i = before; i < after; ++i) {
+    const double h = r.h_disp[i];
+    // Streaming CADHD (Eq. 17).
+    c_disp_acc_ += std::abs(h - (i == 0 ? 0.0 : h_disp_prev_));
+    h_disp_prev_ = h;
+    features_.c_disp.push_back(c_disp_acc_);
+    h_dist_raw_.push_back(std::abs(h));
+
+    // Vertical distance for this window (Eq. 16).
+    const auto& a = sync_.observed();
+    const auto& b = sync_.reference();
+    const std::size_t a_start = i * config_.dwm.n_hop;
+    const SignalView a_win =
+        SignalView(a).slice(a_start, a_start + config_.dwm.n_win);
+    auto b_start = static_cast<std::ptrdiff_t>(a_start) +
+                   static_cast<std::ptrdiff_t>(std::llround(h));
+    b_start = std::clamp<std::ptrdiff_t>(
+        b_start, 0,
+        static_cast<std::ptrdiff_t>(b.frames()) -
+            static_cast<std::ptrdiff_t>(config_.dwm.n_win));
+    const SignalView b_win =
+        SignalView(b).slice(static_cast<std::size_t>(b_start),
+                            static_cast<std::size_t>(b_start) +
+                                config_.dwm.n_win);
+    v_dist_raw_.push_back(window_distance(a_win, b_win, config_.metric));
+
+    // Trailing min filters over the raw distance histories (Eq. 21-22).
+    const std::size_t w = config_.filter_window;
+    auto trailing_min = [w](const std::vector<double>& v) {
+      const std::size_t n = std::min(w, v.size());
+      double m = v.back();
+      for (std::size_t k = v.size() - n; k < v.size(); ++k) {
+        m = std::min(m, v[k]);
+      }
+      return m;
+    };
+    features_.h_dist_f.push_back(trailing_min(h_dist_raw_));
+    features_.v_dist_f.push_back(trailing_min(v_dist_raw_));
+
+    if (!detection_.intrusion) {
+      const std::size_t idx = features_.c_disp.size() - 1;
+      bool fired = false;
+      if (features_.c_disp[idx] > thresholds_.c_c) {
+        detection_.by_c_disp = true;
+        fired = true;
+      }
+      if (features_.h_dist_f[idx] > thresholds_.h_c) {
+        detection_.by_h_dist = true;
+        fired = true;
+      }
+      if (features_.v_dist_f[idx] > thresholds_.v_c) {
+        detection_.by_v_dist = true;
+        fired = true;
+      }
+      if (fired) {
+        detection_.intrusion = true;
+        detection_.first_alarm_index = static_cast<std::ptrdiff_t>(idx);
+      }
+    }
+  }
+  return after - before;
+}
+
+}  // namespace nsync::core

@@ -1,0 +1,126 @@
+// The NSYNC IDS (Fig. 7): dynamic synchronizer -> comparator ->
+// discriminator, with OCC threshold learning.  Both synchronizers are
+// supported: DWM (Table VIII) and DTW/FastDTW (Table IX).
+#ifndef NSYNC_CORE_NSYNC_HPP
+#define NSYNC_CORE_NSYNC_HPP
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/comparator.hpp"
+#include "core/discriminator.hpp"
+#include "core/dtw.hpp"
+#include "core/dwm.hpp"
+#include "core/metrics.hpp"
+#include "signal/signal.hpp"
+
+namespace nsync::core {
+
+enum class SyncMethod {
+  kDwm,  ///< Dynamic Window Matching (the paper's contribution)
+  kDtw,  ///< FastDTW (the prior art)
+};
+
+[[nodiscard]] std::string sync_method_name(SyncMethod m);
+
+struct NsyncConfig {
+  SyncMethod sync = SyncMethod::kDwm;
+  DwmParams dwm;                  ///< used when sync == kDwm
+  std::size_t dtw_radius = 1;     ///< used when sync == kDtw ("the smallest
+                                  ///< radius for the fastest speed")
+  DistanceMetric metric = DistanceMetric::kCorrelation;
+  std::size_t filter_window = 3;  ///< spike suppression (Eq. 21-22)
+  double r = 0.3;                 ///< OCC margin (Section VIII-E)
+};
+
+/// Synchronizer + comparator outputs for one observed signal.
+struct Analysis {
+  std::vector<double> h_disp;
+  std::vector<double> v_dist;
+  DetectionFeatures features;
+};
+
+/// A complete NSYNC intrusion detection system bound to one reference
+/// signal.  Typical use:
+///   NsyncIds ids(reference, config);
+///   ids.fit(benign_training_signals);
+///   Detection d = ids.detect(observed);
+class NsyncIds {
+ public:
+  NsyncIds(nsync::signal::Signal reference, NsyncConfig config);
+
+  /// Runs the synchronizer and the comparator on one observed signal.
+  [[nodiscard]] Analysis analyze(const nsync::signal::SignalView& observed) const;
+
+  /// Learns the OCC thresholds from benign observations (Section VII-C).
+  /// Throws when `benign` is empty.
+  void fit(std::span<const nsync::signal::Signal> benign);
+
+  /// Learns thresholds from precomputed analyses (lets callers reuse
+  /// analyses across `r` sweeps).
+  void fit_from_analyses(std::span<const Analysis> analyses);
+
+  /// Manually installs thresholds.
+  void set_thresholds(const Thresholds& t) {
+    thresholds_ = t;
+    trained_ = true;
+  }
+
+  /// Analyzes and discriminates.  Throws std::logic_error before fit().
+  [[nodiscard]] Detection detect(const nsync::signal::SignalView& observed) const;
+
+  /// Discriminates a precomputed analysis.
+  [[nodiscard]] Detection detect(const Analysis& analysis) const;
+
+  [[nodiscard]] const Thresholds& thresholds() const;
+  [[nodiscard]] bool trained() const { return trained_; }
+  [[nodiscard]] const NsyncConfig& config() const { return config_; }
+  [[nodiscard]] const nsync::signal::Signal& reference() const {
+    return reference_;
+  }
+
+ private:
+  nsync::signal::Signal reference_;
+  NsyncConfig config_;
+  Thresholds thresholds_;
+  bool trained_ = false;
+};
+
+/// Real-time monitor: a streaming NSYNC/DWM instance that consumes observed
+/// frames as the print progresses and raises the alarm at the first window
+/// whose features cross the thresholds.  DWM's causality is what makes this
+/// possible (DTW "does not natively support real-time operations").
+class RealtimeMonitor {
+ public:
+  /// `config.sync` must be kDwm; throws std::invalid_argument otherwise.
+  RealtimeMonitor(nsync::signal::Signal reference, NsyncConfig config,
+                  Thresholds thresholds);
+
+  /// Feeds observed frames; processes every completed window and updates
+  /// the detection state.  Returns the number of windows processed by this
+  /// call.  Once an intrusion has been flagged the state latches.
+  std::size_t push(const nsync::signal::SignalView& frames);
+
+  [[nodiscard]] const Detection& detection() const { return detection_; }
+  [[nodiscard]] bool intrusion() const { return detection_.intrusion; }
+  [[nodiscard]] std::size_t windows() const { return sync_.windows(); }
+  /// Features accumulated so far (c_disp / filtered distances per window).
+  [[nodiscard]] const DetectionFeatures& features() const { return features_; }
+
+ private:
+  DwmSynchronizer sync_;
+  NsyncConfig config_;
+  Thresholds thresholds_;
+  DetectionFeatures features_;
+  Detection detection_;
+  double c_disp_acc_ = 0.0;
+  double h_disp_prev_ = 0.0;
+  std::vector<double> h_dist_raw_;
+  std::vector<double> v_dist_raw_;
+};
+
+}  // namespace nsync::core
+
+#endif  // NSYNC_CORE_NSYNC_HPP

@@ -1,0 +1,124 @@
+#include "core/online_dtw.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace nsync::core {
+
+using nsync::signal::Signal;
+using nsync::signal::SignalView;
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+// Gain of the inertial band-center tracker.
+constexpr double kOffsetGain = 0.2;
+}
+
+OnlineDtw::OnlineDtw(Signal reference, std::size_t band_halfwidth,
+                     DistanceMetric metric)
+    : reference_(std::move(reference)), w_(band_halfwidth), metric_(metric) {
+  if (reference_.frames() == 0) {
+    throw std::invalid_argument("OnlineDtw: empty reference");
+  }
+  if (w_ == 0) {
+    throw std::invalid_argument("OnlineDtw: band_halfwidth must be >= 1");
+  }
+}
+
+void OnlineDtw::push(const SignalView& frames) {
+  if (frames.channels() != reference_.channels()) {
+    throw std::invalid_argument("OnlineDtw::push: channel mismatch");
+  }
+  for (std::size_t n = 0; n < frames.frames(); ++n) {
+    process_frame(frames.frame(n));
+  }
+}
+
+void OnlineDtw::process_frame(std::span<const double> frame) {
+  const auto nb = static_cast<std::ptrdiff_t>(reference_.frames());
+  const std::size_t i = h_disp_.size();
+
+  // Band center: the warp path's expected slope is 1, so the band rides
+  // the diagonal j = i + offset, where `offset` is an inertial estimate of
+  // the current displacement (the same stabilization idea as DWM's
+  // h_disp_low tracker).  Re-centering greedily on each row's argmin is
+  // tempting but fragile: on smooth signals near-tie rows let the band
+  // wander off the diagonal and never recover.
+  const std::ptrdiff_t center =
+      static_cast<std::ptrdiff_t>(i) +
+      static_cast<std::ptrdiff_t>(std::llround(offset_));
+  const std::ptrdiff_t band_start =
+      std::clamp<std::ptrdiff_t>(center - static_cast<std::ptrdiff_t>(w_), 0,
+                                 std::max<std::ptrdiff_t>(0, nb - 1));
+  const std::ptrdiff_t band_end =
+      std::min<std::ptrdiff_t>(center + static_cast<std::ptrdiff_t>(w_) + 1,
+                               nb);
+  const auto band_len = static_cast<std::size_t>(band_end - band_start);
+
+  std::vector<double> costs(band_len, kInf);
+  std::vector<double> dist(band_len, 0.0);
+  for (std::size_t k = 0; k < band_len; ++k) {
+    const auto j = static_cast<std::size_t>(band_start +
+                                            static_cast<std::ptrdiff_t>(k));
+    dist[k] = vector_distance(frame, reference_.frame(j), metric_);
+  }
+
+  auto prev_cost_at = [&](std::ptrdiff_t j) -> double {
+    if (first_row_) return j == 0 ? 0.0 : kInf;  // path starts at (0, 0)
+    const std::ptrdiff_t k = j - prev_band_start_;
+    if (k < 0 || k >= static_cast<std::ptrdiff_t>(prev_costs_.size())) {
+      return kInf;
+    }
+    return prev_costs_[static_cast<std::size_t>(k)];
+  };
+
+  // Cells the previous band cannot reach stay infeasible — granting them a
+  // discounted base would pull the argmin to the band edge every row and
+  // ratchet the alignment away.  Interior cells always connect through the
+  // left-chain, so at most the first cell of the row is affected.
+  for (std::size_t k = 0; k < band_len; ++k) {
+    const std::ptrdiff_t j = band_start + static_cast<std::ptrdiff_t>(k);
+    const double diag = prev_cost_at(j - 1);
+    const double up = prev_cost_at(j);
+    const double left = k > 0 ? costs[k - 1] : kInf;
+    const double best = std::min({diag, up, left});
+    costs[k] = std::isfinite(best) ? best + dist[k] : kInf;
+  }
+  // Pathological full disconnect (band jumped clear of the previous one):
+  // re-acquire from the previous row's minimum.
+  bool any_finite = false;
+  for (double c : costs) {
+    if (std::isfinite(c)) {
+      any_finite = true;
+      break;
+    }
+  }
+  if (!any_finite) {
+    double prev_min = prev_costs_.empty() ? 0.0 : prev_costs_[0];
+    for (double c : prev_costs_) prev_min = std::min(prev_min, c);
+    for (std::size_t k = 0; k < band_len; ++k) {
+      costs[k] = prev_min + dist[k];
+    }
+  }
+
+  std::size_t best_k = 0;
+  for (std::size_t k = 1; k < band_len; ++k) {
+    if (costs[k] < costs[best_k]) best_k = k;
+  }
+  const std::ptrdiff_t j_best = band_start + static_cast<std::ptrdiff_t>(best_k);
+  const double h = static_cast<double>(j_best) - static_cast<double>(i);
+  h_disp_.push_back(h);
+  v_dist_.push_back(dist[best_k]);
+  if (j_best >= nb - 1) reference_exhausted_ = true;
+
+  // Inertial offset update (cf. DWM Eq. 12).
+  offset_ += kOffsetGain * (h - offset_);
+
+  prev_costs_ = std::move(costs);
+  prev_band_start_ = band_start;
+  first_row_ = false;
+}
+
+}  // namespace nsync::core

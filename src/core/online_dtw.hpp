@@ -1,0 +1,69 @@
+// On-line DTW — an extension implementing the alternative the paper points
+// at (Section VI-A: "there is an ongoing effort to create a version of DTW
+// that supports real-time analysis", citing Oregi et al.).
+//
+// This is a banded streaming variant in the spirit of Dixon's OLTW: the
+// reference b is known in full; observed frames arrive one at a time.  For
+// each new frame i we evaluate one DP row restricted to a band of width
+// 2w+1 centered on the previous row's best alignment, so cost and memory
+// are O(w * C) per frame — constant in the signal length, like DWM.
+//
+// Compared with DWM it is point-based (finer-grained h_disp) but inherits
+// DTW's weaknesses the paper criticizes: a greedy band can lock onto a
+// locally-good warp and never recover, and per-point distances are noisy
+// for raw side-channel signals.  bench_ext_online_dtw quantifies both.
+#ifndef NSYNC_CORE_ONLINE_DTW_HPP
+#define NSYNC_CORE_ONLINE_DTW_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "core/metrics.hpp"
+#include "signal/signal.hpp"
+
+namespace nsync::core {
+
+class OnlineDtw {
+ public:
+  /// `band_halfwidth` is w above; the evaluated band per row spans
+  /// [center - w, center + w] in reference indexes.
+  OnlineDtw(nsync::signal::Signal reference, std::size_t band_halfwidth,
+            DistanceMetric metric = DistanceMetric::kEuclidean);
+
+  /// Consumes observed frames; processes each one immediately.
+  void push(const nsync::signal::SignalView& frames);
+
+  /// Per observed frame: the aligned reference index minus the frame index
+  /// (same convention as DWM's h_disp, in samples).
+  [[nodiscard]] const std::vector<double>& h_disp() const { return h_disp_; }
+
+  /// Per observed frame: the point distance at the chosen alignment.
+  [[nodiscard]] const std::vector<double>& v_dist() const { return v_dist_; }
+
+  /// Number of observed frames processed.
+  [[nodiscard]] std::size_t frames() const { return h_disp_.size(); }
+
+  /// True once the alignment has reached the end of the reference.
+  [[nodiscard]] bool reference_exhausted() const {
+    return reference_exhausted_;
+  }
+
+ private:
+  void process_frame(std::span<const double> frame);
+
+  nsync::signal::Signal reference_;
+  std::size_t w_;
+  DistanceMetric metric_;
+  // DP state: accumulated costs over the previous row's band.
+  std::vector<double> prev_costs_;
+  std::ptrdiff_t prev_band_start_ = 0;
+  double offset_ = 0.0;  // inertial estimate of the band-center displacement
+  bool first_row_ = true;
+  bool reference_exhausted_ = false;
+  std::vector<double> h_disp_;
+  std::vector<double> v_dist_;
+};
+
+}  // namespace nsync::core
+
+#endif  // NSYNC_CORE_ONLINE_DTW_HPP

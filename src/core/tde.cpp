@@ -1,0 +1,66 @@
+#include "core/tde.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/xcorr.hpp"
+#include "signal/stats.hpp"
+
+namespace nsync::core {
+
+using nsync::signal::SignalView;
+
+std::vector<double> similarity_scores(const SignalView& x, const SignalView& y,
+                                      const TdeOptions& opts) {
+  if (x.channels() != y.channels()) {
+    throw std::invalid_argument("similarity_scores: channel mismatch");
+  }
+  if (y.frames() < 2 || x.frames() < y.frames()) {
+    throw std::invalid_argument(
+        "similarity_scores: need x.frames() >= y.frames() >= 2");
+  }
+  const std::size_t n_out = x.frames() - y.frames() + 1;
+  std::vector<double> acc(n_out, 0.0);
+  for (std::size_t c = 0; c < x.channels(); ++c) {
+    const auto xc = x.channel(c);
+    const auto yc = y.channel(c);
+    const auto sc = opts.use_fft ? nsync::dsp::sliding_pearson_fft(xc, yc)
+                                 : nsync::dsp::sliding_pearson_naive(xc, yc);
+    for (std::size_t n = 0; n < n_out; ++n) acc[n] += sc[n];
+  }
+  const double inv_c = 1.0 / static_cast<double>(x.channels());
+  for (auto& v : acc) v *= inv_c;
+  return acc;
+}
+
+std::size_t estimate_delay(const SignalView& x, const SignalView& y,
+                           const TdeOptions& opts) {
+  return nsync::signal::argmax(similarity_scores(x, y, opts));
+}
+
+std::vector<double> bias_scores(std::vector<double> scores, double center,
+                                double sigma_samples) {
+  if (sigma_samples <= 0.0) {
+    throw std::invalid_argument("bias_scores: sigma must be positive");
+  }
+  for (std::size_t j = 0; j < scores.size(); ++j) {
+    const double d = (static_cast<double>(j) - center) / sigma_samples;
+    scores[j] *= std::exp(-0.5 * d * d);
+  }
+  return scores;
+}
+
+std::size_t estimate_delay_biased(const SignalView& x, const SignalView& y,
+                                  double center, double sigma_samples,
+                                  const TdeOptions& opts) {
+  auto scores = similarity_scores(x, y, opts);
+  // Multiplying a negative score by a small Gaussian weight would *raise*
+  // it toward zero, perversely rewarding far-from-center anti-correlated
+  // placements.  A negative correlation is never a candidate match, so
+  // clamp to zero before applying the bias.
+  for (auto& s : scores) s = std::max(s, 0.0);
+  scores = bias_scores(std::move(scores), center, sigma_samples);
+  return nsync::signal::argmax(scores);
+}
+
+}  // namespace nsync::core

@@ -1,0 +1,52 @@
+// Time Delay Estimation (Section V-B) and its biased variant TDEB
+// (Section VI-B, Fig. 5).
+//
+// TDE slides the template `y` across the longer signal `x`, scores each
+// placement with the channel-averaged Pearson correlation, and returns the
+// argmax.  TDEB multiplies the score array by a Gaussian window centered at
+// an expected delay, biasing the estimate toward continuity when the window
+// content is periodic or noisy.
+#ifndef NSYNC_CORE_TDE_HPP
+#define NSYNC_CORE_TDE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "signal/signal.hpp"
+
+namespace nsync::core {
+
+struct TdeOptions {
+  /// Use the FFT + prefix-sum sliding correlation (identical output to the
+  /// naive path; the naive path exists for testing and ablation).
+  bool use_fft = true;
+};
+
+/// Similarity array s[n] = f(x[n : n+Ny], y), n = 0 .. Nx - Ny (Eq. 1).
+/// Multichannel inputs are scored per channel and averaged (Section V-B).
+/// Throws std::invalid_argument when shapes are incompatible.
+[[nodiscard]] std::vector<double> similarity_scores(
+    const nsync::signal::SignalView& x, const nsync::signal::SignalView& y,
+    const TdeOptions& opts = {});
+
+/// n_delay = argmax_n s[n] (Eq. 2).
+[[nodiscard]] std::size_t estimate_delay(const nsync::signal::SignalView& x,
+                                         const nsync::signal::SignalView& y,
+                                         const TdeOptions& opts = {});
+
+/// Multiplies `scores` by a Gaussian of std `sigma_samples` centered at
+/// `center` (TDEB bias).  Returns the biased copy.
+[[nodiscard]] std::vector<double> bias_scores(std::vector<double> scores,
+                                              double center,
+                                              double sigma_samples);
+
+/// TDEB[sigma](x, y): biased delay estimate.  `center` is the score index
+/// the bias pulls toward (n_ext in the DWM algorithm).  Returns the argmax
+/// of the biased scores.
+[[nodiscard]] std::size_t estimate_delay_biased(
+    const nsync::signal::SignalView& x, const nsync::signal::SignalView& y,
+    double center, double sigma_samples, const TdeOptions& opts = {});
+
+}  // namespace nsync::core
+
+#endif  // NSYNC_CORE_TDE_HPP

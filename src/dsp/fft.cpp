@@ -1,0 +1,155 @@
+#include "dsp/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace nsync::dsp {
+
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+// Bluestein's algorithm: expresses a length-N DFT as a convolution, which is
+// evaluated with a power-of-two FFT.  Handles any N.
+std::vector<Complex> bluestein(std::span<const Complex> input, bool inverse) {
+  const std::size_t n = input.size();
+  const double sign = inverse ? 1.0 : -1.0;
+  // Chirp: w[k] = exp(sign * i * pi * k^2 / n).  Use k^2 mod 2n to keep the
+  // argument bounded for large k.
+  std::vector<Complex> chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    const auto k2 = static_cast<double>((k * k) % (2 * n));
+    const double ang = sign * kPi * k2 / static_cast<double>(n);
+    chirp[k] = Complex(std::cos(ang), std::sin(ang));
+  }
+  const std::size_t m = next_power_of_two(2 * n - 1);
+  std::vector<Complex> a(m, Complex(0.0, 0.0));
+  std::vector<Complex> b(m, Complex(0.0, 0.0));
+  for (std::size_t k = 0; k < n; ++k) {
+    a[k] = input[k] * chirp[k];
+  }
+  b[0] = std::conj(chirp[0]);
+  for (std::size_t k = 1; k < n; ++k) {
+    b[k] = b[m - k] = std::conj(chirp[k]);
+  }
+  fft_radix2(a);
+  fft_radix2(b);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_radix2(a, /*inverse=*/true);  // includes the 1/m normalization
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    out[k] = a[k] * chirp[k];
+  }
+  return out;
+}
+
+}  // namespace
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void fft_radix2(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument("fft_radix2: size must be a power of two");
+  }
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = sign * 2.0 * kPi / static_cast<double>(len);
+    const Complex wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Complex w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+std::vector<Complex> fft(std::span<const Complex> input) {
+  std::vector<Complex> data(input.begin(), input.end());
+  if (data.empty()) return data;
+  if (is_power_of_two(data.size())) {
+    fft_radix2(data);
+    return data;
+  }
+  return bluestein(input, /*inverse=*/false);
+}
+
+std::vector<Complex> ifft(std::span<const Complex> input) {
+  std::vector<Complex> data(input.begin(), input.end());
+  if (data.empty()) return data;
+  if (is_power_of_two(data.size())) {
+    fft_radix2(data, /*inverse=*/true);
+    return data;
+  }
+  auto out = bluestein(input, /*inverse=*/true);
+  for (auto& x : out) x /= static_cast<double>(out.size());
+  return out;
+}
+
+std::vector<Complex> rfft(std::span<const double> input) {
+  std::vector<Complex> data(input.size());
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    data[i] = Complex(input[i], 0.0);
+  }
+  auto full = fft(data);
+  full.resize(input.size() / 2 + 1);
+  return full;
+}
+
+std::vector<double> rfft_magnitude(std::span<const double> input) {
+  const auto bins = rfft(input);
+  std::vector<double> out(bins.size());
+  for (std::size_t i = 0; i < bins.size(); ++i) out[i] = std::abs(bins[i]);
+  return out;
+}
+
+std::vector<double> cross_correlate_valid(std::span<const double> x,
+                                          std::span<const double> y) {
+  if (y.empty() || x.size() < y.size()) {
+    throw std::invalid_argument(
+        "cross_correlate_valid: need x.size() >= y.size() >= 1");
+  }
+  const std::size_t nx = x.size();
+  const std::size_t ny = y.size();
+  const std::size_t n_out = nx - ny + 1;
+  const std::size_t m = next_power_of_two(nx + ny);
+  std::vector<Complex> fx(m, Complex(0.0, 0.0));
+  std::vector<Complex> fy(m, Complex(0.0, 0.0));
+  for (std::size_t i = 0; i < nx; ++i) fx[i] = Complex(x[i], 0.0);
+  // Time-reverse y so the convolution computes correlation.
+  for (std::size_t i = 0; i < ny; ++i) fy[i] = Complex(y[ny - 1 - i], 0.0);
+  fft_radix2(fx);
+  fft_radix2(fy);
+  for (std::size_t i = 0; i < m; ++i) fx[i] *= fy[i];
+  fft_radix2(fx, /*inverse=*/true);
+  std::vector<double> out(n_out);
+  for (std::size_t k = 0; k < n_out; ++k) {
+    out[k] = fx[k + ny - 1].real();
+  }
+  return out;
+}
+
+}  // namespace nsync::dsp

@@ -1,0 +1,51 @@
+// Fast Fourier Transform.
+//
+// Provides an iterative radix-2 complex FFT plus a Bluestein (chirp-Z)
+// fallback so that any length is supported, and a real-input convenience
+// wrapper returning the N/2+1 non-negative-frequency bins used by the
+// spectrogram pipeline (Table III of the paper).
+#ifndef NSYNC_DSP_FFT_HPP
+#define NSYNC_DSP_FFT_HPP
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace nsync::dsp {
+
+using Complex = std::complex<double>;
+
+/// Returns true when n is a power of two (n >= 1).
+[[nodiscard]] bool is_power_of_two(std::size_t n);
+
+/// Smallest power of two >= n (n >= 1).
+[[nodiscard]] std::size_t next_power_of_two(std::size_t n);
+
+/// In-place forward FFT; `data.size()` must be a power of two.
+void fft_radix2(std::span<Complex> data, bool inverse = false);
+
+/// Forward DFT of arbitrary length (radix-2 when possible, Bluestein
+/// otherwise).  Returns a new vector of the same length.
+[[nodiscard]] std::vector<Complex> fft(std::span<const Complex> input);
+
+/// Inverse DFT of arbitrary length (includes the 1/N normalization).
+[[nodiscard]] std::vector<Complex> ifft(std::span<const Complex> input);
+
+/// Forward DFT of a real sequence; returns bins 0 .. N/2 (inclusive),
+/// i.e. floor(N/2)+1 complex values.
+[[nodiscard]] std::vector<Complex> rfft(std::span<const double> input);
+
+/// Magnitudes of rfft(input).
+[[nodiscard]] std::vector<double> rfft_magnitude(std::span<const double> input);
+
+/// Linear cross-correlation of x with y via FFT zero-padding:
+///   out[k] = sum_n x[n + k] * y[n],  k = 0 .. x.size() - y.size()
+/// Requires x.size() >= y.size().  This is the unnormalized numerator used
+/// by the fast sliding-correlation TDE path.
+[[nodiscard]] std::vector<double> cross_correlate_valid(
+    std::span<const double> x, std::span<const double> y);
+
+}  // namespace nsync::dsp
+
+#endif  // NSYNC_DSP_FFT_HPP

@@ -1,0 +1,228 @@
+#include "dsp/pca.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "signal/stats.hpp"
+
+namespace nsync::dsp {
+
+using nsync::signal::Signal;
+using nsync::signal::SignalView;
+
+namespace {
+
+void sort_descending(EigenResult& r) {
+  const std::size_t n = r.values.size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return r.values[a] > r.values[b];
+  });
+  std::vector<double> values(n);
+  Matrix vectors(r.vectors.rows(), n);
+  for (std::size_t j = 0; j < n; ++j) {
+    values[j] = r.values[order[j]];
+    for (std::size_t i = 0; i < r.vectors.rows(); ++i) {
+      vectors(i, j) = r.vectors(i, order[j]);
+    }
+  }
+  r.values = std::move(values);
+  r.vectors = std::move(vectors);
+}
+
+Matrix covariance_matrix(const SignalView& s, std::vector<double>& mean_out) {
+  const std::size_t c = s.channels();
+  const std::size_t n = s.frames();
+  mean_out = nsync::signal::channel_means(s);
+  Matrix cov(c, c);
+  for (std::size_t t = 0; t < n; ++t) {
+    for (std::size_t i = 0; i < c; ++i) {
+      const double di = s(t, i) - mean_out[i];
+      for (std::size_t j = i; j < c; ++j) {
+        cov(i, j) += di * (s(t, j) - mean_out[j]);
+      }
+    }
+  }
+  const double denom = static_cast<double>(n > 1 ? n - 1 : 1);
+  for (std::size_t i = 0; i < c; ++i) {
+    for (std::size_t j = i; j < c; ++j) {
+      cov(i, j) /= denom;
+      cov(j, i) = cov(i, j);
+    }
+  }
+  return cov;
+}
+
+}  // namespace
+
+EigenResult jacobi_eigen_symmetric(const Matrix& a, std::size_t max_sweeps,
+                                   double tol) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("jacobi_eigen_symmetric: matrix not square");
+  }
+  const std::size_t n = a.rows();
+  Matrix m = a;
+  Matrix v(n, n);
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i + 1; j < n; ++j) off += m(i, j) * m(i, j);
+    }
+    if (off < tol * tol) break;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        if (std::abs(m(p, q)) < 1e-300) continue;
+        const double theta = (m(q, q) - m(p, p)) / (2.0 * m(p, q));
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mkp = m(k, p);
+          const double mkq = m(k, q);
+          m(k, p) = c * mkp - s * mkq;
+          m(k, q) = s * mkp + c * mkq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double mpk = m(p, k);
+          const double mqk = m(q, k);
+          m(p, k) = c * mpk - s * mqk;
+          m(q, k) = s * mpk + c * mqk;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+  EigenResult out;
+  out.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.values[i] = m(i, i);
+  out.vectors = std::move(v);
+  sort_descending(out);
+  return out;
+}
+
+EigenResult top_k_eigen_symmetric(const Matrix& a, std::size_t k,
+                                  std::size_t max_iters, double tol) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("top_k_eigen_symmetric: matrix not square");
+  }
+  const std::size_t n = a.rows();
+  if (k == 0 || k > n) {
+    throw std::invalid_argument("top_k_eigen_symmetric: bad k");
+  }
+  // Deterministic pseudo-random start basis.
+  Matrix q(n, k);
+  std::uint64_t state = 0x853c49e6748fea9bULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      q(i, j) = static_cast<double>((state >> 11) & 0xFFFFF) / 1048576.0 - 0.5;
+    }
+  }
+
+  auto gram_schmidt = [&](Matrix& b) {
+    for (std::size_t j = 0; j < k; ++j) {
+      for (std::size_t prev = 0; prev < j; ++prev) {
+        double dot = 0.0;
+        for (std::size_t i = 0; i < n; ++i) dot += b(i, j) * b(i, prev);
+        for (std::size_t i = 0; i < n; ++i) b(i, j) -= dot * b(i, prev);
+      }
+      double norm = 0.0;
+      for (std::size_t i = 0; i < n; ++i) norm += b(i, j) * b(i, j);
+      norm = std::sqrt(norm);
+      if (norm < 1e-14) {
+        // Degenerate direction: reset to a unit vector.
+        for (std::size_t i = 0; i < n; ++i) b(i, j) = 0.0;
+        b(j % n, j) = 1.0;
+      } else {
+        for (std::size_t i = 0; i < n; ++i) b(i, j) /= norm;
+      }
+    }
+  };
+
+  gram_schmidt(q);
+  std::vector<double> prev_values(k, 0.0);
+  std::vector<double> values(k, 0.0);
+  for (std::size_t iter = 0; iter < max_iters; ++iter) {
+    Matrix z(n, k);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < k; ++j) {
+        double acc = 0.0;
+        for (std::size_t l = 0; l < n; ++l) acc += a(i, l) * q(l, j);
+        z(i, j) = acc;
+      }
+    }
+    // Rayleigh quotients before orthonormalization.
+    for (std::size_t j = 0; j < k; ++j) {
+      double acc = 0.0;
+      for (std::size_t i = 0; i < n; ++i) acc += q(i, j) * z(i, j);
+      values[j] = acc;
+    }
+    gram_schmidt(z);
+    q = std::move(z);
+    double delta = 0.0;
+    for (std::size_t j = 0; j < k; ++j) {
+      delta = std::max(delta, std::abs(values[j] - prev_values[j]));
+    }
+    prev_values = values;
+    if (iter > 3 && delta < tol * (1.0 + std::abs(values[0]))) break;
+  }
+  EigenResult out;
+  out.values = values;
+  out.vectors = std::move(q);
+  sort_descending(out);
+  return out;
+}
+
+Pca Pca::fit(const SignalView& s, std::size_t k) {
+  if (s.frames() < 2) {
+    throw std::invalid_argument("Pca::fit: need at least two frames");
+  }
+  if (k == 0 || k > s.channels()) {
+    throw std::invalid_argument("Pca::fit: component count out of range");
+  }
+  Pca model;
+  const Matrix cov = covariance_matrix(s, model.mean_);
+  const EigenResult eig =
+      (s.channels() <= 16) ? jacobi_eigen_symmetric(cov)
+                           : top_k_eigen_symmetric(cov, k);
+  model.components_ = Matrix(k, s.channels());
+  model.explained_variance_.resize(k);
+  for (std::size_t j = 0; j < k; ++j) {
+    model.explained_variance_[j] = std::max(0.0, eig.values[j]);
+    for (std::size_t c = 0; c < s.channels(); ++c) {
+      model.components_(j, c) = eig.vectors(c, j);
+    }
+  }
+  return model;
+}
+
+Signal Pca::transform(const SignalView& s) const {
+  if (s.channels() != mean_.size()) {
+    throw std::invalid_argument("Pca::transform: channel count mismatch");
+  }
+  const std::size_t k = components_.rows();
+  Signal out(s.frames(), k, s.sample_rate());
+  for (std::size_t t = 0; t < s.frames(); ++t) {
+    for (std::size_t j = 0; j < k; ++j) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < mean_.size(); ++c) {
+        acc += components_(j, c) * (s(t, c) - mean_[c]);
+      }
+      out(t, j) = acc;
+    }
+  }
+  return out;
+}
+
+}  // namespace nsync::dsp

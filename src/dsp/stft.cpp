@@ -1,0 +1,63 @@
+#include "dsp/stft.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace nsync::dsp {
+
+using nsync::signal::Signal;
+using nsync::signal::SignalView;
+
+std::size_t stft_window_samples(const StftConfig& cfg, double fs) {
+  if (cfg.delta_f <= 0.0 || fs <= 0.0) {
+    throw std::invalid_argument("stft: delta_f and fs must be positive");
+  }
+  return std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::llround(fs / cfg.delta_f)));
+}
+
+std::size_t stft_hop_samples(const StftConfig& cfg, double fs) {
+  if (cfg.delta_t <= 0.0 || fs <= 0.0) {
+    throw std::invalid_argument("stft: delta_t and fs must be positive");
+  }
+  return std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::llround(fs * cfg.delta_t)));
+}
+
+std::size_t stft_bins(const StftConfig& cfg, double fs) {
+  return stft_window_samples(cfg, fs) / 2 + 1;
+}
+
+Signal spectrogram(const SignalView& s, const StftConfig& cfg) {
+  const std::size_t n_win = stft_window_samples(cfg, s.sample_rate());
+  const std::size_t n_hop = stft_hop_samples(cfg, s.sample_rate());
+  const std::size_t bins = n_win / 2 + 1;
+  if (s.frames() < n_win) {
+    throw std::invalid_argument(
+        "spectrogram: signal shorter than one analysis window");
+  }
+  const std::size_t columns = (s.frames() - n_win) / n_hop + 1;
+  const auto window = make_window(cfg.window, n_win);
+
+  Signal out(columns, bins * s.channels(), 1.0 / cfg.delta_t);
+  std::vector<double> buf(n_win);
+  for (std::size_t c = 0; c < s.channels(); ++c) {
+    for (std::size_t col = 0; col < columns; ++col) {
+      const std::size_t start = col * n_hop;
+      for (std::size_t i = 0; i < n_win; ++i) {
+        buf[i] = s(start + i, c) * window[i];
+      }
+      const auto mags = rfft_magnitude(buf);
+      for (std::size_t k = 0; k < bins; ++k) {
+        const double m = cfg.log_magnitude ? std::log1p(mags[k]) : mags[k];
+        out(col, c * bins + k) = m;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nsync::dsp

@@ -1,0 +1,50 @@
+// Short-Time Fourier Transform and spectrogram generation.
+//
+// Table III of the paper derives a spectrogram from each side-channel
+// signal; the spectrogram is treated as a new multichannel signal whose
+// sampling rate is 1/dt and whose channel count is (bins x input channels).
+#ifndef NSYNC_DSP_STFT_HPP
+#define NSYNC_DSP_STFT_HPP
+
+#include <cstddef>
+
+#include "dsp/windows.hpp"
+#include "signal/signal.hpp"
+
+namespace nsync::dsp {
+
+/// Configuration of the STFT, mirroring Table III.
+struct StftConfig {
+  /// Spectral resolution in Hz; the analysis window spans 1/delta_f seconds.
+  double delta_f = 20.0;
+  /// Temporal resolution in seconds; the window advances delta_t per column.
+  double delta_t = 1.0 / 80.0;
+  /// Analysis window shape ("BH" in the paper is Blackman-Harris).
+  WindowType window = WindowType::kBlackmanHarris;
+  /// When true, magnitudes are mapped through log1p, which compresses the
+  /// dynamic range (off by default; the paper stores 16-bit magnitudes).
+  bool log_magnitude = false;
+};
+
+/// Number of frequency bins the STFT produces per input channel for a
+/// signal sampled at `fs`:  floor(round(fs / delta_f) / 2) + 1.
+[[nodiscard]] std::size_t stft_bins(const StftConfig& cfg, double fs);
+
+/// Window length in samples: round(fs / delta_f).
+[[nodiscard]] std::size_t stft_window_samples(const StftConfig& cfg, double fs);
+
+/// Hop length in samples: round(fs * delta_t), at least 1.
+[[nodiscard]] std::size_t stft_hop_samples(const StftConfig& cfg, double fs);
+
+/// Computes the magnitude spectrogram of a multichannel signal.
+///
+/// The output signal has sample rate 1/delta_t and
+/// `stft_bins(...) * s.channels()` channels laid out bin-major per input
+/// channel: output channel (c * bins + k) holds bin k of input channel c.
+/// Throws std::invalid_argument when the signal is shorter than one window.
+[[nodiscard]] nsync::signal::Signal spectrogram(
+    const nsync::signal::SignalView& s, const StftConfig& cfg);
+
+}  // namespace nsync::dsp
+
+#endif  // NSYNC_DSP_STFT_HPP

@@ -1,0 +1,58 @@
+#include "dsp/streaming_stft.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+
+namespace nsync::dsp {
+
+using nsync::signal::Signal;
+using nsync::signal::SignalView;
+
+StreamingStft::StreamingStft(const StftConfig& config, double input_rate,
+                             std::size_t input_channels)
+    : config_(config),
+      channels_(input_channels),
+      n_win_(stft_window_samples(config, input_rate)),
+      n_hop_(stft_hop_samples(config, input_rate)),
+      bins_(n_win_ / 2 + 1),
+      window_(make_window(config.window, n_win_)),
+      input_buffer_(Signal::empty(input_channels, input_rate)),
+      output_(Signal::empty(input_channels * (n_win_ / 2 + 1),
+                            1.0 / config.delta_t)) {
+  if (input_channels == 0) {
+    throw std::invalid_argument("StreamingStft: need at least one channel");
+  }
+}
+
+std::size_t StreamingStft::push(const SignalView& frames) {
+  if (frames.channels() != channels_) {
+    throw std::invalid_argument("StreamingStft::push: channel mismatch");
+  }
+  input_buffer_.append(frames);
+  std::size_t emitted = 0;
+  while (emit_next_column()) ++emitted;
+  return emitted;
+}
+
+bool StreamingStft::emit_next_column() {
+  if (next_start_ + n_win_ > input_buffer_.frames()) return false;
+  std::vector<double> row(channels_ * bins_);
+  std::vector<double> buf(n_win_);
+  for (std::size_t c = 0; c < channels_; ++c) {
+    for (std::size_t i = 0; i < n_win_; ++i) {
+      buf[i] = input_buffer_(next_start_ + i, c) * window_[i];
+    }
+    const auto mags = rfft_magnitude(buf);
+    for (std::size_t k = 0; k < bins_; ++k) {
+      row[c * bins_ + k] =
+          config_.log_magnitude ? std::log1p(mags[k]) : mags[k];
+    }
+  }
+  output_.append_frame(row);
+  next_start_ += n_hop_;
+  return true;
+}
+
+}  // namespace nsync::dsp

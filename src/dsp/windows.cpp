@@ -1,0 +1,88 @@
+#include "dsp/windows.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace nsync::dsp {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+WindowType parse_window_type(const std::string& name) {
+  std::string s;
+  s.reserve(name.size());
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) != 0) {
+      s.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+  }
+  if (s == "boxcar" || s == "rect" || s == "rectangular") {
+    return WindowType::kBoxcar;
+  }
+  if (s == "hann" || s == "hanning") return WindowType::kHann;
+  if (s == "blackmanharris" || s == "bh") return WindowType::kBlackmanHarris;
+  if (s == "gaussian" || s == "gauss") return WindowType::kGaussian;
+  throw std::invalid_argument("parse_window_type: unknown window '" + name +
+                              "'");
+}
+
+std::string window_type_name(WindowType type) {
+  switch (type) {
+    case WindowType::kBoxcar:
+      return "boxcar";
+    case WindowType::kHann:
+      return "hann";
+    case WindowType::kBlackmanHarris:
+      return "blackmanharris";
+    case WindowType::kGaussian:
+      return "gaussian";
+  }
+  return "unknown";
+}
+
+std::vector<double> make_window(WindowType type, std::size_t n) {
+  std::vector<double> w(n, 1.0);
+  if (n <= 1) return w;
+  const double denom = static_cast<double>(n - 1);
+  switch (type) {
+    case WindowType::kBoxcar:
+      break;
+    case WindowType::kHann:
+      for (std::size_t i = 0; i < n; ++i) {
+        w[i] = 0.5 - 0.5 * std::cos(2.0 * kPi * static_cast<double>(i) / denom);
+      }
+      break;
+    case WindowType::kBlackmanHarris: {
+      constexpr double a0 = 0.35875, a1 = 0.48829, a2 = 0.14128, a3 = 0.01168;
+      for (std::size_t i = 0; i < n; ++i) {
+        const double x = 2.0 * kPi * static_cast<double>(i) / denom;
+        w[i] = a0 - a1 * std::cos(x) + a2 * std::cos(2.0 * x) -
+               a3 * std::cos(3.0 * x);
+      }
+      break;
+    }
+    case WindowType::kGaussian:
+      return gaussian_window(n, static_cast<double>(n) / 6.0);
+  }
+  return w;
+}
+
+std::vector<double> gaussian_window(std::size_t n, double sigma) {
+  if (sigma <= 0.0) {
+    throw std::invalid_argument("gaussian_window: sigma must be positive");
+  }
+  std::vector<double> w(n, 1.0);
+  if (n <= 1) return w;
+  const double center = static_cast<double>(n - 1) / 2.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double d = (static_cast<double>(i) - center) / sigma;
+    w[i] = std::exp(-0.5 * d * d);
+  }
+  return w;
+}
+
+}  // namespace nsync::dsp

@@ -1,0 +1,85 @@
+#include "dsp/xcorr.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/fft.hpp"
+#include "signal/stats.hpp"
+
+namespace nsync::dsp {
+
+namespace {
+
+void check_sizes(std::span<const double> x, std::span<const double> y,
+                 const char* who) {
+  if (y.size() < 2 || x.size() < y.size()) {
+    throw std::invalid_argument(std::string(who) +
+                                ": need x.size() >= y.size() >= 2");
+  }
+}
+
+}  // namespace
+
+std::vector<double> sliding_pearson_naive(std::span<const double> x,
+                                          std::span<const double> y) {
+  check_sizes(x, y, "sliding_pearson_naive");
+  const std::size_t n_out = x.size() - y.size() + 1;
+  std::vector<double> out(n_out);
+  for (std::size_t n = 0; n < n_out; ++n) {
+    out[n] = nsync::signal::pearson(x.subspan(n, y.size()), y);
+  }
+  return out;
+}
+
+std::vector<double> sliding_pearson_fft(std::span<const double> x,
+                                        std::span<const double> y) {
+  check_sizes(x, y, "sliding_pearson_fft");
+  const std::size_t ny = y.size();
+  const std::size_t n_out = x.size() - ny + 1;
+  const double ny_d = static_cast<double>(ny);
+
+  // Center y; after centering, sum((x_w - mu_w) .* yc) == sum(x_w .* yc)
+  // because sum(yc) == 0, so no windowed-mean correction is needed in the
+  // numerator.
+  const double mu_y = nsync::signal::mean(y);
+  std::vector<double> yc(ny);
+  double y_energy = 0.0;
+  for (std::size_t i = 0; i < ny; ++i) {
+    yc[i] = y[i] - mu_y;
+    y_energy += yc[i] * yc[i];
+  }
+  const double y_norm = std::sqrt(y_energy);
+
+  std::vector<double> out(n_out, 0.0);
+  if (y_norm <= 0.0) return out;  // constant template: score 0 everywhere
+
+  // Center x globally as well: Pearson is offset-invariant, and removing
+  // the DC keeps the FFT numerator and the prefix-sum variance free of
+  // catastrophic cancellation when the data rides on a large offset.
+  const double mu_x = nsync::signal::mean(x);
+  std::vector<double> xc(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) xc[i] = x[i] - mu_x;
+
+  const auto num = cross_correlate_valid(xc, yc);
+
+  // Prefix sums for windowed sum and sum of squares of centered x.
+  std::vector<double> ps(xc.size() + 1, 0.0);
+  std::vector<double> ps2(xc.size() + 1, 0.0);
+  for (std::size_t i = 0; i < xc.size(); ++i) {
+    ps[i + 1] = ps[i] + xc[i];
+    ps2[i + 1] = ps2[i] + xc[i] * xc[i];
+  }
+  for (std::size_t n = 0; n < n_out; ++n) {
+    const double s1 = ps[n + ny] - ps[n];
+    const double s2 = ps2[n + ny] - ps2[n];
+    const double var = s2 - s1 * s1 / ny_d;
+    if (var <= 1e-12 * std::max(1.0, s2)) {
+      out[n] = 0.0;  // flat window
+    } else {
+      out[n] = num[n] / (std::sqrt(var) * y_norm);
+    }
+  }
+  return out;
+}
+
+}  // namespace nsync::dsp

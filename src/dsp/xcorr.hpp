@@ -1,0 +1,28 @@
+// Sliding normalized correlation ("the sliding method", Section V-B).
+//
+// Both a direct O(Nx * Ny) implementation and an FFT + prefix-sum
+// implementation with identical output are provided; the latter is the
+// default inside TDE and the former serves as a reference for testing and
+// as an ablation target (bench_ablation_tde_speed).
+#ifndef NSYNC_DSP_XCORR_HPP
+#define NSYNC_DSP_XCORR_HPP
+
+#include <span>
+#include <vector>
+
+namespace nsync::dsp {
+
+/// s[n] = pearson(x[n : n+Ny], y) for n = 0 .. Nx-Ny  (Eq. 1 with Eq. 3).
+/// Direct evaluation.  Requires x.size() >= y.size() >= 2.
+[[nodiscard]] std::vector<double> sliding_pearson_naive(
+    std::span<const double> x, std::span<const double> y);
+
+/// Same output as sliding_pearson_naive, computed with one FFT
+/// cross-correlation for the numerator and prefix sums for the windowed
+/// means/norms.  Zero-variance windows score 0.
+[[nodiscard]] std::vector<double> sliding_pearson_fft(
+    std::span<const double> x, std::span<const double> y);
+
+}  // namespace nsync::dsp
+
+#endif  // NSYNC_DSP_XCORR_HPP

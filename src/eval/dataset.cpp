@@ -1,0 +1,152 @@
+#include "eval/dataset.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "dsp/stft.hpp"
+#include "printer/simulator.hpp"
+#include "sensors/rig.hpp"
+
+namespace nsync::eval {
+
+using nsync::signal::Rng;
+using nsync::signal::Signal;
+
+namespace {
+
+struct ProcessSpec {
+  std::string label;
+  bool malicious = false;
+  const gcode::Program* program = nullptr;
+  std::uint64_t seed = 0;
+};
+
+ProcessSignals simulate_process(const ProcessSpec& spec,
+                                const PrinterSetup& setup,
+                                const EvalScale& scale,
+                                const std::vector<sensors::SideChannel>& chs) {
+  printer::ExecutorConfig exec;
+  exec.sample_rate = scale.master_rate;
+  printer::MotionTrace trace =
+      printer::simulate_print(*spec.program, setup.machine, exec, spec.seed);
+  // Start every signal "at the beginning of the printing process" (first
+  // deposition layer) with a small residual alignment error, as the paper
+  // assumes approximate-but-imperfect initial alignment.
+  {
+    Rng align_rng(spec.seed ^ 0x0A11C4E7);
+    const double pre_roll =
+        0.25 + std::abs(align_rng.normal(
+                   0.0, setup.machine.time_noise.start_offset_std));
+    trace = printer::trim_to_first_layer(trace, pre_roll);
+  }
+
+  ProcessSignals out;
+  out.label = spec.label;
+  out.malicious = spec.malicious;
+  for (const auto& ev : trace.layer_events) {
+    out.layer_times.push_back(ev.time);
+  }
+  const sensors::SensorRig rig(setup.machine, setup.rig);
+  Rng rng(spec.seed ^ 0xABCDEF0123456789ULL);
+  for (sensors::SideChannel ch : chs) {
+    Rng child = rng.fork();
+    out.raw.emplace(ch, rig.render(ch, trace, child));
+  }
+  return out;
+}
+
+}  // namespace
+
+Dataset::Dataset(PrinterKind kind, const EvalScale& scale,
+                 std::vector<sensors::SideChannel> channels,
+                 ProgressFn progress)
+    : kind_(kind),
+      scale_(scale),
+      setup_(make_printer_setup(kind, scale)),
+      channels_(std::move(channels)) {
+  if (channels_.empty()) {
+    throw std::invalid_argument("Dataset: no side channels requested");
+  }
+
+  // Build the program roster: the benign program plus one program per
+  // attack (Table I).
+  std::vector<gcode::Program> attack_programs;
+  attack_programs.reserve(gcode::all_attacks().size());
+  for (gcode::AttackType a : gcode::all_attacks()) {
+    attack_programs.push_back(gcode::apply_attack(
+        a, setup_.benign_program, setup_.outline, setup_.slicer));
+  }
+
+  std::vector<ProcessSpec> specs;
+  std::uint64_t seq = 0;
+  auto add = [&](const std::string& label, bool malicious,
+                 const gcode::Program* prog) {
+    // Golden-ratio hashing decorrelates consecutive process seeds.
+    const std::uint64_t seed =
+        scale_.seed * 0x9E3779B97F4A7C15ULL + (++seq) * 0xD1B54A32D192ED03ULL;
+    specs.push_back({label, malicious, prog, seed});
+  };
+
+  add("Reference", false, &setup_.benign_program);
+  for (std::size_t i = 0; i < scale_.train_count; ++i) {
+    add("Benign", false, &setup_.benign_program);
+  }
+  for (std::size_t i = 0; i < scale_.benign_test_count; ++i) {
+    add("Benign", false, &setup_.benign_program);
+  }
+  for (std::size_t a = 0; a < attack_programs.size(); ++a) {
+    const std::string name = gcode::attack_name(gcode::all_attacks()[a]);
+    for (std::size_t i = 0; i < scale_.malicious_per_attack; ++i) {
+      add(name, true, &attack_programs[a]);
+    }
+  }
+
+  std::size_t done = 0;
+  for (const auto& spec : specs) {
+    ProcessSignals p = simulate_process(spec, setup_, scale_, channels_);
+    if (done == 0) {
+      reference_ = std::move(p);
+    } else if (done <= scale_.train_count) {
+      train_.push_back(std::move(p));
+    } else {
+      test_.push_back(std::move(p));
+    }
+    ++done;
+    if (progress) progress(done, specs.size());
+  }
+}
+
+LayeredSignal Dataset::layered(const ProcessSignals& p,
+                               sensors::SideChannel ch,
+                               Transform transform) const {
+  const auto it = p.raw.find(ch);
+  if (it == p.raw.end()) {
+    throw std::invalid_argument("Dataset::layered: channel not rendered");
+  }
+  LayeredSignal out;
+  out.layer_times = p.layer_times;
+  if (transform == Transform::kRaw) {
+    out.signal = it->second;
+  } else {
+    out.signal = dsp::spectrogram(it->second, table3_stft(ch));
+  }
+  return out;
+}
+
+ChannelData Dataset::channel_data(sensors::SideChannel ch,
+                                  Transform transform) const {
+  ChannelData data;
+  data.reference = layered(reference_, ch, transform);
+  data.sample_rate = data.reference.signal.sample_rate();
+  data.train.reserve(train_.size());
+  for (const auto& p : train_) {
+    data.train.push_back(layered(p, ch, transform));
+  }
+  data.test.reserve(test_.size());
+  for (const auto& p : test_) {
+    data.test.push_back({layered(p, ch, transform), p.label, p.malicious});
+  }
+  return data;
+}
+
+}  // namespace nsync::eval

@@ -1,0 +1,95 @@
+// Synthetic dataset generation following Table I: one reference process,
+// `train_count` benign training processes, `benign_test_count` benign test
+// processes and `malicious_per_attack` runs of each of the five attacks —
+// all simulated with independent time-noise realizations on the selected
+// printer, with every requested side channel rendered from the same
+// per-process motion trace (as a physical rig would).
+#ifndef NSYNC_EVAL_DATASET_HPP
+#define NSYNC_EVAL_DATASET_HPP
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baselines/gao.hpp"
+#include "eval/setup.hpp"
+#include "sensors/side_channel.hpp"
+#include "signal/signal.hpp"
+
+namespace nsync::eval {
+
+using baselines::LayeredSignal;
+
+/// One simulated printing process: every requested side channel rendered
+/// from the same motion trace, plus the layer ground truth.
+struct ProcessSignals {
+  std::string label;  ///< "Benign" or a Table I attack name
+  bool malicious = false;
+  std::map<sensors::SideChannel, nsync::signal::Signal> raw;
+  std::vector<double> layer_times;  ///< seconds of each layer start
+};
+
+/// A labelled test case for one (channel, transform) slice of the dataset.
+struct TestSignal {
+  LayeredSignal sig;
+  std::string label;
+  bool malicious = false;
+};
+
+/// Per-(channel, transform) view of the dataset, ready for an IDS.
+struct ChannelData {
+  LayeredSignal reference;
+  std::vector<LayeredSignal> train;
+  std::vector<TestSignal> test;
+  double sample_rate = 0.0;
+};
+
+/// Fully materialized dataset for one printer.
+class Dataset {
+ public:
+  using ProgressFn = std::function<void(std::size_t done, std::size_t total)>;
+
+  /// Simulates the whole Table I roster on `kind`.  `channels` limits the
+  /// side channels rendered (fewer channels = less memory/time).
+  Dataset(PrinterKind kind, const EvalScale& scale,
+          std::vector<sensors::SideChannel> channels,
+          ProgressFn progress = nullptr);
+
+  [[nodiscard]] PrinterKind printer() const { return kind_; }
+  [[nodiscard]] const EvalScale& scale() const { return scale_; }
+  [[nodiscard]] const PrinterSetup& setup() const { return setup_; }
+  [[nodiscard]] const ProcessSignals& reference() const { return reference_; }
+  [[nodiscard]] const std::vector<ProcessSignals>& train() const {
+    return train_;
+  }
+  [[nodiscard]] const std::vector<ProcessSignals>& test() const {
+    return test_;
+  }
+  [[nodiscard]] const std::vector<sensors::SideChannel>& channels() const {
+    return channels_;
+  }
+
+  /// Extracts the (channel, transform) slice used by the IDS evaluations.
+  /// Spectrograms are computed on the fly with the Table III settings.
+  [[nodiscard]] ChannelData channel_data(sensors::SideChannel ch,
+                                         Transform transform) const;
+
+  /// Converts one stored process into a LayeredSignal for (ch, transform).
+  [[nodiscard]] LayeredSignal layered(const ProcessSignals& p,
+                                      sensors::SideChannel ch,
+                                      Transform transform) const;
+
+ private:
+  PrinterKind kind_;
+  EvalScale scale_;
+  PrinterSetup setup_;
+  std::vector<sensors::SideChannel> channels_;
+  ProcessSignals reference_;
+  std::vector<ProcessSignals> train_;
+  std::vector<ProcessSignals> test_;
+};
+
+}  // namespace nsync::eval
+
+#endif  // NSYNC_EVAL_DATASET_HPP

@@ -1,0 +1,13 @@
+#include "eval/metrics.hpp"
+
+#include <cstdio>
+
+namespace nsync::eval {
+
+std::string Confusion::fpr_tpr() const {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2f/%.2f", fpr(), tpr());
+  return buf;
+}
+
+}  // namespace nsync::eval

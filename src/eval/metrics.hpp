@@ -1,0 +1,67 @@
+// Evaluation metrics: FPR / TPR / accuracy as defined in Section VIII-F
+// (accuracy = [(1 - FPR) + TPR] / 2 when benign and malicious test sets are
+// balanced; we track the full confusion matrix and compute accuracy
+// exactly).
+#ifndef NSYNC_EVAL_METRICS_HPP
+#define NSYNC_EVAL_METRICS_HPP
+
+#include <cstddef>
+#include <string>
+
+namespace nsync::eval {
+
+class Confusion {
+ public:
+  /// Records one test outcome.
+  void add(bool predicted_malicious, bool actually_malicious) {
+    if (actually_malicious) {
+      predicted_malicious ? ++tp_ : ++fn_;
+    } else {
+      predicted_malicious ? ++fp_ : ++tn_;
+    }
+  }
+
+  void merge(const Confusion& other) {
+    tp_ += other.tp_;
+    fp_ += other.fp_;
+    tn_ += other.tn_;
+    fn_ += other.fn_;
+  }
+
+  [[nodiscard]] std::size_t tp() const { return tp_; }
+  [[nodiscard]] std::size_t fp() const { return fp_; }
+  [[nodiscard]] std::size_t tn() const { return tn_; }
+  [[nodiscard]] std::size_t fn() const { return fn_; }
+  [[nodiscard]] std::size_t total() const { return tp_ + fp_ + tn_ + fn_; }
+
+  /// False positive rate: FP / (FP + TN); 0 when no benign cases seen.
+  [[nodiscard]] double fpr() const {
+    const std::size_t n = fp_ + tn_;
+    return n > 0 ? static_cast<double>(fp_) / static_cast<double>(n) : 0.0;
+  }
+  /// True positive rate: TP / (TP + FN); 0 when no malicious cases seen.
+  [[nodiscard]] double tpr() const {
+    const std::size_t n = tp_ + fn_;
+    return n > 0 ? static_cast<double>(tp_) / static_cast<double>(n) : 0.0;
+  }
+  /// Fraction of correctly classified processes.
+  [[nodiscard]] double accuracy() const {
+    const std::size_t n = total();
+    return n > 0 ? static_cast<double>(tp_ + tn_) / static_cast<double>(n)
+                 : 0.0;
+  }
+  /// The paper's balanced accuracy [(1 - FPR) + TPR] / 2.
+  [[nodiscard]] double balanced_accuracy() const {
+    return ((1.0 - fpr()) + tpr()) / 2.0;
+  }
+
+  /// "FPR / TPR" formatted like the paper's tables.
+  [[nodiscard]] std::string fpr_tpr() const;
+
+ private:
+  std::size_t tp_ = 0, fp_ = 0, tn_ = 0, fn_ = 0;
+};
+
+}  // namespace nsync::eval
+
+#endif  // NSYNC_EVAL_METRICS_HPP

@@ -1,0 +1,37 @@
+// Shared command-line options for the experiment binaries.
+#ifndef NSYNC_EVAL_OPTIONS_HPP
+#define NSYNC_EVAL_OPTIONS_HPP
+
+#include <string>
+#include <vector>
+
+#include "eval/setup.hpp"
+
+namespace nsync::eval {
+
+struct CliOptions {
+  EvalScale scale = EvalScale::quick();
+  std::vector<PrinterKind> printers = {PrinterKind::kUm3, PrinterKind::kRm3};
+  bool verbose = false;
+  bool help = false;
+
+  /// Parses common flags:
+  ///   --paper-scale      Table I repetition counts (slow)
+  ///   --tiny             minimal dataset (CI smoke)
+  ///   --seed N           master dataset seed
+  ///   --train N          benign training runs
+  ///   --benign N         benign test runs
+  ///   --attacks N        runs per attack type
+  ///   --printer UM3|RM3  restrict to one printer
+  ///   --verbose          progress output
+  ///   --help             usage
+  /// Throws std::invalid_argument on malformed flags.
+  [[nodiscard]] static CliOptions parse(int argc, const char* const* argv);
+
+  /// Usage text for --help.
+  [[nodiscard]] static std::string usage(const std::string& program);
+};
+
+}  // namespace nsync::eval
+
+#endif  // NSYNC_EVAL_OPTIONS_HPP

@@ -1,0 +1,143 @@
+#include "eval/setup.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace nsync::eval {
+
+std::string printer_name(PrinterKind p) {
+  switch (p) {
+    case PrinterKind::kUm3: return "UM3";
+    case PrinterKind::kRm3: return "RM3";
+  }
+  return "???";
+}
+
+std::string transform_name(Transform t) {
+  switch (t) {
+    case Transform::kRaw: return "Raw";
+    case Transform::kSpectrogram: return "Spectro.";
+  }
+  return "???";
+}
+
+EvalScale EvalScale::quick() { return EvalScale{}; }
+
+EvalScale EvalScale::tiny() {
+  EvalScale s;
+  s.gear_diameter = 12.0;
+  s.object_height = 0.6;  // 3 layers
+  s.train_count = 4;
+  s.benign_test_count = 4;
+  s.malicious_per_attack = 1;
+  s.master_rate = 1000.0;
+  return s;
+}
+
+EvalScale EvalScale::paper() {
+  EvalScale s;
+  s.gear_diameter = 60.0;
+  s.object_height = 7.5;
+  s.train_count = 50;
+  s.benign_test_count = 100;
+  s.malicious_per_attack = 20;
+  return s;
+}
+
+PrinterSetup make_printer_setup(PrinterKind kind, const EvalScale& scale) {
+  PrinterSetup setup;
+  setup.kind = kind;
+  setup.machine = kind == PrinterKind::kUm3 ? printer::ultimaker3()
+                                            : printer::rostock_max_v3();
+  gcode::SlicerConfig cfg;
+  cfg.object_height = scale.object_height;
+  cfg.layer_height = 0.2;  // the paper's default setting
+  if (kind == PrinterKind::kRm3) {
+    // Delta printers print at the bed center; also MatterSlice profiles run
+    // slightly hotter/faster.
+    cfg.bed_center_x = 0.0;
+    cfg.bed_center_y = 0.0;
+    cfg.perimeter_speed = 40.0;
+    cfg.infill_speed = 55.0;
+  }
+  setup.slicer = cfg;
+  const double tip_r = scale.gear_diameter / 2.0;
+  setup.outline = gcode::gear_outline(14, tip_r * 0.82, tip_r);
+  setup.benign_program = gcode::slice(setup.outline, cfg);
+
+  sensors::RigConfig rig;
+  rig.acc_rate = eval_channel_rate(sensors::SideChannel::kAcc);
+  rig.tmp_rate = eval_channel_rate(sensors::SideChannel::kTmp);
+  rig.mag_rate = eval_channel_rate(sensors::SideChannel::kMag);
+  rig.aud_rate = eval_channel_rate(sensors::SideChannel::kAud);
+  rig.ept_rate = eval_channel_rate(sensors::SideChannel::kEpt);
+  rig.pwr_rate = eval_channel_rate(sensors::SideChannel::kPwr);
+  setup.rig = rig;
+  return setup;
+}
+
+double eval_channel_rate(sensors::SideChannel ch) {
+  using sensors::SideChannel;
+  switch (ch) {
+    case SideChannel::kAcc: return 400.0;   // paper: 4000
+    case SideChannel::kTmp: return 400.0;   // paper: 4000
+    case SideChannel::kMag: return 100.0;   // paper: 100 (kept)
+    case SideChannel::kAud: return 4000.0;  // paper: 48000
+    case SideChannel::kEpt: return 4000.0;  // paper: 96000
+    case SideChannel::kPwr: return 1200.0;  // paper: 12000
+  }
+  return 0.0;
+}
+
+DwmSeconds table4_dwm(PrinterKind p) {
+  if (p == PrinterKind::kUm3) {
+    return {4.0, 2.0, 2.0, 1.0, 0.1};
+  }
+  return {1.0, 0.5, 0.1, 0.05, 0.1};
+}
+
+core::DwmParams dwm_params_for(PrinterKind p, double sample_rate) {
+  const DwmSeconds s = table4_dwm(p);
+  core::DwmParams params;
+  params.n_win = std::max<std::size_t>(
+      4, static_cast<std::size_t>(std::llround(s.t_win * sample_rate)));
+  params.n_hop = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::llround(s.t_hop * sample_rate)));
+  params.n_hop = std::min(params.n_hop, params.n_win);
+  params.n_ext = std::max<std::size_t>(
+      2, static_cast<std::size_t>(std::llround(s.t_ext * sample_rate)));
+  params.n_sigma = std::max(1.0, s.t_sigma * sample_rate);
+  params.eta = s.eta;
+  params.validate();
+  return params;
+}
+
+dsp::StftConfig table3_stft(sensors::SideChannel ch) {
+  using sensors::SideChannel;
+  dsp::StftConfig cfg;
+  cfg.window = dsp::WindowType::kBlackmanHarris;
+  switch (ch) {
+    case SideChannel::kAcc:
+    case SideChannel::kTmp:
+      cfg.delta_f = 20.0;
+      cfg.delta_t = 1.0 / 80.0;
+      break;
+    case SideChannel::kMag:
+      cfg.delta_f = 5.0;
+      cfg.delta_t = 1.0 / 20.0;
+      break;
+    case SideChannel::kAud:
+    case SideChannel::kEpt:
+      cfg.delta_f = 120.0;
+      cfg.delta_t = 1.0 / 240.0;
+      break;
+    case SideChannel::kPwr:
+      cfg.delta_f = 60.0;
+      cfg.delta_t = 1.0 / 120.0;
+      cfg.window = dsp::WindowType::kBoxcar;
+      break;
+  }
+  return cfg;
+}
+
+}  // namespace nsync::eval

@@ -1,0 +1,32 @@
+// Minimal fixed-width ASCII table printer used by the experiment binaries
+// to render the paper's tables.
+#ifndef NSYNC_EVAL_TABLE_HPP
+#define NSYNC_EVAL_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nsync::eval {
+
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  /// Renders with column auto-sizing and a header rule.
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` decimals.
+[[nodiscard]] std::string fmt(double value, int digits = 2);
+
+}  // namespace nsync::eval
+
+#endif  // NSYNC_EVAL_TABLE_HPP

@@ -1,0 +1,186 @@
+#include "gcode/parser.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace nsync::gcode {
+
+namespace {
+
+std::string_view trim(std::string_view s) {
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front()))) {
+    s.remove_prefix(1);
+  }
+  while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back()))) {
+    s.remove_suffix(1);
+  }
+  return s;
+}
+
+double parse_number(std::string_view token, std::size_t line_no) {
+  double value = 0.0;
+  const auto* begin = token.data();
+  const auto* end = token.data() + token.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) {
+    throw std::invalid_argument("gcode parse error at line " +
+                                std::to_string(line_no) + ": bad number '" +
+                                std::string(token) + "'");
+  }
+  return value;
+}
+
+CommandType classify(char letter, int number) {
+  if (letter == 'G') {
+    switch (number) {
+      case 0: return CommandType::kRapidMove;
+      case 1: return CommandType::kLinearMove;
+      case 4: return CommandType::kDwell;
+      case 28: return CommandType::kHome;
+      case 92: return CommandType::kSetPosition;
+      default: return CommandType::kOther;
+    }
+  }
+  if (letter == 'M') {
+    switch (number) {
+      case 104: return CommandType::kSetHotendTemp;
+      case 109: return CommandType::kWaitHotendTemp;
+      case 140: return CommandType::kSetBedTemp;
+      case 190: return CommandType::kWaitBedTemp;
+      case 106: return CommandType::kFanOn;
+      case 107: return CommandType::kFanOff;
+      default: return CommandType::kOther;
+    }
+  }
+  return CommandType::kOther;
+}
+
+}  // namespace
+
+Command parse_line(std::string_view line, std::size_t line_no) {
+  Command cmd;
+  cmd.line = line_no;
+
+  // Separate the comment.
+  std::string_view code = line;
+  std::string_view comment;
+  if (const auto semi = line.find(';'); semi != std::string_view::npos) {
+    code = line.substr(0, semi);
+    comment = trim(line.substr(semi + 1));
+  }
+  code = trim(code);
+
+  if (code.empty()) {
+    cmd.type = CommandType::kComment;
+    cmd.text = std::string(comment);
+    return cmd;
+  }
+  cmd.text = std::string(code);
+
+  // Tokenize on whitespace into letter+number words.
+  std::istringstream iss{std::string(code)};
+  std::string token;
+  bool first = true;
+  while (iss >> token) {
+    const char letter = static_cast<char>(
+        std::toupper(static_cast<unsigned char>(token.front())));
+    const std::string_view rest = std::string_view(token).substr(1);
+    if (first) {
+      first = false;
+      if (letter == 'G' || letter == 'M' || letter == 'T') {
+        int number = 0;
+        if (!rest.empty()) {
+          number = static_cast<int>(parse_number(rest, line_no));
+        }
+        cmd.type = classify(letter, number);
+        continue;
+      }
+      // A line starting with a coordinate word is treated as an implicit G1.
+      cmd.type = CommandType::kLinearMove;
+    }
+    if (rest.empty()) {
+      if (letter == 'X' || letter == 'Y' || letter == 'Z') {
+        continue;  // bare axis word (e.g. "G28 X") selects an axis to home
+      }
+      throw std::invalid_argument("gcode parse error at line " +
+                                  std::to_string(line_no) +
+                                  ": bare word '" + token + "'");
+    }
+    const double value = parse_number(rest, line_no);
+    switch (letter) {
+      case 'X': cmd.x = value; break;
+      case 'Y': cmd.y = value; break;
+      case 'Z': cmd.z = value; break;
+      case 'E': cmd.e = value; break;
+      case 'F': cmd.f = value; break;
+      case 'S': cmd.s = value; break;
+      case 'P': cmd.p = value; break;
+      default: break;  // ignore other words (T tool index, etc.)
+    }
+  }
+  return cmd;
+}
+
+Program parse_program(std::string_view source) {
+  std::vector<Command> commands;
+  std::size_t line_no = 0;
+  std::size_t start = 0;
+  while (start <= source.size()) {
+    std::size_t end = source.find('\n', start);
+    if (end == std::string_view::npos) end = source.size();
+    ++line_no;
+    std::string_view line = source.substr(start, end - start);
+    if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+    if (!trim(line).empty()) {
+      commands.push_back(parse_line(line, line_no));
+    }
+    if (end == source.size()) break;
+    start = end + 1;
+  }
+  return Program(std::move(commands));
+}
+
+std::string to_gcode(const Command& c) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(5);
+  auto words = [&os](const Command& cmd) {
+    if (cmd.x) os << " X" << *cmd.x;
+    if (cmd.y) os << " Y" << *cmd.y;
+    if (cmd.z) os << " Z" << *cmd.z;
+    if (cmd.e) os << " E" << *cmd.e;
+    if (cmd.f) os << " F" << *cmd.f;
+    if (cmd.s) os << " S" << *cmd.s;
+    if (cmd.p) os << " P" << *cmd.p;
+  };
+  switch (c.type) {
+    case CommandType::kRapidMove: os << "G0"; words(c); break;
+    case CommandType::kLinearMove: os << "G1"; words(c); break;
+    case CommandType::kDwell: os << "G4"; words(c); break;
+    case CommandType::kHome: os << "G28"; break;
+    case CommandType::kSetPosition: os << "G92"; words(c); break;
+    case CommandType::kSetHotendTemp: os << "M104"; words(c); break;
+    case CommandType::kWaitHotendTemp: os << "M109"; words(c); break;
+    case CommandType::kSetBedTemp: os << "M140"; words(c); break;
+    case CommandType::kWaitBedTemp: os << "M190"; words(c); break;
+    case CommandType::kFanOn: os << "M106"; words(c); break;
+    case CommandType::kFanOff: os << "M107"; break;
+    case CommandType::kComment: os << ";" << c.text; break;
+    case CommandType::kOther: os << c.text; break;
+  }
+  return os.str();
+}
+
+std::string to_gcode(const Program& p) {
+  std::string out;
+  for (const auto& c : p.commands()) {
+    out += to_gcode(c);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace nsync::gcode

@@ -1,0 +1,30 @@
+// G-code text parsing and serialization.
+#ifndef NSYNC_GCODE_PARSER_HPP
+#define NSYNC_GCODE_PARSER_HPP
+
+#include <string>
+#include <string_view>
+
+#include "gcode/program.hpp"
+
+namespace nsync::gcode {
+
+/// Parses a single G-code line (without newline).  Comments after ';' are
+/// stripped; a line that is only a comment yields a kComment command whose
+/// `text` is the comment body.  Unknown words throw std::invalid_argument
+/// only when they are malformed (e.g. "X1.2.3"); unknown command codes
+/// parse to kOther with `text` preserved.
+[[nodiscard]] Command parse_line(std::string_view line, std::size_t line_no = 0);
+
+/// Parses a complete program from G-code source text.
+[[nodiscard]] Program parse_program(std::string_view source);
+
+/// Serializes one command back to G-code text.
+[[nodiscard]] std::string to_gcode(const Command& c);
+
+/// Serializes a whole program (one command per line).
+[[nodiscard]] std::string to_gcode(const Program& p);
+
+}  // namespace nsync::gcode
+
+#endif  // NSYNC_GCODE_PARSER_HPP

@@ -1,0 +1,90 @@
+#include "gcode/program.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace nsync::gcode {
+
+ProgramStats Program::stats() const {
+  ProgramStats st;
+  st.commands = commands_.size();
+  double x = 0.0, y = 0.0, z = 0.0, e = 0.0;
+  bool have_xy = false;
+  st.min_x = st.min_y = std::numeric_limits<double>::max();
+  st.max_x = st.max_y = std::numeric_limits<double>::lowest();
+  double last_layer_z = -std::numeric_limits<double>::max();
+  for (const auto& c : commands_) {
+    if (c.type == CommandType::kSetPosition) {
+      if (c.x) x = *c.x;
+      if (c.y) y = *c.y;
+      if (c.z) z = *c.z;
+      if (c.e) e = *c.e;
+      continue;
+    }
+    if (c.type == CommandType::kHome) {
+      x = y = z = 0.0;
+      continue;
+    }
+    if (!c.is_move()) continue;
+    ++st.moves;
+    const double nx = c.x.value_or(x);
+    const double ny = c.y.value_or(y);
+    const double nz = c.z.value_or(z);
+    const double ne = c.e.value_or(e);
+    st.total_xy_travel += std::hypot(nx - x, ny - y);
+    if (ne > e) {
+      ++st.extruding_moves;
+      st.total_extrusion += ne - e;
+    }
+    if (nz > last_layer_z + 1e-9 && (c.x || c.y || ne > e || c.z)) {
+      if (nz > z + 1e-9 || st.layers == 0) {
+        ++st.layers;
+        last_layer_z = nz;
+      }
+    }
+    x = nx;
+    y = ny;
+    z = nz;
+    e = ne;
+    st.min_x = std::min(st.min_x, x);
+    st.max_x = std::max(st.max_x, x);
+    st.min_y = std::min(st.min_y, y);
+    st.max_y = std::max(st.max_y, y);
+    st.max_z = std::max(st.max_z, z);
+    have_xy = true;
+  }
+  if (!have_xy) {
+    st.min_x = st.max_x = st.min_y = st.max_y = 0.0;
+  }
+  return st;
+}
+
+std::vector<std::size_t> Program::layer_starts() const {
+  std::vector<std::size_t> starts;
+  // Prefer explicit ;LAYER: markers (our slicer and Cura both emit them).
+  for (std::size_t i = 0; i < commands_.size(); ++i) {
+    const auto& c = commands_[i];
+    if (c.type == CommandType::kComment &&
+        c.text.rfind("LAYER:", 0) == 0) {
+      starts.push_back(i);
+    }
+  }
+  if (!starts.empty()) return starts;
+
+  // Fall back to upward Z changes on moves.
+  double z = 0.0;
+  double last_layer_z = -std::numeric_limits<double>::max();
+  for (std::size_t i = 0; i < commands_.size(); ++i) {
+    const auto& c = commands_[i];
+    if (!c.is_move() || !c.z) continue;
+    if (*c.z > last_layer_z + 1e-9 && *c.z > z + 1e-9) {
+      starts.push_back(i);
+      last_layer_z = *c.z;
+    }
+    z = *c.z;
+  }
+  return starts;
+}
+
+}  // namespace nsync::gcode

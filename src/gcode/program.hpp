@@ -1,0 +1,104 @@
+// G-code program model.
+//
+// G-code is the programming language of FDM printers (Section II-A).  We
+// model the subset needed for motion-driven side-channel analysis: linear
+// moves (G0/G1), homing (G28), coordinate resets (G92), and the thermal /
+// fan M-codes that appear in slicer output.
+#ifndef NSYNC_GCODE_PROGRAM_HPP
+#define NSYNC_GCODE_PROGRAM_HPP
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nsync::gcode {
+
+/// Command kinds we interpret.  Everything else is preserved verbatim as
+/// kOther so a parsed program can round-trip.
+enum class CommandType {
+  kRapidMove,      ///< G0
+  kLinearMove,     ///< G1
+  kDwell,          ///< G4 (P = milliseconds, S = seconds)
+  kHome,           ///< G28
+  kSetPosition,    ///< G92
+  kSetHotendTemp,  ///< M104 (S = deg C, non-blocking)
+  kWaitHotendTemp, ///< M109 (S = deg C, blocking)
+  kSetBedTemp,     ///< M140
+  kWaitBedTemp,    ///< M190
+  kFanOn,          ///< M106 (S = 0..255)
+  kFanOff,         ///< M107
+  kComment,        ///< ; ... (layer markers live here)
+  kOther,          ///< anything unrecognized
+};
+
+/// One G-code command with its optional word parameters.
+struct Command {
+  CommandType type = CommandType::kOther;
+  std::optional<double> x;  ///< target X (mm)
+  std::optional<double> y;  ///< target Y (mm)
+  std::optional<double> z;  ///< target Z (mm)
+  std::optional<double> e;  ///< target extruder position (mm of filament)
+  std::optional<double> f;  ///< feedrate (mm/min, as in real G-code)
+  std::optional<double> s;  ///< S parameter (temperature, fan PWM, seconds)
+  std::optional<double> p;  ///< P parameter (milliseconds for G4)
+  std::string text;         ///< original source text (or comment body)
+  std::size_t line = 0;     ///< 1-based source line, 0 when synthesized
+
+  [[nodiscard]] bool is_move() const {
+    return type == CommandType::kRapidMove || type == CommandType::kLinearMove;
+  }
+  /// A move that extrudes material (E increases along the move).
+  [[nodiscard]] bool has_extrusion() const { return is_move() && e.has_value(); }
+};
+
+/// Aggregate statistics of a program, used by tests and by the attack
+/// mutators to find sensible injection sites.
+struct ProgramStats {
+  std::size_t commands = 0;
+  std::size_t moves = 0;
+  std::size_t extruding_moves = 0;
+  std::size_t layers = 0;        ///< distinct upward Z levels visited by moves
+  double total_xy_travel = 0.0;  ///< mm of XY path length
+  double total_extrusion = 0.0;  ///< mm of filament pushed
+  double min_x = 0.0, max_x = 0.0;
+  double min_y = 0.0, max_y = 0.0;
+  double max_z = 0.0;
+};
+
+/// A G-code program: an ordered command list plus provenance metadata.
+class Program {
+ public:
+  Program() = default;
+  explicit Program(std::vector<Command> commands)
+      : commands_(std::move(commands)) {}
+
+  [[nodiscard]] const std::vector<Command>& commands() const {
+    return commands_;
+  }
+  [[nodiscard]] std::vector<Command>& commands() { return commands_; }
+  [[nodiscard]] std::size_t size() const { return commands_.size(); }
+  [[nodiscard]] bool empty() const { return commands_.empty(); }
+  const Command& operator[](std::size_t i) const { return commands_[i]; }
+
+  void push_back(Command c) { commands_.push_back(std::move(c)); }
+
+  /// Free-form description ("gear d=60 h=7.5 layer=0.2 ...").
+  [[nodiscard]] const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// Walks the program and accumulates ProgramStats.
+  [[nodiscard]] ProgramStats stats() const;
+
+  /// Indexes of commands that start each layer (comment markers ";LAYER:n"
+  /// when present, otherwise inferred from upward Z changes on moves).
+  [[nodiscard]] std::vector<std::size_t> layer_starts() const;
+
+ private:
+  std::vector<Command> commands_;
+  std::string name_;
+};
+
+}  // namespace nsync::gcode
+
+#endif  // NSYNC_GCODE_PROGRAM_HPP

@@ -1,0 +1,321 @@
+#include "printer/executor.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace nsync::printer {
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Instantaneous machine state while emitting samples.
+struct EmitState {
+  std::array<double, 3> pos{0.0, 0.0, 0.0};
+  std::array<double, 3> vel{0.0, 0.0, 0.0};
+  std::array<double, 3> acc{0.0, 0.0, 0.0};
+  double flow = 0.0;
+  double fan = 0.0;
+  double hotend_temp = 25.0;
+  double bed_temp = 25.0;
+  double hotend_set = 0.0;
+  double bed_set = 0.0;
+  double layer = 0.0;
+};
+
+class TraceEmitter {
+ public:
+  TraceEmitter(const MachineConfig& m, const ExecutorConfig& cfg)
+      : m_(m), cfg_(cfg), dt_(1.0 / cfg.sample_rate) {
+    trace_.sample_rate = cfg.sample_rate;
+    state_.hotend_temp = m.ambient_temp;
+    state_.bed_temp = m.ambient_temp;
+    prev_motor_ = motor_positions(m_, state_.pos[0], state_.pos[1],
+                                  state_.pos[2]);
+    have_prev_motor_ = false;
+  }
+
+  [[nodiscard]] double now() const {
+    return static_cast<double>(trace_.samples()) * dt_;
+  }
+
+  EmitState& state() { return state_; }
+  MotionTrace& trace() { return trace_; }
+
+  /// Emits samples while `until` exceeds the sample clock.  `update` is
+  /// called with the sample timestamp to refresh the motion part of the
+  /// state; thermal integration always runs.
+  template <typename UpdateFn>
+  void emit_until(double until, UpdateFn&& update) {
+    while (now() < until - 1e-12) {
+      const double t = now();
+      update(t);
+      integrate_thermal();
+      push_row();
+    }
+  }
+
+  /// Emits idle (no-motion) samples until the given time.
+  void emit_idle_until(double until) {
+    emit_until(until, [this](double) {
+      state_.vel = {0.0, 0.0, 0.0};
+      state_.acc = {0.0, 0.0, 0.0};
+      state_.flow = 0.0;
+    });
+  }
+
+  /// Runs the heater-wait loop; returns when the target is reached or the
+  /// cap expires.  `hotend` selects which heater is awaited.
+  void wait_for_temp(bool hotend) {
+    const double start = now();
+    while (now() - start < cfg_.max_heat_wait) {
+      const double target = hotend ? state_.hotend_set : state_.bed_set;
+      const double temp = hotend ? state_.hotend_temp : state_.bed_temp;
+      if (std::abs(temp - target) <= cfg_.temp_tolerance) return;
+      state_.vel = {0.0, 0.0, 0.0};
+      state_.acc = {0.0, 0.0, 0.0};
+      state_.flow = 0.0;
+      integrate_thermal();
+      push_row();
+    }
+  }
+
+ private:
+  void integrate_thermal() {
+    // Bang-bang control with +-0.5 C hysteresis, as simple printer
+    // firmwares use.  The resulting heater cycling dominates the power
+    // side channel with motion-uncorrelated structure — the reason PWR is
+    // "weakly correlated with the state of the printer" (Section VIII-B).
+    auto step = [this](double temp, double set, double heat_rate, double tau,
+                       bool& heating) -> std::pair<double, double> {
+      double duty = 0.0;
+      if (set > 0.0) {
+        if (temp < set - 0.5) heating = true;
+        if (temp > set + 0.5) heating = false;
+        duty = heating ? 1.0 : 0.0;
+      } else {
+        heating = false;
+      }
+      const double d_temp =
+          (duty * heat_rate - (temp - m_.ambient_temp) / tau) * dt_;
+      return {temp + d_temp, duty};
+    };
+    auto [ht, hd] = step(state_.hotend_temp, state_.hotend_set,
+                         m_.hotend_heat_rate, m_.hotend_tau, hotend_heating_);
+    auto [bt, bd] = step(state_.bed_temp, state_.bed_set, m_.bed_heat_rate,
+                         m_.bed_tau, bed_heating_);
+    state_.hotend_temp = ht;
+    state_.bed_temp = bt;
+    hotend_duty_ = hd;
+    bed_duty_ = bd;
+  }
+
+  void push_row() {
+    trace_.x.push_back(state_.pos[0]);
+    trace_.y.push_back(state_.pos[1]);
+    trace_.z.push_back(state_.pos[2]);
+    trace_.vx.push_back(state_.vel[0]);
+    trace_.vy.push_back(state_.vel[1]);
+    trace_.vz.push_back(state_.vel[2]);
+    trace_.ax.push_back(state_.acc[0]);
+    trace_.ay.push_back(state_.acc[1]);
+    trace_.az.push_back(state_.acc[2]);
+    const auto mp =
+        motor_positions(m_, state_.pos[0], state_.pos[1], state_.pos[2]);
+    for (int i = 0; i < 3; ++i) {
+      const double mv =
+          have_prev_motor_ ? (mp[i] - prev_motor_[i]) / dt_ : 0.0;
+      trace_.motor_vel[i].push_back(mv);
+    }
+    prev_motor_ = mp;
+    have_prev_motor_ = true;
+    trace_.flow.push_back(state_.flow);
+    trace_.fan.push_back(state_.fan);
+    trace_.hotend_temp.push_back(state_.hotend_temp);
+    trace_.bed_temp.push_back(state_.bed_temp);
+    trace_.hotend_duty.push_back(hotend_duty_);
+    trace_.bed_duty.push_back(bed_duty_);
+    trace_.layer.push_back(state_.layer);
+  }
+
+  const MachineConfig& m_;
+  const ExecutorConfig& cfg_;
+  const double dt_;
+  MotionTrace trace_;
+  EmitState state_;
+  std::array<double, 3> prev_motor_{};
+  bool have_prev_motor_ = false;
+  double hotend_duty_ = 0.0;
+  double bed_duty_ = 0.0;
+  bool hotend_heating_ = false;
+  bool bed_heating_ = false;
+};
+
+}  // namespace
+
+MotionTrace execute_plan(const MotionPlan& plan, const MachineConfig& m,
+                         const ExecutorConfig& cfg,
+                         nsync::signal::Rng& rng) {
+  if (cfg.sample_rate <= 0.0) {
+    throw std::invalid_argument("execute_plan: sample_rate must be positive");
+  }
+  TraceEmitter em(m, cfg);
+  const TimeNoiseConfig& tn = m.time_noise;
+  const double drift_phase = rng.uniform(0.0, kTwoPi);
+
+  // Startup offset: the residual alignment error after "aligning at the
+  // beginning" (Section VII assumes approximate, not perfect, alignment).
+  if (tn.start_offset_std > 0.0) {
+    const double offset = std::abs(rng.normal(0.0, tn.start_offset_std));
+    em.emit_idle_until(em.now() + offset);
+  }
+
+  for (const auto& item : plan.items) {
+    switch (item.type) {
+      case PlanItemType::kLayerMarker: {
+        em.state().layer = static_cast<double>(item.layer);
+        em.trace().layer_events.push_back({item.layer, em.now()});
+        break;
+      }
+      case PlanItemType::kFan: {
+        em.state().fan = item.value;
+        break;
+      }
+      case PlanItemType::kSetHotendTemp: {
+        em.state().hotend_set = item.value;
+        break;
+      }
+      case PlanItemType::kSetBedTemp: {
+        em.state().bed_set = item.value;
+        break;
+      }
+      case PlanItemType::kWaitHotendTemp: {
+        em.state().hotend_set = item.value;
+        if (item.value > 0.0) em.wait_for_temp(/*hotend=*/true);
+        break;
+      }
+      case PlanItemType::kWaitBedTemp: {
+        em.state().bed_set = item.value;
+        if (item.value > 0.0) em.wait_for_temp(/*hotend=*/false);
+        break;
+      }
+      case PlanItemType::kDwell: {
+        double dur = item.value;
+        if (tn.duration_jitter_std > 0.0) {
+          dur *= std::max(0.2, 1.0 + rng.normal(0.0, tn.duration_jitter_std));
+        }
+        em.emit_idle_until(em.now() + dur);
+        break;
+      }
+      case PlanItemType::kMove: {
+        const MotionSegment& seg = item.move;
+        const double t_nom = seg.duration();
+        if (t_nom <= 0.0) break;
+        double factor = 1.0;
+        if (tn.duration_jitter_std > 0.0) {
+          factor *=
+              std::max(0.2, 1.0 + rng.normal(0.0, tn.duration_jitter_std));
+        }
+        if (tn.drift_amplitude > 0.0) {
+          factor *= 1.0 + tn.drift_amplitude *
+                              std::sin(kTwoPi * em.now() / tn.drift_period +
+                                       drift_phase);
+        }
+        const double t_act = t_nom * factor;
+        const double t_start = em.now();
+        const double rate = t_nom / t_act;  // nominal seconds per actual
+        const bool e_only = seg.p0 == seg.p1;
+        std::array<double, 3> unit{0.0, 0.0, 0.0};
+        if (!e_only && seg.length > 0.0) {
+          unit = {(seg.p1[0] - seg.p0[0]) / seg.length,
+                  (seg.p1[1] - seg.p0[1]) / seg.length,
+                  (seg.p1[2] - seg.p0[2]) / seg.length};
+        }
+        const double de = seg.e1 - seg.e0;
+        em.state().layer = static_cast<double>(seg.layer);
+        em.emit_until(t_start + t_act, [&](double t) {
+          const double tau = std::clamp((t - t_start) * rate, 0.0, t_nom);
+          const double s = seg.distance_at(tau);
+          const double v = seg.speed_at(tau) * rate;
+          const double a = seg.accel_at(tau) * rate * rate;
+          auto& st = em.state();
+          if (e_only) {
+            st.vel = {0.0, 0.0, 0.0};
+            st.acc = {0.0, 0.0, 0.0};
+            st.flow = (de >= 0.0 ? v : -v);
+          } else {
+            for (int i = 0; i < 3; ++i) {
+              st.pos[i] = seg.p0[i] + unit[i] * s;
+              st.vel[i] = unit[i] * v;
+              st.acc[i] = unit[i] * a;
+            }
+            st.flow = seg.length > 0.0 ? de / seg.length * v : 0.0;
+          }
+        });
+        // Snap to the exact endpoint to avoid drift accumulation.
+        auto& st = em.state();
+        if (!e_only) st.pos = seg.p1;
+        st.vel = {0.0, 0.0, 0.0};
+        st.acc = {0.0, 0.0, 0.0};
+        st.flow = 0.0;
+        // Random scheduling gap after the instruction (Section II-A: the
+        // firmware may delay any queued instruction).
+        if (tn.gap_probability > 0.0 && rng.bernoulli(tn.gap_probability)) {
+          const double gap = rng.exponential(1.0 / std::max(1e-6, tn.gap_mean));
+          em.emit_idle_until(em.now() + std::min(gap, 10.0 * tn.gap_mean));
+        }
+        break;
+      }
+    }
+  }
+  em.emit_idle_until(em.now() + cfg.tail_padding);
+  return std::move(em.trace());
+}
+
+MotionTrace trim_trace(const MotionTrace& trace, double t_start) {
+  if (t_start <= 0.0) return trace;
+  const auto skip = static_cast<std::size_t>(t_start * trace.sample_rate);
+  if (skip >= trace.samples()) {
+    throw std::invalid_argument("trim_trace: t_start beyond trace end");
+  }
+  auto cut = [skip](const std::vector<double>& v) {
+    return std::vector<double>(v.begin() + static_cast<std::ptrdiff_t>(skip),
+                               v.end());
+  };
+  MotionTrace out;
+  out.sample_rate = trace.sample_rate;
+  out.x = cut(trace.x);
+  out.y = cut(trace.y);
+  out.z = cut(trace.z);
+  out.vx = cut(trace.vx);
+  out.vy = cut(trace.vy);
+  out.vz = cut(trace.vz);
+  out.ax = cut(trace.ax);
+  out.ay = cut(trace.ay);
+  out.az = cut(trace.az);
+  for (int i = 0; i < 3; ++i) out.motor_vel[i] = cut(trace.motor_vel[i]);
+  out.flow = cut(trace.flow);
+  out.fan = cut(trace.fan);
+  out.hotend_temp = cut(trace.hotend_temp);
+  out.bed_temp = cut(trace.bed_temp);
+  out.hotend_duty = cut(trace.hotend_duty);
+  out.bed_duty = cut(trace.bed_duty);
+  out.layer = cut(trace.layer);
+  const double t_cut = static_cast<double>(skip) / trace.sample_rate;
+  for (const auto& ev : trace.layer_events) {
+    if (ev.time >= t_cut) {
+      out.layer_events.push_back({ev.layer, ev.time - t_cut});
+    }
+  }
+  return out;
+}
+
+MotionTrace trim_to_first_layer(const MotionTrace& trace, double pre_roll) {
+  if (trace.layer_events.empty()) return trace;
+  const double t = std::max(0.0, trace.layer_events.front().time - pre_roll);
+  return trim_trace(trace, t);
+}
+
+}  // namespace nsync::printer

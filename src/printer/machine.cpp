@@ -1,0 +1,75 @@
+#include "printer/machine.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace nsync::printer {
+
+MachineConfig ultimaker3() {
+  MachineConfig m;
+  m.name = "UM3";
+  m.kinematics = KinematicsType::kCartesian;
+  m.max_velocity = 150.0;
+  m.max_z_velocity = 20.0;
+  m.max_accel = 3000.0;
+  m.junction_deviation = 0.05;
+  m.steps_per_mm = {80.0, 80.0, 400.0};
+  m.e_steps_per_mm = 311.0;
+  // The UM3's enclosed frame damps vibration; time noise dominated by
+  // scheduling gaps and a slow firmware-load drift.
+  m.time_noise.duration_jitter_std = 0.002;
+  m.time_noise.gap_probability = 0.008;
+  m.time_noise.gap_mean = 0.006;
+  m.time_noise.drift_amplitude = 0.003;
+  m.time_noise.drift_period = 45.0;
+  return m;
+}
+
+MachineConfig rostock_max_v3() {
+  MachineConfig m;
+  m.name = "RM3";
+  m.kinematics = KinematicsType::kDelta;
+  m.delta.arm_length = 291.0;
+  m.delta.tower_radius = 200.0;
+  m.max_velocity = 200.0;
+  m.max_z_velocity = 200.0;  // delta towers move fast in every direction
+  m.max_accel = 4000.0;
+  m.junction_deviation = 0.08;
+  m.steps_per_mm = {80.0, 80.0, 80.0};  // tower carriages share a pitch
+  m.e_steps_per_mm = 92.0;
+  // RM3's RAMBo board keeps gaps shorter (simpler queueing) but shows more
+  // per-segment jitter (8-bit planner arithmetic).
+  m.time_noise.duration_jitter_std = 0.002;
+  m.time_noise.gap_probability = 0.004;
+  m.time_noise.gap_mean = 0.003;
+  m.time_noise.drift_amplitude = 0.0012;
+  m.time_noise.drift_period = 30.0;
+  return m;
+}
+
+std::array<double, 3> motor_positions(const MachineConfig& m, double x,
+                                      double y, double z) {
+  if (m.kinematics == KinematicsType::kCartesian) {
+    return {x, y, z};
+  }
+  // Delta inverse kinematics.  Tower i sits at angle (90 + 120 i) degrees
+  // on the tower circle; carriage height h_i satisfies
+  //   (h_i - z)^2 + |tower_i - (x, y)|^2 = arm_length^2.
+  constexpr double kDeg = std::numbers::pi / 180.0;
+  std::array<double, 3> h{};
+  for (int i = 0; i < 3; ++i) {
+    const double ang = (90.0 + 120.0 * static_cast<double>(i)) * kDeg;
+    const double tx = m.delta.tower_radius * std::cos(ang);
+    const double ty = m.delta.tower_radius * std::sin(ang);
+    const double d2 = (tx - x) * (tx - x) + (ty - y) * (ty - y);
+    const double s = m.delta.arm_length * m.delta.arm_length - d2;
+    if (s <= 0.0) {
+      throw std::domain_error("motor_positions: point out of delta reach");
+    }
+    h[i] = z + std::sqrt(s);
+  }
+  return h;
+}
+
+}  // namespace nsync::printer

@@ -1,0 +1,363 @@
+#include "printer/planner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nsync::printer {
+
+namespace {
+
+struct PendingMove {
+  std::array<double, 3> p0{};
+  std::array<double, 3> p1{};
+  double e0 = 0.0;
+  double e1 = 0.0;
+  double length = 0.0;
+  std::array<double, 3> unit{};
+  double v_limit = 0.0;
+  double accel = 0.0;
+  std::size_t layer = 0;
+  std::size_t plan_slot = 0;  ///< index into MotionPlan::items
+  double v_entry = 0.0;
+  double v_exit = 0.0;
+};
+
+double junction_speed(const PendingMove& a, const PendingMove& b,
+                      const MachineConfig& m) {
+  const double cos_theta = a.unit[0] * b.unit[0] + a.unit[1] * b.unit[1] +
+                           a.unit[2] * b.unit[2];
+  const double v_cap = std::min(a.v_limit, b.v_limit);
+  if (cos_theta > 0.9999) return v_cap;  // straight line
+  if (cos_theta < -0.9999) return m.min_junction_speed;  // reversal
+  const double sin_half = std::sqrt(0.5 * (1.0 - cos_theta));
+  if (1.0 - sin_half < 1e-9) return m.min_junction_speed;
+  const double v2 =
+      m.max_accel * m.junction_deviation * sin_half / (1.0 - sin_half);
+  return std::clamp(std::sqrt(std::max(0.0, v2)), m.min_junction_speed,
+                    v_cap);
+}
+
+// Finalizes a contiguous run of moves: lookahead passes then trapezoids.
+void finalize_run(std::vector<PendingMove>& run, MotionPlan& plan,
+                  const MachineConfig& m) {
+  if (run.empty()) return;
+  // Junction speeds seed both the entry of move i+1 and the exit of move i.
+  run.front().v_entry = 0.0;
+  for (std::size_t i = 0; i + 1 < run.size(); ++i) {
+    const double vj = junction_speed(run[i], run[i + 1], m);
+    run[i].v_exit = vj;
+    run[i + 1].v_entry = vj;
+  }
+  run.back().v_exit = 0.0;
+
+  // Backward pass: ensure we can decelerate into every junction.
+  for (std::size_t i = run.size(); i-- > 1;) {
+    const double reachable = std::sqrt(run[i].v_exit * run[i].v_exit +
+                                       2.0 * run[i].accel * run[i].length);
+    run[i].v_entry = std::min(run[i].v_entry, reachable);
+    run[i - 1].v_exit = std::min(run[i - 1].v_exit, run[i].v_entry);
+  }
+  {
+    const double reachable = std::sqrt(run[0].v_exit * run[0].v_exit +
+                                       2.0 * run[0].accel * run[0].length);
+    run[0].v_entry = std::min(run[0].v_entry, reachable);
+  }
+  // Forward pass: ensure every junction is reachable by accelerating.
+  for (std::size_t i = 0; i + 1 < run.size(); ++i) {
+    const double reachable = std::sqrt(run[i].v_entry * run[i].v_entry +
+                                       2.0 * run[i].accel * run[i].length);
+    run[i].v_exit = std::min(run[i].v_exit, reachable);
+    run[i + 1].v_entry = std::min(run[i + 1].v_entry, run[i].v_exit);
+  }
+  {
+    auto& last = run.back();
+    const double reachable = std::sqrt(last.v_entry * last.v_entry +
+                                       2.0 * last.accel * last.length);
+    last.v_exit = std::min(last.v_exit, reachable);
+  }
+
+  for (auto& pm : run) {
+    MotionSegment seg =
+        make_trapezoid(pm.length, pm.v_entry, pm.v_exit, pm.v_limit, pm.accel);
+    seg.p0 = pm.p0;
+    seg.p1 = pm.p1;
+    seg.e0 = pm.e0;
+    seg.e1 = pm.e1;
+    seg.layer = pm.layer;
+    seg.extruding = pm.e1 > pm.e0 + 1e-12;
+    plan.items[pm.plan_slot].move = seg;
+  }
+  run.clear();
+}
+
+}  // namespace
+
+double MotionSegment::distance_at(double t) const {
+  if (t <= 0.0) return 0.0;
+  if (t >= duration()) return length;
+  if (t < t_accel) {
+    return v_entry * t + 0.5 * accel * t * t;
+  }
+  const double d_acc = v_entry * t_accel + 0.5 * accel * t_accel * t_accel;
+  if (t < t_accel + t_cruise) {
+    return d_acc + v_cruise * (t - t_accel);
+  }
+  const double td = t - t_accel - t_cruise;
+  return d_acc + v_cruise * t_cruise + v_cruise * td - 0.5 * accel * td * td;
+}
+
+double MotionSegment::speed_at(double t) const {
+  if (t <= 0.0) return v_entry;
+  if (t >= duration()) return v_exit;
+  if (t < t_accel) return v_entry + accel * t;
+  if (t < t_accel + t_cruise) return v_cruise;
+  return v_cruise - accel * (t - t_accel - t_cruise);
+}
+
+double MotionSegment::accel_at(double t) const {
+  if (t < 0.0 || t > duration()) return 0.0;
+  if (t < t_accel) return accel;
+  if (t < t_accel + t_cruise) return 0.0;
+  return -accel;
+}
+
+double MotionPlan::nominal_motion_duration() const {
+  double acc = 0.0;
+  for (const auto& item : items) {
+    if (item.type == PlanItemType::kMove) {
+      acc += item.move.duration();
+    } else if (item.type == PlanItemType::kDwell) {
+      acc += item.value;
+    }
+  }
+  return acc;
+}
+
+MotionSegment make_trapezoid(double length, double v_entry, double v_exit,
+                             double v_limit, double accel) {
+  if (length < 0.0 || v_entry < 0.0 || v_exit < 0.0 || v_limit <= 0.0 ||
+      accel <= 0.0) {
+    throw std::invalid_argument("make_trapezoid: invalid kinematic inputs");
+  }
+  MotionSegment seg;
+  seg.length = length;
+  seg.accel = accel;
+  if (length < 1e-12) {
+    seg.v_entry = seg.v_cruise = seg.v_exit = 0.0;
+    return seg;
+  }
+  // Clamp an unreachable exit speed (defensive; lookahead should prevent it).
+  const double max_exit =
+      std::sqrt(v_entry * v_entry + 2.0 * accel * length);
+  v_exit = std::min(v_exit, max_exit);
+  const double min_exit_sq = v_entry * v_entry - 2.0 * accel * length;
+  if (min_exit_sq > 0.0) {
+    v_exit = std::max(v_exit, std::sqrt(min_exit_sq));
+  }
+  const double v_peak = std::sqrt(
+      0.5 * (2.0 * accel * length + v_entry * v_entry + v_exit * v_exit));
+  const double v_cruise = std::min({v_limit, v_peak,
+                                    std::max(v_peak, std::max(v_entry, v_exit))});
+  const double vc = std::max({v_cruise, v_entry, v_exit});
+  seg.v_entry = v_entry;
+  seg.v_exit = v_exit;
+  seg.v_cruise = vc;
+  const double d_acc = (vc * vc - v_entry * v_entry) / (2.0 * accel);
+  const double d_dec = (vc * vc - v_exit * v_exit) / (2.0 * accel);
+  const double d_cruise = std::max(0.0, length - d_acc - d_dec);
+  seg.t_accel = (vc - v_entry) / accel;
+  seg.t_cruise = vc > 0.0 ? d_cruise / vc : 0.0;
+  seg.t_decel = (vc - v_exit) / accel;
+  return seg;
+}
+
+MotionPlan plan_program(const gcode::Program& program,
+                        const MachineConfig& m) {
+  MotionPlan plan;
+  std::vector<PendingMove> run;
+
+  std::array<double, 3> pos{0.0, 0.0, 0.0};
+  double e = 0.0;
+  double feed = 40.0;  // mm/s default until the program sets one
+  std::size_t layer = 0;
+  bool seen_layer_marker = false;
+
+  auto flush = [&] { finalize_run(run, plan, m); };
+
+  for (const auto& c : program.commands()) {
+    switch (c.type) {
+      case gcode::CommandType::kComment: {
+        if (c.text.rfind("LAYER:", 0) == 0) {
+          flush();
+          try {
+            layer = static_cast<std::size_t>(std::stoul(c.text.substr(6)));
+          } catch (...) {
+            layer = seen_layer_marker ? layer + 1 : 0;
+          }
+          seen_layer_marker = true;
+          plan.layer_count = std::max(plan.layer_count, layer + 1);
+          PlanItem item;
+          item.type = PlanItemType::kLayerMarker;
+          item.layer = layer;
+          plan.items.push_back(item);
+        }
+        break;
+      }
+      case gcode::CommandType::kRapidMove:
+      case gcode::CommandType::kLinearMove: {
+        if (c.f) feed = *c.f / 60.0;  // G-code F is mm/min
+        std::array<double, 3> target = pos;
+        if (c.x) target[0] = *c.x;
+        if (c.y) target[1] = *c.y;
+        if (c.z) target[2] = *c.z;
+        const double ne = c.e.value_or(e);
+        const double dx = target[0] - pos[0];
+        const double dy = target[1] - pos[1];
+        const double dz = target[2] - pos[2];
+        const double length = std::sqrt(dx * dx + dy * dy + dz * dz);
+        const double de = std::abs(ne - e);
+        if (length < 1e-9 && de < 1e-9) {
+          pos = target;
+          e = ne;
+          break;
+        }
+        PendingMove pm;
+        pm.p0 = pos;
+        pm.p1 = target;
+        pm.e0 = e;
+        pm.e1 = ne;
+        pm.layer = layer;
+        if (length < 1e-9) {
+          // E-only move (retract/prime): time it on the E axis.
+          pm.length = de;
+          pm.unit = {0.0, 0.0, 0.0};
+          pm.v_limit = std::min(feed, 45.0);
+          pm.accel = m.max_accel;
+          // An E-only move breaks XY lookahead continuity.
+          flush();
+          pm.plan_slot = plan.items.size();
+          PlanItem item;
+          item.type = PlanItemType::kMove;
+          plan.items.push_back(item);
+          run.push_back(pm);
+          flush();
+        } else {
+          pm.length = length;
+          pm.unit = {dx / length, dy / length, dz / length};
+          double v_limit = std::min(feed, m.max_velocity);
+          const double z_frac = std::abs(pm.unit[2]);
+          if (z_frac > 1e-6) {
+            v_limit = std::min(v_limit, m.max_z_velocity / z_frac);
+          }
+          pm.v_limit = std::max(v_limit, m.min_junction_speed);
+          pm.accel = m.max_accel;
+          pm.plan_slot = plan.items.size();
+          PlanItem item;
+          item.type = PlanItemType::kMove;
+          plan.items.push_back(item);
+          run.push_back(pm);
+        }
+        pos = target;
+        e = ne;
+        break;
+      }
+      case gcode::CommandType::kDwell: {
+        flush();
+        PlanItem item;
+        item.type = PlanItemType::kDwell;
+        item.value = c.p ? *c.p / 1000.0 : c.s.value_or(0.0);
+        plan.items.push_back(item);
+        break;
+      }
+      case gcode::CommandType::kHome: {
+        flush();
+        // Synthesize a homing move to the machine origin at a fixed pace.
+        const std::array<double, 3> home =
+            m.kinematics == KinematicsType::kDelta
+                ? std::array<double, 3>{0.0, 0.0, 150.0}
+                : std::array<double, 3>{0.0, 0.0, 0.0};
+        const double dx = home[0] - pos[0];
+        const double dy = home[1] - pos[1];
+        const double dz = home[2] - pos[2];
+        const double length = std::sqrt(dx * dx + dy * dy + dz * dz);
+        if (length > 1e-9) {
+          PendingMove pm;
+          pm.p0 = pos;
+          pm.p1 = home;
+          pm.e0 = pm.e1 = e;
+          pm.length = length;
+          pm.unit = {dx / length, dy / length, dz / length};
+          pm.v_limit = 40.0;  // homing speed
+          pm.accel = m.max_accel / 2.0;
+          pm.layer = layer;
+          pm.plan_slot = plan.items.size();
+          PlanItem item;
+          item.type = PlanItemType::kMove;
+          plan.items.push_back(item);
+          run.push_back(pm);
+          flush();
+        }
+        pos = home;
+        break;
+      }
+      case gcode::CommandType::kSetPosition: {
+        flush();
+        if (c.x) pos[0] = *c.x;
+        if (c.y) pos[1] = *c.y;
+        if (c.z) pos[2] = *c.z;
+        if (c.e) e = *c.e;
+        break;
+      }
+      case gcode::CommandType::kSetHotendTemp:
+      case gcode::CommandType::kWaitHotendTemp:
+      case gcode::CommandType::kSetBedTemp:
+      case gcode::CommandType::kWaitBedTemp: {
+        flush();
+        PlanItem item;
+        switch (c.type) {
+          case gcode::CommandType::kSetHotendTemp:
+            item.type = PlanItemType::kSetHotendTemp;
+            break;
+          case gcode::CommandType::kWaitHotendTemp:
+            item.type = PlanItemType::kWaitHotendTemp;
+            break;
+          case gcode::CommandType::kSetBedTemp:
+            item.type = PlanItemType::kSetBedTemp;
+            break;
+          default:
+            item.type = PlanItemType::kWaitBedTemp;
+            break;
+        }
+        item.value = c.s.value_or(0.0);
+        plan.items.push_back(item);
+        break;
+      }
+      case gcode::CommandType::kFanOn: {
+        flush();
+        PlanItem item;
+        item.type = PlanItemType::kFan;
+        item.value = std::clamp(c.s.value_or(255.0) / 255.0, 0.0, 1.0);
+        plan.items.push_back(item);
+        break;
+      }
+      case gcode::CommandType::kFanOff: {
+        flush();
+        PlanItem item;
+        item.type = PlanItemType::kFan;
+        item.value = 0.0;
+        plan.items.push_back(item);
+        break;
+      }
+      case gcode::CommandType::kOther:
+        break;
+    }
+  }
+  flush();
+  if (plan.layer_count == 0) {
+    plan.layer_count = program.layer_starts().size();
+  }
+  return plan;
+}
+
+}  // namespace nsync::printer

@@ -1,0 +1,93 @@
+// Motion planner: converts a G-code program into an executable plan of
+// motion segments with trapezoidal velocity profiles and junction-limited
+// corner speeds (two-pass lookahead), plus non-motion items (dwells,
+// heater commands, fan changes).
+//
+// G-code does not specify timing (Section II-A): the planner decides the
+// acceleration profile, which is exactly why the same instruction can take
+// a slightly different amount of time on a real machine.  Our executor
+// reintroduces that randomness via TimeNoiseConfig.
+#ifndef NSYNC_PRINTER_PLANNER_HPP
+#define NSYNC_PRINTER_PLANNER_HPP
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "gcode/program.hpp"
+#include "printer/machine.hpp"
+
+namespace nsync::printer {
+
+/// Trapezoidal profile for one straight move.
+struct MotionSegment {
+  std::array<double, 3> p0{};  ///< start position (mm)
+  std::array<double, 3> p1{};  ///< end position (mm)
+  double e0 = 0.0;             ///< start extruder position (mm filament)
+  double e1 = 0.0;             ///< end extruder position
+  double length = 0.0;         ///< XYZ path length (mm); 0 for E-only moves
+  double v_entry = 0.0;        ///< mm/s
+  double v_cruise = 0.0;       ///< mm/s
+  double v_exit = 0.0;         ///< mm/s
+  double accel = 0.0;          ///< mm/s^2
+  double t_accel = 0.0;        ///< s
+  double t_cruise = 0.0;       ///< s
+  double t_decel = 0.0;        ///< s
+  std::size_t layer = 0;       ///< layer index active during this move
+  bool extruding = false;
+
+  [[nodiscard]] double duration() const {
+    return t_accel + t_cruise + t_decel;
+  }
+  /// Distance traveled along the path after `t` seconds into the segment.
+  [[nodiscard]] double distance_at(double t) const;
+  /// Scalar speed along the path at `t` seconds into the segment.
+  [[nodiscard]] double speed_at(double t) const;
+  /// Signed scalar acceleration along the path at `t`.
+  [[nodiscard]] double accel_at(double t) const;
+};
+
+/// Non-motion plan entries.
+enum class PlanItemType {
+  kMove,            ///< see MotionSegment
+  kDwell,           ///< fixed pause (G4)
+  kSetHotendTemp,   ///< fire and forget (M104)
+  kWaitHotendTemp,  ///< block until reached (M109)
+  kSetBedTemp,      ///< M140
+  kWaitBedTemp,     ///< M190
+  kFan,             ///< M106/M107
+  kLayerMarker,     ///< ;LAYER:n comment
+};
+
+struct PlanItem {
+  PlanItemType type = PlanItemType::kMove;
+  MotionSegment move;       ///< valid when type == kMove
+  double value = 0.0;       ///< dwell seconds / target temp / fan 0..1
+  std::size_t layer = 0;    ///< layer index for kLayerMarker
+};
+
+/// A fully planned program.
+struct MotionPlan {
+  std::vector<PlanItem> items;
+  std::size_t layer_count = 0;
+  /// Sum of nominal move/dwell durations (heater waits excluded; their
+  /// length depends on the thermal state at execution time).
+  [[nodiscard]] double nominal_motion_duration() const;
+};
+
+/// Plans `program` for machine `m`.  Throws std::invalid_argument when the
+/// program commands motion beyond the machine's reach (delta kinematics).
+[[nodiscard]] MotionPlan plan_program(const gcode::Program& program,
+                                      const MachineConfig& m);
+
+/// Builds a trapezoid for a straight move of `length` mm with the given
+/// entry/exit speeds, speed limit and acceleration.  Exposed for testing.
+/// Guarantees v_entry/v_exit are respected exactly when reachable, and
+/// falls back to a triangular profile otherwise.
+[[nodiscard]] MotionSegment make_trapezoid(double length, double v_entry,
+                                           double v_exit, double v_limit,
+                                           double accel);
+
+}  // namespace nsync::printer
+
+#endif  // NSYNC_PRINTER_PLANNER_HPP

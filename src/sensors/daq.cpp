@@ -1,0 +1,59 @@
+#include "sensors/daq.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace nsync::sensors {
+
+using nsync::signal::Rng;
+using nsync::signal::Signal;
+using nsync::signal::SignalView;
+
+Signal quantize(const SignalView& s, int bits, double full_scale) {
+  if (bits < 2 || bits > 32) {
+    throw std::invalid_argument("quantize: bits out of range");
+  }
+  if (full_scale <= 0.0) {
+    throw std::invalid_argument("quantize: full_scale must be positive");
+  }
+  const double step = full_scale / std::pow(2.0, bits - 1);
+  Signal out(s.frames(), s.channels(), s.sample_rate());
+  for (std::size_t n = 0; n < s.frames(); ++n) {
+    for (std::size_t c = 0; c < s.channels(); ++c) {
+      out(n, c) = std::round(s(n, c) / step) * step;
+    }
+  }
+  return out;
+}
+
+Signal apply_daq(const SignalView& s, const DaqConfig& cfg, Rng& rng) {
+  // Per-run gain error applies to all channels alike (shared front end).
+  const double gain =
+      cfg.gain_jitter_std > 0.0
+          ? std::max(0.1, 1.0 + rng.normal(0.0, cfg.gain_jitter_std))
+          : 1.0;
+
+  Signal out = Signal::empty(s.channels(), s.sample_rate());
+  out.reserve(s.frames());
+  const std::size_t frame = std::max<std::size_t>(1, cfg.frame_samples);
+  std::vector<double> row(s.channels());
+  for (std::size_t start = 0; start < s.frames(); start += frame) {
+    if (cfg.frame_drop_probability > 0.0 &&
+        rng.bernoulli(cfg.frame_drop_probability)) {
+      continue;  // whole frame lost in transport
+    }
+    const std::size_t end = std::min(start + frame, s.frames());
+    for (std::size_t n = start; n < end; ++n) {
+      for (std::size_t c = 0; c < s.channels(); ++c) {
+        row[c] = s(n, c) * gain;
+      }
+      out.append_frame(row);
+    }
+  }
+  if (cfg.full_scale > 0.0) {
+    return quantize(out, cfg.bits, cfg.full_scale);
+  }
+  return out;
+}
+
+}  // namespace nsync::sensors

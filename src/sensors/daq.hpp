@@ -1,0 +1,42 @@
+// Data-acquisition model: quantization to the ADC bit depth, per-run gain
+// jitter (the paper notes that side-channel gains are "susceptible to
+// changes", footnote 2), and frame drops (listed in Section I as a source
+// of time noise).
+#ifndef NSYNC_SENSORS_DAQ_HPP
+#define NSYNC_SENSORS_DAQ_HPP
+
+#include <cstddef>
+
+#include "signal/rng.hpp"
+#include "signal/signal.hpp"
+
+namespace nsync::sensors {
+
+struct DaqConfig {
+  /// ADC resolution; quantization step = full_scale / 2^(bits-1).
+  int bits = 16;
+  /// Full-scale amplitude for quantization; <= 0 disables quantization.
+  double full_scale = 0.0;
+  /// Std of the per-run multiplicative gain error (0.05 = +-5 % typical).
+  double gain_jitter_std = 0.05;
+  /// Probability that any given frame is dropped.
+  double frame_drop_probability = 0.0002;
+  /// Frame size in samples.
+  std::size_t frame_samples = 64;
+};
+
+/// Applies the DAQ model to a rendered sensor signal (in place semantics via
+/// return): gain jitter -> quantization -> frame drops.  Frame drops remove
+/// whole frames, shortening the signal and shifting all later samples
+/// earlier — a pure time-noise contribution.
+[[nodiscard]] nsync::signal::Signal apply_daq(
+    const nsync::signal::SignalView& s, const DaqConfig& cfg,
+    nsync::signal::Rng& rng);
+
+/// Quantizes each sample to the grid implied by `bits` and `full_scale`.
+[[nodiscard]] nsync::signal::Signal quantize(const nsync::signal::SignalView& s,
+                                             int bits, double full_scale);
+
+}  // namespace nsync::sensors
+
+#endif  // NSYNC_SENSORS_DAQ_HPP

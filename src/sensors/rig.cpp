@@ -1,0 +1,261 @@
+#include "sensors/rig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace nsync::sensors {
+
+using nsync::signal::Rng;
+using nsync::signal::Signal;
+using printer::MotionTrace;
+
+namespace {
+
+constexpr double kTwoPi = 2.0 * std::numbers::pi;
+
+/// Linear interpolation into a master-rate trace channel.
+class TraceSampler {
+ public:
+  TraceSampler(const std::vector<double>& data, double rate)
+      : data_(data), rate_(rate) {}
+
+  [[nodiscard]] double at(double t) const {
+    if (data_.empty()) return 0.0;
+    const double idx = t * rate_;
+    if (idx <= 0.0) return data_.front();
+    const auto i0 = static_cast<std::size_t>(idx);
+    if (i0 + 1 >= data_.size()) return data_.back();
+    const double frac = idx - static_cast<double>(i0);
+    return (1.0 - frac) * data_[i0] + frac * data_[i0 + 1];
+  }
+
+ private:
+  const std::vector<double>& data_;
+  double rate_;
+};
+
+/// Second-order resonator: models the mechanical resonance of the printer
+/// frame excited by head acceleration.  y'' = w^2 (u - y) - 2 z w y'.
+class Resonator {
+ public:
+  Resonator(double freq_hz, double damping, double fs)
+      : w_(kTwoPi * freq_hz), zeta_(damping), dt_(1.0 / fs) {}
+
+  double step(double u) {
+    const double acc = w_ * w_ * (u - y_) - 2.0 * zeta_ * w_ * v_;
+    v_ += acc * dt_;
+    y_ += v_ * dt_;
+    return y_;
+  }
+
+ private:
+  double w_, zeta_, dt_;
+  double y_ = 0.0, v_ = 0.0;
+};
+
+/// Stepper activity in [0, 1]: how hard motor j is working.  Proportional
+/// up to typical cruise speeds so the side channels carry speed structure,
+/// not just a moving/idle bit.
+double motor_activity(double motor_vel) {
+  return std::min(1.0, std::abs(motor_vel) / 30.0);
+}
+
+}  // namespace
+
+SensorRig::SensorRig(printer::MachineConfig machine, RigConfig config)
+    : machine_(std::move(machine)), config_(std::move(config)) {
+  if (config_.rate_scale <= 0.0) {
+    throw std::invalid_argument("SensorRig: rate_scale must be positive");
+  }
+}
+
+double SensorRig::rate(SideChannel ch) const {
+  double override_rate = 0.0;
+  switch (ch) {
+    case SideChannel::kAcc: override_rate = config_.acc_rate; break;
+    case SideChannel::kTmp: override_rate = config_.tmp_rate; break;
+    case SideChannel::kMag: override_rate = config_.mag_rate; break;
+    case SideChannel::kAud: override_rate = config_.aud_rate; break;
+    case SideChannel::kEpt: override_rate = config_.ept_rate; break;
+    case SideChannel::kPwr: override_rate = config_.pwr_rate; break;
+  }
+  if (override_rate > 0.0) return override_rate;
+  return side_channel_paper_rate(ch) * config_.rate_scale;
+}
+
+Signal SensorRig::render(SideChannel ch, const MotionTrace& trace,
+                         Rng& rng) const {
+  const double fs = rate(ch);
+  if (fs <= 0.0) {
+    throw std::invalid_argument("SensorRig::render: non-positive rate");
+  }
+  const double t_end = trace.duration();
+  const auto n_out = static_cast<std::size_t>(std::floor(t_end * fs));
+  const double mr = trace.sample_rate;
+  const double noise = config_.noise_scale;
+
+  Signal out(std::max<std::size_t>(n_out, 1), side_channel_components(ch), fs);
+
+  switch (ch) {
+    case SideChannel::kAcc: {
+      TraceSampler sax(trace.ax, mr), say(trace.ay, mr), saz(trace.az, mr);
+      // Frame resonances differ per axis (stiffness anisotropy).
+      Resonator rx(28.0, 0.06, fs), ry(35.0, 0.06, fs), rz(55.0, 0.10, fs);
+      for (std::size_t n = 0; n < n_out; ++n) {
+        const double t = static_cast<double>(n) / fs;
+        const double ux = sax.at(t), uy = say.at(t), uz = saz.at(t);
+        const double wx = rx.step(ux), wy = ry.step(uy), wz = rz.step(uz);
+        out(n, 0) = ux + 0.35 * wx + rng.normal(0.0, 6.0 * noise);
+        out(n, 1) = uy + 0.35 * wy + rng.normal(0.0, 6.0 * noise);
+        out(n, 2) = uz + 9810.0 + 0.25 * wz + rng.normal(0.0, 6.0 * noise);
+        // Gyro channels: the head rocks in reaction to cross-axis
+        // acceleration transients.
+        out(n, 3) = 0.002 * (uy - uz) + 0.001 * wy + rng.normal(0.0, 0.04 * noise);
+        out(n, 4) = 0.002 * (uz - ux) + 0.001 * wz + rng.normal(0.0, 0.04 * noise);
+        out(n, 5) = 0.002 * (ux - uy) + 0.001 * wx + rng.normal(0.0, 0.04 * noise);
+      }
+      break;
+    }
+    case SideChannel::kTmp: {
+      TraceSampler sh(trace.hotend_temp, mr);
+      // The IMU die warms with electronics ambient, only faintly tracking
+      // the hotend; dominated by sensor noise -> weakly correlated.
+      for (std::size_t n = 0; n < n_out; ++n) {
+        const double t = static_cast<double>(n) / fs;
+        const double die =
+            machine_.ambient_temp + 4.0 +
+            0.02 * (sh.at(t) - machine_.ambient_temp);
+        out(n, 0) = die + rng.normal(0.0, 0.12 * noise);
+      }
+      break;
+    }
+    case SideChannel::kMag: {
+      const TraceSampler mv0(trace.motor_vel[0], mr),
+          mv1(trace.motor_vel[1], mr), mv2(trace.motor_vel[2], mr);
+      // Fixed coupling matrix from the three coils to the magnetometer
+      // axes (geometry of the rig), plus the geomagnetic field.
+      constexpr double kCouple[3][3] = {
+          {0.9, 0.3, 0.1}, {0.2, 0.8, 0.3}, {0.1, 0.4, 0.7}};
+      constexpr double kEarth[3] = {22.0, -5.0, 40.0};  // microtesla
+      for (std::size_t n = 0; n < n_out; ++n) {
+        const double t = static_cast<double>(n) / fs;
+        const double cur[3] = {
+            machine_.motor_hold_current +
+                (machine_.motor_run_current - machine_.motor_hold_current) *
+                    motor_activity(mv0.at(t)),
+            machine_.motor_hold_current +
+                (machine_.motor_run_current - machine_.motor_hold_current) *
+                    motor_activity(mv1.at(t)),
+            machine_.motor_hold_current +
+                (machine_.motor_run_current - machine_.motor_hold_current) *
+                    motor_activity(mv2.at(t))};
+        for (int i = 0; i < 3; ++i) {
+          double b = kEarth[i];
+          for (int j = 0; j < 3; ++j) b += 6.0 * kCouple[i][j] * cur[j];
+          out(n, i) = b + rng.normal(0.0, 1.8 * noise);  // noisy channel
+        }
+      }
+      break;
+    }
+    case SideChannel::kAud: {
+      const TraceSampler mv0(trace.motor_vel[0], mr),
+          mv1(trace.motor_vel[1], mr), mv2(trace.motor_vel[2], mr),
+          fan(trace.fan, mr), flow(trace.flow, mr),
+          sax(trace.ax, mr), say(trace.ay, mr);
+      double phase[4] = {0.0, 0.0, 0.0, 0.0};
+      const double nyquist = 0.45 * fs;
+      double fan_lp = 0.0;  // low-passed white noise = fan whoosh
+      for (std::size_t n = 0; n < n_out; ++n) {
+        const double t = static_cast<double>(n) / fs;
+        const double mvel[3] = {mv0.at(t), mv1.at(t), mv2.at(t)};
+        double tone_l = 0.0, tone_r = 0.0;
+        for (int j = 0; j < 3; ++j) {
+          // Audible motor tone: dominated by rotation/PWM components well
+          // below the full-step rate (kToneScale maps step rate to the
+          // dominant audible component, keeping tones inside the scaled
+          // Nyquist band).
+          constexpr double kToneScale = 0.12;
+          const double f_step =
+              std::abs(mvel[j]) * machine_.steps_per_mm[j] * kToneScale;
+          phase[j] += kTwoPi * f_step / fs;
+          if (phase[j] > kTwoPi) phase[j] -= kTwoPi * std::floor(phase[j] / kTwoPi);
+          const double amp = motor_activity(mvel[j]);
+          double v = 0.0;
+          for (int h = 1; h <= 3; ++h) {
+            if (f_step * h > nyquist || f_step < 1.0) break;
+            v += std::sin(phase[j] * h) / static_cast<double>(h);
+          }
+          // The two microphone channels hear the motors with different
+          // gains (stereo placement).
+          tone_l += amp * v * (j == 0 ? 1.0 : 0.6);
+          tone_r += amp * v * (j == 1 ? 1.0 : 0.6);
+        }
+        // Extruder gear tone.
+        const double f_e = std::abs(flow.at(t)) * machine_.e_steps_per_mm;
+        phase[3] += kTwoPi * f_e / fs;
+        if (phase[3] > kTwoPi) phase[3] -= kTwoPi * std::floor(phase[3] / kTwoPi);
+        double e_tone = 0.0;
+        if (f_e > 1.0 && f_e < nyquist) e_tone = 0.3 * std::sin(phase[3]);
+        const double white = rng.normal(0.0, 1.0);
+        fan_lp += 0.05 * (white - fan_lp);
+        const double fan_noise = 0.25 * fan.at(t) * fan_lp;
+        // Frame resonance rung by XY acceleration: a deterministic,
+        // aperiodic component that anchors audio alignment across runs
+        // (real printheads thump the frame at every move boundary).
+        const double thump =
+            0.0004 * (sax.at(t) + 0.8 * say.at(t));
+        const double ambient_l = rng.normal(0.0, 0.02 * noise);
+        const double ambient_r = rng.normal(0.0, 0.02 * noise);
+        out(n, 0) = 0.5 * tone_l + e_tone + fan_noise + thump + ambient_l;
+        out(n, 1) = 0.5 * tone_r + e_tone + fan_noise + 0.8 * thump + ambient_r;
+      }
+      break;
+    }
+    case SideChannel::kEpt: {
+      const TraceSampler mv0(trace.motor_vel[0], mr),
+          mv1(trace.motor_vel[1], mr), mv2(trace.motor_vel[2], mr);
+      const double mains_phase0 = rng.uniform(0.0, kTwoPi);
+      for (std::size_t n = 0; n < n_out; ++n) {
+        const double t = static_cast<double>(n) / fs;
+        // 60 Hz mains dominates the raw capture (Section VIII-B), with a
+        // faint motor-switching EMI floor amplitude-modulated by activity.
+        const double mains = std::sin(kTwoPi * 60.0 * t + mains_phase0) +
+                             0.12 * std::sin(kTwoPi * 180.0 * t + 3.0 * mains_phase0);
+        // EMI floor proportional to total motor speed (switching activity
+        // scales with step rate, not merely with a moving/idle flag).
+        const double speed_sum = std::abs(mv0.at(t)) + std::abs(mv1.at(t)) +
+                                 std::abs(mv2.at(t));
+        const double emi = 0.006 * speed_sum * rng.normal(0.0, 1.0);
+        out(n, 0) = mains + emi + rng.normal(0.0, 0.005 * noise);
+      }
+      break;
+    }
+    case SideChannel::kPwr: {
+      const TraceSampler hd(trace.hotend_duty, mr), bd(trace.bed_duty, mr),
+          fan(trace.fan, mr), mv0(trace.motor_vel[0], mr),
+          mv1(trace.motor_vel[1], mr), mv2(trace.motor_vel[2], mr);
+      for (std::size_t n = 0; n < n_out; ++n) {
+        const double t = static_cast<double>(n) / fs;
+        const double motor_w = 0.8 * (motor_activity(mv0.at(t)) +
+                                      motor_activity(mv1.at(t)) +
+                                      motor_activity(mv2.at(t)));
+        const double watts = machine_.base_power +
+                             hd.at(t) * machine_.heater_hotend_power +
+                             bd.at(t) * machine_.heater_bed_power +
+                             3.0 * fan.at(t) + motor_w;
+        out(n, 0) = watts + rng.normal(0.0, 2.0 * noise);
+      }
+      break;
+    }
+  }
+
+  if (!config_.apply_daq) return out;
+  DaqConfig daq = config_.daq;
+  daq.bits = side_channel_bits(ch);
+  daq.full_scale = 0.0;  // quantization disabled by default; see DESIGN.md
+  return apply_daq(out, daq, rng);
+}
+
+}  // namespace nsync::sensors

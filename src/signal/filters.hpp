@@ -1,0 +1,55 @@
+// 1-D filters used by the NSYNC discriminator and the sensor models:
+// trailing minimum filter (spike suppression, Eq. 21-22), moving average,
+// median filter, first difference, cumulative sum, and a one-pole low pass.
+#ifndef NSYNC_SIGNAL_FILTERS_HPP
+#define NSYNC_SIGNAL_FILTERS_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace nsync::signal {
+
+/// Trailing minimum filter (Eq. 21-22 of the paper):
+///   out[i] = min(v[max(0, i-n+1) : i+1])
+/// i.e. the minimum of the current sample and the previous n-1 samples.
+/// The paper writes min(v[i-n : i]); we interpret the window as including
+/// the current sample so that the filtered array has the same length and a
+/// defined value at i = 0.  `window` must be >= 1.
+[[nodiscard]] std::vector<double> min_filter(std::span<const double> v,
+                                             std::size_t window);
+
+/// Trailing maximum filter, same window convention as min_filter.
+[[nodiscard]] std::vector<double> max_filter(std::span<const double> v,
+                                             std::size_t window);
+
+/// Trailing moving average with the same window convention as min_filter.
+[[nodiscard]] std::vector<double> moving_average(std::span<const double> v,
+                                                 std::size_t window);
+
+/// Centered median filter with an odd window (edges use shrunken windows).
+[[nodiscard]] std::vector<double> median_filter(std::span<const double> v,
+                                                std::size_t window);
+
+/// First difference: out[i] = v[i] - v[i-1], with out[0] = v[0] - `initial`.
+/// The paper defines h_disp[-1] = 0 for the CADHD sum, matching
+/// `initial = 0`.
+[[nodiscard]] std::vector<double> diff(std::span<const double> v,
+                                       double initial = 0.0);
+
+/// Cumulative sum: out[i] = sum(v[0..i]).
+[[nodiscard]] std::vector<double> cumulative_sum(std::span<const double> v);
+
+/// Cumulative absolute difference (Eq. 17):
+///   out[i] = sum_{j<=i} |v[j] - v[j-1]|  with v[-1] = `initial`.
+[[nodiscard]] std::vector<double> cumulative_abs_diff(
+    std::span<const double> v, double initial = 0.0);
+
+/// One-pole low-pass filter: y[i] = alpha * x[i] + (1 - alpha) * y[i-1],
+/// y[-1] = x[0].  `alpha` must lie in (0, 1].
+[[nodiscard]] std::vector<double> one_pole_lowpass(std::span<const double> v,
+                                                   double alpha);
+
+}  // namespace nsync::signal
+
+#endif  // NSYNC_SIGNAL_FILTERS_HPP

@@ -1,0 +1,112 @@
+#include "signal/io.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace nsync::signal {
+
+static_assert(std::endian::native == std::endian::little,
+              "NSIG serialization assumes a little-endian host");
+
+namespace {
+
+constexpr char kMagic[4] = {'N', 'S', 'I', 'G'};
+constexpr std::uint32_t kVersion = 1;
+// Backstop against malformed headers asking for absurd allocations.
+constexpr std::uint64_t kMaxElements = 1ULL << 34;
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  if (!in) {
+    throw std::runtime_error("read_signal: truncated input");
+  }
+  return value;
+}
+
+}  // namespace
+
+void write_signal(std::ostream& out, const SignalView& s) {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint64_t>(s.frames()));
+  write_pod(out, static_cast<std::uint64_t>(s.channels()));
+  write_pod(out, s.sample_rate());
+  out.write(reinterpret_cast<const char*>(s.data()),
+            static_cast<std::streamsize>(s.frames() * s.channels() *
+                                         sizeof(double)));
+  if (!out) {
+    throw std::runtime_error("write_signal: stream write failed");
+  }
+}
+
+Signal read_signal(std::istream& in) {
+  char magic[4] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("read_signal: bad magic (not an NSIG file)");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != kVersion) {
+    throw std::runtime_error("read_signal: unsupported version " +
+                             std::to_string(version));
+  }
+  const auto frames = read_pod<std::uint64_t>(in);
+  const auto channels = read_pod<std::uint64_t>(in);
+  const auto rate = read_pod<double>(in);
+  if (channels == 0 || rate <= 0.0 || frames * channels > kMaxElements) {
+    throw std::runtime_error("read_signal: implausible header");
+  }
+  Signal s(static_cast<std::size_t>(frames),
+           static_cast<std::size_t>(channels), rate);
+  in.read(reinterpret_cast<char*>(s.data()),
+          static_cast<std::streamsize>(frames * channels * sizeof(double)));
+  if (!in) {
+    throw std::runtime_error("read_signal: truncated payload");
+  }
+  return s;
+}
+
+void save_signal(const std::string& path, const SignalView& s) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw std::runtime_error("save_signal: cannot open '" + path + "'");
+  }
+  write_signal(out, s);
+}
+
+Signal load_signal(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("load_signal: cannot open '" + path + "'");
+  }
+  return read_signal(in);
+}
+
+void write_csv(std::ostream& out, const SignalView& s, int precision) {
+  out.precision(precision);
+  out << "t";
+  for (std::size_t c = 0; c < s.channels(); ++c) {
+    out << ",ch" << c;
+  }
+  out << '\n';
+  for (std::size_t n = 0; n < s.frames(); ++n) {
+    out << static_cast<double>(n) / s.sample_rate();
+    for (std::size_t c = 0; c < s.channels(); ++c) {
+      out << ',' << s(n, c);
+    }
+    out << '\n';
+  }
+}
+
+}  // namespace nsync::signal

@@ -1,0 +1,37 @@
+// Signal persistence: a small self-describing binary format ("NSIG") for
+// recording reference side-channel signals to disk, plus CSV export for
+// plotting.  Reference signals are long-lived artifacts in a deployed IDS
+// (Section IV, "Acquisition of Reference Signals"), so they need a stable
+// on-disk form.
+#ifndef NSYNC_SIGNAL_IO_HPP
+#define NSYNC_SIGNAL_IO_HPP
+
+#include <iosfwd>
+#include <string>
+
+#include "signal/signal.hpp"
+
+namespace nsync::signal {
+
+/// Writes `s` to `out` in the NSIG v1 binary format:
+///   magic "NSIG" | u32 version | u64 frames | u64 channels | f64 rate |
+///   f64 samples (row-major).
+/// Little-endian hosts only (checked at compile time).
+void write_signal(std::ostream& out, const SignalView& s);
+
+/// Reads an NSIG v1 signal.  Throws std::runtime_error on malformed input
+/// (bad magic, truncated payload, absurd dimensions).
+[[nodiscard]] Signal read_signal(std::istream& in);
+
+/// Convenience file wrappers; throw std::runtime_error when the file
+/// cannot be opened.
+void save_signal(const std::string& path, const SignalView& s);
+[[nodiscard]] Signal load_signal(const std::string& path);
+
+/// CSV export: header "t,ch0,ch1,..." then one row per frame with the
+/// timestamp in seconds.  For plotting / external analysis.
+void write_csv(std::ostream& out, const SignalView& s, int precision = 9);
+
+}  // namespace nsync::signal
+
+#endif  // NSYNC_SIGNAL_IO_HPP

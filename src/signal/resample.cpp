@@ -1,0 +1,86 @@
+#include "signal/resample.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nsync::signal {
+
+Signal resample_linear(const SignalView& s, double new_rate) {
+  if (new_rate <= 0.0) {
+    throw std::invalid_argument("resample_linear: rate must be positive");
+  }
+  if (s.frames() == 0) {
+    return Signal::empty(std::max<std::size_t>(1, s.channels()), new_rate);
+  }
+  const double ratio = s.sample_rate() / new_rate;
+  const auto out_frames = static_cast<std::size_t>(
+      std::floor(static_cast<double>(s.frames()) / ratio));
+  Signal out(std::max<std::size_t>(out_frames, 1), s.channels(), new_rate);
+  for (std::size_t n = 0; n < out.frames(); ++n) {
+    const double src = static_cast<double>(n) * ratio;
+    const auto i0 = std::min<std::size_t>(static_cast<std::size_t>(src),
+                                          s.frames() - 1);
+    const auto i1 = std::min<std::size_t>(i0 + 1, s.frames() - 1);
+    const double frac = src - static_cast<double>(i0);
+    for (std::size_t c = 0; c < s.channels(); ++c) {
+      out(n, c) = (1.0 - frac) * s(i0, c) + frac * s(i1, c);
+    }
+  }
+  return out;
+}
+
+Signal decimate(const SignalView& s, std::size_t factor) {
+  if (factor == 0) {
+    throw std::invalid_argument("decimate: factor must be >= 1");
+  }
+  if (factor == 1) return s.to_signal();
+  const std::size_t out_frames = s.frames() / factor;
+  Signal out(out_frames, s.channels(), s.sample_rate() / static_cast<double>(factor));
+  for (std::size_t n = 0; n < out_frames; ++n) {
+    for (std::size_t c = 0; c < s.channels(); ++c) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < factor; ++k) {
+        acc += s(n * factor + k, c);
+      }
+      out(n, c) = acc / static_cast<double>(factor);
+    }
+  }
+  return out;
+}
+
+std::vector<double> sample_piecewise_linear(std::span<const double> times,
+                                            std::span<const double> values,
+                                            double fs, double t_end) {
+  if (times.size() != values.size()) {
+    throw std::invalid_argument("sample_piecewise_linear: size mismatch");
+  }
+  if (fs <= 0.0 || t_end < 0.0) {
+    throw std::invalid_argument("sample_piecewise_linear: bad fs or t_end");
+  }
+  const auto n_out = static_cast<std::size_t>(std::floor(t_end * fs)) + 1;
+  std::vector<double> out(n_out, 0.0);
+  if (times.empty()) return out;
+  std::size_t seg = 0;
+  for (std::size_t n = 0; n < n_out; ++n) {
+    const double t = static_cast<double>(n) / fs;
+    while (seg + 1 < times.size() && times[seg + 1] <= t) ++seg;
+    if (t <= times.front()) {
+      out[n] = values.front();
+    } else if (seg + 1 >= times.size()) {
+      out[n] = values.back();
+    } else {
+      const double t0 = times[seg], t1 = times[seg + 1];
+      const double dt = t1 - t0;
+      if (dt <= 0.0) {
+        out[n] = values[seg + 1];
+      } else {
+        const double frac = (t - t0) / dt;
+        out[n] = (1.0 - frac) * values[seg] + frac * values[seg + 1];
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace nsync::signal

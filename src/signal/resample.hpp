@@ -1,0 +1,33 @@
+// Sample-rate conversion helpers used by the sensor models (each side
+// channel has its own sampling rate, Table II) and by the spectrogram
+// pipeline.
+#ifndef NSYNC_SIGNAL_RESAMPLE_HPP
+#define NSYNC_SIGNAL_RESAMPLE_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "signal/signal.hpp"
+
+namespace nsync::signal {
+
+/// Linear-interpolation resampling of a multichannel signal to a new rate.
+/// The output covers the same time span; out-of-range queries clamp to the
+/// edge samples.
+[[nodiscard]] Signal resample_linear(const SignalView& s, double new_rate);
+
+/// Integer decimation by `factor` with a trailing boxcar average as a crude
+/// anti-aliasing step.  `factor` must be >= 1.
+[[nodiscard]] Signal decimate(const SignalView& s, std::size_t factor);
+
+/// Samples a piecewise-linear function given by (time, value) breakpoints at
+/// a uniform rate `fs` from t = 0 to t = t_end.  Breakpoint times must be
+/// nondecreasing.  Used to render planner motion profiles into signals.
+[[nodiscard]] std::vector<double> sample_piecewise_linear(
+    std::span<const double> times, std::span<const double> values, double fs,
+    double t_end);
+
+}  // namespace nsync::signal
+
+#endif  // NSYNC_SIGNAL_RESAMPLE_HPP

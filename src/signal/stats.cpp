@@ -1,0 +1,116 @@
+#include "signal/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace nsync::signal {
+
+double mean(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x;
+  return acc / static_cast<double>(v.size());
+}
+
+double variance(std::span<const double> v) {
+  if (v.size() < 2) return 0.0;
+  const double mu = mean(v);
+  double acc = 0.0;
+  for (double x : v) {
+    const double d = x - mu;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(v.size());
+}
+
+double stddev(std::span<const double> v) { return std::sqrt(variance(v)); }
+
+double rms(std::span<const double> v) {
+  if (v.empty()) return 0.0;
+  double acc = 0.0;
+  for (double x : v) acc += x * x;
+  return std::sqrt(acc / static_cast<double>(v.size()));
+}
+
+double min_value(std::span<const double> v) {
+  if (v.empty()) throw std::invalid_argument("min_value: empty input");
+  return *std::min_element(v.begin(), v.end());
+}
+
+double max_value(std::span<const double> v) {
+  if (v.empty()) throw std::invalid_argument("max_value: empty input");
+  return *std::max_element(v.begin(), v.end());
+}
+
+std::size_t argmax(std::span<const double> v) {
+  if (v.empty()) throw std::invalid_argument("argmax: empty input");
+  return static_cast<std::size_t>(
+      std::distance(v.begin(), std::max_element(v.begin(), v.end())));
+}
+
+std::size_t argmin(std::span<const double> v) {
+  if (v.empty()) throw std::invalid_argument("argmin: empty input");
+  return static_cast<std::size_t>(
+      std::distance(v.begin(), std::min_element(v.begin(), v.end())));
+}
+
+double pearson(std::span<const double> u, std::span<const double> v) {
+  if (u.size() != v.size()) {
+    throw std::invalid_argument("pearson: length mismatch");
+  }
+  if (u.empty()) return 0.0;
+  const double mu = mean(u);
+  const double mv = mean(v);
+  double num = 0.0, du2 = 0.0, dv2 = 0.0;
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    const double du = u[i] - mu;
+    const double dv = v[i] - mv;
+    num += du * dv;
+    du2 += du * du;
+    dv2 += dv * dv;
+  }
+  const double denom = std::sqrt(du2) * std::sqrt(dv2);
+  if (denom <= 0.0) return 0.0;
+  return num / denom;
+}
+
+std::vector<double> channel_means(const SignalView& s) {
+  std::vector<double> out(s.channels(), 0.0);
+  if (s.frames() == 0) return out;
+  for (std::size_t n = 0; n < s.frames(); ++n) {
+    for (std::size_t c = 0; c < s.channels(); ++c) {
+      out[c] += s(n, c);
+    }
+  }
+  for (auto& x : out) x /= static_cast<double>(s.frames());
+  return out;
+}
+
+std::vector<double> channel_stddevs(const SignalView& s) {
+  std::vector<double> out(s.channels(), 0.0);
+  if (s.frames() < 2) return out;
+  const auto mus = channel_means(s);
+  for (std::size_t n = 0; n < s.frames(); ++n) {
+    for (std::size_t c = 0; c < s.channels(); ++c) {
+      const double d = s(n, c) - mus[c];
+      out[c] += d * d;
+    }
+  }
+  for (auto& x : out) {
+    x = std::sqrt(x / static_cast<double>(s.frames()));
+  }
+  return out;
+}
+
+std::vector<double> channel_peaks(const SignalView& s) {
+  std::vector<double> out(s.channels(), 0.0);
+  for (std::size_t n = 0; n < s.frames(); ++n) {
+    for (std::size_t c = 0; c < s.channels(); ++c) {
+      out[c] = std::max(out[c], std::abs(s(n, c)));
+    }
+  }
+  return out;
+}
+
+}  // namespace nsync::signal

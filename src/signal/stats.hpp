@@ -1,0 +1,55 @@
+// Basic descriptive statistics over 1-D sample arrays and per-channel
+// statistics over multichannel signals.
+#ifndef NSYNC_SIGNAL_STATS_HPP
+#define NSYNC_SIGNAL_STATS_HPP
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "signal/signal.hpp"
+
+namespace nsync::signal {
+
+/// Arithmetic mean of `v` (0 for an empty span).
+[[nodiscard]] double mean(std::span<const double> v);
+
+/// Population variance of `v` (0 for fewer than 2 samples).
+[[nodiscard]] double variance(std::span<const double> v);
+
+/// Population standard deviation of `v`.
+[[nodiscard]] double stddev(std::span<const double> v);
+
+/// Root-mean-square of `v`.
+[[nodiscard]] double rms(std::span<const double> v);
+
+/// Minimum value (throws std::invalid_argument on an empty span).
+[[nodiscard]] double min_value(std::span<const double> v);
+
+/// Maximum value (throws std::invalid_argument on an empty span).
+[[nodiscard]] double max_value(std::span<const double> v);
+
+/// Index of the maximum value (first occurrence); throws on empty input.
+[[nodiscard]] std::size_t argmax(std::span<const double> v);
+
+/// Index of the minimum value (first occurrence); throws on empty input.
+[[nodiscard]] std::size_t argmin(std::span<const double> v);
+
+/// Pearson correlation coefficient between `u` and `v` (Eq. 3 of the paper).
+/// Returns 0 when either vector has zero variance (the paper's similarity
+/// function is undefined there; 0 is the neutral score).
+[[nodiscard]] double pearson(std::span<const double> u,
+                             std::span<const double> v);
+
+/// Per-channel means of a multichannel signal.
+[[nodiscard]] std::vector<double> channel_means(const SignalView& s);
+
+/// Per-channel standard deviations of a multichannel signal.
+[[nodiscard]] std::vector<double> channel_stddevs(const SignalView& s);
+
+/// Per-channel peak absolute values.
+[[nodiscard]] std::vector<double> channel_peaks(const SignalView& s);
+
+}  // namespace nsync::signal
+
+#endif  // NSYNC_SIGNAL_STATS_HPP

@@ -1,0 +1,174 @@
+// Tests for the Table I attack mutators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "gcode/attacks.hpp"
+#include "gcode/slicer.hpp"
+
+namespace nsync::gcode {
+namespace {
+
+struct Fixture : public ::testing::Test {
+  void SetUp() override {
+    cfg.object_height = 1.0;
+    cfg.layer_height = 0.2;
+    cfg.bed_center_x = 50.0;
+    cfg.bed_center_y = 50.0;
+    outline = gear_outline(10, 6.5, 8.0);
+    benign = slice(outline, cfg);
+  }
+  SlicerConfig cfg;
+  Polygon outline;
+  Program benign;
+};
+
+using AttackFixture = Fixture;
+
+TEST_F(AttackFixture, AllAttacksListedInTableOrder) {
+  const auto& all = all_attacks();
+  ASSERT_EQ(all.size(), 5u);
+  EXPECT_EQ(attack_name(all[0]), "Void");
+  EXPECT_EQ(attack_name(all[1]), "InfillGrid");
+  EXPECT_EQ(attack_name(all[2]), "Speed0.95");
+  EXPECT_EQ(attack_name(all[3]), "Layer0.3");
+  EXPECT_EQ(attack_name(all[4]), "Scale0.95");
+}
+
+TEST_F(AttackFixture, VoidRemovesMaterialInMiddleBand) {
+  const Program voided = attack_void(benign);
+  const ProgramStats vb = benign.stats();
+  const ProgramStats vv = voided.stats();
+  EXPECT_LT(vv.total_extrusion, vb.total_extrusion);
+  EXPECT_LT(vv.extruding_moves, vb.extruding_moves);
+  // The geometry envelope is untouched.
+  EXPECT_NEAR(vv.max_z, vb.max_z, 1e-9);
+  EXPECT_EQ(voided.size(), benign.size());
+}
+
+TEST_F(AttackFixture, VoidKeepsExtruderAxisContinuous) {
+  const Program voided = attack_void(benign);
+  double e = 0.0;
+  for (const auto& c : voided.commands()) {
+    if (c.type == CommandType::kSetPosition && c.e) e = *c.e;
+    if (c.is_move() && c.e) {
+      EXPECT_GE(*c.e, e - 1e-9) << "E must never jump backwards";
+      e = *c.e;
+    }
+  }
+}
+
+TEST_F(AttackFixture, VoidOnlyTouchesConfiguredZBand) {
+  const Program voided = attack_void(benign, 0.4, 0.6, 0.5);
+  // Compare extrusion per layer: only the middle band may lose material.
+  auto extrusion_by_layer = [](const Program& p) {
+    std::vector<double> out;
+    double e = 0.0, layer_e = 0.0;
+    for (const auto& c : p.commands()) {
+      if (c.type == CommandType::kComment && c.text.rfind("LAYER:", 0) == 0) {
+        out.push_back(layer_e);
+        layer_e = 0.0;
+      }
+      if (c.is_move() && c.e) {
+        if (*c.e > e) layer_e += *c.e - e;
+        e = *c.e;
+      }
+    }
+    out.push_back(layer_e);
+    return out;
+  };
+  const auto eb = extrusion_by_layer(benign);
+  const auto ev = extrusion_by_layer(voided);
+  ASSERT_EQ(eb.size(), ev.size());
+  // First and last layers untouched (z band is 0.4..0.6 of max z).
+  EXPECT_NEAR(ev[1], eb[1], 1e-9);
+  EXPECT_NEAR(ev.back(), eb.back(), 1e-9);
+}
+
+TEST_F(AttackFixture, VoidRejectsBadFractions) {
+  EXPECT_THROW(attack_void(benign, 0.7, 0.3), std::invalid_argument);
+  EXPECT_THROW(attack_void(benign, 0.2, 0.8, 0.0), std::invalid_argument);
+}
+
+TEST_F(AttackFixture, SpeedScalesAllFeedrates) {
+  const Program slow = attack_speed(benign, 0.95);
+  ASSERT_EQ(slow.size(), benign.size());
+  for (std::size_t i = 0; i < benign.size(); ++i) {
+    if (benign[i].is_move() && benign[i].f) {
+      EXPECT_NEAR(*slow[i].f, *benign[i].f * 0.95, 1e-9);
+    }
+  }
+  EXPECT_THROW(attack_speed(benign, 0.0), std::invalid_argument);
+}
+
+TEST_F(AttackFixture, SpeedPreservesGeometry) {
+  const Program slow = attack_speed(benign);
+  const ProgramStats a = benign.stats();
+  const ProgramStats b = slow.stats();
+  EXPECT_NEAR(a.total_xy_travel, b.total_xy_travel, 1e-9);
+  EXPECT_NEAR(a.total_extrusion, b.total_extrusion, 1e-9);
+}
+
+TEST_F(AttackFixture, ScaleShrinksAboutPartCenter) {
+  const Program shrunk = attack_scale(benign, 0.95);
+  // Deposition bounding box shrinks by the factor about the part center,
+  // not the bed origin.
+  auto deposition_bbox = [](const Program& p) {
+    double min_x = 1e18, max_x = -1e18;
+    double x = 0.0, e = 0.0;
+    for (const auto& c : p.commands()) {
+      if (!c.is_move()) continue;
+      if (c.x) x = *c.x;
+      const double ne = c.e.value_or(e);
+      if (ne > e) {
+        min_x = std::min(min_x, x);
+        max_x = std::max(max_x, x);
+      }
+      e = ne;
+    }
+    return std::pair{min_x, max_x};
+  };
+  const auto [b_lo, b_hi] = deposition_bbox(benign);
+  const auto [s_lo, s_hi] = deposition_bbox(shrunk);
+  EXPECT_NEAR(s_hi - s_lo, (b_hi - b_lo) * 0.95, 0.05);
+  EXPECT_NEAR((s_lo + s_hi) / 2.0, (b_lo + b_hi) / 2.0, 0.05);
+  EXPECT_NEAR(shrunk.stats().max_z, benign.stats().max_z * 0.95, 1e-6);
+}
+
+TEST_F(AttackFixture, InfillGridReslicesWithGridPattern) {
+  const Program grid = attack_infill_grid(outline, cfg);
+  EXPECT_NE(grid.size(), benign.size());
+  EXPECT_NE(grid.name().find("InfillGrid"), std::string::npos);
+  EXPECT_EQ(grid.layer_starts().size(), benign.layer_starts().size());
+}
+
+TEST_F(AttackFixture, LayerHeightChangesLayerCount) {
+  const Program thick = attack_layer_height(outline, cfg, 0.3);
+  EXPECT_LT(thick.layer_starts().size(), benign.layer_starts().size());
+  EXPECT_EQ(thick.layer_starts().size(), 3u);
+  EXPECT_THROW(attack_layer_height(outline, cfg, 0.0), std::invalid_argument);
+}
+
+TEST_F(AttackFixture, DispatchCoversEveryAttack) {
+  for (AttackType a : all_attacks()) {
+    const Program p = apply_attack(a, benign, outline, cfg);
+    EXPECT_FALSE(p.empty()) << attack_name(a);
+    // Every attack must differ from the benign program somewhere.
+    bool differs = p.size() != benign.size();
+    if (!differs) {
+      for (std::size_t i = 0; i < p.size(); ++i) {
+        const auto& x = p[i];
+        const auto& y = benign[i];
+        if (x.type != y.type || x.x != y.x || x.y != y.y || x.z != y.z ||
+            x.e != y.e || x.f != y.f) {
+          differs = true;
+          break;
+        }
+      }
+    }
+    EXPECT_TRUE(differs) << attack_name(a) << " left the program unchanged";
+  }
+}
+
+}  // namespace
+}  // namespace nsync::gcode

@@ -1,0 +1,142 @@
+// Tests for the comparator: vertical distances for DWM windows, DTW paths
+// and the unsynchronized baselines.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/comparator.hpp"
+#include "signal/rng.hpp"
+
+namespace nsync::core {
+namespace {
+
+using nsync::signal::Rng;
+using nsync::signal::Signal;
+
+Signal smooth_noise(std::size_t frames, std::uint64_t seed) {
+  Rng rng(seed);
+  Signal s(frames, 2, 100.0);
+  double lp0 = 0.0, lp1 = 0.0;
+  for (std::size_t n = 0; n < frames; ++n) {
+    lp0 += 0.4 * (rng.normal() - lp0);
+    lp1 += 0.4 * (rng.normal() - lp1);
+    s(n, 0) = lp0;
+    s(n, 1) = lp1;
+  }
+  return s;
+}
+
+DwmParams params() {
+  DwmParams p;
+  p.n_win = 32;
+  p.n_hop = 16;
+  p.n_ext = 8;
+  p.n_sigma = 4.0;
+  return p;
+}
+
+TEST(ComparatorDwm, IdenticalWindowsScoreZero) {
+  const Signal b = smooth_noise(400, 1);
+  const std::vector<double> h_disp(20, 0.0);
+  const auto v = vertical_distances_dwm(b, b, h_disp, params());
+  ASSERT_EQ(v.size(), 20u);
+  for (double d : v) EXPECT_NEAR(d, 0.0, 1e-9);
+}
+
+TEST(ComparatorDwm, CorrectDisplacementRestoresZeroDistance) {
+  // a is b shifted by +5; with h_disp = +5 every window matches exactly.
+  const Signal b = smooth_noise(500, 2);
+  Signal a(400, 2, 100.0);
+  for (std::size_t n = 0; n < a.frames(); ++n) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      a(n, c) = b(n + 5, c);
+    }
+  }
+  const std::vector<double> correct(15, 5.0);
+  const auto v_good = vertical_distances_dwm(a, b, correct, params());
+  const std::vector<double> wrong(15, 0.0);
+  const auto v_bad = vertical_distances_dwm(a, b, wrong, params());
+  ASSERT_EQ(v_good.size(), v_bad.size());
+  double good = 0.0, bad = 0.0;
+  for (std::size_t i = 0; i < v_good.size(); ++i) {
+    good += v_good[i];
+    bad += v_bad[i];
+  }
+  EXPECT_NEAR(good, 0.0, 1e-6);
+  EXPECT_GT(bad, 0.5);
+}
+
+TEST(ComparatorDwm, ClampsDisplacementIntoReference) {
+  const Signal a = smooth_noise(96, 3);
+  const Signal b = smooth_noise(96, 4);
+  // Absurd displacement must clamp, not throw or read out of bounds.
+  const std::vector<double> h_disp(3, 1e6);
+  const auto v = vertical_distances_dwm(a, b, h_disp, params());
+  EXPECT_EQ(v.size(), 3u);
+  const std::vector<double> h_neg(3, -1e6);
+  EXPECT_EQ(vertical_distances_dwm(a, b, h_neg, params()).size(), 3u);
+}
+
+TEST(ComparatorDwm, StopsAtObservedEnd) {
+  const Signal a = smooth_noise(50, 5);  // only one full window (32 @ hop 16)
+  const Signal b = smooth_noise(200, 6);
+  const std::vector<double> h_disp(10, 0.0);  // more entries than windows
+  const auto v = vertical_distances_dwm(a, b, h_disp, params());
+  EXPECT_EQ(v.size(), 2u);  // windows at 0 and 16 fit; 32+32 > 50
+}
+
+TEST(ComparatorDtw, DelegatesToPath) {
+  const Signal a = smooth_noise(30, 7);
+  const Signal b = smooth_noise(30, 8);
+  const WarpPath path = {{0, 0}, {1, 1}, {2, 2}};
+  const auto v =
+      vertical_distances_dtw(a, b, path, DistanceMetric::kEuclidean);
+  ASSERT_EQ(v.size(), 30u);
+  EXPECT_NEAR(v[0], frame_distance(a, 0, b, 0, DistanceMetric::kEuclidean),
+              1e-12);
+}
+
+TEST(ComparatorUnsynced, PointwiseOverlapOnly) {
+  const Signal a = smooth_noise(40, 9);
+  const Signal b = smooth_noise(60, 10);
+  const auto v = vertical_distances_unsynced(a, b, DistanceMetric::kMae);
+  EXPECT_EQ(v.size(), 40u);
+  const auto v0 = vertical_distances_unsynced(a, a, DistanceMetric::kMae);
+  for (double d : v0) EXPECT_DOUBLE_EQ(d, 0.0);
+}
+
+TEST(ComparatorUnsyncedWindows, TimeNoiseInflatesDistance) {
+  // The Fig. 2 phenomenon in miniature: a small shift makes window-wise
+  // correlation distances blow up even though the content is identical.
+  const Signal b = smooth_noise(600, 11);
+  Signal shifted(520, 2, 100.0);
+  for (std::size_t n = 0; n < shifted.frames(); ++n) {
+    for (std::size_t c = 0; c < 2; ++c) {
+      shifted(n, c) = b(n + 40, c);  // +40 sample shift (>> feature width)
+    }
+  }
+  const auto aligned = vertical_distances_unsynced_windows(
+      b, b, 32, 16, DistanceMetric::kCorrelation);
+  const auto misaligned = vertical_distances_unsynced_windows(
+      shifted, b, 32, 16, DistanceMetric::kCorrelation);
+  double mean_aligned = 0.0, mean_mis = 0.0;
+  for (double d : aligned) mean_aligned += d;
+  for (double d : misaligned) mean_mis += d;
+  mean_aligned /= static_cast<double>(aligned.size());
+  mean_mis /= static_cast<double>(misaligned.size());
+  EXPECT_NEAR(mean_aligned, 0.0, 1e-9);
+  EXPECT_GT(mean_mis, 0.5);
+}
+
+TEST(ComparatorUnsyncedWindows, ParameterValidation) {
+  const Signal a = smooth_noise(100, 12);
+  EXPECT_THROW(vertical_distances_unsynced_windows(a, a, 1, 4,
+                                                   DistanceMetric::kMae),
+               std::invalid_argument);
+  EXPECT_THROW(vertical_distances_unsynced_windows(a, a, 8, 0,
+                                                   DistanceMetric::kMae),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nsync::core

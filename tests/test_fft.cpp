@@ -1,0 +1,165 @@
+// Tests for the FFT: agreement with a brute-force DFT, round trips,
+// Parseval's identity, real-input symmetry, and the valid-mode
+// cross-correlation used by the fast TDE path.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <vector>
+
+#include "dsp/fft.hpp"
+#include "signal/rng.hpp"
+
+namespace nsync::dsp {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+std::vector<Complex> brute_force_dft(std::span<const Complex> x) {
+  const std::size_t n = x.size();
+  std::vector<Complex> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    Complex acc(0.0, 0.0);
+    for (std::size_t t = 0; t < n; ++t) {
+      const double ang = -2.0 * kPi * static_cast<double>(k * t) /
+                         static_cast<double>(n);
+      acc += x[t] * Complex(std::cos(ang), std::sin(ang));
+    }
+    out[k] = acc;
+  }
+  return out;
+}
+
+std::vector<Complex> random_complex(std::size_t n, std::uint64_t seed) {
+  nsync::signal::Rng rng(seed);
+  std::vector<Complex> v(n);
+  for (auto& x : v) x = Complex(rng.normal(), rng.normal());
+  return v;
+}
+
+TEST(FftHelpers, PowerOfTwoPredicates) {
+  EXPECT_TRUE(is_power_of_two(1));
+  EXPECT_TRUE(is_power_of_two(2));
+  EXPECT_TRUE(is_power_of_two(1024));
+  EXPECT_FALSE(is_power_of_two(0));
+  EXPECT_FALSE(is_power_of_two(3));
+  EXPECT_FALSE(is_power_of_two(1023));
+  EXPECT_EQ(next_power_of_two(1), 1u);
+  EXPECT_EQ(next_power_of_two(5), 8u);
+  EXPECT_EQ(next_power_of_two(1024), 1024u);
+  EXPECT_EQ(next_power_of_two(1025), 2048u);
+}
+
+TEST(FftRadix2, RejectsNonPowerOfTwo) {
+  std::vector<Complex> v(6);
+  EXPECT_THROW(fft_radix2(v), std::invalid_argument);
+}
+
+class FftAgainstDft : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftAgainstDft, MatchesBruteForce) {
+  const std::size_t n = GetParam();
+  const auto x = random_complex(n, 1234 + n);
+  const auto fast = fft(x);
+  const auto slow = brute_force_dft(x);
+  ASSERT_EQ(fast.size(), slow.size());
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_NEAR(fast[k].real(), slow[k].real(), 1e-8 * static_cast<double>(n))
+        << "bin " << k;
+    EXPECT_NEAR(fast[k].imag(), slow[k].imag(), 1e-8 * static_cast<double>(n))
+        << "bin " << k;
+  }
+}
+
+// Mix of power-of-two (radix-2 path) and arbitrary sizes (Bluestein path).
+INSTANTIATE_TEST_SUITE_P(Sizes, FftAgainstDft,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 12, 16, 17,
+                                           31, 32, 60, 64, 100, 128, 243));
+
+class FftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftRoundTrip, IfftInvertsFft) {
+  const std::size_t n = GetParam();
+  const auto x = random_complex(n, 777 + n);
+  const auto back = ifft(fft(x));
+  ASSERT_EQ(back.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i].real(), x[i].real(), 1e-9);
+    EXPECT_NEAR(back[i].imag(), x[i].imag(), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftRoundTrip,
+                         ::testing::Values(2, 3, 8, 15, 64, 100, 256));
+
+TEST(Fft, ParsevalIdentity) {
+  const auto x = random_complex(128, 5);
+  const auto y = fft(x);
+  double time_energy = 0.0, freq_energy = 0.0;
+  for (const auto& v : x) time_energy += std::norm(v);
+  for (const auto& v : y) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy, time_energy * 128.0, 1e-6 * freq_energy);
+}
+
+TEST(Rfft, DetectsToneInCorrectBin) {
+  const std::size_t n = 256;
+  const double fs = 256.0;
+  std::vector<double> x(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = std::sin(2.0 * kPi * 32.0 * static_cast<double>(i) / fs);
+  }
+  const auto mags = rfft_magnitude(x);
+  ASSERT_EQ(mags.size(), n / 2 + 1);
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < mags.size(); ++k) {
+    if (mags[k] > mags[best]) best = k;
+  }
+  EXPECT_EQ(best, 32u);  // bin = f * n / fs
+  EXPECT_NEAR(mags[32], 128.0, 1e-6);  // amplitude n/2 for a unit sine
+}
+
+TEST(Rfft, RealInputLength) {
+  std::vector<double> x(100, 1.0);
+  const auto bins = rfft(x);
+  EXPECT_EQ(bins.size(), 51u);
+  EXPECT_NEAR(bins[0].real(), 100.0, 1e-9);  // DC = sum
+}
+
+TEST(CrossCorrelateValid, MatchesBruteForce) {
+  nsync::signal::Rng rng(9);
+  std::vector<double> x(50), y(13);
+  for (auto& v : x) v = rng.normal();
+  for (auto& v : y) v = rng.normal();
+  const auto fast = cross_correlate_valid(x, y);
+  ASSERT_EQ(fast.size(), x.size() - y.size() + 1);
+  for (std::size_t k = 0; k < fast.size(); ++k) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i) acc += x[k + i] * y[i];
+    EXPECT_NEAR(fast[k], acc, 1e-9);
+  }
+}
+
+TEST(CrossCorrelateValid, FindsEmbeddedTemplate) {
+  nsync::signal::Rng rng(10);
+  std::vector<double> y(16);
+  for (auto& v : y) v = rng.normal();
+  std::vector<double> x(100, 0.0);
+  const std::size_t at = 37;
+  for (std::size_t i = 0; i < y.size(); ++i) x[at + i] = y[i];
+  const auto scores = cross_correlate_valid(x, y);
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < scores.size(); ++k) {
+    if (scores[k] > scores[best]) best = k;
+  }
+  EXPECT_EQ(best, at);
+}
+
+TEST(CrossCorrelateValid, RejectsBadSizes) {
+  std::vector<double> x(5), y(9);
+  EXPECT_THROW(cross_correlate_valid(x, y), std::invalid_argument);
+  EXPECT_THROW(cross_correlate_valid(x, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nsync::dsp

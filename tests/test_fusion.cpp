@@ -1,0 +1,148 @@
+// Tests for the multi-channel fusion extension.
+#include <gtest/gtest.h>
+
+#include "core/fusion.hpp"
+#include "signal/rng.hpp"
+
+namespace nsync::core {
+namespace {
+
+using nsync::signal::Rng;
+using nsync::signal::Signal;
+
+Signal band_noise(std::size_t frames, std::uint64_t seed) {
+  Rng rng(seed);
+  Signal s(frames, 2, 100.0);
+  double lp0 = 0.0, lp1 = 0.0;
+  for (std::size_t n = 0; n < frames; ++n) {
+    lp0 += 0.35 * (rng.normal() - lp0);
+    lp1 += 0.35 * (rng.normal() - lp1);
+    s(n, 0) = lp0;
+    s(n, 1) = lp1;
+  }
+  return s;
+}
+
+Signal observe(const Signal& b, std::uint64_t seed, bool tampered) {
+  Rng rng(seed);
+  Signal a = b;
+  for (std::size_t n = 0; n < a.frames(); ++n) {
+    for (std::size_t c = 0; c < a.channels(); ++c) {
+      a(n, c) += rng.normal(0.0, 0.02);
+    }
+  }
+  if (tampered) {
+    double lp = 0.0;
+    for (std::size_t n = a.frames() / 3; n < 2 * a.frames() / 3; ++n) {
+      lp += 0.35 * (rng.normal() - lp);
+      for (std::size_t c = 0; c < a.channels(); ++c) a(n, c) = lp;
+    }
+  }
+  return a;
+}
+
+NsyncConfig small_config() {
+  NsyncConfig cfg;
+  cfg.sync = SyncMethod::kDwm;
+  cfg.dwm.n_win = 64;
+  cfg.dwm.n_hop = 32;
+  cfg.dwm.n_ext = 24;
+  cfg.dwm.n_sigma = 12.0;
+  cfg.r = 0.3;
+  return cfg;
+}
+
+class FusionFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ref_a_ = band_noise(1000, 1);
+    ref_b_ = band_noise(1000, 2);
+    for (std::uint64_t s = 0; s < 5; ++s) {
+      FusionIds::SignalMap run;
+      run["A"] = observe(ref_a_, 100 + s, false);
+      run["B"] = observe(ref_b_, 200 + s, false);
+      train_.push_back(std::move(run));
+    }
+  }
+
+  FusionIds make(FusionRule rule) {
+    FusionIds ids(rule);
+    ids.add_channel("A", ref_a_, small_config());
+    ids.add_channel("B", ref_b_, small_config());
+    ids.fit(train_);
+    return ids;
+  }
+
+  Signal ref_a_, ref_b_;
+  std::vector<FusionIds::SignalMap> train_;
+};
+
+TEST_F(FusionFixture, RegistrationAndIntrospection) {
+  FusionIds ids(FusionRule::kAny);
+  ids.add_channel("A", ref_a_, small_config());
+  EXPECT_EQ(ids.channels(), 1u);
+  EXPECT_THROW(ids.add_channel("A", ref_a_, small_config()),
+               std::invalid_argument);
+  EXPECT_THROW(ids.member("Z"), std::invalid_argument);
+  EXPECT_EQ(fusion_rule_name(FusionRule::kMajority), "majority");
+}
+
+TEST_F(FusionFixture, BenignPassesAllRules) {
+  for (FusionRule rule :
+       {FusionRule::kAny, FusionRule::kMajority, FusionRule::kAll}) {
+    FusionIds ids = make(rule);
+    FusionIds::SignalMap obs;
+    obs["A"] = observe(ref_a_, 900, false);
+    obs["B"] = observe(ref_b_, 901, false);
+    EXPECT_FALSE(ids.detect(obs).intrusion) << fusion_rule_name(rule);
+  }
+}
+
+TEST_F(FusionFixture, AttackOnBothChannelsCaughtByAllRules) {
+  for (FusionRule rule :
+       {FusionRule::kAny, FusionRule::kMajority, FusionRule::kAll}) {
+    FusionIds ids = make(rule);
+    FusionIds::SignalMap obs;
+    obs["A"] = observe(ref_a_, 902, true);
+    obs["B"] = observe(ref_b_, 903, true);
+    const FusionDetection d = ids.detect(obs);
+    EXPECT_TRUE(d.intrusion) << fusion_rule_name(rule);
+    EXPECT_EQ(d.alarming_channels, 2u);
+    EXPECT_EQ(d.per_channel.size(), 2u);
+  }
+}
+
+TEST_F(FusionFixture, SingleChannelLeakSplitsTheRules) {
+  // Attack visible on channel A only (channel B's observation is benign):
+  // kAny fires, kAll does not; with two channels, majority (> half) does
+  // not fire either.
+  FusionIds::SignalMap obs;
+  obs["A"] = observe(ref_a_, 904, true);
+  obs["B"] = observe(ref_b_, 905, false);
+  EXPECT_TRUE(make(FusionRule::kAny).detect(obs).intrusion);
+  EXPECT_FALSE(make(FusionRule::kAll).detect(obs).intrusion);
+  EXPECT_FALSE(make(FusionRule::kMajority).detect(obs).intrusion);
+}
+
+TEST_F(FusionFixture, MissingChannelThrows) {
+  FusionIds ids = make(FusionRule::kAny);
+  FusionIds::SignalMap incomplete;
+  incomplete["A"] = observe(ref_a_, 906, false);
+  EXPECT_THROW(ids.detect(incomplete), std::invalid_argument);
+
+  FusionIds unfit(FusionRule::kAny);
+  unfit.add_channel("A", ref_a_, small_config());
+  std::vector<FusionIds::SignalMap> bad_train = {{}};
+  EXPECT_THROW(unfit.fit(bad_train), std::invalid_argument);
+}
+
+TEST_F(FusionFixture, EmptyFusionRejected) {
+  FusionIds ids(FusionRule::kAny);
+  std::vector<FusionIds::SignalMap> empty_train = {};
+  EXPECT_THROW(ids.fit(empty_train), std::logic_error);
+  FusionIds::SignalMap obs;
+  EXPECT_THROW(ids.detect(obs), std::logic_error);
+}
+
+}  // namespace
+}  // namespace nsync::core

@@ -1,0 +1,192 @@
+// Integration tests: the full pipeline from G-code through the simulator,
+// sensor rig and dataset generator into NSYNC and the baselines, at tiny
+// scale.  These are the repository's end-to-end guarantees; the bench
+// binaries run the same pipeline at larger scales.
+#include <gtest/gtest.h>
+
+#include "core/nsync.hpp"
+#include "eval/dataset.hpp"
+#include "eval/experiments.hpp"
+#include "eval/setup.hpp"
+
+namespace nsync::eval {
+namespace {
+
+EvalScale micro_scale() {
+  EvalScale s = EvalScale::tiny();
+  s.train_count = 3;
+  s.benign_test_count = 3;
+  s.malicious_per_attack = 1;
+  return s;
+}
+
+class DatasetFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new Dataset(PrinterKind::kUm3, micro_scale(),
+                           {sensors::SideChannel::kAcc,
+                            sensors::SideChannel::kAud});
+  }
+  static void TearDownTestSuite() {
+    delete dataset_;
+    dataset_ = nullptr;
+  }
+  static Dataset* dataset_;
+};
+
+Dataset* DatasetFixture::dataset_ = nullptr;
+
+TEST_F(DatasetFixture, RosterMatchesTableI) {
+  EXPECT_EQ(dataset_->train().size(), 3u);
+  // 3 benign + 5 attacks x 1 repetition.
+  EXPECT_EQ(dataset_->test().size(), 8u);
+  std::size_t malicious = 0;
+  for (const auto& p : dataset_->test()) {
+    if (p.malicious) ++malicious;
+  }
+  EXPECT_EQ(malicious, 5u);
+  EXPECT_EQ(dataset_->reference().label, "Reference");
+  EXPECT_FALSE(dataset_->reference().malicious);
+}
+
+TEST_F(DatasetFixture, EveryProcessCarriesAllChannelsAndLayers) {
+  auto check = [](const ProcessSignals& p) {
+    EXPECT_EQ(p.raw.size(), 2u);
+    EXPECT_GT(p.layer_times.size(), 1u) << p.label;
+    for (const auto& [ch, sig] : p.raw) {
+      EXPECT_GT(sig.frames(), 100u);
+      EXPECT_EQ(sig.channels(), sensors::side_channel_components(ch));
+    }
+  };
+  check(dataset_->reference());
+  for (const auto& p : dataset_->train()) check(p);
+  for (const auto& p : dataset_->test()) check(p);
+}
+
+TEST_F(DatasetFixture, ChannelDataShapesAreConsistent) {
+  const ChannelData raw =
+      dataset_->channel_data(sensors::SideChannel::kAcc, Transform::kRaw);
+  EXPECT_EQ(raw.train.size(), 3u);
+  EXPECT_EQ(raw.test.size(), 8u);
+  EXPECT_DOUBLE_EQ(raw.sample_rate,
+                   eval_channel_rate(sensors::SideChannel::kAcc));
+
+  const ChannelData spec = dataset_->channel_data(
+      sensors::SideChannel::kAcc, Transform::kSpectrogram);
+  EXPECT_GT(spec.reference.signal.channels(),
+            raw.reference.signal.channels());
+  EXPECT_LT(spec.sample_rate, raw.sample_rate);
+}
+
+TEST_F(DatasetFixture, BenignRunsDifferButShareGeometry) {
+  // Time noise: two benign ACC signals have different lengths but similar
+  // total energy.
+  const auto& a = dataset_->train()[0].raw.at(sensors::SideChannel::kAcc);
+  const auto& b = dataset_->train()[1].raw.at(sensors::SideChannel::kAcc);
+  EXPECT_NE(a.frames(), b.frames());
+  EXPECT_NEAR(static_cast<double>(a.frames()),
+              static_cast<double>(b.frames()),
+              static_cast<double>(a.frames()) * 0.05);
+}
+
+TEST_F(DatasetFixture, NsyncDwmSeparatesAtMicroScale) {
+  const ChannelData data =
+      dataset_->channel_data(sensors::SideChannel::kAcc, Transform::kRaw);
+  const NsyncResult r =
+      run_nsync(data, PrinterKind::kUm3, core::SyncMethod::kDwm, 0.3);
+  // With 3 training runs the thresholds are rough; still, the attacks must
+  // be overwhelmingly detected and benign mostly passed.
+  EXPECT_GE(r.overall.tpr(), 0.8);
+  EXPECT_LE(r.overall.fpr(), 0.34);
+}
+
+TEST_F(DatasetFixture, BaselineRunnersProduceFullConfusions) {
+  const ChannelData data =
+      dataset_->channel_data(sensors::SideChannel::kAcc, Transform::kRaw);
+  EXPECT_EQ(run_moore(data).total(), 8u);
+  EXPECT_EQ(run_gao(data).total(), 8u);
+  EXPECT_EQ(run_gatlin(data).overall.total(), 8u);
+  const ChannelData aud =
+      dataset_->channel_data(sensors::SideChannel::kAud, Transform::kRaw);
+  EXPECT_EQ(run_bayens(aud, 1.0).overall.total(), 8u);
+}
+
+TEST_F(DatasetFixture, MissingChannelThrows) {
+  EXPECT_THROW(
+      dataset_->channel_data(sensors::SideChannel::kPwr, Transform::kRaw),
+      std::invalid_argument);
+}
+
+TEST_F(DatasetFixture, SyncSpeedMeasurementRuns) {
+  const ChannelData spec = dataset_->channel_data(
+      sensors::SideChannel::kAcc, Transform::kSpectrogram);
+  const SyncSpeed s = measure_sync_speed(spec, PrinterKind::kUm3);
+  EXPECT_GT(s.dwm_seconds_per_signal_second, 0.0);
+  EXPECT_GT(s.dtw_seconds_per_signal_second, 0.0);
+  EXPECT_GT(s.dtw_seconds_per_signal_second,
+            s.dtw_offline_seconds_per_signal_second);
+}
+
+TEST(DatasetStandalone, SameSeedReproducesExactly) {
+  EvalScale s = micro_scale();
+  s.train_count = 1;
+  s.benign_test_count = 1;
+  s.malicious_per_attack = 0;
+  const Dataset d1(PrinterKind::kUm3, s, {sensors::SideChannel::kAcc});
+  const Dataset d2(PrinterKind::kUm3, s, {sensors::SideChannel::kAcc});
+  const auto& a = d1.reference().raw.at(sensors::SideChannel::kAcc);
+  const auto& b = d2.reference().raw.at(sensors::SideChannel::kAcc);
+  ASSERT_EQ(a.frames(), b.frames());
+  for (std::size_t n = 0; n < a.frames(); n += 97) {
+    EXPECT_DOUBLE_EQ(a(n, 0), b(n, 0));
+  }
+}
+
+TEST(DatasetStandalone, DifferentSeedsDiffer) {
+  EvalScale s = micro_scale();
+  s.train_count = 0;
+  s.benign_test_count = 1;
+  s.malicious_per_attack = 0;
+  EvalScale s2 = s;
+  s2.seed = 777;
+  const Dataset d1(PrinterKind::kUm3, s, {sensors::SideChannel::kAcc});
+  const Dataset d2(PrinterKind::kUm3, s2, {sensors::SideChannel::kAcc});
+  const auto& a = d1.test()[0].raw.at(sensors::SideChannel::kAcc);
+  const auto& b = d2.test()[0].raw.at(sensors::SideChannel::kAcc);
+  EXPECT_NE(a.frames(), b.frames());
+}
+
+TEST(DatasetStandalone, Rm3DeltaPipelineWorks) {
+  EvalScale s = micro_scale();
+  s.train_count = 1;
+  s.benign_test_count = 1;
+  s.malicious_per_attack = 1;
+  const Dataset d(PrinterKind::kRm3, s, {sensors::SideChannel::kAcc});
+  EXPECT_EQ(d.test().size(), 6u);
+  const ChannelData data =
+      d.channel_data(sensors::SideChannel::kAcc, Transform::kRaw);
+  // DWM runs on the delta machine's signals.
+  const auto params = dwm_params_for(PrinterKind::kRm3, data.sample_rate);
+  const auto r = core::DwmSynchronizer::align(
+      data.test.front().sig.signal, data.reference.signal, params);
+  EXPECT_GT(r.h_disp.size(), 5u);
+}
+
+TEST(DatasetStandalone, EmptyChannelListRejected) {
+  EXPECT_THROW(Dataset(PrinterKind::kUm3, micro_scale(), {}),
+               std::invalid_argument);
+}
+
+TEST(RetainedChannels, MatchSectionVIIIB) {
+  EXPECT_TRUE(is_retained(sensors::SideChannel::kAcc, Transform::kRaw));
+  EXPECT_TRUE(is_retained(sensors::SideChannel::kEpt,
+                          Transform::kSpectrogram));
+  EXPECT_FALSE(is_retained(sensors::SideChannel::kEpt, Transform::kRaw));
+  EXPECT_FALSE(is_retained(sensors::SideChannel::kTmp, Transform::kRaw));
+  EXPECT_FALSE(is_retained(sensors::SideChannel::kPwr,
+                           Transform::kSpectrogram));
+  EXPECT_EQ(retained_channels().size(), 4u);
+}
+
+}  // namespace
+}  // namespace nsync::eval

@@ -1,0 +1,153 @@
+// Tests for signal serialization (NSIG / CSV) and the streaming STFT.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "dsp/streaming_stft.hpp"
+#include "signal/io.hpp"
+#include "signal/rng.hpp"
+
+namespace nsync {
+namespace {
+
+using signal::Rng;
+using signal::Signal;
+using signal::SignalView;
+
+Signal random_signal(std::size_t frames, std::size_t channels,
+                     std::uint64_t seed, double fs = 1000.0) {
+  Rng rng(seed);
+  Signal s(frames, channels, fs);
+  for (std::size_t n = 0; n < frames; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      s(n, c) = rng.normal();
+    }
+  }
+  return s;
+}
+
+TEST(SignalIo, BinaryRoundTripIsExact) {
+  const Signal s = random_signal(333, 5, 1, 48000.0);
+  std::stringstream buf;
+  signal::write_signal(buf, s);
+  const Signal back = signal::read_signal(buf);
+  ASSERT_EQ(back.frames(), s.frames());
+  ASSERT_EQ(back.channels(), s.channels());
+  EXPECT_DOUBLE_EQ(back.sample_rate(), s.sample_rate());
+  for (std::size_t n = 0; n < s.frames(); ++n) {
+    for (std::size_t c = 0; c < s.channels(); ++c) {
+      EXPECT_DOUBLE_EQ(back(n, c), s(n, c));
+    }
+  }
+}
+
+TEST(SignalIo, RejectsGarbage) {
+  std::stringstream bad("definitely not an NSIG file");
+  EXPECT_THROW(signal::read_signal(bad), std::runtime_error);
+}
+
+TEST(SignalIo, RejectsTruncation) {
+  const Signal s = random_signal(100, 2, 2);
+  std::stringstream buf;
+  signal::write_signal(buf, s);
+  const std::string full = buf.str();
+  std::stringstream cut(full.substr(0, full.size() / 2));
+  EXPECT_THROW(signal::read_signal(cut), std::runtime_error);
+}
+
+TEST(SignalIo, FileRoundTrip) {
+  const Signal s = random_signal(64, 3, 3);
+  const std::string path = ::testing::TempDir() + "/nsync_io_test.nsig";
+  signal::save_signal(path, s);
+  const Signal back = signal::load_signal(path);
+  EXPECT_EQ(back.frames(), 64u);
+  std::remove(path.c_str());
+  EXPECT_THROW(signal::load_signal("/nonexistent/dir/x.nsig"),
+               std::runtime_error);
+}
+
+TEST(SignalIo, CsvHasHeaderAndRows) {
+  Signal s = Signal::from_channels({{1.0, 2.0}, {3.0, 4.0}}, 10.0);
+  std::stringstream out;
+  signal::write_csv(out, s);
+  std::string line;
+  std::getline(out, line);
+  EXPECT_EQ(line, "t,ch0,ch1");
+  std::getline(out, line);
+  EXPECT_EQ(line, "0,1,3");
+  std::getline(out, line);
+  EXPECT_EQ(line, "0.1,2,4");
+}
+
+TEST(StreamingStft, MatchesOfflineSpectrogramExactly) {
+  const Signal s = random_signal(4096, 2, 4);
+  dsp::StftConfig cfg;
+  cfg.delta_f = 20.0;  // 50-sample window at 1 kHz
+  cfg.delta_t = 0.02;
+  const Signal offline = dsp::spectrogram(s, cfg);
+
+  dsp::StreamingStft stream(cfg, s.sample_rate(), s.channels());
+  // Push in ragged chunks.
+  std::size_t pos = 0;
+  for (std::size_t chunk : {7u, 100u, 23u, 1000u, 49u, 2000u, 917u}) {
+    const std::size_t end = std::min(pos + chunk, s.frames());
+    stream.push(SignalView(s).slice(pos, end));
+    pos = end;
+  }
+  stream.push(SignalView(s).slice(pos, s.frames()));
+
+  const Signal& live = stream.spectrogram();
+  ASSERT_EQ(live.frames(), offline.frames());
+  ASSERT_EQ(live.channels(), offline.channels());
+  for (std::size_t n = 0; n < live.frames(); ++n) {
+    for (std::size_t c = 0; c < live.channels(); ++c) {
+      EXPECT_DOUBLE_EQ(live(n, c), offline(n, c))
+          << "column " << n << " channel " << c;
+    }
+  }
+  EXPECT_DOUBLE_EQ(live.sample_rate(), offline.sample_rate());
+}
+
+TEST(StreamingStft, EmitsColumnsIncrementally) {
+  dsp::StftConfig cfg;
+  cfg.delta_f = 10.0;  // 100-sample window
+  cfg.delta_t = 0.05;  // 50-sample hop
+  dsp::StreamingStft stream(cfg, 1000.0, 1);
+  EXPECT_EQ(stream.window_samples(), 100u);
+  EXPECT_EQ(stream.hop_samples(), 50u);
+
+  const Signal part = random_signal(99, 1, 5);
+  EXPECT_EQ(stream.push(part), 0u);  // one short of a full window
+  const Signal one = random_signal(1, 1, 6);
+  EXPECT_EQ(stream.push(one), 1u);
+  const Signal fifty = random_signal(50, 1, 7);
+  EXPECT_EQ(stream.push(fifty), 1u);
+  EXPECT_EQ(stream.columns(), 2u);
+}
+
+TEST(StreamingStft, ChannelMismatchThrows) {
+  dsp::StftConfig cfg;
+  dsp::StreamingStft stream(cfg, 1000.0, 2);
+  const Signal wrong = random_signal(10, 3, 8);
+  EXPECT_THROW(stream.push(wrong), std::invalid_argument);
+  EXPECT_THROW(dsp::StreamingStft(cfg, 1000.0, 0), std::invalid_argument);
+}
+
+TEST(StreamingStft, LogMagnitudeMatchesOffline) {
+  const Signal s = random_signal(1024, 1, 9);
+  dsp::StftConfig cfg;
+  cfg.delta_f = 20.0;
+  cfg.delta_t = 0.02;
+  cfg.log_magnitude = true;
+  const Signal offline = dsp::spectrogram(s, cfg);
+  dsp::StreamingStft stream(cfg, s.sample_rate(), 1);
+  stream.push(s);
+  ASSERT_EQ(stream.columns(), offline.frames());
+  for (std::size_t n = 0; n < offline.frames(); ++n) {
+    EXPECT_DOUBLE_EQ(stream.spectrogram()(n, 3), offline(n, 3));
+  }
+}
+
+}  // namespace
+}  // namespace nsync

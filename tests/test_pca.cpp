@@ -1,0 +1,174 @@
+// Tests for the eigensolvers and PCA used by Belikovetsky's baseline.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/pca.hpp"
+#include "signal/rng.hpp"
+
+namespace nsync::dsp {
+namespace {
+
+TEST(Jacobi, DiagonalMatrixIsItsOwnEigensystem) {
+  Matrix m(3, 3);
+  m(0, 0) = 3.0;
+  m(1, 1) = 1.0;
+  m(2, 2) = 2.0;
+  const auto r = jacobi_eigen_symmetric(m);
+  ASSERT_EQ(r.values.size(), 3u);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(r.values[1], 2.0, 1e-10);
+  EXPECT_NEAR(r.values[2], 1.0, 1e-10);
+}
+
+TEST(Jacobi, Known2x2) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1 with eigenvectors
+  // (1, 1)/sqrt(2) and (1, -1)/sqrt(2).
+  Matrix m(2, 2);
+  m(0, 0) = 2.0;
+  m(0, 1) = 1.0;
+  m(1, 0) = 1.0;
+  m(1, 1) = 2.0;
+  const auto r = jacobi_eigen_symmetric(m);
+  EXPECT_NEAR(r.values[0], 3.0, 1e-10);
+  EXPECT_NEAR(r.values[1], 1.0, 1e-10);
+  EXPECT_NEAR(std::abs(r.vectors(0, 0)), 1.0 / std::sqrt(2.0), 1e-8);
+  EXPECT_NEAR(std::abs(r.vectors(1, 0)), 1.0 / std::sqrt(2.0), 1e-8);
+}
+
+TEST(Jacobi, RejectsNonSquare) {
+  Matrix m(2, 3);
+  EXPECT_THROW(jacobi_eigen_symmetric(m), std::invalid_argument);
+}
+
+Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  nsync::signal::Rng rng(seed);
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      a(i, j) = rng.normal();
+    }
+  }
+  // A^T A is symmetric positive semi-definite.
+  Matrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < n; ++k) acc += a(k, i) * a(k, j);
+      s(i, j) = acc;
+    }
+  }
+  return s;
+}
+
+class EigenAgreement : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EigenAgreement, TopKMatchesJacobi) {
+  const std::size_t n = GetParam();
+  const Matrix m = random_spd(n, 42 + n);
+  const auto full = jacobi_eigen_symmetric(m);
+  const auto topk = top_k_eigen_symmetric(m, 3);
+  for (std::size_t j = 0; j < 3; ++j) {
+    EXPECT_NEAR(topk.values[j], full.values[j],
+                1e-6 * std::max(1.0, full.values[0]))
+        << "eigenvalue " << j << " of " << n << "x" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, EigenAgreement,
+                         ::testing::Values(4, 6, 10, 16));
+
+TEST(TopKEigen, EigenvectorResidualIsSmall) {
+  const Matrix m = random_spd(12, 3);
+  const auto r = top_k_eigen_symmetric(m, 2);
+  for (std::size_t j = 0; j < 2; ++j) {
+    // || A v - lambda v || should be small.
+    double res = 0.0, vnorm = 0.0;
+    for (std::size_t i = 0; i < 12; ++i) {
+      double av = 0.0;
+      for (std::size_t k = 0; k < 12; ++k) av += m(i, k) * r.vectors(k, j);
+      const double d = av - r.values[j] * r.vectors(i, j);
+      res += d * d;
+      vnorm += r.vectors(i, j) * r.vectors(i, j);
+    }
+    EXPECT_NEAR(vnorm, 1.0, 1e-6);
+    EXPECT_LT(std::sqrt(res), 1e-4 * std::max(1.0, r.values[0]));
+  }
+}
+
+TEST(TopKEigen, RejectsBadK) {
+  const Matrix m = random_spd(4, 1);
+  EXPECT_THROW(top_k_eigen_symmetric(m, 0), std::invalid_argument);
+  EXPECT_THROW(top_k_eigen_symmetric(m, 5), std::invalid_argument);
+}
+
+nsync::signal::Signal correlated_signal(std::size_t frames,
+                                        std::uint64_t seed) {
+  // Three latent factors spread over eight channels plus small noise: the
+  // top-3 PCA should capture nearly all variance.
+  nsync::signal::Rng rng(seed);
+  nsync::signal::Signal s(frames, 8, 100.0);
+  for (std::size_t n = 0; n < frames; ++n) {
+    const double f0 = rng.normal(0.0, 3.0);
+    const double f1 = rng.normal(0.0, 2.0);
+    const double f2 = rng.normal(0.0, 1.0);
+    for (std::size_t c = 0; c < 8; ++c) {
+      const double w0 = std::sin(static_cast<double>(c));
+      const double w1 = std::cos(static_cast<double>(c) * 1.3);
+      const double w2 = std::sin(static_cast<double>(c) * 2.1 + 0.5);
+      s(n, c) = w0 * f0 + w1 * f1 + w2 * f2 + rng.normal(0.0, 0.01);
+    }
+  }
+  return s;
+}
+
+TEST(Pca, CapturesLowRankStructure) {
+  const auto s = correlated_signal(500, 11);
+  const Pca model = Pca::fit(s, 3);
+  EXPECT_EQ(model.components(), 3u);
+  EXPECT_EQ(model.input_channels(), 8u);
+  // Explained variance sorted descending.
+  const auto& ev = model.explained_variance();
+  EXPECT_GE(ev[0], ev[1]);
+  EXPECT_GE(ev[1], ev[2]);
+  // Three factors -> third component still carries real variance, and a
+  // hypothetical fourth would not; compare against total channel variance.
+  EXPECT_GT(ev[2], 0.01);
+}
+
+TEST(Pca, TransformOutputIsDecorrelated) {
+  const auto s = correlated_signal(800, 12);
+  const Pca model = Pca::fit(s, 3);
+  const auto t = model.transform(s);
+  EXPECT_EQ(t.channels(), 3u);
+  EXPECT_EQ(t.frames(), s.frames());
+  // Cross-covariance between distinct PCA outputs should be ~0.
+  for (std::size_t a = 0; a < 3; ++a) {
+    for (std::size_t b = a + 1; b < 3; ++b) {
+      double acc = 0.0;
+      for (std::size_t n = 0; n < t.frames(); ++n) acc += t(n, a) * t(n, b);
+      acc /= static_cast<double>(t.frames());
+      const double scale = std::sqrt(model.explained_variance()[a] *
+                                     model.explained_variance()[b]);
+      EXPECT_LT(std::abs(acc), 0.05 * scale) << a << "," << b;
+    }
+  }
+}
+
+TEST(Pca, TransformRejectsChannelMismatch) {
+  const auto s = correlated_signal(100, 13);
+  const Pca model = Pca::fit(s, 2);
+  nsync::signal::Signal other(10, 5, 100.0);
+  EXPECT_THROW(model.transform(other), std::invalid_argument);
+}
+
+TEST(Pca, FitRejectsDegenerateInput) {
+  nsync::signal::Signal s(1, 4, 100.0);
+  EXPECT_THROW(Pca::fit(s, 2), std::invalid_argument);
+  nsync::signal::Signal s2(10, 4, 100.0);
+  EXPECT_THROW(Pca::fit(s2, 0), std::invalid_argument);
+  EXPECT_THROW(Pca::fit(s2, 5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nsync::dsp

@@ -1,0 +1,115 @@
+// Tests for sample-rate conversion and piecewise-linear sampling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "signal/resample.hpp"
+#include "signal/signal.hpp"
+
+namespace nsync::signal {
+namespace {
+
+TEST(ResampleLinear, RampSurvivesRateChange) {
+  // A linear ramp resamples exactly under linear interpolation.
+  Signal s(100, 1, 100.0);
+  for (std::size_t n = 0; n < s.frames(); ++n) {
+    s(n, 0) = static_cast<double>(n);
+  }
+  const Signal down = resample_linear(s, 50.0);
+  EXPECT_DOUBLE_EQ(down.sample_rate(), 50.0);
+  ASSERT_GE(down.frames(), 40u);
+  for (std::size_t n = 0; n < down.frames(); ++n) {
+    EXPECT_NEAR(down(n, 0), static_cast<double>(2 * n), 1e-9);
+  }
+}
+
+TEST(ResampleLinear, UpsamplingInterpolatesBetweenSamples) {
+  Signal s = Signal::from_samples({0.0, 1.0}, 10.0);
+  const Signal up = resample_linear(s, 20.0);
+  ASSERT_GE(up.frames(), 3u);
+  EXPECT_NEAR(up(1, 0), 0.5, 1e-12);
+}
+
+TEST(ResampleLinear, PreservesChannelCount) {
+  Signal s(64, 3, 100.0);
+  const Signal r = resample_linear(s, 33.0);
+  EXPECT_EQ(r.channels(), 3u);
+}
+
+TEST(ResampleLinear, RejectsBadRate) {
+  Signal s(10, 1, 100.0);
+  EXPECT_THROW(resample_linear(s, 0.0), std::invalid_argument);
+}
+
+TEST(Decimate, AveragesBlocks) {
+  Signal s = Signal::from_samples({1.0, 3.0, 5.0, 7.0}, 100.0);
+  const Signal d = decimate(s, 2);
+  EXPECT_EQ(d.frames(), 2u);
+  EXPECT_DOUBLE_EQ(d(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(d.sample_rate(), 50.0);
+}
+
+TEST(Decimate, FactorOneIsCopy) {
+  Signal s = Signal::from_samples({1.0, 2.0}, 10.0);
+  const Signal d = decimate(s, 1);
+  EXPECT_EQ(d.frames(), 2u);
+  EXPECT_DOUBLE_EQ(d(1, 0), 2.0);
+  EXPECT_THROW(decimate(s, 0), std::invalid_argument);
+}
+
+TEST(SamplePiecewiseLinear, HitsBreakpointsExactly) {
+  const std::vector<double> times = {0.0, 1.0, 2.0};
+  const std::vector<double> values = {0.0, 10.0, 0.0};
+  const auto out = sample_piecewise_linear(times, values, 10.0, 2.0);
+  ASSERT_EQ(out.size(), 21u);
+  EXPECT_NEAR(out[0], 0.0, 1e-12);
+  EXPECT_NEAR(out[10], 10.0, 1e-12);
+  EXPECT_NEAR(out[20], 0.0, 1e-12);
+  EXPECT_NEAR(out[5], 5.0, 1e-12);  // midpoint of the rising edge
+}
+
+TEST(SamplePiecewiseLinear, ClampsOutsideRange) {
+  const std::vector<double> times = {1.0, 2.0};
+  const std::vector<double> values = {5.0, 7.0};
+  const auto out = sample_piecewise_linear(times, values, 10.0, 3.0);
+  EXPECT_NEAR(out.front(), 5.0, 1e-12);  // before the first breakpoint
+  EXPECT_NEAR(out.back(), 7.0, 1e-12);   // after the last breakpoint
+}
+
+TEST(SamplePiecewiseLinear, RejectsMismatchedInput) {
+  const std::vector<double> times = {0.0, 1.0};
+  const std::vector<double> values = {0.0};
+  EXPECT_THROW(sample_piecewise_linear(times, values, 10.0, 1.0),
+               std::invalid_argument);
+  EXPECT_THROW(sample_piecewise_linear(times, times, -1.0, 1.0),
+               std::invalid_argument);
+}
+
+// Property: resampling a sine keeps its amplitude within tolerance as long
+// as it stays well below Nyquist.
+class SineResampleProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(SineResampleProperty, AmplitudePreserved) {
+  const double new_rate = GetParam();
+  const double fs = 1000.0;
+  const double tone = 10.0;  // Hz, well below every tested Nyquist
+  Signal s(2000, 1, fs);
+  for (std::size_t n = 0; n < s.frames(); ++n) {
+    s(n, 0) = std::sin(2.0 * std::numbers::pi * tone *
+                       static_cast<double>(n) / fs);
+  }
+  const Signal r = resample_linear(s, new_rate);
+  double peak = 0.0;
+  for (std::size_t n = 0; n < r.frames(); ++n) {
+    peak = std::max(peak, std::abs(r(n, 0)));
+  }
+  EXPECT_NEAR(peak, 1.0, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, SineResampleProperty,
+                         ::testing::Values(250.0, 500.0, 1500.0));
+
+}  // namespace
+}  // namespace nsync::signal

@@ -1,0 +1,134 @@
+// Unit and property tests for the descriptive statistics helpers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+#include <vector>
+
+#include "signal/rng.hpp"
+#include "signal/signal.hpp"
+#include "signal/stats.hpp"
+
+namespace nsync::signal {
+namespace {
+
+TEST(Stats, MeanOfKnownValues) {
+  const std::vector<double> v = {1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(v), 2.5);
+  EXPECT_DOUBLE_EQ(mean(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, VarianceAndStddev) {
+  const std::vector<double> v = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(variance(v), 4.0);  // classic textbook example
+  EXPECT_DOUBLE_EQ(stddev(v), 2.0);
+  EXPECT_DOUBLE_EQ(variance(std::vector<double>{1.0}), 0.0);
+}
+
+TEST(Stats, Rms) {
+  const std::vector<double> v = {3.0, -4.0};
+  EXPECT_DOUBLE_EQ(rms(v), std::sqrt(12.5));
+  EXPECT_DOUBLE_EQ(rms(std::vector<double>{}), 0.0);
+}
+
+TEST(Stats, MinMaxArgThrowOnEmpty) {
+  const std::vector<double> empty;
+  EXPECT_THROW(min_value(empty), std::invalid_argument);
+  EXPECT_THROW(max_value(empty), std::invalid_argument);
+  EXPECT_THROW(argmax(empty), std::invalid_argument);
+  EXPECT_THROW(argmin(empty), std::invalid_argument);
+}
+
+TEST(Stats, ArgmaxFirstOccurrence) {
+  const std::vector<double> v = {1.0, 5.0, 5.0, 2.0};
+  EXPECT_EQ(argmax(v), 1u);
+  EXPECT_EQ(argmin(v), 0u);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> u = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> v = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_NEAR(pearson(u, v), 1.0, 1e-12);
+  std::vector<double> w = {40.0, 30.0, 20.0, 10.0};
+  EXPECT_NEAR(pearson(u, w), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonZeroVarianceIsZero) {
+  const std::vector<double> u = {1.0, 1.0, 1.0};
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(u, v), 0.0);
+}
+
+TEST(Stats, PearsonLengthMismatchThrows) {
+  const std::vector<double> u = {1.0, 2.0};
+  const std::vector<double> v = {1.0, 2.0, 3.0};
+  EXPECT_THROW(pearson(u, v), std::invalid_argument);
+}
+
+TEST(Stats, PearsonGainAndOffsetInvariance) {
+  Rng rng(7);
+  std::vector<double> u(64);
+  for (auto& x : u) x = rng.normal();
+  std::vector<double> v(64);
+  for (std::size_t i = 0; i < u.size(); ++i) v[i] = 3.5 * u[i] - 11.0;
+  EXPECT_NEAR(pearson(u, v), 1.0, 1e-12);
+}
+
+TEST(Stats, ChannelMeansAndStddevs) {
+  Signal s = Signal::from_channels({{1.0, 3.0}, {10.0, 10.0}}, 10.0);
+  const auto mu = channel_means(s);
+  ASSERT_EQ(mu.size(), 2u);
+  EXPECT_DOUBLE_EQ(mu[0], 2.0);
+  EXPECT_DOUBLE_EQ(mu[1], 10.0);
+  const auto sd = channel_stddevs(s);
+  EXPECT_DOUBLE_EQ(sd[0], 1.0);
+  EXPECT_DOUBLE_EQ(sd[1], 0.0);
+}
+
+TEST(Stats, ChannelPeaks) {
+  Signal s = Signal::from_channels({{-5.0, 3.0}, {0.5, -0.25}}, 10.0);
+  const auto pk = channel_peaks(s);
+  EXPECT_DOUBLE_EQ(pk[0], 5.0);
+  EXPECT_DOUBLE_EQ(pk[1], 0.5);
+}
+
+// Property: pearson is symmetric and bounded in [-1, 1] on random data.
+class PearsonProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PearsonProperty, SymmetricAndBounded) {
+  Rng rng(GetParam());
+  std::vector<double> u(48), v(48);
+  for (auto& x : u) x = rng.normal();
+  for (auto& x : v) x = rng.normal(1.0, 3.0);
+  const double puv = pearson(u, v);
+  const double pvu = pearson(v, u);
+  EXPECT_NEAR(puv, pvu, 1e-12);
+  EXPECT_GE(puv, -1.0 - 1e-12);
+  EXPECT_LE(puv, 1.0 + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PearsonProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// Property: variance is translation invariant and scales quadratically.
+class VarianceProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(VarianceProperty, ScalesQuadratically) {
+  const double k = GetParam();
+  Rng rng(99);
+  std::vector<double> u(100);
+  for (auto& x : u) x = rng.normal();
+  std::vector<double> shifted(u.size()), scaled(u.size());
+  for (std::size_t i = 0; i < u.size(); ++i) {
+    shifted[i] = u[i] + 42.0;
+    scaled[i] = k * u[i];
+  }
+  EXPECT_NEAR(variance(shifted), variance(u), 1e-9);
+  EXPECT_NEAR(variance(scaled), k * k * variance(u), 1e-9 * (1.0 + k * k));
+}
+
+INSTANTIATE_TEST_SUITE_P(Scales, VarianceProperty,
+                         ::testing::Values(0.5, 1.0, 2.0, 10.0));
+
+}  // namespace
+}  // namespace nsync::signal

@@ -1,0 +1,155 @@
+// Tests for Time Delay Estimation and its biased variant (Sections V-B,
+// VI-B).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "core/tde.hpp"
+#include "signal/rng.hpp"
+
+namespace nsync::core {
+namespace {
+
+using nsync::signal::Rng;
+using nsync::signal::Signal;
+
+Signal random_signal(std::size_t frames, std::size_t channels,
+                     std::uint64_t seed) {
+  Rng rng(seed);
+  Signal s(frames, channels, 100.0);
+  for (std::size_t n = 0; n < frames; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      s(n, c) = rng.normal();
+    }
+  }
+  return s;
+}
+
+TEST(Tde, ScoresHaveExpectedLength) {
+  const Signal x = random_signal(100, 2, 1);
+  const Signal y = random_signal(30, 2, 2);
+  const auto s = similarity_scores(x, y);
+  EXPECT_EQ(s.size(), 71u);  // Nx - Ny + 1
+}
+
+TEST(Tde, ShapeChecks) {
+  const Signal x = random_signal(10, 2, 1);
+  const Signal y3 = random_signal(5, 3, 2);
+  EXPECT_THROW(similarity_scores(x, y3), std::invalid_argument);
+  const Signal y_long = random_signal(20, 2, 3);
+  EXPECT_THROW(similarity_scores(x, y_long), std::invalid_argument);
+}
+
+class TdeDelayProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TdeDelayProperty, RecoversExactEmbeddedDelay) {
+  const std::size_t delay = GetParam();
+  const Signal y = random_signal(40, 3, 77);
+  Signal x = random_signal(200, 3, 78);
+  for (std::size_t n = 0; n < y.frames(); ++n) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      x(delay + n, c) = y(n, c);
+    }
+  }
+  EXPECT_EQ(estimate_delay(x, y), delay);
+  // Naive and FFT TDE paths agree.
+  TdeOptions naive;
+  naive.use_fft = false;
+  EXPECT_EQ(estimate_delay(x, y, naive), delay);
+}
+
+INSTANTIATE_TEST_SUITE_P(Delays, TdeDelayProperty,
+                         ::testing::Values(0, 1, 17, 80, 159, 160));
+
+TEST(Tde, MultichannelAveragingUsesAllChannels) {
+  // The template appears at index 20 in channel 0 and at index 60 in
+  // channel 1; with per-channel averaging the combined score peaks where
+  // the average evidence is strongest, not necessarily at either single
+  // channel's position.  Here channel 0 carries a much stronger copy, so
+  // the average must still find 20.
+  Rng rng(5);
+  Signal y(20, 2, 100.0);
+  for (std::size_t n = 0; n < 20; ++n) {
+    y(n, 0) = rng.normal();
+    y(n, 1) = rng.normal();
+  }
+  Signal x(120, 2, 100.0);
+  for (std::size_t n = 0; n < 120; ++n) {
+    x(n, 0) = 0.01 * rng.normal();
+    x(n, 1) = 0.01 * rng.normal();
+  }
+  for (std::size_t n = 0; n < 20; ++n) {
+    x(20 + n, 0) = y(n, 0);
+    x(20 + n, 1) = y(n, 1);
+  }
+  EXPECT_EQ(estimate_delay(x, y), 20u);
+}
+
+TEST(Tdeb, BiasScoresPeaksAtCenter) {
+  std::vector<double> flat(21, 1.0);
+  const auto biased = bias_scores(flat, 10.0, 3.0);
+  EXPECT_NEAR(biased[10], 1.0, 1e-12);
+  EXPECT_LT(biased[0], biased[10]);
+  EXPECT_LT(biased[20], biased[10]);
+  EXPECT_NEAR(biased[7], std::exp(-0.5), 1e-9);  // one sigma away
+  EXPECT_THROW(bias_scores(flat, 10.0, 0.0), std::invalid_argument);
+}
+
+TEST(Tdeb, PeriodicSignalPulledTowardCenter) {
+  // A periodic template matches at several delays with equal score; the
+  // bias must select the one closest to the expected center (Fig. 5).
+  const double period = 16.0;
+  auto tone = [&](std::size_t n) {
+    return std::sin(2.0 * std::numbers::pi * static_cast<double>(n) / period);
+  };
+  Signal x(160, 1, 100.0);
+  for (std::size_t n = 0; n < x.frames(); ++n) x(n, 0) = tone(n);
+  Signal y(32, 1, 100.0);
+  for (std::size_t n = 0; n < y.frames(); ++n) y(n, 0) = tone(n);
+  // Unbiased TDE may return any multiple of the period; TDEB centered at
+  // 64 must return the match nearest 64 (which is exactly 64, since the
+  // tone is periodic with period 16 | 64).
+  const std::size_t biased = estimate_delay_biased(x, y, 64.0, 8.0);
+  EXPECT_EQ(biased, 64u);
+}
+
+TEST(Tdeb, NoiseOnlyWindowStaysNearCenter) {
+  // When the window is pure noise the unbiased argmax is arbitrary; the
+  // bias keeps the estimate near the center (the paper's stability
+  // argument).
+  const Signal x = random_signal(300, 1, 31);
+  const Signal y = random_signal(50, 1, 32);  // unrelated noise
+  const double center = 125.0;
+  const std::size_t j = estimate_delay_biased(x, y, center, 20.0);
+  EXPECT_NEAR(static_cast<double>(j), center, 60.0);
+}
+
+TEST(Tdeb, StrongTrueMatchOverridesBias) {
+  // A genuine match far from the center must still win against the bias
+  // when it is unambiguous (score ~1 vs noise scores ~0).
+  const Signal y = random_signal(40, 2, 41);
+  Signal x = random_signal(300, 2, 42);
+  const std::size_t at = 230;
+  for (std::size_t n = 0; n < y.frames(); ++n) {
+    for (std::size_t c = 0; c < 2; ++c) x(at + n, c) = y(n, c);
+  }
+  // Center at 40, sigma 120 — wide enough that exp(-0.5*(190/120)^2) ~ 0.28
+  // times score 1.0 still beats every noise score (|noise| < ~0.28).
+  const std::size_t j = estimate_delay_biased(x, y, 40.0, 120.0);
+  EXPECT_EQ(j, at);
+}
+
+TEST(Tdeb, NegativeScoreShiftKeepsArgmaxMeaningful) {
+  // All-negative score arrays (anti-correlated windows) must not break the
+  // bias multiplication.
+  Signal x(60, 1, 100.0);
+  Signal y(20, 1, 100.0);
+  for (std::size_t n = 0; n < 60; ++n) x(n, 0) = std::sin(0.3 * n);
+  for (std::size_t n = 0; n < 20; ++n) y(n, 0) = -std::sin(0.3 * n);
+  const std::size_t j = estimate_delay_biased(x, y, 20.0, 5.0);
+  EXPECT_LT(j, 41u);  // must return a valid index without throwing
+}
+
+}  // namespace
+}  // namespace nsync::core

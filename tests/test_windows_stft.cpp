@@ -1,0 +1,168 @@
+// Tests for window functions and the spectrogram pipeline (Table III).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "dsp/stft.hpp"
+#include "dsp/windows.hpp"
+#include "signal/signal.hpp"
+
+namespace nsync::dsp {
+namespace {
+
+constexpr double kPi = std::numbers::pi;
+
+TEST(Windows, ParseNames) {
+  EXPECT_EQ(parse_window_type("boxcar"), WindowType::kBoxcar);
+  EXPECT_EQ(parse_window_type("Blackman-Harris"), WindowType::kBlackmanHarris);
+  EXPECT_EQ(parse_window_type("BH"), WindowType::kBlackmanHarris);
+  EXPECT_EQ(parse_window_type("HANN"), WindowType::kHann);
+  EXPECT_EQ(parse_window_type("gauss"), WindowType::kGaussian);
+  EXPECT_THROW(parse_window_type("kaiser"), std::invalid_argument);
+}
+
+TEST(Windows, NamesRoundTrip) {
+  for (auto t : {WindowType::kBoxcar, WindowType::kHann,
+                 WindowType::kBlackmanHarris, WindowType::kGaussian}) {
+    EXPECT_EQ(parse_window_type(window_type_name(t)), t);
+  }
+}
+
+TEST(Windows, BoxcarIsAllOnes) {
+  const auto w = make_window(WindowType::kBoxcar, 8);
+  for (double x : w) EXPECT_DOUBLE_EQ(x, 1.0);
+}
+
+class WindowSymmetry : public ::testing::TestWithParam<WindowType> {};
+
+TEST_P(WindowSymmetry, SymmetricAndBounded) {
+  const auto w = make_window(GetParam(), 65);
+  ASSERT_EQ(w.size(), 65u);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    EXPECT_NEAR(w[i], w[w.size() - 1 - i], 1e-12) << "i=" << i;
+    EXPECT_GE(w[i], -1e-12);
+    EXPECT_LE(w[i], 1.0 + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTypes, WindowSymmetry,
+                         ::testing::Values(WindowType::kBoxcar,
+                                           WindowType::kHann,
+                                           WindowType::kBlackmanHarris,
+                                           WindowType::kGaussian));
+
+TEST(Windows, HannEndpointsNearZeroCenterOne) {
+  const auto w = make_window(WindowType::kHann, 33);
+  EXPECT_NEAR(w.front(), 0.0, 1e-12);
+  EXPECT_NEAR(w.back(), 0.0, 1e-12);
+  EXPECT_NEAR(w[16], 1.0, 1e-12);
+}
+
+TEST(Windows, GaussianPeaksAtCenter) {
+  const auto w = gaussian_window(21, 3.0);
+  EXPECT_NEAR(w[10], 1.0, 1e-12);
+  EXPECT_LT(w.front(), w[10]);
+  EXPECT_THROW(gaussian_window(5, 0.0), std::invalid_argument);
+}
+
+TEST(Windows, TrivialLengths) {
+  EXPECT_EQ(make_window(WindowType::kHann, 0).size(), 0u);
+  const auto w1 = make_window(WindowType::kBlackmanHarris, 1);
+  ASSERT_EQ(w1.size(), 1u);
+  EXPECT_DOUBLE_EQ(w1[0], 1.0);
+}
+
+TEST(Stft, GeometryMatchesTableIII) {
+  // ACC at the paper's 4 kHz with delta_f = 20 Hz -> 200-sample window,
+  // 101 bins; delta_t = 1/80 s -> 50-sample hop; 6 channels -> 606 output
+  // channels (Table III: 101 x 6).
+  StftConfig cfg;
+  cfg.delta_f = 20.0;
+  cfg.delta_t = 1.0 / 80.0;
+  EXPECT_EQ(stft_window_samples(cfg, 4000.0), 200u);
+  EXPECT_EQ(stft_bins(cfg, 4000.0), 101u);
+  EXPECT_EQ(stft_hop_samples(cfg, 4000.0), 50u);
+
+  nsync::signal::Signal s(4000, 6, 4000.0);
+  const auto spec = spectrogram(s, cfg);
+  EXPECT_EQ(spec.channels(), 606u);
+  EXPECT_DOUBLE_EQ(spec.sample_rate(), 80.0);
+}
+
+TEST(Stft, ToneLandsInCorrectBin) {
+  const double fs = 1000.0;
+  const double tone = 100.0;
+  nsync::signal::Signal s(4000, 1, fs);
+  for (std::size_t n = 0; n < s.frames(); ++n) {
+    s(n, 0) = std::sin(2.0 * kPi * tone * static_cast<double>(n) / fs);
+  }
+  StftConfig cfg;
+  cfg.delta_f = 10.0;  // window = 100 samples, bins every 10 Hz
+  cfg.delta_t = 0.05;
+  const auto spec = spectrogram(s, cfg);
+  // Expected peak bin: tone / delta_f = 10.
+  for (std::size_t col = 1; col + 1 < spec.frames(); ++col) {
+    std::size_t best = 0;
+    for (std::size_t k = 0; k < spec.channels(); ++k) {
+      if (spec(col, k) > spec(col, best)) best = k;
+    }
+    EXPECT_EQ(best, 10u) << "column " << col;
+  }
+}
+
+TEST(Stft, SpectrogramIsTimeShiftTolerantPerColumn) {
+  // The magnitude spectrum of a stationary tone does not depend on the
+  // phase at which the window lands — the property that makes spectrograms
+  // useful for comparing signals with small misalignment.
+  const double fs = 1000.0;
+  nsync::signal::Signal s(2048, 1, fs);
+  for (std::size_t n = 0; n < s.frames(); ++n) {
+    s(n, 0) = std::sin(2.0 * kPi * 50.0 * static_cast<double>(n) / fs);
+  }
+  StftConfig cfg;
+  cfg.delta_f = 10.0;
+  cfg.delta_t = 0.013;  // deliberately not phase-locked to the tone
+  const auto spec = spectrogram(s, cfg);
+  const std::size_t bin = 5;
+  for (std::size_t col = 1; col + 1 < spec.frames(); ++col) {
+    EXPECT_NEAR(spec(col, bin), spec(1, bin), 0.02 * spec(1, bin));
+  }
+}
+
+TEST(Stft, LogMagnitudeCompresses) {
+  nsync::signal::Signal s(512, 1, 1000.0);
+  for (std::size_t n = 0; n < s.frames(); ++n) {
+    s(n, 0) = 100.0 * std::sin(2.0 * kPi * 100.0 * static_cast<double>(n) /
+                               1000.0);
+  }
+  StftConfig lin;
+  lin.delta_f = 10.0;
+  lin.delta_t = 0.05;
+  StftConfig log = lin;
+  log.log_magnitude = true;
+  const auto a = spectrogram(s, lin);
+  const auto b = spectrogram(s, log);
+  double max_lin = 0.0, max_log = 0.0;
+  for (std::size_t k = 0; k < a.channels(); ++k) {
+    max_lin = std::max(max_lin, a(0, k));
+    max_log = std::max(max_log, b(0, k));
+  }
+  EXPECT_GT(max_lin, 100.0);
+  EXPECT_LT(max_log, 12.0);
+  EXPECT_NEAR(max_log, std::log1p(max_lin), 1e-9);
+}
+
+TEST(Stft, ErrorsOnShortSignalOrBadConfig) {
+  nsync::signal::Signal s(10, 1, 1000.0);
+  StftConfig cfg;
+  cfg.delta_f = 10.0;  // needs a 100-sample window
+  cfg.delta_t = 0.01;
+  EXPECT_THROW(spectrogram(s, cfg), std::invalid_argument);
+  StftConfig bad;
+  bad.delta_f = -1.0;
+  EXPECT_THROW(stft_window_samples(bad, 1000.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nsync::dsp
