@@ -67,6 +67,7 @@ int main(int argc, char** argv) {
     std::cout << CliOptions::usage(argv[0]);
     return 0;
   }
+  opt.configure_runtime();
 
   std::cout << "ABLATION: TDEB bias on/off (NSYNC/DWM, ACC raw)\n\n";
   AsciiTable table({"Printer", "Bias", "Overall FPR/TPR", "Accuracy",

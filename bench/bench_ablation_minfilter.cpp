@@ -25,6 +25,7 @@ int main(int argc, char** argv) {
     std::cout << CliOptions::usage(argv[0]);
     return 0;
   }
+  opt.configure_runtime();
 
   std::cout << "ABLATION: discriminator min-filter window (ACC raw)\n\n";
   AsciiTable table({"Printer", "filter", "Overall", "h_dist", "v_dist",

@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
     std::cout << CliOptions::usage(argv[0]);
     return 0;
   }
+  opt.configure_runtime();
 
   std::cout << "ABLATION: OCC margin r sweep (NSYNC/DWM, ACC raw)\n"
             << "(paper claim: larger r lowers FPR at the cost of FNR)\n\n";

@@ -28,6 +28,7 @@ int main(int argc, char** argv) {
     std::cout << CliOptions::usage(argv[0]);
     return 0;
   }
+  opt.configure_runtime();
 
   std::cout << "EXTENSION: multi-channel fusion of NSYNC/DWM verdicts\n"
             << "(expected shape: 'any' keeps TPR 1.00 and can only raise\n"

@@ -46,6 +46,7 @@ int main(int argc, char** argv) {
     std::cout << CliOptions::usage(argv[0]);
     return 0;
   }
+  opt.configure_runtime();
 
   std::cout << "EXTENSION: layer-change detection from the ACC signal\n"
             << "(replaces the ground-truth layer moments the baselines\n"

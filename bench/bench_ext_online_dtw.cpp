@@ -51,6 +51,7 @@ int main(int argc, char** argv) {
     std::cout << CliOptions::usage(argv[0]);
     return 0;
   }
+  opt.configure_runtime();
 
   std::cout << "EXTENSION: on-line (banded streaming) DTW as the NSYNC\n"
             << "synchronizer, ACC spectrogram, vs DWM on the same data.\n"

@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
     std::cout << CliOptions::usage(argv[0]);
     return 0;
   }
+  opt.configure_runtime();
 
   std::cout << "FIG. 1: three runs of the same G-code on the same printer\n"
             << "(paper shape: aligned at the beginning, misaligned at the\n"

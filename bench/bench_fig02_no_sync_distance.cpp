@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
     std::cout << CliOptions::usage(argv[0]);
     return 0;
   }
+  opt.configure_runtime();
 
   std::cout << "FIG. 2: correlation distances without DSYNC (ACC, windowed)\n"
             << "(paper shape: benign distances grow as the signals drift\n"

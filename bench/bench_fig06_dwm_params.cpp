@@ -61,6 +61,7 @@ int main(int argc, char** argv) {
     std::cout << CliOptions::usage(argv[0]);
     return 0;
   }
+  opt.configure_runtime();
 
   const PrinterKind printer = opt.printers.front();
   EvalScale scale = opt.scale;

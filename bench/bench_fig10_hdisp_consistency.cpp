@@ -86,6 +86,7 @@ int main(int argc, char** argv) {
     std::cout << CliOptions::usage(argv[0]);
     return 0;
   }
+  opt.configure_runtime();
 
   std::cout << "FIG. 10: h_disp consistency across side channels\n"
             << "(correlation vs the ACC-raw h_disp curve; paper shape:\n"

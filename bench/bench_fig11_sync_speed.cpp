@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
     std::cout << CliOptions::usage(argv[0]);
     return 0;
   }
+  opt.configure_runtime();
 
   std::cout << "FIG. 11: seconds of compute per second of spectrogram signal\n"
             << "for REAL-TIME operation.  DWM is causal (one pass == live\n"

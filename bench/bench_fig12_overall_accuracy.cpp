@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
     std::cout << CliOptions::usage(argv[0]);
     return 0;
   }
+  opt.configure_runtime();
 
   Confusion moore, gao, bayens, belikovetsky, gatlin, nsync_dtw, nsync_dwm;
 

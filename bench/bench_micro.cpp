@@ -1,6 +1,7 @@
-// google-benchmark micro benchmarks for the hot paths: FFT, sliding
-// correlation (naive vs FFT — the TDE ablation), one DWM window step,
-// spectrogram columns, and FastDTW.
+// google-benchmark micro benchmarks for the hot paths: FFT (cached vs
+// uncached plans), sliding correlation (naive vs FFT — the TDE ablation),
+// one DWM window step, spectrogram columns, FastDTW, and end-to-end
+// dataset generation across runtime pool sizes.
 #include <benchmark/benchmark.h>
 
 #include "core/dtw.hpp"
@@ -9,6 +10,9 @@
 #include "dsp/fft.hpp"
 #include "dsp/stft.hpp"
 #include "dsp/xcorr.hpp"
+#include "eval/dataset.hpp"
+#include "eval/setup.hpp"
+#include "runtime/thread_pool.hpp"
 #include "signal/rng.hpp"
 #include "signal/signal.hpp"
 
@@ -49,6 +53,36 @@ void BM_FftRadix2(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
 }
 BENCHMARK(BM_FftRadix2)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_FftCached(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<dsp::Complex> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = dsp::Complex(std::sin(0.1 * static_cast<double>(i)), 0.0);
+  }
+  for (auto _ : state) {
+    auto copy = data;
+    dsp::fft_radix2(copy);  // plan-cache path (twiddle + bitrev tables)
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftCached)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_FftUncached(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<dsp::Complex> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = dsp::Complex(std::sin(0.1 * static_cast<double>(i)), 0.0);
+  }
+  for (auto _ : state) {
+    auto copy = data;
+    dsp::fft_radix2_uncached(copy);  // recomputes twiddles every call
+    benchmark::DoNotOptimize(copy);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_FftUncached)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
 
 void BM_FftBluestein(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -136,6 +170,29 @@ void BM_DwmAlign(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DwmAlign)->Arg(1024)->Arg(4096);
+
+void BM_DatasetParallel(benchmark::State& state) {
+  // End-to-end tiny-roster generation (26 simulated processes, ACC+AUD
+  // rendered) across runtime pool sizes; the speedup at threads:4 vs
+  // threads:1 is the headline number for the parallel runtime.
+  runtime::set_worker_count(static_cast<std::size_t>(state.range(0)));
+  const eval::EvalScale scale = eval::EvalScale::tiny();
+  const std::vector<sensors::SideChannel> channels = {
+      sensors::SideChannel::kAcc, sensors::SideChannel::kAud};
+  for (auto _ : state) {
+    eval::Dataset ds(eval::PrinterKind::kUm3, scale, channels);
+    benchmark::DoNotOptimize(ds.test().size());
+  }
+  state.SetItemsProcessed(state.iterations());
+  runtime::set_worker_count(0);  // restore automatic sizing
+}
+BENCHMARK(BM_DatasetParallel)
+    ->ArgName("threads")
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

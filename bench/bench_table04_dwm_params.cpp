@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
     std::cout << CliOptions::usage(argv[0]);
     return 0;
   }
+  opt.configure_runtime();
 
   std::cout << "TABLE IV: Parameters in DWM\n\n";
   {

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
     std::cout << CliOptions::usage(argv[0]);
     return 0;
   }
+  opt.configure_runtime();
 
   std::cout << "TABLE V: Results for Moore's and Gao's IDSs (r = 0)\n"
             << "(format: FPR/TPR; paper shape: without fine DSYNC the OCC\n"

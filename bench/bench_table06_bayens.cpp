@@ -26,6 +26,7 @@ int main(int argc, char** argv) {
     std::cout << CliOptions::usage(argv[0]);
     return 0;
   }
+  opt.configure_runtime();
 
   std::cout << "TABLE VI: Detection Results for Bayens' IDS (AUD only)\n"
             << "(paper shape: the sequence sub-module false-alarms heavily\n"

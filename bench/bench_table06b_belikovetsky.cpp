@@ -24,6 +24,7 @@ int main(int argc, char** argv) {
     std::cout << CliOptions::usage(argv[0]);
     return 0;
   }
+  opt.configure_runtime();
 
   std::cout << "Belikovetsky's IDS (Section VIII-C): AUD spectrogram, PCA->3\n"
             << "channels, point-by-point cosine, no DSYNC.\n"

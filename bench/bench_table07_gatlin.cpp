@@ -22,6 +22,7 @@ int main(int argc, char** argv) {
     std::cout << CliOptions::usage(argv[0]);
     return 0;
   }
+  opt.configure_runtime();
 
   std::cout << "TABLE VII: Detection Results for Gatlin's IDS\n"
             << "(paper shape: TPR 1.00 nearly everywhere — layer timing is\n"

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
     std::cout << CliOptions::usage(argv[0]);
     return 0;
   }
+  opt.configure_runtime();
 
   std::cout << "TABLE VIII: Detection Results for NSYNC with DWM (r = 0.3)\n"
             << "(format: FPR/TPR; paper shape: overall TPR 1.00 on every\n"

@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
     std::cout << CliOptions::usage(argv[0]);
     return 0;
   }
+  opt.configure_runtime();
 
   std::cout << "TABLE IX: Detection Results for NSYNC with DTW (r = 0.3,\n"
             << "FastDTW radius 1, spectrograms only)\n"

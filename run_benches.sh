@@ -1,11 +1,22 @@
 #!/bin/sh
 # Runs every experiment binary at its default (quick) scale and captures
 # the output; used to produce bench_output.txt for EXPERIMENTS.md.
+#
+# NSYNC_THREADS passthrough: when set in the environment, it is forwarded
+# to every binary both as the environment variable (honored by the
+# runtime's automatic sizing) and explicitly as --threads, so the pool
+# size used for the committed outputs is visible in the invocation.
 set -u
+THREAD_FLAGS=""
+if [ -n "${NSYNC_THREADS:-}" ]; then
+  THREAD_FLAGS="--threads ${NSYNC_THREADS}"
+  echo "## NSYNC_THREADS=${NSYNC_THREADS}"
+fi
 for b in "$@"; do
   echo "===================================================================="
   echo "== $b"
   echo "===================================================================="
-  ./build/bench/"$b" 2>&1
+  # shellcheck disable=SC2086  # THREAD_FLAGS intentionally word-splits
+  NSYNC_THREADS="${NSYNC_THREADS:-}" ./build/bench/"$b" $THREAD_FLAGS 2>&1
   echo
 done

@@ -47,6 +47,14 @@ struct Analysis {
 ///   NsyncIds ids(reference, config);
 ///   ids.fit(benign_training_signals);
 ///   Detection d = ids.detect(observed);
+///
+/// Thread safety: after construction (and, for detect, after fit) the
+/// const methods — analyze(), detect(), thresholds(), config(),
+/// reference() — touch no mutable state (no caches, no lazy init) and
+/// may be called concurrently from any number of threads on one
+/// instance; the eval experiment runners do exactly that.  fit(),
+/// fit_from_analyses() and set_thresholds() are writers and must not
+/// overlap with readers.
 class NsyncIds {
  public:
   NsyncIds(nsync::signal::Signal reference, NsyncConfig config);

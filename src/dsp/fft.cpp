@@ -1,8 +1,13 @@
 #include "dsp/fft.hpp"
 
+#include <atomic>
 #include <cmath>
+#include <memory>
+#include <mutex>
 #include <numbers>
+#include <shared_mutex>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace nsync::dsp {
 
@@ -10,36 +15,185 @@ namespace {
 
 constexpr double kPi = std::numbers::pi;
 
-// Bluestein's algorithm: expresses a length-N DFT as a convolution, which is
-// evaluated with a power-of-two FFT.  Handles any N.
+// ---------------------------------------------------------------------------
+// Plan cache.
+//
+// Radix-2 plans hold the bit-reversal permutation and the forward twiddle
+// table w_n^k = exp(-2*pi*i*k/n), k < n/2; stage `len` reads the table at
+// stride n/len, which is both faster and more accurate than the repeated
+// w *= wlen recurrence of the uncached path.  Bluestein plans hold the
+// chirp and the FFT of the convolution kernel per (n, direction).
+// Plans are immutable once built, published via shared_ptr, and looked up
+// under a shared_mutex, so any number of threads can transform
+// concurrently.
+// ---------------------------------------------------------------------------
+
+struct Radix2Plan {
+  std::vector<std::size_t> bitrev;  ///< bitrev[i] = bit-reversed i
+  std::vector<Complex> twiddle;     ///< forward w_n^k, k < n/2
+};
+
+struct BluesteinPlan {
+  std::size_t m = 0;            ///< power-of-two convolution length
+  std::vector<Complex> chirp;   ///< w[k] = exp(sign*i*pi*k^2/n)
+  std::vector<Complex> kernel;  ///< fft of the padded conj-chirp sequence
+};
+
+std::shared_ptr<const Radix2Plan> build_radix2_plan(std::size_t n) {
+  auto plan = std::make_shared<Radix2Plan>();
+  plan->bitrev.resize(n);
+  plan->bitrev[0] = 0;
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    plan->bitrev[i] = j;
+  }
+  plan->twiddle.resize(n / 2);
+  for (std::size_t k = 0; k < n / 2; ++k) {
+    const double ang = -2.0 * kPi * static_cast<double>(k) /
+                       static_cast<double>(n);
+    plan->twiddle[k] = Complex(std::cos(ang), std::sin(ang));
+  }
+  return plan;
+}
+
+void run_radix2_plan(std::span<Complex> data, const Radix2Plan& plan,
+                     bool inverse) {
+  const std::size_t n = data.size();
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = plan.bitrev[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const std::size_t stride = n / len;
+    for (std::size_t i = 0; i < n; i += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        Complex w = plan.twiddle[k * stride];
+        if (inverse) w = std::conj(w);
+        const Complex u = data[i + k];
+        const Complex v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+      }
+    }
+  }
+  if (inverse) {
+    for (auto& x : data) x /= static_cast<double>(n);
+  }
+}
+
+class PlanCache {
+ public:
+  std::shared_ptr<const Radix2Plan> radix2(std::size_t n) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      const auto it = radix2_.find(n);
+      if (it != radix2_.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    auto plan = build_radix2_plan(n);  // built outside any lock
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    const auto [it, inserted] = radix2_.emplace(n, std::move(plan));
+    (void)inserted;  // a racing builder may have won; use its plan
+    return it->second;
+  }
+
+  std::shared_ptr<const BluesteinPlan> bluestein(std::size_t n,
+                                                 bool inverse) {
+    const std::size_t key = (n << 1) | (inverse ? 1 : 0);
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      const auto it = bluestein_.find(key);
+      if (it != bluestein_.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    auto plan = build_bluestein_plan(n, inverse);
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    const auto [it, inserted] = bluestein_.emplace(key, std::move(plan));
+    (void)inserted;
+    return it->second;
+  }
+
+  [[nodiscard]] FftCacheStats stats() {
+    FftCacheStats s;
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    s.radix2_plans = radix2_.size();
+    s.bluestein_plans = bluestein_.size();
+    s.hits = hits_.load(std::memory_order_relaxed);
+    s.misses = misses_.load(std::memory_order_relaxed);
+    return s;
+  }
+
+  void clear() {
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    radix2_.clear();
+    bluestein_.clear();
+    hits_.store(0, std::memory_order_relaxed);
+    misses_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::shared_ptr<const BluesteinPlan> build_bluestein_plan(std::size_t n,
+                                                            bool inverse) {
+    const double sign = inverse ? 1.0 : -1.0;
+    auto plan = std::make_shared<BluesteinPlan>();
+    plan->chirp.resize(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      // k^2 mod 2n keeps the argument bounded for large k.
+      const auto k2 = static_cast<double>((k * k) % (2 * n));
+      const double ang = sign * kPi * k2 / static_cast<double>(n);
+      plan->chirp[k] = Complex(std::cos(ang), std::sin(ang));
+    }
+    plan->m = next_power_of_two(2 * n - 1);
+    std::vector<Complex> b(plan->m, Complex(0.0, 0.0));
+    b[0] = std::conj(plan->chirp[0]);
+    for (std::size_t k = 1; k < n; ++k) {
+      b[k] = b[plan->m - k] = std::conj(plan->chirp[k]);
+    }
+    run_radix2_plan(b, *radix2(plan->m), /*inverse=*/false);
+    plan->kernel = std::move(b);
+    return plan;
+  }
+
+  std::shared_mutex mu_;
+  std::unordered_map<std::size_t, std::shared_ptr<const Radix2Plan>> radix2_;
+  std::unordered_map<std::size_t, std::shared_ptr<const BluesteinPlan>>
+      bluestein_;
+  std::atomic<std::size_t> hits_{0};
+  std::atomic<std::size_t> misses_{0};
+};
+
+PlanCache& plan_cache() {
+  static PlanCache cache;
+  return cache;
+}
+
+// Bluestein's algorithm: expresses a length-N DFT as a convolution, which
+// is evaluated with a power-of-two FFT.  Handles any N.  The chirp and the
+// kernel FFT come from the plan cache; only the data-dependent convolution
+// runs per call, in a per-thread scratch buffer.
 std::vector<Complex> bluestein(std::span<const Complex> input, bool inverse) {
   const std::size_t n = input.size();
-  const double sign = inverse ? 1.0 : -1.0;
-  // Chirp: w[k] = exp(sign * i * pi * k^2 / n).  Use k^2 mod 2n to keep the
-  // argument bounded for large k.
-  std::vector<Complex> chirp(n);
+  const auto plan = plan_cache().bluestein(n, inverse);
+  const auto radix2 = plan_cache().radix2(plan->m);
+  thread_local std::vector<Complex> scratch;
+  scratch.assign(plan->m, Complex(0.0, 0.0));
   for (std::size_t k = 0; k < n; ++k) {
-    const auto k2 = static_cast<double>((k * k) % (2 * n));
-    const double ang = sign * kPi * k2 / static_cast<double>(n);
-    chirp[k] = Complex(std::cos(ang), std::sin(ang));
+    scratch[k] = input[k] * plan->chirp[k];
   }
-  const std::size_t m = next_power_of_two(2 * n - 1);
-  std::vector<Complex> a(m, Complex(0.0, 0.0));
-  std::vector<Complex> b(m, Complex(0.0, 0.0));
-  for (std::size_t k = 0; k < n; ++k) {
-    a[k] = input[k] * chirp[k];
-  }
-  b[0] = std::conj(chirp[0]);
-  for (std::size_t k = 1; k < n; ++k) {
-    b[k] = b[m - k] = std::conj(chirp[k]);
-  }
-  fft_radix2(a);
-  fft_radix2(b);
-  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
-  fft_radix2(a, /*inverse=*/true);  // includes the 1/m normalization
+  run_radix2_plan(scratch, *radix2, /*inverse=*/false);
+  for (std::size_t k = 0; k < plan->m; ++k) scratch[k] *= plan->kernel[k];
+  run_radix2_plan(scratch, *radix2, /*inverse=*/true);  // includes 1/m
   std::vector<Complex> out(n);
   for (std::size_t k = 0; k < n; ++k) {
-    out[k] = a[k] * chirp[k];
+    out[k] = scratch[k] * plan->chirp[k];
   }
   return out;
 }
@@ -59,6 +213,17 @@ void fft_radix2(std::span<Complex> data, bool inverse) {
   if (n == 0) return;
   if (!is_power_of_two(n)) {
     throw std::invalid_argument("fft_radix2: size must be a power of two");
+  }
+  if (n == 1) return;
+  run_radix2_plan(data, *plan_cache().radix2(n), inverse);
+}
+
+void fft_radix2_uncached(std::span<Complex> data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0) return;
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument(
+        "fft_radix2_uncached: size must be a power of two");
   }
   // Bit-reversal permutation.
   for (std::size_t i = 1, j = 0; i < n; ++i) {
@@ -136,8 +301,12 @@ std::vector<double> cross_correlate_valid(std::span<const double> x,
   const std::size_t ny = y.size();
   const std::size_t n_out = nx - ny + 1;
   const std::size_t m = next_power_of_two(nx + ny);
-  std::vector<Complex> fx(m, Complex(0.0, 0.0));
-  std::vector<Complex> fy(m, Complex(0.0, 0.0));
+  // Per-thread scratch: this runs once per TDE window, so the padded
+  // buffers are reused across millions of calls instead of reallocated.
+  thread_local std::vector<Complex> fx;
+  thread_local std::vector<Complex> fy;
+  fx.assign(m, Complex(0.0, 0.0));
+  fy.assign(m, Complex(0.0, 0.0));
   for (std::size_t i = 0; i < nx; ++i) fx[i] = Complex(x[i], 0.0);
   // Time-reverse y so the convolution computes correlation.
   for (std::size_t i = 0; i < ny; ++i) fy[i] = Complex(y[ny - 1 - i], 0.0);
@@ -151,5 +320,9 @@ std::vector<double> cross_correlate_valid(std::span<const double> x,
   }
   return out;
 }
+
+FftCacheStats fft_plan_cache_stats() { return plan_cache().stats(); }
+
+void fft_plan_cache_clear() { plan_cache().clear(); }
 
 }  // namespace nsync::dsp

@@ -4,6 +4,12 @@
 // fallback so that any length is supported, and a real-input convenience
 // wrapper returning the N/2+1 non-negative-frequency bins used by the
 // spectrogram pipeline (Table III of the paper).
+//
+// All entry points share a process-wide, thread-safe plan cache: radix-2
+// twiddle factors and bit-reversal permutations are computed once per
+// size, and the Bluestein chirp plus the FFT of its convolution kernel
+// are computed once per (size, direction).  Every function here is safe
+// to call concurrently from multiple threads.
 #ifndef NSYNC_DSP_FFT_HPP
 #define NSYNC_DSP_FFT_HPP
 
@@ -22,8 +28,14 @@ using Complex = std::complex<double>;
 /// Smallest power of two >= n (n >= 1).
 [[nodiscard]] std::size_t next_power_of_two(std::size_t n);
 
-/// In-place forward FFT; `data.size()` must be a power of two.
+/// In-place forward FFT; `data.size()` must be a power of two.  Uses the
+/// cached plan for that size (creating it on first use).
 void fft_radix2(std::span<Complex> data, bool inverse = false);
+
+/// Reference radix-2 FFT that recomputes its twiddle factors on every
+/// call (the pre-cache implementation).  Kept for the cache-equivalence
+/// tests and the BM_FftUncached micro-bench; prefer fft_radix2.
+void fft_radix2_uncached(std::span<Complex> data, bool inverse = false);
 
 /// Forward DFT of arbitrary length (radix-2 when possible, Bluestein
 /// otherwise).  Returns a new vector of the same length.
@@ -45,6 +57,20 @@ void fft_radix2(std::span<Complex> data, bool inverse = false);
 /// by the fast sliding-correlation TDE path.
 [[nodiscard]] std::vector<double> cross_correlate_valid(
     std::span<const double> x, std::span<const double> y);
+
+/// Counters for the process-wide FFT plan cache (all sizes since start
+/// or the last fft_plan_cache_clear()).
+struct FftCacheStats {
+  std::size_t radix2_plans = 0;     ///< distinct radix-2 sizes planned
+  std::size_t bluestein_plans = 0;  ///< distinct (size, direction) pairs
+  std::size_t hits = 0;             ///< lookups served from the cache
+  std::size_t misses = 0;           ///< lookups that had to build a plan
+};
+
+[[nodiscard]] FftCacheStats fft_plan_cache_stats();
+
+/// Drops every cached plan and resets the counters (for tests).
+void fft_plan_cache_clear();
 
 }  // namespace nsync::dsp
 

@@ -40,7 +40,8 @@ Signal spectrogram(const SignalView& s, const StftConfig& cfg) {
         "spectrogram: signal shorter than one analysis window");
   }
   const std::size_t columns = (s.frames() - n_win) / n_hop + 1;
-  const auto window = make_window(cfg.window, n_win);
+  const auto window_ptr = cached_window(cfg.window, n_win);
+  const auto& window = *window_ptr;
 
   Signal out(columns, bins * s.channels(), 1.0 / cfg.delta_t);
   std::vector<double> buf(n_win);

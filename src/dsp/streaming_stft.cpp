@@ -17,7 +17,7 @@ StreamingStft::StreamingStft(const StftConfig& config, double input_rate,
       n_win_(stft_window_samples(config, input_rate)),
       n_hop_(stft_hop_samples(config, input_rate)),
       bins_(n_win_ / 2 + 1),
-      window_(make_window(config.window, n_win_)),
+      window_(cached_window(config.window, n_win_)),
       input_buffer_(Signal::empty(input_channels, input_rate)),
       output_(Signal::empty(input_channels * (n_win_ / 2 + 1),
                             1.0 / config.delta_t)) {
@@ -42,7 +42,7 @@ bool StreamingStft::emit_next_column() {
   std::vector<double> buf(n_win_);
   for (std::size_t c = 0; c < channels_; ++c) {
     for (std::size_t i = 0; i < n_win_; ++i) {
-      buf[i] = input_buffer_(next_start_ + i, c) * window_[i];
+      buf[i] = input_buffer_(next_start_ + i, c) * (*window_)[i];
     }
     const auto mags = rfft_magnitude(buf);
     for (std::size_t k = 0; k < bins_; ++k) {

@@ -9,6 +9,7 @@
 #define NSYNC_DSP_STREAMING_STFT_HPP
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "dsp/stft.hpp"
@@ -47,7 +48,7 @@ class StreamingStft {
   std::size_t n_win_;
   std::size_t n_hop_;
   std::size_t bins_;
-  std::vector<double> window_;
+  std::shared_ptr<const std::vector<double>> window_;
   nsync::signal::Signal input_buffer_;
   nsync::signal::Signal output_;
   std::size_t next_start_ = 0;  // raw index of the next column's window

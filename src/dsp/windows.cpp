@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <map>
+#include <memory>
+#include <mutex>
 #include <numbers>
 #include <stdexcept>
+#include <utility>
 
 namespace nsync::dsp {
 
@@ -69,6 +73,22 @@ std::vector<double> make_window(WindowType type, std::size_t n) {
       return gaussian_window(n, static_cast<double>(n) / 6.0);
   }
   return w;
+}
+
+std::shared_ptr<const std::vector<double>> cached_window(WindowType type,
+                                                         std::size_t n) {
+  using Key = std::pair<WindowType, std::size_t>;
+  static std::mutex mu;
+  static std::map<Key, std::shared_ptr<const std::vector<double>>> cache;
+  const Key key{type, n};
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  auto w = std::make_shared<const std::vector<double>>(make_window(type, n));
+  std::lock_guard<std::mutex> lock(mu);
+  return cache.emplace(key, std::move(w)).first->second;
 }
 
 std::vector<double> gaussian_window(std::size_t n, double sigma) {

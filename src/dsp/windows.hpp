@@ -4,6 +4,7 @@
 #define NSYNC_DSP_WINDOWS_HPP
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,13 @@ enum class WindowType {
 
 /// Returns an N-point window of the requested type.
 [[nodiscard]] std::vector<double> make_window(WindowType type, std::size_t n);
+
+/// Cached variant of make_window: coefficients for a given (type, n) are
+/// computed once per process and shared.  Thread-safe; the returned
+/// vector is immutable.  The STFT uses this so repeated spectrograms of
+/// same-rate signals stop recomputing their window on every call.
+[[nodiscard]] std::shared_ptr<const std::vector<double>> cached_window(
+    WindowType type, std::size_t n);
 
 /// N-point Gaussian window centered at (n-1)/2 with the given standard
 /// deviation in samples.  This is the TDEB bias window: multiplying the

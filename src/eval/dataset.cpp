@@ -1,10 +1,12 @@
 #include "eval/dataset.hpp"
 
 #include <cmath>
+#include <mutex>
 #include <stdexcept>
 
 #include "dsp/stft.hpp"
 #include "printer/simulator.hpp"
+#include "runtime/thread_pool.hpp"
 #include "sensors/rig.hpp"
 
 namespace nsync::eval {
@@ -101,18 +103,30 @@ Dataset::Dataset(PrinterKind kind, const EvalScale& scale,
     }
   }
 
+  // Processes are embarrassingly parallel: every spec carries its own
+  // decorrelated seed, so results[i] depends only on specs[i] and the
+  // roster is bitwise identical at any worker count.  Progress is
+  // reported under a mutex with a monotone completion counter (see the
+  // ProgressFn contract in dataset.hpp).
+  std::vector<ProcessSignals> results(specs.size());
+  std::mutex progress_mu;
   std::size_t done = 0;
-  for (const auto& spec : specs) {
-    ProcessSignals p = simulate_process(spec, setup_, scale_, channels_);
-    if (done == 0) {
-      reference_ = std::move(p);
-    } else if (done <= scale_.train_count) {
-      train_.push_back(std::move(p));
+  runtime::parallel_for(0, specs.size(), [&](std::size_t i) {
+    ProcessSignals p = simulate_process(specs[i], setup_, scale_, channels_);
+    std::lock_guard<std::mutex> lock(progress_mu);
+    results[i] = std::move(p);
+    if (progress) progress(++done, specs.size());
+  });
+
+  reference_ = std::move(results[0]);
+  train_.reserve(scale_.train_count);
+  test_.reserve(results.size() - 1 - scale_.train_count);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    if (i <= scale_.train_count) {
+      train_.push_back(std::move(results[i]));
     } else {
-      test_.push_back(std::move(p));
+      test_.push_back(std::move(results[i]));
     }
-    ++done;
-    if (progress) progress(done, specs.size());
   }
 }
 
@@ -138,14 +152,15 @@ ChannelData Dataset::channel_data(sensors::SideChannel ch,
   ChannelData data;
   data.reference = layered(reference_, ch, transform);
   data.sample_rate = data.reference.signal.sample_rate();
-  data.train.reserve(train_.size());
-  for (const auto& p : train_) {
-    data.train.push_back(layered(p, ch, transform));
-  }
-  data.test.reserve(test_.size());
-  for (const auto& p : test_) {
-    data.test.push_back({layered(p, ch, transform), p.label, p.malicious});
-  }
+  // Spectrogram transforms dominate here; each process converts
+  // independently, so fan the train/test rosters out across the pool.
+  data.train = runtime::parallel_transform(
+      train_.size(),
+      [&](std::size_t i) { return layered(train_[i], ch, transform); });
+  data.test = runtime::parallel_transform(test_.size(), [&](std::size_t i) {
+    return TestSignal{layered(test_[i], ch, transform), test_[i].label,
+                      test_[i].malicious};
+  });
   return data;
 }
 

@@ -48,10 +48,21 @@ struct ChannelData {
 /// Fully materialized dataset for one printer.
 class Dataset {
  public:
+  /// Progress callback contract: construction simulates processes on the
+  /// global runtime pool (runtime::parallel_for), and the callback is
+  /// invoked once per completed process from whichever worker finished
+  /// it.  Invocations are serialized under an internal mutex and `done`
+  /// is strictly monotone (1, 2, ..., total), so the callback itself
+  /// needs no locking — but it must not re-enter the Dataset under
+  /// construction and should stay cheap, as it briefly holds up other
+  /// workers' completion reports.
   using ProgressFn = std::function<void(std::size_t done, std::size_t total)>;
 
   /// Simulates the whole Table I roster on `kind`.  `channels` limits the
   /// side channels rendered (fewer channels = less memory/time).
+  /// Processes are simulated concurrently on the global runtime pool;
+  /// each process owns a decorrelated per-spec seed, so the resulting
+  /// signals are bitwise identical at any worker count (including 1).
   Dataset(PrinterKind kind, const EvalScale& scale,
           std::vector<sensors::SideChannel> channels,
           ProgressFn progress = nullptr);

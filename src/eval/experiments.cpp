@@ -7,6 +7,7 @@
 #include "baselines/gao.hpp"
 #include "baselines/gatlin.hpp"
 #include "baselines/moore.hpp"
+#include "runtime/thread_pool.hpp"
 
 namespace nsync::eval {
 
@@ -31,20 +32,26 @@ NsyncResult run_nsync(const ChannelData& data, PrinterKind printer,
   }
   NsyncIds ids(data.reference.signal, cfg);
 
-  std::vector<core::Analysis> analyses;
-  analyses.reserve(data.train.size());
-  for (const auto& s : data.train) {
-    analyses.push_back(ids.analyze(s.signal));
-  }
+  // analyze() is const and safe to call concurrently (see NsyncIds docs);
+  // per-process analyses land in index order, so the learned thresholds
+  // and the verdict tally below are identical at any worker count.
+  const std::vector<core::Analysis> analyses = runtime::parallel_transform(
+      data.train.size(),
+      [&](std::size_t i) { return ids.analyze(data.train[i].signal); });
   ids.fit_from_analyses(analyses);
 
+  const std::vector<core::Detection> detections = runtime::parallel_transform(
+      data.test.size(), [&](std::size_t i) {
+        return ids.detect(ids.analyze(data.test[i].sig.signal));
+      });
   NsyncResult out;
-  for (const auto& t : data.test) {
-    const core::Detection d = ids.detect(ids.analyze(t.sig.signal));
-    out.overall.add(d.intrusion, t.malicious);
-    out.c_disp.add(d.by_c_disp, t.malicious);
-    out.h_dist.add(d.by_h_dist, t.malicious);
-    out.v_dist.add(d.by_v_dist, t.malicious);
+  for (std::size_t i = 0; i < data.test.size(); ++i) {
+    const core::Detection& d = detections[i];
+    const bool malicious = data.test[i].malicious;
+    out.overall.add(d.intrusion, malicious);
+    out.c_disp.add(d.by_c_disp, malicious);
+    out.h_dist.add(d.by_h_dist, malicious);
+    out.v_dist.add(d.by_v_dist, malicious);
   }
   return out;
 }
@@ -55,9 +62,12 @@ Confusion run_moore(const ChannelData& data) {
   train.reserve(data.train.size());
   for (const auto& s : data.train) train.push_back(s.signal);
   ids.fit(train);
+  const auto verdicts = runtime::parallel_transform(
+      data.test.size(),
+      [&](std::size_t i) { return ids.detect(data.test[i].sig.signal); });
   Confusion c;
-  for (const auto& t : data.test) {
-    c.add(ids.detect(t.sig.signal), t.malicious);
+  for (std::size_t i = 0; i < data.test.size(); ++i) {
+    c.add(verdicts[i], data.test[i].malicious);
   }
   return c;
 }
@@ -65,9 +75,12 @@ Confusion run_moore(const ChannelData& data) {
 Confusion run_gao(const ChannelData& data) {
   baselines::GaoIds ids(data.reference, baselines::GaoConfig{});
   ids.fit(data.train);
+  const auto verdicts = runtime::parallel_transform(
+      data.test.size(),
+      [&](std::size_t i) { return ids.detect(data.test[i].sig); });
   Confusion c;
-  for (const auto& t : data.test) {
-    c.add(ids.detect(t.sig), t.malicious);
+  for (std::size_t i = 0; i < data.test.size(); ++i) {
+    c.add(verdicts[i], data.test[i].malicious);
   }
   return c;
 }
@@ -80,12 +93,16 @@ BayensResult run_bayens(const ChannelData& data, double window_seconds) {
   train.reserve(data.train.size());
   for (const auto& s : data.train) train.push_back(s.signal);
   ids.fit(train);
+  const auto detections = runtime::parallel_transform(
+      data.test.size(),
+      [&](std::size_t i) { return ids.detect(data.test[i].sig.signal); });
   BayensResult out;
-  for (const auto& t : data.test) {
-    const auto d = ids.detect(t.sig.signal);
-    out.overall.add(d.intrusion, t.malicious);
-    out.sequence.add(d.by_sequence, t.malicious);
-    out.threshold.add(d.by_threshold, t.malicious);
+  for (std::size_t i = 0; i < data.test.size(); ++i) {
+    const auto& d = detections[i];
+    const bool malicious = data.test[i].malicious;
+    out.overall.add(d.intrusion, malicious);
+    out.sequence.add(d.by_sequence, malicious);
+    out.threshold.add(d.by_threshold, malicious);
   }
   return out;
 }
@@ -93,12 +110,16 @@ BayensResult run_bayens(const ChannelData& data, double window_seconds) {
 GatlinResult run_gatlin(const ChannelData& data) {
   baselines::GatlinIds ids(data.reference, baselines::GatlinConfig{});
   ids.fit(data.train);
+  const auto detections = runtime::parallel_transform(
+      data.test.size(),
+      [&](std::size_t i) { return ids.detect(data.test[i].sig); });
   GatlinResult out;
-  for (const auto& t : data.test) {
-    const auto d = ids.detect(t.sig);
-    out.overall.add(d.intrusion, t.malicious);
-    out.time.add(d.by_time, t.malicious);
-    out.match.add(d.by_match, t.malicious);
+  for (std::size_t i = 0; i < data.test.size(); ++i) {
+    const auto& d = detections[i];
+    const bool malicious = data.test[i].malicious;
+    out.overall.add(d.intrusion, malicious);
+    out.time.add(d.by_time, malicious);
+    out.match.add(d.by_match, malicious);
   }
   return out;
 }
@@ -108,9 +129,12 @@ Confusion run_belikovetsky(const ChannelData& data,
   baselines::BelikovetskyConfig cfg;
   cfg.average_seconds = average_seconds;
   baselines::BelikovetskyIds ids(data.reference.signal, cfg);
+  const auto verdicts = runtime::parallel_transform(
+      data.test.size(),
+      [&](std::size_t i) { return ids.detect(data.test[i].sig.signal); });
   Confusion c;
-  for (const auto& t : data.test) {
-    c.add(ids.detect(t.sig.signal), t.malicious);
+  for (std::size_t i = 0; i < data.test.size(); ++i) {
+    c.add(verdicts[i], data.test[i].malicious);
   }
   return c;
 }

@@ -4,6 +4,8 @@
 #include <stdexcept>
 #include <string_view>
 
+#include "runtime/thread_pool.hpp"
+
 namespace nsync::eval {
 
 namespace {
@@ -42,6 +44,8 @@ CliOptions CliOptions::parse(int argc, const char* const* argv) {
       opt.scale.benign_test_count = parse_u64(arg, next());
     } else if (arg == "--attacks") {
       opt.scale.malicious_per_attack = parse_u64(arg, next());
+    } else if (arg == "--threads") {
+      opt.threads = parse_u64(arg, next());
     } else if (arg == "--printer") {
       const char* v = next();
       if (v == nullptr) {
@@ -69,14 +73,21 @@ CliOptions CliOptions::parse(int argc, const char* const* argv) {
   return opt;
 }
 
+void CliOptions::configure_runtime() const {
+  nsync::runtime::set_worker_count(threads);
+}
+
 std::string CliOptions::usage(const std::string& program) {
   return "usage: " + program +
          " [--paper-scale | --tiny] [--seed N] [--train N] [--benign N]\n"
-         "       [--attacks N] [--printer UM3|RM3|both] [--verbose]\n"
+         "       [--attacks N] [--printer UM3|RM3|both] [--threads N]\n"
+         "       [--verbose]\n"
          "\n"
          "Regenerates one of the paper's tables/figures on the synthetic\n"
          "printer testbed.  Defaults use a reduced dataset that finishes in\n"
-         "minutes; --paper-scale restores Table I repetition counts.\n";
+         "minutes; --paper-scale restores Table I repetition counts.\n"
+         "--threads N sizes the parallel runtime pool (0 = automatic: the\n"
+         "NSYNC_THREADS environment variable when set, else all cores).\n";
 }
 
 }  // namespace nsync::eval

@@ -12,6 +12,10 @@ namespace nsync::eval {
 struct CliOptions {
   EvalScale scale = EvalScale::quick();
   std::vector<PrinterKind> printers = {PrinterKind::kUm3, PrinterKind::kRm3};
+  /// Worker threads for the runtime pool; 0 = automatic (the
+  /// NSYNC_THREADS environment variable when set, otherwise the
+  /// hardware concurrency).
+  std::size_t threads = 0;
   bool verbose = false;
   bool help = false;
 
@@ -23,10 +27,16 @@ struct CliOptions {
   ///   --benign N         benign test runs
   ///   --attacks N        runs per attack type
   ///   --printer UM3|RM3  restrict to one printer
+  ///   --threads N        runtime pool workers (0 = auto)
   ///   --verbose          progress output
   ///   --help             usage
   /// Throws std::invalid_argument on malformed flags.
   [[nodiscard]] static CliOptions parse(int argc, const char* const* argv);
+
+  /// Applies `threads` to the global runtime pool
+  /// (runtime::set_worker_count).  Every bench binary calls this right
+  /// after parse(), before any dataset or experiment work starts.
+  void configure_runtime() const;
 
   /// Usage text for --help.
   [[nodiscard]] static std::string usage(const std::string& program);

@@ -1,6 +1,7 @@
 // Tests for the FFT: agreement with a brute-force DFT, round trips,
-// Parseval's identity, real-input symmetry, and the valid-mode
-// cross-correlation used by the fast TDE path.
+// Parseval's identity, real-input symmetry, the valid-mode
+// cross-correlation used by the fast TDE path, and the thread-safe plan
+// cache (cached vs uncached equivalence, Bluestein plans, concurrency).
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "dsp/fft.hpp"
+#include "runtime/thread_pool.hpp"
 #include "signal/rng.hpp"
 
 namespace nsync::dsp {
@@ -159,6 +161,123 @@ TEST(CrossCorrelateValid, RejectsBadSizes) {
   std::vector<double> x(5), y(9);
   EXPECT_THROW(cross_correlate_valid(x, y), std::invalid_argument);
   EXPECT_THROW(cross_correlate_valid(x, {}), std::invalid_argument);
+}
+
+// --------------------------------------------------------------------------
+// Plan cache: cached transforms must agree with the uncached reference
+// implementation (the table-lookup twiddles differ from the recurrence
+// only by accumulated rounding, so compare with a tight tolerance).
+// --------------------------------------------------------------------------
+
+class FftPlanCacheEquivalence : public ::testing::TestWithParam<std::size_t> {
+};
+
+TEST_P(FftPlanCacheEquivalence, CachedMatchesUncachedRadix2) {
+  const std::size_t n = GetParam();
+  const auto x = random_complex(n, 4242 + n);
+  for (const bool inverse : {false, true}) {
+    auto cached = x;
+    auto uncached = x;
+    fft_radix2(cached, inverse);
+    fft_radix2_uncached(uncached, inverse);
+    const double tol = 1e-9 * static_cast<double>(n);
+    for (std::size_t k = 0; k < n; ++k) {
+      EXPECT_NEAR(cached[k].real(), uncached[k].real(), tol)
+          << "bin " << k << " inverse=" << inverse;
+      EXPECT_NEAR(cached[k].imag(), uncached[k].imag(), tol)
+          << "bin " << k << " inverse=" << inverse;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PowerOfTwoSizes, FftPlanCacheEquivalence,
+                         ::testing::Values(2, 4, 8, 64, 256, 1024, 4096));
+
+// Odd, prime and prime-power sizes all take the Bluestein path, whose
+// chirp and kernel now come from the plan cache; they must still agree
+// with the brute-force DFT and invert exactly.
+class FftPlanCacheBluestein : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftPlanCacheBluestein, CachedBluesteinMatchesBruteForce) {
+  const std::size_t n = GetParam();
+  const auto x = random_complex(n, 999 + n);
+  const auto fast = fft(x);    // first call builds the plan ...
+  const auto again = fft(x);   // ... second call must reuse it bit-for-bit
+  const auto slow = brute_force_dft(x);
+  ASSERT_EQ(fast.size(), n);
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_EQ(fast[k], again[k]) << "plan reuse changed bin " << k;
+    EXPECT_NEAR(fast[k].real(), slow[k].real(), 1e-8 * static_cast<double>(n))
+        << "bin " << k;
+    EXPECT_NEAR(fast[k].imag(), slow[k].imag(), 1e-8 * static_cast<double>(n))
+        << "bin " << k;
+  }
+  const auto back = ifft(fast);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i].real(), x[i].real(), 1e-9);
+    EXPECT_NEAR(back[i].imag(), x[i].imag(), 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(OddAndPrimeSizes, FftPlanCacheBluestein,
+                         ::testing::Values(3, 9, 15, 17, 97, 101, 243, 251));
+
+TEST(FftPlanCache, SecondTransformHitsTheCache) {
+  fft_plan_cache_clear();
+  const auto x = random_complex(64, 7);
+  (void)fft(x);
+  const auto after_first = fft_plan_cache_stats();
+  EXPECT_EQ(after_first.radix2_plans, 1u);
+  EXPECT_GE(after_first.misses, 1u);
+  (void)fft(x);
+  const auto after_second = fft_plan_cache_stats();
+  EXPECT_EQ(after_second.radix2_plans, 1u);
+  EXPECT_GT(after_second.hits, after_first.hits);
+  EXPECT_EQ(after_second.misses, after_first.misses);
+}
+
+TEST(FftPlanCache, BluesteinPlansArePerDirection) {
+  fft_plan_cache_clear();
+  const auto x = random_complex(17, 8);
+  (void)fft(x);
+  EXPECT_EQ(fft_plan_cache_stats().bluestein_plans, 1u);
+  (void)ifft(x);
+  EXPECT_EQ(fft_plan_cache_stats().bluestein_plans, 2u);
+  fft_plan_cache_clear();
+  EXPECT_EQ(fft_plan_cache_stats().bluestein_plans, 0u);
+  EXPECT_EQ(fft_plan_cache_stats().hits, 0u);
+}
+
+TEST(FftPlanCache, ConcurrentMixedSizeTransformsAreRaceFreeAndIdentical) {
+  fft_plan_cache_clear();
+  // Mixed radix-2 and Bluestein sizes, all threads racing to build the
+  // same plans on first use; every result must equal the serial one.
+  const std::vector<std::size_t> sizes = {8, 17, 64, 100, 251, 256};
+  std::vector<std::vector<Complex>> inputs;
+  std::vector<std::vector<Complex>> serial;
+  inputs.reserve(sizes.size());
+  serial.reserve(sizes.size());
+  for (std::size_t s = 0; s < sizes.size(); ++s) {
+    inputs.push_back(random_complex(sizes[s], 60 + s));
+  }
+  for (const auto& in : inputs) serial.push_back(fft(in));
+  fft_plan_cache_clear();  // make the parallel pass rebuild every plan
+
+  nsync::runtime::ThreadPool pool(8);
+  constexpr std::size_t kRounds = 64;
+  std::vector<int> mismatches(kRounds, -1);
+  pool.parallel_for(0, kRounds, [&](std::size_t r) {
+    const std::size_t s = r % sizes.size();
+    const auto out = fft(inputs[s]);
+    int bad = 0;
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      if (out[k] != serial[s][k]) ++bad;
+    }
+    mismatches[r] = bad;
+  });
+  for (std::size_t r = 0; r < kRounds; ++r) {
+    EXPECT_EQ(mismatches[r], 0) << "round " << r;
+  }
 }
 
 }  // namespace

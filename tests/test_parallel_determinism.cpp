@@ -1,0 +1,157 @@
+// Bitwise determinism of the parallel evaluation pipeline: a Dataset
+// built at worker count 8 must be identical — every sample of every
+// rendered side channel, and every downstream NSYNC verdict — to one
+// built at worker count 1 with the same seed.  Also covers the
+// thread-safe progress callback contract (serialized, monotone counts).
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <vector>
+
+#include "eval/dataset.hpp"
+#include "eval/experiments.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace nsync::eval {
+namespace {
+
+const std::vector<sensors::SideChannel> kChannels = {
+    sensors::SideChannel::kAcc, sensors::SideChannel::kAud};
+
+void expect_signals_bitwise_equal(const nsync::signal::Signal& a,
+                                  const nsync::signal::Signal& b,
+                                  const std::string& what) {
+  ASSERT_EQ(a.frames(), b.frames()) << what;
+  ASSERT_EQ(a.channels(), b.channels()) << what;
+  ASSERT_EQ(a.sample_rate(), b.sample_rate()) << what;
+  for (std::size_t n = 0; n < a.frames(); ++n) {
+    for (std::size_t c = 0; c < a.channels(); ++c) {
+      // Exact (bitwise) equality, not a tolerance: the parallel runtime
+      // only redistributes which thread computes each process, never the
+      // arithmetic inside one.
+      ASSERT_EQ(a(n, c), b(n, c))
+          << what << " differs at frame " << n << " channel " << c;
+    }
+  }
+}
+
+void expect_processes_bitwise_equal(const ProcessSignals& a,
+                                    const ProcessSignals& b) {
+  EXPECT_EQ(a.label, b.label);
+  EXPECT_EQ(a.malicious, b.malicious);
+  ASSERT_EQ(a.layer_times, b.layer_times);
+  ASSERT_EQ(a.raw.size(), b.raw.size());
+  for (const auto& [ch, sig] : a.raw) {
+    const auto it = b.raw.find(ch);
+    ASSERT_NE(it, b.raw.end());
+    expect_signals_bitwise_equal(
+        sig, it->second,
+        a.label + "/" + sensors::side_channel_name(ch));
+  }
+}
+
+TEST(ParallelDeterminism, DatasetBitwiseIdenticalAcrossWorkerCounts) {
+  const EvalScale scale = EvalScale::tiny();
+
+  runtime::set_worker_count(1);
+  const Dataset serial(PrinterKind::kUm3, scale, kChannels);
+  runtime::set_worker_count(8);
+  const Dataset parallel(PrinterKind::kUm3, scale, kChannels);
+  runtime::set_worker_count(0);
+
+  expect_processes_bitwise_equal(serial.reference(), parallel.reference());
+  ASSERT_EQ(serial.train().size(), parallel.train().size());
+  for (std::size_t i = 0; i < serial.train().size(); ++i) {
+    expect_processes_bitwise_equal(serial.train()[i], parallel.train()[i]);
+  }
+  ASSERT_EQ(serial.test().size(), parallel.test().size());
+  for (std::size_t i = 0; i < serial.test().size(); ++i) {
+    expect_processes_bitwise_equal(serial.test()[i], parallel.test()[i]);
+  }
+}
+
+TEST(ParallelDeterminism, NsyncVerdictsIdenticalAcrossWorkerCounts) {
+  const EvalScale scale = EvalScale::tiny();
+
+  auto verdicts = [&](std::size_t workers) {
+    runtime::set_worker_count(workers);
+    const Dataset ds(PrinterKind::kUm3, scale, kChannels);
+    const ChannelData data =
+        ds.channel_data(sensors::SideChannel::kAcc, Transform::kRaw);
+    const NsyncResult r =
+        run_nsync(data, PrinterKind::kUm3, core::SyncMethod::kDwm, 0.3);
+    runtime::set_worker_count(0);
+    return r;
+  };
+
+  const NsyncResult serial = verdicts(1);
+  const NsyncResult parallel = verdicts(8);
+
+  auto expect_same = [](const Confusion& a, const Confusion& b,
+                        const char* what) {
+    EXPECT_EQ(a.tp(), b.tp()) << what;
+    EXPECT_EQ(a.fp(), b.fp()) << what;
+    EXPECT_EQ(a.tn(), b.tn()) << what;
+    EXPECT_EQ(a.fn(), b.fn()) << what;
+  };
+  expect_same(serial.overall, parallel.overall, "overall");
+  expect_same(serial.c_disp, parallel.c_disp, "c_disp");
+  expect_same(serial.h_dist, parallel.h_dist, "h_dist");
+  expect_same(serial.v_dist, parallel.v_dist, "v_dist");
+}
+
+TEST(ParallelDeterminism, SpectrogramChannelDataIdenticalAcrossWorkerCounts) {
+  const EvalScale scale = EvalScale::tiny();
+
+  runtime::set_worker_count(1);
+  const Dataset serial(PrinterKind::kUm3, scale, kChannels);
+  const ChannelData cd1 =
+      serial.channel_data(sensors::SideChannel::kAud, Transform::kSpectrogram);
+  runtime::set_worker_count(8);
+  const Dataset parallel(PrinterKind::kUm3, scale, kChannels);
+  const ChannelData cd8 = parallel.channel_data(sensors::SideChannel::kAud,
+                                                Transform::kSpectrogram);
+  runtime::set_worker_count(0);
+
+  expect_signals_bitwise_equal(cd1.reference.signal, cd8.reference.signal,
+                               "spectrogram reference");
+  ASSERT_EQ(cd1.train.size(), cd8.train.size());
+  for (std::size_t i = 0; i < cd1.train.size(); ++i) {
+    expect_signals_bitwise_equal(cd1.train[i].signal, cd8.train[i].signal,
+                                 "spectrogram train");
+  }
+  ASSERT_EQ(cd1.test.size(), cd8.test.size());
+  for (std::size_t i = 0; i < cd1.test.size(); ++i) {
+    expect_signals_bitwise_equal(cd1.test[i].sig.signal,
+                                 cd8.test[i].sig.signal, "spectrogram test");
+    EXPECT_EQ(cd1.test[i].label, cd8.test[i].label);
+    EXPECT_EQ(cd1.test[i].malicious, cd8.test[i].malicious);
+  }
+}
+
+TEST(ParallelDeterminism, ProgressCallbackIsSerializedAndMonotone) {
+  runtime::set_worker_count(8);
+  std::mutex seen_mu;  // the callback contract says no locking is needed;
+                       // this guards the test's own vector only
+  std::vector<std::size_t> dones;
+  std::vector<std::size_t> totals;
+  const Dataset ds(PrinterKind::kUm3, EvalScale::tiny(), kChannels,
+                   [&](std::size_t done, std::size_t total) {
+                     std::lock_guard<std::mutex> lock(seen_mu);
+                     dones.push_back(done);
+                     totals.push_back(total);
+                   });
+  runtime::set_worker_count(0);
+
+  const std::size_t expected =
+      1 + ds.scale().train_count + ds.scale().benign_test_count +
+      gcode::all_attacks().size() * ds.scale().malicious_per_attack;
+  ASSERT_EQ(dones.size(), expected);
+  for (std::size_t i = 0; i < dones.size(); ++i) {
+    EXPECT_EQ(dones[i], i + 1) << "done counts must be 1..total in order";
+    EXPECT_EQ(totals[i], expected);
+  }
+}
+
+}  // namespace
+}  // namespace nsync::eval
