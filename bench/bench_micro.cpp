@@ -1,8 +1,19 @@
 // google-benchmark micro benchmarks for the hot paths: FFT (cached vs
-// uncached plans), sliding correlation (naive vs FFT — the TDE ablation),
-// one DWM window step, spectrogram columns, FastDTW, and end-to-end
-// dataset generation across runtime pool sizes.
+// uncached plans, complex vs real-input), sliding correlation (naive vs
+// FFT — the TDE ablation), one DWM window step, the steady-state DWM
+// streaming loop, spectrogram columns, FastDTW, and end-to-end dataset
+// generation across runtime pool sizes.
+//
+// Accepts `--json <path>` in addition to the standard benchmark flags:
+// shorthand for --benchmark_out=<path> --benchmark_out_format=json, used
+// by run_benches.sh to emit BENCH_micro.json.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
 
 #include "core/dtw.hpp"
 #include "core/dwm.hpp"
@@ -84,6 +95,49 @@ void BM_FftUncached(benchmark::State& state) {
 }
 BENCHMARK(BM_FftUncached)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
 
+void BM_Rfft(benchmark::State& state) {
+  // Real-input transform on the same sizes as BM_FftCached: the half-size
+  // complex trick should come in well under the complex transform (the
+  // acceptance bar is >= 1.5x at the DWM-relevant sizes).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> data(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = std::sin(0.1 * static_cast<double>(i));
+  }
+  for (auto _ : state) {
+    auto bins = dsp::rfft(data);
+    benchmark::DoNotOptimize(bins);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_Rfft)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_CrossCorrelateRfft(benchmark::State& state) {
+  // The correlation kernel under TDE, on its workspace (zero-alloc) path.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_series(n, 31);
+  const auto y = random_series(n / 4, 32);
+  std::vector<double> out(x.size() - y.size() + 1);
+  dsp::CorrelationWorkspace ws;
+  for (auto _ : state) {
+    dsp::cross_correlate_valid_into(x, y, out, ws);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_CrossCorrelateRfft)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_CrossCorrelateComplex(benchmark::State& state) {
+  // Pre-rfft implementation (full complex FFTs, allocating) for reference.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_series(n, 31);
+  const auto y = random_series(n / 4, 32);
+  for (auto _ : state) {
+    auto out = dsp::cross_correlate_valid_complex(x, y);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_CrossCorrelateComplex)->Arg(1024)->Arg(4096)->Arg(16384);
+
 void BM_FftBluestein(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   std::vector<dsp::Complex> data(n);
@@ -130,6 +184,42 @@ void BM_DwmWindowStep(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_DwmWindowStep);
+
+void BM_DwmWindow(benchmark::State& state) {
+  // Steady-state cost of one streaming DWM window: a warmed synchronizer
+  // receives one hop of frames per iteration, which completes exactly one
+  // window.  With reserve_windows() this path performs no heap
+  // allocations (see test_alloc_hot_path.cpp).
+  const std::size_t n_win = 1600, n_hop = 800, channels = 6;
+  const auto reference = random_signal(1 << 17, channels, 41);
+  const auto chunk = random_signal(n_hop, channels, 42);
+  core::DwmParams p;
+  p.n_win = n_win;
+  p.n_hop = n_hop;
+  p.n_ext = 400;
+  p.n_sigma = 400.0;
+  const std::size_t max_windows =
+      (reference.frames() - n_win - p.n_ext - n_hop) / n_hop;
+
+  auto make_warm = [&] {
+    auto sync = std::make_unique<core::DwmSynchronizer>(reference, p);
+    sync->reserve_windows(max_windows + 1);
+    sync->push(random_signal(n_win, channels, 43));  // first window
+    return sync;
+  };
+  auto sync = make_warm();
+  for (auto _ : state) {
+    if (sync->windows() >= max_windows) {
+      state.PauseTiming();
+      sync = make_warm();
+      state.ResumeTiming();
+    }
+    sync->push(chunk);
+    benchmark::DoNotOptimize(sync->result().h_disp.back());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DwmWindow);
 
 void BM_Spectrogram(benchmark::State& state) {
   const auto s = random_signal(static_cast<std::size_t>(state.range(0)), 2,
@@ -196,4 +286,31 @@ BENCHMARK(BM_DatasetParallel)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus a `--json <path>` shorthand (and a `--threads <n>`
+// passthrough so run_benches.sh can forward NSYNC_THREADS like it does to
+// the table/figure binaries).
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  std::vector<std::string> storage;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      storage.push_back(std::string("--benchmark_out=") + argv[++i]);
+      storage.emplace_back("--benchmark_out_format=json");
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      runtime::set_worker_count(
+          static_cast<std::size_t>(std::atoi(argv[++i])));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  for (auto& s : storage) args.push_back(s.data());
+  int fake_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&fake_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(fake_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -16,7 +16,14 @@ for b in "$@"; do
   echo "===================================================================="
   echo "== $b"
   echo "===================================================================="
-  # shellcheck disable=SC2086  # THREAD_FLAGS intentionally word-splits
-  NSYNC_THREADS="${NSYNC_THREADS:-}" ./build/bench/"$b" $THREAD_FLAGS 2>&1
+  # bench_micro additionally writes machine-readable results; the path can
+  # be overridden with NSYNC_BENCH_JSON.
+  EXTRA_FLAGS=""
+  if [ "$b" = "bench_micro" ]; then
+    EXTRA_FLAGS="--json ${NSYNC_BENCH_JSON:-BENCH_micro.json}"
+  fi
+  # shellcheck disable=SC2086  # THREAD_FLAGS/EXTRA_FLAGS intentionally split
+  NSYNC_THREADS="${NSYNC_THREADS:-}" ./build/bench/"$b" $THREAD_FLAGS \
+    $EXTRA_FLAGS 2>&1
   echo
 done

@@ -45,7 +45,7 @@ void DwmParams::validate() const {
 
 DwmSynchronizer::DwmSynchronizer(Signal reference, DwmParams params)
     : reference_(std::move(reference)),
-      observed_(Signal::empty(reference_.channels(), reference_.sample_rate())),
+      observed_(reference_.channels(), reference_.sample_rate()),
       params_(params) {
   params_.validate();
   if (reference_.frames() < params_.n_win + 1) {
@@ -58,6 +58,15 @@ std::size_t DwmSynchronizer::push(const SignalView& frames) {
   if (frames.channels() != reference_.channels()) {
     throw std::invalid_argument("DwmSynchronizer::push: channel mismatch");
   }
+  // Frames before the next unprocessed window can never be read again —
+  // neither by a future window (they start at n_hop multiples >= here)
+  // nor by a caller inspecting the windows this push completes.  Once the
+  // reference is exhausted no window will ever complete, so everything
+  // retained is dead.  Dropping on entry (not after the processing loop)
+  // keeps the frames of this push's own windows readable until next time.
+  observed_.drop_before(reference_exhausted_
+                            ? observed_.end()
+                            : result_.h_disp.size() * params_.n_hop);
   observed_.append(frames);
   std::size_t processed = 0;
   while (!reference_exhausted_ && process_next_window()) {
@@ -66,11 +75,18 @@ std::size_t DwmSynchronizer::push(const SignalView& frames) {
   return processed;
 }
 
+void DwmSynchronizer::reserve_windows(std::size_t n_windows) {
+  result_.h_disp.reserve(n_windows);
+  result_.h_disp_low.reserve(n_windows);
+  result_.h_dist.reserve(n_windows);
+  observed_.reserve_frames(2 * (params_.n_win + params_.n_hop));
+}
+
 bool DwmSynchronizer::process_next_window() {
   const std::size_t i = result_.h_disp.size();
   const std::size_t a_start = i * params_.n_hop;
   const std::size_t a_end = a_start + params_.n_win;
-  if (a_end > observed_.frames()) return false;  // window not complete yet
+  if (a_end > observed_.end()) return false;  // window not complete yet
 
   const auto low_prev = static_cast<std::ptrdiff_t>(h_disp_low_prev_);
   // Extended window of b around the expected location (Eq. 9 shifted by
@@ -102,9 +118,10 @@ bool DwmSynchronizer::process_next_window() {
   // displacement (j = n_ext when no clamping occurred).
   const double center = static_cast<double>(
       static_cast<std::ptrdiff_t>(a_start) + low_prev - actual_start);
-  const SignalView a_win = SignalView(observed_).slice(a_start, a_end);
-  const std::size_t j =
-      estimate_delay_biased(b_ext, a_win, center, params_.n_sigma, params_.tde);
+  const SignalView a_win = observed_.view(a_start, a_end);
+  const std::size_t j = estimate_delay_biased(b_ext, a_win, center,
+                                              params_.n_sigma, params_.tde,
+                                              tde_ws_);
 
   // h_disp[i] = (position of the matched window in b) - (position in a).
   const double h_disp = static_cast<double>(

@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "core/tde.hpp"
+#include "signal/ring_buffer.hpp"
 #include "signal/signal.hpp"
 
 namespace nsync::core {
@@ -54,6 +55,13 @@ struct DwmResult {
 /// Streaming DWM.  Owns a copy of the reference and consumes observed
 /// frames incrementally; results for completed windows are available
 /// immediately after each push.
+///
+/// The observed stream is held in a drop-front FrameRingBuffer: at the
+/// start of every push, frames that no future (or in-flight) window can
+/// read are discarded, so steady-state memory is O(n_win + n_hop + chunk)
+/// regardless of how long the print runs.  Per-window TDEB evaluations
+/// reuse a TdeWorkspace, making the whole window step allocation-free at
+/// steady state.
 class DwmSynchronizer {
  public:
   /// `reference` is b; throws on invalid params / channel mismatch checks
@@ -62,8 +70,16 @@ class DwmSynchronizer {
 
   /// Appends observed frames (channel count must match the reference) and
   /// processes every window that became complete.  Returns the number of
-  /// windows newly processed.
+  /// windows newly processed.  Frames of completed windows from
+  /// *previous* pushes are dropped from memory on entry; frames of
+  /// windows completed by this push stay readable (via observed()) until
+  /// the next push.
   std::size_t push(const nsync::signal::SignalView& frames);
+
+  /// Pre-allocates the result arrays for `n_windows` windows and the
+  /// observed buffer for the corresponding retained span, so a
+  /// steady-state window step performs no heap allocation at all.
+  void reserve_windows(std::size_t n_windows);
 
   /// True when the reference has been exhausted: the next window of `a`
   /// would need reference samples beyond the end of b.  Windows are no
@@ -80,7 +96,10 @@ class DwmSynchronizer {
   [[nodiscard]] const nsync::signal::Signal& reference() const {
     return reference_;
   }
-  [[nodiscard]] const nsync::signal::Signal& observed() const {
+  /// The retained suffix of the observed stream.  Frames are addressed by
+  /// their logical stream index (observed().view(n1, n2)); indices below
+  /// observed().start() have been dropped.
+  [[nodiscard]] const nsync::signal::FrameRingBuffer& observed() const {
     return observed_;
   }
 
@@ -92,10 +111,11 @@ class DwmSynchronizer {
  private:
   bool process_next_window();
 
-  nsync::signal::Signal reference_;  // b
-  nsync::signal::Signal observed_;   // a, grows with push()
+  nsync::signal::Signal reference_;          // b
+  nsync::signal::FrameRingBuffer observed_;  // sliding suffix of a
   DwmParams params_;
   DwmResult result_;
+  TdeWorkspace tde_ws_;           // reused by every window's TDEB call
   double h_disp_low_prev_ = 0.0;  // h_disp_low[i-1], seeded with 0
   bool reference_exhausted_ = false;
 };

@@ -117,12 +117,13 @@ std::size_t RealtimeMonitor::push(const SignalView& frames) {
     features_.c_disp.push_back(c_disp_acc_);
     h_dist_raw_.push_back(std::abs(h));
 
-    // Vertical distance for this window (Eq. 16).
+    // Vertical distance for this window (Eq. 16).  The synchronizer's
+    // ring buffer retains every window completed by the current push, so
+    // the logical-index view is always in range here.
     const auto& a = sync_.observed();
     const auto& b = sync_.reference();
     const std::size_t a_start = i * config_.dwm.n_hop;
-    const SignalView a_win =
-        SignalView(a).slice(a_start, a_start + config_.dwm.n_win);
+    const SignalView a_win = a.view(a_start, a_start + config_.dwm.n_win);
     auto b_start = static_cast<std::ptrdiff_t>(a_start) +
                    static_cast<std::ptrdiff_t>(std::llround(h));
     b_start = std::clamp<std::ptrdiff_t>(

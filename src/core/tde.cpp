@@ -3,15 +3,15 @@
 #include <cmath>
 #include <stdexcept>
 
-#include "dsp/xcorr.hpp"
 #include "signal/stats.hpp"
 
 namespace nsync::core {
 
 using nsync::signal::SignalView;
 
-std::vector<double> similarity_scores(const SignalView& x, const SignalView& y,
-                                      const TdeOptions& opts) {
+namespace {
+
+void check_shapes(const SignalView& x, const SignalView& y) {
   if (x.channels() != y.channels()) {
     throw std::invalid_argument("similarity_scores: channel mismatch");
   }
@@ -19,23 +19,57 @@ std::vector<double> similarity_scores(const SignalView& x, const SignalView& y,
     throw std::invalid_argument(
         "similarity_scores: need x.frames() >= y.frames() >= 2");
   }
+}
+
+/// Channel c of `s` as a contiguous span: single-channel signals are
+/// already contiguous and need no copy; otherwise a strided copy lands in
+/// `buf` (resized, no allocation once at capacity).
+std::span<const double> channel_span(const SignalView& s, std::size_t c,
+                                     std::vector<double>& buf) {
+  if (s.channels() == 1) {
+    return {s.data(), s.frames()};
+  }
+  buf.resize(s.frames());
+  s.channel_into(c, buf);
+  return buf;
+}
+
+}  // namespace
+
+std::span<const double> similarity_scores_into(const SignalView& x,
+                                               const SignalView& y,
+                                               const TdeOptions& opts,
+                                               TdeWorkspace& ws) {
+  check_shapes(x, y);
   const std::size_t n_out = x.frames() - y.frames() + 1;
-  std::vector<double> acc(n_out, 0.0);
+  ws.scores.assign(n_out, 0.0);
+  ws.chan_scores.resize(n_out);
   for (std::size_t c = 0; c < x.channels(); ++c) {
-    const auto xc = x.channel(c);
-    const auto yc = y.channel(c);
-    const auto sc = opts.use_fft ? nsync::dsp::sliding_pearson_fft(xc, yc)
-                                 : nsync::dsp::sliding_pearson_naive(xc, yc);
-    for (std::size_t n = 0; n < n_out; ++n) acc[n] += sc[n];
+    const auto xc = channel_span(x, c, ws.x_chan);
+    const auto yc = channel_span(y, c, ws.y_chan);
+    if (opts.use_fft) {
+      nsync::dsp::sliding_pearson_fft_into(xc, yc, ws.chan_scores, ws.pearson);
+    } else {
+      nsync::dsp::sliding_pearson_naive_into(xc, yc, ws.chan_scores);
+    }
+    for (std::size_t n = 0; n < n_out; ++n) ws.scores[n] += ws.chan_scores[n];
   }
   const double inv_c = 1.0 / static_cast<double>(x.channels());
-  for (auto& v : acc) v *= inv_c;
-  return acc;
+  for (auto& v : ws.scores) v *= inv_c;
+  return ws.scores;
+}
+
+std::vector<double> similarity_scores(const SignalView& x, const SignalView& y,
+                                      const TdeOptions& opts) {
+  thread_local TdeWorkspace ws;
+  const auto scores = similarity_scores_into(x, y, opts, ws);
+  return {scores.begin(), scores.end()};
 }
 
 std::size_t estimate_delay(const SignalView& x, const SignalView& y,
                            const TdeOptions& opts) {
-  return nsync::signal::argmax(similarity_scores(x, y, opts));
+  thread_local TdeWorkspace ws;
+  return nsync::signal::argmax(similarity_scores_into(x, y, opts, ws));
 }
 
 std::vector<double> bias_scores(std::vector<double> scores, double center,
@@ -53,14 +87,38 @@ std::vector<double> bias_scores(std::vector<double> scores, double center,
 std::size_t estimate_delay_biased(const SignalView& x, const SignalView& y,
                                   double center, double sigma_samples,
                                   const TdeOptions& opts) {
-  auto scores = similarity_scores(x, y, opts);
+  thread_local TdeWorkspace ws;
+  return estimate_delay_biased(x, y, center, sigma_samples, opts, ws);
+}
+
+std::size_t estimate_delay_biased(const SignalView& x, const SignalView& y,
+                                  double center, double sigma_samples,
+                                  const TdeOptions& opts, TdeWorkspace& ws) {
+  if (sigma_samples <= 0.0) {
+    throw std::invalid_argument("bias_scores: sigma must be positive");
+  }
+  const auto scores = similarity_scores_into(x, y, opts, ws);
+  // Fused epilogue: clamp + Gaussian bias + argmax in one pass.
+  //
   // Multiplying a negative score by a small Gaussian weight would *raise*
   // it toward zero, perversely rewarding far-from-center anti-correlated
   // placements.  A negative correlation is never a candidate match, so
-  // clamp to zero before applying the bias.
-  for (auto& s : scores) s = std::max(s, 0.0);
-  scores = bias_scores(std::move(scores), center, sigma_samples);
-  return nsync::signal::argmax(scores);
+  // clamp to zero before applying the bias.  The per-element arithmetic
+  // (max, then exp-weight multiply) matches the allocating
+  // bias_scores path exactly, and the argmax keeps std::max_element's
+  // first-occurrence semantics, so the result is bitwise identical.
+  std::size_t best = 0;
+  double best_score = 0.0;
+  for (std::size_t j = 0; j < scores.size(); ++j) {
+    const double s = std::max(scores[j], 0.0);
+    const double d = (static_cast<double>(j) - center) / sigma_samples;
+    const double biased = s * std::exp(-0.5 * d * d);
+    if (j == 0 || biased > best_score) {
+      best = j;
+      best_score = biased;
+    }
+  }
+  return best;
 }
 
 }  // namespace nsync::core

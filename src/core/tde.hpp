@@ -6,12 +6,23 @@
 // argmax.  TDEB multiplies the score array by a Gaussian window centered at
 // an expected delay, biasing the estimate toward continuity when the window
 // content is periodic or noisy.
+//
+// Two tiers of API are provided.  The allocating functions return fresh
+// vectors and are convenient for tests and ablations.  The TdeWorkspace
+// overloads thread reusable scratch through dsp::xcorr so that the DWM
+// steady-state path (one TDEB call per window, millions of windows per
+// print) performs no heap allocation and fuses score accumulation, the
+// negative-score clamp, the Gaussian bias and the argmax into a single
+// pass with no intermediate vectors.  Both tiers produce bitwise
+// identical results.
 #ifndef NSYNC_CORE_TDE_HPP
 #define NSYNC_CORE_TDE_HPP
 
 #include <cstddef>
+#include <span>
 #include <vector>
 
+#include "dsp/xcorr.hpp"
 #include "signal/signal.hpp"
 
 namespace nsync::core {
@@ -22,12 +33,32 @@ struct TdeOptions {
   bool use_fft = true;
 };
 
+/// Per-thread scratch for the allocation-free TDE path: channel
+/// extraction buffers, per-channel and accumulated score buffers, and the
+/// sliding-correlation workspace (which itself owns the FFT staging).  A
+/// default-constructed workspace is valid for any input and grows to
+/// steady-state size on first use.
+struct TdeWorkspace {
+  std::vector<double> x_chan;       ///< channel c of x (strided copy)
+  std::vector<double> y_chan;       ///< channel c of y (strided copy)
+  std::vector<double> chan_scores;  ///< per-channel sliding correlation
+  std::vector<double> scores;       ///< channel-averaged similarity
+  nsync::dsp::SlidingPearsonWorkspace pearson;
+};
+
 /// Similarity array s[n] = f(x[n : n+Ny], y), n = 0 .. Nx - Ny (Eq. 1).
 /// Multichannel inputs are scored per channel and averaged (Section V-B).
 /// Throws std::invalid_argument when shapes are incompatible.
 [[nodiscard]] std::vector<double> similarity_scores(
     const nsync::signal::SignalView& x, const nsync::signal::SignalView& y,
     const TdeOptions& opts = {});
+
+/// Workspace variant: fills ws.scores with the similarity array and
+/// returns a span over it (valid until the workspace is reused).  No heap
+/// allocation at steady state; bitwise identical to similarity_scores.
+std::span<const double> similarity_scores_into(
+    const nsync::signal::SignalView& x, const nsync::signal::SignalView& y,
+    const TdeOptions& opts, TdeWorkspace& ws);
 
 /// n_delay = argmax_n s[n] (Eq. 2).
 [[nodiscard]] std::size_t estimate_delay(const nsync::signal::SignalView& x,
@@ -46,6 +77,15 @@ struct TdeOptions {
 [[nodiscard]] std::size_t estimate_delay_biased(
     const nsync::signal::SignalView& x, const nsync::signal::SignalView& y,
     double center, double sigma_samples, const TdeOptions& opts = {});
+
+/// Fused workspace variant of estimate_delay_biased: similarity scoring,
+/// the clamp of negative correlations, the Gaussian bias and the argmax
+/// run as one pass over ws.scores with no intermediate vectors.  Bitwise
+/// identical to the allocating overload.
+std::size_t estimate_delay_biased(const nsync::signal::SignalView& x,
+                                  const nsync::signal::SignalView& y,
+                                  double center, double sigma_samples,
+                                  const TdeOptions& opts, TdeWorkspace& ws);
 
 }  // namespace nsync::core
 

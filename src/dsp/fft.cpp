@@ -83,6 +83,16 @@ void run_radix2_plan(std::span<Complex> data, const Radix2Plan& plan,
   }
 }
 
+// Real-FFT plan for an even power-of-two size n: the radix-2 plan for the
+// half-size complex transform plus the untangling twiddles
+// w^k = exp(-2*pi*i*k/n), k < n/2 (the same values the size-n radix-2
+// table holds, cached separately so the real path never builds the
+// full-size bit-reversal permutation).
+struct RfftPlan {
+  std::shared_ptr<const Radix2Plan> half;  ///< plan for size n/2
+  std::vector<Complex> twiddle;            ///< w_n^k, k < n/2
+};
+
 class PlanCache {
  public:
   std::shared_ptr<const Radix2Plan> radix2(std::size_t n) {
@@ -121,10 +131,35 @@ class PlanCache {
     return it->second;
   }
 
+  std::shared_ptr<const RfftPlan> rfft(std::size_t n) {
+    {
+      std::shared_lock<std::shared_mutex> lock(mu_);
+      const auto it = rfft_.find(n);
+      if (it != rfft_.end()) {
+        hits_.fetch_add(1, std::memory_order_relaxed);
+        return it->second;
+      }
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    auto plan = std::make_shared<RfftPlan>();
+    plan->half = radix2(n / 2);
+    plan->twiddle.resize(n / 2);
+    for (std::size_t k = 0; k < n / 2; ++k) {
+      const double ang = -2.0 * kPi * static_cast<double>(k) /
+                         static_cast<double>(n);
+      plan->twiddle[k] = Complex(std::cos(ang), std::sin(ang));
+    }
+    std::unique_lock<std::shared_mutex> lock(mu_);
+    const auto [it, inserted] = rfft_.emplace(n, std::move(plan));
+    (void)inserted;  // a racing builder may have won; use its plan
+    return it->second;
+  }
+
   [[nodiscard]] FftCacheStats stats() {
     FftCacheStats s;
     std::shared_lock<std::shared_mutex> lock(mu_);
     s.radix2_plans = radix2_.size();
+    s.rfft_plans = rfft_.size();
     s.bluestein_plans = bluestein_.size();
     s.hits = hits_.load(std::memory_order_relaxed);
     s.misses = misses_.load(std::memory_order_relaxed);
@@ -134,6 +169,7 @@ class PlanCache {
   void clear() {
     std::unique_lock<std::shared_mutex> lock(mu_);
     radix2_.clear();
+    rfft_.clear();
     bluestein_.clear();
     hits_.store(0, std::memory_order_relaxed);
     misses_.store(0, std::memory_order_relaxed);
@@ -164,6 +200,7 @@ class PlanCache {
 
   std::shared_mutex mu_;
   std::unordered_map<std::size_t, std::shared_ptr<const Radix2Plan>> radix2_;
+  std::unordered_map<std::size_t, std::shared_ptr<const RfftPlan>> rfft_;
   std::unordered_map<std::size_t, std::shared_ptr<const BluesteinPlan>>
       bluestein_;
   std::atomic<std::size_t> hits_{0};
@@ -196,6 +233,58 @@ std::vector<Complex> bluestein(std::span<const Complex> input, bool inverse) {
     out[k] = scratch[k] * plan->chirp[k];
   }
   return out;
+}
+
+// ---------------------------------------------------------------------------
+// Half-size complex trick for real transforms.
+//
+// Forward, n = 2h:  pack z[k] = x[2k] + i*x[2k+1] and take the h-point
+// DFT Z.  With E/O the DFTs of the even/odd samples,
+//   E[k] = (Z[k] + conj(Z[(h-k) mod h])) / 2
+//   O[k] = (Z[k] - conj(Z[(h-k) mod h])) / (2i)
+//   X[k] = E[k] + w^k * O[k],  w = exp(-2*pi*i/n),  k = 0 .. h.
+// Inverse: the algebra runs backwards,
+//   E[k] = (X[k] + conj(X[h-k])) / 2
+//   O[k] = conj(w^k) * (X[k] - conj(X[h-k])) / 2
+//   Z[k] = E[k] + i*O[k],  z = IDFT_h(Z),  x[2k] = Re z, x[2k+1] = Im z.
+// Both passes are O(n) around one half-size complex FFT.
+// ---------------------------------------------------------------------------
+
+// x.size() must equal the (power-of-two) plan size n; writes n/2+1 bins.
+void rfft_pow2_into(std::span<const double> x, std::span<Complex> out,
+                    std::span<Complex> half, const RfftPlan& plan) {
+  const std::size_t h = x.size() / 2;
+  for (std::size_t k = 0; k < h; ++k) {
+    half[k] = Complex(x[2 * k], x[2 * k + 1]);
+  }
+  if (h > 1) run_radix2_plan(half.first(h), *plan.half, /*inverse=*/false);
+  out[0] = Complex(half[0].real() + half[0].imag(), 0.0);
+  out[h] = Complex(half[0].real() - half[0].imag(), 0.0);
+  for (std::size_t k = 1; k < h; ++k) {
+    const Complex zk = half[k];
+    const Complex zc = std::conj(half[h - k]);
+    const Complex even = 0.5 * (zk + zc);
+    const Complex odd = Complex(0.0, -0.5) * (zk - zc);
+    out[k] = even + plan.twiddle[k] * odd;
+  }
+}
+
+// bins.size() must be n/2+1 for the (power-of-two) plan size n = out.size().
+void irfft_pow2_into(std::span<const Complex> bins, std::span<double> out,
+                     std::span<Complex> half, const RfftPlan& plan) {
+  const std::size_t h = out.size() / 2;
+  for (std::size_t k = 0; k < h; ++k) {
+    const Complex xk = bins[k];
+    const Complex xc = std::conj(bins[h - k]);
+    const Complex even = 0.5 * (xk + xc);
+    const Complex odd = std::conj(plan.twiddle[k]) * (0.5 * (xk - xc));
+    half[k] = even + Complex(0.0, 1.0) * odd;
+  }
+  if (h > 1) run_radix2_plan(half.first(h), *plan.half, /*inverse=*/true);
+  for (std::size_t k = 0; k < h; ++k) {
+    out[2 * k] = half[k].real();
+    out[2 * k + 1] = half[k].imag();
+  }
 }
 
 }  // namespace
@@ -275,13 +364,86 @@ std::vector<Complex> ifft(std::span<const Complex> input) {
 }
 
 std::vector<Complex> rfft(std::span<const double> input) {
-  std::vector<Complex> data(input.size());
-  for (std::size_t i = 0; i < input.size(); ++i) {
-    data[i] = Complex(input[i], 0.0);
+  const std::size_t n = input.size();
+  std::vector<Complex> out(n / 2 + 1);
+  if (n == 0) {
+    out[0] = Complex(0.0, 0.0);
+    return out;
   }
+  if (n % 2 == 0 && is_power_of_two(n)) {
+    const auto plan = plan_cache().rfft(n);
+    std::vector<Complex> half(std::max<std::size_t>(n / 2, 1));
+    rfft_pow2_into(input, out, half, *plan);
+    return out;
+  }
+  if (n % 2 == 0) {
+    // Half-size trick with a Bluestein (or radix-2) half transform.
+    const std::size_t h = n / 2;
+    std::vector<Complex> packed(h);
+    for (std::size_t k = 0; k < h; ++k) {
+      packed[k] = Complex(input[2 * k], input[2 * k + 1]);
+    }
+    const auto z = fft(packed);
+    out[0] = Complex(z[0].real() + z[0].imag(), 0.0);
+    out[h] = Complex(z[0].real() - z[0].imag(), 0.0);
+    for (std::size_t k = 1; k < h; ++k) {
+      const Complex zc = std::conj(z[h - k]);
+      const Complex even = 0.5 * (z[k] + zc);
+      const Complex odd = Complex(0.0, -0.5) * (z[k] - zc);
+      const double ang = -2.0 * kPi * static_cast<double>(k) /
+                         static_cast<double>(n);
+      out[k] = even + Complex(std::cos(ang), std::sin(ang)) * odd;
+    }
+    return out;
+  }
+  // Odd length: no pairing is possible; use the complex transform.
+  std::vector<Complex> data(n);
+  for (std::size_t i = 0; i < n; ++i) data[i] = Complex(input[i], 0.0);
   auto full = fft(data);
-  full.resize(input.size() / 2 + 1);
+  full.resize(n / 2 + 1);
   return full;
+}
+
+std::vector<double> irfft(std::span<const Complex> bins, std::size_t n) {
+  if (n == 0) return {};
+  if (bins.size() != n / 2 + 1) {
+    throw std::invalid_argument("irfft: need floor(n/2)+1 bins");
+  }
+  std::vector<double> out(n);
+  if (n % 2 == 0 && is_power_of_two(n)) {
+    const auto plan = plan_cache().rfft(n);
+    std::vector<Complex> half(std::max<std::size_t>(n / 2, 1));
+    irfft_pow2_into(bins, out, half, *plan);
+    return out;
+  }
+  if (n % 2 == 0) {
+    const std::size_t h = n / 2;
+    std::vector<Complex> z(h);
+    for (std::size_t k = 0; k < h; ++k) {
+      const Complex xc = std::conj(bins[h - k]);
+      const Complex even = 0.5 * (bins[k] + xc);
+      const double ang = 2.0 * kPi * static_cast<double>(k) /
+                         static_cast<double>(n);
+      const Complex odd =
+          Complex(std::cos(ang), std::sin(ang)) * (0.5 * (bins[k] - xc));
+      z[k] = even + Complex(0.0, 1.0) * odd;
+    }
+    const auto back = ifft(z);
+    for (std::size_t k = 0; k < h; ++k) {
+      out[2 * k] = back[k].real();
+      out[2 * k + 1] = back[k].imag();
+    }
+    return out;
+  }
+  // Odd length: rebuild the full conjugate-symmetric spectrum.
+  std::vector<Complex> full(n);
+  for (std::size_t k = 0; k < bins.size(); ++k) full[k] = bins[k];
+  for (std::size_t k = 1; k < bins.size(); ++k) {
+    full[n - k] = std::conj(bins[k]);
+  }
+  const auto back = ifft(full);
+  for (std::size_t i = 0; i < n; ++i) out[i] = back[i].real();
+  return out;
 }
 
 std::vector<double> rfft_magnitude(std::span<const double> input) {
@@ -291,8 +453,10 @@ std::vector<double> rfft_magnitude(std::span<const double> input) {
   return out;
 }
 
-std::vector<double> cross_correlate_valid(std::span<const double> x,
-                                          std::span<const double> y) {
+void cross_correlate_valid_into(std::span<const double> x,
+                                std::span<const double> y,
+                                std::span<double> out,
+                                CorrelationWorkspace& ws) {
   if (y.empty() || x.size() < y.size()) {
     throw std::invalid_argument(
         "cross_correlate_valid: need x.size() >= y.size() >= 1");
@@ -300,15 +464,58 @@ std::vector<double> cross_correlate_valid(std::span<const double> x,
   const std::size_t nx = x.size();
   const std::size_t ny = y.size();
   const std::size_t n_out = nx - ny + 1;
+  if (out.size() != n_out) {
+    throw std::invalid_argument(
+        "cross_correlate_valid_into: out.size() must be "
+        "x.size() - y.size() + 1");
+  }
   const std::size_t m = next_power_of_two(nx + ny);
+  const std::size_t h = m / 2;
+  const auto plan = plan_cache().rfft(m);
+  ws.x_pad.assign(m, 0.0);
+  ws.y_pad.assign(m, 0.0);
+  ws.spec_x.resize(h + 1);
+  ws.spec_y.resize(h + 1);
+  ws.half.resize(std::max<std::size_t>(h, 1));
+  for (std::size_t i = 0; i < nx; ++i) ws.x_pad[i] = x[i];
+  // Time-reverse y so the convolution computes correlation.
+  for (std::size_t i = 0; i < ny; ++i) ws.y_pad[i] = y[ny - 1 - i];
+  rfft_pow2_into(ws.x_pad, ws.spec_x, ws.half, *plan);
+  rfft_pow2_into(ws.y_pad, ws.spec_y, ws.half, *plan);
+  for (std::size_t k = 0; k <= h; ++k) ws.spec_x[k] *= ws.spec_y[k];
+  irfft_pow2_into(ws.spec_x, ws.x_pad, ws.half, *plan);
+  for (std::size_t k = 0; k < n_out; ++k) {
+    out[k] = ws.x_pad[k + ny - 1];
+  }
+}
+
+std::vector<double> cross_correlate_valid(std::span<const double> x,
+                                          std::span<const double> y) {
+  if (y.empty() || x.size() < y.size()) {
+    throw std::invalid_argument(
+        "cross_correlate_valid: need x.size() >= y.size() >= 1");
+  }
   // Per-thread scratch: this runs once per TDE window, so the padded
   // buffers are reused across millions of calls instead of reallocated.
-  thread_local std::vector<Complex> fx;
-  thread_local std::vector<Complex> fy;
-  fx.assign(m, Complex(0.0, 0.0));
-  fy.assign(m, Complex(0.0, 0.0));
+  thread_local CorrelationWorkspace ws;
+  std::vector<double> out(x.size() - y.size() + 1);
+  cross_correlate_valid_into(x, y, out, ws);
+  return out;
+}
+
+std::vector<double> cross_correlate_valid_complex(std::span<const double> x,
+                                                  std::span<const double> y) {
+  if (y.empty() || x.size() < y.size()) {
+    throw std::invalid_argument(
+        "cross_correlate_valid_complex: need x.size() >= y.size() >= 1");
+  }
+  const std::size_t nx = x.size();
+  const std::size_t ny = y.size();
+  const std::size_t n_out = nx - ny + 1;
+  const std::size_t m = next_power_of_two(nx + ny);
+  std::vector<Complex> fx(m, Complex(0.0, 0.0));
+  std::vector<Complex> fy(m, Complex(0.0, 0.0));
   for (std::size_t i = 0; i < nx; ++i) fx[i] = Complex(x[i], 0.0);
-  // Time-reverse y so the convolution computes correlation.
   for (std::size_t i = 0; i < ny; ++i) fy[i] = Complex(y[ny - 1 - i], 0.0);
   fft_radix2(fx);
   fft_radix2(fy);

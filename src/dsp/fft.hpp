@@ -1,15 +1,20 @@
 // Fast Fourier Transform.
 //
 // Provides an iterative radix-2 complex FFT plus a Bluestein (chirp-Z)
-// fallback so that any length is supported, and a real-input convenience
-// wrapper returning the N/2+1 non-negative-frequency bins used by the
-// spectrogram pipeline (Table III of the paper).
+// fallback so that any length is supported, and real-input transforms
+// (rfft/irfft) that exploit conjugate symmetry via the half-size complex
+// trick: a length-N real FFT runs as one length-N/2 complex FFT plus an
+// O(N) untangling pass, roughly halving the work of the complex path.
+// The N/2+1 non-negative-frequency bins feed the spectrogram pipeline
+// (Table III of the paper) and the fast TDE cross-correlation.
 //
 // All entry points share a process-wide, thread-safe plan cache: radix-2
 // twiddle factors and bit-reversal permutations are computed once per
-// size, and the Bluestein chirp plus the FFT of its convolution kernel
-// are computed once per (size, direction).  Every function here is safe
-// to call concurrently from multiple threads.
+// size, real-FFT untangling twiddles once per (power-of-two) size, and
+// the Bluestein chirp plus the FFT of its convolution kernel once per
+// (size, direction).  Every function here is safe to call concurrently
+// from multiple threads, and the workspace entry points perform no heap
+// allocation once their buffers have grown to steady-state size.
 #ifndef NSYNC_DSP_FFT_HPP
 #define NSYNC_DSP_FFT_HPP
 
@@ -45,23 +50,60 @@ void fft_radix2_uncached(std::span<Complex> data, bool inverse = false);
 [[nodiscard]] std::vector<Complex> ifft(std::span<const Complex> input);
 
 /// Forward DFT of a real sequence; returns bins 0 .. N/2 (inclusive),
-/// i.e. floor(N/2)+1 complex values.
+/// i.e. floor(N/2)+1 complex values.  Even lengths use the half-size
+/// complex trick (one N/2-point FFT + untangle); odd lengths fall back to
+/// the complex transform.
 [[nodiscard]] std::vector<Complex> rfft(std::span<const double> input);
+
+/// Inverse of rfft: reconstructs the length-n real sequence from its
+/// floor(n/2)+1 non-negative-frequency bins (which must describe a
+/// conjugate-symmetric spectrum, i.e. come from a real signal).  Includes
+/// the 1/n normalization.
+[[nodiscard]] std::vector<double> irfft(std::span<const Complex> bins,
+                                        std::size_t n);
 
 /// Magnitudes of rfft(input).
 [[nodiscard]] std::vector<double> rfft_magnitude(std::span<const double> input);
 
+/// Reusable scratch for the zero-allocation real-FFT correlation path.
+/// Buffers grow to the padded transform size on first use and are reused
+/// afterwards; a default-constructed workspace is valid for any input.
+struct CorrelationWorkspace {
+  std::vector<double> x_pad;    ///< zero-padded x (and irfft output)
+  std::vector<double> y_pad;    ///< zero-padded, time-reversed y
+  std::vector<Complex> spec_x;  ///< rfft(x_pad), then the bin product
+  std::vector<Complex> spec_y;  ///< rfft(y_pad)
+  std::vector<Complex> half;    ///< half-size complex staging buffer
+};
+
 /// Linear cross-correlation of x with y via FFT zero-padding:
 ///   out[k] = sum_n x[n + k] * y[n],  k = 0 .. x.size() - y.size()
 /// Requires x.size() >= y.size().  This is the unnormalized numerator used
-/// by the fast sliding-correlation TDE path.
+/// by the fast sliding-correlation TDE path.  Runs on the real-FFT
+/// kernels (two rfft + one irfft at half the complex transform size).
 [[nodiscard]] std::vector<double> cross_correlate_valid(
+    std::span<const double> x, std::span<const double> y);
+
+/// Same as cross_correlate_valid, writing into `out` (which must have
+/// exactly x.size() - y.size() + 1 elements) and using `ws` for all
+/// scratch.  Performs no heap allocation once `ws` has reached
+/// steady-state size for the padded transform length.
+void cross_correlate_valid_into(std::span<const double> x,
+                                std::span<const double> y,
+                                std::span<double> out,
+                                CorrelationWorkspace& ws);
+
+/// Pre-rfft reference implementation using two full-size complex FFTs.
+/// Kept for the rfft equivalence tests and the bench_ablation_tde_speed
+/// ablation; prefer cross_correlate_valid.
+[[nodiscard]] std::vector<double> cross_correlate_valid_complex(
     std::span<const double> x, std::span<const double> y);
 
 /// Counters for the process-wide FFT plan cache (all sizes since start
 /// or the last fft_plan_cache_clear()).
 struct FftCacheStats {
   std::size_t radix2_plans = 0;     ///< distinct radix-2 sizes planned
+  std::size_t rfft_plans = 0;       ///< distinct real-FFT sizes planned
   std::size_t bluestein_plans = 0;  ///< distinct (size, direction) pairs
   std::size_t hits = 0;             ///< lookups served from the cache
   std::size_t misses = 0;           ///< lookups that had to build a plan

@@ -18,7 +18,7 @@ StreamingStft::StreamingStft(const StftConfig& config, double input_rate,
       n_hop_(stft_hop_samples(config, input_rate)),
       bins_(n_win_ / 2 + 1),
       window_(cached_window(config.window, n_win_)),
-      input_buffer_(Signal::empty(input_channels, input_rate)),
+      input_buffer_(input_channels, input_rate),
       output_(Signal::empty(input_channels * (n_win_ / 2 + 1),
                             1.0 / config.delta_t)) {
   if (input_channels == 0) {
@@ -30,6 +30,7 @@ std::size_t StreamingStft::push(const SignalView& frames) {
   if (frames.channels() != channels_) {
     throw std::invalid_argument("StreamingStft::push: channel mismatch");
   }
+  input_buffer_.drop_before(next_start_);
   input_buffer_.append(frames);
   std::size_t emitted = 0;
   while (emit_next_column()) ++emitted;
@@ -37,12 +38,13 @@ std::size_t StreamingStft::push(const SignalView& frames) {
 }
 
 bool StreamingStft::emit_next_column() {
-  if (next_start_ + n_win_ > input_buffer_.frames()) return false;
+  if (next_start_ + n_win_ > input_buffer_.end()) return false;
+  const auto win = input_buffer_.view(next_start_, next_start_ + n_win_);
   std::vector<double> row(channels_ * bins_);
   std::vector<double> buf(n_win_);
   for (std::size_t c = 0; c < channels_; ++c) {
     for (std::size_t i = 0; i < n_win_; ++i) {
-      buf[i] = input_buffer_(next_start_ + i, c) * (*window_)[i];
+      buf[i] = win(i, c) * (*window_)[i];
     }
     const auto mags = rfft_magnitude(buf);
     for (std::size_t k = 0; k < bins_; ++k) {

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "dsp/stft.hpp"
+#include "signal/ring_buffer.hpp"
 #include "signal/signal.hpp"
 
 namespace nsync::dsp {
@@ -49,7 +50,9 @@ class StreamingStft {
   std::size_t n_hop_;
   std::size_t bins_;
   std::shared_ptr<const std::vector<double>> window_;
-  nsync::signal::Signal input_buffer_;
+  // Raw frames before next_start_ belong to already-emitted columns and
+  // are dropped, so buffering stays O(n_win + chunk) over a long stream.
+  nsync::signal::FrameRingBuffer input_buffer_;
   nsync::signal::Signal output_;
   std::size_t next_start_ = 0;  // raw index of the next column's window
 };

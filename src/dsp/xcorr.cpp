@@ -2,8 +2,8 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
-#include "dsp/fft.hpp"
 #include "signal/stats.hpp"
 
 namespace nsync::dsp {
@@ -18,29 +18,121 @@ void check_sizes(std::span<const double> x, std::span<const double> y,
   }
 }
 
+// Shared epilogue of every FFT-based variant: given the raw correlation
+// numerator over the centered signals, normalize each window by its
+// standard deviation (from prefix sums) and the template norm.
+template <typename NumAt>
+void normalize_windows(std::span<const double> ps, std::span<const double> ps2,
+                       std::size_t ny, double y_norm, NumAt num_at,
+                       std::span<double> out) {
+  const double ny_d = static_cast<double>(ny);
+  for (std::size_t n = 0; n < out.size(); ++n) {
+    const double s1 = ps[n + ny] - ps[n];
+    const double s2 = ps2[n + ny] - ps2[n];
+    const double var = s2 - s1 * s1 / ny_d;
+    if (var <= 1e-12 * std::max(1.0, s2)) {
+      out[n] = 0.0;  // flat window
+    } else {
+      out[n] = num_at(n) / (std::sqrt(var) * y_norm);
+    }
+  }
+}
+
 }  // namespace
 
 std::vector<double> sliding_pearson_naive(std::span<const double> x,
                                           std::span<const double> y) {
   check_sizes(x, y, "sliding_pearson_naive");
+  std::vector<double> out(x.size() - y.size() + 1);
+  sliding_pearson_naive_into(x, y, out);
+  return out;
+}
+
+void sliding_pearson_naive_into(std::span<const double> x,
+                                std::span<const double> y,
+                                std::span<double> out) {
+  check_sizes(x, y, "sliding_pearson_naive_into");
   const std::size_t n_out = x.size() - y.size() + 1;
-  std::vector<double> out(n_out);
+  if (out.size() != n_out) {
+    throw std::invalid_argument(
+        "sliding_pearson_naive_into: out.size() must be "
+        "x.size() - y.size() + 1");
+  }
   for (std::size_t n = 0; n < n_out; ++n) {
     out[n] = nsync::signal::pearson(x.subspan(n, y.size()), y);
   }
-  return out;
 }
 
 std::vector<double> sliding_pearson_fft(std::span<const double> x,
                                         std::span<const double> y) {
   check_sizes(x, y, "sliding_pearson_fft");
+  // Per-thread workspace so the allocating wrapper still reuses scratch
+  // across calls (and stays bitwise identical to the _into path).
+  thread_local SlidingPearsonWorkspace ws;
+  std::vector<double> out(x.size() - y.size() + 1);
+  sliding_pearson_fft_into(x, y, out, ws);
+  return out;
+}
+
+void sliding_pearson_fft_into(std::span<const double> x,
+                              std::span<const double> y,
+                              std::span<double> out,
+                              SlidingPearsonWorkspace& ws) {
+  check_sizes(x, y, "sliding_pearson_fft_into");
   const std::size_t ny = y.size();
   const std::size_t n_out = x.size() - ny + 1;
-  const double ny_d = static_cast<double>(ny);
+  if (out.size() != n_out) {
+    throw std::invalid_argument(
+        "sliding_pearson_fft_into: out.size() must be "
+        "x.size() - y.size() + 1");
+  }
 
   // Center y; after centering, sum((x_w - mu_w) .* yc) == sum(x_w .* yc)
   // because sum(yc) == 0, so no windowed-mean correction is needed in the
   // numerator.
+  const double mu_y = nsync::signal::mean(y);
+  ws.yc.resize(ny);
+  double y_energy = 0.0;
+  for (std::size_t i = 0; i < ny; ++i) {
+    ws.yc[i] = y[i] - mu_y;
+    y_energy += ws.yc[i] * ws.yc[i];
+  }
+  const double y_norm = std::sqrt(y_energy);
+
+  if (y_norm <= 0.0) {  // constant template: score 0 everywhere
+    for (auto& v : out) v = 0.0;
+    return;
+  }
+
+  // Center x globally as well: Pearson is offset-invariant, and removing
+  // the DC keeps the FFT numerator and the prefix-sum variance free of
+  // catastrophic cancellation when the data rides on a large offset.
+  const double mu_x = nsync::signal::mean(x);
+  ws.xc.resize(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) ws.xc[i] = x[i] - mu_x;
+
+  ws.num.resize(n_out);
+  cross_correlate_valid_into(ws.xc, ws.yc, ws.num, ws.corr);
+
+  // Prefix sums for windowed sum and sum of squares of centered x.
+  ws.ps.resize(ws.xc.size() + 1);
+  ws.ps2.resize(ws.xc.size() + 1);
+  ws.ps[0] = 0.0;
+  ws.ps2[0] = 0.0;
+  for (std::size_t i = 0; i < ws.xc.size(); ++i) {
+    ws.ps[i + 1] = ws.ps[i] + ws.xc[i];
+    ws.ps2[i + 1] = ws.ps2[i] + ws.xc[i] * ws.xc[i];
+  }
+  normalize_windows(ws.ps, ws.ps2, ny, y_norm,
+                    [&](std::size_t n) { return ws.num[n]; }, out);
+}
+
+std::vector<double> sliding_pearson_fft_complex(std::span<const double> x,
+                                                std::span<const double> y) {
+  check_sizes(x, y, "sliding_pearson_fft_complex");
+  const std::size_t ny = y.size();
+  const std::size_t n_out = x.size() - ny + 1;
+
   const double mu_y = nsync::signal::mean(y);
   std::vector<double> yc(ny);
   double y_energy = 0.0;
@@ -51,34 +143,22 @@ std::vector<double> sliding_pearson_fft(std::span<const double> x,
   const double y_norm = std::sqrt(y_energy);
 
   std::vector<double> out(n_out, 0.0);
-  if (y_norm <= 0.0) return out;  // constant template: score 0 everywhere
+  if (y_norm <= 0.0) return out;
 
-  // Center x globally as well: Pearson is offset-invariant, and removing
-  // the DC keeps the FFT numerator and the prefix-sum variance free of
-  // catastrophic cancellation when the data rides on a large offset.
   const double mu_x = nsync::signal::mean(x);
   std::vector<double> xc(x.size());
   for (std::size_t i = 0; i < x.size(); ++i) xc[i] = x[i] - mu_x;
 
-  const auto num = cross_correlate_valid(xc, yc);
+  const auto num = cross_correlate_valid_complex(xc, yc);
 
-  // Prefix sums for windowed sum and sum of squares of centered x.
   std::vector<double> ps(xc.size() + 1, 0.0);
   std::vector<double> ps2(xc.size() + 1, 0.0);
   for (std::size_t i = 0; i < xc.size(); ++i) {
     ps[i + 1] = ps[i] + xc[i];
     ps2[i + 1] = ps2[i] + xc[i] * xc[i];
   }
-  for (std::size_t n = 0; n < n_out; ++n) {
-    const double s1 = ps[n + ny] - ps[n];
-    const double s2 = ps2[n + ny] - ps2[n];
-    const double var = s2 - s1 * s1 / ny_d;
-    if (var <= 1e-12 * std::max(1.0, s2)) {
-      out[n] = 0.0;  // flat window
-    } else {
-      out[n] = num[n] / (std::sqrt(var) * y_norm);
-    }
-  }
+  normalize_windows(ps, ps2, ny, y_norm,
+                    [&](std::size_t n) { return num[n]; }, out);
   return out;
 }
 

@@ -1,26 +1,64 @@
 // Sliding normalized correlation ("the sliding method", Section V-B).
 //
-// Both a direct O(Nx * Ny) implementation and an FFT + prefix-sum
-// implementation with identical output are provided; the latter is the
-// default inside TDE and the former serves as a reference for testing and
-// as an ablation target (bench_ablation_tde_speed).
+// Three implementations with identical output are provided: a direct
+// O(Nx * Ny) evaluation, an rfft + prefix-sum path (the default inside
+// TDE), and a pre-rfft complex-FFT reference.  The naive and complex
+// variants serve as references for testing and as ablation targets
+// (bench_ablation_tde_speed).  The *_into entry points write into
+// caller-owned buffers and perform no heap allocation once their
+// workspace has reached steady-state size.
 #ifndef NSYNC_DSP_XCORR_HPP
 #define NSYNC_DSP_XCORR_HPP
 
 #include <span>
 #include <vector>
 
+#include "dsp/fft.hpp"
+
 namespace nsync::dsp {
+
+/// Reusable scratch for sliding_pearson_fft_into: centered copies of both
+/// inputs, the FFT numerator, the prefix sums, and the real-FFT staging
+/// buffers.  A default-constructed workspace is valid for any input.
+struct SlidingPearsonWorkspace {
+  std::vector<double> yc;   ///< centered template
+  std::vector<double> xc;   ///< centered long signal
+  std::vector<double> num;  ///< FFT cross-correlation numerator
+  std::vector<double> ps;   ///< prefix sums of xc
+  std::vector<double> ps2;  ///< prefix sums of xc^2
+  CorrelationWorkspace corr;
+};
 
 /// s[n] = pearson(x[n : n+Ny], y) for n = 0 .. Nx-Ny  (Eq. 1 with Eq. 3).
 /// Direct evaluation.  Requires x.size() >= y.size() >= 2.
 [[nodiscard]] std::vector<double> sliding_pearson_naive(
     std::span<const double> x, std::span<const double> y);
 
-/// Same output as sliding_pearson_naive, computed with one FFT
+/// Same output as sliding_pearson_naive, computed with one real-FFT
 /// cross-correlation for the numerator and prefix sums for the windowed
 /// means/norms.  Zero-variance windows score 0.
 [[nodiscard]] std::vector<double> sliding_pearson_fft(
+    std::span<const double> x, std::span<const double> y);
+
+/// Same as sliding_pearson_fft, writing into `out` (which must have
+/// exactly x.size() - y.size() + 1 elements) using `ws` for all scratch.
+/// Zero heap allocations at steady state; bitwise identical to the
+/// allocating wrapper.
+void sliding_pearson_fft_into(std::span<const double> x,
+                              std::span<const double> y,
+                              std::span<double> out,
+                              SlidingPearsonWorkspace& ws);
+
+/// Allocation-free variant of sliding_pearson_naive writing into `out`
+/// (same size contract as sliding_pearson_fft_into).
+void sliding_pearson_naive_into(std::span<const double> x,
+                                std::span<const double> y,
+                                std::span<double> out);
+
+/// Pre-rfft reference: the numerator comes from the full-size complex-FFT
+/// cross-correlation.  Kept for the rfft equivalence tests and the
+/// bench_ablation_tde_speed ablation.
+[[nodiscard]] std::vector<double> sliding_pearson_fft_complex(
     std::span<const double> x, std::span<const double> y);
 
 }  // namespace nsync::dsp

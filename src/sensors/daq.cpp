@@ -34,7 +34,7 @@ Signal apply_daq(const SignalView& s, const DaqConfig& cfg, Rng& rng) {
           : 1.0;
 
   Signal out = Signal::empty(s.channels(), s.sample_rate());
-  out.reserve(s.frames());
+  out.reserve_frames(s.frames());
   const std::size_t frame = std::max<std::size_t>(1, cfg.frame_samples);
   std::vector<double> row(s.channels());
   for (std::size_t start = 0; start < s.frames(); start += frame) {

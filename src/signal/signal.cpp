@@ -40,6 +40,17 @@ std::vector<double> SignalView::channel(std::size_t c) const {
   return out;
 }
 
+void SignalView::channel_into(std::size_t c, std::span<double> out) const {
+  check_channel(c);
+  if (out.size() != frames_) {
+    throw std::invalid_argument(
+        "SignalView::channel_into: out.size() must equal frames()");
+  }
+  for (std::size_t n = 0; n < frames_; ++n) {
+    out[n] = data_[n * channels_ + c];
+  }
+}
+
 Signal SignalView::to_signal() const {
   Signal out(frames_, channels_, sample_rate_);
   if (frames_ > 0 && channels_ > 0) {
@@ -133,6 +144,7 @@ void Signal::append_frame(std::span<const double> values) {
   if (values.size() != channels_) {
     throw std::invalid_argument("Signal::append_frame: channel mismatch");
   }
+  grow_for(1);
   data_.insert(data_.end(), values.begin(), values.end());
   ++frames_;
 }
@@ -141,6 +153,7 @@ void Signal::append(const SignalView& other) {
   if (other.channels() != channels_) {
     throw std::invalid_argument("Signal::append: channel mismatch");
   }
+  grow_for(other.frames());
   data_.insert(data_.end(), other.data(),
                other.data() + other.frames() * other.channels());
   frames_ += other.frames();

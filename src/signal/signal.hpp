@@ -8,6 +8,7 @@
 #ifndef NSYNC_SIGNAL_SIGNAL_HPP
 #define NSYNC_SIGNAL_SIGNAL_HPP
 
+#include <algorithm>
 #include <cstddef>
 #include <initializer_list>
 #include <span>
@@ -81,6 +82,10 @@ class SignalView {
 
   /// Copies channel c out into a contiguous vector (x[:, c]).
   [[nodiscard]] std::vector<double> channel(std::size_t c) const;
+
+  /// Copies channel c into `out`, which must have exactly frames()
+  /// elements.  Allocation-free alternative to channel() for hot paths.
+  void channel_into(std::size_t c, std::span<double> out) const;
 
   /// Deep copy into an owning Signal.
   [[nodiscard]] Signal to_signal() const;
@@ -157,7 +162,9 @@ class Signal {
   [[nodiscard]] std::span<double> frame(std::size_t n);
   [[nodiscard]] std::span<const double> frame(std::size_t n) const;
 
-  /// Appends one frame; `values.size()` must equal channels().
+  /// Appends one frame; `values.size()` must equal channels().  Storage
+  /// grows geometrically (see reserve_frames), so appending N frames one
+  /// at a time costs O(N) total copies.
   void append_frame(std::span<const double> values);
 
   /// Appends all frames of `other`; channel counts must match.
@@ -181,10 +188,31 @@ class Signal {
   /// Replaces the sampling rate tag (e.g. after decimation).
   void set_sample_rate(double fs) { sample_rate_ = fs; }
 
-  /// Reserves storage for `frames` frames (streaming ergonomics).
-  void reserve(std::size_t frames) { data_.reserve(frames * channels_); }
+  /// Reserves storage for at least `frames` total frames (streaming
+  /// ergonomics).  Append-heavy producers (sensor rendering, streaming
+  /// STFT, eval runners) should call this up front to avoid repeated
+  /// reallocation; without it, appends still grow the buffer
+  /// geometrically (never per-frame).
+  void reserve_frames(std::size_t frames) { data_.reserve(frames * channels_); }
+
+  /// Backwards-compatible alias for reserve_frames().
+  void reserve(std::size_t frames) { reserve_frames(frames); }
+
+  /// Frames that fit in the current allocation.
+  [[nodiscard]] std::size_t capacity_frames() const {
+    return channels_ == 0 ? 0 : data_.capacity() / channels_;
+  }
 
  private:
+  /// Guarantees room for `extra` more frames, growing geometrically
+  /// (doubling) so a long run of appends costs amortized O(1) per frame.
+  void grow_for(std::size_t extra) {
+    const std::size_t need = data_.size() + extra * channels_;
+    if (need > data_.capacity()) {
+      data_.reserve(std::max(need, data_.capacity() * 2));
+    }
+  }
+
   std::vector<double> data_;  // row-major, frames_ x channels_
   std::size_t frames_ = 0;
   std::size_t channels_ = 0;

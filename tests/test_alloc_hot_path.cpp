@@ -1,0 +1,125 @@
+// Verifies the zero-allocation claim for the streaming DWM hot path: once
+// a synchronizer is warmed up (FFT plans built, workspaces at steady-state
+// size, results reserved), pushing one hop of frames — which scores one
+// full TDEB window — must not touch the heap.
+//
+// The check replaces the global allocation functions with counting
+// versions; counting is enabled only around the measured pushes, so the
+// test harness's own allocations don't interfere.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "core/dwm.hpp"
+#include "signal/rng.hpp"
+#include "signal/signal.hpp"
+
+namespace {
+
+std::atomic<bool> g_counting{false};
+std::atomic<std::size_t> g_allocations{0};
+
+void* counted_alloc(std::size_t size) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t align) {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+  }
+  void* p = nullptr;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  if (posix_memalign(&p, align, size ? size : 1) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return counted_alloc(size); }
+void* operator new[](std::size_t size) { return counted_alloc(size); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+
+namespace nsync::core {
+namespace {
+
+using nsync::signal::Rng;
+using nsync::signal::Signal;
+using nsync::signal::SignalView;
+
+Signal smoothed_noise(std::size_t frames, std::size_t channels,
+                      std::uint64_t seed) {
+  Rng rng(seed);
+  Signal s(frames, channels, 100.0);
+  std::vector<double> lp(channels, 0.0);
+  for (std::size_t n = 0; n < frames; ++n) {
+    for (std::size_t c = 0; c < channels; ++c) {
+      lp[c] += 0.35 * (rng.normal() - lp[c]);
+      s(n, c) = lp[c];
+    }
+  }
+  return s;
+}
+
+TEST(AllocHotPath, WarmDwmWindowPushIsAllocationFree) {
+  DwmParams p;
+  p.n_win = 256;
+  p.n_hop = 128;
+  p.n_ext = 64;
+  p.n_sigma = 32.0;
+  const Signal reference = smoothed_noise(8000, 2, 1);
+  const Signal observed = smoothed_noise(4000, 2, 2);
+
+  DwmSynchronizer sync(reference, p);
+  sync.reserve_windows(64);
+  // Warm-up: several windows so the first-window edge effects (clamped
+  // extended reference, cold FFT plans, workspace growth) are behind us.
+  std::size_t pos = 0;
+  while (sync.windows() < 4) {
+    sync.push(SignalView(observed).slice(pos, pos + p.n_hop));
+    pos += p.n_hop;
+  }
+
+  // Steady state: each hop-sized push scores exactly one TDEB window and
+  // must perform zero heap allocations.
+  for (int round = 0; round < 8; ++round) {
+    const SignalView chunk = SignalView(observed).slice(pos, pos + p.n_hop);
+    pos += p.n_hop;
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+    const std::size_t done = sync.push(chunk);
+    g_counting.store(false, std::memory_order_relaxed);
+    EXPECT_EQ(done, 1u) << "round " << round;
+    EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), 0u)
+        << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace nsync::core

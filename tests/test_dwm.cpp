@@ -228,6 +228,95 @@ TEST(Dwm, ShortReferenceThrows) {
   EXPECT_THROW(DwmSynchronizer(b, test_params()), std::invalid_argument);
 }
 
+// --------------------------------------------------------------------------
+// Ring-buffered observed stream: results must match the append-everything
+// semantics exactly while memory stays independent of stream length.
+// --------------------------------------------------------------------------
+
+TEST(DwmRing, BoundedMemoryOverLongStream) {
+  const DwmParams p = test_params();
+  const Signal b = make_reference(16000, 13);
+  const Signal a = shifted_copy(b, {{0, 4}}, 100 * p.n_win);  // 6400 frames
+  const DwmResult batch = DwmSynchronizer::align(a, b, p);
+
+  DwmSynchronizer stream(b, p);
+  stream.reserve_windows(batch.h_disp.size());
+  const std::size_t warm_capacity = stream.observed().capacity_frames();
+  std::size_t peak_retained = 0;
+  for (std::size_t pos = 0; pos < a.frames(); pos += p.n_hop) {
+    const std::size_t end = std::min(pos + p.n_hop, a.frames());
+    stream.push(SignalView(a).slice(pos, end));
+    peak_retained = std::max(peak_retained,
+                             stream.observed().retained_frames());
+  }
+  // Retention is bounded by a small multiple of the window geometry, never
+  // by the 100-window stream length, and reserve_windows sized the buffer
+  // so the stream never had to grow it.
+  EXPECT_LE(peak_retained, 2 * (p.n_win + p.n_hop));
+  EXPECT_EQ(stream.observed().capacity_frames(), warm_capacity);
+
+  // Dropping frames must not have changed a single output bit.
+  ASSERT_EQ(stream.result().h_disp.size(), batch.h_disp.size());
+  for (std::size_t i = 0; i < batch.h_disp.size(); ++i) {
+    EXPECT_DOUBLE_EQ(stream.result().h_disp[i], batch.h_disp[i])
+        << "window " << i;
+    EXPECT_DOUBLE_EQ(stream.result().h_disp_low[i], batch.h_disp_low[i])
+        << "window " << i;
+  }
+}
+
+TEST(DwmRing, CompletedWindowsStayReadableUntilNextPush) {
+  // RealtimeMonitor reads observed frames of every window the push just
+  // completed; the ring must keep them until the next push.
+  const DwmParams p = test_params();
+  const Signal b = make_reference(4000, 14);
+  const Signal a = shifted_copy(b, {{0, 6}}, 3200);
+  DwmSynchronizer stream(b, p);
+  std::size_t before = 0;
+  for (std::size_t pos = 0; pos < a.frames(); pos += 96) {
+    const std::size_t end = std::min(pos + 96, a.frames());
+    stream.push(SignalView(a).slice(pos, end));
+    for (std::size_t i = before; i < stream.windows(); ++i) {
+      const std::size_t a_start = i * p.n_hop;
+      const SignalView win =
+          stream.observed().view(a_start, a_start + p.n_win);
+      EXPECT_EQ(win.frames(), p.n_win);
+      EXPECT_DOUBLE_EQ(win(0, 0), a(a_start, 0)) << "window " << i;
+    }
+    before = stream.windows();
+  }
+  // Frames behind the processing frontier are genuinely gone.
+  if (stream.windows() > 2) {
+    EXPECT_THROW(stream.observed().view(0, p.n_win), std::out_of_range);
+  }
+}
+
+TEST(DwmRing, ExhaustedReferenceRetainsNothing) {
+  const DwmParams p = test_params();
+  const Signal b = make_reference(300, 15);
+  const Signal a = make_reference(900, 16);
+  DwmSynchronizer stream(b, p);
+  stream.push(a);
+  ASSERT_TRUE(stream.reference_exhausted());
+  const std::size_t windows_at_exhaustion = stream.windows();
+  const auto result_at_exhaustion = stream.result();
+
+  // Further pushes on a dead synchronizer keep only the just-pushed chunk
+  // (dropped again on the next push) and change no results.
+  const Signal more = make_reference(500, 17);
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(stream.push(more), 0u);
+    EXPECT_EQ(stream.observed().retained_frames(), more.frames());
+    EXPECT_EQ(stream.windows(), windows_at_exhaustion);
+  }
+  ASSERT_EQ(stream.result().h_disp.size(),
+            result_at_exhaustion.h_disp.size());
+  for (std::size_t i = 0; i < result_at_exhaustion.h_disp.size(); ++i) {
+    EXPECT_DOUBLE_EQ(stream.result().h_disp[i],
+                     result_at_exhaustion.h_disp[i]);
+  }
+}
+
 class DwmEtaProperty : public ::testing::TestWithParam<double> {};
 
 TEST_P(DwmEtaProperty, ConvergesForReasonableEta) {

@@ -128,6 +128,78 @@ TEST(Rfft, RealInputLength) {
   EXPECT_NEAR(bins[0].real(), 100.0, 1e-9);  // DC = sum
 }
 
+// --------------------------------------------------------------------------
+// Real-input transforms: the half-size complex trick must agree with the
+// full complex FFT on every path (power-of-two, even Bluestein, odd
+// fallback) and invert exactly.
+// --------------------------------------------------------------------------
+
+std::vector<double> random_real(std::size_t n, std::uint64_t seed) {
+  nsync::signal::Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.normal();
+  return v;
+}
+
+class RfftAgainstFullFft : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RfftAgainstFullFft, HalfSizeTrickMatchesComplexTransform) {
+  const std::size_t n = GetParam();
+  const auto x = random_real(n, 3000 + n);
+  std::vector<Complex> xc(n);
+  for (std::size_t i = 0; i < n; ++i) xc[i] = Complex(x[i], 0.0);
+  const auto full = fft(xc);
+  const auto half = rfft(x);
+  ASSERT_EQ(half.size(), n / 2 + 1);
+  const double tol = 1e-9 * static_cast<double>(std::max<std::size_t>(n, 8));
+  for (std::size_t k = 0; k < half.size(); ++k) {
+    EXPECT_NEAR(half[k].real(), full[k].real(), tol) << "bin " << k;
+    EXPECT_NEAR(half[k].imag(), full[k].imag(), tol) << "bin " << k;
+  }
+}
+
+// 2..4096: radix-2 path; 6, 100, 250: even half-size with Bluestein half;
+// 1, 15, 101: odd fallback through the complex transform.
+INSTANTIATE_TEST_SUITE_P(Sizes, RfftAgainstFullFft,
+                         ::testing::Values(1, 2, 4, 6, 15, 64, 100, 101, 250,
+                                           256, 4096));
+
+class RfftRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RfftRoundTrip, IrfftInvertsRfft) {
+  const std::size_t n = GetParam();
+  const auto x = random_real(n, 5000 + n);
+  const auto back = irfft(rfft(x), n);
+  ASSERT_EQ(back.size(), n);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_NEAR(back[i], x[i], 1e-9) << "sample " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, RfftRoundTrip,
+                         ::testing::Values(1, 2, 4, 6, 15, 64, 100, 101, 250,
+                                           256, 1024));
+
+TEST(Rfft, IrfftRejectsWrongBinCount) {
+  std::vector<Complex> bins(5);
+  EXPECT_THROW(irfft(bins, 16), std::invalid_argument);
+  EXPECT_EQ(irfft(bins, 0).size(), 0u);
+}
+
+TEST(Rfft, PlanCacheCountsRealPlansSeparately) {
+  fft_plan_cache_clear();
+  const auto x = random_real(64, 21);
+  (void)rfft(x);
+  const auto after_first = fft_plan_cache_stats();
+  EXPECT_EQ(after_first.rfft_plans, 1u);
+  EXPECT_EQ(after_first.radix2_plans, 1u);  // the half-size (32) plan
+  (void)rfft(x);
+  const auto after_second = fft_plan_cache_stats();
+  EXPECT_EQ(after_second.rfft_plans, 1u);
+  EXPECT_GT(after_second.hits, after_first.hits);
+  EXPECT_EQ(after_second.misses, after_first.misses);
+}
+
 TEST(CrossCorrelateValid, MatchesBruteForce) {
   nsync::signal::Rng rng(9);
   std::vector<double> x(50), y(13);
@@ -161,6 +233,41 @@ TEST(CrossCorrelateValid, RejectsBadSizes) {
   std::vector<double> x(5), y(9);
   EXPECT_THROW(cross_correlate_valid(x, y), std::invalid_argument);
   EXPECT_THROW(cross_correlate_valid(x, {}), std::invalid_argument);
+}
+
+TEST(CrossCorrelateValid, RfftPathMatchesComplexPath) {
+  // The production path (real transforms on a workspace) against the
+  // pre-rfft full-complex implementation, across padding sizes.
+  for (const std::size_t nx : {16u, 50u, 255u, 1000u}) {
+    const std::size_t ny = nx / 3 + 1;
+    const auto x = random_real(nx, 61 + nx);
+    const auto y = random_real(ny, 62 + nx);
+    const auto real_path = cross_correlate_valid(x, y);
+    const auto complex_path = cross_correlate_valid_complex(x, y);
+    ASSERT_EQ(real_path.size(), complex_path.size());
+    for (std::size_t k = 0; k < real_path.size(); ++k) {
+      EXPECT_NEAR(real_path[k], complex_path[k],
+                  1e-9 * static_cast<double>(nx))
+          << "nx " << nx << " lag " << k;
+    }
+  }
+}
+
+TEST(CrossCorrelateValid, WorkspaceReuseAcrossShapesIsClean) {
+  // A workspace carried across differently-sized calls must not leak
+  // state from one call into the next (stale padding is the classic bug).
+  CorrelationWorkspace ws;
+  for (const std::size_t nx : {200u, 37u, 512u, 64u}) {
+    const std::size_t ny = nx / 4 + 2;
+    const auto x = random_real(nx, 71 + nx);
+    const auto y = random_real(ny, 72 + nx);
+    std::vector<double> out(nx - ny + 1);
+    cross_correlate_valid_into(x, y, out, ws);
+    const auto fresh = cross_correlate_valid(x, y);
+    for (std::size_t k = 0; k < out.size(); ++k) {
+      EXPECT_DOUBLE_EQ(out[k], fresh[k]) << "nx " << nx << " lag " << k;
+    }
+  }
 }
 
 // --------------------------------------------------------------------------

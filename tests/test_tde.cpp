@@ -2,11 +2,14 @@
 // VI-B).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <numbers>
+#include <vector>
 
 #include "core/tde.hpp"
 #include "signal/rng.hpp"
+#include "signal/stats.hpp"
 
 namespace nsync::core {
 namespace {
@@ -138,6 +141,72 @@ TEST(Tdeb, StrongTrueMatchOverridesBias) {
   // times score 1.0 still beats every noise score (|noise| < ~0.28).
   const std::size_t j = estimate_delay_biased(x, y, 40.0, 120.0);
   EXPECT_EQ(j, at);
+}
+
+// --------------------------------------------------------------------------
+// The fused workspace tier must be bitwise identical to the allocating
+// tier: same per-element arithmetic order, same first-occurrence argmax.
+// --------------------------------------------------------------------------
+
+TEST(TdeWorkspaceTier, SimilarityScoresAreBitwiseEqual) {
+  TdeWorkspace ws;
+  for (const std::size_t channels : {1u, 3u}) {
+    const Signal x = random_signal(200, channels, 91 + channels);
+    const Signal y = random_signal(40, channels, 92 + channels);
+    const auto staged = similarity_scores(x, y);
+    const auto fused = similarity_scores_into(x, y, {}, ws);
+    ASSERT_EQ(staged.size(), fused.size());
+    for (std::size_t n = 0; n < staged.size(); ++n) {
+      EXPECT_EQ(staged[n], fused[n]) << "channels " << channels << " lag "
+                                     << n;
+    }
+  }
+}
+
+TEST(TdeWorkspaceTier, FusedBiasedEstimateMatchesStagedPipeline) {
+  // Reconstruct the unfused pipeline from the public pieces (score, clamp,
+  // bias, argmax) and require the fused single pass to agree exactly.
+  TdeWorkspace ws;
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const Signal x = random_signal(300, 2, 500 + seed);
+    const Signal y = random_signal(50, 2, 600 + seed);
+    const double center = static_cast<double>(20 + 17 * seed % 200);
+    const double sigma = 5.0 + static_cast<double>(seed);
+
+    auto scores = similarity_scores(x, y);
+    for (auto& s : scores) s = std::max(s, 0.0);
+    const auto biased = bias_scores(std::move(scores), center, sigma);
+    const std::size_t staged = nsync::signal::argmax(biased);
+
+    EXPECT_EQ(estimate_delay_biased(x, y, center, sigma), staged)
+        << "seed " << seed;
+    EXPECT_EQ(estimate_delay_biased(x, y, center, sigma, {}, ws), staged)
+        << "seed " << seed;
+  }
+}
+
+TEST(TdeWorkspaceTier, FusedHandlesTiedScoresLikeMaxElement) {
+  // A constant observed window yields an all-zero (clamped) score array;
+  // std::max_element returns the FIRST maximum, and the fused argmax must
+  // do the same.
+  Signal x(60, 1, 100.0);
+  Signal y(20, 1, 100.0);
+  for (std::size_t n = 0; n < 60; ++n) x(n, 0) = 1.0;
+  for (std::size_t n = 0; n < 20; ++n) y(n, 0) = 1.0;
+  TdeWorkspace ws;
+  EXPECT_EQ(estimate_delay_biased(x, y, 30.0, 5.0), 0u);
+  EXPECT_EQ(estimate_delay_biased(x, y, 30.0, 5.0, {}, ws), 0u);
+}
+
+TEST(TdeWorkspaceTier, FusedValidatesLikeStaged) {
+  const Signal x = random_signal(50, 2, 7);
+  const Signal y_bad = random_signal(20, 3, 8);
+  TdeWorkspace ws;
+  EXPECT_THROW(estimate_delay_biased(x, y_bad, 10.0, 5.0, {}, ws),
+               std::invalid_argument);
+  const Signal y = random_signal(20, 2, 9);
+  EXPECT_THROW(estimate_delay_biased(x, y, 10.0, 0.0, {}, ws),
+               std::invalid_argument);
 }
 
 TEST(Tdeb, NegativeScoreShiftKeepsArgmaxMeaningful) {

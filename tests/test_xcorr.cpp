@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <utility>
 #include <vector>
 
 #include "dsp/xcorr.hpp"
@@ -94,6 +95,42 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(64, 127, 256, 1000),
                        ::testing::Values(2, 16, 63),
                        ::testing::Values(101, 202)));
+
+TEST(XcorrEquivalence, RfftPathMatchesComplexPath) {
+  // Production real-FFT path vs the pre-rfft full-complex implementation.
+  for (const auto& [nx, ny] : {std::pair<std::size_t, std::size_t>{64, 16},
+                               {127, 32},
+                               {1000, 63}}) {
+    const auto x = random_series(nx, 301 + nx);
+    const auto y = random_series(ny, 302 + nx);
+    const auto real_path = sliding_pearson_fft(x, y);
+    const auto complex_path = sliding_pearson_fft_complex(x, y);
+    ASSERT_EQ(real_path.size(), complex_path.size());
+    for (std::size_t n = 0; n < real_path.size(); ++n) {
+      EXPECT_NEAR(real_path[n], complex_path[n], 1e-7)
+          << "nx " << nx << " lag " << n;
+    }
+  }
+}
+
+TEST(XcorrEquivalence, WorkspaceVariantIsBitwiseEqualToWrapper) {
+  // sliding_pearson_fft is a thin wrapper over the _into workspace
+  // variant; same arithmetic order, so the outputs must be identical to
+  // the bit even when the workspace is reused across shapes.
+  SlidingPearsonWorkspace ws;
+  for (const auto& [nx, ny] : {std::pair<std::size_t, std::size_t>{64, 16},
+                               {250, 7},
+                               {96, 40}}) {
+    const auto x = random_series(nx, 401 + nx);
+    const auto y = random_series(ny, 402 + nx);
+    const auto wrapped = sliding_pearson_fft(x, y);
+    std::vector<double> out(nx - ny + 1);
+    sliding_pearson_fft_into(x, y, out, ws);
+    for (std::size_t n = 0; n < out.size(); ++n) {
+      EXPECT_EQ(wrapped[n], out[n]) << "nx " << nx << " lag " << n;
+    }
+  }
+}
 
 TEST(XcorrEquivalence, LargeOffsetsAndScales) {
   // The prefix-sum denominator must stay accurate when the data has a huge
