@@ -26,6 +26,7 @@ section() {  # section <file> <name>
     section "$core" "$name"
   done
   section "$extras" bench_ablation_r_sweep
+  section "$extras" bench_ext_fault_tolerance
   section "$extras" bench_ext_fusion
   section "$extras" bench_ext_layer_detection
   section "$extras" bench_ext_online_dtw

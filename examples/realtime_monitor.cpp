@@ -6,13 +6,23 @@
 // Void-sabotaged print chunk by chunk into a RealtimeMonitor and reports
 // the moment — in print seconds — when the alarm fires.
 //
-// Run: ./build/examples/realtime_monitor
+// With --faults <rate>, a seeded FaultInjector corrupts the stream live
+// (dropouts, stuck samples, NaN bursts at the composite rate) between the
+// DAQ and the monitor, demonstrating graceful degradation: degenerate
+// windows are masked instead of scored, the channel-health state machine
+// tracks the damage, and the alarm logic keeps working on valid windows.
+//
+// Run: ./build/examples/realtime_monitor [--faults 0.01]
+#include <cstdlib>
 #include <iostream>
+#include <string>
 
 #include "core/nsync.hpp"
+#include "eval/fault_tolerance.hpp"
 #include "eval/setup.hpp"
 #include "gcode/attacks.hpp"
 #include "printer/simulator.hpp"
+#include "sensors/fault_injector.hpp"
 #include "sensors/rig.hpp"
 
 using namespace nsync;
@@ -32,7 +42,18 @@ signal::Signal observe(const gcode::Program& program,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  double fault_rate = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--faults" && i + 1 < argc) {
+      fault_rate = std::atof(argv[++i]);
+    } else {
+      std::cerr << "usage: " << argv[0] << " [--faults <rate>]\n";
+      return 2;
+    }
+  }
+
   const eval::EvalScale scale = eval::EvalScale::tiny();
   const eval::PrinterSetup setup =
       eval::make_printer_setup(eval::PrinterKind::kUm3, scale);
@@ -57,15 +78,40 @@ int main() {
   const signal::Signal observed = observe(sabotaged, setup, 77);
 
   // Stream the print into the monitor in 100 ms chunks, as a DAQ would.
+  // With --faults, each chunk passes through the stateful injector first,
+  // exactly where a flaky sensing front end would sit.
+  sensors::FaultInjector injector(eval::fault_config_for_rate(fault_rate),
+                                  /*seed=*/1234);
+  if (fault_rate > 0.0) {
+    std::cout << "injecting faults at composite rate " << fault_rate << "\n";
+  }
   core::RealtimeMonitor monitor(reference, cfg, ids.thresholds());
   const auto chunk =
       static_cast<std::size_t>(0.1 * observed.sample_rate());
   std::size_t pos = 0;
   while (pos < observed.frames()) {
     const std::size_t end = std::min(pos + chunk, observed.frames());
-    monitor.push(signal::SignalView(observed).slice(pos, end));
+    const signal::SignalView clean =
+        signal::SignalView(observed).slice(pos, end);
+    if (fault_rate > 0.0) {
+      monitor.push(injector.apply(clean));
+    } else {
+      monitor.push(clean);
+    }
     pos = end;
     if (monitor.intrusion()) break;
+  }
+
+  if (fault_rate > 0.0) {
+    std::size_t masked = 0;
+    for (auto v : monitor.valid()) {
+      if (v == 0) ++masked;
+    }
+    std::cout << "channel health: "
+              << core::channel_health_name(monitor.health()) << " ("
+              << masked << "/" << monitor.windows()
+              << " windows masked, " << injector.events().size()
+              << " fault intervals injected)\n";
   }
 
   const double t_alarm = static_cast<double>(pos) / observed.sample_rate();

@@ -1,0 +1,92 @@
+// libFuzzer target: the DWM -> comparator -> discriminator chain on
+// arbitrary sample data.
+//
+// The fuzzer bytes are reinterpreted as IEEE doubles, so NaN, +/-Inf,
+// denormals and wild magnitudes all occur naturally.  The pipeline's
+// contract under the fault-tolerance work: degenerate windows are masked,
+// never scored, and no non-finite value ever reaches the feature arrays —
+// violations abort so the fuzzer catches them as crashes.
+//
+// Build: cmake -DNSYNC_BUILD_FUZZERS=ON (requires Clang; see
+// fuzz/CMakeLists.txt).  Run: ./fuzz/fuzz_dwm_window -max_total_time=60
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "core/comparator.hpp"
+#include "core/discriminator.hpp"
+#include "core/dwm.hpp"
+#include "signal/signal.hpp"
+
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) {
+    std::fprintf(stderr, "contract violated: %s\n", what);
+    std::abort();
+  }
+}
+
+bool all_finite(const std::vector<double>& v) {
+  for (double x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  // First byte selects the window geometry; the rest become samples for
+  // the observed signal (the reference is a deterministic chirp so the
+  // aligner always has something to lock onto).
+  if (size < 1) return 0;
+  const std::uint8_t geometry = data[0];
+  ++data;
+  --size;
+
+  nsync::core::DwmParams params;
+  params.n_win = 16 + 8 * (geometry & 0x3);         // 16..40
+  params.n_hop = params.n_win / 2;
+  params.n_ext = 4 + 2 * ((geometry >> 2) & 0x3);   // 4..10
+  params.n_sigma = 4.0 + ((geometry >> 4) & 0x3);   // 4..7
+  params.eta = 0.25;
+
+  const std::size_t frames = size / sizeof(double);
+  if (frames < 2 * params.n_win || frames > 4096) return 0;
+
+  nsync::signal::Signal observed(frames, 1, 100.0);
+  std::memcpy(observed.data(), data, frames * sizeof(double));
+
+  nsync::signal::Signal reference(frames, 1, 100.0);
+  for (std::size_t n = 0; n < frames; ++n) {
+    const double t = static_cast<double>(n) / 100.0;
+    reference(n, 0) = std::sin(2.0 * 3.14159265358979 * (1.0 + 0.2 * t) * t);
+  }
+
+  const nsync::core::DwmResult r =
+      nsync::core::DwmSynchronizer::align(observed, reference, params);
+  require(r.valid.size() == r.h_disp.size(), "valid mask sized to windows");
+  require(all_finite(r.h_disp), "h_disp finite");
+  require(all_finite(r.h_disp_low), "h_disp_low finite");
+
+  const nsync::core::MaskedDistances md =
+      nsync::core::vertical_distances_dwm_masked(observed, reference,
+                                                 r.h_disp, r.valid, params);
+  require(all_finite(md.v_dist), "v_dist finite");
+
+  std::vector<std::uint8_t> valid = md.valid;
+  for (std::size_t i = valid.size(); i < r.valid.size(); ++i) {
+    valid.push_back(r.valid[i]);
+  }
+  const nsync::core::DetectionFeatures f =
+      nsync::core::compute_features_masked(r.h_disp, md.v_dist, valid);
+  require(all_finite(f.c_disp), "c_disp finite");
+  require(all_finite(f.h_dist_f), "h_dist_f finite");
+  require(all_finite(f.v_dist_f), "v_dist_f finite");
+  return 0;
+}

@@ -1,0 +1,31 @@
+// libFuzzer target: the G-code text parser.
+//
+// The parser consumes attacker-controlled files (a sabotaged print job IS
+// the threat model), so it must reject malformed input with
+// std::invalid_argument — the one exception the API documents — and
+// nothing else: no crashes, no sanitizer findings, no other exception
+// types escaping.
+//
+// Build: cmake -DNSYNC_BUILD_FUZZERS=ON (requires Clang; see
+// fuzz/CMakeLists.txt).  Run: ./fuzz/fuzz_gcode_parser -max_total_time=60
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+
+#include "gcode/parser.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string_view source(reinterpret_cast<const char*>(data), size);
+  try {
+    const nsync::gcode::Program program = nsync::gcode::parse_program(source);
+    // Round-trip: anything we accepted must serialize and re-parse.
+    const std::string text = nsync::gcode::to_gcode(program);
+    (void)nsync::gcode::parse_program(text);
+  } catch (const std::invalid_argument&) {
+    // Expected for malformed input.
+  }
+  return 0;
+}

@@ -12,6 +12,7 @@
 #define NSYNC_CORE_DISCRIMINATOR_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -32,6 +33,20 @@ struct DetectionFeatures {
 [[nodiscard]] DetectionFeatures compute_features(
     std::span<const double> h_disp, std::span<const double> v_dist,
     std::size_t filter_window = 3);
+
+/// Fault-aware variant: `valid[i] == 0` marks window i as degenerate
+/// (sensor dropout, stuck samples, non-finite data) so it must not
+/// contribute detection evidence.  Invalid entries are replaced with the
+/// last valid value (0 before any valid window) before the features are
+/// computed: c_disp then accumulates nothing across the gap and diffs
+/// against the last trusted displacement on recovery, and the min filters
+/// never see a placeholder spike.  An empty mask means all-valid and
+/// delegates to compute_features unchanged.  `valid` must otherwise match
+/// h_disp in length and be at least as long as v_dist (the DWM comparator
+/// emits at most one distance per displacement).
+[[nodiscard]] DetectionFeatures compute_features_masked(
+    std::span<const double> h_disp, std::span<const double> v_dist,
+    std::span<const std::uint8_t> valid, std::size_t filter_window = 3);
 
 /// Learned critical values.
 struct Thresholds {

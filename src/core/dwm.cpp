@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "signal/stats.hpp"
+
 namespace nsync::core {
 
 using nsync::signal::Signal;
@@ -79,6 +81,7 @@ void DwmSynchronizer::reserve_windows(std::size_t n_windows) {
   result_.h_disp.reserve(n_windows);
   result_.h_disp_low.reserve(n_windows);
   result_.h_dist.reserve(n_windows);
+  result_.valid.reserve(n_windows);
   observed_.reserve_frames(2 * (params_.n_win + params_.n_hop));
 }
 
@@ -119,6 +122,22 @@ bool DwmSynchronizer::process_next_window() {
   const double center = static_cast<double>(
       static_cast<std::ptrdiff_t>(a_start) + low_prev - actual_start);
   const SignalView a_win = observed_.view(a_start, a_end);
+
+  // Graceful degradation: a degenerate window (flat or non-finite samples
+  // — a dropped-out, stuck or glitching sensor) carries no timing
+  // information, and TDEB over it would return an arbitrary displacement
+  // (all-zero scores argmax to 0, a jump of -n_ext) that poisons c_disp
+  // downstream.  Hold the previous low-frequency estimate instead and tag
+  // the window invalid so the comparator/discriminator can skip it.
+  if (nsync::signal::degenerate_window(a_win) ||
+      nsync::signal::degenerate_window(b_ext)) {
+    result_.h_disp.push_back(h_disp_low_prev_);
+    result_.h_disp_low.push_back(h_disp_low_prev_);
+    result_.h_dist.push_back(std::abs(h_disp_low_prev_));
+    result_.valid.push_back(0);
+    return true;
+  }
+
   const std::size_t j = estimate_delay_biased(b_ext, a_win, center,
                                               params_.n_sigma, params_.tde,
                                               tde_ws_);
@@ -135,6 +154,7 @@ bool DwmSynchronizer::process_next_window() {
   result_.h_disp.push_back(h_disp);
   result_.h_disp_low.push_back(h_low);
   result_.h_dist.push_back(std::abs(h_disp));
+  result_.valid.push_back(1);
   h_disp_low_prev_ = h_low;
   return true;
 }

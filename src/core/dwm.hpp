@@ -15,6 +15,7 @@
 #define NSYNC_CORE_DWM_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "core/tde.hpp"
@@ -46,10 +47,17 @@ struct DwmParams {
 
 /// Output of a DWM run; all arrays share length = number of windows
 /// processed.
+///
+/// `valid[i]` is 0 when window i was degenerate — the observed window (or
+/// the reference search window) was flat or contained non-finite samples,
+/// so TDEB could not produce a meaningful displacement.  For such windows
+/// the synchronizer holds the previous displacement estimate instead of
+/// scoring garbage: h_disp[i] = h_disp_low[i] = h_disp_low[i-1].
 struct DwmResult {
   std::vector<double> h_disp;      ///< horizontal displacement per window
   std::vector<double> h_disp_low;  ///< low-frequency (inertial) component
   std::vector<double> h_dist;      ///< |h_disp| (horizontal distance)
+  std::vector<std::uint8_t> valid; ///< 1 = window scored, 0 = degenerate
 };
 
 /// Streaming DWM.  Owns a copy of the reference and consumes observed

@@ -49,26 +49,53 @@ FusionDetection FusionIds::detect(const SignalMap& observed) const {
   if (members_.empty()) {
     throw std::logic_error("FusionIds::detect: no channels registered");
   }
-  FusionDetection out;
+  std::map<std::string, Analysis> analyses;
   for (const auto& [name, ids] : members_) {
     const auto it = observed.find(name);
     if (it == observed.end()) {
       throw std::invalid_argument("FusionIds::detect: observation missing '" +
                                   name + "'");
     }
-    const Detection d = ids.detect(it->second);
-    if (d.intrusion) ++out.alarming_channels;
-    out.per_channel.emplace_back(name, d);
+    analyses.emplace(name, ids.analyze(it->second));
   }
+  return detect_analyses(analyses);
+}
+
+FusionDetection FusionIds::detect_analyses(
+    const std::map<std::string, Analysis>& analyses) const {
+  if (members_.empty()) {
+    throw std::logic_error("FusionIds::detect_analyses: no channels");
+  }
+  FusionDetection out;
+  for (const auto& [name, ids] : members_) {
+    const auto it = analyses.find(name);
+    if (it == analyses.end()) {
+      throw std::invalid_argument(
+          "FusionIds::detect_analyses: analysis missing '" + name + "'");
+    }
+    const Detection d = ids.detect(it->second);
+    const ChannelHealth h =
+        replay_health(it->second.valid, ids.config().health);
+    if (h != ChannelHealth::kOffline) {
+      ++out.online_channels;
+      if (d.intrusion) ++out.alarming_channels;
+    }
+    out.per_channel.emplace_back(name, d);
+    out.health.emplace_back(name, h);
+  }
+  // Votes are taken over online channels only; with every sensor dark
+  // there is no evidence either way, so the verdict stays benign (the
+  // caller can see online_channels == 0 and escalate operationally).
   switch (rule_) {
     case FusionRule::kAny:
       out.intrusion = out.alarming_channels > 0;
       break;
     case FusionRule::kMajority:
-      out.intrusion = 2 * out.alarming_channels > members_.size();
+      out.intrusion = 2 * out.alarming_channels > out.online_channels;
       break;
     case FusionRule::kAll:
-      out.intrusion = out.alarming_channels == members_.size();
+      out.intrusion = out.online_channels > 0 &&
+                      out.alarming_channels == out.online_channels;
       break;
   }
   return out;

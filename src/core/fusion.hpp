@@ -29,10 +29,21 @@ enum class FusionRule {
 [[nodiscard]] std::string fusion_rule_name(FusionRule r);
 
 /// Verdict of the fused IDS, with the per-channel breakdown.
+///
+/// Graceful degradation: each channel's validity mask (Analysis::valid)
+/// is replayed through the health state machine (core/health.hpp).
+/// Channels that end up offline are excluded from the vote entirely —
+/// they neither alarm nor count toward the majority/all denominator — so
+/// a dead sensor cannot veto (kAll) or dilute (kMajority) the surviving
+/// channels.  `alarming_channels` counts alarms among *online* channels;
+/// the raw per-channel verdicts (including offline ones) stay in
+/// `per_channel` for inspection.
 struct FusionDetection {
   bool intrusion = false;
-  std::size_t alarming_channels = 0;
+  std::size_t alarming_channels = 0;  ///< alarming among online channels
+  std::size_t online_channels = 0;    ///< channels not classified offline
   std::vector<std::pair<std::string, Detection>> per_channel;
+  std::vector<std::pair<std::string, ChannelHealth>> health;
 };
 
 /// An NSYNC IDS per named channel, fused by `rule`.
@@ -63,6 +74,13 @@ class FusionIds {
 
   /// Detects on one observed process (per-channel signals).
   [[nodiscard]] FusionDetection detect(const SignalMap& observed) const;
+
+  /// Detects from precomputed per-channel analyses (key = channel name;
+  /// must contain every registered channel).  Lets callers run analyze()
+  /// themselves — to inspect validity masks or reuse analyses — and still
+  /// get the health-aware fused vote.
+  [[nodiscard]] FusionDetection detect_analyses(
+      const std::map<std::string, Analysis>& analyses) const;
 
   [[nodiscard]] FusionRule rule() const { return rule_; }
   /// Access to a member IDS (for thresholds introspection).

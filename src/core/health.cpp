@@ -1,0 +1,98 @@
+#include "core/health.hpp"
+
+#include <stdexcept>
+
+namespace nsync::core {
+
+std::string channel_health_name(ChannelHealth h) {
+  switch (h) {
+    case ChannelHealth::kHealthy: return "healthy";
+    case ChannelHealth::kDegraded: return "degraded";
+    case ChannelHealth::kOffline: return "offline";
+  }
+  return "unknown";
+}
+
+void HealthPolicy::validate() const {
+  if (history == 0) {
+    throw std::invalid_argument("HealthPolicy: history must be >= 1");
+  }
+  if (degraded_fraction <= 0.0 || degraded_fraction > 1.0) {
+    throw std::invalid_argument(
+        "HealthPolicy: degraded_fraction must be in (0, 1]");
+  }
+  if (offline_consecutive == 0 || recovery_consecutive == 0) {
+    throw std::invalid_argument(
+        "HealthPolicy: streak lengths must be >= 1");
+  }
+}
+
+ChannelHealthMonitor::ChannelHealthMonitor(HealthPolicy policy)
+    : policy_(policy) {
+  policy_.validate();
+  history_.assign(policy_.history, 1);
+}
+
+double ChannelHealthMonitor::invalid_fraction() const {
+  if (filled_ == 0) return 0.0;
+  return static_cast<double>(invalid_in_history_) /
+         static_cast<double>(filled_);
+}
+
+ChannelHealth ChannelHealthMonitor::observe(bool valid) {
+  ++observed_;
+  if (!valid) ++invalid_total_;
+
+  // Circular history update.
+  if (filled_ == history_.size()) {
+    if (history_[head_] == 0) --invalid_in_history_;
+  } else {
+    ++filled_;
+  }
+  history_[head_] = valid ? 1 : 0;
+  if (!valid) ++invalid_in_history_;
+  head_ = (head_ + 1) % history_.size();
+
+  if (valid) {
+    ++valid_streak_;
+    invalid_streak_ = 0;
+  } else {
+    ++invalid_streak_;
+    valid_streak_ = 0;
+  }
+
+  // Demotions first: a sustained invalid streak always wins.
+  if (invalid_streak_ >= policy_.offline_consecutive) {
+    state_ = ChannelHealth::kOffline;
+    return state_;
+  }
+  if (state_ == ChannelHealth::kHealthy &&
+      invalid_fraction() >= policy_.degraded_fraction) {
+    state_ = ChannelHealth::kDegraded;
+    return state_;
+  }
+
+  // Recovery: one level per clean streak, with a stricter bar for the
+  // final step back to healthy (hysteresis).
+  if (state_ == ChannelHealth::kOffline &&
+      valid_streak_ >= policy_.recovery_consecutive) {
+    state_ = ChannelHealth::kDegraded;
+    valid_streak_ = 0;  // the next level costs a fresh streak
+    return state_;
+  }
+  if (state_ == ChannelHealth::kDegraded &&
+      valid_streak_ >= policy_.recovery_consecutive &&
+      invalid_fraction() < policy_.degraded_fraction / 2.0) {
+    state_ = ChannelHealth::kHealthy;
+  }
+  return state_;
+}
+
+ChannelHealth replay_health(const std::vector<std::uint8_t>& valid,
+                            const HealthPolicy& policy) {
+  ChannelHealthMonitor m(policy);
+  for (std::uint8_t v : valid) m.observe(v != 0);
+  return m.state();
+}
+
+}  // namespace nsync::core

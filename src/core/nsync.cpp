@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <utility>
+
+#include "signal/stats.hpp"
 
 namespace nsync::core {
 
@@ -36,16 +39,28 @@ Analysis NsyncIds::analyze(const SignalView& observed) const {
     const DwmResult r =
         DwmSynchronizer::align(observed, reference_, config_.dwm);
     a.h_disp = r.h_disp;
-    a.v_dist = vertical_distances_dwm(observed, reference_, r.h_disp,
-                                      config_.dwm, config_.metric);
+    // The comparator re-checks each matched window pair and ANDs its
+    // verdict into the synchronizer's mask, so a.valid reflects both
+    // stages.
+    MaskedDistances md = vertical_distances_dwm_masked(
+        observed, reference_, r.h_disp, r.valid, config_.dwm, config_.metric);
+    a.v_dist = std::move(md.v_dist);
+    a.valid = std::move(md.valid);
+    // The comparator emits at most one distance per displacement; carry
+    // the synchronizer's verdict for any trailing windows it skipped.
+    for (std::size_t i = a.valid.size(); i < r.valid.size(); ++i) {
+      a.valid.push_back(r.valid[i]);
+    }
+    a.features = compute_features_masked(a.h_disp, a.v_dist, a.valid,
+                                         config_.filter_window);
   } else {
     const DtwResult r =
         fast_dtw(observed, reference_, config_.dtw_radius, config_.metric);
     a.h_disp = h_disp_from_path(r.path, observed.frames());
     a.v_dist = vertical_distances_dtw(observed, reference_, r.path,
                                       config_.metric);
+    a.features = compute_features(a.h_disp, a.v_dist, config_.filter_window);
   }
-  a.features = compute_features(a.h_disp, a.v_dist, config_.filter_window);
   return a;
 }
 
@@ -96,7 +111,8 @@ RealtimeMonitor::RealtimeMonitor(Signal reference, NsyncConfig config,
                                  Thresholds thresholds)
     : sync_(std::move(reference), config.dwm),
       config_(config),
-      thresholds_(thresholds) {
+      thresholds_(thresholds),
+      health_(config.health) {
   if (config.sync != SyncMethod::kDwm) {
     throw std::invalid_argument(
         "RealtimeMonitor: only DWM supports real-time operation");
@@ -111,38 +127,64 @@ std::size_t RealtimeMonitor::push(const SignalView& frames) {
   const auto& r = sync_.result();
   for (std::size_t i = before; i < after; ++i) {
     const double h = r.h_disp[i];
-    // Streaming CADHD (Eq. 17).
-    c_disp_acc_ += std::abs(h - (i == 0 ? 0.0 : h_disp_prev_));
-    h_disp_prev_ = h;
-    features_.c_disp.push_back(c_disp_acc_);
-    h_dist_raw_.push_back(std::abs(h));
+    bool window_valid = r.valid.empty() || r.valid[i] != 0;
 
     // Vertical distance for this window (Eq. 16).  The synchronizer's
     // ring buffer retains every window completed by the current push, so
-    // the logical-index view is always in range here.
-    const auto& a = sync_.observed();
-    const auto& b = sync_.reference();
-    const std::size_t a_start = i * config_.dwm.n_hop;
-    const SignalView a_win = a.view(a_start, a_start + config_.dwm.n_win);
-    auto b_start = static_cast<std::ptrdiff_t>(a_start) +
-                   static_cast<std::ptrdiff_t>(std::llround(h));
-    b_start = std::clamp<std::ptrdiff_t>(
-        b_start, 0,
-        static_cast<std::ptrdiff_t>(b.frames()) -
-            static_cast<std::ptrdiff_t>(config_.dwm.n_win));
-    const SignalView b_win =
-        SignalView(b).slice(static_cast<std::size_t>(b_start),
-                            static_cast<std::size_t>(b_start) +
-                                config_.dwm.n_win);
-    v_dist_raw_.push_back(window_distance(a_win, b_win, config_.metric));
+    // the logical-index view is always in range here.  Skipped entirely
+    // for windows the synchronizer already flagged: their frames carry no
+    // information and the distance would be garbage.
+    double v = v_dist_prev_;
+    if (window_valid) {
+      const auto& a = sync_.observed();
+      const auto& b = sync_.reference();
+      const std::size_t a_start = i * config_.dwm.n_hop;
+      const SignalView a_win = a.view(a_start, a_start + config_.dwm.n_win);
+      auto b_start = static_cast<std::ptrdiff_t>(a_start) +
+                     static_cast<std::ptrdiff_t>(std::llround(h));
+      b_start = std::clamp<std::ptrdiff_t>(
+          b_start, 0,
+          static_cast<std::ptrdiff_t>(b.frames()) -
+              static_cast<std::ptrdiff_t>(config_.dwm.n_win));
+      const SignalView b_win =
+          SignalView(b).slice(static_cast<std::size_t>(b_start),
+                              static_cast<std::size_t>(b_start) +
+                                  config_.dwm.n_win);
+      // The matched slice of b can be degenerate even when the extended
+      // search window was not; mirror the batch comparator's re-check.
+      if (nsync::signal::degenerate_window(b_win)) {
+        window_valid = false;
+      } else {
+        v = window_distance(a_win, b_win, config_.metric);
+        if (!std::isfinite(v)) {
+          window_valid = false;
+          v = v_dist_prev_;
+        }
+      }
+    }
+
+    // Carry-forward semantics (matches compute_features_masked): an
+    // invalid window contributes nothing to c_disp and repeats the last
+    // valid distances, so the min filters and the cumulative sum never
+    // see fault artifacts.
+    if (window_valid) {
+      c_disp_acc_ += std::abs(h - h_disp_prev_);  // streaming CADHD (Eq. 17)
+      h_disp_prev_ = h;
+      v_dist_prev_ = v;
+    }
+    features_.c_disp.push_back(c_disp_acc_);
+    h_dist_raw_.push_back(std::abs(h_disp_prev_));
+    v_dist_raw_.push_back(v_dist_prev_);
+    valid_.push_back(window_valid ? 1 : 0);
+    health_.observe(window_valid);
 
     // Trailing min filters over the raw distance histories (Eq. 21-22).
     const std::size_t w = config_.filter_window;
-    auto trailing_min = [w](const std::vector<double>& v) {
-      const std::size_t n = std::min(w, v.size());
-      double m = v.back();
-      for (std::size_t k = v.size() - n; k < v.size(); ++k) {
-        m = std::min(m, v[k]);
+    auto trailing_min = [w](const std::vector<double>& hist) {
+      const std::size_t n = std::min(w, hist.size());
+      double m = hist.back();
+      for (std::size_t k = hist.size() - n; k < hist.size(); ++k) {
+        m = std::min(m, hist[k]);
       }
       return m;
     };

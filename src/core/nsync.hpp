@@ -5,6 +5,7 @@
 #define NSYNC_CORE_NSYNC_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -13,6 +14,7 @@
 #include "core/discriminator.hpp"
 #include "core/dtw.hpp"
 #include "core/dwm.hpp"
+#include "core/health.hpp"
 #include "core/metrics.hpp"
 #include "signal/signal.hpp"
 
@@ -33,12 +35,19 @@ struct NsyncConfig {
   DistanceMetric metric = DistanceMetric::kCorrelation;
   std::size_t filter_window = 3;  ///< spike suppression (Eq. 21-22)
   double r = 0.3;                 ///< OCC margin (Section VIII-E)
+  HealthPolicy health;            ///< channel-health state machine knobs
 };
 
 /// Synchronizer + comparator outputs for one observed signal.
+///
+/// `valid[i] == 0` marks window i as degenerate (sensor fault: flat or
+/// non-finite data in either matched window); its h_disp/v_dist hold the
+/// last valid value and contribute no detection evidence.  Empty for the
+/// DTW path (no fault masking) — treat empty as all-valid.
 struct Analysis {
   std::vector<double> h_disp;
   std::vector<double> v_dist;
+  std::vector<std::uint8_t> valid;
   DetectionFeatures features;
 };
 
@@ -117,16 +126,33 @@ class RealtimeMonitor {
   /// Features accumulated so far (c_disp / filtered distances per window).
   [[nodiscard]] const DetectionFeatures& features() const { return features_; }
 
+  /// Per-window validity mask (1 = scored, 0 = degenerate window whose
+  /// features were carried forward from the last valid window).
+  [[nodiscard]] const std::vector<std::uint8_t>& valid() const {
+    return valid_;
+  }
+  /// Current channel-health classification driven by the validity stream
+  /// (healthy -> degraded -> offline with recovery hysteresis; see
+  /// core/health.hpp).  The fusion layer uses this to drop offline
+  /// channels from the vote.
+  [[nodiscard]] ChannelHealth health() const { return health_.state(); }
+  [[nodiscard]] const ChannelHealthMonitor& health_monitor() const {
+    return health_;
+  }
+
  private:
   DwmSynchronizer sync_;
   NsyncConfig config_;
   Thresholds thresholds_;
   DetectionFeatures features_;
   Detection detection_;
+  ChannelHealthMonitor health_;
   double c_disp_acc_ = 0.0;
-  double h_disp_prev_ = 0.0;
+  double h_disp_prev_ = 0.0;  // last *valid* displacement (carry-forward)
+  double v_dist_prev_ = 0.0;  // last *valid* vertical distance
   std::vector<double> h_dist_raw_;
   std::vector<double> v_dist_raw_;
+  std::vector<std::uint8_t> valid_;
 };
 
 }  // namespace nsync::core

@@ -21,6 +21,15 @@ void check_sizes(std::span<const double> x, std::span<const double> y,
 // Shared epilogue of every FFT-based variant: given the raw correlation
 // numerator over the centered signals, normalize each window by its
 // standard deviation (from prefix sums) and the template norm.
+//
+// Degenerate windows score 0, matching the stats::pearson convention: a
+// flat window (var <= 0 up to rounding) has an undefined correlation, and
+// a window containing NaN/Inf would otherwise slip past a `var <= eps`
+// comparison (NaN compares false) and emit a non-finite score that
+// poisons every downstream TDEB/DWM result.  The guard is therefore
+// written as !(var > eps), which routes NaN into the degenerate branch,
+// and the quotient is checked once more because a non-finite input
+// contaminates the whole FFT numerator.
 template <typename NumAt>
 void normalize_windows(std::span<const double> ps, std::span<const double> ps2,
                        std::size_t ny, double y_norm, NumAt num_at,
@@ -30,10 +39,11 @@ void normalize_windows(std::span<const double> ps, std::span<const double> ps2,
     const double s1 = ps[n + ny] - ps[n];
     const double s2 = ps2[n + ny] - ps2[n];
     const double var = s2 - s1 * s1 / ny_d;
-    if (var <= 1e-12 * std::max(1.0, s2)) {
-      out[n] = 0.0;  // flat window
+    if (!(var > 1e-12 * std::max(1.0, s2))) {
+      out[n] = 0.0;  // flat (or non-finite) window
     } else {
-      out[n] = num_at(n) / (std::sqrt(var) * y_norm);
+      const double r = num_at(n) / (std::sqrt(var) * y_norm);
+      out[n] = std::isfinite(r) ? r : 0.0;
     }
   }
 }
@@ -99,7 +109,9 @@ void sliding_pearson_fft_into(std::span<const double> x,
   }
   const double y_norm = std::sqrt(y_energy);
 
-  if (y_norm <= 0.0) {  // constant template: score 0 everywhere
+  // !(y_norm > 0) catches both the constant template and a template
+  // containing non-finite samples (y_energy = NaN): score 0 everywhere.
+  if (!(y_norm > 0.0) || !std::isfinite(y_norm)) {
     for (auto& v : out) v = 0.0;
     return;
   }
@@ -143,7 +155,9 @@ std::vector<double> sliding_pearson_fft_complex(std::span<const double> x,
   const double y_norm = std::sqrt(y_energy);
 
   std::vector<double> out(n_out, 0.0);
-  if (y_norm <= 0.0) return out;
+  // Same degenerate-template convention as the rfft path: constant or
+  // non-finite template scores 0 everywhere.
+  if (!(y_norm > 0.0) || !std::isfinite(y_norm)) return out;
 
   const double mu_x = nsync::signal::mean(x);
   std::vector<double> xc(x.size());

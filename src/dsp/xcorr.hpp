@@ -36,7 +36,12 @@ struct SlidingPearsonWorkspace {
 
 /// Same output as sliding_pearson_naive, computed with one real-FFT
 /// cross-correlation for the numerator and prefix sums for the windowed
-/// means/norms.  Zero-variance windows score 0.
+/// means/norms.  Degenerate windows (zero variance, non-finite samples)
+/// score 0, matching stats::pearson; note that a single NaN in `x`
+/// contaminates the FFT numerator, so on non-finite input this path
+/// zeroes *every* affected window while the naive path only zeroes the
+/// windows that overlap the NaN — upstream consumers (DwmSynchronizer)
+/// mask such windows out before scoring.
 [[nodiscard]] std::vector<double> sliding_pearson_fft(
     std::span<const double> x, std::span<const double> y);
 

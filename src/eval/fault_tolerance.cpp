@@ -1,0 +1,235 @@
+#include "eval/fault_tolerance.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/thread_pool.hpp"
+
+namespace nsync::eval {
+
+namespace {
+
+using nsync::signal::Signal;
+
+/// One evaluated test run: the fused verdict plus per-channel window
+/// statistics, keyed by channel name in member order.
+struct RunOutcome {
+  core::FusionDetection detection;
+  std::map<std::string, std::pair<std::size_t, std::size_t>> windows;
+  bool non_finite = false;
+};
+
+bool features_finite(const core::DetectionFeatures& f) {
+  auto all_finite = [](const std::vector<double>& v) {
+    for (double x : v) {
+      if (!std::isfinite(x)) return false;
+    }
+    return true;
+  };
+  return all_finite(f.c_disp) && all_finite(f.h_dist_f) &&
+         all_finite(f.v_dist_f);
+}
+
+std::size_t count_invalid(const std::vector<std::uint8_t>& valid) {
+  std::size_t n = 0;
+  for (std::uint8_t v : valid) {
+    if (v == 0) ++n;
+  }
+  return n;
+}
+
+/// Builds and fits the fused detector: one NSYNC/DWM member per channel,
+/// trained on the clean training runs.
+core::FusionIds build_fused(
+    const std::map<sensors::SideChannel, ChannelData>& data,
+    PrinterKind printer, core::FusionRule rule, double r,
+    const core::HealthPolicy& health) {
+  if (data.empty()) {
+    throw std::invalid_argument("fault_tolerance: no channels");
+  }
+  core::FusionIds fused(rule);
+  const std::size_t n_train = data.begin()->second.train.size();
+  for (const auto& [ch, cd] : data) {
+    if (cd.train.size() != n_train) {
+      throw std::invalid_argument(
+          "fault_tolerance: channels disagree on training run count");
+    }
+    core::NsyncConfig cfg;
+    cfg.sync = core::SyncMethod::kDwm;
+    cfg.dwm = dwm_params_for(printer, cd.sample_rate);
+    cfg.r = r;
+    cfg.health = health;
+    fused.add_channel(sensors::side_channel_name(ch), cd.reference.signal,
+                      cfg);
+  }
+  std::vector<core::FusionIds::SignalMap> train(n_train);
+  for (const auto& [ch, cd] : data) {
+    for (std::size_t i = 0; i < n_train; ++i) {
+      train[i][sensors::side_channel_name(ch)] = cd.train[i].signal;
+    }
+  }
+  fused.fit(train);
+  return fused;
+}
+
+std::size_t checked_test_count(
+    const std::map<sensors::SideChannel, ChannelData>& data) {
+  const std::size_t n = data.begin()->second.test.size();
+  for (const auto& [ch, cd] : data) {
+    if (cd.test.size() != n) {
+      throw std::invalid_argument(
+          "fault_tolerance: channels disagree on test run count");
+    }
+  }
+  return n;
+}
+
+/// Decorrelated per-(point, run, channel) injector seed.
+std::uint64_t fault_seed(std::uint64_t master, std::size_t point,
+                         std::size_t run, std::size_t channel) {
+  std::uint64_t x = master + 0x9e3779b97f4a7c15ULL * (point + 1);
+  x ^= 0xbf58476d1ce4e5b9ULL * (run + 1);
+  x ^= 0x94d049bb133111ebULL * (channel + 1);
+  return x;
+}
+
+}  // namespace
+
+sensors::FaultConfig fault_config_for_rate(double rate) {
+  if (rate < 0.0) {
+    throw std::invalid_argument("fault_config_for_rate: rate must be >= 0");
+  }
+  sensors::FaultConfig cfg;
+  // Start probabilities are scaled by the mean interval length so `rate`
+  // reads as the expected fraction of samples inside a fault interval.
+  cfg.dropout_frames_mean = 8.0;
+  cfg.dropout_rate = rate / cfg.dropout_frames_mean;
+  cfg.stuck_frames_mean = 16.0;
+  cfg.stuck_rate = (rate / 2.0) / cfg.stuck_frames_mean;
+  cfg.nan_burst_frames_mean = 4.0;
+  cfg.nan_burst_rate = (rate / 4.0) / cfg.nan_burst_frames_mean;
+  cfg.validate();
+  return cfg;
+}
+
+FaultSweepResult run_fault_sweep(
+    const std::map<sensors::SideChannel, ChannelData>& data,
+    PrinterKind printer, std::span<const double> rates, std::uint64_t seed,
+    core::FusionRule rule, double r, const core::HealthPolicy& health) {
+  const core::FusionIds fused = build_fused(data, printer, rule, r, health);
+  const std::size_t n_test = checked_test_count(data);
+  const auto& labels = data.begin()->second.test;
+
+  FaultSweepResult result;
+  for (std::size_t p = 0; p < rates.size(); ++p) {
+    const sensors::FaultConfig cfg = fault_config_for_rate(rates[p]);
+    const auto outcomes =
+        runtime::parallel_transform(n_test, [&](std::size_t i) {
+          RunOutcome o;
+          std::map<std::string, core::Analysis> analyses;
+          std::size_t ch_idx = 0;
+          for (const auto& [ch, cd] : data) {
+            const std::string name = sensors::side_channel_name(ch);
+            sensors::FaultInjector inj(cfg, fault_seed(seed, p, i, ch_idx));
+            const Signal faulted = inj.apply(cd.test[i].sig.signal);
+            core::Analysis an = fused.member(name).analyze(faulted);
+            if (!features_finite(an.features)) o.non_finite = true;
+            o.windows[name] = {count_invalid(an.valid), an.valid.size()};
+            analyses.emplace(name, std::move(an));
+            ++ch_idx;
+          }
+          o.detection = fused.detect_analyses(analyses);
+          return o;
+        });
+
+    FaultSweepPoint pt;
+    pt.rate = rates[p];
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+      const RunOutcome& o = outcomes[i];
+      const bool malicious = labels[i].malicious;
+      pt.fused.add(o.detection.intrusion, malicious);
+      pt.non_finite_feature = pt.non_finite_feature || o.non_finite;
+      for (const auto& [name, d] : o.detection.per_channel) {
+        pt.per_channel[name].confusion.add(d.intrusion, malicious);
+      }
+      for (const auto& [name, h] : o.detection.health) {
+        if (h == core::ChannelHealth::kDegraded) {
+          ++pt.per_channel[name].degraded_runs;
+        } else if (h == core::ChannelHealth::kOffline) {
+          ++pt.per_channel[name].offline_runs;
+        }
+      }
+      for (const auto& [name, w] : o.windows) {
+        pt.per_channel[name].invalid_windows += w.first;
+        pt.per_channel[name].total_windows += w.second;
+      }
+    }
+    result.points.push_back(std::move(pt));
+  }
+  return result;
+}
+
+OfflineScenarioResult run_offline_channel_scenario(
+    const std::map<sensors::SideChannel, ChannelData>& data,
+    PrinterKind printer, sensors::SideChannel dark, double dark_from_fraction,
+    core::FusionRule rule, double r, const core::HealthPolicy& health) {
+  if (dark_from_fraction < 0.0 || dark_from_fraction > 1.0) {
+    throw std::invalid_argument(
+        "run_offline_channel_scenario: dark_from_fraction must be in [0, 1]");
+  }
+  if (!data.contains(dark)) {
+    throw std::invalid_argument(
+        "run_offline_channel_scenario: dark channel not in data");
+  }
+  const core::FusionIds fused = build_fused(data, printer, rule, r, health);
+  const std::size_t n_test = checked_test_count(data);
+  const auto& labels = data.begin()->second.test;
+  const std::string dark_name = sensors::side_channel_name(dark);
+
+  struct DarkOutcome {
+    core::FusionDetection detection;
+    core::ChannelHealth dark_health = core::ChannelHealth::kHealthy;
+  };
+  const auto outcomes =
+      runtime::parallel_transform(n_test, [&](std::size_t i) {
+        DarkOutcome o;
+        std::map<std::string, core::Analysis> analyses;
+        for (const auto& [ch, cd] : data) {
+          const std::string name = sensors::side_channel_name(ch);
+          const auto& sig = cd.test[i].sig.signal;
+          core::Analysis an;
+          if (ch == dark) {
+            const std::size_t from = static_cast<std::size_t>(
+                static_cast<double>(sig.frames()) * dark_from_fraction);
+            const Signal flat = sensors::flatline_from(sig, from);
+            an = fused.member(name).analyze(flat);
+          } else {
+            an = fused.member(name).analyze(sig);
+          }
+          analyses.emplace(name, std::move(an));
+        }
+        o.detection = fused.detect_analyses(analyses);
+        for (const auto& [name, h] : o.detection.health) {
+          if (name == dark_name) o.dark_health = h;
+        }
+        return o;
+      });
+
+  OfflineScenarioResult out;
+  out.dark_channel = dark_name;
+  for (std::size_t i = 0; i < outcomes.size(); ++i) {
+    const DarkOutcome& o = outcomes[i];
+    ++out.runs;
+    if (o.dark_health == core::ChannelHealth::kOffline) {
+      ++out.dark_offline_runs;
+    }
+    out.fused.add(o.detection.intrusion, labels[i].malicious);
+    auto& [detected, total] = out.by_label[labels[i].label];
+    if (o.detection.intrusion) ++detected;
+    ++total;
+  }
+  return out;
+}
+
+}  // namespace nsync::eval

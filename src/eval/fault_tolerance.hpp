@@ -1,0 +1,98 @@
+// Extension evaluation (beyond the paper): fault tolerance of the fused
+// NSYNC/DWM detector under sensor faults.
+//
+// The paper's evaluation assumes clean sensing; a production IDS does
+// not get that luxury.  Two experiments quantify graceful degradation:
+//
+//  * run_fault_sweep — every test signal of every channel is corrupted by
+//    the seeded FaultInjector at increasing fault rates (dropout plus
+//    stuck-at and NaN bursts at proportional rates); the sweep records the
+//    fused and per-channel confusions, the fraction of windows the
+//    pipeline masked out, and whether any non-finite value ever reached a
+//    feature array (it must not).
+//
+//  * run_offline_channel_scenario — one channel flatlines mid-print (a
+//    sensor goes dark).  The health state machine must classify it
+//    offline, the fusion vote must drop it, and the surviving channels
+//    must keep detecting the attack classes.
+#ifndef NSYNC_EVAL_FAULT_TOLERANCE_HPP
+#define NSYNC_EVAL_FAULT_TOLERANCE_HPP
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/fusion.hpp"
+#include "eval/dataset.hpp"
+#include "eval/metrics.hpp"
+#include "eval/setup.hpp"
+#include "sensors/fault_injector.hpp"
+#include "sensors/side_channel.hpp"
+
+namespace nsync::eval {
+
+/// The sweep's fault regime at sample-fraction `rate`: dropouts consume
+/// about `rate` of all samples, stuck-at intervals half that, NaN bursts
+/// a quarter (start probabilities are scaled by the mean interval length
+/// so `rate` reads as "fraction of samples affected", not "interval
+/// starts per sample").
+[[nodiscard]] sensors::FaultConfig fault_config_for_rate(double rate);
+
+/// Per-channel outcome of one sweep point.
+struct ChannelFaultStats {
+  Confusion confusion;              ///< this channel's verdicts alone
+  std::size_t invalid_windows = 0;  ///< windows masked out by the pipeline
+  std::size_t total_windows = 0;
+  std::size_t degraded_runs = 0;  ///< runs ending in health = degraded
+  std::size_t offline_runs = 0;   ///< runs ending in health = offline
+};
+
+struct FaultSweepPoint {
+  double rate = 0.0;
+  Confusion fused;  ///< health-aware fused verdicts
+  std::map<std::string, ChannelFaultStats> per_channel;
+  /// True if any NaN/Inf reached a feature array anywhere — the
+  /// degradation chain failed if so.
+  bool non_finite_feature = false;
+};
+
+struct FaultSweepResult {
+  std::vector<FaultSweepPoint> points;
+};
+
+/// Fits one fused NSYNC/DWM detector (one member per entry of `data`,
+/// trained on the clean training runs) and evaluates the corrupted test
+/// set at each rate.  Deterministic for a given (data, rates, seed).
+[[nodiscard]] FaultSweepResult run_fault_sweep(
+    const std::map<sensors::SideChannel, ChannelData>& data,
+    PrinterKind printer, std::span<const double> rates, std::uint64_t seed,
+    core::FusionRule rule = core::FusionRule::kAny, double r = 0.3,
+    const core::HealthPolicy& health = {});
+
+/// Outcome of the sensor-goes-dark scenario.
+struct OfflineScenarioResult {
+  std::string dark_channel;
+  std::size_t runs = 0;
+  std::size_t dark_offline_runs = 0;  ///< runs where it ended offline
+  Confusion fused;                    ///< fused verdicts with it dark
+  /// label -> {detected runs, total runs} for each test label.
+  std::map<std::string, std::pair<std::size_t, std::size_t>> by_label;
+};
+
+/// Flatlines `dark` from `dark_from_fraction` of its frames onward in
+/// every test run and evaluates the fused detector on the remaining
+/// channels.  `health` should be sized so the flat tail spans well over
+/// `offline_consecutive` windows at the channel's hop size.
+[[nodiscard]] OfflineScenarioResult run_offline_channel_scenario(
+    const std::map<sensors::SideChannel, ChannelData>& data,
+    PrinterKind printer, sensors::SideChannel dark,
+    double dark_from_fraction = 0.25,
+    core::FusionRule rule = core::FusionRule::kAny, double r = 0.3,
+    const core::HealthPolicy& health = {});
+
+}  // namespace nsync::eval
+
+#endif  // NSYNC_EVAL_FAULT_TOLERANCE_HPP

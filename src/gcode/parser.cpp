@@ -20,15 +20,29 @@ std::string_view trim(std::string_view s) {
   return s;
 }
 
-double parse_number(std::string_view token, std::size_t line_no) {
+[[noreturn]] void fail(std::size_t line_no, std::size_t column,
+                       const std::string& what) {
+  throw std::invalid_argument("gcode parse error at line " +
+                              std::to_string(line_no) + ", column " +
+                              std::to_string(column) + ": " + what);
+}
+
+double parse_number(std::string_view token, std::size_t line_no,
+                    std::size_t column) {
+  // Slicers routinely emit explicitly signed values ("X+1.5");
+  // std::from_chars rejects a leading '+', so strip exactly one — but not
+  // when another sign follows ("+-1" stays malformed).
+  std::string_view digits = token;
+  if (!digits.empty() && digits.front() == '+' && digits.size() > 1 &&
+      digits[1] != '+' && digits[1] != '-') {
+    digits.remove_prefix(1);
+  }
   double value = 0.0;
-  const auto* begin = token.data();
-  const auto* end = token.data() + token.size();
+  const auto* begin = digits.data();
+  const auto* end = digits.data() + digits.size();
   const auto [ptr, ec] = std::from_chars(begin, end, value);
-  if (ec != std::errc() || ptr != end) {
-    throw std::invalid_argument("gcode parse error at line " +
-                                std::to_string(line_no) + ": bad number '" +
-                                std::string(token) + "'");
+  if (ec != std::errc() || ptr != end || digits.empty()) {
+    fail(line_no, column, "bad number '" + std::string(token) + "'");
   }
   return value;
 }
@@ -80,20 +94,35 @@ Command parse_line(std::string_view line, std::size_t line_no) {
   }
   cmd.text = std::string(code);
 
-  // Tokenize on whitespace into letter+number words.
-  std::istringstream iss{std::string(code)};
-  std::string token;
+  // Tokenize on whitespace into letter+number words.  Tokens are views
+  // into `line`, so each one's 1-based column is recoverable by pointer
+  // arithmetic for error reporting.
+  std::size_t pos = 0;
   bool first = true;
-  while (iss >> token) {
+  while (pos < code.size()) {
+    while (pos < code.size() &&
+           std::isspace(static_cast<unsigned char>(code[pos]))) {
+      ++pos;
+    }
+    if (pos >= code.size()) break;
+    const std::size_t tok_start = pos;
+    while (pos < code.size() &&
+           !std::isspace(static_cast<unsigned char>(code[pos]))) {
+      ++pos;
+    }
+    const std::string_view token = code.substr(tok_start, pos - tok_start);
+    const std::size_t column =
+        static_cast<std::size_t>(token.data() - line.data()) + 1;
+
     const char letter = static_cast<char>(
         std::toupper(static_cast<unsigned char>(token.front())));
-    const std::string_view rest = std::string_view(token).substr(1);
+    const std::string_view rest = token.substr(1);
     if (first) {
       first = false;
       if (letter == 'G' || letter == 'M' || letter == 'T') {
         int number = 0;
         if (!rest.empty()) {
-          number = static_cast<int>(parse_number(rest, line_no));
+          number = static_cast<int>(parse_number(rest, line_no, column + 1));
         }
         cmd.type = classify(letter, number);
         continue;
@@ -105,11 +134,9 @@ Command parse_line(std::string_view line, std::size_t line_no) {
       if (letter == 'X' || letter == 'Y' || letter == 'Z') {
         continue;  // bare axis word (e.g. "G28 X") selects an axis to home
       }
-      throw std::invalid_argument("gcode parse error at line " +
-                                  std::to_string(line_no) +
-                                  ": bare word '" + token + "'");
+      fail(line_no, column, "bare word '" + std::string(token) + "'");
     }
-    const double value = parse_number(rest, line_no);
+    const double value = parse_number(rest, line_no, column + 1);
     switch (letter) {
       case 'X': cmd.x = value; break;
       case 'Y': cmd.y = value; break;

@@ -11,9 +11,12 @@ namespace nsync::gcode {
 
 /// Parses a single G-code line (without newline).  Comments after ';' are
 /// stripped; a line that is only a comment yields a kComment command whose
-/// `text` is the comment body.  Unknown words throw std::invalid_argument
-/// only when they are malformed (e.g. "X1.2.3"); unknown command codes
-/// parse to kOther with `text` preserved.
+/// `text` is the comment body.  Explicitly signed values ("X+1.5") are
+/// accepted, as emitted by some slicers.  Unknown words throw
+/// std::invalid_argument only when they are malformed (e.g. "X1.2.3");
+/// the message reports both the line number and the 1-based column of the
+/// offending token.  Unknown command codes parse to kOther with `text`
+/// preserved.
 [[nodiscard]] Command parse_line(std::string_view line, std::size_t line_no = 0);
 
 /// Parses a complete program from G-code source text.

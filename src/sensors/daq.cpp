@@ -38,6 +38,9 @@ Signal apply_daq(const SignalView& s, const DaqConfig& cfg, Rng& rng) {
   const std::size_t frame = std::max<std::size_t>(1, cfg.frame_samples);
   std::vector<double> row(s.channels());
   for (std::size_t start = 0; start < s.frames(); start += frame) {
+    // One draw per frame, the trailing partial frame included: transport
+    // loses its last (short) packet as readily as any other, and the RNG
+    // consumption must not depend on the length remainder.
     if (cfg.frame_drop_probability > 0.0 &&
         rng.bernoulli(cfg.frame_drop_probability)) {
       continue;  // whole frame lost in transport

@@ -28,7 +28,11 @@ struct DaqConfig {
 /// Applies the DAQ model to a rendered sensor signal (in place semantics via
 /// return): gain jitter -> quantization -> frame drops.  Frame drops remove
 /// whole frames, shortening the signal and shifting all later samples
-/// earlier — a pure time-noise contribution.
+/// earlier — a pure time-noise contribution.  Every frame, including a
+/// trailing partial frame (when the signal length is not a multiple of
+/// frame_samples), makes exactly one drop draw and is drop-eligible; this
+/// keeps the RNG stream consumption independent of the signal length
+/// remainder and is pinned by regression tests.
 [[nodiscard]] nsync::signal::Signal apply_daq(
     const nsync::signal::SignalView& s, const DaqConfig& cfg,
     nsync::signal::Rng& rng);

@@ -71,8 +71,31 @@ double pearson(std::span<const double> u, std::span<const double> v) {
     dv2 += dv * dv;
   }
   const double denom = std::sqrt(du2) * std::sqrt(dv2);
-  if (denom <= 0.0) return 0.0;
+  // !(denom > 0) also catches NaN from non-finite inputs, which would
+  // otherwise sail through a `denom <= 0` comparison and poison the score.
+  if (!(denom > 0.0) || !std::isfinite(num)) return 0.0;
   return num / denom;
+}
+
+bool finite_window(const SignalView& s) {
+  const double* p = s.data();
+  const std::size_t n = s.frames() * s.channels();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
+}
+
+bool degenerate_window(const SignalView& s) {
+  if (s.frames() < 2) return true;
+  if (!finite_window(s)) return true;  // one NaN poisons every channel's FFT
+  for (std::size_t c = 0; c < s.channels(); ++c) {
+    const double first = s(0, c);
+    for (std::size_t n = 1; n < s.frames(); ++n) {
+      if (s(n, c) != first) return false;  // this channel carries information
+    }
+  }
+  return true;  // every channel constant
 }
 
 std::vector<double> channel_means(const SignalView& s) {

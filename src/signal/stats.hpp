@@ -36,10 +36,20 @@ namespace nsync::signal {
 [[nodiscard]] std::size_t argmin(std::span<const double> v);
 
 /// Pearson correlation coefficient between `u` and `v` (Eq. 3 of the paper).
-/// Returns 0 when either vector has zero variance (the paper's similarity
-/// function is undefined there; 0 is the neutral score).
+/// Returns 0 when either vector has zero variance or contains non-finite
+/// samples (the paper's similarity function is undefined there; 0 is the
+/// neutral score).
 [[nodiscard]] double pearson(std::span<const double> u,
                              std::span<const double> v);
+
+/// True when every sample of `s` is finite (no NaN / +-Inf).
+[[nodiscard]] bool finite_window(const SignalView& s);
+
+/// True when `s` cannot support correlation-based comparison: it is
+/// shorter than 2 frames, contains a non-finite sample, or every channel
+/// is constant (zero variance).  Such windows are tagged invalid by the
+/// streaming pipeline instead of being scored.
+[[nodiscard]] bool degenerate_window(const SignalView& s);
 
 /// Per-channel means of a multichannel signal.
 [[nodiscard]] std::vector<double> channel_means(const SignalView& s);
