@@ -29,6 +29,7 @@ section() {  # section <file> <name>
   section "$extras" bench_ext_fault_tolerance
   section "$extras" bench_ext_fusion
   section "$extras" bench_ext_layer_detection
+  section "$extras" bench_ext_multi_session
   section "$extras" bench_ext_online_dtw
   for name in \
       bench_fig01_time_noise bench_fig02_no_sync_distance \

@@ -1,0 +1,275 @@
+// Extension experiment (beyond the paper): multi-session monitoring
+// throughput of the MonitorEngine.
+//
+// Simulates a fleet of concurrent print-monitoring sessions — each with
+// two side channels streaming frames in acquisition-sized chunks through
+// its RealtimeMonitors — and measures aggregate windows/sec as the session
+// count and the thread-pool size vary.  Sessions are scheduled on the
+// shared nsync_runtime pool (one task per session per poll), so throughput
+// should scale with --threads up to the core count, and per-session
+// results are bitwise independent of the worker count.
+//
+// Flags: --sessions a,b,c  session counts to sweep (default 1,8,32)
+//        --threads n       thread-pool size (default: automatic)
+//        --frames n        observed frames per channel (default 12288)
+//        --chunk n         frames per feed() call (default 256)
+//        --json path       machine-readable results (BENCH_multi_session.json)
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/nsync.hpp"
+#include "engine/monitor_engine.hpp"
+#include "eval/table.hpp"
+#include "runtime/thread_pool.hpp"
+#include "signal/rng.hpp"
+#include "signal/signal.hpp"
+
+using namespace nsync;
+using nsync::signal::Rng;
+using nsync::signal::Signal;
+
+namespace {
+
+/// Band-limited pseudo side-channel signal.  A slow chirp rides on the
+/// smoothed noise so every window has a distinct temporal signature —
+/// pure low-pass noise has broad autocorrelation peaks and the TDEB
+/// tracker occasionally mis-locks on it over long streams, which would
+/// turn this throughput bench into an accuracy experiment.
+Signal make_reference(std::size_t frames, std::uint64_t seed) {
+  constexpr double kPi = 3.14159265358979323846;
+  Rng rng(seed);
+  Signal s(frames, 2, 100.0);
+  double lp0 = 0.0, lp1 = 0.0;
+  for (std::size_t n = 0; n < frames; ++n) {
+    const double t = static_cast<double>(n) / 100.0;
+    lp0 += 0.35 * (rng.normal() - lp0);
+    lp1 += 0.35 * (rng.normal() - lp1);
+    s(n, 0) = lp0 + 0.7 * std::sin(2.0 * kPi * (0.5 + 0.010 * t) * t);
+    s(n, 1) = lp1 + 0.7 * std::cos(2.0 * kPi * (0.4 + 0.008 * t) * t);
+  }
+  return s;
+}
+
+/// The reference with small time warps and measurement noise — one
+/// session's live observation stream.
+Signal benign_observation(const Signal& b, std::uint64_t seed) {
+  Rng rng(seed);
+  Signal a = Signal::empty(b.channels(), b.sample_rate());
+  double src = 0.0;
+  std::vector<double> row(b.channels());
+  while (src < static_cast<double>(b.frames() - 1)) {
+    const auto i0 = static_cast<std::size_t>(src);
+    const double frac = src - static_cast<double>(i0);
+    const std::size_t i1 = std::min(i0 + 1, b.frames() - 1);
+    for (std::size_t c = 0; c < b.channels(); ++c) {
+      row[c] = (1.0 - frac) * b(i0, c) + frac * b(i1, c) +
+               rng.normal(0.0, 0.01);
+    }
+    a.append_frame(row);
+    src += 1.0 + rng.normal(0.0, 0.002);
+  }
+  return a;
+}
+
+core::NsyncConfig dwm_config() {
+  core::NsyncConfig cfg;
+  cfg.sync = core::SyncMethod::kDwm;
+  cfg.dwm.n_win = 64;
+  cfg.dwm.n_hop = 32;
+  cfg.dwm.n_ext = 24;
+  cfg.dwm.n_sigma = 12.0;
+  cfg.dwm.eta = 0.2;
+  // Throughput bench, not an accuracy experiment: calibrate generously so
+  // benign streams never alarm and every session runs the full print.
+  cfg.r = 1.0;
+  return cfg;
+}
+
+struct Result {
+  std::size_t sessions = 0;
+  std::size_t windows = 0;
+  double seconds = 0.0;
+  [[nodiscard]] double windows_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(windows) / seconds : 0.0;
+  }
+};
+
+std::vector<std::size_t> parse_list(const std::string& s) {
+  std::vector<std::size_t> out;
+  std::stringstream ss(s);
+  std::string tok;
+  while (std::getline(ss, tok, ',')) {
+    out.push_back(static_cast<std::size_t>(std::stoul(tok)));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<std::size_t> session_counts = {1, 8, 32};
+  std::size_t threads = 0;
+  std::size_t frames_per_channel = 12288;
+  std::size_t chunk = 256;
+  std::string json_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--sessions") {
+      session_counts = parse_list(next());
+    } else if (arg == "--threads") {
+      threads = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--frames") {
+      frames_per_channel = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--chunk") {
+      chunk = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--json") {
+      json_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: " << argv[0]
+                << " [--sessions a,b,c] [--threads n] [--frames n]"
+                   " [--chunk n] [--json path]\n";
+      return 0;
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+  if (threads > 0) runtime::set_worker_count(threads);
+  const std::size_t pool = runtime::worker_count();
+
+  std::cout << "EXTENSION: MonitorEngine multi-session throughput\n"
+            << "(threads=" << pool << ", " << frames_per_channel
+            << " frames/channel, chunk=" << chunk << ")\n\n";
+
+  // One fleet-wide calibration: learn thresholds once on benign runs and
+  // hand them to every session, as a deployment would.
+  const core::NsyncConfig cfg = dwm_config();
+  const std::vector<std::string> channel_names = {"ACC", "AUD"};
+  std::vector<Signal> references;
+  std::vector<core::Thresholds> thresholds;
+  for (std::size_t c = 0; c < channel_names.size(); ++c) {
+    Signal ref = make_reference(frames_per_channel, 100 + c);
+    core::NsyncIds ids(ref, cfg);
+    std::vector<Signal> train;
+    for (std::uint64_t s = 0; s < 6; ++s) {
+      train.push_back(benign_observation(ref, 10 * (s + 1) + c));
+    }
+    ids.fit(train);
+    // The six training runs may never drift a full sample, in which case
+    // DWM reports h_disp == 0 throughout and OCC learns c_c = h_c = 0 —
+    // a threshold any benign stream trips the first time its accumulated
+    // time-warp crosses half a sample.  Floor the displacement thresholds
+    // at a few samples of benign wander and widen v past its tail: this
+    // is a throughput bench, alarms would not change the measured work
+    // (windows keep processing after the verdict latches), but a quiet
+    // fleet keeps the output readable.
+    core::Thresholds t = ids.thresholds();
+    t.c_c = std::max(3.0 * t.c_c, 64.0);
+    t.h_c = std::max(3.0 * t.h_c, 8.0);
+    t.v_c *= 3.0;
+    thresholds.push_back(t);
+    references.push_back(std::move(ref));
+  }
+
+  std::vector<Result> results;
+  eval::AsciiTable table(
+      {"Sessions", "Threads", "Windows", "Seconds", "Windows/sec", "Alarms"});
+  for (std::size_t n_sessions : session_counts) {
+    engine::MonitorEngine eng;
+    for (std::size_t s = 0; s < n_sessions; ++s) {
+      engine::SessionSpec spec;
+      spec.name = "print-" + std::to_string(s);
+      spec.rule = core::FusionRule::kAny;
+      for (std::size_t c = 0; c < channel_names.size(); ++c) {
+        engine::ChannelSpec ch;
+        ch.name = channel_names[c];
+        ch.reference = references[c];
+        ch.config = cfg;
+        ch.thresholds = thresholds[c];
+        spec.channels.push_back(std::move(ch));
+      }
+      eng.add_session(std::move(spec));
+    }
+
+    // Pre-generate every session's observation streams so the timed loop
+    // measures the engine, not the simulator.
+    std::vector<std::vector<Signal>> streams(n_sessions);
+    for (std::size_t s = 0; s < n_sessions; ++s) {
+      for (std::size_t c = 0; c < channel_names.size(); ++c) {
+        streams[s].push_back(
+            benign_observation(references[c], 1000 + 7 * s + c));
+      }
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    std::size_t windows = 0;
+    bool more = true;
+    for (std::size_t off = 0; more; off += chunk) {
+      more = false;
+      for (std::size_t s = 0; s < n_sessions; ++s) {
+        for (std::size_t c = 0; c < channel_names.size(); ++c) {
+          const Signal& sig = streams[s][c];
+          if (off >= sig.frames()) continue;
+          const std::size_t hi = std::min(off + chunk, sig.frames());
+          windows += eng.feed(s, channel_names[c],
+                              signal::SignalView(sig).slice(off, hi));
+          if (hi < sig.frames()) more = true;
+        }
+      }
+      windows += eng.poll();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    std::size_t alarms = 0;
+    for (const auto& snap : eng.snapshots()) {
+      if (snap.intrusion) ++alarms;
+    }
+    Result r;
+    r.sessions = n_sessions;
+    r.windows = windows;
+    r.seconds = std::chrono::duration<double>(t1 - t0).count();
+    results.push_back(r);
+    table.add_row({std::to_string(r.sessions), std::to_string(pool),
+                   std::to_string(r.windows), eval::fmt(r.seconds, 3),
+                   eval::fmt(r.windows_per_sec(), 0),
+                   std::to_string(alarms)});
+  }
+  table.print(std::cout);
+  std::cout << "\n(benign streams: Alarms should be 0; aggregate\n"
+               " windows/sec should grow with --threads until the\n"
+               " physical core count is reached)\n";
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << "{\n  \"benchmark\": \"multi_session\",\n  \"threads\": " << pool
+        << ",\n  \"frames_per_channel\": " << frames_per_channel
+        << ",\n  \"chunk\": " << chunk << ",\n  \"results\": [\n";
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      const Result& r = results[i];
+      out << "    {\"sessions\": " << r.sessions
+          << ", \"windows\": " << r.windows << ", \"seconds\": " << r.seconds
+          << ", \"windows_per_sec\": " << r.windows_per_sec() << "}"
+          << (i + 1 < results.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+    std::cout << "\nwrote " << json_path << "\n";
+  }
+  return 0;
+}

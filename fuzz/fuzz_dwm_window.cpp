@@ -1,4 +1,4 @@
-// libFuzzer target: the DWM -> comparator -> discriminator chain on
+// libFuzzer target: the DWM synchronizer -> DetectionCore chain on
 // arbitrary sample data.
 //
 // The fuzzer bytes are reinterpreted as IEEE doubles, so NaN, +/-Inf,
@@ -16,8 +16,7 @@
 #include <cstring>
 #include <vector>
 
-#include "core/comparator.hpp"
-#include "core/discriminator.hpp"
+#include "core/detection_core.hpp"
 #include "core/dwm.hpp"
 #include "signal/signal.hpp"
 
@@ -74,19 +73,20 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
   require(all_finite(r.h_disp), "h_disp finite");
   require(all_finite(r.h_disp_low), "h_disp_low finite");
 
-  const nsync::core::MaskedDistances md =
-      nsync::core::vertical_distances_dwm_masked(observed, reference,
-                                                 r.h_disp, r.valid, params);
-  require(all_finite(md.v_dist), "v_dist finite");
-
-  std::vector<std::uint8_t> valid = md.valid;
-  for (std::size_t i = valid.size(); i < r.valid.size(); ++i) {
-    valid.push_back(r.valid[i]);
+  nsync::core::DetectionCore core(
+      params, nsync::core::DistanceMetric::kCorrelation, 3);
+  const nsync::signal::SignalView a(observed);
+  for (std::size_t i = 0; i < r.h_disp.size(); ++i) {
+    const std::size_t a_start = i * params.n_hop;
+    if (a_start + params.n_win > a.frames()) break;
+    core.step(r.h_disp[i], r.valid[i] != 0,
+              a.slice(a_start, a_start + params.n_win), reference);
   }
-  const nsync::core::DetectionFeatures f =
-      nsync::core::compute_features_masked(r.h_disp, md.v_dist, valid);
+  require(all_finite(core.v_dist()), "v_dist finite");
+  const nsync::core::DetectionFeatures& f = core.features();
   require(all_finite(f.c_disp), "c_disp finite");
   require(all_finite(f.h_dist_f), "h_dist_f finite");
   require(all_finite(f.v_dist_f), "v_dist_f finite");
+  require(core.valid().size() == core.windows(), "mask sized to windows");
   return 0;
 }

@@ -6,7 +6,7 @@
 
 #include <cmath>
 
-#include "core/metrics.hpp"
+#include "core/distance.hpp"
 #include "dsp/fft.hpp"
 #include "signal/stats.hpp"
 

@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
-#include "core/metrics.hpp"
+#include "core/distance.hpp"
 #include "signal/filters.hpp"
 
 namespace nsync::baselines {

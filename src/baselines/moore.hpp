@@ -12,7 +12,7 @@
 #include <span>
 #include <vector>
 
-#include "core/metrics.hpp"
+#include "core/distance.hpp"
 #include "signal/signal.hpp"
 
 namespace nsync::baselines {

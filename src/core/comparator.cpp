@@ -43,63 +43,6 @@ std::vector<double> vertical_distances_dwm(const SignalView& a,
   return out;
 }
 
-MaskedDistances vertical_distances_dwm_masked(
-    const SignalView& a, const SignalView& b,
-    const std::vector<double>& h_disp,
-    const std::vector<std::uint8_t>& valid_in, const DwmParams& params,
-    DistanceMetric metric) {
-  params.validate();
-  if (!valid_in.empty() && valid_in.size() != h_disp.size()) {
-    throw std::invalid_argument(
-        "vertical_distances_dwm_masked: valid_in/h_disp length mismatch");
-  }
-  MaskedDistances out;
-  out.v_dist.reserve(h_disp.size());
-  out.valid.reserve(h_disp.size());
-  double last_valid = 0.0;
-  for (std::size_t i = 0; i < h_disp.size(); ++i) {
-    const std::size_t a_start = i * params.n_hop;
-    const std::size_t a_end = a_start + params.n_win;
-    if (a_end > a.frames()) break;
-    const SignalView a_win = a.slice(a_start, a_end);
-
-    auto b_start = static_cast<std::ptrdiff_t>(a_start) +
-                   static_cast<std::ptrdiff_t>(std::llround(h_disp[i]));
-    b_start = std::clamp<std::ptrdiff_t>(
-        b_start, 0,
-        static_cast<std::ptrdiff_t>(b.frames()) -
-            static_cast<std::ptrdiff_t>(params.n_win));
-    if (b_start < 0) {
-      throw std::invalid_argument(
-          "vertical_distances_dwm_masked: reference shorter than one window");
-    }
-    const SignalView b_win =
-        b.slice(static_cast<std::size_t>(b_start),
-                static_cast<std::size_t>(b_start) + params.n_win);
-
-    bool ok = valid_in.empty() || valid_in[i] != 0;
-    if (ok) {
-      ok = !nsync::signal::degenerate_window(a_win) &&
-           !nsync::signal::degenerate_window(b_win);
-    }
-    double d = last_valid;
-    if (ok) {
-      d = window_distance(a_win, b_win, metric);
-      // A degenerate-window guard upstream does not cover every way a
-      // distance can go non-finite (e.g. overflowing Euclidean sums), so
-      // check the value itself as the last line of defense.
-      if (!std::isfinite(d)) {
-        ok = false;
-        d = last_valid;
-      }
-    }
-    if (ok) last_valid = d;
-    out.v_dist.push_back(d);
-    out.valid.push_back(ok ? 1 : 0);
-  }
-  return out;
-}
-
 std::vector<double> vertical_distances_dtw(const SignalView& a,
                                            const SignalView& b,
                                            const WarpPath& path,

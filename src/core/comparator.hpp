@@ -9,7 +9,7 @@
 
 #include "core/dtw.hpp"
 #include "core/dwm.hpp"
-#include "core/metrics.hpp"
+#include "core/distance.hpp"
 #include "signal/signal.hpp"
 
 namespace nsync::core {
@@ -21,27 +21,6 @@ namespace nsync::core {
 [[nodiscard]] std::vector<double> vertical_distances_dwm(
     const nsync::signal::SignalView& a, const nsync::signal::SignalView& b,
     const std::vector<double>& h_disp, const DwmParams& params,
-    DistanceMetric metric = DistanceMetric::kCorrelation);
-
-/// Vertical distances plus a per-window validity mask (graceful
-/// degradation under sensor faults).
-struct MaskedDistances {
-  std::vector<double> v_dist;       ///< one distance per window
-  std::vector<std::uint8_t> valid;  ///< 1 = scored, 0 = degenerate/held
-};
-
-/// Fault-aware variant of vertical_distances_dwm.  A window is invalid
-/// when the synchronizer already flagged it (`valid_in[i] == 0`; pass an
-/// empty vector to treat every window as synchronizer-valid), when either
-/// matched window is degenerate (flat or non-finite samples), or when the
-/// distance itself comes out non-finite.  Invalid windows hold the last
-/// valid distance (0 before any valid window) so downstream min-filters
-/// and cumulative sums see no spurious jump, and are tagged valid = 0 so
-/// the discriminator can skip them.
-[[nodiscard]] MaskedDistances vertical_distances_dwm_masked(
-    const nsync::signal::SignalView& a, const nsync::signal::SignalView& b,
-    const std::vector<double>& h_disp,
-    const std::vector<std::uint8_t>& valid_in, const DwmParams& params,
     DistanceMetric metric = DistanceMetric::kCorrelation);
 
 /// Point-by-point vertical distances from a DTW path (Eq. 15).  Alias of

@@ -1,0 +1,167 @@
+#include "core/detection_core.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "signal/stats.hpp"
+
+namespace nsync::core {
+
+using nsync::signal::SignalView;
+
+StreamingMinFilter::StreamingMinFilter(std::size_t window) : window_(window) {
+  if (window == 0) {
+    throw std::invalid_argument("StreamingMinFilter: window must be >= 1");
+  }
+  // The deque momentarily holds window_ + 1 entries: the new sample is
+  // pushed before the expired front is popped (matching the batch
+  // min_filter's operation order exactly).
+  ring_.resize(window_ + 1);
+}
+
+double StreamingMinFilter::push(double x) {
+  const std::size_t cap = ring_.size();
+  // Drop dominated entries from the back.  `!(back < x)` — not `back >= x`
+  // — so NaN handling is identical to the batch filter's comparator.
+  while (size_ > 0 && !(ring_[(head_ + size_ - 1) % cap].value < x)) {
+    --size_;
+  }
+  ring_[(head_ + size_) % cap] = Entry{next_, x};
+  ++size_;
+  if (ring_[head_].index + window_ <= next_) {
+    head_ = (head_ + 1) % cap;
+    --size_;
+  }
+  ++next_;
+  return ring_[head_].value;
+}
+
+void StreamingMinFilter::reset() {
+  head_ = 0;
+  size_ = 0;
+  next_ = 0;
+}
+
+DetectionCore::DetectionCore(const DwmParams& dwm, DistanceMetric metric,
+                             std::size_t filter_window)
+    : dwm_(dwm),
+      metric_(metric),
+      filter_window_(filter_window),
+      h_min_(filter_window == 0 ? 1 : filter_window),
+      v_min_(filter_window == 0 ? 1 : filter_window) {
+  dwm_.validate();
+  if (filter_window == 0) {
+    throw std::invalid_argument("DetectionCore: filter_window must be >= 1");
+  }
+}
+
+void DetectionCore::set_thresholds(const Thresholds& t) {
+  thresholds_ = t;
+  armed_ = true;
+}
+
+bool DetectionCore::step(double h_disp, bool sync_valid,
+                         const SignalView& a_win, const SignalView& b) {
+  if (a_win.frames() != dwm_.n_win) {
+    throw std::invalid_argument("DetectionCore::step: a_win must span n_win");
+  }
+  const std::size_t a_start = windows() * dwm_.n_hop;
+  auto b_start = static_cast<std::ptrdiff_t>(a_start) +
+                 static_cast<std::ptrdiff_t>(std::llround(h_disp));
+  // Clamp the matched window fully inside the reference (Eq. 16).
+  b_start = std::clamp<std::ptrdiff_t>(
+      b_start, 0,
+      static_cast<std::ptrdiff_t>(b.frames()) -
+          static_cast<std::ptrdiff_t>(dwm_.n_win));
+  if (b_start < 0) {
+    throw std::invalid_argument(
+        "DetectionCore::step: reference shorter than one window");
+  }
+  const SignalView b_win =
+      b.slice(static_cast<std::size_t>(b_start),
+              static_cast<std::size_t>(b_start) + dwm_.n_win);
+
+  // The matched windows can be degenerate (flat / non-finite frames) even
+  // when the synchronizer's extended search window was not; re-check both
+  // before trusting the distance.
+  bool ok = sync_valid;
+  if (ok) {
+    ok = !nsync::signal::degenerate_window(a_win) &&
+         !nsync::signal::degenerate_window(b_win);
+  }
+  double v = v_prev_;
+  if (ok) {
+    v = window_distance(a_win, b_win, metric_, dist_ws_);
+    // Degenerate-window guards do not cover every way a distance can go
+    // non-finite (e.g. overflowing Euclidean sums); check the value itself
+    // as the last line of defense.
+    if (!std::isfinite(v)) {
+      ok = false;
+      v = v_prev_;
+    }
+  }
+  return apply_window(h_disp, v, ok);
+}
+
+bool DetectionCore::step_scored(double h_disp, double v_dist, bool valid) {
+  // Non-finite inputs carry no usable evidence whatever the caller's mask
+  // says — they would poison the cumulative sum and the min filters.
+  if (valid && !(std::isfinite(h_disp) && std::isfinite(v_dist))) {
+    valid = false;
+  }
+  return apply_window(h_disp, valid ? v_dist : v_prev_, valid);
+}
+
+bool DetectionCore::apply_window(double h_disp, double v_dist, bool ok) {
+  // Carry-forward (Section "graceful degradation"): an invalid window
+  // contributes nothing to c_disp and repeats the last valid values, so
+  // the cumulative sum and the min filters never see fault artifacts.
+  if (ok) {
+    c_disp_acc_ += std::abs(h_disp - h_prev_);  // streaming CADHD (Eq. 17)
+    h_prev_ = h_disp;
+    v_prev_ = v_dist;
+  }
+  features_.c_disp.push_back(c_disp_acc_);
+  features_.h_dist_f.push_back(h_min_.push(std::abs(h_prev_)));
+  features_.v_dist_f.push_back(v_min_.push(v_prev_));
+  v_dist_.push_back(v_prev_);
+  valid_.push_back(ok ? 1 : 0);
+
+  if (armed_) {
+    const std::size_t idx = valid_.size() - 1;
+    // Same comparisons as the batch discriminate() (Eq. 18-20, strict >).
+    // The sub-module flags keep accumulating after the latch so a finished
+    // stream reports exactly what discriminate() would over the full
+    // feature arrays; intrusion and first_alarm_window freeze at the
+    // first crossing.
+    bool fired = false;
+    if (features_.c_disp[idx] > thresholds_.c_c) {
+      detection_.by_c_disp = true;
+      fired = true;
+    }
+    if (features_.h_dist_f[idx] > thresholds_.h_c) {
+      detection_.by_h_dist = true;
+      fired = true;
+    }
+    if (features_.v_dist_f[idx] > thresholds_.v_c) {
+      detection_.by_v_dist = true;
+      fired = true;
+    }
+    if (fired && !detection_.intrusion) {
+      detection_.intrusion = true;
+      detection_.first_alarm_window = static_cast<std::ptrdiff_t>(idx);
+    }
+  }
+  return ok;
+}
+
+void DetectionCore::reserve(std::size_t n_windows) {
+  features_.c_disp.reserve(n_windows);
+  features_.h_dist_f.reserve(n_windows);
+  features_.v_dist_f.reserve(n_windows);
+  v_dist_.reserve(n_windows);
+  valid_.reserve(n_windows);
+}
+
+}  // namespace nsync::core

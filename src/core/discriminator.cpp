@@ -28,45 +28,6 @@ DetectionFeatures compute_features(std::span<const double> h_disp,
   return f;
 }
 
-DetectionFeatures compute_features_masked(std::span<const double> h_disp,
-                                          std::span<const double> v_dist,
-                                          std::span<const std::uint8_t> valid,
-                                          std::size_t filter_window) {
-  if (valid.empty()) return compute_features(h_disp, v_dist, filter_window);
-  if (valid.size() != h_disp.size()) {
-    throw std::invalid_argument(
-        "compute_features_masked: valid/h_disp length mismatch");
-  }
-  if (v_dist.size() > valid.size()) {
-    throw std::invalid_argument(
-        "compute_features_masked: v_dist longer than valid mask");
-  }
-  // Carry the last valid value forward over invalid windows: the gap then
-  // contributes zero to c_disp, and on recovery the diff is taken against
-  // the last trusted displacement rather than a placeholder.  Non-finite
-  // values are treated as invalid regardless of the mask — they would
-  // otherwise poison the cumulative sum.
-  std::vector<double> h(h_disp.begin(), h_disp.end());
-  double h_last = 0.0;
-  for (std::size_t i = 0; i < h.size(); ++i) {
-    if (valid[i] != 0 && std::isfinite(h[i])) {
-      h_last = h[i];
-    } else {
-      h[i] = h_last;
-    }
-  }
-  std::vector<double> v(v_dist.begin(), v_dist.end());
-  double v_last = 0.0;
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    if (valid[i] != 0 && std::isfinite(v[i])) {
-      v_last = v[i];
-    } else {
-      v[i] = v_last;
-    }
-  }
-  return compute_features(h, v, filter_window);
-}
-
 FeatureMaxima feature_maxima(const DetectionFeatures& f) {
   auto max_of = [](const std::vector<double>& v) {
     double m = 0.0;
@@ -117,11 +78,11 @@ Detection discriminate(const DetectionFeatures& f, const Thresholds& t) {
   d.by_h_dist = ih >= 0;
   d.by_v_dist = iv >= 0;
   d.intrusion = d.by_c_disp || d.by_h_dist || d.by_v_dist;
-  d.first_alarm_index = -1;
+  d.first_alarm_window = -1;
   for (std::ptrdiff_t idx : {ic, ih, iv}) {
     if (idx >= 0 &&
-        (d.first_alarm_index < 0 || idx < d.first_alarm_index)) {
-      d.first_alarm_index = idx;
+        (d.first_alarm_window < 0 || idx < d.first_alarm_window)) {
+      d.first_alarm_window = idx;
     }
   }
   return d;

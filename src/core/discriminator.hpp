@@ -34,20 +34,6 @@ struct DetectionFeatures {
     std::span<const double> h_disp, std::span<const double> v_dist,
     std::size_t filter_window = 3);
 
-/// Fault-aware variant: `valid[i] == 0` marks window i as degenerate
-/// (sensor dropout, stuck samples, non-finite data) so it must not
-/// contribute detection evidence.  Invalid entries are replaced with the
-/// last valid value (0 before any valid window) before the features are
-/// computed: c_disp then accumulates nothing across the gap and diffs
-/// against the last trusted displacement on recovery, and the min filters
-/// never see a placeholder spike.  An empty mask means all-valid and
-/// delegates to compute_features unchanged.  `valid` must otherwise match
-/// h_disp in length and be at least as long as v_dist (the DWM comparator
-/// emits at most one distance per displacement).
-[[nodiscard]] DetectionFeatures compute_features_masked(
-    std::span<const double> h_disp, std::span<const double> v_dist,
-    std::span<const std::uint8_t> valid, std::size_t filter_window = 3);
-
 /// Learned critical values.
 struct Thresholds {
   double c_c = 0.0;
@@ -76,8 +62,9 @@ struct Detection {
   bool by_c_disp = false;  ///< sub-module 1 alarmed
   bool by_h_dist = false;  ///< sub-module 2 alarmed
   bool by_v_dist = false;  ///< sub-module 3 alarmed
-  /// First feature index at which any sub-module alarmed; -1 when benign.
-  std::ptrdiff_t first_alarm_index = -1;
+  /// Index of the first window (feature entry) at which any sub-module
+  /// alarmed — the alarm-latency metric; -1 when benign.
+  std::ptrdiff_t first_alarm_window = -1;
 };
 
 /// Applies Eq. 18-20 to the features.

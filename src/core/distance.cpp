@@ -1,4 +1,4 @@
-#include "core/metrics.hpp"
+#include "core/distance.hpp"
 
 #include <algorithm>
 #include <cctype>
@@ -85,18 +85,25 @@ double frame_distance(const SignalView& a, std::size_t i, const SignalView& b,
 
 double window_distance(const SignalView& u, const SignalView& v,
                        DistanceMetric metric) {
+  DistanceWorkspace ws;
+  return window_distance(u, v, metric, ws);
+}
+
+double window_distance(const SignalView& u, const SignalView& v,
+                       DistanceMetric metric, DistanceWorkspace& ws) {
   if (u.frames() != v.frames() || u.channels() != v.channels()) {
     throw std::invalid_argument("window_distance: shape mismatch");
   }
   if (u.channels() == 0 || u.frames() == 0) return 0.0;
   double acc = 0.0;
-  std::vector<double> cu(u.frames()), cv(v.frames());
+  ws.u.resize(u.frames());
+  ws.v.resize(v.frames());
   for (std::size_t c = 0; c < u.channels(); ++c) {
     for (std::size_t n = 0; n < u.frames(); ++n) {
-      cu[n] = u(n, c);
-      cv[n] = v(n, c);
+      ws.u[n] = u(n, c);
+      ws.v[n] = v(n, c);
     }
-    acc += vector_distance(cu, cv, metric);
+    acc += vector_distance(ws.u, ws.v, metric);
   }
   return acc / static_cast<double>(u.channels());
 }

@@ -7,8 +7,8 @@
 //    averaged across channels — used by TDE and the DWM comparator (this
 //    "discards channel-wise information and focuses on time-wise
 //    information", Section V-B).
-#ifndef NSYNC_CORE_METRICS_HPP
-#define NSYNC_CORE_METRICS_HPP
+#ifndef NSYNC_CORE_DISTANCE_HPP
+#define NSYNC_CORE_DISTANCE_HPP
 
 #include <span>
 #include <string>
@@ -52,6 +52,21 @@ enum class DistanceMetric {
                                      const nsync::signal::SignalView& v,
                                      DistanceMetric metric);
 
+/// Reusable scratch for window_distance: holds the per-channel contiguous
+/// copies, so a steady-state caller (the streaming DetectionCore) performs
+/// no heap allocation per window once the buffers have grown to size.
+struct DistanceWorkspace {
+  std::vector<double> u;
+  std::vector<double> v;
+};
+
+/// window_distance writing its scratch into `ws`; bitwise identical to the
+/// allocating overload.
+[[nodiscard]] double window_distance(const nsync::signal::SignalView& u,
+                                     const nsync::signal::SignalView& v,
+                                     DistanceMetric metric,
+                                     DistanceWorkspace& ws);
+
 /// Window similarity: per-channel Pearson correlation averaged across
 /// channels (Eq. 3 extended per Section V-B).  Shape must match.
 [[nodiscard]] double window_similarity(const nsync::signal::SignalView& u,
@@ -59,4 +74,4 @@ enum class DistanceMetric {
 
 }  // namespace nsync::core
 
-#endif  // NSYNC_CORE_METRICS_HPP
+#endif  // NSYNC_CORE_DISTANCE_HPP

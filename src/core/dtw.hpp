@@ -13,7 +13,7 @@
 #include <utility>
 #include <vector>
 
-#include "core/metrics.hpp"
+#include "core/distance.hpp"
 #include "signal/signal.hpp"
 
 namespace nsync::core {

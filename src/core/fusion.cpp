@@ -13,6 +13,16 @@ std::string fusion_rule_name(FusionRule r) {
   return "unknown";
 }
 
+bool fused_intrusion(FusionRule rule, std::size_t alarming,
+                     std::size_t online) {
+  switch (rule) {
+    case FusionRule::kAny: return alarming > 0;
+    case FusionRule::kMajority: return 2 * alarming > online;
+    case FusionRule::kAll: return online > 0 && alarming == online;
+  }
+  return false;
+}
+
 void FusionIds::add_channel(const std::string& name,
                             nsync::signal::Signal reference,
                             const NsyncConfig& config) {
@@ -83,21 +93,8 @@ FusionDetection FusionIds::detect_analyses(
     out.per_channel.emplace_back(name, d);
     out.health.emplace_back(name, h);
   }
-  // Votes are taken over online channels only; with every sensor dark
-  // there is no evidence either way, so the verdict stays benign (the
-  // caller can see online_channels == 0 and escalate operationally).
-  switch (rule_) {
-    case FusionRule::kAny:
-      out.intrusion = out.alarming_channels > 0;
-      break;
-    case FusionRule::kMajority:
-      out.intrusion = 2 * out.alarming_channels > out.online_channels;
-      break;
-    case FusionRule::kAll:
-      out.intrusion = out.online_channels > 0 &&
-                      out.alarming_channels == out.online_channels;
-      break;
-  }
+  out.intrusion =
+      fused_intrusion(rule_, out.alarming_channels, out.online_channels);
   return out;
 }
 

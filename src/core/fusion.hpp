@@ -28,6 +28,14 @@ enum class FusionRule {
 
 [[nodiscard]] std::string fusion_rule_name(FusionRule r);
 
+/// The voting rule itself: fused verdict given the number of alarming and
+/// online channels.  Votes are taken over online channels only; with every
+/// sensor dark there is no evidence either way, so the verdict stays benign
+/// (callers can see online == 0 and escalate operationally).  Shared by the
+/// batch FusionIds and the streaming MonitorEngine.
+[[nodiscard]] bool fused_intrusion(FusionRule rule, std::size_t alarming,
+                                   std::size_t online);
+
 /// Verdict of the fused IDS, with the per-channel breakdown.
 ///
 /// Graceful degradation: each channel's validity mask (Analysis::valid)

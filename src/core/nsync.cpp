@@ -39,20 +39,23 @@ Analysis NsyncIds::analyze(const SignalView& observed) const {
     const DwmResult r =
         DwmSynchronizer::align(observed, reference_, config_.dwm);
     a.h_disp = r.h_disp;
-    // The comparator re-checks each matched window pair and ANDs its
-    // verdict into the synchronizer's mask, so a.valid reflects both
-    // stages.
-    MaskedDistances md = vertical_distances_dwm_masked(
-        observed, reference_, r.h_disp, r.valid, config_.dwm, config_.metric);
-    a.v_dist = std::move(md.v_dist);
-    a.valid = std::move(md.valid);
-    // The comparator emits at most one distance per displacement; carry
-    // the synchronizer's verdict for any trailing windows it skipped.
-    for (std::size_t i = a.valid.size(); i < r.valid.size(); ++i) {
-      a.valid.push_back(r.valid[i]);
+    // Batch analysis is literally a replay of the streaming DetectionCore
+    // over the synchronizer's windows: one implementation of scoring,
+    // masking, carry-forward and feature accumulation for both paths.
+    // The core re-checks each matched window pair and ANDs its verdict
+    // into the synchronizer's mask, so a.valid reflects both stages.
+    DetectionCore core(config_.dwm, config_.metric, config_.filter_window);
+    core.reserve(r.h_disp.size());
+    for (std::size_t i = 0; i < r.h_disp.size(); ++i) {
+      const std::size_t a_start = i * config_.dwm.n_hop;
+      const SignalView a_win =
+          observed.slice(a_start, a_start + config_.dwm.n_win);
+      core.step(r.h_disp[i], r.valid.empty() || r.valid[i] != 0, a_win,
+                reference_);
     }
-    a.features = compute_features_masked(a.h_disp, a.v_dist, a.valid,
-                                         config_.filter_window);
+    a.v_dist = core.v_dist();
+    a.valid = core.valid();
+    a.features = core.features();
   } else {
     const DtwResult r =
         fast_dtw(observed, reference_, config_.dtw_radius, config_.metric);
@@ -111,12 +114,13 @@ RealtimeMonitor::RealtimeMonitor(Signal reference, NsyncConfig config,
                                  Thresholds thresholds)
     : sync_(std::move(reference), config.dwm),
       config_(config),
-      thresholds_(thresholds),
+      core_(config.dwm, config.metric, config.filter_window),
       health_(config.health) {
   if (config.sync != SyncMethod::kDwm) {
     throw std::invalid_argument(
         "RealtimeMonitor: only DWM supports real-time operation");
   }
+  core_.set_thresholds(thresholds);
 }
 
 std::size_t RealtimeMonitor::push(const SignalView& frames) {
@@ -124,95 +128,23 @@ std::size_t RealtimeMonitor::push(const SignalView& frames) {
   sync_.push(frames);
   const std::size_t after = sync_.windows();
 
+  // The synchronizer's ring buffer retains every window completed by the
+  // current push, so the logical-index views are always in range here.
   const auto& r = sync_.result();
+  const auto& a = sync_.observed();
   for (std::size_t i = before; i < after; ++i) {
-    const double h = r.h_disp[i];
-    bool window_valid = r.valid.empty() || r.valid[i] != 0;
-
-    // Vertical distance for this window (Eq. 16).  The synchronizer's
-    // ring buffer retains every window completed by the current push, so
-    // the logical-index view is always in range here.  Skipped entirely
-    // for windows the synchronizer already flagged: their frames carry no
-    // information and the distance would be garbage.
-    double v = v_dist_prev_;
-    if (window_valid) {
-      const auto& a = sync_.observed();
-      const auto& b = sync_.reference();
-      const std::size_t a_start = i * config_.dwm.n_hop;
-      const SignalView a_win = a.view(a_start, a_start + config_.dwm.n_win);
-      auto b_start = static_cast<std::ptrdiff_t>(a_start) +
-                     static_cast<std::ptrdiff_t>(std::llround(h));
-      b_start = std::clamp<std::ptrdiff_t>(
-          b_start, 0,
-          static_cast<std::ptrdiff_t>(b.frames()) -
-              static_cast<std::ptrdiff_t>(config_.dwm.n_win));
-      const SignalView b_win =
-          SignalView(b).slice(static_cast<std::size_t>(b_start),
-                              static_cast<std::size_t>(b_start) +
-                                  config_.dwm.n_win);
-      // The matched slice of b can be degenerate even when the extended
-      // search window was not; mirror the batch comparator's re-check.
-      if (nsync::signal::degenerate_window(b_win)) {
-        window_valid = false;
-      } else {
-        v = window_distance(a_win, b_win, config_.metric);
-        if (!std::isfinite(v)) {
-          window_valid = false;
-          v = v_dist_prev_;
-        }
-      }
-    }
-
-    // Carry-forward semantics (matches compute_features_masked): an
-    // invalid window contributes nothing to c_disp and repeats the last
-    // valid distances, so the min filters and the cumulative sum never
-    // see fault artifacts.
-    if (window_valid) {
-      c_disp_acc_ += std::abs(h - h_disp_prev_);  // streaming CADHD (Eq. 17)
-      h_disp_prev_ = h;
-      v_dist_prev_ = v;
-    }
-    features_.c_disp.push_back(c_disp_acc_);
-    h_dist_raw_.push_back(std::abs(h_disp_prev_));
-    v_dist_raw_.push_back(v_dist_prev_);
-    valid_.push_back(window_valid ? 1 : 0);
-    health_.observe(window_valid);
-
-    // Trailing min filters over the raw distance histories (Eq. 21-22).
-    const std::size_t w = config_.filter_window;
-    auto trailing_min = [w](const std::vector<double>& hist) {
-      const std::size_t n = std::min(w, hist.size());
-      double m = hist.back();
-      for (std::size_t k = hist.size() - n; k < hist.size(); ++k) {
-        m = std::min(m, hist[k]);
-      }
-      return m;
-    };
-    features_.h_dist_f.push_back(trailing_min(h_dist_raw_));
-    features_.v_dist_f.push_back(trailing_min(v_dist_raw_));
-
-    if (!detection_.intrusion) {
-      const std::size_t idx = features_.c_disp.size() - 1;
-      bool fired = false;
-      if (features_.c_disp[idx] > thresholds_.c_c) {
-        detection_.by_c_disp = true;
-        fired = true;
-      }
-      if (features_.h_dist_f[idx] > thresholds_.h_c) {
-        detection_.by_h_dist = true;
-        fired = true;
-      }
-      if (features_.v_dist_f[idx] > thresholds_.v_c) {
-        detection_.by_v_dist = true;
-        fired = true;
-      }
-      if (fired) {
-        detection_.intrusion = true;
-        detection_.first_alarm_index = static_cast<std::ptrdiff_t>(idx);
-      }
-    }
+    const std::size_t a_start = i * config_.dwm.n_hop;
+    const SignalView a_win = a.view(a_start, a_start + config_.dwm.n_win);
+    const bool ok = core_.step(r.h_disp[i], r.valid.empty() || r.valid[i] != 0,
+                               a_win, sync_.reference());
+    health_.observe(ok);
   }
   return after - before;
+}
+
+void RealtimeMonitor::reserve_windows(std::size_t n_windows) {
+  sync_.reserve_windows(n_windows);
+  core_.reserve(n_windows);
 }
 
 }  // namespace nsync::core

@@ -11,11 +11,12 @@
 #include <vector>
 
 #include "core/comparator.hpp"
+#include "core/detection_core.hpp"
 #include "core/discriminator.hpp"
+#include "core/distance.hpp"
 #include "core/dtw.hpp"
 #include "core/dwm.hpp"
 #include "core/health.hpp"
-#include "core/metrics.hpp"
 #include "signal/signal.hpp"
 
 namespace nsync::core {
@@ -109,6 +110,10 @@ class NsyncIds {
 /// frames as the print progresses and raises the alarm at the first window
 /// whose features cross the thresholds.  DWM's causality is what makes this
 /// possible (DTW "does not natively support real-time operations").
+///
+/// This is a thin composition: DwmSynchronizer turns frames into windows,
+/// DetectionCore scores/masks/latches each window, ChannelHealthMonitor
+/// classifies the validity stream.  All detection logic lives in the core.
 class RealtimeMonitor {
  public:
   /// `config.sync` must be kDwm; throws std::invalid_argument otherwise.
@@ -120,16 +125,24 @@ class RealtimeMonitor {
   /// call.  Once an intrusion has been flagged the state latches.
   std::size_t push(const nsync::signal::SignalView& frames);
 
-  [[nodiscard]] const Detection& detection() const { return detection_; }
-  [[nodiscard]] bool intrusion() const { return detection_.intrusion; }
+  /// Pre-allocates synchronizer and core storage for `n_windows` windows so
+  /// a steady-state window step performs no heap allocation.
+  void reserve_windows(std::size_t n_windows);
+
+  [[nodiscard]] const Detection& detection() const {
+    return core_.detection();
+  }
+  [[nodiscard]] bool intrusion() const { return core_.detection().intrusion; }
   [[nodiscard]] std::size_t windows() const { return sync_.windows(); }
   /// Features accumulated so far (c_disp / filtered distances per window).
-  [[nodiscard]] const DetectionFeatures& features() const { return features_; }
+  [[nodiscard]] const DetectionFeatures& features() const {
+    return core_.features();
+  }
 
   /// Per-window validity mask (1 = scored, 0 = degenerate window whose
   /// features were carried forward from the last valid window).
   [[nodiscard]] const std::vector<std::uint8_t>& valid() const {
-    return valid_;
+    return core_.valid();
   }
   /// Current channel-health classification driven by the validity stream
   /// (healthy -> degraded -> offline with recovery hysteresis; see
@@ -143,16 +156,8 @@ class RealtimeMonitor {
  private:
   DwmSynchronizer sync_;
   NsyncConfig config_;
-  Thresholds thresholds_;
-  DetectionFeatures features_;
-  Detection detection_;
+  DetectionCore core_;
   ChannelHealthMonitor health_;
-  double c_disp_acc_ = 0.0;
-  double h_disp_prev_ = 0.0;  // last *valid* displacement (carry-forward)
-  double v_dist_prev_ = 0.0;  // last *valid* vertical distance
-  std::vector<double> h_dist_raw_;
-  std::vector<double> v_dist_raw_;
-  std::vector<std::uint8_t> valid_;
 };
 
 }  // namespace nsync::core

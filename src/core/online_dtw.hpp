@@ -18,7 +18,7 @@
 #include <cstddef>
 #include <vector>
 
-#include "core/metrics.hpp"
+#include "core/distance.hpp"
 #include "signal/signal.hpp"
 
 namespace nsync::core {

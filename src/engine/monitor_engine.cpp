@@ -1,0 +1,184 @@
+#include "engine/monitor_engine.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/thread_pool.hpp"
+
+namespace nsync::engine {
+
+using nsync::signal::SignalView;
+
+MonitorEngine::Channel::Channel(std::string channel_name,
+                                const ChannelSpec& spec)
+    : name(std::move(channel_name)),
+      monitor(spec.reference, spec.config, spec.thresholds),
+      staging(spec.reference.channels(), spec.reference.sample_rate()) {
+  // Size everything for the full print up front: the reference bounds how
+  // many windows DWM can ever produce, so the steady-state feed/poll loop
+  // allocates nothing.
+  const auto& dwm = spec.config.dwm;
+  if (spec.reference.frames() >= dwm.n_win) {
+    monitor.reserve_windows((spec.reference.frames() - dwm.n_win) / dwm.n_hop +
+                            1);
+  }
+}
+
+MonitorEngine::MonitorEngine(MonitorEngineOptions options)
+    : options_(options) {}
+
+std::size_t MonitorEngine::add_session(SessionSpec spec) {
+  if (spec.channels.empty()) {
+    throw std::invalid_argument("MonitorEngine::add_session: no channels");
+  }
+  auto s = std::make_unique<Session>();
+  s->name = std::move(spec.name);
+  s->rule = spec.rule;
+  s->channels.reserve(spec.channels.size());
+  for (auto& c : spec.channels) {
+    for (const auto& existing : s->channels) {
+      if (existing.name == c.name) {
+        throw std::invalid_argument(
+            "MonitorEngine::add_session: duplicate channel '" + c.name + "'");
+      }
+    }
+    s->channels.emplace_back(c.name, c);
+  }
+  sessions_.push_back(std::move(s));
+  return sessions_.size() - 1;
+}
+
+MonitorEngine::Session& MonitorEngine::session_at(std::size_t id) {
+  if (id >= sessions_.size()) {
+    throw std::out_of_range("MonitorEngine: no session " + std::to_string(id));
+  }
+  return *sessions_[id];
+}
+
+const MonitorEngine::Session& MonitorEngine::session_at(std::size_t id) const {
+  if (id >= sessions_.size()) {
+    throw std::out_of_range("MonitorEngine: no session " + std::to_string(id));
+  }
+  return *sessions_[id];
+}
+
+std::size_t MonitorEngine::feed(std::size_t session,
+                                const std::string& channel,
+                                const SignalView& frames) {
+  Session& s = session_at(session);
+  const std::scoped_lock lock(s.mu);
+  Channel* target = nullptr;
+  for (auto& c : s.channels) {
+    if (c.name == channel) {
+      target = &c;
+      break;
+    }
+  }
+  if (target == nullptr) {
+    throw std::invalid_argument("MonitorEngine::feed: unknown channel '" +
+                                channel + "'");
+  }
+  target->staging.append(frames);
+  s.frames_fed += frames.frames();
+  if (options_.max_pending_frames > 0 &&
+      target->staging.retained_frames() >= options_.max_pending_frames) {
+    return drain_locked(s);
+  }
+  return 0;
+}
+
+std::size_t MonitorEngine::drain_locked(Session& s) {
+  std::size_t windows = 0;
+  for (auto& c : s.channels) {
+    const std::size_t begin = c.staging.start();
+    const std::size_t end = c.staging.end();
+    if (end > begin) {
+      windows += c.monitor.push(c.staging.view(begin, end));
+      c.staging.drop_before(end);
+    }
+  }
+  if (windows > 0 && !s.intrusion) {
+    // Refresh the fused verdict with the same health-aware vote as the
+    // batch FusionIds: offline channels neither alarm nor count toward
+    // the denominator.  The verdict and its alarm window latch.
+    std::size_t alarming = 0;
+    std::size_t online = 0;
+    std::ptrdiff_t first = -1;
+    for (const auto& c : s.channels) {
+      if (c.monitor.health() == core::ChannelHealth::kOffline) continue;
+      ++online;
+      if (c.monitor.intrusion()) {
+        ++alarming;
+        const std::ptrdiff_t w = c.monitor.detection().first_alarm_window;
+        if (first < 0 || (w >= 0 && w < first)) first = w;
+      }
+    }
+    if (core::fused_intrusion(s.rule, alarming, online)) {
+      s.intrusion = true;
+      s.first_alarm_window = first;
+    }
+  }
+  return windows;
+}
+
+std::size_t MonitorEngine::poll() {
+  std::atomic<std::size_t> total{0};
+  nsync::runtime::parallel_for(0, sessions_.size(), [&](std::size_t i) {
+    Session& s = *sessions_[i];
+    const std::scoped_lock lock(s.mu);
+    total.fetch_add(drain_locked(s), std::memory_order_relaxed);
+  });
+  return total.load(std::memory_order_relaxed);
+}
+
+std::size_t MonitorEngine::poll_session(std::size_t session) {
+  Session& s = session_at(session);
+  const std::scoped_lock lock(s.mu);
+  return drain_locked(s);
+}
+
+SessionSnapshot MonitorEngine::snapshot_locked(const Session& s) {
+  SessionSnapshot out;
+  out.name = s.name;
+  out.intrusion = s.intrusion;
+  out.first_alarm_window = s.first_alarm_window;
+  out.frames_fed = s.frames_fed;
+  out.windows = std::numeric_limits<std::size_t>::max();
+  out.channels.reserve(s.channels.size());
+  for (const auto& c : s.channels) {
+    ChannelSnapshot cs;
+    cs.name = c.name;
+    cs.detection = c.monitor.detection();
+    cs.health = c.monitor.health();
+    cs.windows = c.monitor.windows();
+    cs.pending_frames = c.staging.retained_frames();
+    out.windows = std::min(out.windows, cs.windows);
+    if (cs.health != core::ChannelHealth::kOffline) {
+      ++out.online_channels;
+      if (cs.detection.intrusion) ++out.alarming_channels;
+    }
+    out.channels.push_back(std::move(cs));
+  }
+  if (s.channels.empty()) out.windows = 0;
+  return out;
+}
+
+SessionSnapshot MonitorEngine::snapshot(std::size_t session) const {
+  const Session& s = session_at(session);
+  const std::scoped_lock lock(s.mu);
+  return snapshot_locked(s);
+}
+
+std::vector<SessionSnapshot> MonitorEngine::snapshots() const {
+  std::vector<SessionSnapshot> out;
+  out.reserve(sessions_.size());
+  for (std::size_t i = 0; i < sessions_.size(); ++i) {
+    out.push_back(snapshot(i));
+  }
+  return out;
+}
+
+}  // namespace nsync::engine

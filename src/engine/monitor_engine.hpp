@@ -1,0 +1,153 @@
+// Multi-session monitoring engine — the fleet layer on top of the
+// streaming detection stack.
+//
+// One MonitorEngine serves N concurrent print-monitoring sessions.  A
+// session is one print job: per-channel reference signals + NSYNC configs
+// + learned thresholds, one RealtimeMonitor per side channel, and a
+// health-aware fusion rule over the per-channel verdicts (the same vote as
+// the batch FusionIds, via core::fused_intrusion).
+//
+// Frames arrive via feed(), which only appends to a per-channel staging
+// ring buffer — cheap enough to call from an acquisition callback.  The
+// actual window processing happens in poll(), which drains every session's
+// staged frames through its monitors, scheduling sessions on the shared
+// nsync_runtime thread pool (one task per session; each session is
+// internally sequential, so per-session results are bitwise identical at
+// any worker count).  Memory stays bounded: the monitors' synchronizer
+// buffers are rings, and a session whose staging exceeds
+// Options::max_pending_frames is drained inline by feed() itself instead
+// of growing without limit.
+#ifndef NSYNC_ENGINE_MONITOR_ENGINE_HPP
+#define NSYNC_ENGINE_MONITOR_ENGINE_HPP
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/fusion.hpp"
+#include "core/health.hpp"
+#include "core/nsync.hpp"
+#include "signal/ring_buffer.hpp"
+#include "signal/signal.hpp"
+
+namespace nsync::engine {
+
+/// One side channel of a session: its reference signal, NSYNC config and
+/// learned OCC thresholds (train offline with NsyncIds::fit, or reuse a
+/// fleet-wide calibration).  `config.sync` must be kDwm.
+struct ChannelSpec {
+  std::string name;
+  nsync::signal::Signal reference;
+  core::NsyncConfig config;
+  core::Thresholds thresholds;
+};
+
+/// One monitored print job.
+struct SessionSpec {
+  std::string name;
+  std::vector<ChannelSpec> channels;
+  core::FusionRule rule = core::FusionRule::kAny;
+};
+
+/// Point-in-time view of one channel of a session.
+struct ChannelSnapshot {
+  std::string name;
+  core::Detection detection;
+  core::ChannelHealth health = core::ChannelHealth::kHealthy;
+  std::size_t windows = 0;         ///< windows processed so far
+  std::size_t pending_frames = 0;  ///< staged frames awaiting poll()
+};
+
+/// Point-in-time view of one session: the fused verdict plus per-channel
+/// breakdown and progress counters.
+struct SessionSnapshot {
+  std::string name;
+  bool intrusion = false;  ///< latched fused verdict
+  /// Earliest first_alarm_window among the channels alarming when the
+  /// fused verdict latched; -1 while benign.
+  std::ptrdiff_t first_alarm_window = -1;
+  std::size_t alarming_channels = 0;  ///< alarming among online channels
+  std::size_t online_channels = 0;    ///< channels not classified offline
+  std::size_t frames_fed = 0;         ///< total frames accepted via feed()
+  std::size_t windows = 0;            ///< min windows across channels
+  std::vector<ChannelSnapshot> channels;
+};
+
+/// Engine tuning knobs.
+struct MonitorEngineOptions {
+  /// A channel whose staging buffer reaches this many frames is drained
+  /// inline by feed() (that session only), bounding per-session memory
+  /// even when the caller never polls.  0 disables the backstop.
+  std::size_t max_pending_frames = 65536;
+};
+
+/// N concurrent streaming sessions over the shared thread pool.
+///
+/// Thread safety: add_session must not run concurrently with feed/poll/
+/// snapshot (register the fleet first).  After that, feed() calls for
+/// *different* sessions may run concurrently; feed() for one session,
+/// poll() and snapshot() serialize internally on per-session mutexes.
+class MonitorEngine {
+ public:
+  explicit MonitorEngine(MonitorEngineOptions options = {});
+
+  /// Registers a session and returns its id (dense, starting at 0).
+  /// Throws std::invalid_argument on an empty or invalid spec.
+  std::size_t add_session(SessionSpec spec);
+
+  [[nodiscard]] std::size_t sessions() const { return sessions_.size(); }
+
+  /// Stages observed frames for one channel of one session.  Returns the
+  /// number of windows processed inline (0 unless the max_pending_frames
+  /// backstop tripped).
+  std::size_t feed(std::size_t session, const std::string& channel,
+                   const nsync::signal::SignalView& frames);
+
+  /// Drains every session's staged frames through its monitors, running
+  /// sessions in parallel on the global thread pool.  Returns the total
+  /// number of windows processed across the fleet.
+  std::size_t poll();
+
+  /// Drains one session only (inline, on the calling thread).
+  std::size_t poll_session(std::size_t session);
+
+  [[nodiscard]] SessionSnapshot snapshot(std::size_t session) const;
+  [[nodiscard]] std::vector<SessionSnapshot> snapshots() const;
+
+ private:
+  struct Channel {
+    std::string name;
+    core::RealtimeMonitor monitor;
+    nsync::signal::FrameRingBuffer staging;
+
+    Channel(std::string channel_name, const ChannelSpec& spec);
+  };
+
+  struct Session {
+    std::string name;
+    core::FusionRule rule = core::FusionRule::kAny;
+    mutable std::mutex mu;
+    std::vector<Channel> channels;
+    std::size_t frames_fed = 0;
+    bool intrusion = false;
+    std::ptrdiff_t first_alarm_window = -1;
+  };
+
+  Session& session_at(std::size_t id);
+  [[nodiscard]] const Session& session_at(std::size_t id) const;
+  /// Pushes all staged frames of `s` through its monitors and refreshes
+  /// the fused verdict.  Caller must hold s.mu.
+  std::size_t drain_locked(Session& s);
+  static SessionSnapshot snapshot_locked(const Session& s);
+
+  MonitorEngineOptions options_;
+  // unique_ptr keeps Session addresses (and their mutexes) stable while
+  // the vector grows.
+  std::vector<std::unique_ptr<Session>> sessions_;
+};
+
+}  // namespace nsync::engine
+
+#endif  // NSYNC_ENGINE_MONITOR_ENGINE_HPP

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/dwm.hpp"
+#include "core/nsync.hpp"
 #include "signal/rng.hpp"
 #include "signal/signal.hpp"
 
@@ -114,6 +115,45 @@ TEST(AllocHotPath, WarmDwmWindowPushIsAllocationFree) {
     g_allocations.store(0, std::memory_order_relaxed);
     g_counting.store(true, std::memory_order_relaxed);
     const std::size_t done = sync.push(chunk);
+    g_counting.store(false, std::memory_order_relaxed);
+    EXPECT_EQ(done, 1u) << "round " << round;
+    EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), 0u)
+        << "round " << round;
+  }
+}
+
+TEST(AllocHotPath, WarmRealtimeMonitorWindowPushIsAllocationFree) {
+  // The full streaming stack — synchronizer + DetectionCore (distance
+  // workspace, incremental min filters, feature arrays) — must also be
+  // allocation-free per window once warmed and reserved.
+  NsyncConfig cfg;
+  cfg.sync = SyncMethod::kDwm;
+  cfg.dwm.n_win = 256;
+  cfg.dwm.n_hop = 128;
+  cfg.dwm.n_ext = 64;
+  cfg.dwm.n_sigma = 32.0;
+  const Signal reference = smoothed_noise(8000, 2, 3);
+  const Signal observed = smoothed_noise(4000, 2, 4);
+
+  Thresholds t;
+  t.c_c = 1e9;  // keep the latch quiet; latching writes no heap anyway
+  t.h_c = 1e9;
+  t.v_c = 1e9;
+  RealtimeMonitor mon(reference, cfg, t);
+  mon.reserve_windows(64);
+  std::size_t pos = 0;
+  while (mon.windows() < 4) {
+    mon.push(SignalView(observed).slice(pos, pos + cfg.dwm.n_hop));
+    pos += cfg.dwm.n_hop;
+  }
+
+  for (int round = 0; round < 8; ++round) {
+    const SignalView chunk =
+        SignalView(observed).slice(pos, pos + cfg.dwm.n_hop);
+    pos += cfg.dwm.n_hop;
+    g_allocations.store(0, std::memory_order_relaxed);
+    g_counting.store(true, std::memory_order_relaxed);
+    const std::size_t done = mon.push(chunk);
     g_counting.store(false, std::memory_order_relaxed);
     EXPECT_EQ(done, 1u) << "round " << round;
     EXPECT_EQ(g_allocations.load(std::memory_order_relaxed), 0u)

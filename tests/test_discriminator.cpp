@@ -98,7 +98,7 @@ TEST(Discriminate, FiresPerSubModule) {
   EXPECT_FALSE(d.by_c_disp);
   EXPECT_FALSE(d.by_h_dist);
   EXPECT_TRUE(d.by_v_dist);
-  EXPECT_EQ(d.first_alarm_index, 1);
+  EXPECT_EQ(d.first_alarm_window, 1);
 }
 
 TEST(Discriminate, BenignWhenAllBelow) {
@@ -108,7 +108,7 @@ TEST(Discriminate, BenignWhenAllBelow) {
   f.v_dist_f = {0.2};
   const Detection d = discriminate(f, {2.0, 0.5, 0.5});
   EXPECT_FALSE(d.intrusion);
-  EXPECT_EQ(d.first_alarm_index, -1);
+  EXPECT_EQ(d.first_alarm_window, -1);
 }
 
 TEST(Discriminate, FirstAlarmIsEarliestAcrossSubModules) {
@@ -120,7 +120,7 @@ TEST(Discriminate, FirstAlarmIsEarliestAcrossSubModules) {
   EXPECT_TRUE(d.by_c_disp);
   EXPECT_TRUE(d.by_h_dist);
   EXPECT_FALSE(d.by_v_dist);
-  EXPECT_EQ(d.first_alarm_index, 1);
+  EXPECT_EQ(d.first_alarm_window, 1);
 }
 
 TEST(Discriminate, ThresholdIsStrict) {

@@ -4,7 +4,7 @@
 
 #include <cmath>
 
-#include "core/metrics.hpp"
+#include "core/distance.hpp"
 #include "signal/rng.hpp"
 
 namespace nsync::core {

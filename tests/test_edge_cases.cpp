@@ -114,7 +114,7 @@ TEST(DiscriminatorEdge, EmptyFeaturesAreBenign) {
   core::DetectionFeatures f;  // no windows at all
   const auto d = core::discriminate(f, {0.0, 0.0, 0.0});
   EXPECT_FALSE(d.intrusion);
-  EXPECT_EQ(d.first_alarm_index, -1);
+  EXPECT_EQ(d.first_alarm_window, -1);
 }
 
 TEST(DiscriminatorEdge, SingleWindowSignal) {

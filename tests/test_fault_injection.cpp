@@ -496,37 +496,46 @@ TEST(DwmMasking, NanSpanIsMaskedAndNothingLeaks) {
   EXPECT_LT(masked, r.valid.size());  // clean windows still scored
 }
 
-TEST(ComparatorMasking, MaskedDistancesSkipDegenerateWindows) {
+TEST(DetectionCoreMasking, SkipsDegenerateWindowsWithCarryForward) {
   const Signal b = make_reference(1500, 107);
   Signal a = benign_observation(b, 208);
   for (std::size_t n = 400; n < 560; ++n) a(n, 0) = kNan;
 
   const core::DwmParams params = dwm_config().dwm;
   const core::DwmResult r = core::DwmSynchronizer::align(a, b, params);
-  const core::MaskedDistances md = core::vertical_distances_dwm_masked(
-      a, b, r.h_disp, r.valid, params, core::DistanceMetric::kCorrelation);
-  ASSERT_EQ(md.v_dist.size(), md.valid.size());
-  EXPECT_TRUE(all_finite(md.v_dist));
+  core::DetectionCore dc(params, core::DistanceMetric::kCorrelation, 3);
+  for (std::size_t i = 0; i < r.h_disp.size(); ++i) {
+    const std::size_t a_start = i * params.n_hop;
+    dc.step(r.h_disp[i], r.valid[i] != 0,
+            SignalView(a).slice(a_start, a_start + params.n_win), b);
+  }
+  ASSERT_EQ(dc.v_dist().size(), dc.valid().size());
+  EXPECT_TRUE(all_finite(dc.v_dist()));
   double last_valid = 0.0;
   bool saw_invalid = false;
-  for (std::size_t i = 0; i < md.valid.size(); ++i) {
-    if (md.valid[i] != 0) {
-      last_valid = md.v_dist[i];
+  for (std::size_t i = 0; i < dc.valid().size(); ++i) {
+    if (dc.valid()[i] != 0) {
+      last_valid = dc.v_dist()[i];
     } else {
       saw_invalid = true;
-      EXPECT_EQ(md.v_dist[i], last_valid);  // carry-forward, no spikes
+      EXPECT_EQ(dc.v_dist()[i], last_valid);  // carry-forward, no spikes
     }
   }
   EXPECT_TRUE(saw_invalid);
 }
 
-TEST(DiscriminatorMasking, InvalidWindowsContributeNoEvidence) {
+TEST(DetectionCoreMasking, InvalidWindowsContributeNoEvidence) {
   // h_disp jumps wildly in masked windows; the masked features must
   // ignore those jumps entirely.
   const std::vector<double> h_disp = {0, 1, 50, -80, 1, 2};
   const std::vector<double> v_dist = {0.1, 0.1, 9.0, 9.0, 0.2, 0.1};
   const std::vector<std::uint8_t> valid = {1, 1, 0, 0, 1, 1};
-  const auto masked = core::compute_features_masked(h_disp, v_dist, valid, 1);
+  core::DwmParams params = dwm_config().dwm;
+  core::DetectionCore dc(params, core::DistanceMetric::kCorrelation, 1);
+  for (std::size_t i = 0; i < h_disp.size(); ++i) {
+    dc.step_scored(h_disp[i], v_dist[i], valid[i] != 0);
+  }
+  const auto& masked = dc.features();
   // c_disp across the gap: |1-0| then nothing, then |1-1| = 0, |2-1| = 1.
   ASSERT_EQ(masked.c_disp.size(), h_disp.size());
   EXPECT_DOUBLE_EQ(masked.c_disp[1], 1.0);
@@ -537,11 +546,15 @@ TEST(DiscriminatorMasking, InvalidWindowsContributeNoEvidence) {
   // v_dist in the gap holds the last valid value.
   EXPECT_DOUBLE_EQ(masked.v_dist_f[2], 0.1);
   EXPECT_DOUBLE_EQ(masked.v_dist_f[3], 0.1);
-  // An empty mask delegates to the unmasked features.
+  // An all-valid feed reproduces the unmasked batch features.
+  core::DetectionCore all_valid(params, core::DistanceMetric::kCorrelation, 1);
+  for (std::size_t i = 0; i < h_disp.size(); ++i) {
+    all_valid.step_scored(h_disp[i], v_dist[i], true);
+  }
   const auto plain = core::compute_features(h_disp, v_dist, 1);
-  const auto empty_mask = core::compute_features_masked(h_disp, v_dist, {}, 1);
-  EXPECT_EQ(empty_mask.c_disp, plain.c_disp);
-  EXPECT_EQ(empty_mask.v_dist_f, plain.v_dist_f);
+  EXPECT_EQ(all_valid.features().c_disp, plain.c_disp);
+  EXPECT_EQ(all_valid.features().v_dist_f, plain.v_dist_f);
+  EXPECT_EQ(all_valid.features().h_dist_f, plain.h_dist_f);
 }
 
 // ---------------------------------------------------------------------------

@@ -6,7 +6,7 @@
 
 #include "baselines/bayens.hpp"
 #include "core/dwm.hpp"
-#include "core/metrics.hpp"
+#include "core/distance.hpp"
 #include "dsp/stft.hpp"
 #include "signal/rng.hpp"
 

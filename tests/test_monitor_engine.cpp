@@ -1,0 +1,274 @@
+// Tests for the multi-session MonitorEngine: session lifecycle, feed/poll
+// semantics, equivalence with standalone RealtimeMonitors, fused verdicts
+// and the bounded-staging backstop.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/nsync.hpp"
+#include "engine/monitor_engine.hpp"
+#include "runtime/thread_pool.hpp"
+#include "signal/rng.hpp"
+#include "signal/signal.hpp"
+
+namespace nsync::engine {
+namespace {
+
+using nsync::core::NsyncConfig;
+using nsync::core::NsyncIds;
+using nsync::core::RealtimeMonitor;
+using nsync::core::SyncMethod;
+using nsync::core::Thresholds;
+using nsync::signal::Rng;
+using nsync::signal::Signal;
+using nsync::signal::SignalView;
+
+Signal make_reference(std::size_t frames, std::uint64_t seed) {
+  Rng rng(seed);
+  Signal s(frames, 2, 100.0);
+  double lp0 = 0.0, lp1 = 0.0;
+  for (std::size_t n = 0; n < frames; ++n) {
+    lp0 += 0.35 * (rng.normal() - lp0);
+    lp1 += 0.35 * (rng.normal() - lp1);
+    s(n, 0) = lp0;
+    s(n, 1) = lp1;
+  }
+  return s;
+}
+
+Signal benign_observation(const Signal& b, std::uint64_t seed) {
+  Rng rng(seed);
+  Signal a = Signal::empty(b.channels(), b.sample_rate());
+  double src = 0.0;
+  std::vector<double> row(b.channels());
+  while (src < static_cast<double>(b.frames() - 1)) {
+    const auto i0 = static_cast<std::size_t>(src);
+    const double frac = src - static_cast<double>(i0);
+    const std::size_t i1 = std::min(i0 + 1, b.frames() - 1);
+    for (std::size_t c = 0; c < b.channels(); ++c) {
+      row[c] = (1.0 - frac) * b(i0, c) + frac * b(i1, c) +
+               rng.normal(0.0, 0.01);
+    }
+    a.append_frame(row);
+    src += 1.0 + rng.normal(0.0, 0.002);
+  }
+  return a;
+}
+
+Signal malicious_observation(const Signal& b, std::uint64_t seed) {
+  Signal a = benign_observation(b, seed);
+  Rng rng(seed + 5000);
+  const std::size_t lo = a.frames() / 3;
+  const std::size_t hi = 2 * a.frames() / 3;
+  double lp = 0.0;
+  for (std::size_t n = lo; n < hi; ++n) {
+    lp += 0.35 * (rng.normal() - lp);
+    for (std::size_t c = 0; c < a.channels(); ++c) a(n, c) = lp;
+  }
+  return a;
+}
+
+NsyncConfig dwm_config() {
+  NsyncConfig cfg;
+  cfg.sync = SyncMethod::kDwm;
+  cfg.dwm.n_win = 64;
+  cfg.dwm.n_hop = 32;
+  cfg.dwm.n_ext = 24;
+  cfg.dwm.n_sigma = 12.0;
+  cfg.dwm.eta = 0.2;
+  cfg.r = 0.3;
+  return cfg;
+}
+
+class MonitorEngineTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cfg_ = dwm_config();
+    reference_ = make_reference(1500, 77);
+    NsyncIds ids(reference_, cfg_);
+    std::vector<Signal> train;
+    for (std::uint64_t s = 1; s <= 3; ++s) {
+      train.push_back(benign_observation(reference_, s));
+    }
+    ids.fit(train);
+    thresholds_ = ids.thresholds();
+  }
+
+  SessionSpec make_session(const std::string& name) const {
+    SessionSpec spec;
+    spec.name = name;
+    for (const char* ch : {"ACC", "AUD"}) {
+      ChannelSpec c;
+      c.name = ch;
+      c.reference = reference_;
+      c.config = cfg_;
+      c.thresholds = thresholds_;
+      spec.channels.push_back(std::move(c));
+    }
+    return spec;
+  }
+
+  NsyncConfig cfg_;
+  Signal reference_;
+  Thresholds thresholds_;
+};
+
+TEST_F(MonitorEngineTest, RejectsBadSpecsAndUnknownTargets) {
+  MonitorEngine eng;
+  EXPECT_THROW(eng.add_session(SessionSpec{}), std::invalid_argument);
+  SessionSpec dup = make_session("dup");
+  dup.channels.push_back(dup.channels[0]);
+  EXPECT_THROW(eng.add_session(std::move(dup)), std::invalid_argument);
+
+  ASSERT_EQ(eng.add_session(make_session("s0")), 0u);
+  const Signal obs = benign_observation(reference_, 9);
+  EXPECT_THROW(eng.feed(0, "MAG", obs), std::invalid_argument);
+  EXPECT_THROW(eng.feed(5, "ACC", obs), std::out_of_range);
+  EXPECT_THROW(eng.snapshot(5), std::out_of_range);
+}
+
+TEST_F(MonitorEngineTest, SessionMatchesStandaloneMonitorsBitwise) {
+  // One engine session must be exactly two RealtimeMonitors: same
+  // features, same verdicts, for the same chunked feed.
+  MonitorEngine eng;
+  eng.add_session(make_session("print"));
+  const Signal acc = benign_observation(reference_, 50);
+  const Signal aud = malicious_observation(reference_, 51);
+
+  RealtimeMonitor ref_acc(reference_, cfg_, thresholds_);
+  RealtimeMonitor ref_aud(reference_, cfg_, thresholds_);
+  constexpr std::size_t kChunk = 100;
+  for (std::size_t off = 0; off < std::max(acc.frames(), aud.frames());
+       off += kChunk) {
+    if (off < acc.frames()) {
+      const std::size_t hi = std::min(off + kChunk, acc.frames());
+      eng.feed(0, "ACC", SignalView(acc).slice(off, hi));
+      ref_acc.push(SignalView(acc).slice(off, hi));
+    }
+    if (off < aud.frames()) {
+      const std::size_t hi = std::min(off + kChunk, aud.frames());
+      eng.feed(0, "AUD", SignalView(aud).slice(off, hi));
+      ref_aud.push(SignalView(aud).slice(off, hi));
+    }
+    eng.poll();
+  }
+
+  const SessionSnapshot snap = eng.snapshot(0);
+  ASSERT_EQ(snap.channels.size(), 2u);
+  const ChannelSnapshot& cs_acc = snap.channels[0];
+  const ChannelSnapshot& cs_aud = snap.channels[1];
+  EXPECT_EQ(cs_acc.name, "ACC");
+  EXPECT_EQ(cs_aud.name, "AUD");
+  EXPECT_EQ(cs_acc.windows, ref_acc.windows());
+  EXPECT_EQ(cs_aud.windows, ref_aud.windows());
+  EXPECT_EQ(cs_acc.detection.intrusion, ref_acc.detection().intrusion);
+  EXPECT_EQ(cs_aud.detection.intrusion, ref_aud.detection().intrusion);
+  EXPECT_EQ(cs_aud.detection.first_alarm_window,
+            ref_aud.detection().first_alarm_window);
+  EXPECT_EQ(cs_acc.health, ref_acc.health());
+  EXPECT_EQ(cs_aud.health, ref_aud.health());
+
+  // kAny fusion: the malicious AUD channel alarms the session, and the
+  // session's first_alarm_window is the alarming channel's.
+  EXPECT_FALSE(ref_acc.detection().intrusion);
+  ASSERT_TRUE(ref_aud.detection().intrusion);
+  EXPECT_TRUE(snap.intrusion);
+  EXPECT_EQ(snap.first_alarm_window, ref_aud.detection().first_alarm_window);
+  EXPECT_EQ(snap.alarming_channels, 1u);
+  EXPECT_EQ(snap.online_channels, 2u);
+  EXPECT_EQ(snap.frames_fed, acc.frames() + aud.frames());
+  EXPECT_EQ(snap.channels[0].pending_frames, 0u);
+}
+
+TEST_F(MonitorEngineTest, ManySessionsIndependentAndParallelSafe) {
+  // 8 sessions, one malicious, drained by parallel poll(): verdicts must
+  // be per-session and identical at any worker count.
+  constexpr std::size_t kSessions = 8;
+  constexpr std::size_t kMalicious = 3;
+  MonitorEngine eng;
+  std::vector<Signal> streams;
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    // Widen the thresholds: the 3-run calibration is thin and a couple of
+    // the 8 benign seeds graze it, which would mask the property under
+    // test (per-session verdict isolation, not threshold sharpness).
+    SessionSpec spec = make_session("print-" + std::to_string(s));
+    for (ChannelSpec& c : spec.channels) {
+      c.thresholds.c_c *= 3.0;
+      c.thresholds.h_c *= 3.0;
+      c.thresholds.v_c *= 3.0;
+    }
+    eng.add_session(std::move(spec));
+    streams.push_back(s == kMalicious
+                          ? malicious_observation(reference_, 200 + s)
+                          : benign_observation(reference_, 200 + s));
+  }
+  constexpr std::size_t kChunk = 257;
+  bool more = true;
+  for (std::size_t off = 0; more; off += kChunk) {
+    more = false;
+    for (std::size_t s = 0; s < kSessions; ++s) {
+      if (off >= streams[s].frames()) continue;
+      const std::size_t hi = std::min(off + kChunk, streams[s].frames());
+      const SignalView chunk = SignalView(streams[s]).slice(off, hi);
+      eng.feed(s, "ACC", chunk);
+      eng.feed(s, "AUD", chunk);
+      if (hi < streams[s].frames()) more = true;
+    }
+    eng.poll();
+  }
+  for (std::size_t s = 0; s < kSessions; ++s) {
+    const SessionSnapshot snap = eng.snapshot(s);
+    EXPECT_EQ(snap.intrusion, s == kMalicious) << "session " << s;
+    EXPECT_GT(snap.windows, 0u);
+    if (s == kMalicious) {
+      EXPECT_GE(snap.first_alarm_window, 0);
+      EXPECT_EQ(snap.alarming_channels, 2u);
+    }
+  }
+}
+
+TEST_F(MonitorEngineTest, MaxPendingBackstopDrainsInline) {
+  MonitorEngineOptions opts;
+  opts.max_pending_frames = 256;
+  MonitorEngine eng(opts);
+  eng.add_session(make_session("bounded"));
+  const Signal obs = benign_observation(reference_, 60);
+  // Feed a large chunk without ever calling poll(): the backstop must
+  // process windows inline and keep staging below the cap.
+  std::size_t windows = 0;
+  constexpr std::size_t kChunk = 128;
+  for (std::size_t off = 0; off < obs.frames(); off += kChunk) {
+    const std::size_t hi = std::min(off + kChunk, obs.frames());
+    windows += eng.feed(0, "ACC", SignalView(obs).slice(off, hi));
+  }
+  EXPECT_GT(windows, 0u);
+  const SessionSnapshot snap = eng.snapshot(0);
+  for (const auto& cs : snap.channels) {
+    EXPECT_LT(cs.pending_frames, 2 * opts.max_pending_frames);
+  }
+}
+
+TEST_F(MonitorEngineTest, AllFusionRulesLatch) {
+  for (core::FusionRule rule :
+       {core::FusionRule::kAny, core::FusionRule::kMajority,
+        core::FusionRule::kAll}) {
+    MonitorEngine eng;
+    SessionSpec spec = make_session("rules");
+    spec.rule = rule;
+    eng.add_session(std::move(spec));
+    const Signal bad = malicious_observation(reference_, 90);
+    eng.feed(0, "ACC", bad);
+    eng.feed(0, "AUD", bad);
+    eng.poll();
+    // Both channels see the same tampered stream, so every rule fires.
+    EXPECT_TRUE(eng.snapshot(0).intrusion)
+        << core::fusion_rule_name(rule);
+  }
+}
+
+}  // namespace
+}  // namespace nsync::engine

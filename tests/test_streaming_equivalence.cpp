@@ -1,0 +1,189 @@
+// The batch ≡ streaming equivalence guarantee.
+//
+// Batch analysis (NsyncIds::analyze) is a replay of the streaming
+// DetectionCore, and RealtimeMonitor feeds the same core window by window
+// — so for any observed signal, any chunking of its frames, and any
+// sensor-fault pattern, the two paths must produce BITWISE identical
+// features, vertical distances, validity masks and verdicts.  This
+// property test is the guarantee that used to be maintained by hand-kept
+// "mirror the batch comparator" comments and spot checks.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "core/nsync.hpp"
+#include "eval/fault_tolerance.hpp"
+#include "sensors/fault_injector.hpp"
+#include "signal/rng.hpp"
+#include "signal/signal.hpp"
+
+namespace nsync {
+namespace {
+
+using nsync::core::Detection;
+using nsync::core::NsyncConfig;
+using nsync::core::NsyncIds;
+using nsync::core::RealtimeMonitor;
+using nsync::core::SyncMethod;
+using nsync::core::Thresholds;
+using nsync::signal::Rng;
+using nsync::signal::Signal;
+using nsync::signal::SignalView;
+
+Signal make_reference(std::size_t frames, std::uint64_t seed) {
+  Rng rng(seed);
+  Signal s(frames, 2, 100.0);
+  double lp0 = 0.0, lp1 = 0.0;
+  for (std::size_t n = 0; n < frames; ++n) {
+    lp0 += 0.35 * (rng.normal() - lp0);
+    lp1 += 0.35 * (rng.normal() - lp1);
+    s(n, 0) = lp0;
+    s(n, 1) = lp1;
+  }
+  return s;
+}
+
+Signal benign_observation(const Signal& b, std::uint64_t seed) {
+  Rng rng(seed);
+  Signal a = Signal::empty(b.channels(), b.sample_rate());
+  double src = 0.0;
+  std::vector<double> row(b.channels());
+  while (src < static_cast<double>(b.frames() - 1)) {
+    const auto i0 = static_cast<std::size_t>(src);
+    const double frac = src - static_cast<double>(i0);
+    const std::size_t i1 = std::min(i0 + 1, b.frames() - 1);
+    for (std::size_t c = 0; c < b.channels(); ++c) {
+      row[c] = (1.0 - frac) * b(i0, c) + frac * b(i1, c) +
+               rng.normal(0.0, 0.01);
+    }
+    a.append_frame(row);
+    src += 1.0 + rng.normal(0.0, 0.002);
+  }
+  return a;
+}
+
+Signal malicious_observation(const Signal& b, std::uint64_t seed) {
+  Signal a = benign_observation(b, seed);
+  Rng rng(seed + 5000);
+  const std::size_t lo = a.frames() / 3;
+  const std::size_t hi = 2 * a.frames() / 3;
+  double lp = 0.0;
+  for (std::size_t n = lo; n < hi; ++n) {
+    lp += 0.35 * (rng.normal() - lp);
+    for (std::size_t c = 0; c < a.channels(); ++c) a(n, c) = lp;
+  }
+  return a;
+}
+
+NsyncConfig dwm_config() {
+  NsyncConfig cfg;
+  cfg.sync = SyncMethod::kDwm;
+  cfg.dwm.n_win = 64;
+  cfg.dwm.n_hop = 32;
+  cfg.dwm.n_ext = 24;
+  cfg.dwm.n_sigma = 12.0;
+  cfg.dwm.eta = 0.2;
+  cfg.r = 0.3;
+  return cfg;
+}
+
+/// Asserts bitwise equality between one batch analysis + discrimination
+/// and a chunked streaming replay of the same frames.
+void expect_equivalent(const NsyncIds& ids, const Signal& observed,
+                       std::size_t chunk, const std::string& what) {
+  const core::Analysis batch = ids.analyze(observed);
+  const Detection batch_d = ids.detect(batch);
+
+  RealtimeMonitor mon(ids.reference(), ids.config(), ids.thresholds());
+  for (std::size_t off = 0; off < observed.frames(); off += chunk) {
+    const std::size_t hi = std::min(off + chunk, observed.frames());
+    mon.push(SignalView(observed).slice(off, hi));
+  }
+
+  // Bitwise equality — EXPECT_EQ on the raw double vectors, no tolerance.
+  ASSERT_EQ(mon.features().c_disp, batch.features.c_disp) << what;
+  ASSERT_EQ(mon.features().h_dist_f, batch.features.h_dist_f) << what;
+  ASSERT_EQ(mon.features().v_dist_f, batch.features.v_dist_f) << what;
+  ASSERT_EQ(mon.valid(), batch.valid) << what;
+  ASSERT_EQ(mon.windows(), batch.h_disp.size()) << what;
+
+  const Detection& stream_d = mon.detection();
+  EXPECT_EQ(stream_d.intrusion, batch_d.intrusion) << what;
+  EXPECT_EQ(stream_d.by_c_disp, batch_d.by_c_disp) << what;
+  EXPECT_EQ(stream_d.by_h_dist, batch_d.by_h_dist) << what;
+  EXPECT_EQ(stream_d.by_v_dist, batch_d.by_v_dist) << what;
+  EXPECT_EQ(stream_d.first_alarm_window, batch_d.first_alarm_window) << what;
+}
+
+class StreamingEquivalence : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    reference_ = make_reference(1500, 42);
+    ids_ = std::make_unique<NsyncIds>(reference_, dwm_config());
+    std::vector<Signal> train;
+    for (std::uint64_t s = 1; s <= 3; ++s) {
+      train.push_back(benign_observation(reference_, s));
+    }
+    ids_->fit(train);
+  }
+
+  Signal reference_;
+  std::unique_ptr<NsyncIds> ids_;
+};
+
+TEST_F(StreamingEquivalence, ChunkSizeSweepOnCleanSignals) {
+  // 1 frame at a time, prime sizes straddling the hop and window, and the
+  // whole signal in one push.
+  const std::size_t chunks[] = {1, 7, 31, 61, 127, 4096};
+  for (std::uint64_t seed : {10u, 11u}) {
+    const Signal benign = benign_observation(reference_, seed);
+    const Signal attack = malicious_observation(reference_, seed + 100);
+    for (std::size_t chunk : chunks) {
+      expect_equivalent(*ids_, benign, chunk,
+                        "benign seed " + std::to_string(seed) + " chunk " +
+                            std::to_string(chunk));
+      expect_equivalent(*ids_, attack, chunk,
+                        "attack seed " + std::to_string(seed) + " chunk " +
+                            std::to_string(chunk));
+    }
+  }
+}
+
+TEST_F(StreamingEquivalence, FaultRateSweep) {
+  // Corrupted streams exercise the masking/carry-forward paths; the two
+  // paths must stay bitwise identical through them.
+  for (double rate : {0.005, 0.02, 0.05}) {
+    for (std::uint64_t seed : {21u, 22u}) {
+      const Signal clean = benign_observation(reference_, seed);
+      sensors::FaultInjector inj(eval::fault_config_for_rate(rate),
+                                 /*seed=*/seed * 13);
+      const Signal faulty = inj.apply(clean);
+      for (std::size_t chunk : {1u, 31u, 4096u}) {
+        expect_equivalent(*ids_, faulty, chunk,
+                          "rate " + std::to_string(rate) + " seed " +
+                              std::to_string(seed) + " chunk " +
+                              std::to_string(chunk));
+      }
+    }
+  }
+}
+
+TEST_F(StreamingEquivalence, HardZeroAndNanSpans) {
+  Signal obs = benign_observation(reference_, 33);
+  for (std::size_t n = 300; n < 420; ++n) {
+    obs(n, 0) = 0.0;
+    obs(n, 1) = 0.0;
+  }
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  for (std::size_t n = 700; n < 790; ++n) obs(n, 1) = kNan;
+  for (std::size_t chunk : {1u, 17u, 32u, 64u, 4096u}) {
+    expect_equivalent(*ids_, obs, chunk,
+                      "hard spans chunk " + std::to_string(chunk));
+  }
+}
+
+}  // namespace
+}  // namespace nsync
