@@ -9,11 +9,22 @@
 // the fused verdict, channel health and alarm latency as the prints
 // progress.
 //
+// Crash-safe operation: with `--checkpoint <dir>` the engine atomically
+// writes `<dir>/fleet.nckp` after every poll round.  If the process dies
+// (power cut, OOM kill, SIGKILL), relaunching with `--resume` restores the
+// fleet from the checkpoint and resumes each channel's stream exactly
+// where it left off — the final verdicts are identical to a run that was
+// never interrupted (the CI crash-recovery job pins this).
+//
 //   ./fleet_monitor [sessions] [attack_session]
+//                   [--checkpoint <dir>] [--resume] [--pace-ms <n>]
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <filesystem>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/nsync.hpp"
@@ -85,10 +96,41 @@ const char* health_name(core::ChannelHealth h) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  std::vector<std::string> positional;
+  std::string checkpoint_dir;
+  bool resume = false;
+  long pace_ms = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--checkpoint" && i + 1 < argc) {
+      checkpoint_dir = argv[++i];
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--pace-ms" && i + 1 < argc) {
+      pace_ms = std::stol(argv[++i]);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: fleet_monitor [sessions] [attack_session]"
+                << " [--checkpoint <dir>] [--resume] [--pace-ms <n>]\n";
+      return 0;
+    } else if (arg.rfind("--", 0) == 0) {
+      std::cerr << "fleet_monitor: unknown flag " << arg
+                << " (see --help)\n";
+      return 2;
+    } else {
+      positional.push_back(arg);
+    }
+  }
+  if (resume && checkpoint_dir.empty()) {
+    std::cerr << "fleet_monitor: --resume requires --checkpoint <dir>\n";
+    return 2;
+  }
   const std::size_t n_sessions =
-      argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 4;
+      !positional.empty() ? static_cast<std::size_t>(std::stoul(positional[0]))
+                          : 4;
   const std::size_t attack_session =
-      argc > 2 ? static_cast<std::size_t>(std::stoul(argv[2])) : 1;
+      positional.size() > 1
+          ? static_cast<std::size_t>(std::stoul(positional[1]))
+          : 1;
   constexpr std::size_t kFrames = 6144;
   constexpr std::size_t kChunk = 256;
 
@@ -100,43 +142,82 @@ int main(int argc, char** argv) {
   cfg.dwm.n_sigma = 12.0;
   cfg.dwm.eta = 0.2;
 
-  // Calibrate each channel's thresholds once on benign prints, then share
-  // them across the fleet.
   const std::vector<std::string> channels = {"ACC", "AUD"};
   std::vector<Signal> references;
-  std::vector<core::Thresholds> thresholds;
   for (std::size_t c = 0; c < channels.size(); ++c) {
-    Signal ref = make_reference(kFrames, 7 + c);
-    core::NsyncIds ids(ref, cfg);
-    std::vector<Signal> train;
-    for (std::uint64_t s = 0; s < 3; ++s) {
-      train.push_back(benign_observation(ref, 20 * (s + 1) + c));
-    }
-    ids.fit(train);
-    thresholds.push_back(ids.thresholds());
-    references.push_back(std::move(ref));
+    references.push_back(make_reference(kFrames, 7 + c));
   }
 
-  engine::MonitorEngine eng;
-  std::vector<std::vector<Signal>> streams(n_sessions);
-  for (std::size_t s = 0; s < n_sessions; ++s) {
-    engine::SessionSpec spec;
-    spec.name = "printer-" + std::to_string(s);
-    spec.rule = core::FusionRule::kAny;
+  engine::MonitorEngineOptions opts;
+  if (!checkpoint_dir.empty()) {
+    std::filesystem::create_directories(checkpoint_dir);
+    opts.checkpoint_dir = checkpoint_dir;
+    opts.checkpoint_every_polls = 1;  // one atomic checkpoint per round
+  }
+
+  engine::MonitorEngine eng(opts);
+  if (resume) {
+    // The checkpoint is self-contained (specs + streaming state), so no
+    // recalibration is needed: restore and pick the streams back up.
+    eng = engine::MonitorEngine::restore(checkpoint_dir + "/fleet.nckp", opts);
+    if (eng.sessions() != n_sessions) {
+      std::cerr << "fleet_monitor: checkpoint holds " << eng.sessions()
+                << " sessions but " << n_sessions << " were requested\n";
+      return 2;
+    }
+    std::cout << "resumed " << eng.sessions() << " sessions from "
+              << checkpoint_dir << "/fleet.nckp\n";
+  } else {
+    // Calibrate each channel's thresholds once on benign prints, then
+    // share them across the fleet.
+    std::vector<core::Thresholds> thresholds;
     for (std::size_t c = 0; c < channels.size(); ++c) {
-      engine::ChannelSpec ch;
-      ch.name = channels[c];
-      ch.reference = references[c];
-      ch.config = cfg;
-      ch.thresholds = thresholds[c];
-      spec.channels.push_back(std::move(ch));
+      core::NsyncIds ids(references[c], cfg);
+      std::vector<Signal> train;
+      for (std::uint64_t s = 0; s < 3; ++s) {
+        train.push_back(benign_observation(references[c], 20 * (s + 1) + c));
+      }
+      ids.fit(train);
+      thresholds.push_back(ids.thresholds());
+    }
+    for (std::size_t s = 0; s < n_sessions; ++s) {
+      engine::SessionSpec spec;
+      spec.name = "printer-" + std::to_string(s);
+      spec.rule = core::FusionRule::kAny;
+      for (std::size_t c = 0; c < channels.size(); ++c) {
+        engine::ChannelSpec ch;
+        ch.name = channels[c];
+        ch.reference = references[c];
+        ch.config = cfg;
+        ch.thresholds = thresholds[c];
+        spec.channels.push_back(std::move(ch));
+      }
+      eng.add_session(std::move(spec));
+    }
+  }
+
+  // The observed streams are deterministic functions of the seeds, so a
+  // resumed process regenerates them and fast-forwards each channel to the
+  // frame count recorded in the checkpoint.
+  std::vector<std::vector<Signal>> streams(n_sessions);
+  std::vector<std::vector<std::size_t>> offsets(
+      n_sessions, std::vector<std::size_t>(channels.size(), 0));
+  for (std::size_t s = 0; s < n_sessions; ++s) {
+    for (std::size_t c = 0; c < channels.size(); ++c) {
       streams[s].push_back(s == attack_session
                                ? malicious_observation(references[c],
                                                        900 + 3 * s + c)
                                : benign_observation(references[c],
                                                     900 + 3 * s + c));
     }
-    eng.add_session(std::move(spec));
+    if (resume) {
+      const engine::SessionSnapshot snap = eng.snapshot(s);
+      for (const auto& ch : snap.channels) {
+        for (std::size_t c = 0; c < channels.size(); ++c) {
+          if (channels[c] == ch.name) offsets[s][c] = ch.frames_fed;
+        }
+      }
+    }
   }
   std::cout << "fleet: " << n_sessions << " sessions x " << channels.size()
             << " channels; session " << attack_session
@@ -145,18 +226,26 @@ int main(int argc, char** argv) {
   // Stream the fleet: interleave chunk-sized feeds across every session
   // and poll after each round, as an acquisition loop would.
   bool more = true;
-  for (std::size_t off = 0; more; off += kChunk) {
+  while (more) {
     more = false;
     for (std::size_t s = 0; s < n_sessions; ++s) {
       for (std::size_t c = 0; c < channels.size(); ++c) {
         const Signal& sig = streams[s][c];
+        const std::size_t off = offsets[s][c];
         if (off >= sig.frames()) continue;
         const std::size_t hi = std::min(off + kChunk, sig.frames());
         eng.feed(s, channels[c], signal::SignalView(sig).slice(off, hi));
+        offsets[s][c] = hi;
         if (hi < sig.frames()) more = true;
       }
     }
     eng.poll();
+    if (pace_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(pace_ms));
+    }
+  }
+  if (!checkpoint_dir.empty()) {
+    std::cout << "checkpoints written: " << eng.checkpoints_written() << "\n";
   }
 
   for (const auto& snap : eng.snapshots()) {
@@ -175,6 +264,20 @@ int main(int argc, char** argv) {
                 << health_name(ch.health) << ", " << ch.windows
                 << " windows)\n";
     }
+  }
+
+  // Machine-readable verdict lines: one per session, stable across clean
+  // and killed-and-resumed runs (the CI crash-recovery job diffs these).
+  for (const auto& snap : eng.snapshots()) {
+    std::cout << "verdict " << snap.name << " "
+              << (snap.intrusion ? "INTRUSION" : "benign") << " window="
+              << snap.first_alarm_window << " windows=" << snap.windows;
+    for (const auto& ch : snap.channels) {
+      std::cout << " " << ch.name << "="
+                << (ch.detection.intrusion ? "alarm" : "ok") << "/"
+                << health_name(ch.health);
+    }
+    std::cout << "\n";
   }
   return 0;
 }

@@ -1,0 +1,36 @@
+// libFuzzer target: the NSIG binary signal loader.
+//
+// Reference signals are long-lived on-disk artifacts loaded at monitor
+// startup, so the loader faces whatever is actually in the file — a
+// truncated copy, a corrupted sector, a forged header with absurd
+// dimensions.  It must reject all of it with std::runtime_error (the one
+// exception the API documents) and nothing else: no crashes, no OOM from
+// header-driven allocations, no other exception types escaping.
+//
+// Build: cmake -DNSYNC_BUILD_FUZZERS=ON (requires Clang; see
+// fuzz/CMakeLists.txt).  Run: ./fuzz/fuzz_signal_io -max_total_time=60
+#include <cstddef>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "signal/io.hpp"
+#include "signal/signal.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  std::istringstream in(
+      std::string(reinterpret_cast<const char*>(data), size));
+  try {
+    const nsync::signal::Signal s = nsync::signal::read_signal(in);
+    // Round-trip: anything we accepted must serialize and re-load.
+    std::ostringstream out;
+    nsync::signal::write_signal(out, nsync::signal::SignalView(s));
+    std::istringstream back(out.str());
+    (void)nsync::signal::read_signal(back);
+  } catch (const std::runtime_error&) {
+    // Expected for malformed input.
+  }
+  return 0;
+}

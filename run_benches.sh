@@ -25,6 +25,9 @@ for b in "$@"; do
   if [ "$b" = "bench_ext_multi_session" ]; then
     EXTRA_FLAGS="--json ${NSYNC_BENCH_JSON:-BENCH_multi_session.json}"
   fi
+  if [ "$b" = "bench_ext_checkpoint" ]; then
+    EXTRA_FLAGS="--json ${NSYNC_BENCH_JSON:-BENCH_checkpoint.json}"
+  fi
   # shellcheck disable=SC2086  # THREAD_FLAGS/EXTRA_FLAGS intentionally split
   NSYNC_THREADS="${NSYNC_THREADS:-}" ./build/bench/"$b" $THREAD_FLAGS \
     $EXTRA_FLAGS 2>&1

@@ -38,6 +38,11 @@
 #include "core/dwm.hpp"
 #include "signal/signal.hpp"
 
+namespace nsync::signal {
+class ByteWriter;
+class ByteReader;
+}  // namespace nsync::signal
+
 namespace nsync::core {
 
 /// Incremental trailing-minimum filter (Eq. 21-22) over a scalar stream:
@@ -60,6 +65,12 @@ class StreamingMinFilter {
   [[nodiscard]] std::size_t window() const { return window_; }
   /// Samples consumed since construction / reset().
   [[nodiscard]] std::size_t samples() const { return next_; }
+
+  /// Serializes the deque contents and stream position (checkpointing).
+  void save_state(nsync::signal::ByteWriter& w) const;
+  /// Restores state written by save_state.  Throws CheckpointError:
+  /// kMismatch on a different filter window, kCorrupt on malformed state.
+  void restore_state(nsync::signal::ByteReader& r);
 
  private:
   struct Entry {
@@ -125,6 +136,17 @@ class DetectionCore {
   /// first crossing; the per-sub-module flags keep accumulating so a
   /// finished stream reports exactly what batch `discriminate()` would.
   [[nodiscard]] const Detection& detection() const { return detection_; }
+
+  /// Serializes every window of accumulated state — features, masks,
+  /// carried values, min-filter deques, latched verdict — such that a
+  /// restored core continues the stream bitwise identically to one that
+  /// never stopped.
+  void save_state(nsync::signal::ByteWriter& w) const;
+  /// Restores state written by save_state into a core constructed with
+  /// the same parameters.  Throws CheckpointError: kMismatch when the
+  /// serialized geometry/metric/filter differ from this core's, kCorrupt
+  /// on internally inconsistent state.
+  void restore_state(nsync::signal::ByteReader& r);
 
  private:
   bool apply_window(double h_disp, double v_dist, bool ok);

@@ -22,6 +22,11 @@
 #include "signal/ring_buffer.hpp"
 #include "signal/signal.hpp"
 
+namespace nsync::signal {
+class ByteWriter;
+class ByteReader;
+}  // namespace nsync::signal
+
 namespace nsync::core {
 
 /// DWM parameters (Section VI-C, Table IV).  All counts are in samples of
@@ -110,6 +115,18 @@ class DwmSynchronizer {
   [[nodiscard]] const nsync::signal::FrameRingBuffer& observed() const {
     return observed_;
   }
+
+  /// Serializes the streaming state — retained observed frames, per-window
+  /// result arrays, the inertial tracker — plus fingerprints of the
+  /// reference and parameters (checkpointing).  The reference itself is
+  /// not stored; the restoring synchronizer must be constructed with the
+  /// same reference, which the fingerprint enforces.
+  void save_state(nsync::signal::ByteWriter& w) const;
+  /// Restores state written by save_state.  Throws CheckpointError:
+  /// kMismatch when the fingerprints disagree with this synchronizer's
+  /// reference/params, kCorrupt on internally inconsistent state.  On
+  /// throw, this synchronizer is unchanged.
+  void restore_state(nsync::signal::ByteReader& r);
 
   /// One-shot convenience: runs DWM over the whole of `a` against `b`.
   [[nodiscard]] static DwmResult align(const nsync::signal::SignalView& a,

@@ -23,6 +23,11 @@
 #include <string>
 #include <vector>
 
+namespace nsync::signal {
+class ByteWriter;
+class ByteReader;
+}  // namespace nsync::signal
+
 namespace nsync::core {
 
 enum class ChannelHealth {
@@ -65,7 +70,22 @@ class ChannelHealthMonitor {
   [[nodiscard]] std::size_t observed() const { return observed_; }
   /// Total invalid windows seen (not just recent history).
   [[nodiscard]] std::size_t invalid_total() const { return invalid_total_; }
+  /// Current run of consecutive valid windows (the recovery-hysteresis
+  /// counter; exposed so restore-equivalence tests can assert the streak
+  /// resumed rather than reset).
+  [[nodiscard]] std::size_t valid_streak() const { return valid_streak_; }
+  /// Current run of consecutive invalid windows (the offline-demotion
+  /// counter).
+  [[nodiscard]] std::size_t invalid_streak() const { return invalid_streak_; }
   [[nodiscard]] const HealthPolicy& policy() const { return policy_; }
+
+  /// Serializes the state machine — state, sliding history, hysteresis
+  /// streaks, lifetime counters (checkpointing).
+  void save_state(nsync::signal::ByteWriter& w) const;
+  /// Restores state written by save_state.  Throws CheckpointError:
+  /// kMismatch when the serialized policy differs from this monitor's,
+  /// kCorrupt on malformed state.
+  void restore_state(nsync::signal::ByteReader& r);
 
  private:
   HealthPolicy policy_;

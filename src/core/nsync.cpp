@@ -5,6 +5,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "signal/checkpoint.hpp"
 #include "signal/stats.hpp"
 
 namespace nsync::core {
@@ -145,6 +146,35 @@ std::size_t RealtimeMonitor::push(const SignalView& frames) {
 void RealtimeMonitor::reserve_windows(std::size_t n_windows) {
   sync_.reserve_windows(n_windows);
   core_.reserve(n_windows);
+}
+
+void RealtimeMonitor::save_state(nsync::signal::ByteWriter& w) const {
+  sync_.save_state(w);
+  core_.save_state(w);
+  health_.save_state(w);
+}
+
+void RealtimeMonitor::restore_state(nsync::signal::ByteReader& r) {
+  // Restore into copies so a failure partway through (e.g. the core
+  // section is corrupt after the synchronizer already parsed) leaves this
+  // monitor untouched.
+  DwmSynchronizer sync = sync_;
+  DetectionCore core = core_;
+  ChannelHealthMonitor health = health_;
+  sync.restore_state(r);
+  core.restore_state(r);
+  health.restore_state(r);
+  // The three machines advance in lockstep — one core step and one health
+  // observation per synchronizer window.
+  if (core.windows() != sync.windows() ||
+      health.observed() != sync.windows()) {
+    throw nsync::signal::CheckpointError(
+        nsync::signal::CheckpointErrorKind::kCorrupt,
+        "RealtimeMonitor: synchronizer/core/health window counts disagree");
+  }
+  sync_ = std::move(sync);
+  core_ = std::move(core);
+  health_ = std::move(health);
 }
 
 }  // namespace nsync::core

@@ -153,6 +153,26 @@ class RealtimeMonitor {
     return health_;
   }
 
+  /// The configuration this monitor was constructed with (checkpointing
+  /// needs it to rebuild an identical monitor before restore_state).
+  [[nodiscard]] const NsyncConfig& config() const { return config_; }
+  /// The armed OCC thresholds.
+  [[nodiscard]] const Thresholds& thresholds() const {
+    return core_.thresholds();
+  }
+  /// The reference signal this monitor synchronizes against.
+  [[nodiscard]] const nsync::signal::Signal& reference() const {
+    return sync_.reference();
+  }
+
+  /// Serializes the full streaming state — synchronizer, detection core,
+  /// health machine — so a monitor restored into the same configuration
+  /// continues the stream bitwise identically to one that never stopped.
+  void save_state(nsync::signal::ByteWriter& w) const;
+  /// Restores state written by save_state.  Throws CheckpointError
+  /// (kMismatch/kCorrupt); on throw this monitor is unchanged.
+  void restore_state(nsync::signal::ByteReader& r);
+
  private:
   DwmSynchronizer sync_;
   NsyncConfig config_;

@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "runtime/thread_pool.hpp"
+#include "signal/checkpoint.hpp"
 
 namespace nsync::engine {
 
@@ -53,14 +54,18 @@ std::size_t MonitorEngine::add_session(SessionSpec spec) {
 
 MonitorEngine::Session& MonitorEngine::session_at(std::size_t id) {
   if (id >= sessions_.size()) {
-    throw std::out_of_range("MonitorEngine: no session " + std::to_string(id));
+    throw std::out_of_range("MonitorEngine: no session " + std::to_string(id) +
+                            " (" + std::to_string(sessions_.size()) +
+                            " sessions registered)");
   }
   return *sessions_[id];
 }
 
 const MonitorEngine::Session& MonitorEngine::session_at(std::size_t id) const {
   if (id >= sessions_.size()) {
-    throw std::out_of_range("MonitorEngine: no session " + std::to_string(id));
+    throw std::out_of_range("MonitorEngine: no session " + std::to_string(id) +
+                            " (" + std::to_string(sessions_.size()) +
+                            " sessions registered)");
   }
   return *sessions_[id];
 }
@@ -79,7 +84,8 @@ std::size_t MonitorEngine::feed(std::size_t session,
   }
   if (target == nullptr) {
     throw std::invalid_argument("MonitorEngine::feed: unknown channel '" +
-                                channel + "'");
+                                channel + "' in session '" + s.name + "' (id " +
+                                std::to_string(session) + ")");
   }
   target->staging.append(frames);
   s.frames_fed += frames.frames();
@@ -131,7 +137,26 @@ std::size_t MonitorEngine::poll() {
     const std::scoped_lock lock(s.mu);
     total.fetch_add(drain_locked(s), std::memory_order_relaxed);
   });
-  return total.load(std::memory_order_relaxed);
+  const std::size_t windows = total.load(std::memory_order_relaxed);
+  maybe_checkpoint(windows);
+  return windows;
+}
+
+void MonitorEngine::maybe_checkpoint(std::size_t windows) {
+  if (options_.checkpoint_dir.empty()) return;
+  ++polls_since_checkpoint_;
+  windows_since_checkpoint_ += windows;
+  const bool poll_trigger = options_.checkpoint_every_polls > 0 &&
+                            polls_since_checkpoint_ >=
+                                options_.checkpoint_every_polls;
+  const bool window_trigger = options_.checkpoint_every_windows > 0 &&
+                              windows_since_checkpoint_ >=
+                                  options_.checkpoint_every_windows;
+  if (!poll_trigger && !window_trigger) return;
+  checkpoint(checkpoint_path());
+  polls_since_checkpoint_ = 0;
+  windows_since_checkpoint_ = 0;
+  ++checkpoints_written_;
 }
 
 std::size_t MonitorEngine::poll_session(std::size_t session) {
@@ -155,6 +180,7 @@ SessionSnapshot MonitorEngine::snapshot_locked(const Session& s) {
     cs.health = c.monitor.health();
     cs.windows = c.monitor.windows();
     cs.pending_frames = c.staging.retained_frames();
+    cs.frames_fed = c.staging.end();
     out.windows = std::min(out.windows, cs.windows);
     if (cs.health != core::ChannelHealth::kOffline) {
       ++out.online_channels;
@@ -179,6 +205,213 @@ std::vector<SessionSnapshot> MonitorEngine::snapshots() const {
     out.push_back(snapshot(i));
   }
   return out;
+}
+
+namespace {
+
+// Checkpoint section ids (outer structure of the fleet payload).
+constexpr std::uint32_t kSecFleet = 0x544C4601;    // "\x01FLT"
+constexpr std::uint32_t kSecSession = 0x53455301;  // "\x01SES"
+constexpr std::uint32_t kSecChannel = 0x43484E01;  // "\x01CHN"
+
+void save_config(nsync::signal::ByteWriter& w, const core::NsyncConfig& cfg) {
+  w.pod<std::uint32_t>(static_cast<std::uint32_t>(cfg.sync));
+  w.pod<std::uint64_t>(cfg.dwm.n_win);
+  w.pod<std::uint64_t>(cfg.dwm.n_hop);
+  w.pod<std::uint64_t>(cfg.dwm.n_ext);
+  w.pod<double>(cfg.dwm.n_sigma);
+  w.pod<double>(cfg.dwm.eta);
+  w.pod<std::uint8_t>(cfg.dwm.tde.use_fft ? 1 : 0);
+  w.pod<std::uint64_t>(cfg.dtw_radius);
+  w.pod<std::uint32_t>(static_cast<std::uint32_t>(cfg.metric));
+  w.pod<std::uint64_t>(cfg.filter_window);
+  w.pod<double>(cfg.r);
+  w.pod<std::uint64_t>(cfg.health.history);
+  w.pod<double>(cfg.health.degraded_fraction);
+  w.pod<std::uint64_t>(cfg.health.offline_consecutive);
+  w.pod<std::uint64_t>(cfg.health.recovery_consecutive);
+}
+
+core::NsyncConfig load_config(nsync::signal::ByteReader& r) {
+  core::NsyncConfig cfg;
+  const auto sync = r.pod<std::uint32_t>();
+  if (sync > static_cast<std::uint32_t>(core::SyncMethod::kDtw)) {
+    throw nsync::signal::CheckpointError(
+        nsync::signal::CheckpointErrorKind::kCorrupt,
+        "MonitorEngine checkpoint: unknown sync method " +
+            std::to_string(sync));
+  }
+  cfg.sync = static_cast<core::SyncMethod>(sync);
+  cfg.dwm.n_win = r.pod<std::uint64_t>();
+  cfg.dwm.n_hop = r.pod<std::uint64_t>();
+  cfg.dwm.n_ext = r.pod<std::uint64_t>();
+  cfg.dwm.n_sigma = r.pod<double>();
+  cfg.dwm.eta = r.pod<double>();
+  cfg.dwm.tde.use_fft = r.pod<std::uint8_t>() != 0;
+  cfg.dtw_radius = r.pod<std::uint64_t>();
+  const auto metric = r.pod<std::uint32_t>();
+  if (metric > static_cast<std::uint32_t>(core::DistanceMetric::kCorrelation)) {
+    throw nsync::signal::CheckpointError(
+        nsync::signal::CheckpointErrorKind::kCorrupt,
+        "MonitorEngine checkpoint: unknown distance metric " +
+            std::to_string(metric));
+  }
+  cfg.metric = static_cast<core::DistanceMetric>(metric);
+  cfg.filter_window = r.pod<std::uint64_t>();
+  cfg.r = r.pod<double>();
+  cfg.health.history = r.pod<std::uint64_t>();
+  cfg.health.degraded_fraction = r.pod<double>();
+  cfg.health.offline_consecutive = r.pod<std::uint64_t>();
+  cfg.health.recovery_consecutive = r.pod<std::uint64_t>();
+  return cfg;
+}
+
+}  // namespace
+
+void MonitorEngine::save_session(nsync::signal::ByteWriter& w,
+                                 const Session& s) {
+  const std::size_t tok = w.begin_section(kSecSession);
+  w.str(s.name);
+  w.pod<std::uint32_t>(static_cast<std::uint32_t>(s.rule));
+  w.pod<std::uint64_t>(s.frames_fed);
+  w.pod<std::uint8_t>(s.intrusion ? 1 : 0);
+  w.pod<std::int64_t>(s.first_alarm_window);
+  w.pod<std::uint64_t>(s.channels.size());
+  for (const auto& c : s.channels) {
+    const std::size_t ctok = w.begin_section(kSecChannel);
+    w.str(c.name);
+    // Full spec first, so restore() can rebuild the channel from the file
+    // alone before applying the dynamic state.
+    w.signal(SignalView(c.monitor.reference()));
+    save_config(w, c.monitor.config());
+    const core::Thresholds& t = c.monitor.thresholds();
+    w.pod<double>(t.c_c);
+    w.pod<double>(t.h_c);
+    w.pod<double>(t.v_c);
+    c.monitor.save_state(w);
+    c.staging.save_state(w);
+    w.end_section(ctok);
+  }
+  w.end_section(tok);
+}
+
+std::vector<std::uint8_t> MonitorEngine::serialize() const {
+  nsync::signal::ByteWriter w;
+  const std::size_t tok = w.begin_section(kSecFleet);
+  w.pod<std::uint64_t>(sessions_.size());
+  for (const auto& s : sessions_) {
+    const std::scoped_lock lock(s->mu);
+    save_session(w, *s);
+  }
+  w.end_section(tok);
+  return w.take();
+}
+
+void MonitorEngine::checkpoint(const std::string& path) const {
+  const std::vector<std::uint8_t> payload = serialize();
+  nsync::signal::write_checkpoint_file(path, payload);
+}
+
+std::string MonitorEngine::checkpoint_path() const {
+  if (options_.checkpoint_dir.empty()) return {};
+  return options_.checkpoint_dir + "/fleet.nckp";
+}
+
+MonitorEngine MonitorEngine::restore_from_bytes(
+    std::span<const std::uint8_t> payload, MonitorEngineOptions options) {
+  using nsync::signal::ByteReader;
+  using nsync::signal::CheckpointError;
+  using nsync::signal::CheckpointErrorKind;
+  MonitorEngine engine(std::move(options));
+  try {
+    ByteReader top(payload);
+    ByteReader fleet = top.section(kSecFleet);
+    top.finish();
+    const auto n_sessions = fleet.pod<std::uint64_t>();
+    if (n_sessions > fleet.remaining()) {
+      throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                            "MonitorEngine checkpoint: implausible session "
+                            "count " +
+                                std::to_string(n_sessions));
+    }
+    for (std::uint64_t i = 0; i < n_sessions; ++i) {
+      ByteReader sr = fleet.section(kSecSession);
+      SessionSpec spec;
+      spec.name = sr.str();
+      const auto rule = sr.pod<std::uint32_t>();
+      if (rule > static_cast<std::uint32_t>(core::FusionRule::kAll)) {
+        throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                              "MonitorEngine checkpoint: unknown fusion "
+                              "rule " +
+                                  std::to_string(rule));
+      }
+      spec.rule = static_cast<core::FusionRule>(rule);
+      const auto frames_fed = sr.pod<std::uint64_t>();
+      const auto intrusion = sr.pod<std::uint8_t>();
+      const auto first_alarm = sr.pod<std::int64_t>();
+      if (intrusion > 1 || first_alarm < -1 ||
+          (intrusion == 0 && first_alarm != -1)) {
+        throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                              "MonitorEngine checkpoint: inconsistent fused "
+                              "verdict in session '" +
+                                  spec.name + "'");
+      }
+      const auto n_channels = sr.pod<std::uint64_t>();
+      if (n_channels == 0 || n_channels > sr.remaining()) {
+        throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                              "MonitorEngine checkpoint: implausible channel "
+                              "count in session '" +
+                                  spec.name + "'");
+      }
+      // Two passes over the channel sections: the spec fields rebuild the
+      // monitors (add_session), after which the saved sub-readers replay
+      // the dynamic state into them.
+      std::vector<ByteReader> state_readers;
+      state_readers.reserve(n_channels);
+      spec.channels.reserve(n_channels);
+      for (std::uint64_t j = 0; j < n_channels; ++j) {
+        ByteReader cr = sr.section(kSecChannel);
+        ChannelSpec cs;
+        cs.name = cr.str();
+        cs.reference = cr.signal();
+        cs.config = load_config(cr);
+        cs.thresholds.c_c = cr.pod<double>();
+        cs.thresholds.h_c = cr.pod<double>();
+        cs.thresholds.v_c = cr.pod<double>();
+        spec.channels.push_back(std::move(cs));
+        state_readers.push_back(cr);  // positioned at the dynamic state
+      }
+      sr.finish();
+      const std::size_t id = engine.add_session(std::move(spec));
+      Session& s = *engine.sessions_[id];
+      s.frames_fed = frames_fed;
+      s.intrusion = intrusion != 0;
+      s.first_alarm_window = first_alarm;
+      for (std::uint64_t j = 0; j < n_channels; ++j) {
+        Channel& c = s.channels[j];
+        ByteReader& cr = state_readers[j];
+        c.monitor.restore_state(cr);
+        c.staging.restore_state(cr);
+        cr.finish();
+      }
+    }
+    fleet.finish();
+  } catch (const CheckpointError&) {
+    throw;
+  } catch (const std::exception& e) {
+    // Constructor/validation failures on hostile spec bytes (e.g.
+    // DwmParams::validate) surface as the one typed error restore promises.
+    throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                          std::string("MonitorEngine checkpoint: ") + e.what());
+  }
+  return engine;
+}
+
+MonitorEngine MonitorEngine::restore(const std::string& path,
+                                     MonitorEngineOptions options) {
+  const std::vector<std::uint8_t> payload =
+      nsync::signal::read_checkpoint_file(path);
+  return restore_from_bytes(payload, std::move(options));
 }
 
 }  // namespace nsync::engine

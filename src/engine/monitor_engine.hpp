@@ -21,8 +21,10 @@
 #define NSYNC_ENGINE_MONITOR_ENGINE_HPP
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,6 +33,11 @@
 #include "core/nsync.hpp"
 #include "signal/ring_buffer.hpp"
 #include "signal/signal.hpp"
+
+namespace nsync::signal {
+class ByteWriter;
+class ByteReader;
+}  // namespace nsync::signal
 
 namespace nsync::engine {
 
@@ -58,6 +65,9 @@ struct ChannelSnapshot {
   core::ChannelHealth health = core::ChannelHealth::kHealthy;
   std::size_t windows = 0;         ///< windows processed so far
   std::size_t pending_frames = 0;  ///< staged frames awaiting poll()
+  /// Total frames ever fed to this channel (processed + pending).  After a
+  /// restore this tells the feeder where to resume its stream.
+  std::size_t frames_fed = 0;
 };
 
 /// Point-in-time view of one session: the fused verdict plus per-channel
@@ -81,6 +91,18 @@ struct MonitorEngineOptions {
   /// inline by feed() (that session only), bounding per-session memory
   /// even when the caller never polls.  0 disables the backstop.
   std::size_t max_pending_frames = 65536;
+
+  /// When non-empty, poll() periodically writes an atomic checkpoint of
+  /// the whole fleet to `<checkpoint_dir>/fleet.nckp` (see
+  /// checkpoint_path()).  The directory must already exist.
+  std::string checkpoint_dir;
+  /// Checkpoint after this many poll() calls (counting from the previous
+  /// checkpoint).  0 disables the poll-count trigger.
+  std::size_t checkpoint_every_polls = 1;
+  /// Additionally checkpoint once this many windows have been processed
+  /// since the previous checkpoint (fires at the first poll() that crosses
+  /// the total).  0 disables the window-count trigger.
+  std::size_t checkpoint_every_windows = 0;
 };
 
 /// N concurrent streaming sessions over the shared thread pool.
@@ -116,6 +138,47 @@ class MonitorEngine {
   [[nodiscard]] SessionSnapshot snapshot(std::size_t session) const;
   [[nodiscard]] std::vector<SessionSnapshot> snapshots() const;
 
+  // --- Crash-safe checkpointing -------------------------------------------
+  //
+  // A checkpoint is self-contained: it stores every session's full spec
+  // (names, reference signals, configs, thresholds) plus all streaming
+  // state (synchronizer rings, detection cores, health machines, staging
+  // buffers, fused verdicts), so restore() rebuilds the entire fleet from
+  // the file alone.  The bitwise-recovery property (tests/
+  // test_checkpoint.cpp): kill the process at any point, restore the last
+  // checkpoint, replay the frames fed since, and every detection, health
+  // state, fused verdict and first_alarm_window is identical to a run
+  // that never stopped.
+
+  /// Serializes the whole fleet into a checkpoint payload (unframed).
+  /// Takes each session's lock in turn; may run concurrently with feed().
+  [[nodiscard]] std::vector<std::uint8_t> serialize() const;
+
+  /// serialize() + container framing + atomic file replacement.  A crash
+  /// mid-write leaves the previous checkpoint at `path` intact.  Throws
+  /// CheckpointError(kIo) on filesystem failure.
+  void checkpoint(const std::string& path) const;
+
+  /// Rebuilds a fleet from a checkpoint payload.  Throws CheckpointError
+  /// (kTruncated/kCorrupt/kMismatch) on malformed input; never applies a
+  /// partial restore (the engine is built fresh or not at all).
+  [[nodiscard]] static MonitorEngine restore_from_bytes(
+      std::span<const std::uint8_t> payload, MonitorEngineOptions options = {});
+
+  /// Reads, validates and restores a checkpoint file written by
+  /// checkpoint().  Adds kIo/kBadMagic/kBadVersion to the error set.
+  [[nodiscard]] static MonitorEngine restore(const std::string& path,
+                                             MonitorEngineOptions options = {});
+
+  /// Where the periodic policy writes its checkpoint
+  /// (`<checkpoint_dir>/fleet.nckp`); empty when the policy is disabled.
+  [[nodiscard]] std::string checkpoint_path() const;
+
+  /// Checkpoints written by the periodic policy so far.
+  [[nodiscard]] std::size_t checkpoints_written() const {
+    return checkpoints_written_;
+  }
+
  private:
   struct Channel {
     std::string name;
@@ -141,11 +204,18 @@ class MonitorEngine {
   /// the fused verdict.  Caller must hold s.mu.
   std::size_t drain_locked(Session& s);
   static SessionSnapshot snapshot_locked(const Session& s);
+  static void save_session(nsync::signal::ByteWriter& w, const Session& s);
+  /// Fires the periodic checkpoint policy after a poll that processed
+  /// `windows` windows.
+  void maybe_checkpoint(std::size_t windows);
 
   MonitorEngineOptions options_;
   // unique_ptr keeps Session addresses (and their mutexes) stable while
   // the vector grows.
   std::vector<std::unique_ptr<Session>> sessions_;
+  std::size_t polls_since_checkpoint_ = 0;
+  std::size_t windows_since_checkpoint_ = 0;
+  std::size_t checkpoints_written_ = 0;
 };
 
 }  // namespace nsync::engine

@@ -1,0 +1,338 @@
+#include "signal/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <bit>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace nsync::signal {
+
+static_assert(std::endian::native == std::endian::little,
+              "checkpoint serialization assumes a little-endian host");
+
+namespace {
+
+constexpr std::array<char, 4> kMagic = {'N', 'C', 'K', 'P'};
+constexpr std::uint32_t kVersion = 1;
+// Header: magic + u32 version + u64 payload length; footer: u32 CRC.
+constexpr std::size_t kHeaderBytes = 4 + 4 + 8;
+constexpr std::size_t kFooterBytes = 4;
+
+[[nodiscard]] std::string errno_message(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+std::string checkpoint_error_kind_name(CheckpointErrorKind k) {
+  switch (k) {
+    case CheckpointErrorKind::kIo: return "checkpoint io error";
+    case CheckpointErrorKind::kBadMagic: return "checkpoint bad magic";
+    case CheckpointErrorKind::kBadVersion: return "checkpoint bad version";
+    case CheckpointErrorKind::kTruncated: return "checkpoint truncated";
+    case CheckpointErrorKind::kCorrupt: return "checkpoint corrupt";
+    case CheckpointErrorKind::kMismatch: return "checkpoint mismatch";
+  }
+  return "checkpoint error";
+}
+
+std::uint32_t crc32(const void* data, std::size_t bytes) {
+  // Table-driven reflected CRC-32 (polynomial 0xEDB88320).  The table is
+  // built once on first use; thread-safe via static-local init.
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------------------
+// ByteWriter
+
+void ByteWriter::append(const void* data, std::size_t n) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  buf_.insert(buf_.end(), p, p + n);
+}
+
+void ByteWriter::f64_array(std::span<const double> values) {
+  pod<std::uint64_t>(values.size());
+  append(values.data(), values.size() * sizeof(double));
+}
+
+void ByteWriter::u8_array(std::span<const std::uint8_t> values) {
+  pod<std::uint64_t>(values.size());
+  append(values.data(), values.size());
+}
+
+void ByteWriter::str(const std::string& s) {
+  pod<std::uint64_t>(s.size());
+  append(s.data(), s.size());
+}
+
+void ByteWriter::signal(const SignalView& s) {
+  pod<std::uint64_t>(s.frames());
+  pod<std::uint64_t>(s.channels());
+  pod<double>(s.sample_rate());
+  f64_array({s.data(), s.frames() * s.channels()});
+}
+
+std::size_t ByteWriter::begin_section(std::uint32_t id) {
+  pod<std::uint32_t>(id);
+  const std::size_t token = buf_.size();
+  pod<std::uint64_t>(0);  // patched by end_section
+  return token;
+}
+
+void ByteWriter::end_section(std::size_t token) {
+  const std::uint64_t length = buf_.size() - token - sizeof(std::uint64_t);
+  std::memcpy(buf_.data() + token, &length, sizeof(length));
+}
+
+// ---------------------------------------------------------------------------
+// ByteReader
+
+void ByteReader::require(std::size_t n) const {
+  if (n > remaining()) {
+    throw CheckpointError(
+        CheckpointErrorKind::kTruncated,
+        "need " + std::to_string(n) + " bytes, have " +
+            std::to_string(remaining()));
+  }
+}
+
+std::vector<double> ByteReader::f64_array() {
+  const auto count = pod<std::uint64_t>();
+  if (count > remaining() / sizeof(double)) {
+    throw CheckpointError(CheckpointErrorKind::kTruncated,
+                          "f64 array of " + std::to_string(count) +
+                              " elements exceeds remaining bytes");
+  }
+  std::vector<double> out(static_cast<std::size_t>(count));
+  std::memcpy(out.data(), data_.data() + pos_, out.size() * sizeof(double));
+  pos_ += out.size() * sizeof(double);
+  return out;
+}
+
+std::vector<std::uint8_t> ByteReader::u8_array() {
+  const auto count = pod<std::uint64_t>();
+  if (count > remaining()) {
+    throw CheckpointError(CheckpointErrorKind::kTruncated,
+                          "u8 array of " + std::to_string(count) +
+                              " elements exceeds remaining bytes");
+  }
+  std::vector<std::uint8_t> out(
+      data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+      data_.begin() + static_cast<std::ptrdiff_t>(pos_ + count));
+  pos_ += static_cast<std::size_t>(count);
+  return out;
+}
+
+std::string ByteReader::str() {
+  const auto count = pod<std::uint64_t>();
+  if (count > remaining()) {
+    throw CheckpointError(CheckpointErrorKind::kTruncated,
+                          "string of " + std::to_string(count) +
+                              " bytes exceeds remaining bytes");
+  }
+  std::string out(reinterpret_cast<const char*>(data_.data() + pos_),
+                  static_cast<std::size_t>(count));
+  pos_ += static_cast<std::size_t>(count);
+  return out;
+}
+
+Signal ByteReader::signal() {
+  const auto frames = pod<std::uint64_t>();
+  const auto channels = pod<std::uint64_t>();
+  const auto rate = pod<double>();
+  std::vector<double> samples = f64_array();
+  if (channels == 0 || !(rate > 0.0) ||
+      samples.size() != frames * channels) {
+    throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                          "implausible serialized signal header");
+  }
+  Signal s = Signal::empty(static_cast<std::size_t>(channels), rate);
+  s.append(SignalView(samples.data(), static_cast<std::size_t>(frames),
+                      static_cast<std::size_t>(channels), rate));
+  return s;
+}
+
+ByteReader ByteReader::section(std::uint32_t expected_id) {
+  const auto id = pod<std::uint32_t>();
+  if (id != expected_id) {
+    throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                          "expected section " + std::to_string(expected_id) +
+                              ", found " + std::to_string(id));
+  }
+  const auto length = pod<std::uint64_t>();
+  require(static_cast<std::size_t>(length));
+  ByteReader sub(data_.subspan(pos_, static_cast<std::size_t>(length)));
+  pos_ += static_cast<std::size_t>(length);
+  return sub;
+}
+
+void ByteReader::finish() const {
+  if (remaining() != 0) {
+    throw CheckpointError(
+        CheckpointErrorKind::kCorrupt,
+        std::to_string(remaining()) + " trailing bytes after payload");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Container framing
+
+std::vector<std::uint8_t> frame_checkpoint(
+    std::span<const std::uint8_t> payload) {
+  ByteWriter w;
+  w.bytes(kMagic.data(), kMagic.size());
+  w.pod<std::uint32_t>(kVersion);
+  w.pod<std::uint64_t>(payload.size());
+  w.bytes(payload.data(), payload.size());
+  w.pod<std::uint32_t>(crc32(payload.data(), payload.size()));
+  return w.take();
+}
+
+std::span<const std::uint8_t> unframe_checkpoint(
+    std::span<const std::uint8_t> file) {
+  if (file.size() < kMagic.size()) {
+    throw CheckpointError(CheckpointErrorKind::kTruncated,
+                          "file shorter than the magic");
+  }
+  if (std::memcmp(file.data(), kMagic.data(), kMagic.size()) != 0) {
+    throw CheckpointError(CheckpointErrorKind::kBadMagic,
+                          "not an NCKP checkpoint file");
+  }
+  if (file.size() < kHeaderBytes + kFooterBytes) {
+    throw CheckpointError(CheckpointErrorKind::kTruncated,
+                          "file shorter than the fixed header + footer");
+  }
+  std::uint32_t version = 0;
+  std::memcpy(&version, file.data() + 4, sizeof(version));
+  if (version != kVersion) {
+    throw CheckpointError(CheckpointErrorKind::kBadVersion,
+                          "format version " + std::to_string(version) +
+                              ", this build reads version " +
+                              std::to_string(kVersion));
+  }
+  std::uint64_t payload_bytes = 0;
+  std::memcpy(&payload_bytes, file.data() + 8, sizeof(payload_bytes));
+  if (payload_bytes != file.size() - kHeaderBytes - kFooterBytes) {
+    throw CheckpointError(
+        CheckpointErrorKind::kTruncated,
+        "declared payload of " + std::to_string(payload_bytes) +
+            " bytes does not match file size " + std::to_string(file.size()));
+  }
+  const std::span<const std::uint8_t> payload =
+      file.subspan(kHeaderBytes, static_cast<std::size_t>(payload_bytes));
+  std::uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, file.data() + file.size() - kFooterBytes,
+              sizeof(stored_crc));
+  if (stored_crc != crc32(payload.data(), payload.size())) {
+    throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                          "payload CRC mismatch");
+  }
+  return payload;
+}
+
+// ---------------------------------------------------------------------------
+// Atomic file replacement (POSIX)
+
+void atomic_write_file(const std::string& path,
+                       std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    throw CheckpointError(CheckpointErrorKind::kIo,
+                          errno_message("cannot create '" + tmp + "'"));
+  }
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ::ssize_t n =
+        ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const std::string msg = errno_message("write to '" + tmp + "' failed");
+      ::close(fd);
+      ::unlink(tmp.c_str());
+      throw CheckpointError(CheckpointErrorKind::kIo, msg);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    const std::string msg = errno_message("fsync of '" + tmp + "' failed");
+    ::close(fd);
+    ::unlink(tmp.c_str());
+    throw CheckpointError(CheckpointErrorKind::kIo, msg);
+  }
+  if (::close(fd) != 0) {
+    const std::string msg = errno_message("close of '" + tmp + "' failed");
+    ::unlink(tmp.c_str());
+    throw CheckpointError(CheckpointErrorKind::kIo, msg);
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const std::string msg =
+        errno_message("rename '" + tmp + "' -> '" + path + "' failed");
+    ::unlink(tmp.c_str());
+    throw CheckpointError(CheckpointErrorKind::kIo, msg);
+  }
+  // Persist the rename itself: fsync the containing directory so the new
+  // file survives a power cut, not just a process crash.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dfd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (dfd >= 0) {
+    // Best-effort: some filesystems reject directory fsync; the rename is
+    // already atomic for crash (not power-loss) purposes either way.
+    (void)::fsync(dfd);
+    ::close(dfd);
+  }
+}
+
+void write_checkpoint_file(const std::string& path,
+                           std::span<const std::uint8_t> payload) {
+  const std::vector<std::uint8_t> file = frame_checkpoint(payload);
+  atomic_write_file(path, file);
+}
+
+std::vector<std::uint8_t> read_checkpoint_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    throw CheckpointError(CheckpointErrorKind::kIo,
+                          errno_message("cannot open '" + path + "'"));
+  }
+  std::vector<std::uint8_t> bytes;
+  std::array<std::uint8_t, 1 << 16> chunk;
+  std::size_t n = 0;
+  while ((n = std::fread(chunk.data(), 1, chunk.size(), f)) > 0) {
+    bytes.insert(bytes.end(), chunk.data(), chunk.data() + n);
+  }
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) {
+    throw CheckpointError(CheckpointErrorKind::kIo,
+                          "read of '" + path + "' failed");
+  }
+  const std::span<const std::uint8_t> payload = unframe_checkpoint(bytes);
+  return {payload.begin(), payload.end()};
+}
+
+}  // namespace nsync::signal

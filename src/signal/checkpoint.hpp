@@ -1,0 +1,180 @@
+// Crash-safe checkpoint serialization for the streaming fleet.
+//
+// NSYNC's value is in-process detection: every byte of detection state —
+// synchronizer rings, min-filter deques, CADHD accumulators, health
+// machines, latched verdicts — otherwise lives only in RAM, so a monitor
+// host crash silently resets every session to "benign", exactly the
+// window an attacker wants.  This module provides the primitives the
+// streaming classes serialize themselves with, and the hardened on-disk
+// container they are stored in:
+//
+//   * ByteWriter / ByteReader — little-endian POD + length-prefixed array
+//     encoding with strict bounds checking.  Doubles round-trip as raw
+//     bits, so restored state is bitwise identical to the saved state
+//     (the restore-equivalence property tests depend on this).
+//   * Sections — (u32 id | u64 length | payload) envelopes that let a
+//     reader validate structure and reject foreign/corrupt payloads with
+//     a typed error instead of misparsing them.
+//   * Container framing — magic "NCKP" | u32 version | u64 payload length
+//     | payload | u32 CRC32(payload).  Truncated, corrupt and
+//     version-mismatched files are rejected with CheckpointError; nothing
+//     is ever partially applied.
+//   * Atomic file replacement — write to "<path>.tmp", fsync, rename over
+//     `path`.  A crash mid-write leaves the previous checkpoint loadable.
+//
+// Every failure mode throws CheckpointError with a machine-readable kind;
+// no other exception type escapes the loaders (fuzz/fuzz_checkpoint pins
+// this).
+#ifndef NSYNC_SIGNAL_CHECKPOINT_HPP
+#define NSYNC_SIGNAL_CHECKPOINT_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "signal/signal.hpp"
+
+namespace nsync::signal {
+
+/// Why a checkpoint operation failed (CheckpointError::kind()).
+enum class CheckpointErrorKind {
+  kIo,          ///< open/write/fsync/rename/read failure
+  kBadMagic,    ///< not a checkpoint file at all
+  kBadVersion,  ///< a checkpoint, but from an incompatible format version
+  kTruncated,   ///< file/section shorter than its declared contents
+  kCorrupt,     ///< CRC mismatch, implausible counts, malformed structure
+  kMismatch,    ///< valid state, but for a different object configuration
+};
+
+[[nodiscard]] std::string checkpoint_error_kind_name(CheckpointErrorKind k);
+
+/// The one exception type every checkpoint save/restore path throws.
+class CheckpointError : public std::runtime_error {
+ public:
+  CheckpointError(CheckpointErrorKind kind, const std::string& message)
+      : std::runtime_error(checkpoint_error_kind_name(kind) + ": " + message),
+        kind_(kind) {}
+
+  [[nodiscard]] CheckpointErrorKind kind() const { return kind_; }
+
+ private:
+  CheckpointErrorKind kind_;
+};
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte range.
+[[nodiscard]] std::uint32_t crc32(const void* data, std::size_t bytes);
+
+/// Append-only little-endian encoder.  All multi-byte values are written
+/// via memcpy of their object representation (the build asserts a
+/// little-endian host, matching the NSIG signal format).
+class ByteWriter {
+ public:
+  template <typename T>
+  void pod(const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteWriter::pod needs a trivially copyable type");
+    append(&value, sizeof(T));
+  }
+
+  void bytes(const void* data, std::size_t n) { append(data, n); }
+
+  /// u64 element count followed by the raw values.
+  void f64_array(std::span<const double> values);
+  void u8_array(std::span<const std::uint8_t> values);
+
+  /// u64 byte count followed by the characters.
+  void str(const std::string& s);
+
+  /// Full signal state: u64 frames | u64 channels | f64 rate | samples.
+  void signal(const SignalView& s);
+
+  /// Opens a (u32 id | u64 length | ...) section and returns a token for
+  /// end_section(), which patches the length in place.  Sections nest.
+  [[nodiscard]] std::size_t begin_section(std::uint32_t id);
+  void end_section(std::size_t token);
+
+  [[nodiscard]] std::span<const std::uint8_t> data() const { return buf_; }
+  [[nodiscard]] std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  void append(const void* data, std::size_t n);
+
+  std::vector<std::uint8_t> buf_;
+};
+
+/// Bounds-checked decoder over a byte span.  Every read validates that
+/// the declared contents fit in the remaining bytes and throws
+/// CheckpointError (kTruncated/kCorrupt) otherwise — a malformed blob can
+/// never cause an out-of-range read or an absurd allocation.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  template <typename T>
+  T pod() {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ByteReader::pod needs a trivially copyable type");
+    require(sizeof(T));
+    T value{};
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  [[nodiscard]] std::vector<double> f64_array();
+  [[nodiscard]] std::vector<std::uint8_t> u8_array();
+  [[nodiscard]] std::string str();
+  [[nodiscard]] Signal signal();
+
+  /// Enters the next section, which must carry `expected_id`, and returns
+  /// a sub-reader spanning exactly its payload.  The parent reader
+  /// advances past the whole section.
+  [[nodiscard]] ByteReader section(std::uint32_t expected_id);
+
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+
+  /// Throws kCorrupt unless every byte has been consumed — trailing
+  /// garbage means the payload was not written by the matching saver.
+  void finish() const;
+
+ private:
+  void require(std::size_t n) const;
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+/// Frames a payload into the on-disk container:
+///   "NCKP" | u32 version | u64 payload bytes | payload | u32 crc32(payload).
+[[nodiscard]] std::vector<std::uint8_t> frame_checkpoint(
+    std::span<const std::uint8_t> payload);
+
+/// Validates container framing (magic, version, length, CRC) and returns
+/// the payload span (a view into `file`).  Throws CheckpointError with
+/// kBadMagic / kBadVersion / kTruncated / kCorrupt.
+[[nodiscard]] std::span<const std::uint8_t> unframe_checkpoint(
+    std::span<const std::uint8_t> file);
+
+/// Atomically replaces `path` with `bytes`: writes "<path>.tmp", fsyncs
+/// it, then renames over `path` (and fsyncs the directory).  On any
+/// failure the tmp file is removed and the previous `path` contents are
+/// untouched.  Throws CheckpointError(kIo).
+void atomic_write_file(const std::string& path,
+                       std::span<const std::uint8_t> bytes);
+
+/// frame_checkpoint + atomic_write_file.
+void write_checkpoint_file(const std::string& path,
+                           std::span<const std::uint8_t> payload);
+
+/// Reads `path`, validates the container, returns a copy of the payload.
+[[nodiscard]] std::vector<std::uint8_t> read_checkpoint_file(
+    const std::string& path);
+
+}  // namespace nsync::signal
+
+#endif  // NSYNC_SIGNAL_CHECKPOINT_HPP

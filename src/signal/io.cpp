@@ -1,11 +1,13 @@
 #include "signal/io.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <cstring>
 #include <fstream>
 #include <ostream>
 #include <stdexcept>
+#include <vector>
 
 namespace nsync::signal {
 
@@ -64,15 +66,31 @@ Signal read_signal(std::istream& in) {
   const auto frames = read_pod<std::uint64_t>(in);
   const auto channels = read_pod<std::uint64_t>(in);
   const auto rate = read_pod<double>(in);
-  if (channels == 0 || rate <= 0.0 || frames * channels > kMaxElements) {
+  // Division form avoids the frames * channels overflow a forged header
+  // could use to sneak past the element cap.
+  if (channels == 0 || rate <= 0.0 || frames > kMaxElements / channels) {
     throw std::runtime_error("read_signal: implausible header");
   }
-  Signal s(static_cast<std::size_t>(frames),
-           static_cast<std::size_t>(channels), rate);
-  in.read(reinterpret_cast<char*>(s.data()),
-          static_cast<std::streamsize>(frames * channels * sizeof(double)));
-  if (!in) {
-    throw std::runtime_error("read_signal: truncated payload");
+  // Read the payload in bounded chunks, growing the signal as data
+  // actually arrives: a forged header claiming billions of frames over a
+  // tiny (or truncated) stream fails after at most one chunk instead of
+  // forcing a huge upfront allocation.
+  Signal s = Signal::empty(static_cast<std::size_t>(channels), rate);
+  constexpr std::uint64_t kChunkBytes = 1ULL << 20;
+  const std::uint64_t frames_per_chunk =
+      std::max<std::uint64_t>(1, kChunkBytes / (channels * sizeof(double)));
+  std::vector<double> chunk;
+  for (std::uint64_t done = 0; done < frames;) {
+    const std::uint64_t batch = std::min(frames - done, frames_per_chunk);
+    chunk.resize(static_cast<std::size_t>(batch * channels));
+    in.read(reinterpret_cast<char*>(chunk.data()),
+            static_cast<std::streamsize>(batch * channels * sizeof(double)));
+    if (!in) {
+      throw std::runtime_error("read_signal: truncated payload");
+    }
+    s.append(SignalView(chunk.data(), static_cast<std::size_t>(batch),
+                        static_cast<std::size_t>(channels), rate));
+    done += batch;
   }
   return s;
 }

@@ -4,6 +4,10 @@
 #include <cstring>
 #include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
+
+#include "signal/checkpoint.hpp"
 
 namespace nsync::signal {
 
@@ -62,6 +66,39 @@ SignalView FrameRingBuffer::view(std::size_t n1, std::size_t n2) const {
   }
   return SignalView(data_.data() + (head_ + n1 - start_) * channels_, n2 - n1,
                     channels_, sample_rate_);
+}
+
+void FrameRingBuffer::save_state(ByteWriter& w) const {
+  w.pod<std::uint64_t>(channels_);
+  w.pod<double>(sample_rate_);
+  w.pod<std::uint64_t>(start_);
+  w.pod<std::uint64_t>(end_);
+  w.f64_array({data_.data() + head_ * channels_,
+               retained_frames() * channels_});
+}
+
+void FrameRingBuffer::restore_state(ByteReader& r) {
+  const auto channels = r.pod<std::uint64_t>();
+  const auto rate = r.pod<double>();
+  if (channels != channels_ || rate != sample_rate_) {
+    throw CheckpointError(
+        CheckpointErrorKind::kMismatch,
+        "FrameRingBuffer: serialized stream has " + std::to_string(channels) +
+            " channels @ " + std::to_string(rate) + " Hz, this buffer " +
+            std::to_string(channels_) + " @ " + std::to_string(sample_rate_));
+  }
+  const auto start = r.pod<std::uint64_t>();
+  const auto end = r.pod<std::uint64_t>();
+  std::vector<double> retained = r.f64_array();
+  if (start > end || retained.size() != (end - start) * channels_) {
+    throw CheckpointError(
+        CheckpointErrorKind::kCorrupt,
+        "FrameRingBuffer: retained span does not match [start, end)");
+  }
+  data_ = std::move(retained);
+  head_ = 0;
+  start_ = static_cast<std::size_t>(start);
+  end_ = static_cast<std::size_t>(end);
 }
 
 }  // namespace nsync::signal

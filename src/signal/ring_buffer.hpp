@@ -22,6 +22,9 @@
 
 namespace nsync::signal {
 
+class ByteWriter;
+class ByteReader;
+
 class FrameRingBuffer {
  public:
   /// An empty stream of `channels`-wide frames at `sample_rate` Hz.
@@ -69,6 +72,17 @@ class FrameRingBuffer {
   void reserve_frames(std::size_t frames) {
     data_.reserve(frames * channels_);
   }
+
+  /// Serializes the logical stream position and the retained frames
+  /// (checkpointing).  The physical head offset is not stored; restored
+  /// buffers are normalized to head 0.
+  void save_state(ByteWriter& w) const;
+
+  /// Restores state written by save_state into this buffer, replacing its
+  /// contents.  Throws CheckpointError: kMismatch when the serialized
+  /// channel count / sample rate differ from this buffer's, kCorrupt /
+  /// kTruncated on malformed input.  On throw, *this is unchanged.
+  void restore_state(ByteReader& r);
 
  private:
   void compact();

@@ -7,6 +7,9 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <stdexcept>
+#include <string>
 
 namespace nsync::signal {
 
@@ -43,6 +46,28 @@ class Rng {
   /// Derives an independent child stream (for per-sensor / per-run seeding).
   [[nodiscard]] Rng fork() {
     return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL);
+  }
+
+  /// Serializes the full engine state (the standard textual mt19937_64
+  /// representation) so a checkpointed stochastic component resumes its
+  /// stream exactly where it left off.
+  [[nodiscard]] std::string save_state() const {
+    std::ostringstream out;
+    out << engine_;
+    return out.str();
+  }
+
+  /// Restores a state produced by save_state().  The subsequent draw
+  /// sequence is identical to the uninterrupted one.  Throws
+  /// std::invalid_argument on a malformed blob (state unchanged).
+  void restore_state(const std::string& state) {
+    std::istringstream in(state);
+    std::mt19937_64 engine;
+    in >> engine;
+    if (!in) {
+      throw std::invalid_argument("Rng::restore_state: malformed state");
+    }
+    engine_ = engine;
   }
 
   std::mt19937_64& engine() { return engine_; }

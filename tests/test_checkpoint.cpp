@@ -1,0 +1,773 @@
+// Tests for the crash-safe checkpoint subsystem: the byte codec and
+// container framing, per-class save/restore round-trips, typed rejection
+// of malformed files, write atomicity, and the headline recovery property
+// — kill the fleet at any point, restore the last checkpoint, replay the
+// frames fed since, and every detection, health state, fused verdict and
+// first_alarm_window is bitwise identical to a run that never stopped.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/detection_core.hpp"
+#include "core/health.hpp"
+#include "core/nsync.hpp"
+#include "engine/monitor_engine.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sensors/fault_injector.hpp"
+#include "signal/checkpoint.hpp"
+#include "signal/rng.hpp"
+#include "signal/signal.hpp"
+
+namespace nsync {
+namespace {
+
+using nsync::core::ChannelHealth;
+using nsync::core::ChannelHealthMonitor;
+using nsync::core::DetectionCore;
+using nsync::core::NsyncConfig;
+using nsync::core::NsyncIds;
+using nsync::core::RealtimeMonitor;
+using nsync::core::StreamingMinFilter;
+using nsync::core::SyncMethod;
+using nsync::core::Thresholds;
+using nsync::engine::ChannelSpec;
+using nsync::engine::MonitorEngine;
+using nsync::engine::MonitorEngineOptions;
+using nsync::engine::SessionSnapshot;
+using nsync::engine::SessionSpec;
+using nsync::signal::ByteReader;
+using nsync::signal::ByteWriter;
+using nsync::signal::CheckpointError;
+using nsync::signal::CheckpointErrorKind;
+using nsync::signal::Rng;
+using nsync::signal::Signal;
+using nsync::signal::SignalView;
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+// ---------------------------------------------------------------------------
+// Codec and container
+
+TEST(Crc32, MatchesKnownVector) {
+  // The canonical CRC-32/IEEE check value.
+  const char* s = "123456789";
+  EXPECT_EQ(nsync::signal::crc32(s, 9), 0xCBF43926u);
+  EXPECT_EQ(nsync::signal::crc32(s, 0), 0x00000000u);
+}
+
+TEST(ByteCodec, PodArrayStringSignalRoundTrip) {
+  ByteWriter w;
+  w.pod<std::uint64_t>(0xDEADBEEFCAFEF00Dull);
+  w.pod<double>(-0.0);
+  const std::vector<double> doubles = {1.5, -2.25, 0.0, 1e-300};
+  w.f64_array(doubles);
+  const std::vector<std::uint8_t> bytes = {0, 1, 255};
+  w.u8_array(bytes);
+  w.str("channel/ACC");
+  Signal sig(5, 2, 250.0);
+  for (std::size_t n = 0; n < 5; ++n) {
+    sig(n, 0) = static_cast<double>(n);
+    sig(n, 1) = -static_cast<double>(n);
+  }
+  w.signal(SignalView(sig));
+
+  ByteReader r(w.data());
+  EXPECT_EQ(r.pod<std::uint64_t>(), 0xDEADBEEFCAFEF00Dull);
+  const double neg_zero = r.pod<double>();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));  // raw-bit round-trip, not text
+  EXPECT_EQ(r.f64_array(), doubles);
+  EXPECT_EQ(r.u8_array(), bytes);
+  EXPECT_EQ(r.str(), "channel/ACC");
+  const Signal back = r.signal();
+  ASSERT_EQ(back.frames(), sig.frames());
+  ASSERT_EQ(back.channels(), sig.channels());
+  EXPECT_EQ(back.sample_rate(), sig.sample_rate());
+  for (std::size_t n = 0; n < 5; ++n) {
+    EXPECT_EQ(back(n, 0), sig(n, 0));
+    EXPECT_EQ(back(n, 1), sig(n, 1));
+  }
+  EXPECT_NO_THROW(r.finish());
+}
+
+TEST(ByteCodec, ReaderRejectsTruncationAndTrailingGarbage) {
+  ByteWriter w;
+  w.pod<std::uint32_t>(42);
+  {
+    ByteReader r(w.data());
+    EXPECT_THROW((void)r.pod<std::uint64_t>(), CheckpointError);
+  }
+  {
+    // Array length field claiming more elements than bytes remain.
+    ByteWriter w2;
+    w2.pod<std::uint64_t>(1u << 30);  // "2^30 doubles follow" (they don't)
+    ByteReader r(w2.data());
+    try {
+      (void)r.f64_array();
+      FAIL() << "oversized array accepted";
+    } catch (const CheckpointError& e) {
+      EXPECT_EQ(e.kind(), CheckpointErrorKind::kTruncated);
+    }
+  }
+  {
+    ByteReader r(w.data());
+    (void)r.pod<std::uint16_t>();
+    try {
+      r.finish();
+      FAIL() << "trailing bytes accepted";
+    } catch (const CheckpointError& e) {
+      EXPECT_EQ(e.kind(), CheckpointErrorKind::kCorrupt);
+    }
+  }
+}
+
+TEST(ByteCodec, SectionsFrameAndValidateTheirPayload) {
+  ByteWriter w;
+  const std::size_t tok = w.begin_section(7);
+  w.pod<std::uint32_t>(123);
+  w.end_section(tok);
+  w.pod<std::uint8_t>(9);  // sibling data after the section
+
+  ByteReader r(w.data());
+  ByteReader inner = r.section(7);
+  EXPECT_EQ(inner.pod<std::uint32_t>(), 123u);
+  EXPECT_NO_THROW(inner.finish());
+  EXPECT_EQ(r.pod<std::uint8_t>(), 9);
+
+  // Wrong id is a structural error.
+  ByteReader r2(w.data());
+  try {
+    (void)r2.section(8);
+    FAIL() << "wrong section id accepted";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointErrorKind::kCorrupt);
+  }
+}
+
+TEST(Container, FramesAndValidates) {
+  const std::vector<std::uint8_t> payload = {1, 2, 3, 4, 5};
+  std::vector<std::uint8_t> file = nsync::signal::frame_checkpoint(payload);
+  const auto back = nsync::signal::unframe_checkpoint(file);
+  EXPECT_TRUE(std::equal(payload.begin(), payload.end(), back.begin(),
+                         back.end()));
+
+  auto expect_kind = [](std::vector<std::uint8_t> f, CheckpointErrorKind k,
+                        const char* what) {
+    try {
+      (void)nsync::signal::unframe_checkpoint(f);
+      FAIL() << what << " accepted";
+    } catch (const CheckpointError& e) {
+      EXPECT_EQ(e.kind(), k) << what << ": " << e.what();
+    }
+  };
+  // Bad magic.
+  {
+    auto f = file;
+    f[0] ^= 0xFF;
+    expect_kind(f, CheckpointErrorKind::kBadMagic, "bad magic");
+  }
+  // Future version.
+  {
+    auto f = file;
+    f[4] = 99;
+    expect_kind(f, CheckpointErrorKind::kBadVersion, "bad version");
+  }
+  // Truncations at every prefix length.
+  for (std::size_t n = 0; n < file.size(); ++n) {
+    expect_kind({file.begin(), file.begin() + static_cast<std::ptrdiff_t>(n)},
+                CheckpointErrorKind::kTruncated, "truncated file");
+  }
+  // Payload corruption must fail the CRC.
+  {
+    auto f = file;
+    f[16 + 2] ^= 0x01;
+    expect_kind(f, CheckpointErrorKind::kCorrupt, "flipped payload bit");
+  }
+  // CRC corruption too.
+  {
+    auto f = file;
+    f.back() ^= 0x01;
+    expect_kind(f, CheckpointErrorKind::kCorrupt, "flipped crc bit");
+  }
+}
+
+TEST(Container, AtomicReplaceKeepsPreviousCheckpointOnFailure) {
+  const std::string path = temp_path("atomic.nckp");
+  const std::vector<std::uint8_t> first = {10, 20, 30};
+  nsync::signal::write_checkpoint_file(path, first);
+  ASSERT_EQ(nsync::signal::read_checkpoint_file(path), first);
+
+  // Simulate a crash mid-write: a half-written tmp file next to the real
+  // checkpoint.  The previous checkpoint must stay loadable, and the next
+  // successful write must replace both.
+  {
+    std::ofstream tmp(path + ".tmp", std::ios::binary);
+    tmp << "garbage-partial-write";
+  }
+  EXPECT_EQ(nsync::signal::read_checkpoint_file(path), first);
+
+  const std::vector<std::uint8_t> second = {7, 7, 7, 7};
+  nsync::signal::write_checkpoint_file(path, second);
+  EXPECT_EQ(nsync::signal::read_checkpoint_file(path), second);
+
+  // Unwritable directory -> kIo, file untouched.
+  try {
+    nsync::signal::write_checkpoint_file(
+        temp_path("no-such-dir/x/y/z.nckp"), second);
+    FAIL() << "write into missing directory succeeded";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointErrorKind::kIo);
+  }
+  std::remove((path + ".tmp").c_str());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Per-class round-trips
+
+TEST(RngCheckpoint, StreamContinuesExactly) {
+  Rng rng(1234);
+  for (int i = 0; i < 100; ++i) (void)rng.normal();
+  const std::string state = rng.save_state();
+  std::vector<double> expected;
+  for (int i = 0; i < 50; ++i) expected.push_back(rng.normal());
+
+  Rng other(999);
+  other.restore_state(state);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(other.normal(), expected[static_cast<std::size_t>(i)]);
+  }
+  EXPECT_THROW(other.restore_state("not an engine state"),
+               std::invalid_argument);
+}
+
+TEST(MinFilterCheckpoint, ContinuesBitwiseAndRejectsGarbage) {
+  Rng rng(5);
+  StreamingMinFilter a(7);
+  for (int i = 0; i < 40; ++i) (void)a.push(rng.normal());
+
+  ByteWriter w;
+  a.save_state(w);
+  StreamingMinFilter b(7);
+  {
+    ByteReader r(w.data());
+    b.restore_state(r);
+    r.finish();
+  }
+  Rng tail_rng(17);
+  for (int i = 0; i < 30; ++i) {
+    const double x = tail_rng.normal();
+    EXPECT_EQ(a.push(x), b.push(x)) << "sample " << i;
+  }
+
+  // Different window -> kMismatch; mangled payload -> kCorrupt.
+  StreamingMinFilter c(8);
+  {
+    ByteReader r(w.data());
+    try {
+      c.restore_state(r);
+      FAIL() << "window mismatch accepted";
+    } catch (const CheckpointError& e) {
+      EXPECT_EQ(e.kind(), CheckpointErrorKind::kMismatch);
+    }
+  }
+  {
+    auto bytes = std::vector<std::uint8_t>(w.data().begin(), w.data().end());
+    bytes[8] ^= 0xFF;  // clobber next_/size_ region
+    ByteReader r(bytes);
+    StreamingMinFilter d(7);
+    EXPECT_THROW(d.restore_state(r), CheckpointError);
+  }
+}
+
+TEST(HealthCheckpoint, StreaksResumeInsteadOfResetting) {
+  core::HealthPolicy policy;
+  policy.history = 16;
+  policy.degraded_fraction = 0.25;
+  policy.offline_consecutive = 6;
+  policy.recovery_consecutive = 8;
+
+  // Drive the monitor offline, then partway through recovery.
+  ChannelHealthMonitor a(policy);
+  for (int i = 0; i < 10; ++i) a.observe(false);
+  ASSERT_EQ(a.state(), ChannelHealth::kOffline);
+  for (int i = 0; i < 5; ++i) a.observe(true);
+  ASSERT_EQ(a.state(), ChannelHealth::kOffline);  // 5 of 8 needed
+  ASSERT_EQ(a.valid_streak(), 5u);
+
+  ByteWriter w;
+  a.save_state(w);
+  ChannelHealthMonitor b(policy);
+  {
+    ByteReader r(w.data());
+    b.restore_state(r);
+    r.finish();
+  }
+  // The hysteresis counter must resume at 5, not restart at 0: exactly 3
+  // more valid windows reach recovery_consecutive and promote the channel.
+  EXPECT_EQ(b.valid_streak(), 5u);
+  b.observe(true);
+  b.observe(true);
+  EXPECT_EQ(b.state(), ChannelHealth::kOffline);
+  b.observe(true);
+  EXPECT_EQ(b.state(), ChannelHealth::kDegraded);
+  // And the uninterrupted monitor agrees window for window.
+  a.observe(true);
+  a.observe(true);
+  a.observe(true);
+  EXPECT_EQ(a.state(), b.state());
+  EXPECT_EQ(a.invalid_fraction(), b.invalid_fraction());
+
+  // Different policy -> kMismatch.
+  core::HealthPolicy other = policy;
+  other.recovery_consecutive = 9;
+  ChannelHealthMonitor c(other);
+  ByteReader r(w.data());
+  try {
+    c.restore_state(r);
+    FAIL() << "policy mismatch accepted";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointErrorKind::kMismatch);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming fleet fixtures
+
+Signal make_reference(std::size_t frames, std::uint64_t seed) {
+  Rng rng(seed);
+  Signal s(frames, 2, 100.0);
+  double lp0 = 0.0, lp1 = 0.0;
+  for (std::size_t n = 0; n < frames; ++n) {
+    lp0 += 0.35 * (rng.normal() - lp0);
+    lp1 += 0.35 * (rng.normal() - lp1);
+    s(n, 0) = lp0;
+    s(n, 1) = lp1;
+  }
+  return s;
+}
+
+Signal benign_observation(const Signal& b, std::uint64_t seed) {
+  Rng rng(seed);
+  Signal a = Signal::empty(b.channels(), b.sample_rate());
+  double src = 0.0;
+  std::vector<double> row(b.channels());
+  while (src < static_cast<double>(b.frames() - 1)) {
+    const auto i0 = static_cast<std::size_t>(src);
+    const double frac = src - static_cast<double>(i0);
+    const std::size_t i1 = std::min(i0 + 1, b.frames() - 1);
+    for (std::size_t c = 0; c < b.channels(); ++c) {
+      row[c] = (1.0 - frac) * b(i0, c) + frac * b(i1, c) +
+               rng.normal(0.0, 0.01);
+    }
+    a.append_frame(row);
+    src += 1.0 + rng.normal(0.0, 0.002);
+  }
+  return a;
+}
+
+Signal malicious_observation(const Signal& b, std::uint64_t seed) {
+  Signal a = benign_observation(b, seed);
+  Rng rng(seed + 5000);
+  const std::size_t lo = a.frames() / 3;
+  const std::size_t hi = 2 * a.frames() / 3;
+  double lp = 0.0;
+  for (std::size_t n = lo; n < hi; ++n) {
+    lp += 0.35 * (rng.normal() - lp);
+    for (std::size_t c = 0; c < a.channels(); ++c) a(n, c) = lp;
+  }
+  return a;
+}
+
+NsyncConfig dwm_config() {
+  NsyncConfig cfg;
+  cfg.sync = SyncMethod::kDwm;
+  cfg.dwm.n_win = 64;
+  cfg.dwm.n_hop = 32;
+  cfg.dwm.n_ext = 24;
+  cfg.dwm.n_sigma = 12.0;
+  cfg.dwm.eta = 0.2;
+  cfg.r = 0.3;
+  return cfg;
+}
+
+class CheckpointFleetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cfg_ = dwm_config();
+    reference_ = make_reference(1200, 77);
+    NsyncIds ids(reference_, cfg_);
+    std::vector<Signal> train;
+    for (std::uint64_t s = 1; s <= 3; ++s) {
+      train.push_back(benign_observation(reference_, s));
+    }
+    ids.fit(train);
+    thresholds_ = ids.thresholds();
+
+    // Session 0: benign on both channels.  Session 1: tampered ACC and an
+    // AUD sensor that flatlines mid-print (fault injection), so recovery
+    // is exercised across detection, fusion *and* health state.
+    streams_ = {{benign_observation(reference_, 50),
+                 benign_observation(reference_, 51)},
+                {malicious_observation(reference_, 60),
+                 nsync::sensors::flatline_from(
+                     SignalView(benign_observation(reference_, 61)), 400,
+                     0.0)}};
+  }
+
+  SessionSpec make_session(const std::string& name) const {
+    SessionSpec spec;
+    spec.name = name;
+    for (const char* ch : {"ACC", "AUD"}) {
+      ChannelSpec c;
+      c.name = ch;
+      c.reference = reference_;
+      c.config = cfg_;
+      c.thresholds = thresholds_;
+      spec.channels.push_back(std::move(c));
+    }
+    return spec;
+  }
+
+  MonitorEngine make_engine(MonitorEngineOptions opts = {}) const {
+    MonitorEngine eng(opts);
+    eng.add_session(make_session("benign-print"));
+    eng.add_session(make_session("tampered-print"));
+    return eng;
+  }
+
+  /// Feeds rounds [from, to) of the chunked schedule: round k feeds frames
+  /// [k*chunk, (k+1)*chunk) of every channel of every session, then polls.
+  void feed_rounds(MonitorEngine& eng, std::size_t chunk, std::size_t from,
+                   std::size_t to) const {
+    static const char* kNames[] = {"ACC", "AUD"};
+    for (std::size_t k = from; k < to; ++k) {
+      for (std::size_t s = 0; s < streams_.size(); ++s) {
+        for (std::size_t c = 0; c < 2; ++c) {
+          const Signal& sig = streams_[s][c];
+          const std::size_t lo = k * chunk;
+          if (lo >= sig.frames()) continue;
+          const std::size_t hi = std::min(lo + chunk, sig.frames());
+          eng.feed(s, kNames[c], SignalView(sig).slice(lo, hi));
+        }
+      }
+      eng.poll();
+    }
+  }
+
+  [[nodiscard]] std::size_t rounds_for(std::size_t chunk) const {
+    std::size_t longest = 0;
+    for (const auto& session : streams_) {
+      for (const auto& sig : session) longest = std::max(longest, sig.frames());
+    }
+    return (longest + chunk - 1) / chunk;
+  }
+
+  NsyncConfig cfg_;
+  Signal reference_;
+  Thresholds thresholds_;
+  std::vector<std::vector<Signal>> streams_;
+};
+
+void expect_snapshots_equal(const std::vector<SessionSnapshot>& a,
+                            const std::vector<SessionSnapshot>& b,
+                            const std::string& label) {
+  ASSERT_EQ(a.size(), b.size()) << label;
+  for (std::size_t s = 0; s < a.size(); ++s) {
+    SCOPED_TRACE(label + ": session " + a[s].name);
+    EXPECT_EQ(a[s].name, b[s].name);
+    EXPECT_EQ(a[s].intrusion, b[s].intrusion);
+    EXPECT_EQ(a[s].first_alarm_window, b[s].first_alarm_window);
+    EXPECT_EQ(a[s].alarming_channels, b[s].alarming_channels);
+    EXPECT_EQ(a[s].online_channels, b[s].online_channels);
+    EXPECT_EQ(a[s].frames_fed, b[s].frames_fed);
+    EXPECT_EQ(a[s].windows, b[s].windows);
+    ASSERT_EQ(a[s].channels.size(), b[s].channels.size());
+    for (std::size_t c = 0; c < a[s].channels.size(); ++c) {
+      const auto& ca = a[s].channels[c];
+      const auto& cb = b[s].channels[c];
+      EXPECT_EQ(ca.name, cb.name);
+      EXPECT_EQ(ca.detection.intrusion, cb.detection.intrusion);
+      EXPECT_EQ(ca.detection.by_c_disp, cb.detection.by_c_disp);
+      EXPECT_EQ(ca.detection.by_h_dist, cb.detection.by_h_dist);
+      EXPECT_EQ(ca.detection.by_v_dist, cb.detection.by_v_dist);
+      EXPECT_EQ(ca.detection.first_alarm_window,
+                cb.detection.first_alarm_window);
+      EXPECT_EQ(ca.health, cb.health);
+      EXPECT_EQ(ca.windows, cb.windows);
+      EXPECT_EQ(ca.frames_fed, cb.frames_fed);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RealtimeMonitor round-trip
+
+TEST_F(CheckpointFleetTest, RealtimeMonitorContinuesBitwise) {
+  const Signal& obs = streams_[1][0];  // tampered stream
+  RealtimeMonitor a(reference_, cfg_, thresholds_);
+  RealtimeMonitor b(reference_, cfg_, thresholds_);
+
+  const std::size_t half = obs.frames() / 2;
+  a.push(SignalView(obs).slice(0, half));
+  b.push(SignalView(obs).slice(0, half));
+
+  ByteWriter w;
+  a.save_state(w);
+  RealtimeMonitor c(reference_, cfg_, thresholds_);
+  {
+    ByteReader r(w.data());
+    c.restore_state(r);
+    r.finish();
+  }
+  // Finish the print on the uninterrupted monitor and the restored one, in
+  // different chunkings; every feature must match bitwise.
+  b.push(SignalView(obs).slice(half, obs.frames()));
+  for (std::size_t off = half; off < obs.frames(); off += 97) {
+    c.push(SignalView(obs).slice(off, std::min(off + 97, obs.frames())));
+  }
+  ASSERT_EQ(c.windows(), b.windows());
+  EXPECT_EQ(c.features().c_disp, b.features().c_disp);
+  EXPECT_EQ(c.features().h_dist_f, b.features().h_dist_f);
+  EXPECT_EQ(c.features().v_dist_f, b.features().v_dist_f);
+  EXPECT_EQ(c.valid(), b.valid());
+  EXPECT_EQ(c.detection().intrusion, b.detection().intrusion);
+  EXPECT_EQ(c.detection().first_alarm_window,
+            b.detection().first_alarm_window);
+  EXPECT_EQ(c.health(), b.health());
+
+  // Restoring against a different reference -> kMismatch, monitor intact.
+  RealtimeMonitor d(make_reference(1200, 123), cfg_, thresholds_);
+  ByteReader r2(w.data());
+  try {
+    d.restore_state(r2);
+    FAIL() << "reference mismatch accepted";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointErrorKind::kMismatch);
+  }
+  EXPECT_EQ(d.windows(), 0u);  // unchanged by the failed restore
+}
+
+// ---------------------------------------------------------------------------
+// The headline property: kill + restore + replay == uninterrupted
+
+TEST_F(CheckpointFleetTest, KilledAndRestoredFleetIsBitwiseIdentical) {
+  const std::string path = temp_path("fleet-kill.nckp");
+  const std::size_t chunks[] = {1, 113, 1200};
+  std::vector<SessionSnapshot> prev_chunk_snaps;
+  for (const std::size_t chunk : chunks) {
+    const std::size_t rounds = rounds_for(chunk);
+    // Uninterrupted baseline for this chunk schedule.
+    MonitorEngine baseline = make_engine();
+    feed_rounds(baseline, chunk, 0, rounds);
+    const std::vector<std::uint8_t> baseline_bytes = baseline.serialize();
+    const std::vector<SessionSnapshot> baseline_snaps = baseline.snapshots();
+
+    // Chunk-size invariance: once the whole stream is in, every chunk
+    // schedule reaches the same detections, health states and verdicts
+    // (single frames, odd mid-size chunks, the whole print at once).
+    if (!prev_chunk_snaps.empty()) {
+      expect_snapshots_equal(baseline_snaps, prev_chunk_snaps,
+                             "chunk " + std::to_string(chunk) +
+                                 " vs smaller chunk");
+    }
+    prev_chunk_snaps = baseline_snaps;
+
+    for (const double frac : {0.25, 0.5, 0.75}) {
+      SCOPED_TRACE("chunk " + std::to_string(chunk) + ", kill at " +
+                   std::to_string(frac));
+      const std::size_t kill = std::max<std::size_t>(
+          1, static_cast<std::size_t>(static_cast<double>(rounds) * frac));
+      {
+        MonitorEngine victim = make_engine();
+        feed_rounds(victim, chunk, 0, kill);
+        victim.checkpoint(path);
+        // The victim dies here (scope exit); everything it learned after
+        // the checkpoint is lost and must be replayed.
+      }
+      MonitorEngine revived = MonitorEngine::restore(path);
+      feed_rounds(revived, chunk, kill, rounds);
+      // Strongest possible claim: the full serialized state — every
+      // feature array, ring buffer index, health counter and latched
+      // verdict — is byte-for-byte the uninterrupted run's.
+      EXPECT_TRUE(revived.serialize() == baseline_bytes)
+          << "restored fleet state diverged from the uninterrupted run";
+      expect_snapshots_equal(revived.snapshots(), baseline_snaps, "revived");
+    }
+  }
+
+  // And the detection outcome itself is the expected one: session 0
+  // benign, session 1 alarmed with its AUD channel offline.
+  MonitorEngine eng = make_engine();
+  feed_rounds(eng, 113, 0, rounds_for(113));
+  const auto snaps = eng.snapshots();
+  EXPECT_FALSE(snaps[0].intrusion);
+  EXPECT_TRUE(snaps[1].intrusion);
+  EXPECT_GE(snaps[1].first_alarm_window, 0);
+  EXPECT_EQ(snaps[1].channels[1].health, ChannelHealth::kOffline);
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointFleetTest, RecoveryIsWorkerCountInvariant) {
+  const std::string path = temp_path("fleet-workers.nckp");
+  std::vector<std::uint8_t> first_bytes;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{3}}) {
+    runtime::set_worker_count(workers);
+    const std::size_t rounds = rounds_for(113);
+    const std::size_t kill = rounds / 2;
+    {
+      MonitorEngine victim = make_engine();
+      feed_rounds(victim, 113, 0, kill);
+      victim.checkpoint(path);
+    }
+    MonitorEngine revived = MonitorEngine::restore(path);
+    feed_rounds(revived, 113, kill, rounds);
+    const std::vector<std::uint8_t> bytes = revived.serialize();
+    if (first_bytes.empty()) {
+      first_bytes = bytes;
+    } else {
+      EXPECT_TRUE(bytes == first_bytes)
+          << "recovered state differs across worker counts";
+    }
+  }
+  runtime::set_worker_count(0);  // restore automatic sizing
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointFleetTest, CheckpointWhileDegradedRestoresHealthCounters) {
+  // Kill the fleet while session 1's AUD channel is mid-flatline (offline,
+  // with live hysteresis counters).  The restored channel must keep the
+  // same health state and the same streak position — not re-enter healthy.
+  const std::string path = temp_path("fleet-degraded.nckp");
+  const std::size_t chunk = 113;
+  const std::size_t rounds = rounds_for(chunk);
+  MonitorEngine baseline = make_engine();
+  feed_rounds(baseline, chunk, 0, rounds);
+
+  // Find a kill point where the faulted channel is already non-healthy.
+  std::size_t kill = 0;
+  MonitorEngine probe = make_engine();
+  for (std::size_t k = 0; k < rounds; ++k) {
+    feed_rounds(probe, chunk, k, k + 1);
+    if (probe.snapshot(1).channels[1].health != ChannelHealth::kHealthy) {
+      kill = k + 1;
+      break;
+    }
+  }
+  ASSERT_GT(kill, 0u) << "fault never degraded the channel";
+  ASSERT_LT(kill, rounds) << "no frames left to replay after the kill";
+  probe.checkpoint(path);
+
+  MonitorEngine revived = MonitorEngine::restore(path);
+  EXPECT_EQ(revived.snapshot(1).channels[1].health,
+            probe.snapshot(1).channels[1].health);
+  feed_rounds(revived, chunk, kill, rounds);
+  EXPECT_TRUE(revived.serialize() == baseline.serialize())
+      << "state diverged after restoring a degraded-channel checkpoint";
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Periodic policy, corruption, misuse
+
+TEST_F(CheckpointFleetTest, PeriodicPolicyWritesAndRotatesAtomically) {
+  MonitorEngineOptions opts;
+  opts.checkpoint_dir = ::testing::TempDir() + "fleet-policy";
+  std::filesystem::create_directories(opts.checkpoint_dir);
+  opts.checkpoint_every_polls = 3;
+  MonitorEngine eng = make_engine(opts);
+  ASSERT_EQ(eng.checkpoint_path(), opts.checkpoint_dir + "/fleet.nckp");
+
+  const std::size_t chunk = 113;
+  feed_rounds(eng, chunk, 0, 2);
+  EXPECT_EQ(eng.checkpoints_written(), 0u);  // 2 polls < every 3
+  feed_rounds(eng, chunk, 2, 3);
+  EXPECT_EQ(eng.checkpoints_written(), 1u);
+  feed_rounds(eng, chunk, 3, 9);
+  EXPECT_EQ(eng.checkpoints_written(), 3u);
+
+  // The file on disk is always a complete, loadable checkpoint.
+  MonitorEngine restored = MonitorEngine::restore(eng.checkpoint_path());
+  EXPECT_EQ(restored.sessions(), eng.sessions());
+
+  // Window-count trigger.
+  MonitorEngineOptions wopts;
+  wopts.checkpoint_dir = opts.checkpoint_dir;
+  wopts.checkpoint_every_polls = 0;
+  wopts.checkpoint_every_windows = 10;
+  MonitorEngine weng = make_engine(wopts);
+  feed_rounds(weng, 1200, 0, 1);  // the whole print in one round
+  EXPECT_EQ(weng.checkpoints_written(), 1u);
+
+  std::filesystem::remove_all(opts.checkpoint_dir);
+}
+
+TEST_F(CheckpointFleetTest, CorruptedCheckpointNeverPartiallyRestores) {
+  MonitorEngine eng = make_engine();
+  feed_rounds(eng, 113, 0, 5);
+  const std::vector<std::uint8_t> payload = eng.serialize();
+
+  // Flip every 97th byte in turn: restore_from_bytes must either reject
+  // with CheckpointError or produce a fully valid engine — never crash,
+  // never throw anything else.
+  for (std::size_t i = 0; i < payload.size(); i += 97) {
+    auto mangled = payload;
+    mangled[i] ^= 0x40;
+    try {
+      MonitorEngine restored = MonitorEngine::restore_from_bytes(mangled);
+      (void)restored.snapshots();  // fully usable if accepted
+    } catch (const CheckpointError&) {
+      // The expected outcome for most flips.
+    }
+  }
+
+  // Truncations of the payload likewise.
+  for (const std::size_t n :
+       {std::size_t{0}, std::size_t{4}, payload.size() / 2,
+        payload.size() - 1}) {
+    const std::span<const std::uint8_t> cut(payload.data(), n);
+    EXPECT_THROW((void)MonitorEngine::restore_from_bytes(cut),
+                 CheckpointError);
+  }
+
+  // The intact payload restores, and the restored engine's own serialize()
+  // reproduces it byte for byte (serialize/restore are exact inverses).
+  MonitorEngine restored = MonitorEngine::restore_from_bytes(payload);
+  EXPECT_TRUE(restored.serialize() == payload)
+      << "serialize(restore(payload)) != payload";
+}
+
+TEST_F(CheckpointFleetTest, RestoreRejectsMissingAndForeignFiles) {
+  try {
+    (void)MonitorEngine::restore(temp_path("missing.nckp"));
+    FAIL() << "missing file accepted";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointErrorKind::kIo);
+  }
+  const std::string path = temp_path("foreign.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a checkpoint";
+  }
+  try {
+    (void)MonitorEngine::restore(path);
+    FAIL() << "foreign file accepted";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointErrorKind::kBadMagic);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nsync

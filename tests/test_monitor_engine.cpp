@@ -131,6 +131,30 @@ TEST_F(MonitorEngineTest, RejectsBadSpecsAndUnknownTargets) {
   EXPECT_THROW(eng.snapshot(5), std::out_of_range);
 }
 
+TEST_F(MonitorEngineTest, ErrorsNameTheOffendingSessionAndChannel) {
+  // An operator debugging a fleet config needs the message to say *which*
+  // channel of *which* session was wrong, not just "unknown channel".
+  MonitorEngine eng;
+  eng.add_session(make_session("printer-lab-3"));
+  const Signal obs = benign_observation(reference_, 9);
+  try {
+    eng.feed(0, "MAG", obs);
+    FAIL() << "feed with unknown channel did not throw";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("MAG"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("printer-lab-3"), std::string::npos) << msg;
+  }
+  try {
+    eng.poll_session(7);
+    FAIL() << "poll_session with bad id did not throw";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find('7'), std::string::npos) << msg;
+    EXPECT_NE(msg.find('1'), std::string::npos) << msg;  // registered count
+  }
+}
+
 TEST_F(MonitorEngineTest, SessionMatchesStandaloneMonitorsBitwise) {
   // One engine session must be exactly two RealtimeMonitors: same
   // features, same verdicts, for the same chunked feed.
