@@ -29,6 +29,7 @@
 
 #include "core/nsync.hpp"
 #include "engine/monitor_engine.hpp"
+#include "signal/checkpoint.hpp"
 #include "signal/rng.hpp"
 #include "signal/signal.hpp"
 
@@ -159,7 +160,14 @@ int main(int argc, char** argv) {
   if (resume) {
     // The checkpoint is self-contained (specs + streaming state), so no
     // recalibration is needed: restore and pick the streams back up.
-    eng = engine::MonitorEngine::restore(checkpoint_dir + "/fleet.nckp", opts);
+    try {
+      eng =
+          engine::MonitorEngine::restore(checkpoint_dir + "/fleet.nckp", opts);
+    } catch (const nsync::signal::CheckpointError& e) {
+      std::cerr << "fleet_monitor: cannot resume from " << checkpoint_dir
+                << "/fleet.nckp: " << e.what() << "\n";
+      return 2;
+    }
     if (eng.sessions() != n_sessions) {
       std::cerr << "fleet_monitor: checkpoint holds " << eng.sessions()
                 << " sessions but " << n_sessions << " were requested\n";

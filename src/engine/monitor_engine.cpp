@@ -144,6 +144,10 @@ std::size_t MonitorEngine::poll() {
 
 void MonitorEngine::maybe_checkpoint(std::size_t windows) {
   if (options_.checkpoint_dir.empty()) return;
+  // poll() may be called from several threads at once (the class contract
+  // only promises per-session serialization), so the policy counters and
+  // the write are guarded by the engine-level checkpoint mutex.
+  const std::scoped_lock lock(checkpoint_mu_);
   ++polls_since_checkpoint_;
   windows_since_checkpoint_ += windows;
   const bool poll_trigger = options_.checkpoint_every_polls > 0 &&

@@ -115,6 +115,24 @@ class MonitorEngine {
  public:
   explicit MonitorEngine(MonitorEngineOptions options = {});
 
+  // Movable (restore() builds the fleet into a local and returns it); the
+  // checkpoint mutex is not moved — the destination gets a fresh one, and
+  // moving an engine with concurrent users is a caller error regardless.
+  MonitorEngine(MonitorEngine&& other) noexcept
+      : options_(std::move(other.options_)),
+        sessions_(std::move(other.sessions_)),
+        polls_since_checkpoint_(other.polls_since_checkpoint_),
+        windows_since_checkpoint_(other.windows_since_checkpoint_),
+        checkpoints_written_(other.checkpoints_written_) {}
+  MonitorEngine& operator=(MonitorEngine&& other) noexcept {
+    options_ = std::move(other.options_);
+    sessions_ = std::move(other.sessions_);
+    polls_since_checkpoint_ = other.polls_since_checkpoint_;
+    windows_since_checkpoint_ = other.windows_since_checkpoint_;
+    checkpoints_written_ = other.checkpoints_written_;
+    return *this;
+  }
+
   /// Registers a session and returns its id (dense, starting at 0).
   /// Throws std::invalid_argument on an empty or invalid spec.
   std::size_t add_session(SessionSpec spec);
@@ -176,6 +194,7 @@ class MonitorEngine {
 
   /// Checkpoints written by the periodic policy so far.
   [[nodiscard]] std::size_t checkpoints_written() const {
+    const std::scoped_lock lock(checkpoint_mu_);
     return checkpoints_written_;
   }
 
@@ -213,6 +232,10 @@ class MonitorEngine {
   // unique_ptr keeps Session addresses (and their mutexes) stable while
   // the vector grows.
   std::vector<std::unique_ptr<Session>> sessions_;
+  // Serializes the periodic checkpoint policy: concurrent poll() calls
+  // are allowed, so the trigger counters and the checkpoint write itself
+  // need their own lock (per-session mutexes don't cover them).
+  mutable std::mutex checkpoint_mu_;
   std::size_t polls_since_checkpoint_ = 0;
   std::size_t windows_since_checkpoint_ = 0;
   std::size_t checkpoints_written_ = 0;

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cerrno>
 #include <cstdio>
@@ -162,8 +163,11 @@ Signal ByteReader::signal() {
   const auto channels = pod<std::uint64_t>();
   const auto rate = pod<double>();
   std::vector<double> samples = f64_array();
-  if (channels == 0 || !(rate > 0.0) ||
-      samples.size() != frames * channels) {
+  // Division form: `frames * channels` wraps for forged headers (e.g.
+  // frames = 2^62, channels = 4 with an empty sample array), which would
+  // admit a Signal claiming frames it has no backing storage for.
+  if (channels == 0 || !(rate > 0.0) || samples.size() % channels != 0 ||
+      samples.size() / channels != frames) {
     throw CheckpointError(CheckpointErrorKind::kCorrupt,
                           "implausible serialized signal header");
   }
@@ -256,8 +260,14 @@ std::span<const std::uint8_t> unframe_checkpoint(
 
 void atomic_write_file(const std::string& path,
                        std::span<const std::uint8_t> bytes) {
-  const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  // Unique tmp name per writer (pid + process-wide counter) with O_EXCL:
+  // two concurrent writers each assemble a complete file privately and
+  // race only on the atomic rename, so the loser can never leave a torn
+  // file at `path`.
+  static std::atomic<std::uint64_t> tmp_seq{0};
+  const std::string tmp = path + "." + std::to_string(::getpid()) + "." +
+                          std::to_string(tmp_seq.fetch_add(1)) + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
   if (fd < 0) {
     throw CheckpointError(CheckpointErrorKind::kIo,
                           errno_message("cannot create '" + tmp + "'"));

@@ -19,8 +19,9 @@
 //     | payload | u32 CRC32(payload).  Truncated, corrupt and
 //     version-mismatched files are rejected with CheckpointError; nothing
 //     is ever partially applied.
-//   * Atomic file replacement — write to "<path>.tmp", fsync, rename over
-//     `path`.  A crash mid-write leaves the previous checkpoint loadable.
+//   * Atomic file replacement — write to a unique "<path>.<pid>.<n>.tmp",
+//     fsync, rename over `path`.  A crash mid-write leaves the previous
+//     checkpoint loadable, and concurrent writers never share a tmp file.
 //
 // Every failure mode throws CheckpointError with a machine-readable kind;
 // no other exception type escapes the loaders (fuzz/fuzz_checkpoint pins
@@ -160,10 +161,12 @@ class ByteReader {
 [[nodiscard]] std::span<const std::uint8_t> unframe_checkpoint(
     std::span<const std::uint8_t> file);
 
-/// Atomically replaces `path` with `bytes`: writes "<path>.tmp", fsyncs
-/// it, then renames over `path` (and fsyncs the directory).  On any
-/// failure the tmp file is removed and the previous `path` contents are
-/// untouched.  Throws CheckpointError(kIo).
+/// Atomically replaces `path` with `bytes`: writes a per-writer-unique
+/// "<path>.<pid>.<n>.tmp" (O_EXCL), fsyncs it, then renames over `path`
+/// (and fsyncs the directory).  On any failure the tmp file is removed
+/// and the previous `path` contents are untouched; concurrent callers
+/// race only on the final rename, each with a complete file.  Throws
+/// CheckpointError(kIo).
 void atomic_write_file(const std::string& path,
                        std::span<const std::uint8_t> bytes);
 

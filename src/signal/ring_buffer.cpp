@@ -90,7 +90,10 @@ void FrameRingBuffer::restore_state(ByteReader& r) {
   const auto start = r.pod<std::uint64_t>();
   const auto end = r.pod<std::uint64_t>();
   std::vector<double> retained = r.f64_array();
-  if (start > end || retained.size() != (end - start) * channels_) {
+  // Division form: `(end - start) * channels_` wraps for a forged blob
+  // with a huge [start, end) span over an empty retained vector.
+  if (start > end || retained.size() % channels_ != 0 ||
+      retained.size() / channels_ != end - start) {
     throw CheckpointError(
         CheckpointErrorKind::kCorrupt,
         "FrameRingBuffer: retained span does not match [start, end)");

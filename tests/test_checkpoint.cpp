@@ -132,6 +132,61 @@ TEST(ByteCodec, ReaderRejectsTruncationAndTrailingGarbage) {
   }
 }
 
+TEST(ByteCodec, SignalRejectsOverflowingFrameByChannelProduct) {
+  // Forged header: frames = 2^62, channels = 4, zero samples.  The naive
+  // `frames * channels` check wraps to 0 and would accept a Signal that
+  // claims 2^62 frames over no backing storage — every later window read
+  // would be a heap out-of-bounds access.
+  ByteWriter w;
+  w.pod<std::uint64_t>(1ull << 62);  // frames
+  w.pod<std::uint64_t>(4);           // channels
+  w.pod<double>(100.0);              // sample rate
+  w.f64_array({});                   // zero samples
+  ByteReader r(w.data());
+  try {
+    (void)r.signal();
+    FAIL() << "overflowing frames*channels accepted";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointErrorKind::kCorrupt);
+  }
+
+  // Sample count that is not a whole number of frames is equally corrupt.
+  ByteWriter w2;
+  w2.pod<std::uint64_t>(2);  // frames
+  w2.pod<std::uint64_t>(3);  // channels
+  w2.pod<double>(100.0);
+  w2.f64_array(std::vector<double>(5, 0.0));  // 5 % 3 != 0
+  ByteReader r2(w2.data());
+  try {
+    (void)r2.signal();
+    FAIL() << "ragged sample count accepted";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointErrorKind::kCorrupt);
+  }
+}
+
+TEST(RingBufferCheckpoint, RestoreRejectsOverflowingSpan) {
+  // Forged blob: empty retained vector under a [start, end) span of 2^63
+  // frames.  `(end - start) * channels_` wraps to 0 for channels_ == 2,
+  // which would admit a ring claiming ~2^63 retained frames over empty
+  // storage.
+  nsync::signal::FrameRingBuffer rb(2, 100.0);
+  ByteWriter w;
+  w.pod<std::uint64_t>(2);            // channels
+  w.pod<double>(100.0);               // sample rate
+  w.pod<std::uint64_t>(0);            // start
+  w.pod<std::uint64_t>(1ull << 63);   // end
+  w.f64_array({});                    // empty retained data
+  ByteReader r(w.data());
+  try {
+    rb.restore_state(r);
+    FAIL() << "overflowing retained span accepted";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointErrorKind::kCorrupt);
+  }
+  EXPECT_EQ(rb.retained_frames(), 0u);  // unchanged by the failed restore
+}
+
 TEST(ByteCodec, SectionsFrameAndValidateTheirPayload) {
   ByteWriter w;
   const std::size_t tok = w.begin_section(7);
