@@ -7,10 +7,15 @@
 //   naive        O(Nx * Ny) direct dot products,
 //   complex FFT  full complex transforms + prefix-sum normalization
 //                (the pre-rfft implementation, allocating),
-//   rfft fused   real-input half-size transforms on a reusable workspace
-//                with scoring, clamp, bias and argmax fused in one pass
-//                (the production DWM path, allocation-free).
-// All three return identical delay estimates; only the cost differs.
+//   rfft seq     real-input half-size transforms, one channel at a time
+//                on a reusable workspace (the pre-batching production
+//                path),
+//   batched      all channels through one lane-interleaved BatchedRfftPlan
+//                with row-dispatched pre/post passes and the fused
+//                clamp+bias+argmax epilogue (the production DWM path,
+//                allocation-free), timed under the scalar backend and
+//                under the best SIMD backend the host supports.
+// All variants return identical delay estimates; only the cost differs.
 #include <chrono>
 #include <cmath>
 #include <cstddef>
@@ -18,6 +23,7 @@
 #include <vector>
 
 #include "core/tde.hpp"
+#include "dsp/simd/simd.hpp"
 #include "dsp/xcorr.hpp"
 #include "eval/options.hpp"
 #include "eval/table.hpp"
@@ -66,6 +72,35 @@ std::size_t tdeb_complex_fft(const signal::SignalView& x,
   return best;
 }
 
+// TDEB via the pre-batching production path: per-channel rfft sliding
+// correlation on a reusable workspace, averaged, then the fused
+// clamp + bias + argmax epilogue.
+std::size_t tdeb_rfft_sequential(const signal::SignalView& x,
+                                 const signal::SignalView& y, double center,
+                                 double sigma, core::TdeWorkspace& ws) {
+  const std::size_t n_out = x.frames() - y.frames() + 1;
+  ws.scores.assign(n_out, 0.0);
+  ws.chan_scores.resize(n_out);
+  ws.x_chan.resize(x.frames());
+  ws.y_chan.resize(y.frames());
+  for (std::size_t c = 0; c < x.channels(); ++c) {
+    x.channel_into(c, ws.x_chan);
+    y.channel_into(c, ws.y_chan);
+    dsp::sliding_pearson_fft_into(ws.x_chan, ws.y_chan, ws.chan_scores,
+                                  ws.pearson);
+    for (std::size_t n = 0; n < n_out; ++n) ws.scores[n] += ws.chan_scores[n];
+  }
+  const double inv_c = 1.0 / static_cast<double>(x.channels());
+  for (auto& s : ws.scores) s *= inv_c;
+  ws.bias_w.resize(n_out);
+  for (std::size_t j = 0; j < n_out; ++j) {
+    const double d = (static_cast<double>(j) - center) / sigma;
+    ws.bias_w[j] = std::exp(-0.5 * d * d);
+  }
+  return dsp::simd::ops().clamp_weight_argmax(ws.scores.data(),
+                                              ws.bias_w.data(), n_out);
+}
+
 // Per-call microseconds: repeat until ~100 ms of wall time accumulates.
 template <typename F>
 double time_us(F&& f) {
@@ -103,8 +138,13 @@ int main(int argc, char** argv) {
             << "shapes follow the DWM search (x = extended reference\n"
             << "window, y = observed window, 6 channels).\n\n";
 
+  namespace simd = nsync::dsp::simd;
+  const simd::Isa best = simd::best_supported_isa();
+  std::cout << "dispatch: best backend = " << simd::isa_name(best) << "\n\n";
+
   AsciiTable table({"n_win", "n_ext", "naive (us)", "complex FFT (us)",
-                    "rfft fused (us)", "fft speedup", "rfft speedup"});
+                    "rfft seq (us)", "batched scalar (us)",
+                    "batched simd (us)", "simd speedup", "total speedup"});
   struct Shape {
     std::size_t n_win, n_ext;
   };
@@ -125,18 +165,33 @@ int main(int argc, char** argv) {
     });
     const double t_complex = time_us(
         [&] { (void)tdeb_complex_fft(x, y, center, sigma); });
-    const double t_fused = time_us([&] {
+    const double t_seq = time_us([&] {
+      auto j = tdeb_rfft_sequential(x, y, center, sigma, ws);
+      (void)j;
+    });
+    simd::set_backend(simd::Isa::kScalar);
+    const double t_batched_scalar = time_us([&] {
+      auto j = core::estimate_delay_biased(x, y, center, sigma, {}, ws);
+      (void)j;
+    });
+    simd::set_backend(best);
+    const double t_batched_simd = time_us([&] {
       auto j = core::estimate_delay_biased(x, y, center, sigma, {}, ws);
       (void)j;
     });
 
     table.add_row({std::to_string(shape.n_win), std::to_string(shape.n_ext),
-                   fmt(t_naive, 1), fmt(t_complex, 1), fmt(t_fused, 1),
-                   fmt(t_naive / t_complex, 1) + "x",
-                   fmt(t_naive / t_fused, 1) + "x"});
+                   fmt(t_naive, 1), fmt(t_complex, 1), fmt(t_seq, 1),
+                   fmt(t_batched_scalar, 1), fmt(t_batched_simd, 1),
+                   fmt(t_batched_scalar / t_batched_simd, 1) + "x",
+                   fmt(t_naive / t_batched_simd, 1) + "x"});
   }
   table.print(std::cout);
-  std::cout << "\n(rfft-fused over complex FFT is the PR-level win; both\n"
-            << "dominate naive at production window sizes)\n";
+  std::cout << "\n(simd speedup isolates the vector backend at fixed\n"
+            << "batching; total speedup is the production path vs the naive\n"
+            << "seed.  On AVX2 hosts the batched plan runs near parity with\n"
+            << "the sequential rfft path -- its win is on scalar hosts and\n"
+            << "in plan/workspace reuse -- so the per-core gain comes from\n"
+            << "the dispatched kernels, not the batching alone.)\n";
   return 0;
 }

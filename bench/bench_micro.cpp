@@ -7,8 +7,16 @@
 // Accepts `--json <path>` in addition to the standard benchmark flags:
 // shorthand for --benchmark_out=<path> --benchmark_out_format=json, used
 // by run_benches.sh to emit BENCH_micro.json.
+//
+// The SIMD-dispatched kernels (rfft, cross-correlation, sliding Pearson,
+// the TDEB epilogue, batched transforms) report roofline counters:
+// `flops` (flop/s, from an analytic per-iteration flop model) and
+// bytes_per_second, so BENCH_micro.json can be compared against the
+// host's peak directly.  The JSON context carries the resolved dispatch
+// backend (`simd_isa`) so scalar and vector runs are distinguishable.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
 #include <cstdlib>
 #include <cstring>
 #include <memory>
@@ -18,7 +26,9 @@
 #include "core/dtw.hpp"
 #include "core/dwm.hpp"
 #include "core/tde.hpp"
+#include "dsp/batched_fft.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/simd/simd.hpp"
 #include "dsp/stft.hpp"
 #include "dsp/xcorr.hpp"
 #include "eval/dataset.hpp"
@@ -48,6 +58,27 @@ signal::Signal random_signal(std::size_t frames, std::size_t channels,
     }
   }
   return s;
+}
+
+/// Attaches roofline counters: `flops` (flop/s) from an analytic flop
+/// model of the kernel and bytes/s from its unavoidable memory traffic.
+/// Both are approximate (plan-table loads and scratch spills are not
+/// modeled) but good enough to place the kernel against the host peak.
+void set_roofline(benchmark::State& state, double flops_per_iter,
+                  double bytes_per_iter) {
+  state.counters["flops"] = benchmark::Counter(
+      flops_per_iter * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(bytes_per_iter));
+}
+
+/// ~2.5 n log2 n real flops for a real-input FFT of size n (half the
+/// standard 5 n log2 n complex radix-2 count).
+double rfft_flops(std::size_t n) {
+  return n < 2 ? 0.0
+               : 2.5 * static_cast<double>(n) *
+                     std::log2(static_cast<double>(n));
 }
 
 void BM_FftRadix2(benchmark::State& state) {
@@ -109,6 +140,9 @@ void BM_Rfft(benchmark::State& state) {
     benchmark::DoNotOptimize(bins);
   }
   state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+  // Traffic model: read n reals, write n/2+1 complex bins.
+  set_roofline(state, rfft_flops(n),
+               static_cast<double>(n * 8 + (n / 2 + 1) * 16));
 }
 BENCHMARK(BM_Rfft)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
 
@@ -123,6 +157,11 @@ void BM_CrossCorrelateRfft(benchmark::State& state) {
     dsp::cross_correlate_valid_into(x, y, out, ws);
     benchmark::DoNotOptimize(out);
   }
+  // Two forward rffts + one inverse on the padded size, plus the bin
+  // product (6 flops per complex multiply).
+  const std::size_t m = dsp::next_power_of_two(x.size() + y.size());
+  set_roofline(state, 3.0 * rfft_flops(m) + 6.0 * static_cast<double>(m / 2 + 1),
+               static_cast<double>((x.size() + y.size() + out.size()) * 8));
 }
 BENCHMARK(BM_CrossCorrelateRfft)->Arg(1024)->Arg(4096)->Arg(16384);
 
@@ -170,8 +209,79 @@ void BM_SlidingPearsonFft(benchmark::State& state) {
     auto s = dsp::sliding_pearson_fft(x, y);
     benchmark::DoNotOptimize(s);
   }
+  // Correlation transforms + centering (2 flops/sample), prefix sums
+  // (3 flops/sample) and the normalization epilogue (~8 flops/window).
+  const std::size_t m = dsp::next_power_of_two(x.size() + y.size());
+  const std::size_t n_out = x.size() - y.size() + 1;
+  set_roofline(state,
+               3.0 * rfft_flops(m) + 6.0 * static_cast<double>(m / 2 + 1) +
+                   5.0 * static_cast<double>(x.size()) +
+                   8.0 * static_cast<double>(n_out),
+               static_cast<double>((x.size() * 3 + n_out) * 8));
 }
 BENCHMARK(BM_SlidingPearsonFft)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_SlidingPearsonFftInto(benchmark::State& state) {
+  // Workspace (allocation-free) variant: what the TDE loop actually runs.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto x = random_series(n, 1);
+  const auto y = random_series(n / 4, 2);
+  std::vector<double> out(x.size() - y.size() + 1);
+  dsp::SlidingPearsonWorkspace ws;
+  for (auto _ : state) {
+    dsp::sliding_pearson_fft_into(x, y, out, ws);
+    benchmark::DoNotOptimize(out);
+  }
+  const std::size_t m = dsp::next_power_of_two(x.size() + y.size());
+  set_roofline(state,
+               3.0 * rfft_flops(m) + 6.0 * static_cast<double>(m / 2 + 1) +
+                   5.0 * static_cast<double>(x.size()) +
+                   8.0 * static_cast<double>(out.size()),
+               static_cast<double>((x.size() * 3 + out.size()) * 8));
+}
+BENCHMARK(BM_SlidingPearsonFftInto)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_BatchedRfft(benchmark::State& state) {
+  // All-channels-in-one-plan transform (the DWM multichannel TDE path),
+  // 6 lanes like a UM3 ACC+AUD roster, lane-interleaved input.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const std::size_t lanes = 6;
+  const auto x = random_series(n * lanes, 9);
+  dsp::BatchedRfftPlan plan(n, lanes);
+  std::vector<double> sre(plan.bins() * lanes);
+  std::vector<double> sim(plan.bins() * lanes);
+  for (auto _ : state) {
+    plan.forward_interleaved(x.data(), sre.data(), sim.data());
+    benchmark::DoNotOptimize(sre);
+    benchmark::DoNotOptimize(sim);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(n * lanes));
+  set_roofline(state, static_cast<double>(lanes) * rfft_flops(n),
+               static_cast<double>(lanes * (n * 8 + (n / 2 + 1) * 16)));
+}
+BENCHMARK(BM_BatchedRfft)->Arg(1024)->Arg(4096)->Arg(16384);
+
+void BM_TdebEpilogue(benchmark::State& state) {
+  // The fused clamp + Gaussian-bias + argmax pass over a score array
+  // (one call per DWM window).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  auto scores = random_series(n, 17);
+  std::vector<double> w(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double d = (static_cast<double>(j) - 0.5 * static_cast<double>(n)) /
+                     (0.1 * static_cast<double>(n));
+    w[j] = std::exp(-0.5 * d * d);
+  }
+  for (auto _ : state) {
+    auto j = dsp::simd::ops().clamp_weight_argmax(scores.data(), w.data(), n);
+    benchmark::DoNotOptimize(j);
+  }
+  // max + multiply + compare per element; two input streams.
+  set_roofline(state, 3.0 * static_cast<double>(n),
+               static_cast<double>(n * 16));
+}
+BENCHMARK(BM_TdebEpilogue)->Arg(801)->Arg(4096)->Arg(16384);
 
 void BM_DwmWindowStep(benchmark::State& state) {
   // One TDEB evaluation with UM3-at-400Hz-like dimensions.
@@ -307,6 +417,15 @@ int main(int argc, char** argv) {
   for (auto& s : storage) args.push_back(s.data());
   int fake_argc = static_cast<int>(args.size());
   benchmark::Initialize(&fake_argc, args.data());
+  // Resolved dispatch backend into the JSON context, so scalar-baseline
+  // and vector runs of BENCH_micro.json are self-describing.
+  benchmark::AddCustomContext(
+      "simd_isa", nsync::dsp::simd::isa_name(nsync::dsp::simd::active_isa()));
+  benchmark::AddCustomContext(
+      "simd_best_supported",
+      nsync::dsp::simd::isa_name(nsync::dsp::simd::best_supported_isa()));
+  benchmark::AddCustomContext(
+      "simd_built", nsync::dsp::simd::built_with_simd() ? "true" : "false");
   if (benchmark::ReportUnrecognizedArguments(fake_argc, args.data())) {
     return 1;
   }

@@ -6,11 +6,20 @@
 # to every binary both as the environment variable (honored by the
 # runtime's automatic sizing) and explicitly as --threads, so the pool
 # size used for the committed outputs is visible in the invocation.
+#
+# NSYNC_SIMD passthrough: the dispatch layer honors it directly
+# ("scalar"/"avx2"/"neon"); echoing it here makes the backend used for a
+# committed capture visible at the top of the output.  bench_micro also
+# records the resolved backend in its JSON context (`simd_isa`), which is
+# how BENCH_micro_scalar.json and BENCH_micro.json are told apart.
 set -u
 THREAD_FLAGS=""
 if [ -n "${NSYNC_THREADS:-}" ]; then
   THREAD_FLAGS="--threads ${NSYNC_THREADS}"
   echo "## NSYNC_THREADS=${NSYNC_THREADS}"
+fi
+if [ -n "${NSYNC_SIMD:-}" ]; then
+  echo "## NSYNC_SIMD=${NSYNC_SIMD}"
 fi
 for b in "$@"; do
   echo "===================================================================="

@@ -1,13 +1,17 @@
 #include "core/tde.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/simd/simd.hpp"
 #include "signal/stats.hpp"
 
 namespace nsync::core {
 
 using nsync::signal::SignalView;
+
+namespace simd = nsync::dsp::simd;
 
 namespace {
 
@@ -34,6 +38,88 @@ std::span<const double> channel_span(const SignalView& s, std::size_t c,
   return buf;
 }
 
+// All channels of the FFT sliding correlation through one batched plan.
+//
+// This mirrors sliding_pearson_fft_into channel by channel — same
+// centering, same padded correlation, same prefix-sum normalization,
+// same degenerate-template early-out — but runs every transform as one
+// lane-interleaved BatchedRfftPlan pass and every pre/post pass as a
+// row-wise dispatched kernel.  The per-channel operation sequence is
+// identical to the sequential scalar path (the row kernels accumulate
+// each channel's reductions sequentially across frames), so the result
+// is bitwise equal to looping sliding_pearson_fft_into under the scalar
+// backend — which is what the per-channel loop used to produce.
+void similarity_scores_batched(const SignalView& x, const SignalView& y,
+                               TdeWorkspace& ws) {
+  const auto& k = simd::ops();
+  const std::size_t C = x.channels();
+  const std::size_t nx = x.frames();
+  const std::size_t ny = y.frames();
+  const std::size_t n_out = nx - ny + 1;
+
+  // Per-channel means (sequential per channel, like signal::mean on an
+  // extracted channel under the scalar backend).
+  ws.mu_x.resize(C);
+  ws.mu_y.resize(C);
+  k.channel_sums(x.data(), nx, C, ws.mu_x.data());
+  k.channel_sums(y.data(), ny, C, ws.mu_y.data());
+  for (auto& v : ws.mu_x) v /= static_cast<double>(nx);
+  for (auto& v : ws.mu_y) v /= static_cast<double>(ny);
+
+  const std::size_t m = nsync::dsp::next_power_of_two(nx + ny);
+  const std::size_t bins = m / 2 + 1;
+  if (!ws.batched.plan || ws.batched.plan->size() != m || ws.batched.plan->lanes() != C) {
+    ws.batched.plan = std::make_unique<nsync::dsp::BatchedRfftPlan>(m, C);
+  }
+
+  // Zero-padded, centered x; zero-padded, centered, time-reversed y with
+  // the per-channel template energy fused into the reversal pass.
+  ws.x_pad.assign(m * C, 0.0);
+  ws.y_pad.assign(m * C, 0.0);
+  k.center_rows(x.data(), nx, C, ws.mu_x.data(), ws.x_pad.data());
+  ws.y_energy.assign(C, 0.0);
+  k.center_rows_reversed_energy(y.data(), ny, C, ws.mu_y.data(),
+                                ws.y_pad.data(), ws.y_energy.data());
+
+  // Windowed-variance prefix sums must read the centered x rows before
+  // the inverse transform reuses x_pad as its output buffer.
+  ws.ps.resize((nx + 1) * C);
+  ws.ps2.resize((nx + 1) * C);
+  k.prefix_sums_rows(ws.x_pad.data(), ws.ps.data(), ws.ps2.data(), nx, C);
+
+  ws.spec_x_re.resize(bins * C);
+  ws.spec_x_im.resize(bins * C);
+  ws.spec_y_re.resize(bins * C);
+  ws.spec_y_im.resize(bins * C);
+  ws.batched.plan->forward_interleaved(ws.x_pad.data(), ws.spec_x_re.data(),
+                                  ws.spec_x_im.data());
+  ws.batched.plan->forward_interleaved(ws.y_pad.data(), ws.spec_y_re.data(),
+                                  ws.spec_y_im.data());
+  k.cmul_split_inplace(ws.spec_x_re.data(), ws.spec_x_im.data(),
+                       ws.spec_y_re.data(), ws.spec_y_im.data(), bins * C);
+  ws.batched.plan->inverse_interleaved(ws.spec_x_re.data(), ws.spec_x_im.data(),
+                                  ws.x_pad.data());
+  // Numerator for window n of channel c: ws.x_pad[(n + ny - 1) * C + c].
+
+  ws.scores.assign(n_out, 0.0);
+  ws.chan_scores.resize(n_out);
+  for (std::size_t c = 0; c < C; ++c) {
+    const double y_norm = std::sqrt(ws.y_energy[c]);
+    if (!(y_norm > 0.0) || !std::isfinite(y_norm)) {
+      // Degenerate template: the channel scores 0 everywhere, and the
+      // zero array is still accumulated so the signed-zero arithmetic
+      // matches the sequential path exactly.
+      std::fill(ws.chan_scores.begin(), ws.chan_scores.end(), 0.0);
+    } else {
+      k.normalize_windows_strided(ws.ps.data() + c, ws.ps2.data() + c, C, ny,
+                                  y_norm, ws.x_pad.data() + (ny - 1) * C + c,
+                                  ws.chan_scores.data(), n_out);
+    }
+    k.add_arrays(ws.scores.data(), ws.chan_scores.data(), n_out);
+  }
+  k.scale(ws.scores.data(), 1.0 / static_cast<double>(C), n_out);
+}
+
 }  // namespace
 
 std::span<const double> similarity_scores_into(const SignalView& x,
@@ -41,6 +127,10 @@ std::span<const double> similarity_scores_into(const SignalView& x,
                                                const TdeOptions& opts,
                                                TdeWorkspace& ws) {
   check_shapes(x, y);
+  if (opts.use_fft && x.channels() > 1) {
+    similarity_scores_batched(x, y, ws);
+    return ws.scores;
+  }
   const std::size_t n_out = x.frames() - y.frames() + 1;
   ws.scores.assign(n_out, 0.0);
   ws.chan_scores.resize(n_out);
@@ -98,27 +188,35 @@ std::size_t estimate_delay_biased(const SignalView& x, const SignalView& y,
     throw std::invalid_argument("bias_scores: sigma must be positive");
   }
   const auto scores = similarity_scores_into(x, y, opts, ws);
-  // Fused epilogue: clamp + Gaussian bias + argmax in one pass.
+  // Fused epilogue: clamp + Gaussian bias + argmax through the
+  // dispatched kernel.
   //
   // Multiplying a negative score by a small Gaussian weight would *raise*
   // it toward zero, perversely rewarding far-from-center anti-correlated
   // placements.  A negative correlation is never a candidate match, so
-  // clamp to zero before applying the bias.  The per-element arithmetic
-  // (max, then exp-weight multiply) matches the allocating
+  // the kernel clamps to zero before applying the bias.  The per-element
+  // arithmetic (max, then exp-weight multiply) matches the allocating
   // bias_scores path exactly, and the argmax keeps std::max_element's
   // first-occurrence semantics, so the result is bitwise identical.
-  std::size_t best = 0;
-  double best_score = 0.0;
-  for (std::size_t j = 0; j < scores.size(); ++j) {
-    const double s = std::max(scores[j], 0.0);
-    const double d = (static_cast<double>(j) - center) / sigma_samples;
-    const double biased = s * std::exp(-0.5 * d * d);
-    if (j == 0 || biased > best_score) {
-      best = j;
-      best_score = biased;
+  //
+  // The exp() weights are the expensive part and depend only on
+  // (center, sigma, n_out), so they are cached in the workspace and
+  // reused verbatim while those stay unchanged (static callers; the DWM
+  // moves `center` per window and recomputes, exactly as the old inline
+  // loop did).
+  const std::size_t n_out = scores.size();
+  if (ws.bias_w.size() != n_out || ws.bias_center != center ||
+      ws.bias_sigma != sigma_samples) {
+    ws.bias_w.resize(n_out);
+    for (std::size_t j = 0; j < n_out; ++j) {
+      const double d = (static_cast<double>(j) - center) / sigma_samples;
+      ws.bias_w[j] = std::exp(-0.5 * d * d);
     }
+    ws.bias_center = center;
+    ws.bias_sigma = sigma_samples;
   }
-  return best;
+  return simd::ops().clamp_weight_argmax(scores.data(), ws.bias_w.data(),
+                                         n_out);
 }
 
 }  // namespace nsync::core

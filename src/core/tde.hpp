@@ -19,9 +19,11 @@
 #define NSYNC_CORE_TDE_HPP
 
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
+#include "dsp/batched_fft.hpp"
 #include "dsp/xcorr.hpp"
 #include "signal/signal.hpp"
 
@@ -44,6 +46,43 @@ struct TdeWorkspace {
   std::vector<double> chan_scores;  ///< per-channel sliding correlation
   std::vector<double> scores;       ///< channel-averaged similarity
   nsync::dsp::SlidingPearsonWorkspace pearson;
+
+  // Batched multichannel FFT path (channels > 1): all channels run
+  // through one lane-interleaved BatchedRfftPlan instead of a per-channel
+  // transform loop.  The plan is rebuilt only when the padded size or
+  // channel count changes, so the DWM steady state (fixed window shape)
+  // allocates nothing here.  The cache wrapper copies as empty so the
+  // workspace stays copyable (the plan is keyed scratch, rebuilt on
+  // demand).
+  struct BatchedPlanCache {
+    std::unique_ptr<nsync::dsp::BatchedRfftPlan> plan;
+    BatchedPlanCache() = default;
+    BatchedPlanCache(const BatchedPlanCache&) noexcept {}
+    BatchedPlanCache& operator=(const BatchedPlanCache&) noexcept {
+      return *this;
+    }
+    BatchedPlanCache(BatchedPlanCache&&) noexcept = default;
+    BatchedPlanCache& operator=(BatchedPlanCache&&) noexcept = default;
+    ~BatchedPlanCache() = default;
+  };
+  BatchedPlanCache batched;
+  std::vector<double> mu_x;       ///< per-channel means of x
+  std::vector<double> mu_y;       ///< per-channel means of y
+  std::vector<double> y_energy;   ///< per-channel centered template energy
+  std::vector<double> x_pad;      ///< centered x, lane-interleaved, padded
+  std::vector<double> y_pad;      ///< centered reversed y, padded
+  std::vector<double> spec_x_re;  ///< batched spectra (split planes)
+  std::vector<double> spec_x_im;
+  std::vector<double> spec_y_re;
+  std::vector<double> spec_y_im;
+  std::vector<double> ps;   ///< per-channel prefix sums (row-interleaved)
+  std::vector<double> ps2;  ///< per-channel prefix sums of squares
+
+  // TDEB Gaussian weight cache: reused verbatim while (center, sigma,
+  // n_out) are unchanged (static callers); recomputed otherwise.
+  std::vector<double> bias_w;
+  double bias_center = 0.0;
+  double bias_sigma = 0.0;
 };
 
 /// Similarity array s[n] = f(x[n : n+Ny], y), n = 0 .. Nx - Ny (Eq. 1).

@@ -1,5 +1,6 @@
 #include "dsp/fft.hpp"
 
+#include <algorithm>
 #include <atomic>
 #include <cmath>
 #include <memory>
@@ -8,6 +9,10 @@
 #include <shared_mutex>
 #include <stdexcept>
 #include <unordered_map>
+#include <utility>
+
+#include "dsp/fft_internal.hpp"
+#include "dsp/simd/simd.hpp"
 
 namespace nsync::dsp {
 
@@ -15,32 +20,30 @@ namespace {
 
 constexpr double kPi = std::numbers::pi;
 
+namespace simd = nsync::dsp::simd;
+
+using detail::BluesteinPlan;
+using detail::Radix2Plan;
+using detail::RfftPlan;
+
 // ---------------------------------------------------------------------------
 // Plan cache.
 //
-// Radix-2 plans hold the bit-reversal permutation and the forward twiddle
-// table w_n^k = exp(-2*pi*i*k/n), k < n/2; stage `len` reads the table at
-// stride n/len, which is both faster and more accurate than the repeated
-// w *= wlen recurrence of the uncached path.  Bluestein plans hold the
-// chirp and the FFT of the convolution kernel per (n, direction).
-// Plans are immutable once built, published via shared_ptr, and looked up
-// under a shared_mutex, so any number of threads can transform
-// concurrently.
+// Radix-2 plans hold the bit-reversal permutation and per-stage split
+// twiddle tables copied out of the full forward table
+// w_n^k = exp(-2*pi*i*k/n) (see fft_internal.hpp for why they are copied
+// rather than recomputed).  Bluestein plans hold the chirp and the FFT of
+// the convolution kernel per (n, direction), split.  Plans are immutable
+// once built, published via shared_ptr, and looked up under a
+// shared_mutex, so any number of threads can transform concurrently.
+// The butterfly/untangle/bin-product inner loops all run through the
+// runtime-dispatched SIMD kernel table (dsp/simd/simd.hpp); every scalar
+// formula below is preserved bit for bit by the vector backends.
 // ---------------------------------------------------------------------------
-
-struct Radix2Plan {
-  std::vector<std::size_t> bitrev;  ///< bitrev[i] = bit-reversed i
-  std::vector<Complex> twiddle;     ///< forward w_n^k, k < n/2
-};
-
-struct BluesteinPlan {
-  std::size_t m = 0;            ///< power-of-two convolution length
-  std::vector<Complex> chirp;   ///< w[k] = exp(sign*i*pi*k^2/n)
-  std::vector<Complex> kernel;  ///< fft of the padded conj-chirp sequence
-};
 
 std::shared_ptr<const Radix2Plan> build_radix2_plan(std::size_t n) {
   auto plan = std::make_shared<Radix2Plan>();
+  plan->n = n;
   plan->bitrev.resize(n);
   plan->bitrev[0] = 0;
   for (std::size_t i = 1, j = 0; i < n; ++i) {
@@ -49,49 +52,26 @@ std::shared_ptr<const Radix2Plan> build_radix2_plan(std::size_t n) {
     j ^= bit;
     plan->bitrev[i] = j;
   }
-  plan->twiddle.resize(n / 2);
+  std::vector<Complex> full(n / 2);
   for (std::size_t k = 0; k < n / 2; ++k) {
     const double ang = -2.0 * kPi * static_cast<double>(k) /
                        static_cast<double>(n);
-    plan->twiddle[k] = Complex(std::cos(ang), std::sin(ang));
+    full[k] = Complex(std::cos(ang), std::sin(ang));
   }
-  return plan;
-}
-
-void run_radix2_plan(std::span<Complex> data, const Radix2Plan& plan,
-                     bool inverse) {
-  const std::size_t n = data.size();
-  for (std::size_t i = 1; i < n; ++i) {
-    const std::size_t j = plan.bitrev[i];
-    if (i < j) std::swap(data[i], data[j]);
-  }
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const std::size_t stride = n / len;
-    for (std::size_t i = 0; i < n; i += len) {
+  if (n >= 2) {
+    plan->stage_re.resize(n - 1);
+    plan->stage_im.resize(n - 1);
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const std::size_t stride = n / len;
+      const std::size_t off = len / 2 - 1;
       for (std::size_t k = 0; k < len / 2; ++k) {
-        Complex w = plan.twiddle[k * stride];
-        if (inverse) w = std::conj(w);
-        const Complex u = data[i + k];
-        const Complex v = data[i + k + len / 2] * w;
-        data[i + k] = u + v;
-        data[i + k + len / 2] = u - v;
+        plan->stage_re[off + k] = full[k * stride].real();
+        plan->stage_im[off + k] = full[k * stride].imag();
       }
     }
   }
-  if (inverse) {
-    for (auto& x : data) x /= static_cast<double>(n);
-  }
+  return plan;
 }
-
-// Real-FFT plan for an even power-of-two size n: the radix-2 plan for the
-// half-size complex transform plus the untangling twiddles
-// w^k = exp(-2*pi*i*k/n), k < n/2 (the same values the size-n radix-2
-// table holds, cached separately so the real path never builds the
-// full-size bit-reversal permutation).
-struct RfftPlan {
-  std::shared_ptr<const Radix2Plan> half;  ///< plan for size n/2
-  std::vector<Complex> twiddle;            ///< w_n^k, k < n/2
-};
 
 class PlanCache {
  public:
@@ -142,12 +122,15 @@ class PlanCache {
     }
     misses_.fetch_add(1, std::memory_order_relaxed);
     auto plan = std::make_shared<RfftPlan>();
+    plan->n = n;
     plan->half = radix2(n / 2);
-    plan->twiddle.resize(n / 2);
+    plan->tw_re.resize(n / 2);
+    plan->tw_im.resize(n / 2);
     for (std::size_t k = 0; k < n / 2; ++k) {
       const double ang = -2.0 * kPi * static_cast<double>(k) /
                          static_cast<double>(n);
-      plan->twiddle[k] = Complex(std::cos(ang), std::sin(ang));
+      plan->tw_re[k] = std::cos(ang);
+      plan->tw_im[k] = std::sin(ang);
     }
     std::unique_lock<std::shared_mutex> lock(mu_);
     const auto [it, inserted] = rfft_.emplace(n, std::move(plan));
@@ -180,21 +163,27 @@ class PlanCache {
                                                             bool inverse) {
     const double sign = inverse ? 1.0 : -1.0;
     auto plan = std::make_shared<BluesteinPlan>();
-    plan->chirp.resize(n);
+    plan->n = n;
+    plan->chirp_re.resize(n);
+    plan->chirp_im.resize(n);
     for (std::size_t k = 0; k < n; ++k) {
       // k^2 mod 2n keeps the argument bounded for large k.
       const auto k2 = static_cast<double>((k * k) % (2 * n));
       const double ang = sign * kPi * k2 / static_cast<double>(n);
-      plan->chirp[k] = Complex(std::cos(ang), std::sin(ang));
+      plan->chirp_re[k] = std::cos(ang);
+      plan->chirp_im[k] = std::sin(ang);
     }
     plan->m = next_power_of_two(2 * n - 1);
-    std::vector<Complex> b(plan->m, Complex(0.0, 0.0));
-    b[0] = std::conj(plan->chirp[0]);
+    plan->kernel_re.assign(plan->m, 0.0);
+    plan->kernel_im.assign(plan->m, 0.0);
+    plan->kernel_re[0] = plan->chirp_re[0];
+    plan->kernel_im[0] = -plan->chirp_im[0];
     for (std::size_t k = 1; k < n; ++k) {
-      b[k] = b[plan->m - k] = std::conj(plan->chirp[k]);
+      plan->kernel_re[k] = plan->kernel_re[plan->m - k] = plan->chirp_re[k];
+      plan->kernel_im[k] = plan->kernel_im[plan->m - k] = -plan->chirp_im[k];
     }
-    run_radix2_plan(b, *radix2(plan->m), /*inverse=*/false);
-    plan->kernel = std::move(b);
+    detail::run_radix2_split(plan->kernel_re.data(), plan->kernel_im.data(),
+                             *radix2(plan->m), /*inverse=*/false);
     return plan;
   }
 
@@ -215,24 +204,85 @@ PlanCache& plan_cache() {
 // Bluestein's algorithm: expresses a length-N DFT as a convolution, which
 // is evaluated with a power-of-two FFT.  Handles any N.  The chirp and the
 // kernel FFT come from the plan cache; only the data-dependent convolution
-// runs per call, in a per-thread scratch buffer.
+// runs per call, in per-thread split scratch planes.
 std::vector<Complex> bluestein(std::span<const Complex> input, bool inverse) {
   const std::size_t n = input.size();
   const auto plan = plan_cache().bluestein(n, inverse);
   const auto radix2 = plan_cache().radix2(plan->m);
-  thread_local std::vector<Complex> scratch;
-  scratch.assign(plan->m, Complex(0.0, 0.0));
-  for (std::size_t k = 0; k < n; ++k) {
-    scratch[k] = input[k] * plan->chirp[k];
-  }
-  run_radix2_plan(scratch, *radix2, /*inverse=*/false);
-  for (std::size_t k = 0; k < plan->m; ++k) scratch[k] *= plan->kernel[k];
-  run_radix2_plan(scratch, *radix2, /*inverse=*/true);  // includes 1/m
+  const auto& k = simd::ops();
+  thread_local std::vector<double> sre;
+  thread_local std::vector<double> sim;
+  sre.assign(plan->m, 0.0);
+  sim.assign(plan->m, 0.0);
+  k.deinterleave(reinterpret_cast<const double*>(input.data()), n, sre.data(),
+                 sim.data());
+  k.cmul_split_inplace(sre.data(), sim.data(), plan->chirp_re.data(),
+                       plan->chirp_im.data(), n);
+  detail::run_radix2_split(sre.data(), sim.data(), *radix2,
+                           /*inverse=*/false);
+  k.cmul_split_inplace(sre.data(), sim.data(), plan->kernel_re.data(),
+                       plan->kernel_im.data(), plan->m);
+  detail::run_radix2_split(sre.data(), sim.data(), *radix2,
+                           /*inverse=*/true);  // includes 1/m
+  k.cmul_split_inplace(sre.data(), sim.data(), plan->chirp_re.data(),
+                       plan->chirp_im.data(), n);
   std::vector<Complex> out(n);
-  for (std::size_t k = 0; k < n; ++k) {
-    out[k] = scratch[k] * plan->chirp[k];
-  }
+  k.interleave(sre.data(), sim.data(), n,
+               reinterpret_cast<double*>(out.data()));
   return out;
+}
+
+}  // namespace
+
+namespace detail {
+
+std::shared_ptr<const Radix2Plan> get_radix2_plan(std::size_t n) {
+  return plan_cache().radix2(n);
+}
+
+std::shared_ptr<const RfftPlan> get_rfft_plan(std::size_t n) {
+  return plan_cache().rfft(n);
+}
+
+std::shared_ptr<const BluesteinPlan> get_bluestein_plan(std::size_t n,
+                                                        bool inverse) {
+  return plan_cache().bluestein(n, inverse);
+}
+
+void run_radix2_split(double* re, double* im, const Radix2Plan& plan,
+                      bool inverse) {
+  const std::size_t n = plan.n;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = plan.bitrev[i];
+    if (i < j) {
+      std::swap(re[i], re[j]);
+      std::swap(im[i], im[j]);
+    }
+  }
+  const auto& k = simd::ops();
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    k.radix2_pass(re, im, n, len, plan.stage_twr(len), plan.stage_twi(len),
+                  inverse);
+  }
+  if (inverse) k.divide2(re, im, n, static_cast<double>(n));
+}
+
+void run_radix2_split_batch(double* re, double* im, std::size_t lanes,
+                            const Radix2Plan& plan, bool inverse) {
+  const std::size_t n = plan.n;
+  for (std::size_t i = 1; i < n; ++i) {
+    const std::size_t j = plan.bitrev[i];
+    if (i < j) {
+      std::swap_ranges(re + i * lanes, re + (i + 1) * lanes, re + j * lanes);
+      std::swap_ranges(im + i * lanes, im + (i + 1) * lanes, im + j * lanes);
+    }
+  }
+  const auto& k = simd::ops();
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    k.radix2_pass_batch(re, im, n, lanes, len, plan.stage_twr(len),
+                        plan.stage_twi(len), inverse);
+  }
+  if (inverse) k.divide2(re, im, n * lanes, static_cast<double>(n));
 }
 
 // ---------------------------------------------------------------------------
@@ -247,47 +297,35 @@ std::vector<Complex> bluestein(std::span<const Complex> input, bool inverse) {
 //   E[k] = (X[k] + conj(X[h-k])) / 2
 //   O[k] = conj(w^k) * (X[k] - conj(X[h-k])) / 2
 //   Z[k] = E[k] + i*O[k],  z = IDFT_h(Z),  x[2k] = Re z, x[2k+1] = Im z.
-// Both passes are O(n) around one half-size complex FFT.
+// Both passes are O(n) around one half-size complex FFT.  The pack and
+// the k = 1 .. h-1 untangle run through the dispatched SIMD kernels.
 // ---------------------------------------------------------------------------
 
 // x.size() must equal the (power-of-two) plan size n; writes n/2+1 bins.
-void rfft_pow2_into(std::span<const double> x, std::span<Complex> out,
-                    std::span<Complex> half, const RfftPlan& plan) {
+void rfft_pow2_split(std::span<const double> x, std::span<Complex> out,
+                     double* half_re, double* half_im, const RfftPlan& plan) {
   const std::size_t h = x.size() / 2;
-  for (std::size_t k = 0; k < h; ++k) {
-    half[k] = Complex(x[2 * k], x[2 * k + 1]);
-  }
-  if (h > 1) run_radix2_plan(half.first(h), *plan.half, /*inverse=*/false);
-  out[0] = Complex(half[0].real() + half[0].imag(), 0.0);
-  out[h] = Complex(half[0].real() - half[0].imag(), 0.0);
-  for (std::size_t k = 1; k < h; ++k) {
-    const Complex zk = half[k];
-    const Complex zc = std::conj(half[h - k]);
-    const Complex even = 0.5 * (zk + zc);
-    const Complex odd = Complex(0.0, -0.5) * (zk - zc);
-    out[k] = even + plan.twiddle[k] * odd;
-  }
+  const auto& k = simd::ops();
+  k.deinterleave(x.data(), h, half_re, half_im);
+  if (h > 1) run_radix2_split(half_re, half_im, *plan.half, /*inverse=*/false);
+  out[0] = Complex(half_re[0] + half_im[0], 0.0);
+  out[h] = Complex(half_re[0] - half_im[0], 0.0);
+  k.rfft_untangle(half_re, half_im, plan.tw_re.data(), plan.tw_im.data(), h,
+                  out.data());
 }
 
 // bins.size() must be n/2+1 for the (power-of-two) plan size n = out.size().
-void irfft_pow2_into(std::span<const Complex> bins, std::span<double> out,
-                     std::span<Complex> half, const RfftPlan& plan) {
+void irfft_pow2_split(std::span<const Complex> bins, std::span<double> out,
+                      double* half_re, double* half_im, const RfftPlan& plan) {
   const std::size_t h = out.size() / 2;
-  for (std::size_t k = 0; k < h; ++k) {
-    const Complex xk = bins[k];
-    const Complex xc = std::conj(bins[h - k]);
-    const Complex even = 0.5 * (xk + xc);
-    const Complex odd = std::conj(plan.twiddle[k]) * (0.5 * (xk - xc));
-    half[k] = even + Complex(0.0, 1.0) * odd;
-  }
-  if (h > 1) run_radix2_plan(half.first(h), *plan.half, /*inverse=*/true);
-  for (std::size_t k = 0; k < h; ++k) {
-    out[2 * k] = half[k].real();
-    out[2 * k + 1] = half[k].imag();
-  }
+  const auto& k = simd::ops();
+  k.irfft_untangle(bins.data(), plan.tw_re.data(), plan.tw_im.data(), h,
+                   half_re, half_im);
+  if (h > 1) run_radix2_split(half_re, half_im, *plan.half, /*inverse=*/true);
+  k.interleave(half_re, half_im, h, out.data());
 }
 
-}  // namespace
+}  // namespace detail
 
 bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
 
@@ -304,7 +342,22 @@ void fft_radix2(std::span<Complex> data, bool inverse) {
     throw std::invalid_argument("fft_radix2: size must be a power of two");
   }
   if (n == 1) return;
-  run_radix2_plan(data, *plan_cache().radix2(n), inverse);
+  // Split the interleaved std::complex buffer into per-thread planes, run
+  // the split-plane core, and reinterleave.  The copies are exact, so the
+  // public API is bit-compatible with the historical in-place transform.
+  const auto plan = plan_cache().radix2(n);
+  const auto& k = simd::ops();
+  thread_local std::vector<double> re;
+  thread_local std::vector<double> im;
+  if (re.size() < n) {
+    re.resize(n);
+    im.resize(n);
+  }
+  k.deinterleave(reinterpret_cast<const double*>(data.data()), n, re.data(),
+                 im.data());
+  detail::run_radix2_split(re.data(), im.data(), *plan, inverse);
+  k.interleave(re.data(), im.data(), n,
+               reinterpret_cast<double*>(data.data()));
 }
 
 void fft_radix2_uncached(std::span<Complex> data, bool inverse) {
@@ -372,8 +425,12 @@ std::vector<Complex> rfft(std::span<const double> input) {
   }
   if (n % 2 == 0 && is_power_of_two(n)) {
     const auto plan = plan_cache().rfft(n);
-    std::vector<Complex> half(std::max<std::size_t>(n / 2, 1));
-    rfft_pow2_into(input, out, half, *plan);
+    thread_local std::vector<double> half_re;
+    thread_local std::vector<double> half_im;
+    half_re.resize(std::max<std::size_t>(n / 2, 1));
+    half_im.resize(std::max<std::size_t>(n / 2, 1));
+    detail::rfft_pow2_split(input, out, half_re.data(), half_im.data(),
+                            *plan);
     return out;
   }
   if (n % 2 == 0) {
@@ -412,8 +469,12 @@ std::vector<double> irfft(std::span<const Complex> bins, std::size_t n) {
   std::vector<double> out(n);
   if (n % 2 == 0 && is_power_of_two(n)) {
     const auto plan = plan_cache().rfft(n);
-    std::vector<Complex> half(std::max<std::size_t>(n / 2, 1));
-    irfft_pow2_into(bins, out, half, *plan);
+    thread_local std::vector<double> half_re;
+    thread_local std::vector<double> half_im;
+    half_re.resize(std::max<std::size_t>(n / 2, 1));
+    half_im.resize(std::max<std::size_t>(n / 2, 1));
+    detail::irfft_pow2_split(bins, out, half_re.data(), half_im.data(),
+                             *plan);
     return out;
   }
   if (n % 2 == 0) {
@@ -472,18 +533,29 @@ void cross_correlate_valid_into(std::span<const double> x,
   const std::size_t m = next_power_of_two(nx + ny);
   const std::size_t h = m / 2;
   const auto plan = plan_cache().rfft(m);
-  ws.x_pad.assign(m, 0.0);
-  ws.y_pad.assign(m, 0.0);
+  ws.x_pad.resize(m);
+  ws.y_pad.resize(m);
   ws.spec_x.resize(h + 1);
   ws.spec_y.resize(h + 1);
-  ws.half.resize(std::max<std::size_t>(h, 1));
-  for (std::size_t i = 0; i < nx; ++i) ws.x_pad[i] = x[i];
+  ws.half_re.resize(std::max<std::size_t>(h, 1));
+  ws.half_im.resize(std::max<std::size_t>(h, 1));
+  // Touch each pad element exactly once: copy the data region, zero only
+  // the padding tail (assign() would memset the whole buffer and then
+  // rewrite the front, costing an extra pass over 2*m doubles per call).
+  std::copy(x.begin(), x.end(), ws.x_pad.begin());
+  std::fill(ws.x_pad.begin() + static_cast<std::ptrdiff_t>(nx), ws.x_pad.end(),
+            0.0);
   // Time-reverse y so the convolution computes correlation.
   for (std::size_t i = 0; i < ny; ++i) ws.y_pad[i] = y[ny - 1 - i];
-  rfft_pow2_into(ws.x_pad, ws.spec_x, ws.half, *plan);
-  rfft_pow2_into(ws.y_pad, ws.spec_y, ws.half, *plan);
-  for (std::size_t k = 0; k <= h; ++k) ws.spec_x[k] *= ws.spec_y[k];
-  irfft_pow2_into(ws.spec_x, ws.x_pad, ws.half, *plan);
+  std::fill(ws.y_pad.begin() + static_cast<std::ptrdiff_t>(ny), ws.y_pad.end(),
+            0.0);
+  detail::rfft_pow2_split(ws.x_pad, ws.spec_x, ws.half_re.data(),
+                          ws.half_im.data(), *plan);
+  detail::rfft_pow2_split(ws.y_pad, ws.spec_y, ws.half_re.data(),
+                          ws.half_im.data(), *plan);
+  simd::ops().cmul_inplace(ws.spec_x.data(), ws.spec_y.data(), h + 1);
+  detail::irfft_pow2_split(ws.spec_x, ws.x_pad, ws.half_re.data(),
+                           ws.half_im.data(), *plan);
   for (std::size_t k = 0; k < n_out; ++k) {
     out[k] = ws.x_pad[k + ny - 1];
   }

@@ -15,6 +15,14 @@
 // (size, direction).  Every function here is safe to call concurrently
 // from multiple threads, and the workspace entry points perform no heap
 // allocation once their buffers have grown to steady-state size.
+//
+// The butterfly, pack/untangle, and bin-product inner loops run through
+// the runtime-dispatched SIMD kernel table (dsp/simd/simd.hpp): AVX2 or
+// NEON when the host supports it, with a scalar fallback that is always
+// built.  All backends are bitwise-identical for these kernels (the
+// vector lanes evaluate the exact scalar formulas in parallel), so
+// results do not depend on the machine the binary lands on.  Batched
+// many-channel transforms live in dsp/batched_fft.hpp.
 #ifndef NSYNC_DSP_FFT_HPP
 #define NSYNC_DSP_FFT_HPP
 
@@ -71,9 +79,10 @@ void fft_radix2_uncached(std::span<Complex> data, bool inverse = false);
 struct CorrelationWorkspace {
   std::vector<double> x_pad;    ///< zero-padded x (and irfft output)
   std::vector<double> y_pad;    ///< zero-padded, time-reversed y
-  std::vector<Complex> spec_x;  ///< rfft(x_pad), then the bin product
-  std::vector<Complex> spec_y;  ///< rfft(y_pad)
-  std::vector<Complex> half;    ///< half-size complex staging buffer
+  std::vector<Complex> spec_x;   ///< rfft(x_pad), then the bin product
+  std::vector<Complex> spec_y;   ///< rfft(y_pad)
+  std::vector<double> half_re;   ///< half-size staging plane (real)
+  std::vector<double> half_im;   ///< half-size staging plane (imag)
 };
 
 /// Linear cross-correlation of x with y via FFT zero-padding:

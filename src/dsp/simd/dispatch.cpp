@@ -1,0 +1,125 @@
+// Backend resolution for the SIMD kernel table.
+//
+// One Ops table per compiled-in backend; the active one is chosen once on
+// first use (best ISA the host supports, overridable with the NSYNC_SIMD
+// environment variable) and held in an atomic pointer so tests and
+// ablations can flip backends at runtime without a data race.
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "dsp/simd/kernels.hpp"
+
+namespace nsync::dsp::simd {
+namespace {
+
+// Field order must match struct Ops exactly.
+#define NSYNC_SIMD_OPS_ENTRIES(ns)                                      \
+  ns::radix2_pass, ns::radix2_pass_batch, ns::divide2, ns::cmul_inplace, \
+      ns::cmul_split_inplace, ns::cmul_rows_broadcast, ns::rfft_untangle, \
+      ns::irfft_untangle, ns::rfft_untangle_batch, ns::irfft_untangle_batch, \
+      ns::deinterleave, ns::interleave, ns::subtract_scalar, ns::mul_arrays, \
+      ns::mul_rows_broadcast_real, ns::add_arrays, ns::scale,           \
+      ns::normalize_windows, ns::normalize_windows_strided,             \
+      ns::clamp_weight_argmax, ns::channel_sums, ns::center_rows,       \
+      ns::center_rows_reversed_energy, ns::prefix_sums_rows, ns::sum,   \
+      ns::centered_energy, ns::subtract_scalar_energy,                  \
+      ns::pearson_accumulate, ns::prefix_sums
+
+const Ops kScalarOps{Isa::kScalar, "scalar", NSYNC_SIMD_OPS_ENTRIES(scalar)};
+#if defined(NSYNC_SIMD_HAVE_AVX2)
+const Ops kAvx2Ops{Isa::kAvx2, "avx2", NSYNC_SIMD_OPS_ENTRIES(avx2)};
+#endif
+#if defined(NSYNC_SIMD_HAVE_NEON)
+const Ops kNeonOps{Isa::kNeon, "neon", NSYNC_SIMD_OPS_ENTRIES(neon)};
+#endif
+
+#undef NSYNC_SIMD_OPS_ENTRIES
+
+const Ops* table_for(Isa isa) {
+  switch (isa) {
+#if defined(NSYNC_SIMD_HAVE_AVX2)
+    case Isa::kAvx2:
+      return &kAvx2Ops;
+#endif
+#if defined(NSYNC_SIMD_HAVE_NEON)
+    case Isa::kNeon:
+      return &kNeonOps;
+#endif
+    default:
+      return &kScalarOps;
+  }
+}
+
+Isa parse_isa_name(const char* s) {
+  if (std::strcmp(s, "avx2") == 0) return Isa::kAvx2;
+  if (std::strcmp(s, "neon") == 0) return Isa::kNeon;
+  return Isa::kScalar;
+}
+
+Isa initial_isa() {
+  Isa isa = best_supported_isa();
+  if (const char* env = std::getenv("NSYNC_SIMD")) {
+    const Isa wanted = parse_isa_name(env);
+    if (backend_available(wanted)) isa = wanted;
+  }
+  return isa;
+}
+
+std::atomic<const Ops*>& active_slot() {
+  static std::atomic<const Ops*> slot{table_for(initial_isa())};
+  return slot;
+}
+
+}  // namespace
+
+const Ops& ops() { return *active_slot().load(std::memory_order_acquire); }
+
+Isa active_isa() { return ops().isa; }
+
+const char* isa_name(Isa isa) { return table_for(isa)->name; }
+
+Isa best_supported_isa() {
+#if defined(NSYNC_SIMD_HAVE_AVX2)
+  if (__builtin_cpu_supports("avx2")) return Isa::kAvx2;
+#endif
+#if defined(NSYNC_SIMD_HAVE_NEON)
+  // NEON is baseline on aarch64; the backend is only compiled in when the
+  // target guarantees it.
+  return Isa::kNeon;
+#endif
+  return Isa::kScalar;
+}
+
+bool backend_available(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+#if defined(NSYNC_SIMD_HAVE_AVX2)
+    case Isa::kAvx2:
+      return __builtin_cpu_supports("avx2");
+#endif
+#if defined(NSYNC_SIMD_HAVE_NEON)
+    case Isa::kNeon:
+      return true;
+#endif
+    default:
+      return false;
+  }
+}
+
+bool set_backend(Isa isa) {
+  if (!backend_available(isa)) return false;
+  active_slot().store(table_for(isa), std::memory_order_release);
+  return true;
+}
+
+bool built_with_simd() {
+#if defined(NSYNC_SIMD_HAVE_AVX2) || defined(NSYNC_SIMD_HAVE_NEON)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace nsync::dsp::simd

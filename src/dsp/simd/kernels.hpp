@@ -1,0 +1,111 @@
+// Internal: per-backend kernel declarations for the dispatch table.
+//
+// Every backend exposes the same free-function set inside its own
+// namespace; dispatch.cpp wires them into simd::Ops tables.  The scalar
+// backend is the reference — its bodies are literal transcriptions of the
+// loops that used to live inline in fft.cpp / xcorr.cpp / stats.cpp /
+// tde.cpp, so the scalar backend is bitwise identical to the pre-dispatch
+// implementation.  Vector backends must match it per the contract in
+// simd.hpp (bitwise for lane-parallel kernels, bounded-ULP for
+// reassociating reductions).
+//
+// The signature list is kept in one macro so the three backends cannot
+// drift apart.
+#ifndef NSYNC_DSP_SIMD_KERNELS_HPP
+#define NSYNC_DSP_SIMD_KERNELS_HPP
+
+#include "dsp/simd/simd.hpp"
+
+// clang-format off
+#define NSYNC_SIMD_DECLARE_KERNELS                                           \
+  void radix2_pass(double* re, double* im, std::size_t n, std::size_t len,   \
+                   const double* twr, const double* twi, bool inverse);      \
+  void radix2_pass_batch(double* re, double* im, std::size_t n,              \
+                         std::size_t lanes, std::size_t len,                 \
+                         const double* twr, const double* twi,               \
+                         bool inverse);                                      \
+  void divide2(double* re, double* im, std::size_t n, double d);             \
+  void cmul_inplace(Complex* a, const Complex* b, std::size_t n);            \
+  void cmul_split_inplace(double* ar, double* ai, const double* br,          \
+                          const double* bi, std::size_t n);                  \
+  void cmul_rows_broadcast(double* re, double* im, std::size_t rows,         \
+                           std::size_t lanes, const double* wr,              \
+                           const double* wi);                                \
+  void rfft_untangle(const double* hre, const double* him,                   \
+                     const double* twr, const double* twi, std::size_t h,    \
+                     Complex* out);                                          \
+  void irfft_untangle(const Complex* bins, const double* twr,                \
+                      const double* twi, std::size_t h, double* out_re,      \
+                      double* out_im);                                       \
+  void rfft_untangle_batch(const double* hre, const double* him,             \
+                           const double* twr, const double* twi,             \
+                           std::size_t h, std::size_t lanes,                 \
+                           double* out_re, double* out_im);                  \
+  void irfft_untangle_batch(const double* br, const double* bi,              \
+                            const double* twr, const double* twi,            \
+                            std::size_t h, std::size_t lanes,                \
+                            double* out_re, double* out_im);                 \
+  void deinterleave(const double* xy, std::size_t n, double* re,             \
+                    double* im);                                             \
+  void interleave(const double* re, const double* im, std::size_t n,         \
+                  double* xy);                                               \
+  void subtract_scalar(const double* src, double mu, double* dst,            \
+                       std::size_t n);                                       \
+  void mul_arrays(const double* a, const double* b, double* dst,             \
+                  std::size_t n);                                            \
+  void mul_rows_broadcast_real(const double* src, std::size_t rows,          \
+                               std::size_t lanes, const double* w,           \
+                               double* dst);                                 \
+  void add_arrays(double* dst, const double* src, std::size_t n);            \
+  void scale(double* x, double s, std::size_t n);                            \
+  void normalize_windows(const double* ps, const double* ps2,                \
+                         std::size_t ny, double y_norm, const double* num,   \
+                         double* out, std::size_t n_out);                    \
+  void normalize_windows_strided(const double* ps, const double* ps2,        \
+                                 std::size_t stride, std::size_t ny,         \
+                                 double y_norm, const double* num,           \
+                                 double* out, std::size_t n_out);            \
+  std::size_t clamp_weight_argmax(const double* scores, const double* w,     \
+                                  std::size_t n);                            \
+  void channel_sums(const double* data, std::size_t frames,                  \
+                    std::size_t channels, double* sums);                     \
+  void center_rows(const double* src, std::size_t frames,                    \
+                   std::size_t channels, const double* mu, double* dst);     \
+  void center_rows_reversed_energy(const double* src, std::size_t frames,    \
+                                   std::size_t channels, const double* mu,   \
+                                   double* dst, double* energy);             \
+  void prefix_sums_rows(const double* x, double* ps, double* ps2,            \
+                        std::size_t frames, std::size_t channels);           \
+  double sum(const double* x, std::size_t n);                                \
+  double centered_energy(const double* x, double mu, std::size_t n);         \
+  double subtract_scalar_energy(const double* src, double mu, double* dst,   \
+                                std::size_t n);                              \
+  void pearson_accumulate(const double* u, const double* v, double mu,       \
+                          double mv, std::size_t n, double* num,             \
+                          double* du2, double* dv2);                         \
+  void prefix_sums(const double* x, double* ps, double* ps2, std::size_t n);
+// clang-format on
+
+namespace nsync::dsp::simd {
+
+namespace scalar {
+NSYNC_SIMD_DECLARE_KERNELS
+}  // namespace scalar
+
+#if defined(NSYNC_SIMD_HAVE_AVX2)
+namespace avx2 {
+NSYNC_SIMD_DECLARE_KERNELS
+}  // namespace avx2
+#endif
+
+#if defined(NSYNC_SIMD_HAVE_NEON)
+namespace neon {
+NSYNC_SIMD_DECLARE_KERNELS
+}  // namespace neon
+#endif
+
+}  // namespace nsync::dsp::simd
+
+#undef NSYNC_SIMD_DECLARE_KERNELS
+
+#endif  // NSYNC_DSP_SIMD_KERNELS_HPP

@@ -1,0 +1,248 @@
+// Runtime CPU-dispatched SIMD kernels for the DSP hot loops.
+//
+// Every arithmetic-dense inner loop of the rfft → cross-correlation →
+// sliding-Pearson → TDEB chain is routed through a table of function
+// pointers (`Ops`) resolved once at startup: an AVX2 backend on x86-64,
+// a NEON backend on aarch64, and a portable scalar backend that is always
+// built and is the reference implementation for both.
+//
+// Equivalence contract (pinned by tests/test_simd_equivalence.cpp, see
+// DESIGN.md "SIMD dispatch layer" for the per-kernel table):
+//
+//  * "bitwise" kernels are lane-parallel only — each output element is
+//    computed with exactly the scalar backend's operation sequence, no
+//    FMA contraction and no reassociation — so vector and scalar
+//    backends produce bit-identical results.  This covers the radix-2
+//    butterfly passes, the rfft/irfft untangling epilogues, complex bin
+//    products, centered copies, window normalization, the batched
+//    row-parallel kernels and the TDEB clamp+bias+argmax epilogue.
+//  * "ULP-bounded" kernels reassociate a reduction (vector partial
+//    accumulators, vectorized prefix scan).  Their divergence from the
+//    scalar backend is bounded by standard summation-error analysis:
+//    |simd - scalar| <= 2 * n * eps * sum(|terms|).  This covers sum,
+//    centered energy and the 1-D prefix-sum scan.
+//
+// Backend selection: the best compiled-in backend the host supports,
+// overridable with the NSYNC_SIMD environment variable
+// ("scalar"/"avx2"/"neon"; ignored when unavailable) or at runtime with
+// set_backend() (tests, ablations).  All selection state is atomic; the
+// kernels themselves are stateless and thread-safe.
+#ifndef NSYNC_DSP_SIMD_SIMD_HPP
+#define NSYNC_DSP_SIMD_SIMD_HPP
+
+#include <algorithm>
+#include <complex>
+#include <cstddef>
+
+namespace nsync::dsp::simd {
+
+/// Shared degenerate-window guard used by every normalization path
+/// (sliding-Pearson window variance, stats::pearson denominators): a
+/// window whose centered energy `var` does not rise above rounding noise
+/// relative to its raw energy `sumsq` cannot support correlation and
+/// scores 0.  Written as !(var > eps) so a NaN from non-finite input
+/// routes into the degenerate branch instead of slipping past a
+/// `var <= eps` comparison.  The vector backends of normalize_windows
+/// implement exactly this predicate lane-wise (max_pd operand order
+/// matches std::max's NaN semantics), so the guard cannot drift between
+/// the scalar and SIMD paths again.
+[[nodiscard]] inline bool degenerate_variance(double var, double sumsq) {
+  return !(var > 1e-12 * std::max(1.0, sumsq));
+}
+
+using Complex = std::complex<double>;
+
+enum class Isa { kScalar = 0, kAvx2 = 1, kNeon = 2 };
+
+/// Kernel table for one backend.  All pointers are always valid.
+struct Ops {
+  Isa isa;
+  const char* name;
+
+  // --- bitwise kernels (lane-parallel, no reassociation) ---------------
+
+  /// One radix-2 DIT butterfly stage of span `len` over split re/im data
+  /// of n complex elements (n % len == 0).  `twr`/`twi` hold the stage's
+  /// len/2 twiddles contiguously; `inverse` conjugates them.
+  void (*radix2_pass)(double* re, double* im, std::size_t n, std::size_t len,
+                      const double* twr, const double* twi, bool inverse);
+
+  /// Batched variant: element (k, lane) of each of `lanes` independent
+  /// transforms lives at [k * lanes + lane].  Lanes never interact.
+  void (*radix2_pass_batch)(double* re, double* im, std::size_t n,
+                            std::size_t lanes, std::size_t len,
+                            const double* twr, const double* twi,
+                            bool inverse);
+
+  /// x[i] /= d for both planes (the inverse-FFT 1/n normalization;
+  /// division, not multiplication by the reciprocal, to match the scalar
+  /// path bit for bit).
+  void (*divide2)(double* re, double* im, std::size_t n, double d);
+
+  /// a[i] *= b[i], interleaved std::complex layout (spectrum bin product).
+  void (*cmul_inplace)(Complex* a, const Complex* b, std::size_t n);
+
+  /// Split-layout bin product: (ar,ai)[i] *= (br,bi)[i].
+  void (*cmul_split_inplace)(double* ar, double* ai, const double* br,
+                             const double* bi, std::size_t n);
+
+  /// Row k (of `lanes` elements) of split data *= (wr[k], wi[k]), for
+  /// k < rows (Bluestein chirp/kernel multiplies).
+  void (*cmul_rows_broadcast)(double* re, double* im, std::size_t rows,
+                              std::size_t lanes, const double* wr,
+                              const double* wi);
+
+  /// Real-FFT untangling epilogue, bins k = 1 .. h-1 (caller handles the
+  /// purely real k = 0 and k = h bins):
+  ///   out[k] = 0.5*(z_k + conj(z_{h-k})) + tw_k * (0,-0.5)*(z_k - conj(z_{h-k}))
+  void (*rfft_untangle)(const double* hre, const double* him,
+                        const double* twr, const double* twi, std::size_t h,
+                        Complex* out);
+
+  /// Inverse epilogue, natural order k = 0 .. h-1 (bins has h+1 entries):
+  ///   half[k] = 0.5*(x_k + conj(x_{h-k})) + i * conj(tw_k)*(0.5*(x_k - conj(x_{h-k})))
+  void (*irfft_untangle)(const Complex* bins, const double* twr,
+                         const double* twi, std::size_t h, double* out_re,
+                         double* out_im);
+
+  /// Batched rfft untangle over lane-interleaved rows, k = 1 .. h-1.
+  void (*rfft_untangle_batch)(const double* hre, const double* him,
+                              const double* twr, const double* twi,
+                              std::size_t h, std::size_t lanes,
+                              double* out_re, double* out_im);
+
+  /// Batched irfft untangle over lane-interleaved rows, k = 0 .. h-1
+  /// (bin rows br/bi have h+1 rows).
+  void (*irfft_untangle_batch)(const double* br, const double* bi,
+                               const double* twr, const double* twi,
+                               std::size_t h, std::size_t lanes,
+                               double* out_re, double* out_im);
+
+  /// re[k] = xy[2k], im[k] = xy[2k+1] (complex AoS -> split, and the
+  /// even/odd packing of the real-FFT half-size trick).
+  void (*deinterleave)(const double* xy, std::size_t n, double* re,
+                       double* im);
+
+  /// xy[2k] = re[k], xy[2k+1] = im[k] (split -> complex AoS / unpack).
+  void (*interleave)(const double* re, const double* im, std::size_t n,
+                     double* xy);
+
+  /// dst[i] = src[i] - mu (centered copy).
+  void (*subtract_scalar)(const double* src, double mu, double* dst,
+                          std::size_t n);
+
+  /// dst[i] = a[i] * b[i] (window-coefficient multiply).
+  void (*mul_arrays)(const double* a, const double* b, double* dst,
+                     std::size_t n);
+
+  /// Row k (of `lanes` elements) of dst = row k of src * w[k], k < rows
+  /// (the STFT window multiply applied to all channels/columns at once).
+  void (*mul_rows_broadcast_real)(const double* src, std::size_t rows,
+                                  std::size_t lanes, const double* w,
+                                  double* dst);
+
+  /// dst[i] += src[i] (per-channel score accumulation).
+  void (*add_arrays)(double* dst, const double* src, std::size_t n);
+
+  /// x[i] *= s.
+  void (*scale)(double* x, double s, std::size_t n);
+
+  /// Sliding-Pearson normalization epilogue over contiguous prefix sums:
+  /// for each window n, var from (ps, ps2), degenerate guard, then
+  /// out[n] = num[n] / (sqrt(var) * y_norm) with non-finite results
+  /// zeroed (exact scalar comparison semantics; NaN routes degenerate).
+  void (*normalize_windows)(const double* ps, const double* ps2,
+                            std::size_t ny, double y_norm, const double* num,
+                            double* out, std::size_t n_out);
+
+  /// Strided variant for the batched (channel-interleaved) TDE path: the
+  /// window-n inputs live at ps[n*stride], num[n*stride]; out is
+  /// contiguous.  Pointers are pre-offset to the channel.
+  void (*normalize_windows_strided)(const double* ps, const double* ps2,
+                                    std::size_t stride, std::size_t ny,
+                                    double y_norm, const double* num,
+                                    double* out, std::size_t n_out);
+
+  /// Fused TDEB epilogue: argmax_j of max(scores[j], 0) * w[j], strict
+  /// greater-than so the first occurrence of the maximum wins (identical
+  /// to the scalar reference loop).  Requires finite scores (guaranteed
+  /// by the normalization guard upstream) and n >= 1.
+  std::size_t (*clamp_weight_argmax)(const double* scores, const double* w,
+                                     std::size_t n);
+
+  /// Per-channel sums of row-major frames*channels data, accumulated in
+  /// ascending frame order per channel (bitwise equal to a sequential
+  /// per-channel sum).
+  void (*channel_sums)(const double* data, std::size_t frames,
+                       std::size_t channels, double* sums);
+
+  /// dst row k = src row k - mu (per channel), rows in ascending order.
+  void (*center_rows)(const double* src, std::size_t frames,
+                      std::size_t channels, const double* mu, double* dst);
+
+  /// dst row (frames-1-k) = src row k - mu, and energy[c] += d*d in
+  /// ascending-k order per channel (bitwise equal to the sequential
+  /// center + energy loop of the unbatched path).  energy must be
+  /// zero-initialized by the caller.
+  void (*center_rows_reversed_energy)(const double* src, std::size_t frames,
+                                      std::size_t channels, const double* mu,
+                                      double* dst, double* energy);
+
+  /// Row-parallel prefix sums: ps row 0 = 0, ps row k+1 = ps row k +
+  /// x row k (and ps2 with squares).  Sequential in k per channel, so
+  /// bitwise equal to the scalar per-channel prefix sums.
+  void (*prefix_sums_rows)(const double* x, double* ps, double* ps2,
+                           std::size_t frames, std::size_t channels);
+
+  // --- ULP-bounded kernels (reassociating reductions) ------------------
+
+  /// sum(x[0..n)).  Vector backends use 4 partial accumulators.
+  double (*sum)(const double* x, std::size_t n);
+
+  /// sum((x[i]-mu)^2).
+  double (*centered_energy)(const double* x, double mu, std::size_t n);
+
+  /// dst[i] = src[i] - mu; returns sum(dst[i]^2).
+  double (*subtract_scalar_energy)(const double* src, double mu, double* dst,
+                                   std::size_t n);
+
+  /// Pearson accumulators: *num += sum(du*dv), *du2 += sum(du^2),
+  /// *dv2 += sum(dv^2) with du = u[i]-mu, dv = v[i]-mv.
+  void (*pearson_accumulate)(const double* u, const double* v, double mu,
+                             double mv, std::size_t n, double* num,
+                             double* du2, double* dv2);
+
+  /// 1-D prefix sums ps[0] = 0, ps[i+1] = ps[i] + x[i] (and squares).
+  /// Vector backends use an in-register inclusive scan (reassociates).
+  void (*prefix_sums)(const double* x, double* ps, double* ps2,
+                      std::size_t n);
+};
+
+/// The active backend's kernel table.
+const Ops& ops();
+
+/// ISA of the active backend.
+Isa active_isa();
+
+/// Human-readable name ("scalar", "avx2", "neon").
+const char* isa_name(Isa isa);
+
+/// Best backend compiled into this binary that the host can execute —
+/// what startup resolution picks unless NSYNC_SIMD overrides it.
+Isa best_supported_isa();
+
+/// True when `isa`'s kernels are compiled in and the host supports them.
+bool backend_available(Isa isa);
+
+/// Switches the active backend; returns false (no change) when the
+/// requested backend is unavailable.  Atomic, but callers doing
+/// A/B comparisons should not run transforms concurrently with a switch.
+bool set_backend(Isa isa);
+
+/// True when any vector backend was compiled in (NSYNC_ENABLE_SIMD=ON
+/// and the toolchain/arch supports one).
+bool built_with_simd();
+
+}  // namespace nsync::dsp::simd
+
+#endif  // NSYNC_DSP_SIMD_SIMD_HPP

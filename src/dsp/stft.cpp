@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <stdexcept>
 
+#include "dsp/batched_fft.hpp"
 #include "dsp/fft.hpp"
+#include "dsp/simd/simd.hpp"
 
 namespace nsync::dsp {
 
@@ -44,17 +47,60 @@ Signal spectrogram(const SignalView& s, const StftConfig& cfg) {
   const auto& window = *window_ptr;
 
   Signal out(columns, bins * s.channels(), 1.0 / cfg.delta_t);
-  std::vector<double> buf(n_win);
-  for (std::size_t c = 0; c < s.channels(); ++c) {
+  // Every transform below is a BatchedRfftPlan pass, which is bitwise
+  // equal per lane to rfft_magnitude on the same samples (same cached
+  // plans, same per-lane operation sequence), so the output matches the
+  // historical per-channel/per-column loop exactly.
+  if (s.channels() > 1) {
+    // Multichannel: one batched transform per column, all channels as
+    // lanes.  The interleaved frame block is already lane-interleaved,
+    // so windowing is a single row-broadcast multiply and the transform
+    // packs with plain row copies.
+    const std::size_t C = s.channels();
+    BatchedRfftPlan plan(n_win, C);
+    std::vector<double> winbuf(n_win * C);
+    std::vector<double> spec_re(bins * C);
+    std::vector<double> spec_im(bins * C);
     for (std::size_t col = 0; col < columns; ++col) {
-      const std::size_t start = col * n_hop;
-      for (std::size_t i = 0; i < n_win; ++i) {
-        buf[i] = s(start + i, c) * window[i];
+      nsync::dsp::simd::ops().mul_rows_broadcast_real(
+          s.data() + col * n_hop * C, n_win, C, window.data(), winbuf.data());
+      plan.forward_interleaved(winbuf.data(), spec_re.data(), spec_im.data());
+      for (std::size_t c = 0; c < C; ++c) {
+        for (std::size_t k = 0; k < bins; ++k) {
+          const double m =
+              std::abs(Complex(spec_re[k * C + c], spec_im[k * C + c]));
+          out(col, c * bins + k) = cfg.log_magnitude ? std::log1p(m) : m;
+        }
       }
-      const auto mags = rfft_magnitude(buf);
+    }
+    return out;
+  }
+  // Single channel: batch hop-shifted columns as lanes instead (groups
+  // of up to 8 plus a remainder group), gathering the windowed samples
+  // into the lane-interleaved layout.
+  const double* data = s.data();
+  std::size_t group = std::min<std::size_t>(8, columns);
+  auto plan = std::make_unique<BatchedRfftPlan>(n_win, group);
+  std::vector<double> winbuf(n_win * group);
+  std::vector<double> spec_re(bins * group);
+  std::vector<double> spec_im(bins * group);
+  for (std::size_t col = 0; col < columns; col += group) {
+    if (columns - col < group) {
+      group = columns - col;  // remainder group gets its own plan
+      plan = std::make_unique<BatchedRfftPlan>(n_win, group);
+    }
+    for (std::size_t i = 0; i < n_win; ++i) {
+      double* row = winbuf.data() + i * group;
+      for (std::size_t j = 0; j < group; ++j) {
+        row[j] = data[(col + j) * n_hop + i] * window[i];
+      }
+    }
+    plan->forward_interleaved(winbuf.data(), spec_re.data(), spec_im.data());
+    for (std::size_t j = 0; j < group; ++j) {
       for (std::size_t k = 0; k < bins; ++k) {
-        const double m = cfg.log_magnitude ? std::log1p(mags[k]) : mags[k];
-        out(col, c * bins + k) = m;
+        const double m = std::abs(
+            Complex(spec_re[k * group + j], spec_im[k * group + j]));
+        out(col + j, k) = cfg.log_magnitude ? std::log1p(m) : m;
       }
     }
   }

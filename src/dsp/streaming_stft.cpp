@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "dsp/fft.hpp"
+#include "dsp/simd/simd.hpp"
 
 namespace nsync::dsp {
 
@@ -20,7 +21,13 @@ StreamingStft::StreamingStft(const StftConfig& config, double input_rate,
       window_(cached_window(config.window, n_win_)),
       input_buffer_(input_channels, input_rate),
       output_(Signal::empty(input_channels * (n_win_ / 2 + 1),
-                            1.0 / config.delta_t)) {
+                            1.0 / config.delta_t)),
+      batched_(n_win_,
+               input_channels == 0 ? 1 : input_channels),  // checked below
+      winbuf_(n_win_ * input_channels),
+      spec_re_(bins_ * input_channels),
+      spec_im_(bins_ * input_channels),
+      row_(input_channels * bins_) {
   if (input_channels == 0) {
     throw std::invalid_argument("StreamingStft: need at least one channel");
   }
@@ -40,19 +47,24 @@ std::size_t StreamingStft::push(const SignalView& frames) {
 bool StreamingStft::emit_next_column() {
   if (next_start_ + n_win_ > input_buffer_.end()) return false;
   const auto win = input_buffer_.view(next_start_, next_start_ + n_win_);
-  std::vector<double> row(channels_ * bins_);
-  std::vector<double> buf(n_win_);
+  // All channels through one batched transform (channels as lanes): the
+  // interleaved window block is windowed with a single row-broadcast
+  // multiply and packs into the plan with contiguous row copies.  The
+  // per-lane arithmetic is identical to rfft_magnitude per channel, so
+  // columns stay byte-identical to the offline spectrogram().  Scratch
+  // lives in the members — no allocation per column.
+  nsync::dsp::simd::ops().mul_rows_broadcast_real(
+      win.data(), n_win_, channels_, window_->data(), winbuf_.data());
+  batched_.forward_interleaved(winbuf_.data(), spec_re_.data(),
+                               spec_im_.data());
   for (std::size_t c = 0; c < channels_; ++c) {
-    for (std::size_t i = 0; i < n_win_; ++i) {
-      buf[i] = win(i, c) * (*window_)[i];
-    }
-    const auto mags = rfft_magnitude(buf);
     for (std::size_t k = 0; k < bins_; ++k) {
-      row[c * bins_ + k] =
-          config_.log_magnitude ? std::log1p(mags[k]) : mags[k];
+      const double m = std::abs(Complex(spec_re_[k * channels_ + c],
+                                        spec_im_[k * channels_ + c]));
+      row_[c * bins_ + k] = config_.log_magnitude ? std::log1p(m) : m;
     }
   }
-  output_.append_frame(row);
+  output_.append_frame(row_);
   next_start_ += n_hop_;
   return true;
 }

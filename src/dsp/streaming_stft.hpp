@@ -12,6 +12,7 @@
 #include <memory>
 #include <vector>
 
+#include "dsp/batched_fft.hpp"
 #include "dsp/stft.hpp"
 #include "signal/ring_buffer.hpp"
 #include "signal/signal.hpp"
@@ -55,6 +56,13 @@ class StreamingStft {
   nsync::signal::FrameRingBuffer input_buffer_;
   nsync::signal::Signal output_;
   std::size_t next_start_ = 0;  // raw index of the next column's window
+  // One batched transform per column (channels as lanes) with all
+  // scratch owned here, so a steady-state column emit allocates nothing.
+  BatchedRfftPlan batched_;
+  std::vector<double> winbuf_;   ///< windowed frames, lane-interleaved
+  std::vector<double> spec_re_;  ///< split spectrum planes
+  std::vector<double> spec_im_;
+  std::vector<double> row_;      ///< assembled output column
 };
 
 }  // namespace nsync::dsp

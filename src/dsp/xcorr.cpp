@@ -4,11 +4,14 @@
 #include <stdexcept>
 #include <string>
 
+#include "dsp/simd/simd.hpp"
 #include "signal/stats.hpp"
 
 namespace nsync::dsp {
 
 namespace {
+
+namespace simd = nsync::dsp::simd;
 
 void check_sizes(std::span<const double> x, std::span<const double> y,
                  const char* who) {
@@ -18,9 +21,11 @@ void check_sizes(std::span<const double> x, std::span<const double> y,
   }
 }
 
-// Shared epilogue of every FFT-based variant: given the raw correlation
-// numerator over the centered signals, normalize each window by its
-// standard deviation (from prefix sums) and the template norm.
+// Reference-path epilogue: given the raw correlation numerator over the
+// centered signals, normalize each window by its standard deviation
+// (from prefix sums) and the template norm.  The production path uses
+// the dispatched simd::ops().normalize_windows kernel, whose scalar body
+// is this exact loop (shared guard: simd::degenerate_variance).
 //
 // Degenerate windows score 0, matching the stats::pearson convention: a
 // flat window (var <= 0 up to rounding) has an undefined correlation, and
@@ -31,15 +36,16 @@ void check_sizes(std::span<const double> x, std::span<const double> y,
 // and the quotient is checked once more because a non-finite input
 // contaminates the whole FFT numerator.
 template <typename NumAt>
-void normalize_windows(std::span<const double> ps, std::span<const double> ps2,
-                       std::size_t ny, double y_norm, NumAt num_at,
-                       std::span<double> out) {
+void normalize_windows_ref(std::span<const double> ps,
+                           std::span<const double> ps2, std::size_t ny,
+                           double y_norm, NumAt num_at,
+                           std::span<double> out) {
   const double ny_d = static_cast<double>(ny);
   for (std::size_t n = 0; n < out.size(); ++n) {
     const double s1 = ps[n + ny] - ps[n];
     const double s2 = ps2[n + ny] - ps2[n];
     const double var = s2 - s1 * s1 / ny_d;
-    if (!(var > 1e-12 * std::max(1.0, s2))) {
+    if (simd::degenerate_variance(var, s2)) {
       out[n] = 0.0;  // flat (or non-finite) window
     } else {
       const double r = num_at(n) / (std::sqrt(var) * y_norm);
@@ -97,16 +103,16 @@ void sliding_pearson_fft_into(std::span<const double> x,
         "x.size() - y.size() + 1");
   }
 
+  const auto& k = simd::ops();
+
   // Center y; after centering, sum((x_w - mu_w) .* yc) == sum(x_w .* yc)
   // because sum(yc) == 0, so no windowed-mean correction is needed in the
-  // numerator.
+  // numerator.  Centering and the template energy run fused through the
+  // dispatched kernel.
   const double mu_y = nsync::signal::mean(y);
   ws.yc.resize(ny);
-  double y_energy = 0.0;
-  for (std::size_t i = 0; i < ny; ++i) {
-    ws.yc[i] = y[i] - mu_y;
-    y_energy += ws.yc[i] * ws.yc[i];
-  }
+  const double y_energy =
+      k.subtract_scalar_energy(y.data(), mu_y, ws.yc.data(), ny);
   const double y_norm = std::sqrt(y_energy);
 
   // !(y_norm > 0) catches both the constant template and a template
@@ -121,7 +127,7 @@ void sliding_pearson_fft_into(std::span<const double> x,
   // catastrophic cancellation when the data rides on a large offset.
   const double mu_x = nsync::signal::mean(x);
   ws.xc.resize(x.size());
-  for (std::size_t i = 0; i < x.size(); ++i) ws.xc[i] = x[i] - mu_x;
+  k.subtract_scalar(x.data(), mu_x, ws.xc.data(), x.size());
 
   ws.num.resize(n_out);
   cross_correlate_valid_into(ws.xc, ws.yc, ws.num, ws.corr);
@@ -129,14 +135,9 @@ void sliding_pearson_fft_into(std::span<const double> x,
   // Prefix sums for windowed sum and sum of squares of centered x.
   ws.ps.resize(ws.xc.size() + 1);
   ws.ps2.resize(ws.xc.size() + 1);
-  ws.ps[0] = 0.0;
-  ws.ps2[0] = 0.0;
-  for (std::size_t i = 0; i < ws.xc.size(); ++i) {
-    ws.ps[i + 1] = ws.ps[i] + ws.xc[i];
-    ws.ps2[i + 1] = ws.ps2[i] + ws.xc[i] * ws.xc[i];
-  }
-  normalize_windows(ws.ps, ws.ps2, ny, y_norm,
-                    [&](std::size_t n) { return ws.num[n]; }, out);
+  k.prefix_sums(ws.xc.data(), ws.ps.data(), ws.ps2.data(), ws.xc.size());
+  k.normalize_windows(ws.ps.data(), ws.ps2.data(), ny, y_norm, ws.num.data(),
+                      out.data(), n_out);
 }
 
 std::vector<double> sliding_pearson_fft_complex(std::span<const double> x,
@@ -171,8 +172,8 @@ std::vector<double> sliding_pearson_fft_complex(std::span<const double> x,
     ps[i + 1] = ps[i] + xc[i];
     ps2[i + 1] = ps2[i] + xc[i] * xc[i];
   }
-  normalize_windows(ps, ps2, ny, y_norm,
-                    [&](std::size_t n) { return num[n]; }, out);
+  normalize_windows_ref(ps, ps2, ny, y_norm,
+                        [&](std::size_t n) { return num[n]; }, out);
   return out;
 }
 

@@ -7,6 +7,13 @@
 // (bench_ablation_tde_speed).  The *_into entry points write into
 // caller-owned buffers and perform no heap allocation once their
 // workspace has reached steady-state size.
+//
+// The fft path's centering, prefix-sum, and window-normalization passes
+// run through the runtime-dispatched SIMD kernels (dsp/simd/simd.hpp).
+// Under a vector backend the prefix sums and energy reductions
+// reassociate, so scores can differ from the scalar backend by a few
+// ULPs (see DESIGN.md, "SIMD dispatch"); the degenerate-window guard is
+// relative (1e-12) and unaffected by that noise.
 #ifndef NSYNC_DSP_XCORR_HPP
 #define NSYNC_DSP_XCORR_HPP
 

@@ -16,7 +16,8 @@ std::uint64_t parse_u64(std::string_view flag, const char* value) {
   }
   char* end = nullptr;
   const unsigned long long v = std::strtoull(value, &end, 10);
-  if (end == value || *end != '\0') {
+  // strtoull silently wraps a leading '-' to a huge value; reject it.
+  if (value[0] == '-' || end == value || *end != '\0') {
     throw std::invalid_argument(std::string(flag) + ": bad number '" +
                                 value + "'");
   }

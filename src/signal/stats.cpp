@@ -4,32 +4,31 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "dsp/simd/simd.hpp"
+
 namespace nsync::signal {
+
+namespace simd = nsync::dsp::simd;
 
 double mean(std::span<const double> v) {
   if (v.empty()) return 0.0;
-  double acc = 0.0;
-  for (double x : v) acc += x;
-  return acc / static_cast<double>(v.size());
+  return simd::ops().sum(v.data(), v.size()) / static_cast<double>(v.size());
 }
 
 double variance(std::span<const double> v) {
   if (v.size() < 2) return 0.0;
   const double mu = mean(v);
-  double acc = 0.0;
-  for (double x : v) {
-    const double d = x - mu;
-    acc += d * d;
-  }
-  return acc / static_cast<double>(v.size());
+  return simd::ops().centered_energy(v.data(), mu, v.size()) /
+         static_cast<double>(v.size());
 }
 
 double stddev(std::span<const double> v) { return std::sqrt(variance(v)); }
 
 double rms(std::span<const double> v) {
   if (v.empty()) return 0.0;
-  double acc = 0.0;
-  for (double x : v) acc += x * x;
+  // Centered energy about 0 is exactly the sum of squares (x - 0.0 == x
+  // bitwise for every finite x, including -0.0).
+  const double acc = simd::ops().centered_energy(v.data(), 0.0, v.size());
   return std::sqrt(acc / static_cast<double>(v.size()));
 }
 
@@ -63,18 +62,21 @@ double pearson(std::span<const double> u, std::span<const double> v) {
   const double mu = mean(u);
   const double mv = mean(v);
   double num = 0.0, du2 = 0.0, dv2 = 0.0;
-  for (std::size_t i = 0; i < u.size(); ++i) {
-    const double du = u[i] - mu;
-    const double dv = v[i] - mv;
-    num += du * dv;
-    du2 += du * du;
-    dv2 += dv * dv;
+  simd::ops().pearson_accumulate(u.data(), v.data(), mu, mv, u.size(), &num,
+                                 &du2, &dv2);
+  // Degenerate guard shared with the sliding-correlation window
+  // normalization (simd::degenerate_variance).  The scale argument is the
+  // centered energy itself — the accumulation runs over centered samples,
+  // exactly like the sliding path's prefix sums over the globally
+  // centered signal — so the guard stays offset-invariant (a large DC
+  // must not widen the threshold; Pearson is offset-invariant).  The
+  // !(.. > ..) form routes NaN from non-finite inputs into the
+  // degenerate branch instead of past it.
+  if (simd::degenerate_variance(du2, du2) ||
+      simd::degenerate_variance(dv2, dv2) || !std::isfinite(num)) {
+    return 0.0;
   }
-  const double denom = std::sqrt(du2) * std::sqrt(dv2);
-  // !(denom > 0) also catches NaN from non-finite inputs, which would
-  // otherwise sail through a `denom <= 0` comparison and poison the score.
-  if (!(denom > 0.0) || !std::isfinite(num)) return 0.0;
-  return num / denom;
+  return num / (std::sqrt(du2) * std::sqrt(dv2));
 }
 
 bool finite_window(const SignalView& s) {
@@ -101,11 +103,7 @@ bool degenerate_window(const SignalView& s) {
 std::vector<double> channel_means(const SignalView& s) {
   std::vector<double> out(s.channels(), 0.0);
   if (s.frames() == 0) return out;
-  for (std::size_t n = 0; n < s.frames(); ++n) {
-    for (std::size_t c = 0; c < s.channels(); ++c) {
-      out[c] += s(n, c);
-    }
-  }
+  simd::ops().channel_sums(s.data(), s.frames(), s.channels(), out.data());
   for (auto& x : out) x /= static_cast<double>(s.frames());
   return out;
 }

@@ -1,5 +1,9 @@
 // Basic descriptive statistics over 1-D sample arrays and per-channel
-// statistics over multichannel signals.
+// statistics over multichannel signals.  The mean/variance/energy and
+// Pearson accumulation loops run through the runtime-dispatched SIMD
+// moments kernels (dsp/simd/simd.hpp), shared with dsp/xcorr.cpp; under
+// a vector backend these reductions reassociate and may differ from the
+// scalar backend by a few ULPs.
 #ifndef NSYNC_SIGNAL_STATS_HPP
 #define NSYNC_SIGNAL_STATS_HPP
 
@@ -36,9 +40,11 @@ namespace nsync::signal {
 [[nodiscard]] std::size_t argmin(std::span<const double> v);
 
 /// Pearson correlation coefficient between `u` and `v` (Eq. 3 of the paper).
-/// Returns 0 when either vector has zero variance or contains non-finite
-/// samples (the paper's similarity function is undefined there; 0 is the
-/// neutral score).
+/// Returns 0 when either vector is degenerate — its centered energy is
+/// rounding noise relative to its raw magnitude (the shared
+/// simd::degenerate_variance guard, also used by the sliding-correlation
+/// window normalization) — or when any sample is non-finite (the paper's
+/// similarity function is undefined there; 0 is the neutral score).
 [[nodiscard]] double pearson(std::span<const double> u,
                              std::span<const double> v);
 

@@ -1,0 +1,609 @@
+// SIMD <-> scalar equivalence suite: pins the dispatch layer's per-kernel
+// contract (see DESIGN.md "SIMD dispatch layer").
+//
+//  * Bitwise claims: the radix-2/rfft/irfft pipeline, the cross-correlation
+//    bin product, the batched (lane-interleaved) transforms and the TDEB
+//    epilogue produce bit-identical results under every compiled-in
+//    backend, across a size sweep covering all three planner modes (pow2,
+//    even-Bluestein, odd-Bluestein).
+//  * ULP-bounded claims: kernels that reassociate a reduction (sum,
+//    centered energy, prefix sums) may differ from the scalar backend by
+//    at most the standard summation bound |a-b| <= 2*n*eps*sum|terms|,
+//    checked here with a conservative relative tolerance.
+//  * System claims: the MonitorEngine fleet reaches identical verdicts
+//    under every backend, and a checkpoint written under one backend
+//    restores and continues under another.
+//
+// Every test restores the startup backend on exit so suite order cannot
+// leak a backend switch into unrelated tests.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/nsync.hpp"
+#include "core/tde.hpp"
+#include "dsp/batched_fft.hpp"
+#include "dsp/fft.hpp"
+#include "dsp/simd/simd.hpp"
+#include "dsp/xcorr.hpp"
+#include "engine/monitor_engine.hpp"
+#include "signal/rng.hpp"
+#include "signal/signal.hpp"
+#include "signal/stats.hpp"
+
+namespace nsync {
+namespace {
+
+namespace simd = nsync::dsp::simd;
+
+using nsync::core::NsyncConfig;
+using nsync::core::NsyncIds;
+using nsync::core::SyncMethod;
+using nsync::core::TdeOptions;
+using nsync::core::TdeWorkspace;
+using nsync::core::Thresholds;
+using nsync::dsp::BatchedRfftPlan;
+using nsync::dsp::Complex;
+using nsync::engine::ChannelSpec;
+using nsync::engine::MonitorEngine;
+using nsync::engine::SessionSnapshot;
+using nsync::engine::SessionSpec;
+using nsync::signal::Rng;
+using nsync::signal::Signal;
+using nsync::signal::SignalView;
+
+/// Restores the startup backend when a test scope ends.
+class BackendGuard {
+ public:
+  BackendGuard() : saved_(simd::active_isa()) {}
+  ~BackendGuard() { simd::set_backend(saved_); }
+  BackendGuard(const BackendGuard&) = delete;
+  BackendGuard& operator=(const BackendGuard&) = delete;
+
+ private:
+  simd::Isa saved_;
+};
+
+/// All backends this binary can actually run on this host.  Always
+/// contains kScalar; contains the vector backend when NSYNC_ENABLE_SIMD
+/// was ON and the host supports it.
+std::vector<simd::Isa> available_backends() {
+  std::vector<simd::Isa> out = {simd::Isa::kScalar};
+  for (const simd::Isa isa : {simd::Isa::kAvx2, simd::Isa::kNeon}) {
+    if (simd::backend_available(isa)) out.push_back(isa);
+  }
+  return out;
+}
+
+std::vector<double> random_vector(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.normal();
+  return v;
+}
+
+// Sizes covering every planner mode: powers of two, even non-pow2
+// (even-Bluestein: the odd half forces the Bluestein path), and odd
+// (odd-Bluestein), plus the n = 1 degenerate.
+const std::size_t kSweepSizes[] = {1, 2, 4, 8, 64, 256,  // pow2
+                                   6, 20, 52, 100,       // even Bluestein
+                                   3, 17, 81};           // odd Bluestein
+
+// ---------------------------------------------------------------------------
+// Dispatch smoke
+
+TEST(SimdDispatch, ResolvedBackendMatchesHost) {
+  // Startup resolution picks the best compiled-in backend the host
+  // supports, unless NSYNC_SIMD overrode it (CI sets it for the scalar
+  // matrix leg, so honor the override here).
+  const char* env = std::getenv("NSYNC_SIMD");
+  if (env == nullptr) {
+    EXPECT_EQ(simd::active_isa(), simd::best_supported_isa());
+  }
+  EXPECT_TRUE(simd::backend_available(simd::Isa::kScalar));
+  EXPECT_TRUE(simd::backend_available(simd::best_supported_isa()));
+  EXPECT_STREQ(simd::isa_name(simd::Isa::kScalar), "scalar");
+  EXPECT_EQ(std::string(simd::isa_name(simd::active_isa())),
+            std::string(simd::ops().name));
+  if (!simd::built_with_simd()) {
+    EXPECT_EQ(simd::best_supported_isa(), simd::Isa::kScalar);
+  }
+}
+
+TEST(SimdDispatch, SetBackendSwitchesAndRejectsUnavailable) {
+  BackendGuard guard;
+  ASSERT_TRUE(simd::set_backend(simd::Isa::kScalar));
+  EXPECT_EQ(simd::active_isa(), simd::Isa::kScalar);
+  for (const simd::Isa isa : {simd::Isa::kAvx2, simd::Isa::kNeon}) {
+    if (simd::backend_available(isa)) {
+      EXPECT_TRUE(simd::set_backend(isa));
+      EXPECT_EQ(simd::active_isa(), isa);
+    } else {
+      const simd::Isa before = simd::active_isa();
+      EXPECT_FALSE(simd::set_backend(isa));
+      EXPECT_EQ(simd::active_isa(), before);  // failed switch is a no-op
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Bitwise kernels
+
+TEST(SimdBitwise, RfftIdenticalAcrossBackendsAllPlannerModes) {
+  BackendGuard guard;
+  const auto backends = available_backends();
+  for (const std::size_t n : kSweepSizes) {
+    const std::vector<double> x = random_vector(n, 0xF00 + n);
+    ASSERT_TRUE(simd::set_backend(simd::Isa::kScalar));
+    const std::vector<Complex> ref = nsync::dsp::rfft(x);
+    for (const simd::Isa isa : backends) {
+      ASSERT_TRUE(simd::set_backend(isa));
+      const std::vector<Complex> got = nsync::dsp::rfft(x);
+      ASSERT_EQ(got.size(), ref.size());
+      for (std::size_t k = 0; k < ref.size(); ++k) {
+        EXPECT_EQ(got[k].real(), ref[k].real())
+            << "n=" << n << " k=" << k << " isa=" << simd::isa_name(isa);
+        EXPECT_EQ(got[k].imag(), ref[k].imag())
+            << "n=" << n << " k=" << k << " isa=" << simd::isa_name(isa);
+      }
+    }
+  }
+}
+
+TEST(SimdBitwise, IrfftRoundTripIdenticalAcrossBackends) {
+  BackendGuard guard;
+  const auto backends = available_backends();
+  // irfft supports pow2 sizes (the only sizes the pipeline inverts).
+  for (const std::size_t n : {std::size_t{2}, std::size_t{8}, std::size_t{64},
+                              std::size_t{256}}) {
+    const std::vector<double> x = random_vector(n, 0xABC + n);
+    ASSERT_TRUE(simd::set_backend(simd::Isa::kScalar));
+    const std::vector<Complex> bins = nsync::dsp::rfft(x);
+    const std::vector<double> ref = nsync::dsp::irfft(bins, n);
+    for (const simd::Isa isa : backends) {
+      ASSERT_TRUE(simd::set_backend(isa));
+      const std::vector<double> got = nsync::dsp::irfft(bins, n);
+      ASSERT_EQ(got.size(), ref.size());
+      for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(got[i], ref[i])
+            << "n=" << n << " i=" << i << " isa=" << simd::isa_name(isa);
+      }
+    }
+  }
+}
+
+TEST(SimdBitwise, CrossCorrelateValidIdenticalAcrossBackends) {
+  BackendGuard guard;
+  const auto backends = available_backends();
+  for (const std::size_t ny : {std::size_t{7}, std::size_t{32}}) {
+    const std::vector<double> x = random_vector(257, 0xC0 + ny);
+    const std::vector<double> y = random_vector(ny, 0xD0 + ny);
+    ASSERT_TRUE(simd::set_backend(simd::Isa::kScalar));
+    const std::vector<double> ref = nsync::dsp::cross_correlate_valid(x, y);
+    for (const simd::Isa isa : backends) {
+      ASSERT_TRUE(simd::set_backend(isa));
+      const std::vector<double> got = nsync::dsp::cross_correlate_valid(x, y);
+      ASSERT_EQ(got.size(), ref.size());
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_EQ(got[i], ref[i]) << "i=" << i
+                                  << " isa=" << simd::isa_name(isa);
+      }
+    }
+  }
+}
+
+TEST(SimdBitwise, TdebEpilogueSameArgmaxAcrossBackends) {
+  BackendGuard guard;
+  const auto backends = available_backends();
+  Signal x(400, 2, 100.0);
+  Signal y(60, 2, 100.0);
+  {
+    Rng rng(31);
+    for (std::size_t n = 0; n < x.frames(); ++n)
+      for (std::size_t c = 0; c < 2; ++c) x(n, c) = rng.normal();
+    for (std::size_t n = 0; n < y.frames(); ++n)
+      for (std::size_t c = 0; c < 2; ++c) y(n, c) = x(n + 100, c);
+  }
+  ASSERT_TRUE(simd::set_backend(simd::Isa::kScalar));
+  TdeWorkspace ws_ref;
+  const std::size_t ref = nsync::core::estimate_delay_biased(
+      SignalView(x), SignalView(y), 100.0, 12.0, TdeOptions{}, ws_ref);
+  EXPECT_EQ(ref, 100u);  // sanity: the planted delay wins
+  for (const simd::Isa isa : backends) {
+    ASSERT_TRUE(simd::set_backend(isa));
+    TdeWorkspace ws;
+    EXPECT_EQ(nsync::core::estimate_delay_biased(SignalView(x), SignalView(y),
+                                                 100.0, 12.0, TdeOptions{}, ws),
+              ref)
+        << simd::isa_name(isa);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched transforms
+
+TEST(SimdBatched, ForwardMatchesPerLaneRfftBitwise) {
+  BackendGuard guard;
+  const auto backends = available_backends();
+  const std::size_t lanes = 3;
+  for (const std::size_t n : kSweepSizes) {
+    std::vector<std::vector<double>> lane_data;
+    for (std::size_t l = 0; l < lanes; ++l) {
+      lane_data.push_back(random_vector(n, 0xB000 + n * 8 + l));
+    }
+    for (const simd::Isa isa : backends) {
+      ASSERT_TRUE(simd::set_backend(isa));
+      BatchedRfftPlan plan(n, lanes);
+      const std::size_t bins = plan.bins();
+      // Strided pack: lane l starts at x + l * n.
+      std::vector<double> packed(n * lanes);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        std::copy(lane_data[l].begin(), lane_data[l].end(),
+                  packed.begin() + l * n);
+      }
+      std::vector<double> sre(bins * lanes);
+      std::vector<double> sim(bins * lanes);
+      plan.forward(packed.data(), n, sre.data(), sim.data());
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const std::vector<Complex> ref = nsync::dsp::rfft(lane_data[l]);
+        for (std::size_t k = 0; k < bins; ++k) {
+          EXPECT_EQ(sre[k * lanes + l], ref[k].real())
+              << "n=" << n << " l=" << l << " k=" << k << " "
+              << simd::isa_name(isa);
+          EXPECT_EQ(sim[k * lanes + l], ref[k].imag())
+              << "n=" << n << " l=" << l << " k=" << k << " "
+              << simd::isa_name(isa);
+        }
+      }
+      // Interleaved pack produces the same spectra.
+      std::vector<double> inter(n * lanes);
+      for (std::size_t k = 0; k < n; ++k) {
+        for (std::size_t l = 0; l < lanes; ++l) {
+          inter[k * lanes + l] = lane_data[l][k];
+        }
+      }
+      std::vector<double> sre2(bins * lanes);
+      std::vector<double> sim2(bins * lanes);
+      plan.forward_interleaved(inter.data(), sre2.data(), sim2.data());
+      EXPECT_EQ(sre2, sre) << "n=" << n << " " << simd::isa_name(isa);
+      EXPECT_EQ(sim2, sim) << "n=" << n << " " << simd::isa_name(isa);
+    }
+  }
+}
+
+TEST(SimdBatched, InverseMatchesPerLaneIrfftBitwise) {
+  BackendGuard guard;
+  const auto backends = available_backends();
+  const std::size_t lanes = 4;
+  for (const std::size_t n : {std::size_t{8}, std::size_t{64},
+                              std::size_t{128}}) {
+    for (const simd::Isa isa : backends) {
+      ASSERT_TRUE(simd::set_backend(isa));
+      BatchedRfftPlan plan(n, lanes);
+      ASSERT_TRUE(plan.supports_inverse());
+      const std::size_t bins = plan.bins();
+      std::vector<double> sre(bins * lanes);
+      std::vector<double> sim(bins * lanes);
+      std::vector<std::vector<Complex>> lane_bins(lanes);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        lane_bins[l] = nsync::dsp::rfft(random_vector(n, 0xE00 + n + l));
+        for (std::size_t k = 0; k < bins; ++k) {
+          sre[k * lanes + l] = lane_bins[l][k].real();
+          sim[k * lanes + l] = lane_bins[l][k].imag();
+        }
+      }
+      std::vector<double> out(n * lanes);
+      plan.inverse(sre.data(), sim.data(), out.data(), n);
+      for (std::size_t l = 0; l < lanes; ++l) {
+        const std::vector<double> ref = nsync::dsp::irfft(lane_bins[l], n);
+        for (std::size_t i = 0; i < n; ++i) {
+          EXPECT_EQ(out[l * n + i], ref[i])
+              << "n=" << n << " l=" << l << " i=" << i << " "
+              << simd::isa_name(isa);
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdBatched, InverseThrowsForNonPow2) {
+  BatchedRfftPlan plan(20, 2);
+  EXPECT_FALSE(plan.supports_inverse());
+  std::vector<double> sre(plan.bins() * 2), sim(plan.bins() * 2), out(40);
+  EXPECT_THROW(plan.inverse(sre.data(), sim.data(), out.data(), 20),
+               std::logic_error);
+}
+
+TEST(SimdBatched, MultichannelTdeMatchesSequentialScalarBitwise) {
+  // The batched TDE path claims bitwise equality with the historical
+  // sequential per-channel loop *under the scalar backend* (vector
+  // backends reassociate the 1-D reductions of the sequential path, so
+  // cross-path comparison there is ULP-level, covered below).
+  BackendGuard guard;
+  ASSERT_TRUE(simd::set_backend(simd::Isa::kScalar));
+  Rng rng(77);
+  const std::size_t C = 3;
+  Signal x(300, C, 100.0);
+  Signal y(48, C, 100.0);
+  for (std::size_t n = 0; n < x.frames(); ++n)
+    for (std::size_t c = 0; c < C; ++c) x(n, c) = rng.normal();
+  for (std::size_t n = 0; n < y.frames(); ++n)
+    for (std::size_t c = 0; c < C; ++c) y(n, c) = x(n + 91, c) + 0.05 * rng.normal();
+
+  // Batched path (channels > 1, use_fft).
+  const std::vector<double> batched =
+      nsync::core::similarity_scores(SignalView(x), SignalView(y));
+
+  // Sequential reference: per-channel sliding_pearson_fft, averaged —
+  // exactly what similarity_scores used to run.
+  const std::size_t n_out = x.frames() - y.frames() + 1;
+  std::vector<double> seq(n_out, 0.0);
+  std::vector<double> xc(x.frames()), yc(y.frames());
+  for (std::size_t c = 0; c < C; ++c) {
+    for (std::size_t n = 0; n < x.frames(); ++n) xc[n] = x(n, c);
+    for (std::size_t n = 0; n < y.frames(); ++n) yc[n] = y(n, c);
+    const std::vector<double> s = nsync::dsp::sliding_pearson_fft(xc, yc);
+    for (std::size_t n = 0; n < n_out; ++n) seq[n] += s[n];
+  }
+  for (auto& v : seq) v *= 1.0 / static_cast<double>(C);
+
+  ASSERT_EQ(batched.size(), seq.size());
+  for (std::size_t n = 0; n < n_out; ++n) {
+    EXPECT_EQ(batched[n], seq[n]) << "n=" << n;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ULP-bounded kernels
+
+// Conservative check of the reassociation bound: for data of magnitude
+// ~O(1) and n <= 4096, 2*n*eps*sum|terms| is far below 1e-9 relative.
+void expect_ulp_close(double a, double b, double scale, const char* what) {
+  EXPECT_NEAR(a, b, 1e-9 * std::max(1.0, std::abs(scale)))
+      << what << ": " << a << " vs " << b;
+}
+
+TEST(SimdUlpBounded, StatsMomentsCloseAcrossBackends) {
+  BackendGuard guard;
+  const auto backends = available_backends();
+  const std::vector<double> u = random_vector(4096, 0x51);
+  const std::vector<double> v = random_vector(4096, 0x52);
+  ASSERT_TRUE(simd::set_backend(simd::Isa::kScalar));
+  const double mean_ref = nsync::signal::mean(u);
+  const double var_ref = nsync::signal::variance(u);
+  const double rms_ref = nsync::signal::rms(u);
+  const double pear_ref = nsync::signal::pearson(u, v);
+  for (const simd::Isa isa : backends) {
+    ASSERT_TRUE(simd::set_backend(isa));
+    expect_ulp_close(nsync::signal::mean(u), mean_ref, 1.0, "mean");
+    expect_ulp_close(nsync::signal::variance(u), var_ref, var_ref, "variance");
+    expect_ulp_close(nsync::signal::rms(u), rms_ref, rms_ref, "rms");
+    expect_ulp_close(nsync::signal::pearson(u, v), pear_ref, 1.0, "pearson");
+  }
+}
+
+TEST(SimdUlpBounded, SlidingPearsonCloseAcrossBackends) {
+  BackendGuard guard;
+  const auto backends = available_backends();
+  const std::vector<double> x = random_vector(1000, 0x61);
+  std::vector<double> y(64);
+  std::copy_n(x.begin() + 300, y.size(), y.begin());
+  ASSERT_TRUE(simd::set_backend(simd::Isa::kScalar));
+  const std::vector<double> ref = nsync::dsp::sliding_pearson_fft(x, y);
+  for (const simd::Isa isa : backends) {
+    ASSERT_TRUE(simd::set_backend(isa));
+    const std::vector<double> got = nsync::dsp::sliding_pearson_fft(x, y);
+    ASSERT_EQ(got.size(), ref.size());
+    for (std::size_t n = 0; n < ref.size(); ++n) {
+      // Scores are correlations in [-1, 1]; the prefix-sum and energy
+      // reassociation perturbs them by well under 1e-9.
+      EXPECT_NEAR(got[n], ref[n], 1e-9)
+          << "n=" << n << " isa=" << simd::isa_name(isa);
+    }
+    // The planted-match argmax never moves.
+    EXPECT_EQ(std::max_element(got.begin(), got.end()) - got.begin(),
+              std::max_element(ref.begin(), ref.end()) - ref.begin());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// System-level equivalence (MonitorEngine fleet, checkpoints)
+
+Signal make_reference(std::size_t frames, std::uint64_t seed) {
+  Rng rng(seed);
+  Signal s(frames, 2, 100.0);
+  double lp0 = 0.0, lp1 = 0.0;
+  for (std::size_t n = 0; n < frames; ++n) {
+    lp0 += 0.35 * (rng.normal() - lp0);
+    lp1 += 0.35 * (rng.normal() - lp1);
+    s(n, 0) = lp0;
+    s(n, 1) = lp1;
+  }
+  return s;
+}
+
+Signal benign_observation(const Signal& b, std::uint64_t seed) {
+  Rng rng(seed);
+  Signal a = Signal::empty(b.channels(), b.sample_rate());
+  double src = 0.0;
+  std::vector<double> row(b.channels());
+  while (src < static_cast<double>(b.frames() - 1)) {
+    const auto i0 = static_cast<std::size_t>(src);
+    const double frac = src - static_cast<double>(i0);
+    const std::size_t i1 = std::min(i0 + 1, b.frames() - 1);
+    for (std::size_t c = 0; c < b.channels(); ++c) {
+      row[c] = (1.0 - frac) * b(i0, c) + frac * b(i1, c) +
+               rng.normal(0.0, 0.01);
+    }
+    a.append_frame(row);
+    src += 1.0 + rng.normal(0.0, 0.002);
+  }
+  return a;
+}
+
+Signal malicious_observation(const Signal& b, std::uint64_t seed) {
+  Signal a = benign_observation(b, seed);
+  Rng rng(seed + 5000);
+  const std::size_t lo = a.frames() / 3;
+  const std::size_t hi = 2 * a.frames() / 3;
+  double lp = 0.0;
+  for (std::size_t n = lo; n < hi; ++n) {
+    lp += 0.35 * (rng.normal() - lp);
+    for (std::size_t c = 0; c < a.channels(); ++c) a(n, c) = lp;
+  }
+  return a;
+}
+
+NsyncConfig dwm_config() {
+  NsyncConfig cfg;
+  cfg.sync = SyncMethod::kDwm;
+  cfg.dwm.n_win = 64;
+  cfg.dwm.n_hop = 32;
+  cfg.dwm.n_ext = 24;
+  cfg.dwm.n_sigma = 12.0;
+  cfg.dwm.eta = 0.2;
+  cfg.r = 0.3;
+  return cfg;
+}
+
+class SimdFleetTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Fit thresholds once, under the scalar backend, so every engine in
+    // the test shares identical thresholds and only the monitoring
+    // backend varies.
+    BackendGuard guard;
+    ASSERT_TRUE(simd::set_backend(simd::Isa::kScalar));
+    cfg_ = dwm_config();
+    reference_ = make_reference(1500, 77);
+    NsyncIds ids(reference_, cfg_);
+    std::vector<Signal> train;
+    for (std::uint64_t s = 1; s <= 3; ++s) {
+      train.push_back(benign_observation(reference_, s));
+    }
+    ids.fit(train);
+    thresholds_ = ids.thresholds();
+  }
+
+  SessionSpec make_session(const std::string& name) const {
+    SessionSpec spec;
+    spec.name = name;
+    for (const char* ch : {"ACC", "AUD"}) {
+      ChannelSpec c;
+      c.name = ch;
+      c.reference = reference_;
+      c.config = cfg_;
+      c.thresholds = thresholds_;
+      spec.channels.push_back(std::move(c));
+    }
+    return spec;
+  }
+
+  MonitorEngine make_engine() const {
+    MonitorEngine eng;
+    eng.add_session(make_session("benign"));
+    eng.add_session(make_session("malicious"));
+    return eng;
+  }
+
+  // Feeds observation chunks [from, to) of `chunk` frames to both
+  // sessions (session 0 benign, session 1 malicious) and polls.
+  void feed_rounds(MonitorEngine& eng, const Signal& benign,
+                   const Signal& malicious, std::size_t chunk,
+                   std::size_t from, std::size_t to) const {
+    for (std::size_t r = from; r < to; ++r) {
+      const std::size_t lo = r * chunk;
+      if (lo >= benign.frames()) break;
+      const std::size_t hi = std::min(benign.frames(), lo + chunk);
+      for (const char* ch : {"ACC", "AUD"}) {
+        eng.feed(0, ch, SignalView(benign).slice(lo, hi));
+        eng.feed(1, ch, SignalView(malicious).slice(lo, hi));
+      }
+      eng.poll();
+    }
+    eng.poll();
+  }
+
+  NsyncConfig cfg_;
+  Signal reference_;
+  Thresholds thresholds_;
+};
+
+TEST_F(SimdFleetTest, FleetVerdictsIdenticalAcrossBackends) {
+  BackendGuard guard;
+  const Signal benign = benign_observation(reference_, 9);
+  const Signal malicious = malicious_observation(reference_, 9);
+  const std::size_t chunk = 113;
+  const std::size_t rounds = benign.frames() / chunk + 1;
+
+  std::vector<SessionSnapshot> ref_snaps;
+  for (const simd::Isa isa : available_backends()) {
+    ASSERT_TRUE(simd::set_backend(isa));
+    MonitorEngine eng = make_engine();
+    feed_rounds(eng, benign, malicious, chunk, 0, rounds);
+    const auto snaps = eng.snapshots();
+    ASSERT_EQ(snaps.size(), 2u);
+    EXPECT_FALSE(snaps[0].intrusion) << simd::isa_name(isa);
+    EXPECT_TRUE(snaps[1].intrusion) << simd::isa_name(isa);
+    if (ref_snaps.empty()) {
+      ref_snaps = snaps;
+      continue;
+    }
+    for (std::size_t s = 0; s < snaps.size(); ++s) {
+      EXPECT_EQ(snaps[s].intrusion, ref_snaps[s].intrusion)
+          << "session " << s << " " << simd::isa_name(isa);
+      EXPECT_EQ(snaps[s].first_alarm_window, ref_snaps[s].first_alarm_window)
+          << "session " << s << " " << simd::isa_name(isa);
+      ASSERT_EQ(snaps[s].channels.size(), ref_snaps[s].channels.size());
+      for (std::size_t c = 0; c < snaps[s].channels.size(); ++c) {
+        EXPECT_EQ(snaps[s].channels[c].health, ref_snaps[s].channels[c].health)
+            << "session " << s << " channel " << c << " "
+            << simd::isa_name(isa);
+      }
+    }
+  }
+}
+
+TEST_F(SimdFleetTest, CheckpointWrittenUnderOneBackendRestoresUnderAnother) {
+  // A checkpoint carries only signal/feature state, never backend
+  // identity, so a fleet checkpointed on an AVX2 host must restore and
+  // keep detecting on a scalar-only host (and vice versa).
+  BackendGuard guard;
+  if (simd::best_supported_isa() == simd::Isa::kScalar) {
+    GTEST_SKIP() << "no vector backend compiled in / supported";
+  }
+  const std::string path = ::testing::TempDir() + "simd-xbackend.nckp";
+  const Signal benign = benign_observation(reference_, 9);
+  const Signal malicious = malicious_observation(reference_, 9);
+  const std::size_t chunk = 113;
+  const std::size_t rounds = benign.frames() / chunk + 1;
+  const std::size_t kill = rounds / 2;
+
+  ASSERT_TRUE(simd::set_backend(simd::best_supported_isa()));
+  {
+    MonitorEngine victim = make_engine();
+    feed_rounds(victim, benign, malicious, chunk, 0, kill);
+    victim.checkpoint(path);
+  }
+  ASSERT_TRUE(simd::set_backend(simd::Isa::kScalar));
+  MonitorEngine revived = MonitorEngine::restore(path);
+  feed_rounds(revived, benign, malicious, chunk, kill, rounds);
+  const auto snaps = revived.snapshots();
+  ASSERT_EQ(snaps.size(), 2u);
+  EXPECT_FALSE(snaps[0].intrusion);
+  EXPECT_TRUE(snaps[1].intrusion);
+  EXPECT_GE(snaps[1].first_alarm_window, 0);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace nsync
