@@ -1,19 +1,30 @@
-// Extension experiment (beyond the paper): multi-session monitoring
-// throughput of the MonitorEngine.
+// Extension experiment (beyond the paper): multi-session fleet throughput
+// — single MonitorEngine vs the sharded multi-core fleet.
 //
 // Simulates a fleet of concurrent print-monitoring sessions — each with
-// two side channels streaming frames in acquisition-sized chunks through
-// its RealtimeMonitors — and measures aggregate windows/sec as the session
-// count and the thread-pool size vary.  Sessions are scheduled on the
-// shared nsync_runtime pool (one task per session per poll), so throughput
-// should scale with --threads up to the core count, and per-session
-// results are bitwise independent of the worker count.
+// two side channels streaming frames in acquisition-sized chunks — and
+// measures aggregate windows/sec as the session count and the shard count
+// vary.  Shard count 0 is the in-process baseline (one MonitorEngine,
+// poll() on the shared pool); shard counts >= 1 run the ShardedFleet,
+// where each shard owns a private engine on a dedicated worker thread fed
+// through a bounded MPSC queue.  Per-session verdicts are bitwise
+// identical across all shard counts (pinned by tests/
+// test_sharded_fleet.cpp), so the sweep measures pure scheduling.
+// Sharded rows also report the fleet's p50/p99 feed→verdict latency from
+// the per-shard log2 histograms.
+//
+// A second section drives the fleet past its load-shed threshold: a small
+// queue with the drop-oldest policy, fed with no pacing, shows how
+// throughput and shed accounting behave at saturation.
 //
 // Flags: --sessions a,b,c  session counts to sweep (default 1,8,32)
-//        --threads n       thread-pool size (default: automatic)
+//        --shards a,b,c    shard counts to sweep (default 0,1,2,4;
+//                          0 = unsharded MonitorEngine baseline)
+//        --threads n       thread-pool size for the baseline (default auto)
 //        --frames n        observed frames per channel (default 12288)
 //        --chunk n         frames per feed() call (default 256)
-//        --json path       machine-readable results (BENCH_multi_session.json)
+//        --no-saturation   skip the load-shed section
+//        --json path       machine-readable results (BENCH_fleet.json)
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -24,10 +35,12 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/nsync.hpp"
 #include "engine/monitor_engine.hpp"
+#include "engine/sharded_fleet.hpp"
 #include "eval/table.hpp"
 #include "runtime/thread_pool.hpp"
 #include "signal/rng.hpp"
@@ -94,14 +107,123 @@ core::NsyncConfig dwm_config() {
   return cfg;
 }
 
+struct Fixture {
+  std::vector<std::string> channel_names = {"ACC", "AUD"};
+  std::vector<Signal> references;
+  std::vector<core::Thresholds> thresholds;
+  core::NsyncConfig cfg = dwm_config();
+};
+
+engine::SessionSpec make_spec(const Fixture& fx, std::size_t s) {
+  engine::SessionSpec spec;
+  spec.name = "print-" + std::to_string(s);
+  spec.rule = core::FusionRule::kAny;
+  for (std::size_t c = 0; c < fx.channel_names.size(); ++c) {
+    engine::ChannelSpec ch;
+    ch.name = fx.channel_names[c];
+    ch.reference = fx.references[c];
+    ch.config = fx.cfg;
+    ch.thresholds = fx.thresholds[c];
+    spec.channels.push_back(std::move(ch));
+  }
+  return spec;
+}
+
 struct Result {
+  std::size_t shards = 0;  ///< 0 = unsharded MonitorEngine baseline
   std::size_t sessions = 0;
   std::size_t windows = 0;
   double seconds = 0.0;
+  double p50_us = 0.0;  ///< feed→verdict latency (sharded rows only)
+  double p99_us = 0.0;
+  std::uint64_t shed_frames = 0;
+  std::size_t alarms = 0;
   [[nodiscard]] double windows_per_sec() const {
     return seconds > 0.0 ? static_cast<double>(windows) / seconds : 0.0;
   }
 };
+
+/// Unsharded baseline: feed + poll on one MonitorEngine.
+Result run_baseline(const Fixture& fx,
+                    const std::vector<std::vector<Signal>>& streams,
+                    std::size_t chunk) {
+  const std::size_t n_sessions = streams.size();
+  engine::MonitorEngine eng;
+  for (std::size_t s = 0; s < n_sessions; ++s) eng.add_session(make_spec(fx, s));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  std::size_t windows = 0;
+  bool more = true;
+  for (std::size_t off = 0; more; off += chunk) {
+    more = false;
+    for (std::size_t s = 0; s < n_sessions; ++s) {
+      for (std::size_t c = 0; c < fx.channel_names.size(); ++c) {
+        const Signal& sig = streams[s][c];
+        if (off >= sig.frames()) continue;
+        const std::size_t hi = std::min(off + chunk, sig.frames());
+        windows += eng.feed(s, fx.channel_names[c],
+                            signal::SignalView(sig).slice(off, hi));
+        if (hi < sig.frames()) more = true;
+      }
+    }
+    windows += eng.poll();
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+
+  Result r;
+  r.sessions = n_sessions;
+  r.windows = windows;
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  for (const auto& snap : eng.snapshots()) {
+    if (snap.intrusion) ++r.alarms;
+  }
+  return r;
+}
+
+/// Sharded fleet: feed from this thread, process on the shard workers,
+/// flush() as the barrier.  Options beyond the shard count let the
+/// saturation section shrink the queue and switch the overflow policy.
+Result run_sharded(const Fixture& fx,
+                   const std::vector<std::vector<Signal>>& streams,
+                   std::size_t chunk, engine::ShardedFleetOptions fopts) {
+  const std::size_t n_sessions = streams.size();
+  engine::ShardedFleet fleet(fopts);
+  for (std::size_t s = 0; s < n_sessions; ++s) {
+    fleet.add_session(make_spec(fx, s));
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  bool more = true;
+  for (std::size_t off = 0; more; off += chunk) {
+    more = false;
+    for (std::size_t s = 0; s < n_sessions; ++s) {
+      for (std::size_t c = 0; c < fx.channel_names.size(); ++c) {
+        const Signal& sig = streams[s][c];
+        if (off >= sig.frames()) continue;
+        const std::size_t hi = std::min(off + chunk, sig.frames());
+        fleet.feed(s, fx.channel_names[c],
+                   signal::SignalView(sig).slice(off, hi));
+        if (hi < sig.frames()) more = true;
+      }
+    }
+  }
+  fleet.flush();
+  const auto t1 = std::chrono::steady_clock::now();
+
+  const engine::FleetStats stats = fleet.stats();
+  Result r;
+  r.shards = fopts.shards;
+  r.sessions = n_sessions;
+  r.windows = static_cast<std::size_t>(stats.windows);
+  r.seconds = std::chrono::duration<double>(t1 - t0).count();
+  r.p50_us = stats.p50_feed_to_verdict_us;
+  r.p99_us = stats.p99_feed_to_verdict_us;
+  r.shed_frames = stats.shed_frames;
+  for (const auto& snap : fleet.snapshots()) {
+    if (snap.intrusion) ++r.alarms;
+  }
+  return r;
+}
 
 std::vector<std::size_t> parse_list(const std::string& s) {
   std::vector<std::size_t> out;
@@ -113,13 +235,43 @@ std::vector<std::size_t> parse_list(const std::string& s) {
   return out;
 }
 
+void emit_json(const std::string& path, std::size_t pool,
+               std::size_t frames_per_channel, std::size_t chunk,
+               const std::vector<Result>& scaling,
+               const std::vector<Result>& saturation) {
+  const auto emit = [](std::ofstream& out, const std::vector<Result>& rs) {
+    for (std::size_t i = 0; i < rs.size(); ++i) {
+      const Result& r = rs[i];
+      out << "    {\"shards\": " << r.shards << ", \"sessions\": "
+          << r.sessions << ", \"windows\": " << r.windows
+          << ", \"seconds\": " << r.seconds << ", \"windows_per_sec\": "
+          << r.windows_per_sec() << ", \"p50_us\": " << r.p50_us
+          << ", \"p99_us\": " << r.p99_us << ", \"shed_frames\": "
+          << r.shed_frames << "}" << (i + 1 < rs.size() ? "," : "") << "\n";
+    }
+  };
+  std::ofstream out(path);
+  out << "{\n  \"benchmark\": \"fleet\",\n  \"threads\": " << pool
+      << ",\n  \"hardware_concurrency\": "
+      << std::thread::hardware_concurrency()
+      << ",\n  \"frames_per_channel\": " << frames_per_channel
+      << ",\n  \"chunk\": " << chunk << ",\n  \"scaling\": [\n";
+  emit(out, scaling);
+  out << "  ],\n  \"saturation\": [\n";
+  emit(out, saturation);
+  out << "  ]\n}\n";
+  std::cout << "\nwrote " << path << "\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::size_t> session_counts = {1, 8, 32};
+  std::vector<std::size_t> shard_counts = {0, 1, 2, 4};
   std::size_t threads = 0;
   std::size_t frames_per_channel = 12288;
   std::size_t chunk = 256;
+  bool saturation_section = true;
   std::string json_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -133,18 +285,23 @@ int main(int argc, char** argv) {
     };
     if (arg == "--sessions") {
       session_counts = parse_list(next());
+    } else if (arg == "--shards") {
+      shard_counts = parse_list(next());
     } else if (arg == "--threads") {
       threads = static_cast<std::size_t>(std::stoul(next()));
     } else if (arg == "--frames") {
       frames_per_channel = static_cast<std::size_t>(std::stoul(next()));
     } else if (arg == "--chunk") {
       chunk = static_cast<std::size_t>(std::stoul(next()));
+    } else if (arg == "--no-saturation") {
+      saturation_section = false;
     } else if (arg == "--json") {
       json_path = next();
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: " << argv[0]
-                << " [--sessions a,b,c] [--threads n] [--frames n]"
-                   " [--chunk n] [--json path]\n";
+                << " [--sessions a,b,c] [--shards a,b,c] [--threads n]"
+                   " [--frames n] [--chunk n] [--no-saturation]"
+                   " [--json path]\n";
       return 0;
     } else {
       std::cerr << "unknown flag " << arg << "\n";
@@ -154,19 +311,18 @@ int main(int argc, char** argv) {
   if (threads > 0) runtime::set_worker_count(threads);
   const std::size_t pool = runtime::worker_count();
 
-  std::cout << "EXTENSION: MonitorEngine multi-session throughput\n"
-            << "(threads=" << pool << ", " << frames_per_channel
-            << " frames/channel, chunk=" << chunk << ")\n\n";
+  std::cout << "EXTENSION: sharded fleet multi-session throughput\n"
+            << "(pool=" << pool << " threads, hardware_concurrency="
+            << std::thread::hardware_concurrency() << ", "
+            << frames_per_channel << " frames/channel, chunk=" << chunk
+            << ")\n\n";
 
   // One fleet-wide calibration: learn thresholds once on benign runs and
   // hand them to every session, as a deployment would.
-  const core::NsyncConfig cfg = dwm_config();
-  const std::vector<std::string> channel_names = {"ACC", "AUD"};
-  std::vector<Signal> references;
-  std::vector<core::Thresholds> thresholds;
-  for (std::size_t c = 0; c < channel_names.size(); ++c) {
+  Fixture fx;
+  for (std::size_t c = 0; c < fx.channel_names.size(); ++c) {
     Signal ref = make_reference(frames_per_channel, 100 + c);
-    core::NsyncIds ids(ref, cfg);
+    core::NsyncIds ids(ref, fx.cfg);
     std::vector<Signal> train;
     for (std::uint64_t s = 0; s < 6; ++s) {
       train.push_back(benign_observation(ref, 10 * (s + 1) + c));
@@ -184,92 +340,87 @@ int main(int argc, char** argv) {
     t.c_c = std::max(3.0 * t.c_c, 64.0);
     t.h_c = std::max(3.0 * t.h_c, 8.0);
     t.v_c *= 3.0;
-    thresholds.push_back(t);
-    references.push_back(std::move(ref));
+    fx.thresholds.push_back(t);
+    fx.references.push_back(std::move(ref));
   }
 
-  std::vector<Result> results;
-  eval::AsciiTable table(
-      {"Sessions", "Threads", "Windows", "Seconds", "Windows/sec", "Alarms"});
+  std::vector<Result> scaling;
+  eval::AsciiTable table({"Shards", "Sessions", "Windows", "Seconds",
+                          "Windows/sec", "p50us", "p99us", "Alarms"});
   for (std::size_t n_sessions : session_counts) {
-    engine::MonitorEngine eng;
-    for (std::size_t s = 0; s < n_sessions; ++s) {
-      engine::SessionSpec spec;
-      spec.name = "print-" + std::to_string(s);
-      spec.rule = core::FusionRule::kAny;
-      for (std::size_t c = 0; c < channel_names.size(); ++c) {
-        engine::ChannelSpec ch;
-        ch.name = channel_names[c];
-        ch.reference = references[c];
-        ch.config = cfg;
-        ch.thresholds = thresholds[c];
-        spec.channels.push_back(std::move(ch));
-      }
-      eng.add_session(std::move(spec));
-    }
-
     // Pre-generate every session's observation streams so the timed loop
     // measures the engine, not the simulator.
     std::vector<std::vector<Signal>> streams(n_sessions);
     for (std::size_t s = 0; s < n_sessions; ++s) {
-      for (std::size_t c = 0; c < channel_names.size(); ++c) {
+      for (std::size_t c = 0; c < fx.channel_names.size(); ++c) {
         streams[s].push_back(
-            benign_observation(references[c], 1000 + 7 * s + c));
+            benign_observation(fx.references[c], 1000 + 7 * s + c));
       }
     }
-
-    const auto t0 = std::chrono::steady_clock::now();
-    std::size_t windows = 0;
-    bool more = true;
-    for (std::size_t off = 0; more; off += chunk) {
-      more = false;
-      for (std::size_t s = 0; s < n_sessions; ++s) {
-        for (std::size_t c = 0; c < channel_names.size(); ++c) {
-          const Signal& sig = streams[s][c];
-          if (off >= sig.frames()) continue;
-          const std::size_t hi = std::min(off + chunk, sig.frames());
-          windows += eng.feed(s, channel_names[c],
-                              signal::SignalView(sig).slice(off, hi));
-          if (hi < sig.frames()) more = true;
-        }
+    for (std::size_t n_shards : shard_counts) {
+      if (n_shards > n_sessions) continue;  // idle shards measure nothing
+      Result r;
+      if (n_shards == 0) {
+        r = run_baseline(fx, streams, chunk);
+      } else {
+        engine::ShardedFleetOptions fopts;
+        fopts.shards = n_shards;
+        r = run_sharded(fx, streams, chunk, fopts);
       }
-      windows += eng.poll();
+      scaling.push_back(r);
+      table.add_row(
+          {n_shards == 0 ? "base" : std::to_string(n_shards),
+           std::to_string(r.sessions), std::to_string(r.windows),
+           eval::fmt(r.seconds, 3), eval::fmt(r.windows_per_sec(), 0),
+           n_shards == 0 ? "-" : eval::fmt(r.p50_us, 0),
+           n_shards == 0 ? "-" : eval::fmt(r.p99_us, 0),
+           std::to_string(r.alarms)});
     }
-    const auto t1 = std::chrono::steady_clock::now();
-
-    std::size_t alarms = 0;
-    for (const auto& snap : eng.snapshots()) {
-      if (snap.intrusion) ++alarms;
-    }
-    Result r;
-    r.sessions = n_sessions;
-    r.windows = windows;
-    r.seconds = std::chrono::duration<double>(t1 - t0).count();
-    results.push_back(r);
-    table.add_row({std::to_string(r.sessions), std::to_string(pool),
-                   std::to_string(r.windows), eval::fmt(r.seconds, 3),
-                   eval::fmt(r.windows_per_sec(), 0),
-                   std::to_string(alarms)});
   }
   table.print(std::cout);
-  std::cout << "\n(benign streams: Alarms should be 0; aggregate\n"
-               " windows/sec should grow with --threads until the\n"
-               " physical core count is reached)\n";
+  std::cout << "\n(benign streams: Alarms should be 0; \"base\" is the\n"
+               " unsharded MonitorEngine; aggregate windows/sec should\n"
+               " grow with shard count until the physical core count is\n"
+               " reached — on a single-core host all rows are flat)\n";
+
+  std::vector<Result> saturation;
+  if (saturation_section) {
+    // Past the load-shed threshold: a deliberately tiny queue with the
+    // drop-oldest policy, fed with no pacing.  Throughput holds (the
+    // workers stay busy) while the shed counters account for every frame
+    // that was sacrificed; with kBlock these rows would instead converge
+    // to the scaling rows above.
+    const std::size_t n_sessions =
+        *std::max_element(session_counts.begin(), session_counts.end());
+    std::vector<std::vector<Signal>> streams(n_sessions);
+    for (std::size_t s = 0; s < n_sessions; ++s) {
+      for (std::size_t c = 0; c < fx.channel_names.size(); ++c) {
+        streams[s].push_back(
+            benign_observation(fx.references[c], 1000 + 7 * s + c));
+      }
+    }
+    eval::AsciiTable sat({"Shards", "Sessions", "Windows", "Seconds",
+                          "Windows/sec", "Shed frames", "p99us"});
+    for (std::size_t n_shards : shard_counts) {
+      if (n_shards == 0 || n_shards > n_sessions) continue;
+      engine::ShardedFleetOptions fopts;
+      fopts.shards = n_shards;
+      fopts.queue_capacity_frames = 2048;
+      fopts.overflow = engine::OverflowPolicy::kDropOldest;
+      Result r = run_sharded(fx, streams, chunk, fopts);
+      saturation.push_back(r);
+      sat.add_row({std::to_string(n_shards), std::to_string(r.sessions),
+                   std::to_string(r.windows), eval::fmt(r.seconds, 3),
+                   eval::fmt(r.windows_per_sec(), 0),
+                   std::to_string(r.shed_frames), eval::fmt(r.p99_us, 0)});
+    }
+    std::cout << "\nLoad shedding past saturation (queue=2048 frames, "
+                 "drop-oldest):\n";
+    sat.print(std::cout);
+  }
 
   if (!json_path.empty()) {
-    std::ofstream out(json_path);
-    out << "{\n  \"benchmark\": \"multi_session\",\n  \"threads\": " << pool
-        << ",\n  \"frames_per_channel\": " << frames_per_channel
-        << ",\n  \"chunk\": " << chunk << ",\n  \"results\": [\n";
-    for (std::size_t i = 0; i < results.size(); ++i) {
-      const Result& r = results[i];
-      out << "    {\"sessions\": " << r.sessions
-          << ", \"windows\": " << r.windows << ", \"seconds\": " << r.seconds
-          << ", \"windows_per_sec\": " << r.windows_per_sec() << "}"
-          << (i + 1 < results.size() ? "," : "") << "\n";
-    }
-    out << "  ]\n}\n";
-    std::cout << "\nwrote " << json_path << "\n";
+    emit_json(json_path, pool, frames_per_channel, chunk, scaling, saturation);
   }
   return 0;
 }

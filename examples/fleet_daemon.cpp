@@ -1,0 +1,155 @@
+// fleet_daemon — the NSYNC fleet as a standalone service.
+//
+// Owns a ShardedFleet (N shards, each a private MonitorEngine on its own
+// worker thread) and serves the NSFP frame-ingest protocol over a
+// Unix-domain socket (or localhost TCP with --tcp).  Acquisition hosts
+// connect as clients and drive admission, frame ingest, stats polling and
+// eviction over the wire; all detection runs here, on the shard workers.
+//
+// Crash safety: with --checkpoint <dir> every shard periodically writes
+// `<dir>/fleet.<shard>.nckp` and admissions/evictions checkpoint
+// synchronously.  After a SIGKILL, relaunching with --resume restores the
+// whole fleet; clients re-connect, read each channel's frames_fed offset
+// from POLL_STATS and resume their streams — final verdicts are bitwise
+// identical to an uninterrupted run (the CI fleet-daemon job pins this).
+//
+//   ./fleet_daemon --listen <uds-path> [--tcp <port>] [--shards N]
+//                  [--checkpoint <dir>] [--resume]
+//                  [--policy block|drop-oldest|reject] [--queue-frames N]
+#include <csignal>
+#include <cstdint>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "engine/fleet_server.hpp"
+#include "engine/sharded_fleet.hpp"
+#include "signal/checkpoint.hpp"
+
+using namespace nsync;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void on_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string uds_path;
+  std::uint16_t tcp_port = 0;
+  std::size_t shards = 2;
+  std::string checkpoint_dir;
+  bool resume = false;
+  std::string policy = "block";
+  std::size_t queue_frames = 1u << 20;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--listen" && i + 1 < argc) {
+      uds_path = argv[++i];
+    } else if (arg == "--tcp" && i + 1 < argc) {
+      tcp_port = static_cast<std::uint16_t>(std::stoul(argv[++i]));
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--checkpoint" && i + 1 < argc) {
+      checkpoint_dir = argv[++i];
+    } else if (arg == "--resume") {
+      resume = true;
+    } else if (arg == "--policy" && i + 1 < argc) {
+      policy = argv[++i];
+    } else if (arg == "--queue-frames" && i + 1 < argc) {
+      queue_frames = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: fleet_daemon --listen <uds-path> [--tcp <port>]"
+                << " [--shards N] [--checkpoint <dir>] [--resume]"
+                << " [--policy block|drop-oldest|reject] [--queue-frames N]\n";
+      return 0;
+    } else {
+      std::cerr << "fleet_daemon: unknown argument " << arg
+                << " (see --help)\n";
+      return 2;
+    }
+  }
+  if (uds_path.empty() && tcp_port == 0) {
+    std::cerr << "fleet_daemon: --listen <uds-path> or --tcp <port> is "
+                 "required\n";
+    return 2;
+  }
+  if (resume && checkpoint_dir.empty()) {
+    std::cerr << "fleet_daemon: --resume requires --checkpoint <dir>\n";
+    return 2;
+  }
+
+  engine::ShardedFleetOptions fopts;
+  fopts.shards = shards;
+  fopts.queue_capacity_frames = queue_frames;
+  if (policy == "block") {
+    fopts.overflow = engine::OverflowPolicy::kBlock;
+  } else if (policy == "drop-oldest") {
+    fopts.overflow = engine::OverflowPolicy::kDropOldest;
+  } else if (policy == "reject") {
+    fopts.overflow = engine::OverflowPolicy::kReject;
+  } else {
+    std::cerr << "fleet_daemon: unknown --policy " << policy << "\n";
+    return 2;
+  }
+  if (!checkpoint_dir.empty()) {
+    std::filesystem::create_directories(checkpoint_dir);
+    fopts.checkpoint_dir = checkpoint_dir;
+    fopts.checkpoint_every_polls = 1;
+  }
+
+  std::unique_ptr<engine::ShardedFleet> fleet;
+  if (resume) {
+    try {
+      fleet = engine::ShardedFleet::restore(checkpoint_dir, fopts);
+    } catch (const signal::CheckpointError& e) {
+      std::cerr << "fleet_daemon: cannot resume from " << checkpoint_dir
+                << ": " << e.what() << "\n";
+      return 2;
+    }
+    std::cout << "resumed " << fleet->sessions() << " sessions across "
+              << shards << " shards from " << checkpoint_dir << "\n";
+  } else {
+    fleet = std::make_unique<engine::ShardedFleet>(fopts);
+  }
+
+  engine::FleetServerOptions sopts;
+  sopts.uds_path = uds_path;
+  sopts.tcp_port = tcp_port;
+  engine::FleetServer server(*fleet, sopts);
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "fleet_daemon: " << e.what() << "\n";
+    return 2;
+  }
+  if (!uds_path.empty()) {
+    std::cout << "listening on " << uds_path;
+  } else {
+    std::cout << "listening on 127.0.0.1:" << server.bound_tcp_port();
+  }
+  std::cout << " (" << shards << " shards, policy " << policy << ")"
+            << std::endl;  // flush: the smoke test waits for this line
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  server.stop();
+  // Final checkpoint so a graceful shutdown preserves everything staged.
+  if (!checkpoint_dir.empty()) {
+    fleet->flush();
+    fleet->checkpoint_all();
+  }
+  const engine::FleetStats stats = fleet->stats();
+  std::cout << "shutdown: " << stats.sessions << " sessions, "
+            << stats.windows << " windows, " << stats.shed_frames
+            << " shed, " << stats.rejected_frames << " rejected\n";
+  return 0;
+}

@@ -1,24 +1,37 @@
-// Fleet monitoring quickstart: one MonitorEngine watching several printers
-// at once.
+// Fleet monitoring quickstart: several printers watched at once — in
+// process, sharded across cores, or over the fleet daemon's socket.
 //
 // Each session simulates one concurrent print job with two side channels
 // (accelerometer-like and audio-like pseudo signals).  Most sessions
-// stream benign observations; one streams a tampered print.  Frames
-// arrive in acquisition-sized chunks via feed(), window processing runs in
-// poll() on the shared thread pool, and the per-session snapshots show
-// the fused verdict, channel health and alarm latency as the prints
-// progress.
+// stream benign observations; one streams a tampered print.  Three modes:
+//
+//   * default (--shards 0): the original single MonitorEngine path —
+//     frames via feed(), window processing in poll() on the shared pool.
+//   * --shards N (N >= 1): a ShardedFleet partitions the sessions across
+//     N worker shards, each with a private engine and a bounded frame
+//     queue.  Verdicts are bitwise identical to the unsharded path.
+//   * --connect <uds-path>: client mode — the same dataset is replayed
+//     over the NSFP wire protocol to a running fleet_daemon; sessions are
+//     admitted with ADD_SESSION, frames stream via FEED, and the final
+//     verdicts come back from POLL_STATS.  If the daemon already holds
+//     the sessions (a resumed daemon), the client picks each channel's
+//     stream up at the frames_fed offset the daemon reports.
+//   * --listen <uds-path>: serve an (initially empty) fleet over a socket
+//     — a minimal in-example daemon; see fleet_daemon for the real one.
 //
 // Crash-safe operation: with `--checkpoint <dir>` the engine atomically
-// writes `<dir>/fleet.nckp` after every poll round.  If the process dies
-// (power cut, OOM kill, SIGKILL), relaunching with `--resume` restores the
-// fleet from the checkpoint and resumes each channel's stream exactly
-// where it left off — the final verdicts are identical to a run that was
-// never interrupted (the CI crash-recovery job pins this).
+// writes `<dir>/fleet.nckp` (`fleet.<shard>.nckp` per shard when sharded)
+// after every poll round.  If the process dies (power cut, OOM kill,
+// SIGKILL), relaunching with `--resume` restores the fleet from the
+// checkpoint and resumes each channel's stream exactly where it left off —
+// the final verdicts are identical to a run that was never interrupted
+// (the CI crash-recovery job pins this).
 //
 //   ./fleet_monitor [sessions] [attack_session]
+//                   [--shards N] [--connect <uds>] [--listen <uds>]
 //                   [--checkpoint <dir>] [--resume] [--pace-ms <n>]
 #include <chrono>
+#include <csignal>
 #include <cstddef>
 #include <cstdint>
 #include <filesystem>
@@ -28,7 +41,10 @@
 #include <vector>
 
 #include "core/nsync.hpp"
+#include "engine/fleet_server.hpp"
 #include "engine/monitor_engine.hpp"
+#include "engine/sharded_fleet.hpp"
+#include "engine/wire_client.hpp"
 #include "signal/checkpoint.hpp"
 #include "signal/rng.hpp"
 #include "signal/signal.hpp"
@@ -94,11 +110,192 @@ const char* health_name(core::ChannelHealth h) {
   return "?";
 }
 
+const char* health_name_u8(std::uint8_t h) {
+  return health_name(static_cast<core::ChannelHealth>(h));
+}
+
+/// Machine-readable verdict line; stable across clean, killed-and-resumed
+/// and networked runs (the CI crash-recovery and fleet-daemon jobs diff
+/// these).
+void print_verdict(const engine::SessionSnapshot& snap) {
+  std::cout << "verdict " << snap.name << " "
+            << (snap.intrusion ? "INTRUSION" : "benign") << " window="
+            << snap.first_alarm_window << " windows=" << snap.windows;
+  for (const auto& ch : snap.channels) {
+    std::cout << " " << ch.name << "="
+              << (ch.detection.intrusion ? "alarm" : "ok") << "/"
+              << health_name(ch.health);
+  }
+  std::cout << "\n";
+}
+
+void print_verdict(const engine::wire::StatsSession& s) {
+  std::cout << "verdict " << s.name << " "
+            << (s.intrusion != 0 ? "INTRUSION" : "benign") << " window="
+            << s.first_alarm_window << " windows=" << s.windows;
+  for (const auto& ch : s.channels) {
+    std::cout << " " << ch.name << "=" << (ch.alarm != 0 ? "alarm" : "ok")
+              << "/" << health_name_u8(ch.health);
+  }
+  std::cout << "\n";
+}
+
+volatile std::sig_atomic_t g_stop = 0;
+void on_signal(int) { g_stop = 1; }
+
+struct Dataset {
+  std::vector<std::string> channels;
+  std::vector<Signal> references;
+  std::vector<core::Thresholds> thresholds;
+  std::vector<std::vector<Signal>> streams;  // [session][channel]
+  core::NsyncConfig cfg;
+};
+
+/// Everything is a deterministic function of (n_sessions, attack_session),
+/// so an interrupted feeder — local or remote — regenerates the exact
+/// streams and fast-forwards to the recorded offsets.
+Dataset build_dataset(std::size_t n_sessions, std::size_t attack_session,
+                      bool calibrate) {
+  constexpr std::size_t kFrames = 6144;
+  Dataset d;
+  d.cfg.sync = core::SyncMethod::kDwm;
+  d.cfg.dwm.n_win = 64;
+  d.cfg.dwm.n_hop = 32;
+  d.cfg.dwm.n_ext = 24;
+  d.cfg.dwm.n_sigma = 12.0;
+  d.cfg.dwm.eta = 0.2;
+  d.channels = {"ACC", "AUD"};
+  for (std::size_t c = 0; c < d.channels.size(); ++c) {
+    d.references.push_back(make_reference(kFrames, 7 + c));
+  }
+  if (calibrate) {
+    // Calibrate each channel's thresholds once on benign prints, then
+    // share them across the fleet.
+    for (std::size_t c = 0; c < d.channels.size(); ++c) {
+      core::NsyncIds ids(d.references[c], d.cfg);
+      std::vector<Signal> train;
+      for (std::uint64_t s = 0; s < 3; ++s) {
+        train.push_back(benign_observation(d.references[c], 20 * (s + 1) + c));
+      }
+      ids.fit(train);
+      d.thresholds.push_back(ids.thresholds());
+    }
+  }
+  d.streams.resize(n_sessions);
+  for (std::size_t s = 0; s < n_sessions; ++s) {
+    for (std::size_t c = 0; c < d.channels.size(); ++c) {
+      d.streams[s].push_back(
+          s == attack_session
+              ? malicious_observation(d.references[c], 900 + 3 * s + c)
+              : benign_observation(d.references[c], 900 + 3 * s + c));
+    }
+  }
+  return d;
+}
+
+engine::SessionSpec make_spec(const Dataset& d, std::size_t s) {
+  engine::SessionSpec spec;
+  spec.name = "printer-" + std::to_string(s);
+  spec.rule = core::FusionRule::kAny;
+  for (std::size_t c = 0; c < d.channels.size(); ++c) {
+    engine::ChannelSpec ch;
+    ch.name = d.channels[c];
+    ch.reference = d.references[c];
+    ch.config = d.cfg;
+    ch.thresholds = d.thresholds[c];
+    spec.channels.push_back(std::move(ch));
+  }
+  return spec;
+}
+
+/// Client mode: replay the dataset over the NSFP socket.
+int run_client(const std::string& uds_path, std::size_t n_sessions,
+               std::size_t attack_session, long pace_ms) {
+  constexpr std::size_t kChunk = 256;
+  try {
+    engine::WireClient client = engine::WireClient::connect_uds(uds_path);
+    const engine::wire::HelloOk hello = client.hello("fleet_monitor");
+    const bool fresh = hello.sessions == 0;
+    if (!fresh && hello.sessions != n_sessions) {
+      std::cerr << "fleet_monitor: daemon holds " << hello.sessions
+                << " sessions but " << n_sessions << " were requested\n";
+      return 2;
+    }
+    Dataset d = build_dataset(n_sessions, attack_session, /*calibrate=*/fresh);
+
+    std::vector<std::vector<std::size_t>> offsets(
+        n_sessions, std::vector<std::size_t>(d.channels.size(), 0));
+    if (fresh) {
+      for (std::size_t s = 0; s < n_sessions; ++s) {
+        const engine::wire::AddSessionOk ok =
+            client.add_session(make_spec(d, s));
+        std::cout << "admitted printer-" << s << " as session " << ok.session
+                  << " on shard " << ok.shard << "\n";
+      }
+    } else {
+      // Resumed daemon: pick every channel's stream up where the
+      // restored fleet says it stopped.
+      const engine::wire::Stats st = client.poll_stats(true);
+      for (std::size_t s = 0; s < n_sessions; ++s) {
+        for (const auto& ch : st.sessions_detail.at(s).channels) {
+          for (std::size_t c = 0; c < d.channels.size(); ++c) {
+            if (d.channels[c] == ch.name) {
+              offsets[s][c] = static_cast<std::size_t>(ch.frames_fed);
+            }
+          }
+        }
+      }
+      std::cout << "resuming " << n_sessions << " sessions over the wire\n";
+    }
+
+    bool more = true;
+    while (more) {
+      more = false;
+      for (std::size_t s = 0; s < n_sessions; ++s) {
+        for (std::size_t c = 0; c < d.channels.size(); ++c) {
+          const Signal& sig = d.streams[s][c];
+          const std::size_t off = offsets[s][c];
+          if (off >= sig.frames()) continue;
+          const std::size_t hi = std::min(off + kChunk, sig.frames());
+          client.feed(s, d.channels[c],
+                      signal::SignalView(sig).slice(off, hi));
+          offsets[s][c] = hi;
+          if (hi < sig.frames()) more = true;
+        }
+      }
+      if (pace_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(pace_ms));
+      }
+    }
+
+    // Wait for the shard workers to drain everything we fed.
+    for (;;) {
+      const engine::wire::Stats st = client.poll_stats(false);
+      if (st.queued_frames == 0 && st.busy == 0) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    const engine::wire::Stats st = client.poll_stats(true);
+    std::cout << "fleet over the wire: " << st.sessions << " sessions on "
+              << st.shards << " shards, " << st.windows << " windows\n";
+    for (const auto& s : st.sessions_detail) print_verdict(s);
+    return 0;
+  } catch (const engine::WireError& e) {
+    std::cerr << "fleet_monitor: daemon error: " << e.what() << "\n";
+    return 2;
+  } catch (const std::exception& e) {
+    std::cerr << "fleet_monitor: " << e.what() << "\n";
+    return 2;
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::vector<std::string> positional;
   std::string checkpoint_dir;
+  std::string connect_path;
+  std::string listen_path;
+  std::size_t shards = 0;
   bool resume = false;
   long pace_ms = 0;
   for (int i = 1; i < argc; ++i) {
@@ -109,8 +306,15 @@ int main(int argc, char** argv) {
       resume = true;
     } else if (arg == "--pace-ms" && i + 1 < argc) {
       pace_ms = std::stol(argv[++i]);
+    } else if (arg == "--shards" && i + 1 < argc) {
+      shards = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--connect" && i + 1 < argc) {
+      connect_path = argv[++i];
+    } else if (arg == "--listen" && i + 1 < argc) {
+      listen_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: fleet_monitor [sessions] [attack_session]"
+                << " [--shards N] [--connect <uds>] [--listen <uds>]"
                 << " [--checkpoint <dir>] [--resume] [--pace-ms <n>]\n";
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
@@ -121,7 +325,7 @@ int main(int argc, char** argv) {
       positional.push_back(arg);
     }
   }
-  if (resume && checkpoint_dir.empty()) {
+  if (resume && checkpoint_dir.empty() && connect_path.empty()) {
     std::cerr << "fleet_monitor: --resume requires --checkpoint <dir>\n";
     return 2;
   }
@@ -132,22 +336,119 @@ int main(int argc, char** argv) {
       positional.size() > 1
           ? static_cast<std::size_t>(std::stoul(positional[1]))
           : 1;
-  constexpr std::size_t kFrames = 6144;
   constexpr std::size_t kChunk = 256;
 
-  core::NsyncConfig cfg;
-  cfg.sync = core::SyncMethod::kDwm;
-  cfg.dwm.n_win = 64;
-  cfg.dwm.n_hop = 32;
-  cfg.dwm.n_ext = 24;
-  cfg.dwm.n_sigma = 12.0;
-  cfg.dwm.eta = 0.2;
-
-  const std::vector<std::string> channels = {"ACC", "AUD"};
-  std::vector<Signal> references;
-  for (std::size_t c = 0; c < channels.size(); ++c) {
-    references.push_back(make_reference(kFrames, 7 + c));
+  if (!connect_path.empty()) {
+    return run_client(connect_path, n_sessions, attack_session, pace_ms);
   }
+
+  if (!listen_path.empty()) {
+    // Minimal in-example daemon: an empty sharded fleet served over a
+    // socket until SIGINT/SIGTERM.  fleet_daemon is the full-featured one.
+    engine::ShardedFleetOptions fopts;
+    fopts.shards = shards == 0 ? 1 : shards;
+    if (!checkpoint_dir.empty()) {
+      std::filesystem::create_directories(checkpoint_dir);
+      fopts.checkpoint_dir = checkpoint_dir;
+    }
+    std::unique_ptr<engine::ShardedFleet> fleet =
+        resume ? engine::ShardedFleet::restore(checkpoint_dir, fopts)
+               : std::make_unique<engine::ShardedFleet>(fopts);
+    engine::FleetServerOptions sopts;
+    sopts.uds_path = listen_path;
+    engine::FleetServer server(*fleet, sopts);
+    server.start();
+    std::cout << "listening on " << listen_path << " (" << fopts.shards
+              << " shards)" << std::endl;
+    std::signal(SIGINT, on_signal);
+    std::signal(SIGTERM, on_signal);
+    while (g_stop == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    server.stop();
+    return 0;
+  }
+
+  Dataset d;  // thresholds filled only on the fresh (non-resume) path
+
+  if (shards > 0) {
+    // Sharded in-process path: same sessions, N worker shards.
+    engine::ShardedFleetOptions fopts;
+    fopts.shards = shards;
+    if (!checkpoint_dir.empty()) {
+      std::filesystem::create_directories(checkpoint_dir);
+      fopts.checkpoint_dir = checkpoint_dir;
+      fopts.checkpoint_every_polls = 1;
+    }
+    std::unique_ptr<engine::ShardedFleet> fleet;
+    if (resume) {
+      try {
+        fleet = engine::ShardedFleet::restore(checkpoint_dir, fopts);
+      } catch (const nsync::signal::CheckpointError& e) {
+        std::cerr << "fleet_monitor: cannot resume from " << checkpoint_dir
+                  << ": " << e.what() << "\n";
+        return 2;
+      }
+      if (fleet->sessions() != n_sessions) {
+        std::cerr << "fleet_monitor: checkpoint holds " << fleet->sessions()
+                  << " sessions but " << n_sessions << " were requested\n";
+        return 2;
+      }
+      d = build_dataset(n_sessions, attack_session, /*calibrate=*/false);
+      std::cout << "resumed " << fleet->sessions() << " sessions across "
+                << shards << " shards from " << checkpoint_dir << "\n";
+    } else {
+      d = build_dataset(n_sessions, attack_session, /*calibrate=*/true);
+      fleet = std::make_unique<engine::ShardedFleet>(fopts);
+      for (std::size_t s = 0; s < n_sessions; ++s) {
+        fleet->add_session(make_spec(d, s));
+      }
+    }
+    std::vector<std::vector<std::size_t>> offsets(
+        n_sessions, std::vector<std::size_t>(d.channels.size(), 0));
+    if (resume) {
+      for (std::size_t s = 0; s < n_sessions; ++s) {
+        const engine::SessionSnapshot snap = fleet->snapshot(s);
+        for (const auto& ch : snap.channels) {
+          for (std::size_t c = 0; c < d.channels.size(); ++c) {
+            if (d.channels[c] == ch.name) offsets[s][c] = ch.frames_fed;
+          }
+        }
+      }
+    }
+    std::cout << "fleet: " << n_sessions << " sessions x "
+              << d.channels.size() << " channels on " << shards
+              << " shards; session " << attack_session
+              << " streams a tampered print\n\n";
+    bool more = true;
+    while (more) {
+      more = false;
+      for (std::size_t s = 0; s < n_sessions; ++s) {
+        for (std::size_t c = 0; c < d.channels.size(); ++c) {
+          const Signal& sig = d.streams[s][c];
+          const std::size_t off = offsets[s][c];
+          if (off >= sig.frames()) continue;
+          const std::size_t hi = std::min(off + kChunk, sig.frames());
+          fleet->feed(s, d.channels[c],
+                      signal::SignalView(sig).slice(off, hi));
+          offsets[s][c] = hi;
+          if (hi < sig.frames()) more = true;
+        }
+      }
+      if (pace_ms > 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(pace_ms));
+      }
+    }
+    fleet->flush();
+    const engine::FleetStats stats = fleet->stats();
+    std::cout << "windows: " << stats.windows << ", p50 feed->verdict "
+              << stats.p50_feed_to_verdict_us << " us, p99 "
+              << stats.p99_feed_to_verdict_us << " us\n";
+    for (const auto& snap : fleet->snapshots()) print_verdict(snap);
+    return 0;
+  }
+
+  // --- Original single-engine path (--shards 0) ---------------------------
 
   engine::MonitorEngineOptions opts;
   if (!checkpoint_dir.empty()) {
@@ -173,61 +474,27 @@ int main(int argc, char** argv) {
                 << " sessions but " << n_sessions << " were requested\n";
       return 2;
     }
+    d = build_dataset(n_sessions, attack_session, /*calibrate=*/false);
     std::cout << "resumed " << eng.sessions() << " sessions from "
               << checkpoint_dir << "/fleet.nckp\n";
   } else {
-    // Calibrate each channel's thresholds once on benign prints, then
-    // share them across the fleet.
-    std::vector<core::Thresholds> thresholds;
-    for (std::size_t c = 0; c < channels.size(); ++c) {
-      core::NsyncIds ids(references[c], cfg);
-      std::vector<Signal> train;
-      for (std::uint64_t s = 0; s < 3; ++s) {
-        train.push_back(benign_observation(references[c], 20 * (s + 1) + c));
-      }
-      ids.fit(train);
-      thresholds.push_back(ids.thresholds());
-    }
+    d = build_dataset(n_sessions, attack_session, /*calibrate=*/true);
     for (std::size_t s = 0; s < n_sessions; ++s) {
-      engine::SessionSpec spec;
-      spec.name = "printer-" + std::to_string(s);
-      spec.rule = core::FusionRule::kAny;
-      for (std::size_t c = 0; c < channels.size(); ++c) {
-        engine::ChannelSpec ch;
-        ch.name = channels[c];
-        ch.reference = references[c];
-        ch.config = cfg;
-        ch.thresholds = thresholds[c];
-        spec.channels.push_back(std::move(ch));
-      }
-      eng.add_session(std::move(spec));
+      eng.add_session(make_spec(d, s));
     }
   }
 
-  // The observed streams are deterministic functions of the seeds, so a
-  // resumed process regenerates them and fast-forwards each channel to the
-  // frame count recorded in the checkpoint.
-  std::vector<std::vector<Signal>> streams(n_sessions);
   std::vector<std::vector<std::size_t>> offsets(
-      n_sessions, std::vector<std::size_t>(channels.size(), 0));
-  for (std::size_t s = 0; s < n_sessions; ++s) {
-    for (std::size_t c = 0; c < channels.size(); ++c) {
-      streams[s].push_back(s == attack_session
-                               ? malicious_observation(references[c],
-                                                       900 + 3 * s + c)
-                               : benign_observation(references[c],
-                                                    900 + 3 * s + c));
-    }
-    if (resume) {
-      const engine::SessionSnapshot snap = eng.snapshot(s);
-      for (const auto& ch : snap.channels) {
-        for (std::size_t c = 0; c < channels.size(); ++c) {
-          if (channels[c] == ch.name) offsets[s][c] = ch.frames_fed;
-        }
+      n_sessions, std::vector<std::size_t>(d.channels.size(), 0));
+  for (std::size_t s = 0; s < n_sessions && resume; ++s) {
+    const engine::SessionSnapshot snap = eng.snapshot(s);
+    for (const auto& ch : snap.channels) {
+      for (std::size_t c = 0; c < d.channels.size(); ++c) {
+        if (d.channels[c] == ch.name) offsets[s][c] = ch.frames_fed;
       }
     }
   }
-  std::cout << "fleet: " << n_sessions << " sessions x " << channels.size()
+  std::cout << "fleet: " << n_sessions << " sessions x " << d.channels.size()
             << " channels; session " << attack_session
             << " streams a tampered print\n\n";
 
@@ -237,12 +504,12 @@ int main(int argc, char** argv) {
   while (more) {
     more = false;
     for (std::size_t s = 0; s < n_sessions; ++s) {
-      for (std::size_t c = 0; c < channels.size(); ++c) {
-        const Signal& sig = streams[s][c];
+      for (std::size_t c = 0; c < d.channels.size(); ++c) {
+        const Signal& sig = d.streams[s][c];
         const std::size_t off = offsets[s][c];
         if (off >= sig.frames()) continue;
         const std::size_t hi = std::min(off + kChunk, sig.frames());
-        eng.feed(s, channels[c], signal::SignalView(sig).slice(off, hi));
+        eng.feed(s, d.channels[c], signal::SignalView(sig).slice(off, hi));
         offsets[s][c] = hi;
         if (hi < sig.frames()) more = true;
       }
@@ -274,18 +541,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  // Machine-readable verdict lines: one per session, stable across clean
-  // and killed-and-resumed runs (the CI crash-recovery job diffs these).
-  for (const auto& snap : eng.snapshots()) {
-    std::cout << "verdict " << snap.name << " "
-              << (snap.intrusion ? "INTRUSION" : "benign") << " window="
-              << snap.first_alarm_window << " windows=" << snap.windows;
-    for (const auto& ch : snap.channels) {
-      std::cout << " " << ch.name << "="
-                << (ch.detection.intrusion ? "alarm" : "ok") << "/"
-                << health_name(ch.health);
-    }
-    std::cout << "\n";
-  }
+  for (const auto& snap : eng.snapshots()) print_verdict(snap);
   return 0;
 }

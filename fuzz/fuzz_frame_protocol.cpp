@@ -1,0 +1,85 @@
+// libFuzzer target: the NSFP frame-ingest wire protocol decoder.
+//
+// The decoder sits directly on the daemon's network boundary — every byte
+// it sees comes from an untrusted socket peer.  Arbitrary input must
+// resolve to one of the typed DecodeStatus outcomes (kNeedMore, kFrame,
+// or a framing/payload error) and nothing else: no crashes, no OOM from
+// length-prefix-driven allocations, no reads past the buffered bytes.
+//
+// The raw input doubles as a chunking schedule: the first byte selects a
+// feed granularity so the same corpus exercises both bulk and
+// byte-at-a-time reassembly, where resynchronization bugs live.  Decoded
+// frames are re-encoded and decoded again to pin the codec round-trip.
+//
+// Build: cmake -DNSYNC_BUILD_FUZZERS=ON (requires Clang; see
+// fuzz/CMakeLists.txt).  Run: ./fuzz/fuzz_frame_protocol -max_total_time=60
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "engine/wire_protocol.hpp"
+
+namespace wire = nsync::engine::wire;
+
+namespace {
+
+void drain(wire::FrameDecoder& decoder) {
+  wire::Message msg;
+  std::string detail;
+  for (;;) {
+    const wire::DecodeStatus status = decoder.next(msg, &detail);
+    switch (status) {
+      case wire::DecodeStatus::kFrame: {
+        // Anything the decoder accepts must survive an encode/decode
+        // round-trip bit-exactly at the message level.
+        wire::FrameDecoder verify;
+        verify.feed(wire::encode(msg));
+        wire::Message again;
+        if (verify.next(again) != wire::DecodeStatus::kFrame ||
+            wire::message_type(again) != wire::message_type(msg)) {
+          __builtin_trap();
+        }
+        continue;  // there may be more frames buffered
+      }
+      case wire::DecodeStatus::kBadType:
+      case wire::DecodeStatus::kMalformed:
+        continue;  // frame-local: decoder must have consumed the frame
+      case wire::DecodeStatus::kNeedMore:
+        return;
+      case wire::DecodeStatus::kBadMagic:
+      case wire::DecodeStatus::kBadVersion:
+      case wire::DecodeStatus::kOversized:
+      case wire::DecodeStatus::kBadCrc:
+        // Poisoned: every subsequent call must repeat the same status.
+        if (!decoder.poisoned()) {
+          __builtin_trap();
+        }
+        return;
+    }
+  }
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size == 0) {
+    return 0;
+  }
+  // First byte picks the chunk size (1..256); the rest is the stream.
+  const std::size_t chunk = static_cast<std::size_t>(data[0]) + 1;
+  const std::span<const std::uint8_t> stream(data + 1, size - 1);
+
+  wire::FrameDecoder decoder;
+  for (std::size_t off = 0; off < stream.size(); off += chunk) {
+    const std::size_t n = std::min(chunk, stream.size() - off);
+    decoder.feed(stream.subspan(off, n));
+    drain(decoder);
+    if (decoder.poisoned()) {
+      break;
+    }
+  }
+  return 0;
+}

@@ -32,7 +32,7 @@ for b in "$@"; do
     EXTRA_FLAGS="--json ${NSYNC_BENCH_JSON:-BENCH_micro.json}"
   fi
   if [ "$b" = "bench_ext_multi_session" ]; then
-    EXTRA_FLAGS="--json ${NSYNC_BENCH_JSON:-BENCH_multi_session.json}"
+    EXTRA_FLAGS="--json ${NSYNC_BENCH_JSON:-BENCH_fleet.json}"
   fi
   if [ "$b" = "bench_ext_checkpoint" ]; then
     EXTRA_FLAGS="--json ${NSYNC_BENCH_JSON:-BENCH_checkpoint.json}"

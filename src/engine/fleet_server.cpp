@@ -1,0 +1,377 @@
+#include "engine/fleet_server.hpp"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "signal/checkpoint.hpp"
+
+namespace nsync::engine {
+
+namespace {
+
+using wire::ErrorCode;
+using wire::Message;
+
+/// Writes the whole buffer, retrying on EINTR/partial writes.  Returns
+/// false when the peer is gone (the caller drops the connection).
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+#else
+    const ssize_t w = ::write(fd, data, n);
+#endif
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+wire::Error make_error(ErrorCode code, std::string message) {
+  wire::Error e;
+  e.code = code;
+  e.message = std::move(message);
+  return e;
+}
+
+wire::StatsSession to_stats_session(const SessionSnapshot& snap) {
+  wire::StatsSession s;
+  s.name = snap.name;
+  s.evicted = snap.evicted ? 1 : 0;
+  s.intrusion = snap.intrusion ? 1 : 0;
+  s.first_alarm_window = static_cast<std::int64_t>(snap.first_alarm_window);
+  s.windows = snap.windows;
+  s.frames_fed = snap.frames_fed;
+  s.channels.reserve(snap.channels.size());
+  for (const ChannelSnapshot& c : snap.channels) {
+    wire::StatsChannel sc;
+    sc.name = c.name;
+    sc.alarm = c.detection.intrusion ? 1 : 0;
+    sc.health = static_cast<std::uint8_t>(c.health);
+    sc.windows = c.windows;
+    sc.frames_fed = c.frames_fed;
+    s.channels.push_back(std::move(sc));
+  }
+  return s;
+}
+
+wire::Stats to_stats(const FleetStats& fs) {
+  wire::Stats m;
+  m.shards = fs.shards;
+  m.sessions = fs.sessions;
+  m.evicted = fs.evicted;
+  m.windows = fs.windows;
+  m.shed_frames = fs.shed_frames;
+  m.rejected_frames = fs.rejected_frames;
+  m.queued_frames = fs.queued_frames;
+  m.busy = fs.busy ? 1 : 0;
+  m.per_shard.reserve(fs.per_shard.size());
+  for (const ShardStats& s : fs.per_shard) {
+    wire::StatsShard ws;
+    ws.shard = s.shard;
+    ws.sessions = s.sessions;
+    ws.queued_frames = s.queue.queued_frames;
+    ws.peak_queued_frames = s.queue.peak_queued_frames;
+    ws.enqueued_frames = s.queue.enqueued_frames;
+    ws.shed_frames = s.queue.shed_frames;
+    ws.rejected_frames = s.queue.rejected_frames;
+    ws.batches = s.batches;
+    ws.polls = s.polls;
+    ws.windows = s.windows;
+    ws.feed_errors = s.feed_errors;
+    ws.checkpoints_written = s.checkpoints_written;
+    ws.latency_samples = s.latency_samples;
+    ws.p50_feed_to_verdict_us = s.p50_feed_to_verdict_us;
+    ws.p99_feed_to_verdict_us = s.p99_feed_to_verdict_us;
+    ws.in_flight = s.queue.in_flight ? 1 : 0;
+    m.per_shard.push_back(ws);
+  }
+  return m;
+}
+
+struct RequestVisitor {
+  ShardedFleet& fleet;
+
+  Message operator()(const wire::Hello& h) const {
+    if (h.version != wire::kProtocolVersion) {
+      return make_error(ErrorCode::kBadVersion,
+                        "client protocol version unsupported");
+    }
+    wire::HelloOk ok;
+    ok.shards = fleet.shards();
+    ok.sessions = fleet.sessions();
+    return ok;
+  }
+
+  Message operator()(const wire::AddSession& a) const {
+    try {
+      // The decoder validated structure; add_session validates semantics
+      // (empty specs, non-DWM configs, ...).
+      SessionSpec spec = a.spec;
+      const std::size_t id = fleet.add_session(std::move(spec));
+      wire::AddSessionOk ok;
+      ok.session = id;
+      ok.shard = fleet.shard_of(id);
+      return ok;
+    } catch (const std::invalid_argument& e) {
+      return make_error(ErrorCode::kMalformed, e.what());
+    } catch (const nsync::signal::CheckpointError& e) {
+      return make_error(ErrorCode::kInternal, e.what());
+    }
+  }
+
+  Message operator()(const wire::Feed& f) const {
+    const FeedResult r = fleet.feed(
+        static_cast<std::size_t>(f.session), f.channel,
+        nsync::signal::SignalView(f.frames));
+    switch (r.status) {
+      case FeedStatus::kOk:
+      case FeedStatus::kShed: {
+        wire::FeedOk ok;
+        ok.accepted_frames = r.accepted_frames;
+        ok.shed_frames = r.shed_frames;
+        ok.queued_frames = r.queued_frames;
+        return ok;
+      }
+      case FeedStatus::kRejected:
+        return make_error(ErrorCode::kOverloaded,
+                          "shard queue past high-water mark");
+      case FeedStatus::kUnknownSession:
+        return make_error(ErrorCode::kUnknownSession, "no such session");
+      case FeedStatus::kUnknownChannel:
+        return make_error(ErrorCode::kUnknownChannel, "no such channel");
+      case FeedStatus::kChannelMismatch:
+        return make_error(ErrorCode::kChannelMismatch,
+                          "frame width does not match channel");
+      case FeedStatus::kEvicted:
+        return make_error(ErrorCode::kEvicted, "session was evicted");
+    }
+    return make_error(ErrorCode::kInternal, "unhandled feed status");
+  }
+
+  Message operator()(const wire::PollStats& p) const {
+    wire::Stats m = to_stats(fleet.stats());
+    if (p.include_sessions != 0) {
+      const std::vector<SessionSnapshot> snaps = fleet.snapshots();
+      m.sessions_detail.reserve(snaps.size());
+      for (const SessionSnapshot& s : snaps) {
+        m.sessions_detail.push_back(to_stats_session(s));
+      }
+    }
+    return m;
+  }
+
+  Message operator()(const wire::Evict& e) const {
+    try {
+      fleet.evict_session(static_cast<std::size_t>(e.session));
+      return wire::EvictOk{};
+    } catch (const std::out_of_range&) {
+      return make_error(ErrorCode::kUnknownSession, "no such session");
+    } catch (const nsync::signal::CheckpointError& err) {
+      return make_error(ErrorCode::kInternal, err.what());
+    }
+  }
+
+  // Reply types arriving as requests are protocol misuse, not framing
+  // corruption: answer with a typed error and keep the connection.
+  Message operator()(const wire::HelloOk&) const { return misuse(); }
+  Message operator()(const wire::AddSessionOk&) const { return misuse(); }
+  Message operator()(const wire::FeedOk&) const { return misuse(); }
+  Message operator()(const wire::Stats&) const { return misuse(); }
+  Message operator()(const wire::EvictOk&) const { return misuse(); }
+  Message operator()(const wire::Error&) const { return misuse(); }
+
+  static Message misuse() {
+    return make_error(ErrorCode::kBadType, "reply type sent as request");
+  }
+};
+
+}  // namespace
+
+FleetServer::FleetServer(ShardedFleet& fleet, FleetServerOptions options)
+    : fleet_(fleet), options_(std::move(options)) {}
+
+FleetServer::~FleetServer() { stop(); }
+
+wire::Message FleetServer::handle(ShardedFleet& fleet,
+                                  const wire::Message& request) {
+  return std::visit(RequestVisitor{fleet}, request);
+}
+
+void FleetServer::start() {
+  if (listen_fd_ >= 0) throw std::runtime_error("FleetServer already started");
+  stopping_.store(false);
+
+  if (!options_.uds_path.empty()) {
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (options_.uds_path.size() >= sizeof(addr.sun_path)) {
+      throw std::runtime_error("FleetServer: UDS path too long");
+    }
+    std::strncpy(addr.sun_path, options_.uds_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      throw std::runtime_error("FleetServer: socket() failed");
+    }
+    ::unlink(options_.uds_path.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw std::runtime_error("FleetServer: bind(" + options_.uds_path +
+                               ") failed: " + std::strerror(errno));
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      throw std::runtime_error("FleetServer: socket() failed");
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(options_.tcp_port);
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      throw std::runtime_error("FleetServer: bind(127.0.0.1) failed: " +
+                               std::string(std::strerror(errno)));
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len) ==
+        0) {
+      bound_port_ = ntohs(bound.sin_port);
+    }
+  }
+
+  if (::listen(listen_fd_, options_.backlog) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("FleetServer: listen() failed");
+  }
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void FleetServer::stop() {
+  stopping_.store(true);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!options_.uds_path.empty()) ::unlink(options_.uds_path.c_str());
+  std::vector<Connection> conns;
+  {
+    const std::scoped_lock lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (Connection& c : conns) {
+    // Shutdown wakes the connection thread out of read(); it closes the
+    // fd itself on exit.
+    ::shutdown(c.fd, SHUT_RDWR);
+    if (c.thread.joinable()) c.thread.join();
+  }
+  bound_port_ = 0;
+}
+
+void FleetServer::reap_finished_locked() {
+  for (auto it = conns_.begin(); it != conns_.end();) {
+    if (it->done->load()) {
+      if (it->thread.joinable()) it->thread.join();
+      it = conns_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void FleetServer::accept_loop() {
+  while (!stopping_.load()) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout or EINTR — recheck stopping_
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    connections_accepted_.fetch_add(1);
+    const std::scoped_lock lock(conns_mu_);
+    reap_finished_locked();
+    Connection conn;
+    conn.fd = fd;
+    conn.done = std::make_shared<std::atomic<bool>>(false);
+    auto done = conn.done;
+    conn.thread = std::thread([this, fd, done] {
+      serve_connection(fd);
+      done->store(true);
+    });
+    conns_.push_back(std::move(conn));
+  }
+}
+
+void FleetServer::serve_connection(int fd) {
+  wire::FrameDecoder decoder;
+  std::vector<std::uint8_t> rx(64 * 1024);
+  bool open = true;
+  while (open && !stopping_.load()) {
+    const ssize_t n = ::read(fd, rx.data(), rx.size());
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;  // peer closed or error
+    decoder.feed(std::span<const std::uint8_t>(
+        rx.data(), static_cast<std::size_t>(n)));
+
+    while (open) {
+      Message request;
+      std::string detail;
+      const wire::DecodeStatus st = decoder.next(request, &detail);
+      if (st == wire::DecodeStatus::kNeedMore) break;
+
+      Message reply;
+      bool close_after = false;
+      switch (st) {
+        case wire::DecodeStatus::kFrame:
+          reply = handle(fleet_, request);
+          break;
+        case wire::DecodeStatus::kBadType:
+          reply = make_error(ErrorCode::kBadType, detail);
+          break;
+        case wire::DecodeStatus::kMalformed:
+          reply = make_error(ErrorCode::kMalformed, detail);
+          break;
+        case wire::DecodeStatus::kBadVersion:
+          reply = make_error(ErrorCode::kBadVersion, detail);
+          close_after = true;
+          break;
+        case wire::DecodeStatus::kBadMagic:
+        case wire::DecodeStatus::kOversized:
+        case wire::DecodeStatus::kBadCrc:
+        default:
+          reply = make_error(ErrorCode::kBadFrame, detail);
+          close_after = true;
+          break;
+      }
+      const std::vector<std::uint8_t> bytes = wire::encode(reply);
+      if (!write_all(fd, bytes.data(), bytes.size())) close_after = true;
+      if (close_after) open = false;
+    }
+  }
+  ::close(fd);
+}
+
+}  // namespace nsync::engine

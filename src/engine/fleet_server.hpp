@@ -1,0 +1,98 @@
+// FleetServer — serves the NSFP frame-ingest protocol over a socket.
+//
+// One server fronts one ShardedFleet.  It listens on a Unix-domain socket
+// (the default deployment: acquisition host and daemon on the same
+// machine) or a localhost TCP port, accepts any number of client
+// connections, and dispatches decoded requests straight into the fleet.
+// The socket threads are pure ingest: all detection work still happens on
+// the fleet's shard workers, so a slow client never stalls a shard and a
+// saturated shard pushes back through the queue policy (FEED replies carry
+// shed/queued counts; kReject surfaces as an OVERLOADED error reply).
+//
+// Error discipline mirrors FrameDecoder: frame-local failures (unknown
+// type, malformed payload, unknown session/channel, overload) get a typed
+// ERROR reply and the connection continues; stream-poisoning failures (bad
+// magic/version/CRC/length) get a final ERROR reply and the connection is
+// closed, because the byte stream can no longer be trusted.
+#ifndef NSYNC_ENGINE_FLEET_SERVER_HPP
+#define NSYNC_ENGINE_FLEET_SERVER_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/sharded_fleet.hpp"
+#include "engine/wire_protocol.hpp"
+
+namespace nsync::engine {
+
+struct FleetServerOptions {
+  /// Unix-domain socket path.  Takes precedence over tcp_port; an
+  /// existing socket file at this path is unlinked before binding.
+  std::string uds_path;
+  /// When uds_path is empty and this is non-zero, listen on
+  /// 127.0.0.1:tcp_port instead.
+  std::uint16_t tcp_port = 0;
+  int backlog = 16;
+};
+
+/// Accepts NSFP connections and applies their requests to a ShardedFleet.
+class FleetServer {
+ public:
+  /// The fleet must outlive the server.
+  FleetServer(ShardedFleet& fleet, FleetServerOptions options);
+  ~FleetServer();
+
+  FleetServer(const FleetServer&) = delete;
+  FleetServer& operator=(const FleetServer&) = delete;
+
+  /// Binds, listens and starts the accept thread.  Throws
+  /// std::runtime_error on socket/bind/listen failure.
+  void start();
+
+  /// Stops accepting, closes every connection and joins all threads.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  /// Bound TCP port (useful with tcp_port = 0 → kernel-assigned).
+  [[nodiscard]] std::uint16_t bound_tcp_port() const { return bound_port_; }
+
+  /// Connections accepted so far.
+  [[nodiscard]] std::size_t connections_accepted() const {
+    return connections_accepted_.load();
+  }
+
+  /// Maps one decoded request onto the fleet and returns the reply
+  /// message.  Pure dispatch — no socket involved — so tests can exercise
+  /// the full request surface without a transport.
+  [[nodiscard]] static wire::Message handle(ShardedFleet& fleet,
+                                            const wire::Message& request);
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+  void reap_finished_locked();
+
+  ShardedFleet& fleet_;
+  FleetServerOptions options_;
+  int listen_fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::size_t> connections_accepted_{0};
+  std::thread accept_thread_;
+  std::mutex conns_mu_;
+  struct Connection {
+    int fd = -1;
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+  std::vector<Connection> conns_;
+};
+
+}  // namespace nsync::engine
+
+#endif  // NSYNC_ENGINE_FLEET_SERVER_HPP

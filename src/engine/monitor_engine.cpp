@@ -6,6 +6,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "engine/session_codec.hpp"
 #include "runtime/thread_pool.hpp"
 #include "signal/checkpoint.hpp"
 
@@ -81,6 +82,11 @@ std::size_t MonitorEngine::feed(std::size_t session,
       target = &c;
       break;
     }
+  }
+  if (s.evicted) {
+    throw std::invalid_argument("MonitorEngine::feed: session '" + s.name +
+                                "' (id " + std::to_string(session) +
+                                ") has been evicted");
   }
   if (target == nullptr) {
     throw std::invalid_argument("MonitorEngine::feed: unknown channel '" +
@@ -163,15 +169,41 @@ void MonitorEngine::maybe_checkpoint(std::size_t windows) {
   ++checkpoints_written_;
 }
 
+std::size_t MonitorEngine::poll_inline() {
+  std::size_t windows = 0;
+  for (auto& sp : sessions_) {
+    Session& s = *sp;
+    const std::scoped_lock lock(s.mu);
+    windows += drain_locked(s);
+  }
+  maybe_checkpoint(windows);
+  return windows;
+}
+
 std::size_t MonitorEngine::poll_session(std::size_t session) {
   Session& s = session_at(session);
   const std::scoped_lock lock(s.mu);
   return drain_locked(s);
 }
 
+void MonitorEngine::evict_session(std::size_t session) {
+  Session& s = session_at(session);
+  const std::scoped_lock lock(s.mu);
+  s.channels.clear();
+  s.channels.shrink_to_fit();
+  // The dynamic state is discarded with the monitors, so the latched
+  // verdict goes too — a restore from a checkpoint holding the tombstone
+  // must see the same (empty) state as this process does.
+  s.frames_fed = 0;
+  s.intrusion = false;
+  s.first_alarm_window = -1;
+  s.evicted = true;
+}
+
 SessionSnapshot MonitorEngine::snapshot_locked(const Session& s) {
   SessionSnapshot out;
   out.name = s.name;
+  out.evicted = s.evicted;
   out.intrusion = s.intrusion;
   out.first_alarm_window = s.first_alarm_window;
   out.frames_fed = s.frames_fed;
@@ -182,6 +214,8 @@ SessionSnapshot MonitorEngine::snapshot_locked(const Session& s) {
     cs.name = c.name;
     cs.detection = c.monitor.detection();
     cs.health = c.monitor.health();
+    cs.width = c.staging.channels();
+    cs.sample_rate = c.staging.sample_rate();
     cs.windows = c.monitor.windows();
     cs.pending_frames = c.staging.retained_frames();
     cs.frames_fed = c.staging.end();
@@ -218,64 +252,19 @@ constexpr std::uint32_t kSecFleet = 0x544C4601;    // "\x01FLT"
 constexpr std::uint32_t kSecSession = 0x53455301;  // "\x01SES"
 constexpr std::uint32_t kSecChannel = 0x43484E01;  // "\x01CHN"
 
-void save_config(nsync::signal::ByteWriter& w, const core::NsyncConfig& cfg) {
-  w.pod<std::uint32_t>(static_cast<std::uint32_t>(cfg.sync));
-  w.pod<std::uint64_t>(cfg.dwm.n_win);
-  w.pod<std::uint64_t>(cfg.dwm.n_hop);
-  w.pod<std::uint64_t>(cfg.dwm.n_ext);
-  w.pod<double>(cfg.dwm.n_sigma);
-  w.pod<double>(cfg.dwm.eta);
-  w.pod<std::uint8_t>(cfg.dwm.tde.use_fft ? 1 : 0);
-  w.pod<std::uint64_t>(cfg.dtw_radius);
-  w.pod<std::uint32_t>(static_cast<std::uint32_t>(cfg.metric));
-  w.pod<std::uint64_t>(cfg.filter_window);
-  w.pod<double>(cfg.r);
-  w.pod<std::uint64_t>(cfg.health.history);
-  w.pod<double>(cfg.health.degraded_fraction);
-  w.pod<std::uint64_t>(cfg.health.offline_consecutive);
-  w.pod<std::uint64_t>(cfg.health.recovery_consecutive);
-}
-
-core::NsyncConfig load_config(nsync::signal::ByteReader& r) {
-  core::NsyncConfig cfg;
-  const auto sync = r.pod<std::uint32_t>();
-  if (sync > static_cast<std::uint32_t>(core::SyncMethod::kDtw)) {
-    throw nsync::signal::CheckpointError(
-        nsync::signal::CheckpointErrorKind::kCorrupt,
-        "MonitorEngine checkpoint: unknown sync method " +
-            std::to_string(sync));
-  }
-  cfg.sync = static_cast<core::SyncMethod>(sync);
-  cfg.dwm.n_win = r.pod<std::uint64_t>();
-  cfg.dwm.n_hop = r.pod<std::uint64_t>();
-  cfg.dwm.n_ext = r.pod<std::uint64_t>();
-  cfg.dwm.n_sigma = r.pod<double>();
-  cfg.dwm.eta = r.pod<double>();
-  cfg.dwm.tde.use_fft = r.pod<std::uint8_t>() != 0;
-  cfg.dtw_radius = r.pod<std::uint64_t>();
-  const auto metric = r.pod<std::uint32_t>();
-  if (metric > static_cast<std::uint32_t>(core::DistanceMetric::kCorrelation)) {
-    throw nsync::signal::CheckpointError(
-        nsync::signal::CheckpointErrorKind::kCorrupt,
-        "MonitorEngine checkpoint: unknown distance metric " +
-            std::to_string(metric));
-  }
-  cfg.metric = static_cast<core::DistanceMetric>(metric);
-  cfg.filter_window = r.pod<std::uint64_t>();
-  cfg.r = r.pod<double>();
-  cfg.health.history = r.pod<std::uint64_t>();
-  cfg.health.degraded_fraction = r.pod<double>();
-  cfg.health.offline_consecutive = r.pod<std::uint64_t>();
-  cfg.health.recovery_consecutive = r.pod<std::uint64_t>();
-  return cfg;
-}
-
 }  // namespace
 
 void MonitorEngine::save_session(nsync::signal::ByteWriter& w,
                                  const Session& s) {
   const std::size_t tok = w.begin_section(kSecSession);
   w.str(s.name);
+  w.pod<std::uint8_t>(s.evicted ? 1 : 0);
+  if (s.evicted) {
+    // Tombstone: the name keeps the id slot occupied, nothing else
+    // survives eviction.
+    w.end_section(tok);
+    return;
+  }
   w.pod<std::uint32_t>(static_cast<std::uint32_t>(s.rule));
   w.pod<std::uint64_t>(s.frames_fed);
   w.pod<std::uint8_t>(s.intrusion ? 1 : 0);
@@ -283,15 +272,10 @@ void MonitorEngine::save_session(nsync::signal::ByteWriter& w,
   w.pod<std::uint64_t>(s.channels.size());
   for (const auto& c : s.channels) {
     const std::size_t ctok = w.begin_section(kSecChannel);
-    w.str(c.name);
     // Full spec first, so restore() can rebuild the channel from the file
     // alone before applying the dynamic state.
-    w.signal(SignalView(c.monitor.reference()));
-    save_config(w, c.monitor.config());
-    const core::Thresholds& t = c.monitor.thresholds();
-    w.pod<double>(t.c_c);
-    w.pod<double>(t.h_c);
-    w.pod<double>(t.v_c);
+    save_channel_spec(w, c.name, SignalView(c.monitor.reference()),
+                      c.monitor.config(), c.monitor.thresholds());
     c.monitor.save_state(w);
     c.staging.save_state(w);
     w.end_section(ctok);
@@ -318,7 +302,7 @@ void MonitorEngine::checkpoint(const std::string& path) const {
 
 std::string MonitorEngine::checkpoint_path() const {
   if (options_.checkpoint_dir.empty()) return {};
-  return options_.checkpoint_dir + "/fleet.nckp";
+  return options_.checkpoint_dir + "/" + options_.checkpoint_filename;
 }
 
 MonitorEngine MonitorEngine::restore_from_bytes(
@@ -342,6 +326,21 @@ MonitorEngine MonitorEngine::restore_from_bytes(
       ByteReader sr = fleet.section(kSecSession);
       SessionSpec spec;
       spec.name = sr.str();
+      const auto evicted = sr.pod<std::uint8_t>();
+      if (evicted > 1) {
+        throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                              "MonitorEngine checkpoint: bad eviction flag "
+                              "in session '" +
+                                  spec.name + "'");
+      }
+      if (evicted == 1) {
+        sr.finish();
+        auto tomb = std::make_unique<Session>();
+        tomb->name = std::move(spec.name);
+        tomb->evicted = true;
+        engine.sessions_.push_back(std::move(tomb));
+        continue;
+      }
       const auto rule = sr.pod<std::uint32_t>();
       if (rule > static_cast<std::uint32_t>(core::FusionRule::kAll)) {
         throw CheckpointError(CheckpointErrorKind::kCorrupt,
@@ -375,14 +374,7 @@ MonitorEngine MonitorEngine::restore_from_bytes(
       spec.channels.reserve(n_channels);
       for (std::uint64_t j = 0; j < n_channels; ++j) {
         ByteReader cr = sr.section(kSecChannel);
-        ChannelSpec cs;
-        cs.name = cr.str();
-        cs.reference = cr.signal();
-        cs.config = load_config(cr);
-        cs.thresholds.c_c = cr.pod<double>();
-        cs.thresholds.h_c = cr.pod<double>();
-        cs.thresholds.v_c = cr.pod<double>();
-        spec.channels.push_back(std::move(cs));
+        spec.channels.push_back(load_channel_spec(cr));
         state_readers.push_back(cr);  // positioned at the dynamic state
       }
       sr.finish();

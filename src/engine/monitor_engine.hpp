@@ -63,6 +63,8 @@ struct ChannelSnapshot {
   std::string name;
   core::Detection detection;
   core::ChannelHealth health = core::ChannelHealth::kHealthy;
+  std::size_t width = 0;           ///< samples per frame (signal channels)
+  double sample_rate = 0.0;        ///< frames per second
   std::size_t windows = 0;         ///< windows processed so far
   std::size_t pending_frames = 0;  ///< staged frames awaiting poll()
   /// Total frames ever fed to this channel (processed + pending).  After a
@@ -74,6 +76,9 @@ struct ChannelSnapshot {
 /// breakdown and progress counters.
 struct SessionSnapshot {
   std::string name;
+  /// True once the session has been evicted: its monitors and buffers are
+  /// released, only the name and this flag remain (ids are never reused).
+  bool evicted = false;
   bool intrusion = false;  ///< latched fused verdict
   /// Earliest first_alarm_window among the channels alarming when the
   /// fused verdict latched; -1 while benign.
@@ -103,6 +108,11 @@ struct MonitorEngineOptions {
   /// since the previous checkpoint (fires at the first poll() that crosses
   /// the total).  0 disables the window-count trigger.
   std::size_t checkpoint_every_windows = 0;
+  /// File name the periodic policy writes inside checkpoint_dir.  The
+  /// sharded fleet gives each shard's engine its own name
+  /// ("fleet.<shard>.nckp") so N shards checkpoint into one directory
+  /// without clobbering each other.
+  std::string checkpoint_filename = "fleet.nckp";
 };
 
 /// N concurrent streaming sessions over the shared thread pool.
@@ -150,8 +160,22 @@ class MonitorEngine {
   /// number of windows processed across the fleet.
   std::size_t poll();
 
+  /// poll(), but every session is drained sequentially on the calling
+  /// thread — no global-pool tasks are enqueued.  This is what each
+  /// ShardedFleet worker uses: with one engine per shard worker, routing
+  /// the drains through the shared pool would serialize the shards on the
+  /// pool's queue instead of running them on their own cores.  Fires the
+  /// same periodic checkpoint policy as poll().
+  std::size_t poll_inline();
+
   /// Drains one session only (inline, on the calling thread).
   std::size_t poll_session(std::size_t session);
+
+  /// Releases a session's monitors, staging buffers and reference signals,
+  /// leaving a named tombstone so session ids stay stable (they are never
+  /// reused).  Evicted sessions are skipped by poll() and serialized as
+  /// stubs; feeding one throws std::invalid_argument.  Idempotent.
+  void evict_session(std::size_t session);
 
   [[nodiscard]] SessionSnapshot snapshot(std::size_t session) const;
   [[nodiscard]] std::vector<SessionSnapshot> snapshots() const;
@@ -215,6 +239,7 @@ class MonitorEngine {
     std::size_t frames_fed = 0;
     bool intrusion = false;
     std::ptrdiff_t first_alarm_window = -1;
+    bool evicted = false;
   };
 
   Session& session_at(std::size_t id);

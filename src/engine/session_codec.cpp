@@ -1,0 +1,135 @@
+#include "engine/session_codec.hpp"
+
+#include <cstdint>
+#include <string>
+
+#include "signal/checkpoint.hpp"
+
+namespace nsync::engine {
+
+using nsync::signal::ByteReader;
+using nsync::signal::ByteWriter;
+using nsync::signal::CheckpointError;
+using nsync::signal::CheckpointErrorKind;
+using nsync::signal::SignalView;
+
+void save_nsync_config(ByteWriter& w, const core::NsyncConfig& cfg) {
+  w.pod<std::uint32_t>(static_cast<std::uint32_t>(cfg.sync));
+  w.pod<std::uint64_t>(cfg.dwm.n_win);
+  w.pod<std::uint64_t>(cfg.dwm.n_hop);
+  w.pod<std::uint64_t>(cfg.dwm.n_ext);
+  w.pod<double>(cfg.dwm.n_sigma);
+  w.pod<double>(cfg.dwm.eta);
+  w.pod<std::uint8_t>(cfg.dwm.tde.use_fft ? 1 : 0);
+  w.pod<std::uint64_t>(cfg.dtw_radius);
+  w.pod<std::uint32_t>(static_cast<std::uint32_t>(cfg.metric));
+  w.pod<std::uint64_t>(cfg.filter_window);
+  w.pod<double>(cfg.r);
+  w.pod<std::uint64_t>(cfg.health.history);
+  w.pod<double>(cfg.health.degraded_fraction);
+  w.pod<std::uint64_t>(cfg.health.offline_consecutive);
+  w.pod<std::uint64_t>(cfg.health.recovery_consecutive);
+}
+
+core::NsyncConfig load_nsync_config(ByteReader& r) {
+  core::NsyncConfig cfg;
+  const auto sync = r.pod<std::uint32_t>();
+  if (sync > static_cast<std::uint32_t>(core::SyncMethod::kDtw)) {
+    throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                          "session codec: unknown sync method " +
+                              std::to_string(sync));
+  }
+  cfg.sync = static_cast<core::SyncMethod>(sync);
+  cfg.dwm.n_win = r.pod<std::uint64_t>();
+  cfg.dwm.n_hop = r.pod<std::uint64_t>();
+  cfg.dwm.n_ext = r.pod<std::uint64_t>();
+  cfg.dwm.n_sigma = r.pod<double>();
+  cfg.dwm.eta = r.pod<double>();
+  cfg.dwm.tde.use_fft = r.pod<std::uint8_t>() != 0;
+  cfg.dtw_radius = r.pod<std::uint64_t>();
+  const auto metric = r.pod<std::uint32_t>();
+  if (metric > static_cast<std::uint32_t>(core::DistanceMetric::kCorrelation)) {
+    throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                          "session codec: unknown distance metric " +
+                              std::to_string(metric));
+  }
+  cfg.metric = static_cast<core::DistanceMetric>(metric);
+  cfg.filter_window = r.pod<std::uint64_t>();
+  cfg.r = r.pod<double>();
+  cfg.health.history = r.pod<std::uint64_t>();
+  cfg.health.degraded_fraction = r.pod<double>();
+  cfg.health.offline_consecutive = r.pod<std::uint64_t>();
+  cfg.health.recovery_consecutive = r.pod<std::uint64_t>();
+  return cfg;
+}
+
+void save_thresholds(ByteWriter& w, const core::Thresholds& t) {
+  w.pod<double>(t.c_c);
+  w.pod<double>(t.h_c);
+  w.pod<double>(t.v_c);
+}
+
+core::Thresholds load_thresholds(ByteReader& r) {
+  core::Thresholds t;
+  t.c_c = r.pod<double>();
+  t.h_c = r.pod<double>();
+  t.v_c = r.pod<double>();
+  return t;
+}
+
+void save_channel_spec(ByteWriter& w, const std::string& name,
+                       const SignalView& reference,
+                       const core::NsyncConfig& config,
+                       const core::Thresholds& thresholds) {
+  w.str(name);
+  w.signal(reference);
+  save_nsync_config(w, config);
+  save_thresholds(w, thresholds);
+}
+
+void save_channel_spec(ByteWriter& w, const ChannelSpec& spec) {
+  save_channel_spec(w, spec.name, SignalView(spec.reference), spec.config,
+                    spec.thresholds);
+}
+
+ChannelSpec load_channel_spec(ByteReader& r) {
+  ChannelSpec spec;
+  spec.name = r.str();
+  spec.reference = r.signal();
+  spec.config = load_nsync_config(r);
+  spec.thresholds = load_thresholds(r);
+  return spec;
+}
+
+void save_session_spec(ByteWriter& w, const SessionSpec& spec) {
+  w.str(spec.name);
+  w.pod<std::uint32_t>(static_cast<std::uint32_t>(spec.rule));
+  w.pod<std::uint64_t>(spec.channels.size());
+  for (const auto& c : spec.channels) save_channel_spec(w, c);
+}
+
+SessionSpec load_session_spec(ByteReader& r) {
+  SessionSpec spec;
+  spec.name = r.str();
+  const auto rule = r.pod<std::uint32_t>();
+  if (rule > static_cast<std::uint32_t>(core::FusionRule::kAll)) {
+    throw CheckpointError(
+        CheckpointErrorKind::kCorrupt,
+        "session codec: unknown fusion rule " + std::to_string(rule));
+  }
+  spec.rule = static_cast<core::FusionRule>(rule);
+  const auto n_channels = r.pod<std::uint64_t>();
+  if (n_channels == 0 || n_channels > r.remaining()) {
+    throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                          "session codec: implausible channel count in "
+                          "session '" +
+                              spec.name + "'");
+  }
+  spec.channels.reserve(n_channels);
+  for (std::uint64_t i = 0; i < n_channels; ++i) {
+    spec.channels.push_back(load_channel_spec(r));
+  }
+  return spec;
+}
+
+}  // namespace nsync::engine

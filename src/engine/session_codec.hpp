@@ -1,0 +1,58 @@
+// Binary codec for session/channel specifications, shared by the two
+// places a SessionSpec crosses a byte boundary:
+//
+//   * checkpoints — MonitorEngine::serialize() stores every channel's full
+//     spec so restore() can rebuild the fleet from the file alone, and
+//   * the frame-ingest wire protocol — ADD_SESSION carries the same spec
+//     from a client to the fleet daemon.
+//
+// Both sides reuse the signal/checkpoint ByteWriter/ByteReader primitives,
+// so a spec encoded for the wire is byte-identical to the spec section of
+// a checkpoint and every validation rule (enum ranges, bounds-checked
+// counts) is written exactly once.  All loaders throw
+// signal::CheckpointError (kCorrupt/kTruncated) on malformed input and
+// never partially construct a spec.
+#ifndef NSYNC_ENGINE_SESSION_CODEC_HPP
+#define NSYNC_ENGINE_SESSION_CODEC_HPP
+
+#include <string>
+
+#include "core/nsync.hpp"
+#include "engine/monitor_engine.hpp"
+#include "signal/signal.hpp"
+
+namespace nsync::signal {
+class ByteWriter;
+class ByteReader;
+}  // namespace nsync::signal
+
+namespace nsync::engine {
+
+/// NsyncConfig as a fixed field sequence (enums range-checked on load).
+void save_nsync_config(nsync::signal::ByteWriter& w,
+                       const core::NsyncConfig& cfg);
+[[nodiscard]] core::NsyncConfig load_nsync_config(nsync::signal::ByteReader& r);
+
+/// OCC thresholds (three raw-bit doubles).
+void save_thresholds(nsync::signal::ByteWriter& w, const core::Thresholds& t);
+[[nodiscard]] core::Thresholds load_thresholds(nsync::signal::ByteReader& r);
+
+/// One channel's full spec: name | reference signal | config | thresholds.
+/// The field overload lets MonitorEngine serialize from its live monitor
+/// without materializing a ChannelSpec copy.
+void save_channel_spec(nsync::signal::ByteWriter& w, const std::string& name,
+                       const nsync::signal::SignalView& reference,
+                       const core::NsyncConfig& config,
+                       const core::Thresholds& thresholds);
+void save_channel_spec(nsync::signal::ByteWriter& w, const ChannelSpec& spec);
+[[nodiscard]] ChannelSpec load_channel_spec(nsync::signal::ByteReader& r);
+
+/// A whole SessionSpec: name | fusion rule | channel count | channels.
+/// load_session_spec bounds-checks the channel count against the
+/// remaining bytes and rejects zero channels.
+void save_session_spec(nsync::signal::ByteWriter& w, const SessionSpec& spec);
+[[nodiscard]] SessionSpec load_session_spec(nsync::signal::ByteReader& r);
+
+}  // namespace nsync::engine
+
+#endif  // NSYNC_ENGINE_SESSION_CODEC_HPP

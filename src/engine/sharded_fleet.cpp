@@ -1,0 +1,458 @@
+#include "engine/sharded_fleet.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "signal/checkpoint.hpp"
+
+namespace nsync::engine {
+
+using nsync::signal::CheckpointError;
+using nsync::signal::CheckpointErrorKind;
+using nsync::signal::Signal;
+using nsync::signal::SignalView;
+
+// ---------------------------------------------------------------------------
+// LatencyHistogram
+
+void LatencyHistogram::record(std::chrono::nanoseconds latency) {
+  const auto us = static_cast<std::uint64_t>(
+      std::max<std::int64_t>(0, latency.count() / 1000));
+  std::size_t bucket = 0;
+  while (bucket + 1 < buckets_.size() && (1ull << (bucket + 1)) <= us) {
+    ++bucket;
+  }
+  ++buckets_[bucket];
+  ++count_;
+}
+
+void LatencyHistogram::merge(const LatencyHistogram& other) {
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  count_ += other.count_;
+}
+
+double LatencyHistogram::quantile_us(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(count_ - 1));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen > rank) {
+      return static_cast<double>(1ull << (i + 1));  // bucket upper bound
+    }
+  }
+  return static_cast<double>(1ull << buckets_.size());
+}
+
+std::string feed_status_name(FeedStatus s) {
+  switch (s) {
+    case FeedStatus::kOk: return "ok";
+    case FeedStatus::kShed: return "shed";
+    case FeedStatus::kRejected: return "rejected";
+    case FeedStatus::kUnknownSession: return "unknown-session";
+    case FeedStatus::kUnknownChannel: return "unknown-channel";
+    case FeedStatus::kChannelMismatch: return "channel-mismatch";
+    case FeedStatus::kEvicted: return "evicted";
+  }
+  return "?";
+}
+
+// ---------------------------------------------------------------------------
+// Construction / teardown
+
+MonitorEngineOptions ShardedFleet::engine_options(std::size_t shard) const {
+  MonitorEngineOptions opts;
+  opts.max_pending_frames = options_.max_pending_frames;
+  opts.checkpoint_dir = options_.checkpoint_dir;
+  opts.checkpoint_every_polls = options_.checkpoint_every_polls;
+  opts.checkpoint_every_windows = options_.checkpoint_every_windows;
+  opts.checkpoint_filename = shard_checkpoint_filename(shard);
+  return opts;
+}
+
+ShardedFleet::ShardedFleet(ShardedFleetOptions options)
+    : options_(std::move(options)) {
+  const std::size_t n = effective_shards();
+  shards_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->engine = std::make_unique<MonitorEngine>(engine_options(i));
+    shards_.push_back(std::move(shard));
+  }
+  start_workers();
+}
+
+void ShardedFleet::start_workers() {
+  if (options_.shards == 0) return;  // inline mode: no queues, no threads
+  for (auto& shard : shards_) {
+    shard->queue = std::make_unique<FrameQueue>(options_.queue_capacity_frames,
+                                                options_.overflow);
+    shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+  }
+}
+
+ShardedFleet::~ShardedFleet() {
+  for (auto& shard : shards_) {
+    if (shard->queue) shard->queue->close();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker
+
+void ShardedFleet::worker_loop(Shard& shard) {
+  std::vector<FrameBatch> batches;
+  while (shard.queue->pop_all(batches)) {
+    bool evicted_any = false;
+    {
+      const std::scoped_lock lock(shard.mu);
+      for (const auto& b : batches) {
+        if (b.kind == FrameBatch::Kind::kEvict) {
+          shard.engine->evict_session(b.session);
+          evicted_any = true;
+          continue;
+        }
+        try {
+          shard.engine->feed(b.session, b.channel, b.frames.view());
+        } catch (const std::exception&) {
+          // feed() validated at ingest; an engine-side failure here is a
+          // race with eviction (frames queued before the evict command of
+          // a re-used... never: ids are not reused) or a bug.  Either
+          // way: count it, keep the shard alive.
+          ++shard.feed_errors;
+        }
+      }
+      shard.windows += shard.engine->poll_inline();
+      ++shard.polls;
+      shard.batches += batches.size();
+      // Make eviction durable on the spot instead of waiting for the
+      // next periodic trigger: a restore must not resurrect a session
+      // the caller was told is gone.
+      if (evicted_any && !options_.checkpoint_dir.empty()) {
+        shard.engine->checkpoint(shard.engine->checkpoint_path());
+      }
+      const auto now = std::chrono::steady_clock::now();
+      for (const auto& b : batches) {
+        if (b.kind == FrameBatch::Kind::kFeed) {
+          shard.latency.record(now - b.enqueued_at);
+        }
+      }
+    }
+    shard.queue->mark_processed();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Admission / eviction
+
+std::size_t ShardedFleet::add_session(SessionSpec spec) {
+  SessionInfo info;
+  info.name = spec.name;
+  info.channels.reserve(spec.channels.size());
+  for (const auto& c : spec.channels) {
+    info.channels.push_back({c.name, c.reference.channels()});
+  }
+  const std::unique_lock registry_lock(registry_mu_);
+  const std::size_t id = registry_.size();
+  const std::size_t S = effective_shards();
+  info.shard = id % S;
+  info.local = id / S;
+  Shard& shard = *shards_[info.shard];
+  {
+    const std::scoped_lock lock(shard.mu);
+    const std::size_t local = shard.engine->add_session(std::move(spec));
+    if (local != info.local) {
+      // Round-robin admission is the registry's invariant; a divergence
+      // here would silently corrupt the id mapping.
+      throw std::logic_error("ShardedFleet: shard-local id drifted");
+    }
+    // Durable admission: the session must survive a crash that happens
+    // right after the caller learns its id.
+    if (!options_.checkpoint_dir.empty()) {
+      shard.engine->checkpoint(shard.engine->checkpoint_path());
+    }
+  }
+  registry_.push_back(std::move(info));
+  return id;
+}
+
+void ShardedFleet::evict_session(std::size_t session) {
+  const std::unique_lock registry_lock(registry_mu_);
+  if (session >= registry_.size()) {
+    throw std::out_of_range("ShardedFleet: no session " +
+                            std::to_string(session));
+  }
+  SessionInfo& info = registry_[session];
+  if (info.evicted) return;
+  info.evicted = true;
+  Shard& shard = *shards_[info.shard];
+  if (options_.shards == 0) {
+    const std::scoped_lock lock(shard.mu);
+    shard.engine->evict_session(info.local);
+    if (!options_.checkpoint_dir.empty()) {
+      shard.engine->checkpoint(shard.engine->checkpoint_path());
+    }
+    return;
+  }
+  FrameBatch evict;
+  evict.kind = FrameBatch::Kind::kEvict;
+  evict.session = info.local;
+  evict.enqueued_at = std::chrono::steady_clock::now();
+  shard.queue->push(std::move(evict));
+}
+
+std::size_t ShardedFleet::sessions() const {
+  const std::shared_lock lock(registry_mu_);
+  return registry_.size();
+}
+
+std::size_t ShardedFleet::shard_of(std::size_t session) const {
+  const std::shared_lock lock(registry_mu_);
+  if (session >= registry_.size()) {
+    throw std::out_of_range("ShardedFleet: no session " +
+                            std::to_string(session));
+  }
+  return registry_[session].shard;
+}
+
+// ---------------------------------------------------------------------------
+// Data plane
+
+FeedResult ShardedFleet::feed(std::size_t session, const std::string& channel,
+                              const SignalView& frames) {
+  FeedResult result;
+  std::size_t shard_idx = 0;
+  std::size_t local = 0;
+  {
+    const std::shared_lock lock(registry_mu_);
+    if (session >= registry_.size()) {
+      result.status = FeedStatus::kUnknownSession;
+      return result;
+    }
+    const SessionInfo& info = registry_[session];
+    if (info.evicted) {
+      result.status = FeedStatus::kEvicted;
+      return result;
+    }
+    const ChannelInfo* ch = nullptr;
+    for (const auto& c : info.channels) {
+      if (c.name == channel) {
+        ch = &c;
+        break;
+      }
+    }
+    if (ch == nullptr) {
+      result.status = FeedStatus::kUnknownChannel;
+      return result;
+    }
+    if (frames.channels() != ch->width) {
+      result.status = FeedStatus::kChannelMismatch;
+      return result;
+    }
+    shard_idx = info.shard;
+    local = info.local;
+  }
+  Shard& shard = *shards_[shard_idx];
+
+  if (options_.shards == 0) {
+    const std::scoped_lock lock(shard.mu);
+    shard.engine->feed(local, channel, frames);
+    result.accepted_frames = frames.frames();
+    return result;
+  }
+
+  FrameBatch batch;
+  batch.session = local;
+  batch.channel = channel;
+  batch.frames = Signal(frames.frames(), frames.channels(),
+                        frames.sample_rate());
+  std::memcpy(batch.frames.data(), frames.data(),
+              frames.frames() * frames.channels() * sizeof(double));
+  batch.enqueued_at = std::chrono::steady_clock::now();
+  const FrameQueue::PushResult push = shard.queue->push(std::move(batch));
+  result.queued_frames = push.queued_frames;
+  if (!push.accepted) {
+    result.status = FeedStatus::kRejected;
+    return result;
+  }
+  result.accepted_frames = frames.frames();
+  result.shed_frames = push.shed_frames;
+  if (push.shed_frames > 0) result.status = FeedStatus::kShed;
+  return result;
+}
+
+void ShardedFleet::flush() {
+  for (auto& shard : shards_) {
+    if (shard->queue) {
+      shard->queue->wait_idle();
+    } else {
+      const std::scoped_lock lock(shard->mu);
+      shard->windows += shard->engine->poll_inline();
+      ++shard->polls;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Observation
+
+SessionSnapshot ShardedFleet::snapshot(std::size_t session) const {
+  std::size_t shard_idx = 0;
+  std::size_t local = 0;
+  {
+    const std::shared_lock lock(registry_mu_);
+    if (session >= registry_.size()) {
+      throw std::out_of_range("ShardedFleet: no session " +
+                              std::to_string(session));
+    }
+    const SessionInfo& info = registry_[session];
+    if (info.evicted) {
+      SessionSnapshot stub;
+      stub.name = info.name;
+      stub.evicted = true;
+      return stub;
+    }
+    shard_idx = info.shard;
+    local = info.local;
+  }
+  const Shard& shard = *shards_[shard_idx];
+  const std::scoped_lock lock(shard.mu);
+  return shard.engine->snapshot(local);
+}
+
+std::vector<SessionSnapshot> ShardedFleet::snapshots() const {
+  std::vector<SessionSnapshot> out;
+  const std::size_t n = sessions();
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(snapshot(i));
+  return out;
+}
+
+FleetStats ShardedFleet::stats() const {
+  FleetStats out;
+  out.shards = options_.shards;
+  {
+    const std::shared_lock lock(registry_mu_);
+    out.sessions = registry_.size();
+    for (const auto& info : registry_) {
+      if (info.evicted) ++out.evicted;
+    }
+  }
+  LatencyHistogram merged;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = *shards_[i];
+    ShardStats s;
+    s.shard = i;
+    if (shard.queue) s.queue = shard.queue->stats();
+    {
+      const std::scoped_lock lock(shard.mu);
+      s.batches = shard.batches;
+      s.polls = shard.polls;
+      s.windows = shard.windows;
+      s.feed_errors = shard.feed_errors;
+      s.checkpoints_written = shard.engine->checkpoints_written();
+      s.latency_samples = shard.latency.count();
+      s.p50_feed_to_verdict_us = shard.latency.quantile_us(0.50);
+      s.p99_feed_to_verdict_us = shard.latency.quantile_us(0.99);
+      merged.merge(shard.latency);
+    }
+    out.windows += s.windows;
+    out.shed_frames += s.queue.shed_frames;
+    out.rejected_frames += s.queue.rejected_frames;
+    out.queued_frames += s.queue.queued_frames;
+    if (s.queue.queued_batches > 0 || s.queue.in_flight) out.busy = true;
+    out.per_shard.push_back(s);
+  }
+  out.p50_feed_to_verdict_us = merged.quantile_us(0.50);
+  out.p99_feed_to_verdict_us = merged.quantile_us(0.99);
+  // Per-shard live session counts come from the registry, not the engine,
+  // so they are consistent with the eviction flags above.
+  {
+    const std::shared_lock lock(registry_mu_);
+    for (const auto& info : registry_) {
+      if (!info.evicted) ++out.per_shard[info.shard].sessions;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointing
+
+std::string ShardedFleet::shard_checkpoint_filename(std::size_t shard) {
+  return "fleet." + std::to_string(shard) + ".nckp";
+}
+
+void ShardedFleet::checkpoint_all() const {
+  if (options_.checkpoint_dir.empty()) {
+    throw std::logic_error(
+        "ShardedFleet::checkpoint_all: no checkpoint_dir configured");
+  }
+  for (const auto& shard : shards_) {
+    const std::scoped_lock lock(shard->mu);
+    shard->engine->checkpoint(shard->engine->checkpoint_path());
+  }
+}
+
+std::unique_ptr<ShardedFleet> ShardedFleet::restore(
+    const std::string& dir, ShardedFleetOptions options) {
+  // Build the fleet *without* live queues first: restore each shard's
+  // engine, then derive the registry, then start the workers.
+  auto fleet = std::unique_ptr<ShardedFleet>(new ShardedFleet(
+      std::move(options), /*restore_from=*/dir));
+  return fleet;
+}
+
+ShardedFleet::ShardedFleet(ShardedFleetOptions options,
+                           const std::string& restore_dir)
+    : options_(std::move(options)) {
+  const std::size_t S = effective_shards();
+  shards_.reserve(S);
+  for (std::size_t i = 0; i < S; ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->engine = std::make_unique<MonitorEngine>(MonitorEngine::restore(
+        restore_dir + "/" + shard_checkpoint_filename(i), engine_options(i)));
+    shards_.push_back(std::move(shard));
+  }
+  // Rebuild the global registry from the round-robin invariant: session g
+  // lives on shard g % S at local index g / S.  Any set of shard files no
+  // id sequence could have produced is rejected.
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->engine->sessions();
+  registry_.reserve(total);
+  for (std::size_t g = 0; g < total; ++g) {
+    const std::size_t si = g % S;
+    const std::size_t local = g / S;
+    Shard& shard = *shards_[si];
+    if (local >= shard.engine->sessions()) {
+      throw CheckpointError(
+          CheckpointErrorKind::kMismatch,
+          "ShardedFleet::restore: shard " + std::to_string(si) +
+              " holds " + std::to_string(shard.engine->sessions()) +
+              " sessions, inconsistent with a fleet of " +
+              std::to_string(total));
+    }
+    const SessionSnapshot snap = shard.engine->snapshot(local);
+    SessionInfo info;
+    info.shard = si;
+    info.local = local;
+    info.name = snap.name;
+    info.evicted = snap.evicted;
+    info.channels.reserve(snap.channels.size());
+    for (const auto& c : snap.channels) {
+      info.channels.push_back({c.name, c.width});
+    }
+    registry_.push_back(std::move(info));
+  }
+  start_workers();
+}
+
+}  // namespace nsync::engine

@@ -1,0 +1,248 @@
+// ShardedFleet — the multi-core fleet layer.
+//
+// MonitorEngine::poll() drains every session on one thread pool, which in
+// practice pins the whole fleet's window processing near one core's
+// throughput once feed() itself becomes cheap (bench_ext_multi_session was
+// flat at ~29k windows/s from 1 to 64 sessions).  ShardedFleet partitions
+// the fleet across N shards; each shard owns a *private* MonitorEngine and
+// a dedicated worker thread, fed through a bounded MPSC FrameQueue:
+//
+//   ingest threads ──► FrameQueue[shard 0] ──► worker 0 ──► MonitorEngine 0
+//          (feed)  ──► FrameQueue[shard 1] ──► worker 1 ──► MonitorEngine 1
+//                       ...                                 ...
+//
+// Sessions are assigned round-robin by global id: session g lives on shard
+// g % N at local id g / N.  The mapping is stable for the life of the id
+// (ids are never reused; eviction leaves a tombstone), which is also what
+// lets restore() rebuild the global registry from the per-shard checkpoint
+// files alone — no separate metadata file.
+//
+// Determinism: one session's frames are processed by exactly one worker in
+// feed order (the queue is FIFO and a session never migrates), and window
+// processing per session is the same sequential DetectionCore pipeline the
+// unsharded engine runs.  With the kBlock overflow policy (no shedding),
+// per-session verdicts are therefore bitwise identical at any shard count,
+// including against a plain MonitorEngine — pinned by
+// tests/test_sharded_fleet.cpp.
+//
+// Backpressure: each queue has a frame high-water mark and an explicit
+// OverflowPolicy (block / drop-oldest / reject); every shed or rejected
+// frame is accounted in per-shard stats.  Past saturation the fleet
+// degrades by policy, never by unbounded memory growth.
+//
+// Crash safety: each shard's engine periodically checkpoints its own
+// sessions to `<dir>/fleet.<shard>.nckp` (the PR-5 atomic container), and
+// add_session() checkpoints the target shard synchronously so admission is
+// durable.  restore() reloads all N files and replays bitwise-identical
+// verdicts once the feeder resumes each channel at its recorded
+// frames_fed offset.
+#ifndef NSYNC_ENGINE_SHARDED_FLEET_HPP
+#define NSYNC_ENGINE_SHARDED_FLEET_HPP
+
+#include <array>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/frame_queue.hpp"
+#include "engine/monitor_engine.hpp"
+
+namespace nsync::engine {
+
+/// Log2-bucketed latency histogram (microseconds).  Cheap enough to
+/// update per batch on the worker; quantiles are bucket upper bounds, so
+/// p99 is conservative within a factor of 2.
+class LatencyHistogram {
+ public:
+  void record(std::chrono::nanoseconds latency);
+  void merge(const LatencyHistogram& other);
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  /// Approximate quantile in microseconds (q in [0,1]); 0 when empty.
+  [[nodiscard]] double quantile_us(double q) const;
+
+ private:
+  std::array<std::uint64_t, 40> buckets_{};
+  std::uint64_t count_ = 0;
+};
+
+/// Outcome of one ShardedFleet::feed call.
+enum class FeedStatus : std::uint8_t {
+  kOk = 0,
+  kShed,             ///< accepted, but older queued frames were dropped
+  kRejected,         ///< refused (kReject policy past the high-water mark)
+  kUnknownSession,   ///< no such session id
+  kUnknownChannel,   ///< session has no channel of that name
+  kChannelMismatch,  ///< frame width does not match the channel's
+  kEvicted,          ///< session was evicted
+};
+
+[[nodiscard]] std::string feed_status_name(FeedStatus s);
+
+struct FeedResult {
+  FeedStatus status = FeedStatus::kOk;
+  std::size_t accepted_frames = 0;
+  std::size_t shed_frames = 0;   ///< older frames load-shed to make room
+  std::size_t queued_frames = 0; ///< shard backlog after this feed
+};
+
+struct ShardStats {
+  std::size_t shard = 0;
+  std::size_t sessions = 0;  ///< live (non-evicted) sessions on the shard
+  FrameQueueStats queue;
+  std::uint64_t batches = 0;  ///< feed/evict batches processed
+  std::uint64_t polls = 0;    ///< drain rounds run by the worker
+  std::uint64_t windows = 0;  ///< windows processed by this shard
+  std::uint64_t feed_errors = 0;  ///< engine-side feed failures (bug guard)
+  std::uint64_t checkpoints_written = 0;
+  std::uint64_t latency_samples = 0;
+  double p50_feed_to_verdict_us = 0.0;
+  double p99_feed_to_verdict_us = 0.0;
+};
+
+struct FleetStats {
+  std::size_t shards = 0;
+  std::size_t sessions = 0;  ///< ids ever issued (incl. evicted)
+  std::size_t evicted = 0;
+  std::uint64_t windows = 0;
+  std::uint64_t shed_frames = 0;
+  std::uint64_t rejected_frames = 0;
+  std::size_t queued_frames = 0;
+  bool busy = false;  ///< any shard queue non-empty or in flight
+  double p50_feed_to_verdict_us = 0.0;  ///< merged across shards
+  double p99_feed_to_verdict_us = 0.0;
+  std::vector<ShardStats> per_shard;
+};
+
+struct ShardedFleetOptions {
+  /// Worker shards.  0 selects the inline A/B path: one engine, no
+  /// threads, no queues; feed() applies directly and flush() drains.
+  std::size_t shards = 1;
+  /// Per-shard queue high-water mark in frames (0 = unbounded).
+  std::size_t queue_capacity_frames = 1u << 20;
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+  /// Forwarded to each shard engine (inline-drain backstop).
+  std::size_t max_pending_frames = 65536;
+  /// When non-empty, shard i periodically checkpoints to
+  /// `<checkpoint_dir>/fleet.<i>.nckp`, and add_session/evict become
+  /// durable (synchronous checkpoint of the affected shard).
+  std::string checkpoint_dir;
+  std::size_t checkpoint_every_polls = 1;
+  std::size_t checkpoint_every_windows = 0;
+};
+
+class ShardedFleet {
+ public:
+  explicit ShardedFleet(ShardedFleetOptions options = {});
+  ~ShardedFleet();
+
+  ShardedFleet(const ShardedFleet&) = delete;
+  ShardedFleet& operator=(const ShardedFleet&) = delete;
+
+  /// Admits a session and returns its fleet-global id.  Ids are dense and
+  /// never reused; the shard is id % shards (id 0 on shard 0, …).  When
+  /// checkpointing is enabled the target shard is checkpointed before
+  /// this returns, so an admission can never be lost to a crash.  Throws
+  /// std::invalid_argument on an invalid spec.
+  std::size_t add_session(SessionSpec spec);
+
+  /// Marks the session evicted (new feeds fail immediately) and enqueues
+  /// the eviction so it lands *in order* with the frames already queued.
+  /// The engine-side state is released when the shard worker processes
+  /// it.  Throws std::out_of_range on an unknown id; idempotent once
+  /// admitted.
+  void evict_session(std::size_t session);
+
+  /// Ids ever issued (including evicted sessions).
+  [[nodiscard]] std::size_t sessions() const;
+
+  /// Configured shard count (0 = inline mode).
+  [[nodiscard]] std::size_t shards() const { return options_.shards; }
+
+  /// Shard a session id maps to.
+  [[nodiscard]] std::size_t shard_of(std::size_t session) const;
+
+  /// Validates and stages frames for one channel of one session.  Never
+  /// throws on data-plane errors — the outcome is in the result, ready to
+  /// be surfaced as a typed wire reply.
+  FeedResult feed(std::size_t session, const std::string& channel,
+                  const nsync::signal::SignalView& frames);
+
+  /// Blocks until every accepted frame has been processed (all queues
+  /// empty and all workers idle).  In inline mode this runs the drain.
+  void flush();
+
+  [[nodiscard]] SessionSnapshot snapshot(std::size_t session) const;
+  [[nodiscard]] std::vector<SessionSnapshot> snapshots() const;
+
+  [[nodiscard]] FleetStats stats() const;
+
+  /// Synchronously checkpoints every shard (requires checkpoint_dir).
+  void checkpoint_all() const;
+
+  /// Path of shard i's checkpoint file within checkpoint_dir.
+  [[nodiscard]] static std::string shard_checkpoint_filename(
+      std::size_t shard);
+
+  /// Rebuilds a fleet from `<dir>/fleet.<i>.nckp` for every shard of
+  /// `options.shards` (all files must exist — a missing shard file means
+  /// the checkpoint set is incomplete).  The global session registry is
+  /// derived from the round-robin id mapping; inconsistent shard files
+  /// (counts that no id sequence produces) throw
+  /// CheckpointError(kMismatch).
+  [[nodiscard]] static std::unique_ptr<ShardedFleet> restore(
+      const std::string& dir, ShardedFleetOptions options);
+
+ private:
+  struct Shard {
+    std::unique_ptr<MonitorEngine> engine;  // engine ops serialize on mu
+    mutable std::mutex mu;
+    std::unique_ptr<FrameQueue> queue;  // null in inline mode
+    std::thread worker;
+    // Worker-side counters, guarded by mu.
+    std::uint64_t batches = 0;
+    std::uint64_t polls = 0;
+    std::uint64_t windows = 0;
+    std::uint64_t feed_errors = 0;
+    LatencyHistogram latency;
+  };
+
+  struct ChannelInfo {
+    std::string name;
+    std::size_t width = 0;  ///< samples per frame
+  };
+
+  struct SessionInfo {
+    std::size_t shard = 0;
+    std::size_t local = 0;  ///< id within the shard's engine
+    std::string name;
+    std::vector<ChannelInfo> channels;
+    bool evicted = false;
+  };
+
+  /// restore() path: rebuilds every shard engine from
+  /// `<restore_dir>/fleet.<i>.nckp`, re-derives the registry, then starts
+  /// the workers.
+  ShardedFleet(ShardedFleetOptions options, const std::string& restore_dir);
+
+  [[nodiscard]] MonitorEngineOptions engine_options(std::size_t shard) const;
+  void start_workers();
+  void worker_loop(Shard& shard);
+  [[nodiscard]] std::size_t effective_shards() const {
+    return options_.shards == 0 ? 1 : options_.shards;
+  }
+
+  ShardedFleetOptions options_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::shared_mutex registry_mu_;
+  std::vector<SessionInfo> registry_;
+};
+
+}  // namespace nsync::engine
+
+#endif  // NSYNC_ENGINE_SHARDED_FLEET_HPP

@@ -1,0 +1,171 @@
+#include "engine/wire_client.hpp"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace nsync::engine {
+
+namespace {
+
+bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+  while (n > 0) {
+#ifdef MSG_NOSIGNAL
+    const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
+#else
+    const ssize_t w = ::write(fd, data, n);
+#endif
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    data += w;
+    n -= static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+WireClient WireClient::connect_uds(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("WireClient: UDS path too long: " + path);
+  }
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("WireClient: socket()");
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throw_errno("WireClient: connect(" + path + ")");
+  }
+  return WireClient(fd);
+}
+
+WireClient WireClient::connect_tcp(std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw_errno("WireClient: socket()");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    ::close(fd);
+    throw_errno("WireClient: connect(127.0.0.1:" + std::to_string(port) + ")");
+  }
+  return WireClient(fd);
+}
+
+WireClient::WireClient(WireClient&& other) noexcept
+    : fd_(std::exchange(other.fd_, -1)), decoder_(std::move(other.decoder_)) {}
+
+WireClient& WireClient::operator=(WireClient&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = std::exchange(other.fd_, -1);
+    decoder_ = std::move(other.decoder_);
+  }
+  return *this;
+}
+
+WireClient::~WireClient() { close(); }
+
+void WireClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+wire::Message WireClient::request(const wire::Message& req) {
+  if (fd_ < 0) throw std::runtime_error("WireClient: not connected");
+  const std::vector<std::uint8_t> bytes = wire::encode(req);
+  if (!write_all(fd_, bytes.data(), bytes.size())) {
+    close();
+    throw std::runtime_error("WireClient: send failed (peer gone)");
+  }
+
+  std::uint8_t rx[64 * 1024];
+  for (;;) {
+    wire::Message reply;
+    std::string detail;
+    const wire::DecodeStatus st = decoder_.next(reply, &detail);
+    if (st == wire::DecodeStatus::kFrame) return reply;
+    if (st != wire::DecodeStatus::kNeedMore) {
+      close();
+      throw std::runtime_error("WireClient: protocol violation from server: " +
+                               wire::decode_status_name(st) +
+                               (detail.empty() ? "" : " (" + detail + ")"));
+    }
+    const ssize_t n = ::read(fd_, rx, sizeof(rx));
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      close();
+      throw std::runtime_error("WireClient: connection closed by server");
+    }
+    decoder_.feed(
+        std::span<const std::uint8_t>(rx, static_cast<std::size_t>(n)));
+  }
+}
+
+namespace {
+
+/// Unwraps the expected reply type; ERROR replies become WireError and
+/// anything else (a server bug) a runtime_error.
+template <typename Ok>
+Ok expect(wire::Message&& reply) {
+  if (auto* ok = std::get_if<Ok>(&reply)) return std::move(*ok);
+  if (const auto* err = std::get_if<wire::Error>(&reply)) {
+    throw WireError(err->code, err->message);
+  }
+  throw std::runtime_error("WireClient: unexpected reply type");
+}
+
+}  // namespace
+
+wire::HelloOk WireClient::hello(const std::string& client_name) {
+  wire::Hello h;
+  h.client = client_name;
+  return expect<wire::HelloOk>(request(h));
+}
+
+wire::AddSessionOk WireClient::add_session(const SessionSpec& spec) {
+  wire::AddSession m;
+  m.spec = spec;
+  return expect<wire::AddSessionOk>(request(m));
+}
+
+wire::FeedOk WireClient::feed(std::uint64_t session, const std::string& channel,
+                              const nsync::signal::SignalView& frames) {
+  wire::Feed m;
+  m.session = session;
+  m.channel = channel;
+  m.frames = frames.to_signal();
+  return expect<wire::FeedOk>(request(m));
+}
+
+wire::Stats WireClient::poll_stats(bool include_sessions) {
+  wire::PollStats m;
+  m.include_sessions = include_sessions ? 1 : 0;
+  return expect<wire::Stats>(request(m));
+}
+
+void WireClient::evict(std::uint64_t session) {
+  wire::Evict m;
+  m.session = session;
+  expect<wire::EvictOk>(request(m));
+}
+
+}  // namespace nsync::engine

@@ -1,0 +1,70 @@
+// WireClient — blocking NSFP client for the fleet daemon.
+//
+// One connection, synchronous request/reply.  The typed helpers (hello,
+// add_session, feed, poll_stats, evict) unwrap the expected reply and
+// throw WireError when the daemon answers with a typed ERROR, so callers
+// see `catch (const WireError& e) { e.code() ... }` instead of decoding
+// frames by hand.  Transport failures and framing violations throw plain
+// std::runtime_error — after either, the connection is unusable.
+#ifndef NSYNC_ENGINE_WIRE_CLIENT_HPP
+#define NSYNC_ENGINE_WIRE_CLIENT_HPP
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "engine/monitor_engine.hpp"
+#include "engine/wire_protocol.hpp"
+
+namespace nsync::engine {
+
+/// The daemon replied with a typed ERROR frame.
+class WireError : public std::runtime_error {
+ public:
+  WireError(wire::ErrorCode code, const std::string& message)
+      : std::runtime_error(wire::error_code_name(code) + ": " + message),
+        code_(code) {}
+
+  [[nodiscard]] wire::ErrorCode code() const { return code_; }
+
+ private:
+  wire::ErrorCode code_;
+};
+
+class WireClient {
+ public:
+  /// Connects to a Unix-domain socket.  Throws std::runtime_error.
+  [[nodiscard]] static WireClient connect_uds(const std::string& path);
+  /// Connects to 127.0.0.1:port.  Throws std::runtime_error.
+  [[nodiscard]] static WireClient connect_tcp(std::uint16_t port);
+
+  WireClient(WireClient&& other) noexcept;
+  WireClient& operator=(WireClient&& other) noexcept;
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+  ~WireClient();
+
+  void close();
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Sends one request frame and blocks for one reply frame.
+  [[nodiscard]] wire::Message request(const wire::Message& req);
+
+  // Typed helpers: return the OK reply or throw WireError / runtime_error.
+  wire::HelloOk hello(const std::string& client_name);
+  wire::AddSessionOk add_session(const SessionSpec& spec);
+  wire::FeedOk feed(std::uint64_t session, const std::string& channel,
+                    const nsync::signal::SignalView& frames);
+  wire::Stats poll_stats(bool include_sessions = false);
+  void evict(std::uint64_t session);
+
+ private:
+  explicit WireClient(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  wire::FrameDecoder decoder_;
+};
+
+}  // namespace nsync::engine
+
+#endif  // NSYNC_ENGINE_WIRE_CLIENT_HPP

@@ -1,0 +1,496 @@
+#include "engine/wire_protocol.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "engine/session_codec.hpp"
+#include "signal/checkpoint.hpp"
+
+namespace nsync::engine::wire {
+
+namespace {
+
+using nsync::signal::ByteReader;
+using nsync::signal::ByteWriter;
+using nsync::signal::CheckpointError;
+
+void save_payload(ByteWriter& w, const Hello& m) {
+  w.pod<std::uint32_t>(m.version);
+  w.str(m.client);
+}
+
+Hello load_hello(ByteReader& r) {
+  Hello m;
+  m.version = r.pod<std::uint32_t>();
+  m.client = r.str();
+  return m;
+}
+
+void save_payload(ByteWriter& w, const HelloOk& m) {
+  w.pod<std::uint32_t>(m.version);
+  w.pod<std::uint64_t>(m.shards);
+  w.pod<std::uint64_t>(m.sessions);
+}
+
+HelloOk load_hello_ok(ByteReader& r) {
+  HelloOk m;
+  m.version = r.pod<std::uint32_t>();
+  m.shards = r.pod<std::uint64_t>();
+  m.sessions = r.pod<std::uint64_t>();
+  return m;
+}
+
+void save_payload(ByteWriter& w, const AddSession& m) {
+  save_session_spec(w, m.spec);
+}
+
+AddSession load_add_session(ByteReader& r) {
+  AddSession m;
+  m.spec = load_session_spec(r);
+  return m;
+}
+
+void save_payload(ByteWriter& w, const AddSessionOk& m) {
+  w.pod<std::uint64_t>(m.session);
+  w.pod<std::uint64_t>(m.shard);
+}
+
+AddSessionOk load_add_session_ok(ByteReader& r) {
+  AddSessionOk m;
+  m.session = r.pod<std::uint64_t>();
+  m.shard = r.pod<std::uint64_t>();
+  return m;
+}
+
+void save_payload(ByteWriter& w, const Feed& m) {
+  w.pod<std::uint64_t>(m.session);
+  w.str(m.channel);
+  w.signal(nsync::signal::SignalView(m.frames));
+}
+
+Feed load_feed(ByteReader& r) {
+  Feed m;
+  m.session = r.pod<std::uint64_t>();
+  m.channel = r.str();
+  m.frames = r.signal();
+  return m;
+}
+
+void save_payload(ByteWriter& w, const FeedOk& m) {
+  w.pod<std::uint64_t>(m.accepted_frames);
+  w.pod<std::uint64_t>(m.shed_frames);
+  w.pod<std::uint64_t>(m.queued_frames);
+}
+
+FeedOk load_feed_ok(ByteReader& r) {
+  FeedOk m;
+  m.accepted_frames = r.pod<std::uint64_t>();
+  m.shed_frames = r.pod<std::uint64_t>();
+  m.queued_frames = r.pod<std::uint64_t>();
+  return m;
+}
+
+void save_payload(ByteWriter& w, const PollStats& m) {
+  w.pod<std::uint8_t>(m.include_sessions);
+}
+
+PollStats load_poll_stats(ByteReader& r) {
+  PollStats m;
+  m.include_sessions = r.pod<std::uint8_t>();
+  if (m.include_sessions > 1) {
+    throw CheckpointError(nsync::signal::CheckpointErrorKind::kCorrupt,
+                          "POLL_STATS include_sessions flag out of range");
+  }
+  return m;
+}
+
+void save_payload(ByteWriter& w, const StatsShard& s) {
+  w.pod<std::uint64_t>(s.shard);
+  w.pod<std::uint64_t>(s.sessions);
+  w.pod<std::uint64_t>(s.queued_frames);
+  w.pod<std::uint64_t>(s.peak_queued_frames);
+  w.pod<std::uint64_t>(s.enqueued_frames);
+  w.pod<std::uint64_t>(s.shed_frames);
+  w.pod<std::uint64_t>(s.rejected_frames);
+  w.pod<std::uint64_t>(s.batches);
+  w.pod<std::uint64_t>(s.polls);
+  w.pod<std::uint64_t>(s.windows);
+  w.pod<std::uint64_t>(s.feed_errors);
+  w.pod<std::uint64_t>(s.checkpoints_written);
+  w.pod<std::uint64_t>(s.latency_samples);
+  w.pod<double>(s.p50_feed_to_verdict_us);
+  w.pod<double>(s.p99_feed_to_verdict_us);
+  w.pod<std::uint8_t>(s.in_flight);
+}
+
+StatsShard load_stats_shard(ByteReader& r) {
+  StatsShard s;
+  s.shard = r.pod<std::uint64_t>();
+  s.sessions = r.pod<std::uint64_t>();
+  s.queued_frames = r.pod<std::uint64_t>();
+  s.peak_queued_frames = r.pod<std::uint64_t>();
+  s.enqueued_frames = r.pod<std::uint64_t>();
+  s.shed_frames = r.pod<std::uint64_t>();
+  s.rejected_frames = r.pod<std::uint64_t>();
+  s.batches = r.pod<std::uint64_t>();
+  s.polls = r.pod<std::uint64_t>();
+  s.windows = r.pod<std::uint64_t>();
+  s.feed_errors = r.pod<std::uint64_t>();
+  s.checkpoints_written = r.pod<std::uint64_t>();
+  s.latency_samples = r.pod<std::uint64_t>();
+  s.p50_feed_to_verdict_us = r.pod<double>();
+  s.p99_feed_to_verdict_us = r.pod<double>();
+  s.in_flight = r.pod<std::uint8_t>();
+  return s;
+}
+
+void save_payload(ByteWriter& w, const StatsChannel& c) {
+  w.str(c.name);
+  w.pod<std::uint8_t>(c.alarm);
+  w.pod<std::uint8_t>(c.health);
+  w.pod<std::uint64_t>(c.windows);
+  w.pod<std::uint64_t>(c.frames_fed);
+}
+
+StatsChannel load_stats_channel(ByteReader& r) {
+  StatsChannel c;
+  c.name = r.str();
+  c.alarm = r.pod<std::uint8_t>();
+  c.health = r.pod<std::uint8_t>();
+  c.windows = r.pod<std::uint64_t>();
+  c.frames_fed = r.pod<std::uint64_t>();
+  return c;
+}
+
+void save_payload(ByteWriter& w, const StatsSession& s) {
+  w.str(s.name);
+  w.pod<std::uint8_t>(s.evicted);
+  w.pod<std::uint8_t>(s.intrusion);
+  w.pod<std::int64_t>(s.first_alarm_window);
+  w.pod<std::uint64_t>(s.windows);
+  w.pod<std::uint64_t>(s.frames_fed);
+  w.pod<std::uint64_t>(static_cast<std::uint64_t>(s.channels.size()));
+  for (const StatsChannel& c : s.channels) save_payload(w, c);
+}
+
+StatsSession load_stats_session(ByteReader& r) {
+  StatsSession s;
+  s.name = r.str();
+  s.evicted = r.pod<std::uint8_t>();
+  s.intrusion = r.pod<std::uint8_t>();
+  s.first_alarm_window = r.pod<std::int64_t>();
+  s.windows = r.pod<std::uint64_t>();
+  s.frames_fed = r.pod<std::uint64_t>();
+  const auto n = r.pod<std::uint64_t>();
+  if (n > r.remaining()) {
+    throw CheckpointError(nsync::signal::CheckpointErrorKind::kCorrupt,
+                          "STATS session channel count exceeds payload");
+  }
+  s.channels.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    s.channels.push_back(load_stats_channel(r));
+  }
+  return s;
+}
+
+void save_payload(ByteWriter& w, const Stats& m) {
+  w.pod<std::uint64_t>(m.shards);
+  w.pod<std::uint64_t>(m.sessions);
+  w.pod<std::uint64_t>(m.evicted);
+  w.pod<std::uint64_t>(m.windows);
+  w.pod<std::uint64_t>(m.shed_frames);
+  w.pod<std::uint64_t>(m.rejected_frames);
+  w.pod<std::uint64_t>(m.queued_frames);
+  w.pod<std::uint8_t>(m.busy);
+  w.pod<std::uint64_t>(static_cast<std::uint64_t>(m.per_shard.size()));
+  for (const StatsShard& s : m.per_shard) save_payload(w, s);
+  w.pod<std::uint64_t>(static_cast<std::uint64_t>(m.sessions_detail.size()));
+  for (const StatsSession& s : m.sessions_detail) save_payload(w, s);
+}
+
+Stats load_stats(ByteReader& r) {
+  Stats m;
+  m.shards = r.pod<std::uint64_t>();
+  m.sessions = r.pod<std::uint64_t>();
+  m.evicted = r.pod<std::uint64_t>();
+  m.windows = r.pod<std::uint64_t>();
+  m.shed_frames = r.pod<std::uint64_t>();
+  m.rejected_frames = r.pod<std::uint64_t>();
+  m.queued_frames = r.pod<std::uint64_t>();
+  m.busy = r.pod<std::uint8_t>();
+  const auto n_shards = r.pod<std::uint64_t>();
+  if (n_shards > r.remaining()) {
+    throw CheckpointError(nsync::signal::CheckpointErrorKind::kCorrupt,
+                          "STATS shard count exceeds payload");
+  }
+  m.per_shard.reserve(static_cast<std::size_t>(n_shards));
+  for (std::uint64_t i = 0; i < n_shards; ++i) {
+    m.per_shard.push_back(load_stats_shard(r));
+  }
+  const auto n_sessions = r.pod<std::uint64_t>();
+  if (n_sessions > r.remaining()) {
+    throw CheckpointError(nsync::signal::CheckpointErrorKind::kCorrupt,
+                          "STATS session count exceeds payload");
+  }
+  m.sessions_detail.reserve(static_cast<std::size_t>(n_sessions));
+  for (std::uint64_t i = 0; i < n_sessions; ++i) {
+    m.sessions_detail.push_back(load_stats_session(r));
+  }
+  return m;
+}
+
+void save_payload(ByteWriter& w, const Evict& m) {
+  w.pod<std::uint64_t>(m.session);
+}
+
+Evict load_evict(ByteReader& r) {
+  Evict m;
+  m.session = r.pod<std::uint64_t>();
+  return m;
+}
+
+void save_payload(ByteWriter&, const EvictOk&) {}
+
+void save_payload(ByteWriter& w, const Error& m) {
+  w.pod<std::uint32_t>(static_cast<std::uint32_t>(m.code));
+  w.str(m.message);
+}
+
+Error load_error(ByteReader& r) {
+  const auto raw = r.pod<std::uint32_t>();
+  if (raw < static_cast<std::uint32_t>(ErrorCode::kBadFrame) ||
+      raw > static_cast<std::uint32_t>(ErrorCode::kInternal)) {
+    throw CheckpointError(nsync::signal::CheckpointErrorKind::kCorrupt,
+                          "ERROR code out of range");
+  }
+  Error m;
+  m.code = static_cast<ErrorCode>(raw);
+  m.message = r.str();
+  return m;
+}
+
+/// Parses one payload of a known type; throws CheckpointError on any
+/// malformed content (including trailing bytes).
+Message load_payload(MsgType type, std::span<const std::uint8_t> payload) {
+  ByteReader r(payload);
+  Message m;
+  switch (type) {
+    case MsgType::kHello:
+      m = load_hello(r);
+      break;
+    case MsgType::kHelloOk:
+      m = load_hello_ok(r);
+      break;
+    case MsgType::kAddSession:
+      m = load_add_session(r);
+      break;
+    case MsgType::kAddSessionOk:
+      m = load_add_session_ok(r);
+      break;
+    case MsgType::kFeed:
+      m = load_feed(r);
+      break;
+    case MsgType::kFeedOk:
+      m = load_feed_ok(r);
+      break;
+    case MsgType::kPollStats:
+      m = load_poll_stats(r);
+      break;
+    case MsgType::kStats:
+      m = load_stats(r);
+      break;
+    case MsgType::kEvict:
+      m = load_evict(r);
+      break;
+    case MsgType::kEvictOk:
+      m = EvictOk{};
+      break;
+    case MsgType::kError:
+      m = load_error(r);
+      break;
+  }
+  r.finish();
+  return m;
+}
+
+bool known_type(std::uint8_t t) {
+  switch (static_cast<MsgType>(t)) {
+    case MsgType::kHello:
+    case MsgType::kAddSession:
+    case MsgType::kFeed:
+    case MsgType::kPollStats:
+    case MsgType::kEvict:
+    case MsgType::kHelloOk:
+    case MsgType::kAddSessionOk:
+    case MsgType::kFeedOk:
+    case MsgType::kStats:
+    case MsgType::kEvictOk:
+    case MsgType::kError:
+      return true;
+  }
+  return false;
+}
+
+std::uint32_t read_u32le(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+std::string error_code_name(ErrorCode c) {
+  switch (c) {
+    case ErrorCode::kBadFrame:
+      return "bad-frame";
+    case ErrorCode::kBadVersion:
+      return "bad-version";
+    case ErrorCode::kBadType:
+      return "bad-type";
+    case ErrorCode::kMalformed:
+      return "malformed";
+    case ErrorCode::kUnknownSession:
+      return "unknown-session";
+    case ErrorCode::kUnknownChannel:
+      return "unknown-channel";
+    case ErrorCode::kChannelMismatch:
+      return "channel-mismatch";
+    case ErrorCode::kEvicted:
+      return "evicted";
+    case ErrorCode::kOverloaded:
+      return "overloaded";
+    case ErrorCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string decode_status_name(DecodeStatus s) {
+  switch (s) {
+    case DecodeStatus::kNeedMore:
+      return "need-more";
+    case DecodeStatus::kFrame:
+      return "frame";
+    case DecodeStatus::kBadMagic:
+      return "bad-magic";
+    case DecodeStatus::kBadVersion:
+      return "bad-version";
+    case DecodeStatus::kOversized:
+      return "oversized";
+    case DecodeStatus::kBadCrc:
+      return "bad-crc";
+    case DecodeStatus::kBadType:
+      return "bad-type";
+    case DecodeStatus::kMalformed:
+      return "malformed";
+  }
+  return "unknown";
+}
+
+MsgType message_type(const Message& m) {
+  struct Visitor {
+    MsgType operator()(const Hello&) const { return MsgType::kHello; }
+    MsgType operator()(const HelloOk&) const { return MsgType::kHelloOk; }
+    MsgType operator()(const AddSession&) const { return MsgType::kAddSession; }
+    MsgType operator()(const AddSessionOk&) const {
+      return MsgType::kAddSessionOk;
+    }
+    MsgType operator()(const Feed&) const { return MsgType::kFeed; }
+    MsgType operator()(const FeedOk&) const { return MsgType::kFeedOk; }
+    MsgType operator()(const PollStats&) const { return MsgType::kPollStats; }
+    MsgType operator()(const Stats&) const { return MsgType::kStats; }
+    MsgType operator()(const Evict&) const { return MsgType::kEvict; }
+    MsgType operator()(const EvictOk&) const { return MsgType::kEvictOk; }
+    MsgType operator()(const Error&) const { return MsgType::kError; }
+  };
+  return std::visit(Visitor{}, m);
+}
+
+std::vector<std::uint8_t> encode(const Message& m) {
+  ByteWriter pw;
+  std::visit([&pw](const auto& payload) { save_payload(pw, payload); }, m);
+  const std::vector<std::uint8_t> payload = pw.take();
+  if (payload.size() > kMaxPayloadBytes) {
+    throw CheckpointError(nsync::signal::CheckpointErrorKind::kCorrupt,
+                          "wire payload exceeds kMaxPayloadBytes");
+  }
+
+  ByteWriter fw;
+  fw.pod<std::uint32_t>(kMagic);
+  fw.pod<std::uint8_t>(kProtocolVersion);
+  fw.pod<std::uint8_t>(static_cast<std::uint8_t>(message_type(m)));
+  fw.pod<std::uint16_t>(0);  // reserved
+  fw.pod<std::uint32_t>(static_cast<std::uint32_t>(payload.size()));
+  fw.bytes(payload.data(), payload.size());
+  fw.pod<std::uint32_t>(nsync::signal::crc32(payload.data(), payload.size()));
+  return fw.take();
+}
+
+void FrameDecoder::feed(std::span<const std::uint8_t> bytes) {
+  if (poisoned_) return;  // the stream is dead; don't accumulate memory
+  // Compact once the consumed prefix dominates, keeping feed() amortized
+  // O(n) without reallocating on every frame.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(buf_.begin(),
+               buf_.begin() + static_cast<std::ptrdiff_t>(pos_));
+    pos_ = 0;
+  }
+  buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+}
+
+DecodeStatus FrameDecoder::next(Message& out, std::string* detail) {
+  if (poisoned_) return poison_status_;
+
+  const auto poison = [this, detail](DecodeStatus s, const char* why) {
+    poisoned_ = true;
+    poison_status_ = s;
+    buf_.clear();
+    pos_ = 0;
+    if (detail != nullptr) *detail = why;
+    return s;
+  };
+
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kHeaderBytes) return DecodeStatus::kNeedMore;
+
+  const std::uint8_t* h = buf_.data() + pos_;
+  if (read_u32le(h) != kMagic) {
+    return poison(DecodeStatus::kBadMagic, "bad magic");
+  }
+  if (h[4] != kProtocolVersion) {
+    return poison(DecodeStatus::kBadVersion, "unsupported protocol version");
+  }
+  const std::uint8_t type = h[5];
+  const std::uint32_t payload_len = read_u32le(h + 8);
+  if (payload_len > kMaxPayloadBytes) {
+    return poison(DecodeStatus::kOversized, "payload length exceeds cap");
+  }
+
+  const std::size_t frame_bytes = kHeaderBytes + payload_len + kTrailerBytes;
+  if (avail < frame_bytes) return DecodeStatus::kNeedMore;
+
+  const std::uint8_t* payload = h + kHeaderBytes;
+  const std::uint32_t want_crc = read_u32le(payload + payload_len);
+  if (nsync::signal::crc32(payload, payload_len) != want_crc) {
+    return poison(DecodeStatus::kBadCrc, "payload CRC mismatch");
+  }
+
+  // The frame boundary is sound from here on: type/payload errors consume
+  // this frame and leave the stream usable.
+  pos_ += frame_bytes;
+
+  if (!known_type(type)) {
+    if (detail != nullptr) *detail = "unknown message type";
+    return DecodeStatus::kBadType;
+  }
+  try {
+    out = load_payload(static_cast<MsgType>(type),
+                       std::span<const std::uint8_t>(payload, payload_len));
+  } catch (const CheckpointError& e) {
+    if (detail != nullptr) *detail = e.what();
+    return DecodeStatus::kMalformed;
+  }
+  return DecodeStatus::kFrame;
+}
+
+}  // namespace nsync::engine::wire

@@ -1,0 +1,587 @@
+// ShardedFleet: shard-count invariance, admission/eviction, backpressure
+// accounting and crash-recovery across shard counts.
+//
+// The load-bearing property is *bitwise shard invariance*: a session's
+// verdict trail (fused verdict, first_alarm_window, per-channel detection
+// flags, health, window counts) must be identical whether the fleet runs
+// on a plain MonitorEngine, the inline shards=0 path, or 1/2/8 worker
+// shards — sharding is pure scheduling.  The recovery matrix then pins
+// the same property across a simulated crash at 25/50/75% of the stream
+// for each shard count.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/nsync.hpp"
+#include "engine/frame_queue.hpp"
+#include "engine/monitor_engine.hpp"
+#include "engine/sharded_fleet.hpp"
+#include "signal/checkpoint.hpp"
+#include "signal/rng.hpp"
+#include "signal/signal.hpp"
+
+using namespace nsync;
+using engine::FeedStatus;
+using engine::MonitorEngine;
+using engine::OverflowPolicy;
+using engine::ShardedFleet;
+using engine::ShardedFleetOptions;
+using nsync::signal::CheckpointError;
+using nsync::signal::CheckpointErrorKind;
+using nsync::signal::Rng;
+using nsync::signal::Signal;
+using nsync::signal::SignalView;
+
+namespace {
+
+constexpr std::size_t kFrames = 2048;
+constexpr std::size_t kChunk = 160;
+
+Signal make_reference(std::size_t frames, std::uint64_t seed) {
+  Rng rng(seed);
+  Signal s(frames, 2, 100.0);
+  double lp0 = 0.0, lp1 = 0.0;
+  for (std::size_t n = 0; n < frames; ++n) {
+    lp0 += 0.35 * (rng.normal() - lp0);
+    lp1 += 0.35 * (rng.normal() - lp1);
+    s(n, 0) = lp0;
+    s(n, 1) = lp1;
+  }
+  return s;
+}
+
+Signal benign_observation(const Signal& b, std::uint64_t seed) {
+  Rng rng(seed);
+  Signal a = Signal::empty(b.channels(), b.sample_rate());
+  double src = 0.0;
+  std::vector<double> row(b.channels());
+  while (src < static_cast<double>(b.frames() - 1)) {
+    const auto i0 = static_cast<std::size_t>(src);
+    const double frac = src - static_cast<double>(i0);
+    const std::size_t i1 = std::min(i0 + 1, b.frames() - 1);
+    for (std::size_t c = 0; c < b.channels(); ++c) {
+      row[c] = (1.0 - frac) * b(i0, c) + frac * b(i1, c) +
+               rng.normal(0.0, 0.01);
+    }
+    a.append_frame(row);
+    src += 1.0 + rng.normal(0.0, 0.002);
+  }
+  return a;
+}
+
+Signal malicious_observation(const Signal& b, std::uint64_t seed) {
+  Signal a = benign_observation(b, seed);
+  Rng rng(seed + 5000);
+  const std::size_t lo = a.frames() / 3;
+  const std::size_t hi = 2 * a.frames() / 3;
+  double lp = 0.0;
+  for (std::size_t n = lo; n < hi; ++n) {
+    lp += 0.35 * (rng.normal() - lp);
+    for (std::size_t c = 0; c < a.channels(); ++c) a(n, c) = lp;
+  }
+  return a;
+}
+
+/// Fleet fixture shared by all tests: calibrated two-channel specs plus
+/// deterministic observation streams (session 1 is the tampered one).
+struct Fixture {
+  std::vector<std::string> channels = {"ACC", "AUD"};
+  std::vector<Signal> references;
+  std::vector<core::Thresholds> thresholds;
+  core::NsyncConfig cfg;
+  std::vector<std::vector<Signal>> streams;  // [session][channel]
+
+  explicit Fixture(std::size_t n_sessions, std::size_t attack_session = 1) {
+    cfg.sync = core::SyncMethod::kDwm;
+    cfg.dwm.n_win = 64;
+    cfg.dwm.n_hop = 32;
+    cfg.dwm.n_ext = 24;
+    cfg.dwm.n_sigma = 12.0;
+    cfg.dwm.eta = 0.2;
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      Signal ref = make_reference(kFrames, 7 + c);
+      core::NsyncIds ids(ref, cfg);
+      std::vector<Signal> train;
+      for (std::uint64_t s = 0; s < 3; ++s) {
+        train.push_back(benign_observation(ref, 20 * (s + 1) + c));
+      }
+      ids.fit(train);
+      // Short references calibrate on few windows; floor the fitted
+      // thresholds (as the bench does) so benign runs stay benign while
+      // the injected mid-stream corruption still alarms decisively.
+      core::Thresholds th = ids.thresholds();
+      th.c_c = std::max(3.0 * th.c_c, 64.0);
+      th.h_c = std::max(3.0 * th.h_c, 8.0);
+      th.v_c *= 3.0;
+      thresholds.push_back(th);
+      references.push_back(std::move(ref));
+    }
+    streams.resize(n_sessions);
+    for (std::size_t s = 0; s < n_sessions; ++s) {
+      for (std::size_t c = 0; c < channels.size(); ++c) {
+        streams[s].push_back(
+            s == attack_session
+                ? malicious_observation(references[c], 900 + 3 * s + c)
+                : benign_observation(references[c], 900 + 3 * s + c));
+      }
+    }
+  }
+
+  [[nodiscard]] engine::SessionSpec spec(std::size_t s) const {
+    engine::SessionSpec sp;
+    sp.name = "printer-" + std::to_string(s);
+    sp.rule = core::FusionRule::kAny;
+    for (std::size_t c = 0; c < channels.size(); ++c) {
+      engine::ChannelSpec ch;
+      ch.name = channels[c];
+      ch.reference = references[c];
+      ch.config = cfg;
+      ch.thresholds = thresholds[c];
+      sp.channels.push_back(std::move(ch));
+    }
+    return sp;
+  }
+
+  [[nodiscard]] std::size_t sessions() const { return streams.size(); }
+};
+
+/// Everything a verdict trail is made of, flattened for exact comparison.
+struct Verdict {
+  std::string name;
+  bool evicted = false;
+  bool intrusion = false;
+  std::ptrdiff_t first_alarm_window = -1;
+  std::size_t windows = 0;
+  std::size_t frames_fed = 0;
+  std::vector<std::string> channel_state;
+
+  bool operator==(const Verdict&) const = default;
+};
+
+Verdict to_verdict(const engine::SessionSnapshot& s) {
+  Verdict v;
+  v.name = s.name;
+  v.evicted = s.evicted;
+  v.intrusion = s.intrusion;
+  v.first_alarm_window = s.first_alarm_window;
+  v.windows = s.windows;
+  v.frames_fed = s.frames_fed;
+  for (const auto& c : s.channels) {
+    v.channel_state.push_back(
+        c.name + ":" + (c.detection.intrusion ? "1" : "0") +
+        std::to_string(static_cast<int>(c.detection.by_c_disp)) +
+        std::to_string(static_cast<int>(c.detection.by_h_dist)) +
+        std::to_string(static_cast<int>(c.detection.by_v_dist)) + ":faw=" +
+        std::to_string(c.detection.first_alarm_window) + ":health=" +
+        std::to_string(static_cast<int>(c.health)) + ":w=" +
+        std::to_string(c.windows) + ":f=" + std::to_string(c.frames_fed));
+  }
+  return v;
+}
+
+/// Chunk-interleaved feed of every stream, starting at `offsets` (empty =
+/// from zero), driving `feed_fn` exactly like an acquisition loop.
+template <typename FeedFn>
+void replay(const Fixture& fx, FeedFn&& feed_fn,
+            std::vector<std::vector<std::size_t>> offsets = {}) {
+  if (offsets.empty()) {
+    offsets.assign(fx.sessions(),
+                   std::vector<std::size_t>(fx.channels.size(), 0));
+  }
+  bool more = true;
+  while (more) {
+    more = false;
+    for (std::size_t s = 0; s < fx.sessions(); ++s) {
+      for (std::size_t c = 0; c < fx.channels.size(); ++c) {
+        const Signal& sig = fx.streams[s][c];
+        const std::size_t off = offsets[s][c];
+        if (off >= sig.frames()) continue;
+        const std::size_t hi = std::min(off + kChunk, sig.frames());
+        feed_fn(s, fx.channels[c], SignalView(sig).slice(off, hi));
+        offsets[s][c] = hi;
+        if (hi < sig.frames()) more = true;
+      }
+    }
+  }
+}
+
+std::vector<Verdict> run_monitor_engine(const Fixture& fx) {
+  MonitorEngine eng;
+  for (std::size_t s = 0; s < fx.sessions(); ++s) eng.add_session(fx.spec(s));
+  replay(fx, [&](std::size_t s, const std::string& ch, const SignalView& v) {
+    eng.feed(s, ch, v);
+    eng.poll();
+  });
+  std::vector<Verdict> out;
+  for (const auto& snap : eng.snapshots()) out.push_back(to_verdict(snap));
+  return out;
+}
+
+std::vector<Verdict> run_sharded(const Fixture& fx, std::size_t shards,
+                                 ShardedFleetOptions fopts = {}) {
+  fopts.shards = shards;
+  ShardedFleet fleet(fopts);
+  for (std::size_t s = 0; s < fx.sessions(); ++s) {
+    fleet.add_session(fx.spec(s));
+  }
+  replay(fx, [&](std::size_t s, const std::string& ch, const SignalView& v) {
+    const engine::FeedResult r = fleet.feed(s, ch, v);
+    ASSERT_EQ(r.status, FeedStatus::kOk);
+  });
+  fleet.flush();
+  std::vector<Verdict> out;
+  for (const auto& snap : fleet.snapshots()) out.push_back(to_verdict(snap));
+  return out;
+}
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& tag) {
+    path_ = std::filesystem::temp_directory_path() /
+            ("nsync_fleet_" + tag + "_" +
+             std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path_, ec);
+  }
+  [[nodiscard]] std::string str() const { return path_.string(); }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+}  // namespace
+
+// --- Shard-count invariance -------------------------------------------------
+
+TEST(ShardedFleet, VerdictsBitwiseInvariantAcrossShardCounts) {
+  const Fixture fx(4, /*attack_session=*/1);
+  const std::vector<Verdict> baseline = run_monitor_engine(fx);
+  ASSERT_EQ(baseline.size(), 4u);
+  EXPECT_FALSE(baseline[0].intrusion);
+  EXPECT_TRUE(baseline[1].intrusion) << "attack session must alarm";
+  EXPECT_GE(baseline[1].first_alarm_window, 0);
+
+  for (const std::size_t shards : {std::size_t{0}, std::size_t{1},
+                                   std::size_t{2}, std::size_t{8}}) {
+    const std::vector<Verdict> got = run_sharded(fx, shards);
+    ASSERT_EQ(got.size(), baseline.size()) << "shards=" << shards;
+    for (std::size_t s = 0; s < got.size(); ++s) {
+      EXPECT_EQ(got[s], baseline[s])
+          << "session " << s << " diverged at shards=" << shards;
+    }
+  }
+}
+
+TEST(ShardedFleet, ShardMappingIsRoundRobin) {
+  ShardedFleetOptions opts;
+  opts.shards = 3;
+  ShardedFleet fleet(opts);
+  const Fixture fx(5, /*attack_session=*/99);
+  for (std::size_t s = 0; s < 5; ++s) {
+    EXPECT_EQ(fleet.add_session(fx.spec(s)), s);
+    EXPECT_EQ(fleet.shard_of(s), s % 3);
+  }
+  EXPECT_EQ(fleet.sessions(), 5u);
+  const engine::FleetStats stats = fleet.stats();
+  ASSERT_EQ(stats.per_shard.size(), 3u);
+  EXPECT_EQ(stats.per_shard[0].sessions, 2u);
+  EXPECT_EQ(stats.per_shard[1].sessions, 2u);
+  EXPECT_EQ(stats.per_shard[2].sessions, 1u);
+}
+
+// --- Admission / eviction ---------------------------------------------------
+
+TEST(ShardedFleet, FeedValidationIsTyped) {
+  const Fixture fx(1, /*attack_session=*/99);
+  ShardedFleetOptions opts;
+  opts.shards = 2;
+  ShardedFleet fleet(opts);
+  fleet.add_session(fx.spec(0));
+
+  Signal good(8, 2, 100.0);
+  Signal narrow(8, 1, 100.0);
+  EXPECT_EQ(fleet.feed(0, "ACC", good).status, FeedStatus::kOk);
+  EXPECT_EQ(fleet.feed(7, "ACC", good).status, FeedStatus::kUnknownSession);
+  EXPECT_EQ(fleet.feed(0, "MAG", good).status, FeedStatus::kUnknownChannel);
+  EXPECT_EQ(fleet.feed(0, "ACC", narrow).status, FeedStatus::kChannelMismatch);
+  EXPECT_THROW(fleet.evict_session(7), std::out_of_range);
+}
+
+TEST(ShardedFleet, EvictionReleasesSessionAndKeepsIdsStable) {
+  const Fixture fx(3, /*attack_session=*/99);
+  ShardedFleetOptions opts;
+  opts.shards = 2;
+  ShardedFleet fleet(opts);
+  for (std::size_t s = 0; s < 3; ++s) fleet.add_session(fx.spec(s));
+
+  Signal chunk(64, 2, 100.0);
+  ASSERT_EQ(fleet.feed(1, "ACC", chunk).status, FeedStatus::kOk);
+  fleet.evict_session(1);
+  fleet.evict_session(1);  // idempotent
+  // The eviction is ordered behind the accepted frames; new feeds fail
+  // immediately at the ingest boundary.
+  EXPECT_EQ(fleet.feed(1, "ACC", chunk).status, FeedStatus::kEvicted);
+  fleet.flush();
+
+  const engine::SessionSnapshot snap = fleet.snapshot(1);
+  EXPECT_TRUE(snap.evicted);
+  EXPECT_EQ(snap.name, "printer-1");
+  EXPECT_TRUE(snap.channels.empty());
+  // Neighbors are untouched and ids stay dense.
+  EXPECT_FALSE(fleet.snapshot(0).evicted);
+  EXPECT_FALSE(fleet.snapshot(2).evicted);
+  EXPECT_EQ(fleet.stats().evicted, 1u);
+  // A new admission gets the next id, never a recycled one.
+  ShardedFleet* f = &fleet;
+  EXPECT_EQ(f->add_session(fx.spec(0)), 3u);
+}
+
+// --- Backpressure / load shedding -------------------------------------------
+
+TEST(FrameQueue, DropOldestShedsFeedBatchesButNeverEvictions) {
+  engine::FrameQueue q(/*capacity_frames=*/64, OverflowPolicy::kDropOldest);
+  engine::FrameBatch feed;
+  feed.kind = engine::FrameBatch::Kind::kFeed;
+  feed.session = 0;
+  feed.channel = "ACC";
+  feed.frames = Signal(48, 1, 100.0);
+  ASSERT_TRUE(q.push(feed).accepted);
+
+  engine::FrameBatch evict;
+  evict.kind = engine::FrameBatch::Kind::kEvict;
+  evict.session = 0;
+  ASSERT_TRUE(q.push(evict).accepted);
+
+  // 48 queued + 48 new > 64: the oldest *feed* batch is shed; the evict
+  // control batch survives.
+  engine::FrameBatch feed2 = feed;
+  const engine::FrameQueue::PushResult r = q.push(feed2);
+  EXPECT_TRUE(r.accepted);
+  EXPECT_EQ(r.shed_frames, 48u);
+
+  std::vector<engine::FrameBatch> drained;
+  ASSERT_TRUE(q.pop_all(drained));
+  ASSERT_EQ(drained.size(), 2u);
+  EXPECT_EQ(drained[0].kind, engine::FrameBatch::Kind::kEvict);
+  EXPECT_EQ(drained[1].kind, engine::FrameBatch::Kind::kFeed);
+  q.mark_processed();
+
+  const engine::FrameQueueStats st = q.stats();
+  EXPECT_EQ(st.shed_frames, 48u);
+  EXPECT_EQ(st.shed_batches, 1u);
+  EXPECT_EQ(st.enqueued_frames, 96u);
+  EXPECT_EQ(st.queued_frames, 0u);
+}
+
+TEST(FrameQueue, RejectPolicyRefusesPastHighWaterMark) {
+  engine::FrameQueue q(/*capacity_frames=*/32, OverflowPolicy::kReject);
+  engine::FrameBatch b;
+  b.kind = engine::FrameBatch::Kind::kFeed;
+  b.frames = Signal(24, 1, 100.0);
+  ASSERT_TRUE(q.push(b).accepted);
+  engine::FrameBatch b2 = b;
+  EXPECT_FALSE(q.push(b2).accepted);
+  EXPECT_EQ(q.stats().rejected_frames, 24u);
+  EXPECT_EQ(q.stats().rejected_batches, 1u);
+  // An oversized batch is still accepted when the queue is empty — a
+  // frame larger than the high-water mark must not be unfeedable.
+  std::vector<engine::FrameBatch> drained;
+  ASSERT_TRUE(q.pop_all(drained));
+  q.mark_processed();
+  engine::FrameBatch huge;
+  huge.kind = engine::FrameBatch::Kind::kFeed;
+  huge.frames = Signal(1000, 1, 100.0);
+  EXPECT_TRUE(q.push(huge).accepted);
+}
+
+TEST(ShardedFleet, LoadShedAccountingBalances) {
+  const Fixture fx(2, /*attack_session=*/99);
+  ShardedFleetOptions opts;
+  opts.shards = 1;
+  opts.queue_capacity_frames = 512;
+  opts.overflow = OverflowPolicy::kDropOldest;
+  ShardedFleet fleet(opts);
+  for (std::size_t s = 0; s < 2; ++s) fleet.add_session(fx.spec(s));
+
+  std::size_t fed = 0;
+  std::size_t shed_from_results = 0;
+  replay(fx, [&](std::size_t s, const std::string& ch, const SignalView& v) {
+    const engine::FeedResult r = fleet.feed(s, ch, v);
+    ASSERT_TRUE(r.status == FeedStatus::kOk || r.status == FeedStatus::kShed);
+    fed += v.frames();
+    shed_from_results += r.shed_frames;
+  });
+  fleet.flush();
+
+  const engine::FleetStats stats = fleet.stats();
+  EXPECT_EQ(stats.shed_frames, shed_from_results);
+  EXPECT_EQ(stats.rejected_frames, 0u);
+  // Every fed frame was either processed by the engine or accounted shed.
+  std::size_t processed = 0;
+  for (const auto& snap : fleet.snapshots()) processed += snap.frames_fed;
+  EXPECT_EQ(processed + stats.shed_frames, fed);
+}
+
+// --- Crash recovery ---------------------------------------------------------
+
+TEST(ShardedFleet, RecoveryMatrixBitwiseAcrossKillPointsAndShardCounts) {
+  const Fixture fx(3, /*attack_session=*/1);
+  const std::vector<Verdict> uninterrupted = run_monitor_engine(fx);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{2}}) {
+    for (const int kill_pct : {25, 50, 75}) {
+      TempDir dir("recover");
+      ShardedFleetOptions opts;
+      opts.shards = shards;
+      opts.checkpoint_dir = dir.str();
+
+      // Phase 1: feed the first kill_pct% of every stream, then drop the
+      // fleet without any further checkpoint — flush + checkpoint_all
+      // stands in for "the periodic checkpoint that happened to complete
+      // right before the SIGKILL".
+      {
+        ShardedFleet fleet(opts);
+        for (std::size_t s = 0; s < fx.sessions(); ++s) {
+          fleet.add_session(fx.spec(s));
+        }
+        for (std::size_t s = 0; s < fx.sessions(); ++s) {
+          for (std::size_t c = 0; c < fx.channels.size(); ++c) {
+            const Signal& sig = fx.streams[s][c];
+            const std::size_t cut =
+                sig.frames() * static_cast<std::size_t>(kill_pct) / 100;
+            for (std::size_t off = 0; off < cut; off += kChunk) {
+              const std::size_t hi = std::min(off + kChunk, cut);
+              ASSERT_EQ(
+                  fleet.feed(s, fx.channels[c], SignalView(sig).slice(off, hi))
+                      .status,
+                  FeedStatus::kOk);
+            }
+          }
+        }
+        fleet.flush();
+        fleet.checkpoint_all();
+      }
+
+      // Phase 2: restore and resume each channel at its recorded offset.
+      std::unique_ptr<ShardedFleet> fleet =
+          ShardedFleet::restore(dir.str(), opts);
+      ASSERT_EQ(fleet->sessions(), fx.sessions());
+      std::vector<std::vector<std::size_t>> offsets(
+          fx.sessions(), std::vector<std::size_t>(fx.channels.size(), 0));
+      for (std::size_t s = 0; s < fx.sessions(); ++s) {
+        const engine::SessionSnapshot snap = fleet->snapshot(s);
+        for (const auto& ch : snap.channels) {
+          for (std::size_t c = 0; c < fx.channels.size(); ++c) {
+            if (fx.channels[c] == ch.name) offsets[s][c] = ch.frames_fed;
+          }
+        }
+      }
+      replay(
+          fx,
+          [&](std::size_t s, const std::string& ch, const SignalView& v) {
+            ASSERT_EQ(fleet->feed(s, ch, v).status, FeedStatus::kOk);
+          },
+          offsets);
+      fleet->flush();
+
+      for (std::size_t s = 0; s < fx.sessions(); ++s) {
+        EXPECT_EQ(to_verdict(fleet->snapshot(s)), uninterrupted[s])
+            << "shards=" << shards << " kill=" << kill_pct << "% session "
+            << s;
+      }
+    }
+  }
+}
+
+TEST(ShardedFleet, AdmissionIsDurableWithoutExplicitCheckpoint) {
+  TempDir dir("admit");
+  ShardedFleetOptions opts;
+  opts.shards = 2;
+  opts.checkpoint_dir = dir.str();
+  const Fixture fx(3, /*attack_session=*/99);
+  {
+    ShardedFleet fleet(opts);
+    for (std::size_t s = 0; s < 3; ++s) fleet.add_session(fx.spec(s));
+    // No flush, no checkpoint_all: admission alone must be durable.
+  }
+  const std::unique_ptr<ShardedFleet> restored =
+      ShardedFleet::restore(dir.str(), opts);
+  ASSERT_EQ(restored->sessions(), 3u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    const engine::SessionSnapshot snap = restored->snapshot(s);
+    EXPECT_EQ(snap.name, "printer-" + std::to_string(s));
+    EXPECT_EQ(snap.frames_fed, 0u);
+  }
+}
+
+TEST(ShardedFleet, EvictionSurvivesRestore) {
+  TempDir dir("evict");
+  ShardedFleetOptions opts;
+  opts.shards = 2;
+  opts.checkpoint_dir = dir.str();
+  const Fixture fx(2, /*attack_session=*/99);
+  {
+    ShardedFleet fleet(opts);
+    fleet.add_session(fx.spec(0));
+    fleet.add_session(fx.spec(1));
+    fleet.evict_session(0);
+    fleet.flush();  // the worker checkpoints after processing the evict
+  }
+  const std::unique_ptr<ShardedFleet> restored =
+      ShardedFleet::restore(dir.str(), opts);
+  ASSERT_EQ(restored->sessions(), 2u);
+  EXPECT_TRUE(restored->snapshot(0).evicted);
+  EXPECT_FALSE(restored->snapshot(1).evicted);
+  Signal chunk(8, 2, 100.0);
+  EXPECT_EQ(restored->feed(0, "ACC", chunk).status, FeedStatus::kEvicted);
+  EXPECT_EQ(restored->feed(1, "ACC", chunk).status, FeedStatus::kOk);
+}
+
+TEST(ShardedFleet, RestoreRejectsMissingAndInconsistentShardFiles) {
+  const Fixture fx(3, /*attack_session=*/99);
+  TempDir dir("badset");
+  ShardedFleetOptions opts;
+  opts.shards = 2;
+  opts.checkpoint_dir = dir.str();
+  {
+    ShardedFleet fleet(opts);
+    for (std::size_t s = 0; s < 3; ++s) fleet.add_session(fx.spec(s));
+    fleet.flush();
+    fleet.checkpoint_all();
+  }
+
+  // Missing shard file: the checkpoint set is incomplete.
+  ShardedFleetOptions three = opts;
+  three.shards = 3;
+  try {
+    (void)ShardedFleet::restore(dir.str(), three);
+    FAIL() << "restore with a missing shard file must throw";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointErrorKind::kIo);
+  }
+
+  // Swapped shard files: shard 0's file now holds 1 session where the
+  // round-robin mapping demands 2 — no id sequence produces that split.
+  const std::string f0 = dir.str() + "/fleet.0.nckp";
+  const std::string f1 = dir.str() + "/fleet.1.nckp";
+  std::filesystem::rename(f0, f0 + ".tmp");
+  std::filesystem::rename(f1, f0);
+  std::filesystem::rename(f0 + ".tmp", f1);
+  try {
+    (void)ShardedFleet::restore(dir.str(), opts);
+    FAIL() << "restore with swapped shard files must throw";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointErrorKind::kMismatch);
+  }
+}
