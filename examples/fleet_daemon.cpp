@@ -13,8 +13,15 @@
 // from POLL_STATS and resume their streams — final verdicts are bitwise
 // identical to an uninterrupted run (the CI fleet-daemon job pins this).
 //
+// Baseline adaptation: with --baseline-dir <dir> each shard keeps a
+// per-device baseline registry (printer-model x sensor-profile) and
+// re-learns OCC thresholds from prints that finished benign with healthy
+// channels.  Clients opt a session in by sending a non-empty model key in
+// its ADD_SESSION spec; registries persist to `<dir>/baselines.<i>.nbrg`
+// and ride inside the shard checkpoints, so --resume continues adaptation.
+//
 //   ./fleet_daemon --listen <uds-path> [--tcp <port>] [--shards N]
-//                  [--checkpoint <dir>] [--resume]
+//                  [--checkpoint <dir>] [--resume] [--baseline-dir <dir>]
 //                  [--policy block|drop-oldest|reject] [--queue-frames N]
 #include <csignal>
 #include <cstdint>
@@ -42,6 +49,7 @@ int main(int argc, char** argv) {
   std::uint16_t tcp_port = 0;
   std::size_t shards = 2;
   std::string checkpoint_dir;
+  std::string baseline_dir;
   bool resume = false;
   std::string policy = "block";
   std::size_t queue_frames = 1u << 20;
@@ -58,6 +66,8 @@ int main(int argc, char** argv) {
       checkpoint_dir = argv[++i];
     } else if (arg == "--resume") {
       resume = true;
+    } else if (arg == "--baseline-dir" && i + 1 < argc) {
+      baseline_dir = argv[++i];
     } else if (arg == "--policy" && i + 1 < argc) {
       policy = argv[++i];
     } else if (arg == "--queue-frames" && i + 1 < argc) {
@@ -65,6 +75,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: fleet_daemon --listen <uds-path> [--tcp <port>]"
                 << " [--shards N] [--checkpoint <dir>] [--resume]"
+                << " [--baseline-dir <dir>]"
                 << " [--policy block|drop-oldest|reject] [--queue-frames N]\n";
       return 0;
     } else {
@@ -100,6 +111,11 @@ int main(int argc, char** argv) {
     std::filesystem::create_directories(checkpoint_dir);
     fopts.checkpoint_dir = checkpoint_dir;
     fopts.checkpoint_every_polls = 1;
+  }
+  if (!baseline_dir.empty()) {
+    std::filesystem::create_directories(baseline_dir);
+    fopts.baseline.adaptive = true;
+    fopts.baseline.dir = baseline_dir;
   }
 
   std::unique_ptr<engine::ShardedFleet> fleet;

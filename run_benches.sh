@@ -37,6 +37,9 @@ for b in "$@"; do
   if [ "$b" = "bench_ext_checkpoint" ]; then
     EXTRA_FLAGS="--json ${NSYNC_BENCH_JSON:-BENCH_checkpoint.json}"
   fi
+  if [ "$b" = "bench_ext_drift" ]; then
+    EXTRA_FLAGS="--json ${NSYNC_BENCH_JSON:-BENCH_drift.json}"
+  fi
   # shellcheck disable=SC2086  # THREAD_FLAGS/EXTRA_FLAGS intentionally split
   NSYNC_THREADS="${NSYNC_THREADS:-}" ./build/bench/"$b" $THREAD_FLAGS \
     $EXTRA_FLAGS 2>&1

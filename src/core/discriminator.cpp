@@ -55,10 +55,16 @@ Thresholds learn_thresholds(std::span<const FeatureMaxima> train, double r) {
     v_lo = std::min(v_lo, m.v_max);
     v_hi = std::max(v_hi, m.v_max);
   }
+  // Eq. 28 margin with a relative floor: when every training maximum is
+  // identical the raw spread is 0 and the threshold would sit exactly at
+  // the benign max.
+  auto margin = [r](double hi, double lo) {
+    return r * std::max(hi - lo, kMinRelativeSpread * hi);
+  };
   Thresholds t;
-  t.c_c = c_hi + r * (c_hi - c_lo);
-  t.h_c = h_hi + r * (h_hi - h_lo);
-  t.v_c = v_hi + r * (v_hi - v_lo);
+  t.c_c = c_hi + margin(c_hi, c_lo);
+  t.h_c = h_hi + margin(h_hi, h_lo);
+  t.v_c = v_hi + margin(v_hi, v_lo);
   return t;
 }
 

@@ -51,8 +51,18 @@ struct FeatureMaxima {
 /// Maxima of one training signal's features (0 when a feature is empty).
 [[nodiscard]] FeatureMaxima feature_maxima(const DetectionFeatures& f);
 
+/// Relative floor on the Eq. 28 spread: per feature the margin is
+/// r * max(hi - lo, kMinRelativeSpread * hi).  Without it, identical
+/// training maxima (a single benign print, or per-device calibration on
+/// one profile) collapse the spread to zero and the critical threshold
+/// sits exactly at the benign max — any benign window one ULP above
+/// training fires.
+inline constexpr double kMinRelativeSpread = 0.05;
+
 /// OCC threshold learning (Eq. 26-28): critical = max_m + r (max_m -
-/// min_m).  `r` trades FPR against FNR.  Throws on empty input.
+/// min_m), with the spread floored at kMinRelativeSpread * max_m so
+/// degenerate training sets keep a safety margin.  `r` trades FPR against
+/// FNR.  Throws on empty input.
 [[nodiscard]] Thresholds learn_thresholds(std::span<const FeatureMaxima> train,
                                           double r);
 

@@ -70,7 +70,12 @@ ChannelHealth ChannelHealthMonitor::observe(bool valid) {
     state_ = ChannelHealth::kOffline;
     return state_;
   }
-  if (state_ == ChannelHealth::kHealthy &&
+  // The fraction-based demotion waits for a full history window: during
+  // warm-up `invalid_fraction()` divides by `filled_`, so one invalid
+  // window out of two observed would read as 50% and flap the channel to
+  // degraded seconds into a stream.  Sustained failures still demote via
+  // the streak rule above regardless of warm-up.
+  if (state_ == ChannelHealth::kHealthy && filled_ == history_.size() &&
       invalid_fraction() >= policy_.degraded_fraction) {
     state_ = ChannelHealth::kDegraded;
     return state_;

@@ -42,6 +42,10 @@ struct HealthPolicy {
   /// Sliding history length (windows) for the invalid-fraction estimate.
   std::size_t history = 32;
   /// Invalid fraction over `history` that demotes healthy -> degraded.
+  /// The demotion is gated until a full history has been observed, so a
+  /// single invalid window early in a stream (1 of 2 observed = 50%)
+  /// cannot flap the channel during warm-up; the consecutive-invalid
+  /// offline rule still applies from the first window.
   double degraded_fraction = 0.25;
   /// Consecutive invalid windows that force any state -> offline.
   std::size_t offline_consecutive = 12;

@@ -139,6 +139,20 @@ std::size_t RealtimeMonitor::push(const SignalView& frames) {
     const bool ok = core_.step(r.h_disp[i], r.valid.empty() || r.valid[i] != 0,
                                a_win, sync_.reference());
     health_.observe(ok);
+    // Benign-baseline accumulation, gated per window: only a valid window
+    // on a healthy channel with no latched intrusion may raise the benign
+    // feature maxima.  Evaluated inside the per-window loop (not per
+    // push), so the accumulated maxima are invariant to feed chunking and
+    // drain/batch boundaries — a precondition for bitwise-deterministic
+    // checkpoint replay through the sharded fleet.
+    if (ok && health_.state() == ChannelHealth::kHealthy &&
+        !core_.detection().intrusion) {
+      const DetectionFeatures& f = core_.features();
+      benign_max_.c_max = std::max(benign_max_.c_max, f.c_disp[i]);
+      benign_max_.h_max = std::max(benign_max_.h_max, f.h_dist_f[i]);
+      benign_max_.v_max = std::max(benign_max_.v_max, f.v_dist_f[i]);
+      ++benign_windows_;
+    }
   }
   return after - before;
 }
@@ -152,6 +166,10 @@ void RealtimeMonitor::save_state(nsync::signal::ByteWriter& w) const {
   sync_.save_state(w);
   core_.save_state(w);
   health_.save_state(w);
+  w.pod<double>(benign_max_.c_max);
+  w.pod<double>(benign_max_.h_max);
+  w.pod<double>(benign_max_.v_max);
+  w.pod<std::uint64_t>(benign_windows_);
 }
 
 void RealtimeMonitor::restore_state(nsync::signal::ByteReader& r) {
@@ -164,6 +182,11 @@ void RealtimeMonitor::restore_state(nsync::signal::ByteReader& r) {
   sync.restore_state(r);
   core.restore_state(r);
   health.restore_state(r);
+  FeatureMaxima benign_max;
+  benign_max.c_max = r.pod<double>();
+  benign_max.h_max = r.pod<double>();
+  benign_max.v_max = r.pod<double>();
+  const auto benign_windows = r.pod<std::uint64_t>();
   // The three machines advance in lockstep — one core step and one health
   // observation per synchronizer window.
   if (core.windows() != sync.windows() ||
@@ -172,9 +195,19 @@ void RealtimeMonitor::restore_state(nsync::signal::ByteReader& r) {
         nsync::signal::CheckpointErrorKind::kCorrupt,
         "RealtimeMonitor: synchronizer/core/health window counts disagree");
   }
+  if (!std::isfinite(benign_max.c_max) || !std::isfinite(benign_max.h_max) ||
+      !std::isfinite(benign_max.v_max) || benign_max.c_max < 0.0 ||
+      benign_max.h_max < 0.0 || benign_max.v_max < 0.0 ||
+      benign_windows > sync.windows()) {
+    throw nsync::signal::CheckpointError(
+        nsync::signal::CheckpointErrorKind::kCorrupt,
+        "RealtimeMonitor: implausible benign-baseline accumulator");
+  }
   sync_ = std::move(sync);
   core_ = std::move(core);
   health_ = std::move(health);
+  benign_max_ = benign_max;
+  benign_windows_ = benign_windows;
 }
 
 }  // namespace nsync::core

@@ -165,6 +165,20 @@ class RealtimeMonitor {
     return sync_.reference();
   }
 
+  /// Running maxima of the detection features over *benign-looking*
+  /// windows only: a window contributes iff it was valid, the channel was
+  /// healthy when it completed, and no intrusion was latched.  This is the
+  /// raw material the baseline registry folds into per-device OCC
+  /// re-learning at end of print — windows observed during an alarm or on
+  /// a degraded/offline sensor never enter the baseline (anti-poisoning).
+  [[nodiscard]] const FeatureMaxima& benign_feature_maxima() const {
+    return benign_max_;
+  }
+  /// Number of windows that contributed to benign_feature_maxima().
+  [[nodiscard]] std::uint64_t benign_windows() const {
+    return benign_windows_;
+  }
+
   /// Serializes the full streaming state — synchronizer, detection core,
   /// health machine — so a monitor restored into the same configuration
   /// continues the stream bitwise identically to one that never stopped.
@@ -178,6 +192,8 @@ class RealtimeMonitor {
   NsyncConfig config_;
   DetectionCore core_;
   ChannelHealthMonitor health_;
+  FeatureMaxima benign_max_;
+  std::uint64_t benign_windows_ = 0;
 };
 
 }  // namespace nsync::core

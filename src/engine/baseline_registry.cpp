@@ -1,0 +1,309 @@
+#include "engine/baseline_registry.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <stdexcept>
+
+#include "signal/checkpoint.hpp"
+
+namespace nsync::engine {
+
+using nsync::signal::ByteReader;
+using nsync::signal::ByteWriter;
+using nsync::signal::CheckpointError;
+using nsync::signal::CheckpointErrorKind;
+
+namespace {
+
+// 'N','B','R','G' little-endian.
+constexpr std::uint32_t kSecBaselineRegistry = 0x4752424E;
+// Format version of the NBRG payload, independent of the NCKP container
+// version — bump on any layout change.
+constexpr std::uint32_t kFormatVersion = 1;
+
+[[nodiscard]] bool thresholds_ok(const core::Thresholds& t) {
+  return std::isfinite(t.c_c) && t.c_c >= 0.0 && std::isfinite(t.h_c) &&
+         t.h_c >= 0.0 && std::isfinite(t.v_c) && t.v_c >= 0.0;
+}
+
+[[nodiscard]] bool maxima_ok(const core::FeatureMaxima& m) {
+  return std::isfinite(m.c_max) && m.c_max >= 0.0 && std::isfinite(m.h_max) &&
+         m.h_max >= 0.0 && std::isfinite(m.v_max) && m.v_max >= 0.0;
+}
+
+void save_thresholds(ByteWriter& w, const core::Thresholds& t) {
+  w.pod<double>(t.c_c);
+  w.pod<double>(t.h_c);
+  w.pod<double>(t.v_c);
+}
+
+[[nodiscard]] core::Thresholds load_thresholds(ByteReader& r) {
+  core::Thresholds t;
+  t.c_c = r.pod<double>();
+  t.h_c = r.pod<double>();
+  t.v_c = r.pod<double>();
+  return t;
+}
+
+/// One component's bounded move toward the re-learned target: at most
+/// `max_step` relative movement per fold, clamped to the anchor's drift
+/// envelope.  The envelope is one-sided — [anchor, anchor*(1+max_drift)]
+/// — because the features are nonnegative magnitudes that sensor drift
+/// can only inflate: adapting *below* the factory calibration would
+/// tighten sensitivity on the strength of a small, noisy window of
+/// recent maxima and buy false positives for nothing.  An anchor
+/// component of 0 pins the component at 0 (the envelope is empty), which
+/// is the safe direction for a threshold.
+[[nodiscard]] double step_component(double current, double target,
+                                    double anchor,
+                                    const AdaptationPolicy& policy) {
+  const double bound =
+      policy.max_step * std::max(std::abs(current), std::abs(anchor));
+  double next = std::clamp(target, current - bound, current + bound);
+  next = std::clamp(next, anchor, anchor * (1.0 + policy.max_drift));
+  return next;
+}
+
+}  // namespace
+
+void AdaptationPolicy::validate() const {
+  if (history == 0) {
+    throw std::invalid_argument("AdaptationPolicy: history must be >= 1");
+  }
+  if (min_prints == 0) {
+    throw std::invalid_argument("AdaptationPolicy: min_prints must be >= 1");
+  }
+  if (!(max_step > 0.0) || !(max_step <= 1.0)) {
+    throw std::invalid_argument(
+        "AdaptationPolicy: max_step must be in (0, 1]");
+  }
+  if (!std::isfinite(max_drift) || max_drift < 0.0) {
+    throw std::invalid_argument(
+        "AdaptationPolicy: max_drift must be finite and >= 0");
+  }
+  if (!std::isfinite(r) || r < 0.0) {
+    throw std::invalid_argument("AdaptationPolicy: r must be finite and >= 0");
+  }
+}
+
+BaselineRegistry::BaselineRegistry(AdaptationPolicy policy)
+    : policy_(policy) {
+  policy_.validate();
+}
+
+BaselineRegistry::BaselineRegistry(const BaselineRegistry& other)
+    : policy_(other.policy_) {
+  const std::scoped_lock lock(other.mu_);
+  baselines_ = other.baselines_;
+}
+
+BaselineRegistry& BaselineRegistry::operator=(const BaselineRegistry& other) {
+  if (this == &other) return *this;
+  std::map<Key, DeviceBaseline> copy;
+  {
+    const std::scoped_lock lock(other.mu_);
+    copy = other.baselines_;
+  }
+  const std::scoped_lock lock(mu_);
+  policy_ = other.policy_;
+  baselines_ = std::move(copy);
+  return *this;
+}
+
+core::Thresholds BaselineRegistry::resolve(const std::string& model,
+                                           const std::string& profile,
+                                           const core::Thresholds& trained) {
+  if (!thresholds_ok(trained)) {
+    throw std::invalid_argument(
+        "BaselineRegistry::resolve: thresholds must be finite and >= 0");
+  }
+  const std::scoped_lock lock(mu_);
+  auto [it, inserted] = baselines_.try_emplace(Key{model, profile});
+  if (inserted) {
+    it->second.anchor = trained;
+    it->second.current = trained;
+  }
+  return it->second.current;
+}
+
+bool BaselineRegistry::fold(const std::string& model,
+                            const std::string& profile,
+                            const core::FeatureMaxima& maxima,
+                            bool eligible) {
+  const std::scoped_lock lock(mu_);
+  auto it = baselines_.find(Key{model, profile});
+  if (it == baselines_.end()) {
+    throw std::out_of_range("BaselineRegistry::fold: unknown baseline " +
+                            model + "/" + profile);
+  }
+  if (!eligible || !maxima_ok(maxima)) {
+    ++it->second.frozen;
+    return false;
+  }
+  fold_locked(it->second, policy_, maxima);
+  return true;
+}
+
+void BaselineRegistry::fold_locked(DeviceBaseline& b,
+                                   const AdaptationPolicy& policy,
+                                   const core::FeatureMaxima& maxima) {
+  b.recent.push_back(maxima);
+  if (b.recent.size() > policy.history) {
+    b.recent.erase(b.recent.begin());
+  }
+  ++b.prints;
+  // Dwell: no movement until enough eligible prints vouch for the device.
+  if (b.prints < policy.min_prints) return;
+  const core::Thresholds target =
+      core::learn_thresholds(std::span<const core::FeatureMaxima>(b.recent),
+                             policy.r);
+  b.current.c_c = step_component(b.current.c_c, target.c_c, b.anchor.c_c,
+                                 policy);
+  b.current.h_c = step_component(b.current.h_c, target.h_c, b.anchor.h_c,
+                                 policy);
+  b.current.v_c = step_component(b.current.v_c, target.v_c, b.anchor.v_c,
+                                 policy);
+}
+
+bool BaselineRegistry::contains(const std::string& model,
+                                const std::string& profile) const {
+  const std::scoped_lock lock(mu_);
+  return baselines_.find(Key{model, profile}) != baselines_.end();
+}
+
+DeviceBaseline BaselineRegistry::baseline(const std::string& model,
+                                          const std::string& profile) const {
+  const std::scoped_lock lock(mu_);
+  auto it = baselines_.find(Key{model, profile});
+  if (it == baselines_.end()) {
+    throw std::out_of_range("BaselineRegistry::baseline: unknown baseline " +
+                            model + "/" + profile);
+  }
+  return it->second;
+}
+
+std::vector<std::pair<std::string, std::string>> BaselineRegistry::keys()
+    const {
+  const std::scoped_lock lock(mu_);
+  std::vector<Key> out;
+  out.reserve(baselines_.size());
+  for (const auto& [key, unused] : baselines_) out.push_back(key);
+  return out;
+}
+
+std::size_t BaselineRegistry::size() const {
+  const std::scoped_lock lock(mu_);
+  return baselines_.size();
+}
+
+void BaselineRegistry::save_state(ByteWriter& w) const {
+  const std::scoped_lock lock(mu_);
+  const std::size_t token = w.begin_section(kSecBaselineRegistry);
+  w.pod<std::uint32_t>(kFormatVersion);
+  // Policy fingerprint.
+  w.pod<std::uint64_t>(policy_.history);
+  w.pod<std::uint64_t>(policy_.min_prints);
+  w.pod<double>(policy_.max_step);
+  w.pod<double>(policy_.max_drift);
+  w.pod<double>(policy_.r);
+
+  w.pod<std::uint64_t>(baselines_.size());
+  for (const auto& [key, b] : baselines_) {
+    w.str(key.first);
+    w.str(key.second);
+    save_thresholds(w, b.anchor);
+    save_thresholds(w, b.current);
+    w.pod<std::uint64_t>(b.prints);
+    w.pod<std::uint64_t>(b.frozen);
+    w.pod<std::uint64_t>(b.recent.size());
+    for (const auto& m : b.recent) {
+      w.pod<double>(m.c_max);
+      w.pod<double>(m.h_max);
+      w.pod<double>(m.v_max);
+    }
+  }
+  w.end_section(token);
+}
+
+void BaselineRegistry::restore_state(ByteReader& r) {
+  ByteReader s = r.section(kSecBaselineRegistry);
+  const auto version = s.pod<std::uint32_t>();
+  if (version != kFormatVersion) {
+    throw CheckpointError(CheckpointErrorKind::kBadVersion,
+                          "BaselineRegistry: format version " +
+                              std::to_string(version) + ", expected " +
+                              std::to_string(kFormatVersion));
+  }
+  const auto history = s.pod<std::uint64_t>();
+  const auto min_prints = s.pod<std::uint64_t>();
+  const auto max_step = s.pod<double>();
+  const auto max_drift = s.pod<double>();
+  const auto rr = s.pod<double>();
+  if (history != policy_.history || min_prints != policy_.min_prints ||
+      max_step != policy_.max_step || max_drift != policy_.max_drift ||
+      rr != policy_.r) {
+    throw CheckpointError(
+        CheckpointErrorKind::kMismatch,
+        "BaselineRegistry: serialized policy differs from this registry's");
+  }
+
+  const auto count = s.pod<std::uint64_t>();
+  std::map<Key, DeviceBaseline> loaded;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Key key;
+    key.first = s.str();
+    key.second = s.str();
+    DeviceBaseline b;
+    b.anchor = load_thresholds(s);
+    b.current = load_thresholds(s);
+    b.prints = s.pod<std::uint64_t>();
+    b.frozen = s.pod<std::uint64_t>();
+    const auto ring = s.pod<std::uint64_t>();
+    if (!thresholds_ok(b.anchor) || !thresholds_ok(b.current) ||
+        ring > policy_.history || ring > b.prints) {
+      throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                            "BaselineRegistry: implausible baseline for " +
+                                key.first + "/" + key.second);
+    }
+    b.recent.reserve(static_cast<std::size_t>(ring));
+    for (std::uint64_t j = 0; j < ring; ++j) {
+      core::FeatureMaxima m;
+      m.c_max = s.pod<double>();
+      m.h_max = s.pod<double>();
+      m.v_max = s.pod<double>();
+      if (!maxima_ok(m)) {
+        throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                              "BaselineRegistry: non-finite feature maxima");
+      }
+      b.recent.push_back(m);
+    }
+    if (!loaded.emplace(std::move(key), std::move(b)).second) {
+      throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                            "BaselineRegistry: duplicate baseline key");
+    }
+  }
+  s.finish();
+
+  const std::scoped_lock lock(mu_);
+  baselines_ = std::move(loaded);
+}
+
+void BaselineRegistry::save(const std::string& path) const {
+  ByteWriter w;
+  save_state(w);
+  nsync::signal::write_checkpoint_file(path, w.data());
+}
+
+BaselineRegistry BaselineRegistry::load(const std::string& path,
+                                        AdaptationPolicy policy) {
+  const std::vector<std::uint8_t> payload =
+      nsync::signal::read_checkpoint_file(path);
+  BaselineRegistry reg(policy);
+  ByteReader r(payload);
+  reg.restore_state(r);
+  r.finish();
+  return reg;
+}
+
+}  // namespace nsync::engine

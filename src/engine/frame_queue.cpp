@@ -27,8 +27,8 @@ FrameQueue::PushResult FrameQueue::push(FrameBatch batch) {
            queued_frames_ + frames > capacity_frames_;
   };
   if (closed_) {
-    stats_.rejected_frames += frames;
-    ++stats_.rejected_batches;
+    stats_.closed_frames += frames;
+    ++stats_.closed_batches;
     result.queued_frames = queued_frames_;
     return result;
   }
@@ -37,8 +37,8 @@ FrameQueue::PushResult FrameQueue::push(FrameBatch batch) {
       case OverflowPolicy::kBlock:
         cv_space_.wait(lock, [&] { return closed_ || !would_overflow(); });
         if (closed_) {
-          stats_.rejected_frames += frames;
-          ++stats_.rejected_batches;
+          stats_.closed_frames += frames;
+          ++stats_.closed_batches;
           result.queued_frames = queued_frames_;
           return result;
         }

@@ -69,8 +69,13 @@ struct FrameQueueStats {
   std::uint64_t enqueued_batches = 0;
   std::uint64_t shed_frames = 0;  ///< dropped by kDropOldest, ever
   std::uint64_t shed_batches = 0;
-  std::uint64_t rejected_frames = 0;  ///< refused by kReject, ever
+  std::uint64_t rejected_frames = 0;  ///< refused by kReject overflow, ever
   std::uint64_t rejected_batches = 0;
+  /// Refused because the queue was already closed (shutdown drain), ever.
+  /// Tracked apart from rejected_* so POLL_STATS reject counters mean
+  /// genuine overload, not phantom overload at every graceful drain.
+  std::uint64_t closed_frames = 0;
+  std::uint64_t closed_batches = 0;
   bool in_flight = false;  ///< consumer is processing a popped batch
 };
 

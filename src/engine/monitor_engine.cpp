@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <filesystem>
 #include <limits>
 #include <stdexcept>
 #include <utility>
@@ -30,14 +31,39 @@ MonitorEngine::Channel::Channel(std::string channel_name,
 }
 
 MonitorEngine::MonitorEngine(MonitorEngineOptions options)
-    : options_(options) {}
+    : options_(std::move(options)) {
+  if (options_.baseline.adaptive) {
+    options_.baseline.policy.validate();
+    const std::string path = baseline_path();
+    if (!path.empty() && std::filesystem::exists(path)) {
+      // Bootstrap from the exported registry of a previous run.  A restore
+      // from a fleet checkpoint overrides this with the crash-consistent
+      // copy embedded in the payload.
+      registry_ = std::make_unique<BaselineRegistry>(
+          BaselineRegistry::load(path, options_.baseline.policy));
+    } else {
+      registry_ = std::make_unique<BaselineRegistry>(options_.baseline.policy);
+    }
+  }
+}
 
 std::size_t MonitorEngine::add_session(SessionSpec spec) {
   if (spec.channels.empty()) {
     throw std::invalid_argument("MonitorEngine::add_session: no channels");
   }
+  // Adaptive admission: a session carrying a model identity arms the
+  // registry's current thresholds for each (model, channel) baseline —
+  // first contact seeds the baseline from the trained thresholds instead.
+  // Skipped during checkpoint restore, which must arm the serialized
+  // thresholds verbatim for bitwise replay.
+  if (registry_ && resolve_on_admission_ && !spec.model.empty()) {
+    for (auto& c : spec.channels) {
+      c.thresholds = registry_->resolve(spec.model, c.name, c.thresholds);
+    }
+  }
   auto s = std::make_unique<Session>();
   s->name = std::move(spec.name);
+  s->model = std::move(spec.model);
   s->rule = spec.rule;
   s->channels.reserve(spec.channels.size());
   for (auto& c : spec.channels) {
@@ -189,6 +215,27 @@ std::size_t MonitorEngine::poll_session(std::size_t session) {
 void MonitorEngine::evict_session(std::size_t session) {
   Session& s = session_at(session);
   const std::scoped_lock lock(s.mu);
+  if (s.evicted) return;
+  // Drain whatever is still staged so the end-of-print fold below sees
+  // the whole fed stream.  This makes the folded maxima a pure function
+  // of the frames fed before the eviction, independent of batch/drain
+  // timing — required for deterministic crash replay of adapted state.
+  drain_locked(s);
+  // End-of-print baseline fold, gated on the session-level anti-poisoning
+  // rule: only a benign fused verdict with every channel healthy may
+  // update the device baseline.  Ineligible prints are counted as frozen.
+  if (registry_ && !s.model.empty() && !s.channels.empty()) {
+    bool eligible = !s.intrusion;
+    for (const auto& c : s.channels) {
+      if (c.monitor.health() != core::ChannelHealth::kHealthy) {
+        eligible = false;
+      }
+    }
+    for (const auto& c : s.channels) {
+      registry_->fold(s.model, c.name, c.monitor.benign_feature_maxima(),
+                      eligible && c.monitor.benign_windows() > 0);
+    }
+  }
   s.channels.clear();
   s.channels.shrink_to_fit();
   // The dynamic state is discarded with the monitors, so the latched
@@ -214,6 +261,7 @@ SessionSnapshot MonitorEngine::snapshot_locked(const Session& s) {
     cs.name = c.name;
     cs.detection = c.monitor.detection();
     cs.health = c.monitor.health();
+    cs.thresholds = c.monitor.thresholds();
     cs.width = c.staging.channels();
     cs.sample_rate = c.staging.sample_rate();
     cs.windows = c.monitor.windows();
@@ -265,6 +313,7 @@ void MonitorEngine::save_session(nsync::signal::ByteWriter& w,
     w.end_section(tok);
     return;
   }
+  w.str(s.model);
   w.pod<std::uint32_t>(static_cast<std::uint32_t>(s.rule));
   w.pod<std::uint64_t>(s.frames_fed);
   w.pod<std::uint8_t>(s.intrusion ? 1 : 0);
@@ -291,6 +340,11 @@ std::vector<std::uint8_t> MonitorEngine::serialize() const {
     const std::scoped_lock lock(s->mu);
     save_session(w, *s);
   }
+  // The adapted baseline state rides inside the same payload as the
+  // session state: one atomic file, so a crash can never split "session
+  // evicted" from "its print folded into the baseline".
+  w.pod<std::uint8_t>(registry_ ? 1 : 0);
+  if (registry_) registry_->save_state(w);
   w.end_section(tok);
   return w.take();
 }
@@ -298,11 +352,21 @@ std::vector<std::uint8_t> MonitorEngine::serialize() const {
 void MonitorEngine::checkpoint(const std::string& path) const {
   const std::vector<std::uint8_t> payload = serialize();
   nsync::signal::write_checkpoint_file(path, payload);
+  // Operator-visible export of the adapted per-device state.  Written
+  // after the fleet checkpoint on purpose: the .nbrg is a convenience
+  // copy — the authoritative state is inside the .nckp above.
+  const std::string bpath = baseline_path();
+  if (registry_ && !bpath.empty()) registry_->save(bpath);
 }
 
 std::string MonitorEngine::checkpoint_path() const {
   if (options_.checkpoint_dir.empty()) return {};
   return options_.checkpoint_dir + "/" + options_.checkpoint_filename;
+}
+
+std::string MonitorEngine::baseline_path() const {
+  if (!options_.baseline.adaptive || options_.baseline.dir.empty()) return {};
+  return options_.baseline.dir + "/" + options_.baseline.filename;
 }
 
 MonitorEngine MonitorEngine::restore_from_bytes(
@@ -311,6 +375,9 @@ MonitorEngine MonitorEngine::restore_from_bytes(
   using nsync::signal::CheckpointError;
   using nsync::signal::CheckpointErrorKind;
   MonitorEngine engine(std::move(options));
+  // Restored sessions arm their serialized thresholds verbatim; resolving
+  // them against the registry would change the replayed verdicts.
+  engine.resolve_on_admission_ = false;
   try {
     ByteReader top(payload);
     ByteReader fleet = top.section(kSecFleet);
@@ -341,6 +408,7 @@ MonitorEngine MonitorEngine::restore_from_bytes(
         engine.sessions_.push_back(std::move(tomb));
         continue;
       }
+      spec.model = sr.str();
       const auto rule = sr.pod<std::uint32_t>();
       if (rule > static_cast<std::uint32_t>(core::FusionRule::kAll)) {
         throw CheckpointError(CheckpointErrorKind::kCorrupt,
@@ -391,6 +459,22 @@ MonitorEngine MonitorEngine::restore_from_bytes(
         cr.finish();
       }
     }
+    const auto has_registry = fleet.pod<std::uint8_t>();
+    if (has_registry > 1) {
+      throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                            "MonitorEngine checkpoint: bad registry flag");
+    }
+    if (has_registry == 1) {
+      if (engine.registry_ == nullptr) {
+        throw CheckpointError(
+            CheckpointErrorKind::kMismatch,
+            "MonitorEngine checkpoint: payload carries a baseline registry "
+            "but the engine is not configured adaptive");
+      }
+      // The embedded copy is crash-consistent with the session state and
+      // overrides any .nbrg file the constructor bootstrapped from.
+      engine.registry_->restore_state(fleet);
+    }
     fleet.finish();
   } catch (const CheckpointError&) {
     throw;
@@ -400,6 +484,7 @@ MonitorEngine MonitorEngine::restore_from_bytes(
     throw CheckpointError(CheckpointErrorKind::kCorrupt,
                           std::string("MonitorEngine checkpoint: ") + e.what());
   }
+  engine.resolve_on_admission_ = true;
   return engine;
 }
 

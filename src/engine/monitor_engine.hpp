@@ -31,6 +31,7 @@
 #include "core/fusion.hpp"
 #include "core/health.hpp"
 #include "core/nsync.hpp"
+#include "engine/baseline_registry.hpp"
 #include "signal/ring_buffer.hpp"
 #include "signal/signal.hpp"
 
@@ -54,6 +55,13 @@ struct ChannelSpec {
 /// One monitored print job.
 struct SessionSpec {
   std::string name;
+  /// Printer model this session's device belongs to.  Together with each
+  /// channel's name (the sensor profile) it keys the baseline registry:
+  /// when the engine runs adaptive, admission re-resolves each channel's
+  /// thresholds from the per-device baseline and eviction folds the
+  /// print's benign feature maxima back in.  Empty opts the session out
+  /// of adaptation (its trained thresholds are used verbatim).
+  std::string model;
   std::vector<ChannelSpec> channels;
   core::FusionRule rule = core::FusionRule::kAny;
 };
@@ -63,6 +71,10 @@ struct ChannelSnapshot {
   std::string name;
   core::Detection detection;
   core::ChannelHealth health = core::ChannelHealth::kHealthy;
+  /// The OCC thresholds this channel's monitor is armed with (after any
+  /// registry resolution at admission) — lets operators and the
+  /// crash-recovery diff observe adapted calibration per session.
+  core::Thresholds thresholds;
   std::size_t width = 0;           ///< samples per frame (signal channels)
   double sample_rate = 0.0;        ///< frames per second
   std::size_t windows = 0;         ///< windows processed so far
@@ -90,6 +102,24 @@ struct SessionSnapshot {
   std::vector<ChannelSnapshot> channels;
 };
 
+/// Per-device baseline adaptation knobs (see engine/baseline_registry.hpp
+/// for the state machine and anti-poisoning guarantees).
+struct BaselineOptions {
+  /// Enables the registry: add_session resolves each channel's thresholds
+  /// from the (model, channel-name) baseline, evict_session folds the
+  /// finished print's benign feature maxima back in (gated on a benign
+  /// fused verdict and all-healthy channels).
+  bool adaptive = false;
+  /// When non-empty: construction bootstraps the registry from
+  /// `<dir>/<filename>` if that file exists, and every checkpoint() also
+  /// exports the registry there (atomic NCKP container).  The
+  /// authoritative crash-consistent copy always lives inside the fleet
+  /// checkpoint payload itself.
+  std::string dir;
+  std::string filename = "baselines.nbrg";
+  AdaptationPolicy policy;
+};
+
 /// Engine tuning knobs.
 struct MonitorEngineOptions {
   /// A channel whose staging buffer reaches this many frames is drained
@@ -113,6 +143,9 @@ struct MonitorEngineOptions {
   /// ("fleet.<shard>.nckp") so N shards checkpoint into one directory
   /// without clobbering each other.
   std::string checkpoint_filename = "fleet.nckp";
+
+  /// Per-device baseline adaptation (off by default).
+  BaselineOptions baseline;
 };
 
 /// N concurrent streaming sessions over the shared thread pool.
@@ -131,12 +164,16 @@ class MonitorEngine {
   MonitorEngine(MonitorEngine&& other) noexcept
       : options_(std::move(other.options_)),
         sessions_(std::move(other.sessions_)),
+        registry_(std::move(other.registry_)),
+        resolve_on_admission_(other.resolve_on_admission_),
         polls_since_checkpoint_(other.polls_since_checkpoint_),
         windows_since_checkpoint_(other.windows_since_checkpoint_),
         checkpoints_written_(other.checkpoints_written_) {}
   MonitorEngine& operator=(MonitorEngine&& other) noexcept {
     options_ = std::move(other.options_);
     sessions_ = std::move(other.sessions_);
+    registry_ = std::move(other.registry_);
+    resolve_on_admission_ = other.resolve_on_admission_;
     polls_since_checkpoint_ = other.polls_since_checkpoint_;
     windows_since_checkpoint_ = other.windows_since_checkpoint_;
     checkpoints_written_ = other.checkpoints_written_;
@@ -216,10 +253,21 @@ class MonitorEngine {
   /// (`<checkpoint_dir>/fleet.nckp`); empty when the policy is disabled.
   [[nodiscard]] std::string checkpoint_path() const;
 
+  /// Where checkpoint() exports the registry
+  /// (`<baseline.dir>/<baseline.filename>`); empty when adaptation is off
+  /// or no baseline dir is configured.
+  [[nodiscard]] std::string baseline_path() const;
+
   /// Checkpoints written by the periodic policy so far.
   [[nodiscard]] std::size_t checkpoints_written() const {
     const std::scoped_lock lock(checkpoint_mu_);
     return checkpoints_written_;
+  }
+
+  /// The per-device baseline registry, or nullptr when the engine runs
+  /// with fixed thresholds (options.baseline.adaptive == false).
+  [[nodiscard]] const BaselineRegistry* baseline_registry() const {
+    return registry_.get();
   }
 
  private:
@@ -233,6 +281,7 @@ class MonitorEngine {
 
   struct Session {
     std::string name;
+    std::string model;  ///< registry key prefix; empty = not adaptive
     core::FusionRule rule = core::FusionRule::kAny;
     mutable std::mutex mu;
     std::vector<Channel> channels;
@@ -257,6 +306,14 @@ class MonitorEngine {
   // unique_ptr keeps Session addresses (and their mutexes) stable while
   // the vector grows.
   std::vector<std::unique_ptr<Session>> sessions_;
+  // Present iff options_.baseline.adaptive; BaselineRegistry locks
+  // internally, so resolve/fold/serialize may run under session mutexes.
+  std::unique_ptr<BaselineRegistry> registry_;
+  // restore_from_bytes() admits sessions with their *serialized* (already
+  // resolved) thresholds; re-resolving them against the restored registry
+  // would arm newer thresholds than the original run and break bitwise
+  // verdict replay.  Cleared for the duration of the restore loop.
+  bool resolve_on_admission_ = true;
   // Serializes the periodic checkpoint policy: concurrent poll() calls
   // are allowed, so the trigger counters and the checkpoint write itself
   // need their own lock (per-session mutexes don't cover them).

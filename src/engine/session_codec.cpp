@@ -103,6 +103,7 @@ ChannelSpec load_channel_spec(ByteReader& r) {
 
 void save_session_spec(ByteWriter& w, const SessionSpec& spec) {
   w.str(spec.name);
+  w.str(spec.model);
   w.pod<std::uint32_t>(static_cast<std::uint32_t>(spec.rule));
   w.pod<std::uint64_t>(spec.channels.size());
   for (const auto& c : spec.channels) save_channel_spec(w, c);
@@ -111,6 +112,7 @@ void save_session_spec(ByteWriter& w, const SessionSpec& spec) {
 SessionSpec load_session_spec(ByteReader& r) {
   SessionSpec spec;
   spec.name = r.str();
+  spec.model = r.str();
   const auto rule = r.pod<std::uint32_t>();
   if (rule > static_cast<std::uint32_t>(core::FusionRule::kAll)) {
     throw CheckpointError(

@@ -72,6 +72,11 @@ MonitorEngineOptions ShardedFleet::engine_options(std::size_t shard) const {
   opts.checkpoint_every_polls = options_.checkpoint_every_polls;
   opts.checkpoint_every_windows = options_.checkpoint_every_windows;
   opts.checkpoint_filename = shard_checkpoint_filename(shard);
+  opts.baseline = options_.baseline;
+  if (opts.baseline.adaptive) {
+    opts.baseline.filename =
+        "baselines." + std::to_string(shard) + ".nbrg";
+  }
   return opts;
 }
 
@@ -367,6 +372,7 @@ FleetStats ShardedFleet::stats() const {
     out.windows += s.windows;
     out.shed_frames += s.queue.shed_frames;
     out.rejected_frames += s.queue.rejected_frames;
+    out.closed_frames += s.queue.closed_frames;
     out.queued_frames += s.queue.queued_frames;
     if (s.queue.queued_batches > 0 || s.queue.in_flight) out.busy = true;
     out.per_shard.push_back(s);
@@ -380,6 +386,26 @@ FleetStats ShardedFleet::stats() const {
     for (const auto& info : registry_) {
       if (!info.evicted) ++out.per_shard[info.shard].sessions;
     }
+  }
+  return out;
+}
+
+std::vector<ShardBaselines> ShardedFleet::baselines() const {
+  std::vector<ShardBaselines> out;
+  if (!options_.baseline.adaptive) return out;
+  out.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const Shard& shard = *shards_[i];
+    ShardBaselines sb;
+    sb.shard = i;
+    const std::scoped_lock lock(shard.mu);
+    const BaselineRegistry* reg = shard.engine->baseline_registry();
+    if (reg != nullptr) {
+      for (const auto& [model, profile] : reg->keys()) {
+        sb.entries.push_back({model, profile, reg->baseline(model, profile)});
+      }
+    }
+    out.push_back(std::move(sb));
   }
   return out;
 }

@@ -111,7 +111,8 @@ struct FleetStats {
   std::size_t evicted = 0;
   std::uint64_t windows = 0;
   std::uint64_t shed_frames = 0;
-  std::uint64_t rejected_frames = 0;
+  std::uint64_t rejected_frames = 0;  ///< kReject overload refusals only
+  std::uint64_t closed_frames = 0;    ///< shutdown-drain refusals
   std::size_t queued_frames = 0;
   bool busy = false;  ///< any shard queue non-empty or in flight
   double p50_feed_to_verdict_us = 0.0;  ///< merged across shards
@@ -134,6 +135,22 @@ struct ShardedFleetOptions {
   std::string checkpoint_dir;
   std::size_t checkpoint_every_polls = 1;
   std::size_t checkpoint_every_windows = 0;
+  /// Per-device baseline adaptation, forwarded to every shard engine.
+  /// Each shard owns a private registry (sessions never migrate, so a
+  /// device's baseline evolves deterministically within its shard) and
+  /// exports to its own file, `<baseline.dir>/baselines.<shard>.nbrg`.
+  BaselineOptions baseline;
+};
+
+/// One shard's per-device baselines (see ShardedFleet::baselines()).
+struct ShardBaselineEntry {
+  std::string model;
+  std::string profile;
+  DeviceBaseline baseline;
+};
+struct ShardBaselines {
+  std::size_t shard = 0;
+  std::vector<ShardBaselineEntry> entries;
 };
 
 class ShardedFleet {
@@ -181,6 +198,10 @@ class ShardedFleet {
   [[nodiscard]] std::vector<SessionSnapshot> snapshots() const;
 
   [[nodiscard]] FleetStats stats() const;
+
+  /// Adapted per-device baselines of every shard, sorted by key within a
+  /// shard (deterministic).  Empty unless options.baseline.adaptive.
+  [[nodiscard]] std::vector<ShardBaselines> baselines() const;
 
   /// Synchronously checkpoints every shard (requires checkpoint_dir).
   void checkpoint_all() const;

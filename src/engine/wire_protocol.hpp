@@ -47,7 +47,9 @@
 namespace nsync::engine::wire {
 
 inline constexpr std::uint32_t kMagic = 0x5046534Eu;  // "NSFP" little-endian
-inline constexpr std::uint8_t kProtocolVersion = 1;
+/// v2: ADD_SESSION session specs carry the device model key used by the
+/// per-device baseline registry (empty string = opted out of adaptation).
+inline constexpr std::uint8_t kProtocolVersion = 2;
 inline constexpr std::size_t kHeaderBytes = 12;
 inline constexpr std::size_t kTrailerBytes = 4;  // crc32
 /// Hard cap on a frame's payload.  Large enough for a multi-minute

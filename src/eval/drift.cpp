@@ -1,0 +1,209 @@
+#include "eval/drift.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/nsync.hpp"
+#include "engine/monitor_engine.hpp"
+#include "sensors/fault_injector.hpp"
+#include "signal/rng.hpp"
+#include "signal/signal.hpp"
+
+namespace nsync::eval {
+
+namespace {
+
+using nsync::signal::Rng;
+using nsync::signal::Signal;
+
+/// Pseudo side-channel reference: low-pass-filtered noise standing in for
+/// a toolpath-driven sensor trace (same shape the fleet examples use).
+Signal make_reference(std::size_t frames, std::uint64_t seed) {
+  Rng rng(seed);
+  Signal s(frames, 1, 100.0);
+  double lp = 0.0;
+  for (std::size_t n = 0; n < frames; ++n) {
+    lp += 0.35 * (rng.normal() - lp);
+    s(n, 0) = lp;
+  }
+  return s;
+}
+
+/// Benign print: the reference under a small mean-reverting servo timing
+/// error (AR(1) offset) plus measurement noise.  The amplitude error is
+/// deliberately noise-dominated: white noise concentrates tightly per
+/// window, so the benign v_dist envelope is stable print to print and
+/// the experiment's contrast comes from the injected drift, not from a
+/// heavy-tailed generator.
+Signal benign_observation(const Signal& b, std::uint64_t seed) {
+  Rng rng(seed);
+  Signal a = Signal::empty(b.channels(), b.sample_rate());
+  double offset = 0.0;
+  std::vector<double> row(b.channels());
+  for (std::size_t n = 0; n + 1 < b.frames(); ++n) {
+    offset = 0.995 * offset + rng.normal(0.0, 0.005);
+    const double src = std::clamp(static_cast<double>(n) + offset, 0.0,
+                                  static_cast<double>(b.frames() - 1));
+    const auto i0 = static_cast<std::size_t>(src);
+    const double frac = src - static_cast<double>(i0);
+    const std::size_t i1 = std::min(i0 + 1, b.frames() - 1);
+    for (std::size_t c = 0; c < b.channels(); ++c) {
+      row[c] = (1.0 - frac) * b(i0, c) + frac * b(i1, c) +
+               rng.normal(0.0, 0.05);
+    }
+    a.append_frame(row);
+  }
+  return a;
+}
+
+/// Tampered print: benign stream with the middle third replaced by an
+/// unrelated toolpath.
+Signal malicious_observation(const Signal& b, std::uint64_t seed) {
+  Signal a = benign_observation(b, seed);
+  Rng rng(seed + 5000);
+  const std::size_t lo = a.frames() / 3;
+  const std::size_t hi = 2 * a.frames() / 3;
+  double lp = 0.0;
+  for (std::size_t n = lo; n < hi; ++n) {
+    lp += 0.35 * (rng.normal() - lp);
+    for (std::size_t c = 0; c < a.channels(); ++c) a(n, c) = lp;
+  }
+  return a;
+}
+
+void tally(DriftArmSummary& s, bool attack, bool flagged) {
+  if (attack) {
+    ++s.attack_prints;
+    if (flagged) ++s.detected;
+  } else {
+    ++s.benign_prints;
+    if (flagged) ++s.false_alarms;
+  }
+}
+
+}  // namespace
+
+void DriftScenarioConfig::validate() const {
+  if (prints == 0) {
+    throw std::invalid_argument("drift: prints must be >= 1");
+  }
+  if (attack_every == 1) {
+    throw std::invalid_argument(
+        "drift: attack_every must be 0 (all benign) or >= 2 (the adaptive "
+        "arm needs benign prints to fold)");
+  }
+  if (frames < 256) {
+    throw std::invalid_argument("drift: frames must be >= 256");
+  }
+  if (train_prints == 0) {
+    throw std::invalid_argument("drift: train_prints must be >= 1");
+  }
+  if (r <= 0.0) {
+    throw std::invalid_argument("drift: r must be > 0");
+  }
+  policy.validate();
+  sensors::FaultConfig fc;
+  fc.gain_drift_per_frame = gain_drift_per_frame;
+  fc.offset_drift_per_frame = offset_drift_per_frame;
+  fc.validate();
+}
+
+DriftScenarioResult run_drift_scenario(const DriftScenarioConfig& cfg) {
+  cfg.validate();
+
+  const Signal reference = make_reference(cfg.frames, cfg.seed);
+
+  core::NsyncConfig ncfg;
+  ncfg.sync = core::SyncMethod::kDwm;
+  ncfg.dwm.n_win = 64;
+  ncfg.dwm.n_hop = 32;
+  ncfg.dwm.n_ext = 24;
+  ncfg.dwm.n_sigma = 12.0;
+  // Correlation distance is invariant to exactly the gain/offset drift
+  // under study; Euclidean makes amplitude drift visible to v_dist.
+  ncfg.metric = core::DistanceMetric::kEuclidean;
+  ncfg.r = cfg.r;
+
+  // Factory calibration: fit on undrifted benign prints.
+  core::NsyncIds ids(reference, ncfg);
+  std::vector<Signal> train;
+  train.reserve(cfg.train_prints);
+  for (std::size_t s = 0; s < cfg.train_prints; ++s) {
+    train.push_back(benign_observation(reference, cfg.seed + 100 + s));
+  }
+  ids.fit(train);
+  const core::Thresholds factory = ids.thresholds();
+
+  // Adaptive arm: one engine, in-memory registry, one device.
+  engine::MonitorEngineOptions eopts;
+  eopts.baseline.adaptive = true;
+  eopts.baseline.policy = cfg.policy;
+  engine::MonitorEngine engine(eopts);
+  const std::string model = "drift-rig";
+  const std::string channel = "ch0";
+
+  // One persistent injector: drift accumulates across prints, exactly as
+  // a real sensor chain ages across jobs.  The arms share each corrupted
+  // stream so they always judge identical bytes.
+  sensors::FaultConfig fault;
+  fault.gain_drift_per_frame = cfg.gain_drift_per_frame;
+  fault.offset_drift_per_frame = cfg.offset_drift_per_frame;
+  sensors::FaultInjector injector(fault, cfg.seed + 9);
+
+  DriftScenarioResult result;
+  result.prints.reserve(cfg.prints);
+  const std::size_t late_from = cfg.prints / 2;
+
+  for (std::size_t p = 0; p < cfg.prints; ++p) {
+    const bool attack =
+        cfg.attack_every > 0 && (p % cfg.attack_every) == cfg.attack_every - 1;
+    const Signal obs =
+        attack ? malicious_observation(reference, cfg.seed + 1000 + p)
+               : benign_observation(reference, cfg.seed + 1000 + p);
+    const Signal corrupted = injector.apply(obs.view());
+
+    DriftPrintRecord rec;
+    rec.print = p;
+    rec.attack = attack;
+    rec.drift_gain = injector.drift_gain();
+    rec.drift_offset = injector.drift_offset();
+
+    // Fixed arm: the factory calibration, forever.
+    core::RealtimeMonitor fixed(reference, ncfg, factory);
+    fixed.push(corrupted.view());
+    rec.fixed_intrusion = fixed.intrusion();
+
+    // Adaptive arm: a fresh session per print on the same device key;
+    // admission resolves the current baseline, eviction folds the print.
+    engine::SessionSpec spec;
+    spec.name = "print-" + std::to_string(p);
+    spec.model = model;
+    spec.channels.push_back({channel, reference, ncfg, factory});
+    const std::size_t id = engine.add_session(std::move(spec));
+    engine.feed(id, channel, corrupted.view());
+    engine.poll_session(id);
+    const engine::SessionSnapshot snap = engine.snapshot(id);
+    rec.adaptive_intrusion = snap.intrusion;
+    rec.adaptive_thresholds = snap.channels.at(0).thresholds;
+    engine.evict_session(id);
+
+    tally(result.fixed, attack, rec.fixed_intrusion);
+    tally(result.adaptive, attack, rec.adaptive_intrusion);
+    if (p >= late_from) {
+      tally(result.fixed_late, attack, rec.fixed_intrusion);
+      tally(result.adaptive_late, attack, rec.adaptive_intrusion);
+    }
+    result.prints.push_back(std::move(rec));
+  }
+
+  const engine::DeviceBaseline device =
+      engine.baseline_registry()->baseline(model, channel);
+  result.baseline_prints = device.prints;
+  result.baseline_frozen = device.frozen;
+  return result;
+}
+
+}  // namespace nsync::eval

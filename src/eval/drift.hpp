@@ -1,0 +1,116 @@
+// Extension experiment: fixed vs drift-adaptive OCC thresholds under
+// slow sensor drift.
+//
+// The paper calibrates thresholds once (Section VII-C) and assumes the
+// sensing chain stays put; footnote 2 concedes the side-channel gains are
+// "susceptible to changes" from mounting, temperature and aging.  This
+// scenario makes that concession measurable: a fleet of sequential prints
+// is streamed through a persistent FaultInjector whose deterministic
+// gain/offset drift accumulates print over print, and the same corrupted
+// streams are scored by two arms —
+//
+//   * fixed: a fresh RealtimeMonitor per print, armed with the factory
+//     calibration forever (the paper's deployment model);
+//   * adaptive: a MonitorEngine running the per-device baseline registry,
+//     one session per print keyed to the same device, so each benign
+//     print's feature maxima fold into the baseline and the *next* print
+//     is admitted with drift-adapted thresholds.
+//
+// Every k-th print is tampered (an unrelated toolpath mid-print), so the
+// run also checks that adaptation never buys its false-positive immunity
+// by going blind: attacks must alarm in both arms, and attacked prints
+// must freeze (not feed) the baseline.  The distance metric is Euclidean
+// on purpose — correlation distance is gain/offset-invariant, which would
+// hide exactly the drift this experiment studies.
+#ifndef NSYNC_EVAL_DRIFT_HPP
+#define NSYNC_EVAL_DRIFT_HPP
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/discriminator.hpp"
+#include "engine/baseline_registry.hpp"
+
+namespace nsync::eval {
+
+/// Knobs for one drift scenario run.
+struct DriftScenarioConfig {
+  /// Sequential prints streamed through the drifting sensor chain.
+  std::size_t prints = 24;
+  /// Every k-th print (k-1, 2k-1, ...) is tampered; 0 = all benign.
+  std::size_t attack_every = 6;
+  /// Frames per print (one reference of this length is shared).
+  std::size_t frames = 4096;
+  /// Benign prints used to learn the factory calibration (undrifted).
+  std::size_t train_prints = 4;
+  /// OCC margin for the factory calibration (Eq. 28's r).
+  double r = 0.3;
+  /// Forwarded to FaultConfig: cumulative multiplicative gain per input
+  /// frame (aging amplifier) and additive offset per input frame
+  /// (temperature).  Both 0 = control run, the arms must agree.
+  double gain_drift_per_frame = 0.0;
+  double offset_drift_per_frame = 0.0;
+  /// Baseline-registry adaptation knobs for the adaptive arm.
+  engine::AdaptationPolicy policy;
+  std::uint64_t seed = 7;
+
+  /// Throws std::invalid_argument when any field is out of range.
+  void validate() const;
+};
+
+/// Outcome of one print in both arms.
+struct DriftPrintRecord {
+  std::size_t print = 0;
+  bool attack = false;
+  /// Injector drift state when this print *ended* (factory = 1.0 / 0.0).
+  double drift_gain = 1.0;
+  double drift_offset = 0.0;
+  bool fixed_intrusion = false;
+  bool adaptive_intrusion = false;
+  /// Thresholds the adaptive arm was armed with for this print.
+  core::Thresholds adaptive_thresholds;
+};
+
+/// Confusion counts for one arm over a span of prints.
+struct DriftArmSummary {
+  std::size_t benign_prints = 0;
+  std::size_t attack_prints = 0;
+  std::size_t false_alarms = 0;  ///< benign prints flagged
+  std::size_t detected = 0;      ///< attack prints flagged
+
+  [[nodiscard]] double fpr() const {
+    return benign_prints == 0
+               ? 0.0
+               : static_cast<double>(false_alarms) /
+                     static_cast<double>(benign_prints);
+  }
+  [[nodiscard]] double tpr() const {
+    return attack_prints == 0
+               ? 1.0
+               : static_cast<double>(detected) /
+                     static_cast<double>(attack_prints);
+  }
+};
+
+struct DriftScenarioResult {
+  std::vector<DriftPrintRecord> prints;
+  /// Whole run.
+  DriftArmSummary fixed;
+  DriftArmSummary adaptive;
+  /// Second half only — where the accumulated drift has fully developed
+  /// and the two deployment models diverge.
+  DriftArmSummary fixed_late;
+  DriftArmSummary adaptive_late;
+  /// Registry state after the last print (the adaptive arm's device).
+  std::uint64_t baseline_prints = 0;  ///< eligible folds accepted
+  std::uint64_t baseline_frozen = 0;  ///< ineligible folds rejected
+};
+
+/// Runs the scenario.  Deterministic for a given config.
+[[nodiscard]] DriftScenarioResult run_drift_scenario(
+    const DriftScenarioConfig& cfg);
+
+}  // namespace nsync::eval
+
+#endif  // NSYNC_EVAL_DRIFT_HPP

@@ -50,6 +50,14 @@ void FaultConfig::validate() const {
   if (clock_skew <= -1.0 || !std::isfinite(clock_skew)) {
     throw std::invalid_argument("FaultConfig: clock_skew must be > -1");
   }
+  if (gain_drift_per_frame <= -1.0 || !std::isfinite(gain_drift_per_frame)) {
+    throw std::invalid_argument(
+        "FaultConfig: gain_drift_per_frame must be finite and > -1");
+  }
+  if (!std::isfinite(offset_drift_per_frame)) {
+    throw std::invalid_argument(
+        "FaultConfig: offset_drift_per_frame must be finite");
+  }
 }
 
 FaultInjector::FaultInjector(FaultConfig cfg, std::uint64_t seed)
@@ -105,6 +113,15 @@ void FaultInjector::corrupt_in_place(Signal& chunk, std::size_t base_frame) {
   }
   for (std::size_t n = 0; n < chunk.frames(); ++n) {
     const std::size_t global = base_frame + n;
+    // Slow drift advances on every input frame — including frames that a
+    // burst later overwrites — so the drift trajectory is a function of
+    // the input frame count alone, never of the other faults' outcomes.
+    if (cfg_.gain_drift_per_frame != 0.0) {
+      drift_gain_ *= 1.0 + cfg_.gain_drift_per_frame;
+    }
+    if (cfg_.offset_drift_per_frame != 0.0) {
+      drift_offset_ += cfg_.offset_drift_per_frame;
+    }
     // Gain step: a persistent multiplicative change from this frame on.
     if (cfg_.gain_step_rate > 0.0 && rng_.bernoulli(cfg_.gain_step_rate)) {
       gain_ *= std::exp(rng_.normal(0.0, cfg_.gain_step_std));
@@ -142,7 +159,7 @@ void FaultInjector::corrupt_in_place(Signal& chunk, std::size_t base_frame) {
     if (stuck_left_ > 0) --stuck_left_;  // nothing held yet: fault is moot
 
     for (double& v : frame) {
-      v *= gain_;
+      v = v * (gain_ * drift_gain_) + drift_offset_;
       if (cfg_.saturation_level > 0.0) {
         v = std::clamp(v, -cfg_.saturation_level, cfg_.saturation_level);
       }

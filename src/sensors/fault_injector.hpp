@@ -85,6 +85,18 @@ struct FaultConfig {
   /// the DAQ clock runs 0.1 % fast).  0 disables resampling.
   double clock_skew = 0.0;
 
+  /// Deterministic slow sensor drift — the aging/temperature regime the
+  /// baseline registry adapts to, as opposed to the *abrupt* random
+  /// kGainStep above.  Every input frame multiplies the drift gain by
+  /// `1 + gain_drift_per_frame` and adds `offset_drift_per_frame` to the
+  /// drift offset; a frame's samples become
+  /// `v * (gain * drift_gain) + drift_offset` (before saturation).  No
+  /// randomness is consumed, so enabling drift does not perturb the other
+  /// faults' RNG stream, and no events are logged (drift is continuous,
+  /// not an interval).  0 disables.
+  double gain_drift_per_frame = 0.0;
+  double offset_drift_per_frame = 0.0;
+
   /// Throws std::invalid_argument when any field is out of range.
   void validate() const;
 };
@@ -121,6 +133,9 @@ class FaultInjector {
   [[nodiscard]] std::size_t frames_out() const { return frames_out_; }
   /// Current cumulative gain (product of all gain steps).
   [[nodiscard]] double gain() const { return gain_; }
+  /// Current cumulative drift gain/offset (see FaultConfig drift fields).
+  [[nodiscard]] double drift_gain() const { return drift_gain_; }
+  [[nodiscard]] double drift_offset() const { return drift_offset_; }
 
   [[nodiscard]] const FaultConfig& config() const { return cfg_; }
 
@@ -138,6 +153,8 @@ class FaultInjector {
   std::size_t frames_in_ = 0;
   std::size_t frames_out_ = 0;
   double gain_ = 1.0;
+  double drift_gain_ = 1.0;
+  double drift_offset_ = 0.0;
   std::size_t stuck_left_ = 0;
   std::size_t nan_left_ = 0;
   std::size_t drop_left_ = 0;

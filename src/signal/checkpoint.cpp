@@ -19,7 +19,11 @@ static_assert(std::endian::native == std::endian::little,
 namespace {
 
 constexpr std::array<char, 4> kMagic = {'N', 'C', 'K', 'P'};
-constexpr std::uint32_t kVersion = 1;
+// v2: RealtimeMonitor serializes the benign-baseline accumulator and fleet
+// payloads carry the baseline-registry section; v1 files predate per-device
+// adaptation and are rejected rather than restored with a silently empty
+// baseline.
+constexpr std::uint32_t kVersion = 2;
 // Header: magic + u32 version + u64 payload length; footer: u32 CRC.
 constexpr std::size_t kHeaderBytes = 4 + 4 + 8;
 constexpr std::size_t kFooterBytes = 4;

@@ -397,6 +397,43 @@ TEST(HealthCheckpoint, StreaksResumeInsteadOfResetting) {
   }
 }
 
+// The fraction-based degraded demotion is gated until the sliding history
+// has filled once; a restore mid-warm-up must preserve that gate (filled_
+// round-trips), so the restored monitor and an uninterrupted one demote on
+// exactly the same window.
+TEST(HealthCheckpoint, WarmUpGateSurvivesRestore) {
+  core::HealthPolicy policy;
+  policy.history = 8;
+  policy.degraded_fraction = 0.25;
+  policy.offline_consecutive = 100;
+
+  ChannelHealthMonitor a(policy);
+  a.observe(false);
+  a.observe(true);
+  a.observe(false);  // 2 invalid of 3 observed: still warming up
+  ASSERT_EQ(a.state(), ChannelHealth::kHealthy);
+
+  ByteWriter w;
+  a.save_state(w);
+  ChannelHealthMonitor b(policy);
+  {
+    ByteReader r(w.data());
+    b.restore_state(r);
+    r.finish();
+  }
+  EXPECT_EQ(b.state(), ChannelHealth::kHealthy);
+
+  // Feed both the same tail: 5 valid windows complete the history with
+  // 2 invalid of 8 = 25% >= degraded_fraction, so BOTH demote exactly on
+  // the eighth window — not before.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(a.observe(true), ChannelHealth::kHealthy);
+    EXPECT_EQ(b.observe(true), ChannelHealth::kHealthy);
+  }
+  EXPECT_EQ(a.observe(true), ChannelHealth::kDegraded);
+  EXPECT_EQ(b.observe(true), ChannelHealth::kDegraded);
+}
+
 // ---------------------------------------------------------------------------
 // Streaming fleet fixtures
 

@@ -82,9 +82,46 @@ TEST(LearnThresholds, Validation) {
   EXPECT_THROW(learn_thresholds({}, 0.3), std::invalid_argument);
   const std::vector<FeatureMaxima> one = {{1.0, 1.0, 1.0}};
   EXPECT_THROW(learn_thresholds(one, -0.1), std::invalid_argument);
-  // A single training signal is legal (range = 0).
+  // A single training signal is legal; the relative-margin floor keeps
+  // the threshold strictly above the benign max (range = 0 no longer
+  // collapses the margin).
   const Thresholds t = learn_thresholds(one, 0.3);
-  EXPECT_DOUBLE_EQ(t.c_c, 1.0);
+  EXPECT_DOUBLE_EQ(t.c_c, 1.0 + 0.3 * kMinRelativeSpread);
+}
+
+// Regression: with all training maxima identical the raw Eq. 28 spread is
+// zero, and pre-fix the critical value sat exactly at the benign max — a
+// benign window one ULP above training fired.  The relative floor keeps a
+// margin proportional to the max itself.
+TEST(LearnThresholds, IdenticalMaximaKeepSafetyMargin) {
+  const std::vector<FeatureMaxima> train = {
+      {10.0, 2.0, 0.5}, {10.0, 2.0, 0.5}, {10.0, 2.0, 0.5}};
+  const Thresholds t = learn_thresholds(train, 0.3);
+  EXPECT_GT(t.c_c, 10.0);
+  EXPECT_GT(t.h_c, 2.0);
+  EXPECT_GT(t.v_c, 0.5);
+  EXPECT_DOUBLE_EQ(t.c_c, 10.0 + 0.3 * kMinRelativeSpread * 10.0);
+  EXPECT_DOUBLE_EQ(t.h_c, 2.0 + 0.3 * kMinRelativeSpread * 2.0);
+  EXPECT_DOUBLE_EQ(t.v_c, 0.5 + 0.3 * kMinRelativeSpread * 0.5);
+
+  // A benign replay whose features sit a hair above the training max (ULP
+  // noise, re-quantization) must stay benign.
+  DetectionFeatures f;
+  f.c_disp = {10.0 * (1.0 + 1e-9)};
+  f.h_dist_f = {2.0 * (1.0 + 1e-9)};
+  f.v_dist_f = {0.5 * (1.0 + 1e-9)};
+  EXPECT_FALSE(discriminate(f, t).intrusion);
+}
+
+// The floor only binds on degenerate spreads: a healthy spread larger than
+// kMinRelativeSpread * hi reproduces Eq. 28 exactly (MatchesEq26to28
+// pins the numbers), and r = 0 still yields the training max.
+TEST(LearnThresholds, FloorScalesWithRAndVanishesAtZero) {
+  const std::vector<FeatureMaxima> one = {{4.0, 4.0, 4.0}};
+  const Thresholds t0 = learn_thresholds(one, 0.0);
+  EXPECT_DOUBLE_EQ(t0.c_c, 4.0);
+  const Thresholds t1 = learn_thresholds(one, 0.6);
+  EXPECT_DOUBLE_EQ(t1.c_c, 4.0 + 0.6 * kMinRelativeSpread * 4.0);
 }
 
 TEST(Discriminate, FiresPerSubModule) {

@@ -386,6 +386,36 @@ TEST(ChannelHealth, DegradesOnElevatedInvalidFraction) {
   EXPECT_EQ(last, ChannelHealth::kDegraded);
 }
 
+// Regression: invalid_fraction() divides by the number of *observed*
+// windows during warm-up, so one invalid window out of two read as 50%
+// invalid and flapped the channel to degraded seconds into a stream.  The
+// fraction-based demotion now waits for a full history window.
+TEST(ChannelHealth, WarmUpDoesNotFlapToDegraded) {
+  HealthPolicy p;
+  p.history = 8;
+  p.degraded_fraction = 0.25;
+  p.offline_consecutive = 100;  // keep the streak rule out of this test
+  ChannelHealthMonitor m(p);
+  EXPECT_EQ(m.observe(false), ChannelHealth::kHealthy);
+  EXPECT_EQ(m.observe(true), ChannelHealth::kHealthy);  // 1/2 = 50% pre-fix
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(m.observe(true), ChannelHealth::kHealthy);
+  }
+  // Eighth window completes the history: 1 invalid of 8 = 12.5% < 25%,
+  // so the channel legitimately stays healthy.
+  EXPECT_EQ(m.observe(true), ChannelHealth::kHealthy);
+}
+
+TEST(ChannelHealth, StreakDemotionStillAppliesDuringWarmUp) {
+  HealthPolicy p;
+  p.history = 64;  // far from filled when the streak trips
+  p.offline_consecutive = 4;
+  ChannelHealthMonitor m(p);
+  ChannelHealth last = ChannelHealth::kHealthy;
+  for (int i = 0; i < 4; ++i) last = m.observe(false);
+  EXPECT_EQ(last, ChannelHealth::kOffline);
+}
+
 TEST(ChannelHealth, GoesOfflineOnConsecutiveInvalidStreak) {
   HealthPolicy p;
   p.offline_consecutive = 4;

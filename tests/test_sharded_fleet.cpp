@@ -12,10 +12,12 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/nsync.hpp"
@@ -403,6 +405,54 @@ TEST(FrameQueue, RejectPolicyRefusesPastHighWaterMark) {
   huge.kind = engine::FrameBatch::Kind::kFeed;
   huge.frames = Signal(1000, 1, 100.0);
   EXPECT_TRUE(q.push(huge).accepted);
+}
+
+// Regression: a push into a closed queue used to land in rejected_* under
+// every policy, so POLL_STATS conflated shutdown-drain refusals with
+// genuine kReject overload.  The two refusal kinds are now accounted
+// separately.
+TEST(FrameQueue, ClosedRefusalsDoNotCountAsRejects) {
+  engine::FrameQueue q(/*capacity_frames=*/32, OverflowPolicy::kReject);
+  engine::FrameBatch b;
+  b.kind = engine::FrameBatch::Kind::kFeed;
+  b.frames = Signal(24, 1, 100.0);
+  ASSERT_TRUE(q.push(b).accepted);
+  // Genuine overload refusal: rejected_*.
+  engine::FrameBatch b2 = b;
+  EXPECT_FALSE(q.push(b2).accepted);
+  // Shutdown-drain refusal: closed_*, NOT rejected_*.
+  q.close();
+  engine::FrameBatch b3 = b;
+  EXPECT_FALSE(q.push(b3).accepted);
+  const engine::FrameQueueStats st = q.stats();
+  EXPECT_EQ(st.rejected_frames, 24u);
+  EXPECT_EQ(st.rejected_batches, 1u);
+  EXPECT_EQ(st.closed_frames, 24u);
+  EXPECT_EQ(st.closed_batches, 1u);
+}
+
+TEST(FrameQueue, BlockPolicyClosedWhileWaitingCountsAsClosed) {
+  engine::FrameQueue q(/*capacity_frames=*/16, OverflowPolicy::kBlock);
+  engine::FrameBatch b;
+  b.kind = engine::FrameBatch::Kind::kFeed;
+  b.frames = Signal(16, 1, 100.0);
+  ASSERT_TRUE(q.push(b).accepted);
+  // A second producer blocks on space; close() wakes it and the refusal
+  // must be accounted as a closed-queue refusal, not overload.
+  std::thread producer([&q] {
+    engine::FrameBatch blocked;
+    blocked.kind = engine::FrameBatch::Kind::kFeed;
+    blocked.frames = Signal(16, 1, 100.0);
+    EXPECT_FALSE(q.push(blocked).accepted);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  q.close();
+  producer.join();
+  const engine::FrameQueueStats st = q.stats();
+  EXPECT_EQ(st.rejected_frames, 0u);
+  EXPECT_EQ(st.rejected_batches, 0u);
+  EXPECT_EQ(st.closed_frames, 16u);
+  EXPECT_EQ(st.closed_batches, 1u);
 }
 
 TEST(ShardedFleet, LoadShedAccountingBalances) {
