@@ -20,16 +20,27 @@
 // its ADD_SESSION spec; registries persist to `<dir>/baselines.<i>.nbrg`
 // and ride inside the shard checkpoints, so --resume continues adaptation.
 //
+// Fusion override: with `--fusion any|majority|all|weighted` every
+// admitted session fuses with the given policy regardless of what the
+// client's ADD_SESSION spec carried — an operator-side knob for a fleet
+// whose clients predate score fusion.  `weighted` applies the uniform
+// (untrained) weighted policy; clients that want *learned* reliability
+// weights fit them locally and send the policy in the spec instead.
+// Restored sessions keep their checkpointed policy either way.
+//
 //   ./fleet_daemon --listen <uds-path> [--tcp <port>] [--shards N]
 //                  [--checkpoint <dir>] [--resume] [--baseline-dir <dir>]
 //                  [--policy block|drop-oldest|reject] [--queue-frames N]
+//                  [--fusion any|majority|all|weighted]
 #include <csignal>
 #include <cstdint>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 
+#include "core/fusion.hpp"
 #include "engine/fleet_server.hpp"
 #include "engine/sharded_fleet.hpp"
 #include "signal/checkpoint.hpp"
@@ -52,6 +63,7 @@ int main(int argc, char** argv) {
   std::string baseline_dir;
   bool resume = false;
   std::string policy = "block";
+  std::string fusion;  // empty = honor each client spec's policy
   std::size_t queue_frames = 1u << 20;
 
   for (int i = 1; i < argc; ++i) {
@@ -70,13 +82,16 @@ int main(int argc, char** argv) {
       baseline_dir = argv[++i];
     } else if (arg == "--policy" && i + 1 < argc) {
       policy = argv[++i];
+    } else if (arg == "--fusion" && i + 1 < argc) {
+      fusion = argv[++i];
     } else if (arg == "--queue-frames" && i + 1 < argc) {
       queue_frames = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: fleet_daemon --listen <uds-path> [--tcp <port>]"
                 << " [--shards N] [--checkpoint <dir>] [--resume]"
                 << " [--baseline-dir <dir>]"
-                << " [--policy block|drop-oldest|reject] [--queue-frames N]\n";
+                << " [--policy block|drop-oldest|reject] [--queue-frames N]"
+                << " [--fusion any|majority|all|weighted]\n";
       return 0;
     } else {
       std::cerr << "fleet_daemon: unknown argument " << arg
@@ -116,6 +131,19 @@ int main(int argc, char** argv) {
     std::filesystem::create_directories(baseline_dir);
     fopts.baseline.adaptive = true;
     fopts.baseline.dir = baseline_dir;
+  }
+  if (!fusion.empty()) {
+    if (fusion == "weighted") {
+      fopts.fusion_override = std::make_shared<core::WeightedPolicy>();
+    } else {
+      try {
+        fopts.fusion_override =
+            std::make_shared<core::VotingPolicy>(core::parse_fusion_rule(fusion));
+      } catch (const std::invalid_argument& e) {
+        std::cerr << "fleet_daemon: " << e.what() << " (or weighted)\n";
+        return 2;
+      }
+    }
   }
 
   std::unique_ptr<engine::ShardedFleet> fleet;

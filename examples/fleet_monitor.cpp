@@ -38,9 +38,17 @@
 // `<dir>/baselines.<shard>.nbrg` and rides inside the fleet checkpoints,
 // so `--resume` continues adaptation exactly where the crash left it.
 //
+// Fusion: `--fusion any|majority|all|weighted` selects how per-channel
+// verdicts combine.  The rule names are the boolean votes; `weighted`
+// fits per-channel reliability weights on the calibration prints and
+// fuses continuous anomaly scores (see core/fusion.hpp).  The policy is
+// serialized into checkpoints and ADD_SESSION specs, so resumed and
+// networked runs keep fusing identically.
+//
 //   ./fleet_monitor [sessions] [attack_session]
 //                   [--shards N] [--connect <uds>] [--listen <uds>]
 //                   [--checkpoint <dir>] [--resume] [--pace-ms <n>]
+//                   [--fusion any|majority|all|weighted]
 //                   [--rounds R --baseline-dir <dir> [--model <name>]]
 #include <algorithm>
 #include <chrono>
@@ -49,10 +57,12 @@
 #include <cstdint>
 #include <filesystem>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/fusion.hpp"
 #include "core/nsync.hpp"
 #include "engine/fleet_server.hpp"
 #include "engine/monitor_engine.hpp"
@@ -165,6 +175,10 @@ struct Dataset {
   std::vector<std::string> channels;
   std::vector<Signal> references;
   std::vector<core::Thresholds> thresholds;
+  /// Benign calibration anomaly scores, [run][channel] — the training
+  /// input for --fusion weighted.  Deterministic, so a resumed or
+  /// networked run refits the exact same reliability weights.
+  std::vector<std::vector<double>> calib_scores;
   std::vector<std::vector<Signal>> streams;  // [session][channel]
   core::NsyncConfig cfg;
 };
@@ -194,14 +208,23 @@ Dataset build_dataset(std::size_t n_sessions, std::size_t attack_session,
   if (calibrate) {
     // Calibrate each channel's thresholds once on benign prints, then
     // share them across the fleet.
+    constexpr std::size_t kCalibRuns = 5;
+    d.calib_scores.assign(kCalibRuns,
+                          std::vector<double>(d.channels.size(), 0.0));
     for (std::size_t c = 0; c < d.channels.size(); ++c) {
       core::NsyncIds ids(d.references[c], d.cfg);
       std::vector<Signal> train;
-      for (std::uint64_t s = 0; s < 5; ++s) {
+      for (std::uint64_t s = 0; s < kCalibRuns; ++s) {
         train.push_back(benign_observation(d.references[c], 20 * (s + 1) + c));
       }
       ids.fit(train);
       d.thresholds.push_back(ids.thresholds());
+      // Score each calibration print against the fitted thresholds; the
+      // weighted fusion policy learns its reliability weights from these.
+      for (std::size_t s = 0; s < kCalibRuns; ++s) {
+        d.calib_scores[s][c] = core::channel_score(
+            ids.analyze(train[s]).features, ids.thresholds());
+      }
     }
   }
   d.streams.resize(n_sessions);
@@ -216,12 +239,27 @@ Dataset build_dataset(std::size_t n_sessions, std::size_t attack_session,
   return d;
 }
 
-engine::SessionSpec make_spec(const Dataset& d, std::size_t s,
-                              const std::string& model = "") {
+/// Builds the session fusion policy for --fusion: a voting policy for the
+/// rule names, or a WeightedPolicy fitted on the dataset's calibration
+/// scores.  parse_fusion_rule rejects unknown names listing the valid set.
+std::shared_ptr<const core::FusionPolicy> make_policy(
+    const std::string& fusion, const Dataset& d) {
+  if (fusion == "weighted") {
+    auto policy = std::make_shared<core::WeightedPolicy>();
+    if (!d.calib_scores.empty()) policy->fit(d.channels, d.calib_scores);
+    return policy;
+  }
+  return std::make_shared<core::VotingPolicy>(core::parse_fusion_rule(fusion));
+}
+
+engine::SessionSpec make_spec(
+    const Dataset& d, std::size_t s, const std::string& model = "",
+    std::shared_ptr<const core::FusionPolicy> policy = nullptr) {
   engine::SessionSpec spec;
   spec.name = "printer-" + std::to_string(s);
   spec.model = model;
   spec.rule = core::FusionRule::kAny;
+  spec.policy = std::move(policy);
   for (std::size_t c = 0; c < d.channels.size(); ++c) {
     engine::ChannelSpec ch;
     ch.name = d.channels[c];
@@ -242,7 +280,8 @@ engine::SessionSpec make_spec(const Dataset& d, std::size_t s,
 int run_rounds(std::size_t n_sessions, std::size_t attack_session,
                std::size_t rounds, std::size_t shards,
                const std::string& model, const std::string& baseline_dir,
-               const std::string& checkpoint_dir, bool resume) {
+               const std::string& checkpoint_dir, bool resume,
+               const std::string& fusion) {
   constexpr std::size_t kChunk = 256;
   engine::ShardedFleetOptions fopts;
   fopts.shards = shards == 0 ? 1 : shards;
@@ -279,6 +318,8 @@ int run_rounds(std::size_t n_sessions, std::size_t attack_session,
   // trained (factory) thresholds for the prints it still has to admit;
   // already-adapted devices override them at admission anyway.
   Dataset d = build_dataset(n_sessions, attack_session, /*calibrate=*/true);
+  const std::shared_ptr<const core::FusionPolicy> policy =
+      make_policy(fusion, d);
   std::cout << "adaptive fleet: " << n_sessions << " printers x " << rounds
             << " prints on " << fopts.shards << " shards; printer "
             << attack_session << " streams tampered prints\n";
@@ -317,7 +358,7 @@ int run_rounds(std::size_t n_sessions, std::size_t attack_session,
           }
         }
       } else {
-        engine::SessionSpec spec = make_spec(d, s, model);
+        engine::SessionSpec spec = make_spec(d, s, model, policy);
         spec.name =
             "printer-" + std::to_string(s) + "-print-" + std::to_string(r);
         fleet->add_session(std::move(spec));  // durable; resolves adapted
@@ -373,7 +414,8 @@ int run_rounds(std::size_t n_sessions, std::size_t attack_session,
 
 /// Client mode: replay the dataset over the NSFP socket.
 int run_client(const std::string& uds_path, std::size_t n_sessions,
-               std::size_t attack_session, long pace_ms) {
+               std::size_t attack_session, long pace_ms,
+               const std::string& fusion) {
   constexpr std::size_t kChunk = 256;
   try {
     engine::WireClient client = engine::WireClient::connect_uds(uds_path);
@@ -389,9 +431,13 @@ int run_client(const std::string& uds_path, std::size_t n_sessions,
     std::vector<std::vector<std::size_t>> offsets(
         n_sessions, std::vector<std::size_t>(d.channels.size(), 0));
     if (fresh) {
+      // The policy travels inside the ADD_SESSION spec, weights included;
+      // a resumed daemon already holds it in its restored sessions.
+      const std::shared_ptr<const core::FusionPolicy> policy =
+          make_policy(fusion, d);
       for (std::size_t s = 0; s < n_sessions; ++s) {
         const engine::wire::AddSessionOk ok =
-            client.add_session(make_spec(d, s));
+            client.add_session(make_spec(d, s, "", policy));
         std::cout << "admitted printer-" << s << " as session " << ok.session
                   << " on shard " << ok.shard << "\n";
       }
@@ -460,6 +506,7 @@ int main(int argc, char** argv) {
   std::string listen_path;
   std::string baseline_dir;
   std::string model = "mk3";
+  std::string fusion = "any";
   std::size_t rounds = 0;
   std::size_t shards = 0;
   bool resume = false;
@@ -480,6 +527,8 @@ int main(int argc, char** argv) {
       rounds = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (arg == "--model" && i + 1 < argc) {
       model = argv[++i];
+    } else if (arg == "--fusion" && i + 1 < argc) {
+      fusion = argv[++i];
     } else if (arg == "--connect" && i + 1 < argc) {
       connect_path = argv[++i];
     } else if (arg == "--listen" && i + 1 < argc) {
@@ -488,6 +537,7 @@ int main(int argc, char** argv) {
       std::cout << "usage: fleet_monitor [sessions] [attack_session]"
                 << " [--shards N] [--connect <uds>] [--listen <uds>]"
                 << " [--checkpoint <dir>] [--resume] [--pace-ms <n>]"
+                << " [--fusion any|majority|all|weighted]"
                 << " [--rounds R --baseline-dir <dir> [--model <name>]]\n";
       return 0;
     } else if (arg.rfind("--", 0) == 0) {
@@ -506,6 +556,16 @@ int main(int argc, char** argv) {
     std::cerr << "fleet_monitor: --rounds requires --baseline-dir <dir>\n";
     return 2;
   }
+  if (fusion != "weighted") {
+    // Reject bad names before any dataset work; the exception lists the
+    // valid set.
+    try {
+      (void)core::parse_fusion_rule(fusion);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "fleet_monitor: " << e.what() << " (or weighted)\n";
+      return 2;
+    }
+  }
   const std::size_t n_sessions =
       !positional.empty() ? static_cast<std::size_t>(std::stoul(positional[0]))
                           : 4;
@@ -516,12 +576,13 @@ int main(int argc, char** argv) {
   constexpr std::size_t kChunk = 256;
 
   if (!connect_path.empty()) {
-    return run_client(connect_path, n_sessions, attack_session, pace_ms);
+    return run_client(connect_path, n_sessions, attack_session, pace_ms,
+                      fusion);
   }
 
   if (rounds > 0) {
     return run_rounds(n_sessions, attack_session, rounds, shards, model,
-                      baseline_dir, checkpoint_dir, resume);
+                      baseline_dir, checkpoint_dir, resume, fusion);
   }
 
   if (!listen_path.empty()) {
@@ -589,8 +650,9 @@ int main(int argc, char** argv) {
     } else {
       d = build_dataset(n_sessions, attack_session, /*calibrate=*/true);
       fleet = std::make_unique<engine::ShardedFleet>(fopts);
+      const auto policy = make_policy(fusion, d);
       for (std::size_t s = 0; s < n_sessions; ++s) {
-        fleet->add_session(make_spec(d, s));
+        fleet->add_session(make_spec(d, s, "", policy));
       }
     }
     std::vector<std::vector<std::size_t>> offsets(
@@ -668,8 +730,9 @@ int main(int argc, char** argv) {
               << checkpoint_dir << "/fleet.nckp\n";
   } else {
     d = build_dataset(n_sessions, attack_session, /*calibrate=*/true);
+    const auto policy = make_policy(fusion, d);
     for (std::size_t s = 0; s < n_sessions; ++s) {
-      eng.add_session(make_spec(d, s));
+      eng.add_session(make_spec(d, s, "", policy));
     }
   }
 

@@ -40,6 +40,9 @@ for b in "$@"; do
   if [ "$b" = "bench_ext_drift" ]; then
     EXTRA_FLAGS="--json ${NSYNC_BENCH_JSON:-BENCH_drift.json}"
   fi
+  if [ "$b" = "bench_ext_fusion" ]; then
+    EXTRA_FLAGS="--json ${NSYNC_BENCH_JSON:-BENCH_fusion.json}"
+  fi
   # shellcheck disable=SC2086  # THREAD_FLAGS/EXTRA_FLAGS intentionally split
   NSYNC_THREADS="${NSYNC_THREADS:-}" ./build/bench/"$b" $THREAD_FLAGS \
     $EXTRA_FLAGS 2>&1

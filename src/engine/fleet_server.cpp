@@ -52,6 +52,8 @@ wire::StatsSession to_stats_session(const SessionSnapshot& snap) {
   s.evicted = snap.evicted ? 1 : 0;
   s.intrusion = snap.intrusion ? 1 : 0;
   s.first_alarm_window = static_cast<std::int64_t>(snap.first_alarm_window);
+  s.policy = snap.policy;
+  s.fused_score = snap.fused_score;
   s.windows = snap.windows;
   s.frames_fed = snap.frames_fed;
   s.channels.reserve(snap.channels.size());
@@ -60,6 +62,8 @@ wire::StatsSession to_stats_session(const SessionSnapshot& snap) {
     sc.name = c.name;
     sc.alarm = c.detection.intrusion ? 1 : 0;
     sc.health = static_cast<std::uint8_t>(c.health);
+    sc.score = c.score;
+    sc.weight = c.weight;
     sc.windows = c.windows;
     sc.frames_fed = c.frames_fed;
     s.channels.push_back(std::move(sc));
@@ -163,6 +167,20 @@ struct RequestVisitor {
 
   Message operator()(const wire::PollStats& p) const {
     wire::Stats m = to_stats(fleet.stats());
+    // Per-device adaptation-rate telemetry: fold/frozen counters for every
+    // (model, sensor-profile) baseline, so operators can see which
+    // channels are adapting vs frozen.  Empty unless shards run adaptive.
+    for (const ShardBaselines& sb : fleet.baselines()) {
+      for (const ShardBaselineEntry& e : sb.entries) {
+        wire::StatsBaseline b;
+        b.shard = sb.shard;
+        b.model = e.model;
+        b.profile = e.profile;
+        b.prints = e.baseline.prints;
+        b.frozen = e.baseline.frozen;
+        m.baselines.push_back(std::move(b));
+      }
+    }
     if (p.include_sessions != 0) {
       const std::vector<SessionSnapshot> snaps = fleet.snapshots();
       m.sessions_detail.reserve(snaps.size());

@@ -64,7 +64,9 @@ std::size_t MonitorEngine::add_session(SessionSpec spec) {
   auto s = std::make_unique<Session>();
   s->name = std::move(spec.name);
   s->model = std::move(spec.model);
-  s->rule = spec.rule;
+  s->policy = spec.policy
+                  ? std::move(spec.policy)
+                  : std::make_shared<const core::VotingPolicy>(spec.rule);
   s->channels.reserve(spec.channels.size());
   for (auto& c : spec.channels) {
     for (const auto& existing : s->channels) {
@@ -139,27 +141,31 @@ std::size_t MonitorEngine::drain_locked(Session& s) {
     }
   }
   if (windows > 0 && !s.intrusion) {
-    // Refresh the fused verdict with the same health-aware vote as the
-    // batch FusionIds: offline channels neither alarm nor count toward
-    // the denominator.  The verdict and its alarm window latch.
-    std::size_t alarming = 0;
-    std::size_t online = 0;
-    std::ptrdiff_t first = -1;
-    for (const auto& c : s.channels) {
-      if (c.monitor.health() == core::ChannelHealth::kOffline) continue;
-      ++online;
-      if (c.monitor.intrusion()) {
-        ++alarming;
-        const std::ptrdiff_t w = c.monitor.detection().first_alarm_window;
-        if (first < 0 || (w >= 0 && w < first)) first = w;
-      }
-    }
-    if (core::fused_intrusion(s.rule, alarming, online)) {
+    // Refresh the fused verdict through the session's policy — the same
+    // health-aware fusion as the batch FusionIds: offline channels neither
+    // alarm nor count toward the denominator (nor the weighted mean).  The
+    // verdict and its alarm window latch.
+    const core::FusedVerdict v = s.policy->evaluate(channel_scores_locked(s));
+    if (v.intrusion) {
       s.intrusion = true;
-      s.first_alarm_window = first;
+      s.first_alarm_window = v.first_alarm_window;
     }
   }
   return windows;
+}
+
+std::vector<core::ChannelScore> MonitorEngine::channel_scores_locked(
+    const Session& s) {
+  std::vector<core::ChannelScore> scores;
+  scores.reserve(s.channels.size());
+  for (const auto& c : s.channels) {
+    scores.push_back(
+        {c.name,
+         core::channel_score(c.monitor.features(), c.monitor.thresholds()),
+         c.monitor.intrusion(), c.monitor.detection().first_alarm_window,
+         c.monitor.health()});
+  }
+  return scores;
 }
 
 std::size_t MonitorEngine::poll() {
@@ -244,6 +250,7 @@ void MonitorEngine::evict_session(std::size_t session) {
   s.frames_fed = 0;
   s.intrusion = false;
   s.first_alarm_window = -1;
+  s.policy.reset();
   s.evicted = true;
 }
 
@@ -255,23 +262,35 @@ SessionSnapshot MonitorEngine::snapshot_locked(const Session& s) {
   out.first_alarm_window = s.first_alarm_window;
   out.frames_fed = s.frames_fed;
   out.windows = std::numeric_limits<std::size_t>::max();
+  // Live fused telemetry: evaluate the policy over the current scores so
+  // operators see the fused score and per-channel weights even before (or
+  // without) the verdict latching.
+  core::FusedVerdict v;
+  if (s.policy) {
+    out.policy = s.policy->name();
+    v = s.policy->evaluate(channel_scores_locked(s));
+    out.fused_score = v.score;
+    out.alarming_channels = v.alarming_channels;
+    out.online_channels = v.online_channels;
+  }
   out.channels.reserve(s.channels.size());
-  for (const auto& c : s.channels) {
+  for (std::size_t i = 0; i < s.channels.size(); ++i) {
+    const Channel& c = s.channels[i];
     ChannelSnapshot cs;
     cs.name = c.name;
     cs.detection = c.monitor.detection();
     cs.health = c.monitor.health();
     cs.thresholds = c.monitor.thresholds();
+    if (i < v.channels.size()) {
+      cs.score = v.channels[i].score;
+      cs.weight = v.channels[i].weight;
+    }
     cs.width = c.staging.channels();
     cs.sample_rate = c.staging.sample_rate();
     cs.windows = c.monitor.windows();
     cs.pending_frames = c.staging.retained_frames();
     cs.frames_fed = c.staging.end();
     out.windows = std::min(out.windows, cs.windows);
-    if (cs.health != core::ChannelHealth::kOffline) {
-      ++out.online_channels;
-      if (cs.detection.intrusion) ++out.alarming_channels;
-    }
     out.channels.push_back(std::move(cs));
   }
   if (s.channels.empty()) out.windows = 0;
@@ -314,7 +333,11 @@ void MonitorEngine::save_session(nsync::signal::ByteWriter& w,
     return;
   }
   w.str(s.model);
-  w.pod<std::uint32_t>(static_cast<std::uint32_t>(s.rule));
+  // The policy slot keeps the legacy encoding (bare rule u32) for voting
+  // sessions, so pre-policy checkpoints and their byte-parity tests are
+  // untouched; weighted sessions write the versioned policy section, which
+  // is how learned weights replay bitwise after a crash.
+  save_fusion_policy(w, *s.policy);
   w.pod<std::uint64_t>(s.frames_fed);
   w.pod<std::uint8_t>(s.intrusion ? 1 : 0);
   w.pod<std::int64_t>(s.first_alarm_window);
@@ -409,14 +432,11 @@ MonitorEngine MonitorEngine::restore_from_bytes(
         continue;
       }
       spec.model = sr.str();
-      const auto rule = sr.pod<std::uint32_t>();
-      if (rule > static_cast<std::uint32_t>(core::FusionRule::kAll)) {
-        throw CheckpointError(CheckpointErrorKind::kCorrupt,
-                              "MonitorEngine checkpoint: unknown fusion "
-                              "rule " +
-                                  std::to_string(rule));
+      spec.policy = load_fusion_policy(sr);
+      if (const auto* voting =
+              dynamic_cast<const core::VotingPolicy*>(spec.policy.get())) {
+        spec.rule = voting->rule();
       }
-      spec.rule = static_cast<core::FusionRule>(rule);
       const auto frames_fed = sr.pod<std::uint64_t>();
       const auto intrusion = sr.pod<std::uint8_t>();
       const auto first_alarm = sr.pod<std::int64_t>();

@@ -63,7 +63,12 @@ struct SessionSpec {
   /// of adaptation (its trained thresholds are used verbatim).
   std::string model;
   std::vector<ChannelSpec> channels;
+  /// Voting rule used when `policy` is null (the historical field).
   core::FusionRule rule = core::FusionRule::kAny;
+  /// Fusion policy for the session's fused verdict.  Null synthesizes
+  /// VotingPolicy(rule) at admission, preserving the rule-era behavior
+  /// (and its serialized bytes) exactly.
+  std::shared_ptr<const core::FusionPolicy> policy;
 };
 
 /// Point-in-time view of one channel of a session.
@@ -75,6 +80,12 @@ struct ChannelSnapshot {
   /// registry resolution at admission) — lets operators and the
   /// crash-recovery diff observe adapted calibration per session.
   core::Thresholds thresholds;
+  /// Normalized OCC margin (core::channel_score) over the windows
+  /// processed so far: 1.0 = at the learned threshold.
+  double score = 0.0;
+  /// This channel's normalized share of the fused verdict under the
+  /// session's policy (0 for offline channels).
+  double weight = 0.0;
   std::size_t width = 0;           ///< samples per frame (signal channels)
   double sample_rate = 0.0;        ///< frames per second
   std::size_t windows = 0;         ///< windows processed so far
@@ -95,6 +106,12 @@ struct SessionSnapshot {
   /// Earliest first_alarm_window among the channels alarming when the
   /// fused verdict latched; -1 while benign.
   std::ptrdiff_t first_alarm_window = -1;
+  /// The session's fusion policy name ("any", "weighted", ...); empty on
+  /// an evicted tombstone.
+  std::string policy;
+  /// Current fused anomaly score under the session's policy (see
+  /// core::FusedVerdict::score) — live telemetry, not latched.
+  double fused_score = 0.0;
   std::size_t alarming_channels = 0;  ///< alarming among online channels
   std::size_t online_channels = 0;    ///< channels not classified offline
   std::size_t frames_fed = 0;         ///< total frames accepted via feed()
@@ -282,7 +299,10 @@ class MonitorEngine {
   struct Session {
     std::string name;
     std::string model;  ///< registry key prefix; empty = not adaptive
-    core::FusionRule rule = core::FusionRule::kAny;
+    /// Fusion policy driving the fused verdict; set at admission (a null
+    /// spec policy becomes VotingPolicy(spec.rule)), cleared on eviction
+    /// with the rest of the dynamic state.
+    std::shared_ptr<const core::FusionPolicy> policy;
     mutable std::mutex mu;
     std::vector<Channel> channels;
     std::size_t frames_fed = 0;
@@ -293,6 +313,10 @@ class MonitorEngine {
 
   Session& session_at(std::size_t id);
   [[nodiscard]] const Session& session_at(std::size_t id) const;
+  /// Per-channel score vector for the session's policy (latched alarm
+  /// bits + live normalized OCC margins).  Caller must hold s.mu.
+  [[nodiscard]] static std::vector<core::ChannelScore> channel_scores_locked(
+      const Session& s);
   /// Pushes all staged frames of `s` through its monitors and refreshes
   /// the fused verdict.  Caller must hold s.mu.
   std::size_t drain_locked(Session& s);

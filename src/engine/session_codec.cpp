@@ -1,7 +1,11 @@
 #include "engine/session_codec.hpp"
 
 #include <cstdint>
+#include <memory>
+#include <stdexcept>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "signal/checkpoint.hpp"
 
@@ -101,10 +105,115 @@ ChannelSpec load_channel_spec(ByteReader& r) {
   return spec;
 }
 
+void save_fusion_policy(ByteWriter& w, const core::FusionPolicy& policy) {
+  if (policy.kind() == core::FusionPolicyKind::kVoting) {
+    const auto& voting = static_cast<const core::VotingPolicy&>(policy);
+    w.pod<std::uint32_t>(static_cast<std::uint32_t>(voting.rule()));
+    return;
+  }
+  if (policy.kind() != core::FusionPolicyKind::kWeighted) {
+    throw std::invalid_argument("save_fusion_policy: unserializable policy '" +
+                                policy.name() + "'");
+  }
+  const auto& weighted = static_cast<const core::WeightedPolicy&>(policy);
+  w.pod<std::uint32_t>(kFusionPolicyMarker);
+  w.pod<std::uint8_t>(kFusionPolicyVersion);
+  w.pod<std::uint8_t>(static_cast<std::uint8_t>(policy.kind()));
+  w.pod<double>(weighted.config().threshold);
+  w.pod<double>(weighted.config().degraded_weight);
+  w.pod<double>(weighted.config().score_cap);
+  w.pod<double>(weighted.config().spread_floor);
+  w.pod<std::uint8_t>(weighted.trained() ? 1 : 0);
+  w.pod<std::uint64_t>(weighted.weights().size());
+  for (const auto& [name, weight] : weighted.weights()) {
+    w.str(name);
+    w.pod<double>(weight);
+  }
+}
+
+std::shared_ptr<const core::FusionPolicy> load_fusion_policy(ByteReader& r) {
+  const auto tag = r.pod<std::uint32_t>();
+  if (tag != kFusionPolicyMarker) {
+    // Legacy form: the bare rule u32, still fully supported.
+    if (tag > static_cast<std::uint32_t>(core::FusionRule::kAll)) {
+      throw CheckpointError(
+          CheckpointErrorKind::kCorrupt,
+          "session codec: unknown fusion rule " + std::to_string(tag));
+    }
+    return std::make_shared<core::VotingPolicy>(
+        static_cast<core::FusionRule>(tag));
+  }
+  const auto version = r.pod<std::uint8_t>();
+  if (version != kFusionPolicyVersion) {
+    throw CheckpointError(
+        CheckpointErrorKind::kBadVersion,
+        "session codec: fusion policy sub-version " + std::to_string(version) +
+            " not supported (this build reads version " +
+            std::to_string(kFusionPolicyVersion) + ")");
+  }
+  const auto kind = r.pod<std::uint8_t>();
+  if (kind == static_cast<std::uint8_t>(core::FusionPolicyKind::kVoting)) {
+    // Explicit voting form: accepted for symmetry, never emitted.
+    const auto rule = r.pod<std::uint32_t>();
+    if (rule > static_cast<std::uint32_t>(core::FusionRule::kAll)) {
+      throw CheckpointError(
+          CheckpointErrorKind::kCorrupt,
+          "session codec: unknown fusion rule " + std::to_string(rule));
+    }
+    return std::make_shared<core::VotingPolicy>(
+        static_cast<core::FusionRule>(rule));
+  }
+  if (kind != static_cast<std::uint8_t>(core::FusionPolicyKind::kWeighted)) {
+    throw CheckpointError(
+        CheckpointErrorKind::kCorrupt,
+        "session codec: unknown fusion policy kind " + std::to_string(kind));
+  }
+  core::WeightedPolicyConfig cfg;
+  cfg.threshold = r.pod<double>();
+  cfg.degraded_weight = r.pod<double>();
+  cfg.score_cap = r.pod<double>();
+  cfg.spread_floor = r.pod<double>();
+  const auto trained = r.pod<std::uint8_t>();
+  if (trained > 1) {
+    throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                          "session codec: bad weighted-policy trained flag");
+  }
+  const auto n_weights = r.pod<std::uint64_t>();
+  if (n_weights > r.remaining() || (trained == 1 && n_weights == 0) ||
+      (trained == 0 && n_weights != 0)) {
+    throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                          "session codec: implausible weighted-policy weight "
+                          "count " +
+                              std::to_string(n_weights));
+  }
+  std::vector<std::pair<std::string, double>> weights;
+  weights.reserve(n_weights);
+  for (std::uint64_t i = 0; i < n_weights; ++i) {
+    std::string name = r.str();
+    const double weight = r.pod<double>();
+    weights.emplace_back(std::move(name), weight);
+  }
+  try {
+    if (trained == 0) {
+      return std::make_shared<core::WeightedPolicy>(cfg);
+    }
+    return std::make_shared<core::WeightedPolicy>(cfg, std::move(weights));
+  } catch (const std::invalid_argument& e) {
+    // Config/weight validation failures on hostile bytes surface as the
+    // typed corruption error every loader promises.
+    throw CheckpointError(CheckpointErrorKind::kCorrupt,
+                          std::string("session codec: ") + e.what());
+  }
+}
+
 void save_session_spec(ByteWriter& w, const SessionSpec& spec) {
   w.str(spec.name);
   w.str(spec.model);
-  w.pod<std::uint32_t>(static_cast<std::uint32_t>(spec.rule));
+  if (spec.policy) {
+    save_fusion_policy(w, *spec.policy);
+  } else {
+    w.pod<std::uint32_t>(static_cast<std::uint32_t>(spec.rule));
+  }
   w.pod<std::uint64_t>(spec.channels.size());
   for (const auto& c : spec.channels) save_channel_spec(w, c);
 }
@@ -113,13 +222,13 @@ SessionSpec load_session_spec(ByteReader& r) {
   SessionSpec spec;
   spec.name = r.str();
   spec.model = r.str();
-  const auto rule = r.pod<std::uint32_t>();
-  if (rule > static_cast<std::uint32_t>(core::FusionRule::kAll)) {
-    throw CheckpointError(
-        CheckpointErrorKind::kCorrupt,
-        "session codec: unknown fusion rule " + std::to_string(rule));
+  spec.policy = load_fusion_policy(r);
+  if (const auto* voting =
+          dynamic_cast<const core::VotingPolicy*>(spec.policy.get())) {
+    spec.rule = voting->rule();
+  } else {
+    spec.rule = core::FusionRule::kAny;
   }
-  spec.rule = static_cast<core::FusionRule>(rule);
   const auto n_channels = r.pod<std::uint64_t>();
   if (n_channels == 0 || n_channels > r.remaining()) {
     throw CheckpointError(CheckpointErrorKind::kCorrupt,

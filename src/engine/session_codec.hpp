@@ -15,8 +15,11 @@
 #ifndef NSYNC_ENGINE_SESSION_CODEC_HPP
 #define NSYNC_ENGINE_SESSION_CODEC_HPP
 
+#include <cstdint>
+#include <memory>
 #include <string>
 
+#include "core/fusion.hpp"
 #include "core/nsync.hpp"
 #include "engine/monitor_engine.hpp"
 #include "signal/signal.hpp"
@@ -47,7 +50,29 @@ void save_channel_spec(nsync::signal::ByteWriter& w, const std::string& name,
 void save_channel_spec(nsync::signal::ByteWriter& w, const ChannelSpec& spec);
 [[nodiscard]] ChannelSpec load_channel_spec(nsync::signal::ByteReader& r);
 
-/// A whole SessionSpec: name | fusion rule | channel count | channels.
+/// Value in the legacy fusion-rule u32 slot announcing that a versioned
+/// policy section follows.  No FusionRule can ever encode to it, so old
+/// decoders reject it cleanly and new decoders accept both forms.
+inline constexpr std::uint32_t kFusionPolicyMarker = 0xFFFFFFFFu;
+/// Current sub-version of the policy section that follows the marker.
+inline constexpr std::uint8_t kFusionPolicyVersion = 1;
+
+/// Fusion policy, in the slot that historically held the bare rule u32.
+/// Voting policies keep the legacy encoding byte-for-byte (the rule u32
+/// alone), so pre-policy decoders, existing checkpoints and the bitwise
+/// parity tests are untouched; any other policy writes kFusionPolicyMarker
+/// followed by `sub-version u8 | kind u8 | kind payload`.
+void save_fusion_policy(nsync::signal::ByteWriter& w,
+                        const core::FusionPolicy& policy);
+/// Decodes either form into a policy (a legacy rule u32 becomes a
+/// VotingPolicy).  Throws CheckpointError: kCorrupt on an unknown rule,
+/// policy kind or malformed weights; kBadVersion on an unknown policy
+/// sub-version (the forward-compat signal — newer emitters must not be
+/// silently misread).
+[[nodiscard]] std::shared_ptr<const core::FusionPolicy> load_fusion_policy(
+    nsync::signal::ByteReader& r);
+
+/// A whole SessionSpec: name | fusion policy | channel count | channels.
 /// load_session_spec bounds-checks the channel count against the
 /// remaining bytes and rejects zero channels.
 void save_session_spec(nsync::signal::ByteWriter& w, const SessionSpec& spec);

@@ -159,6 +159,9 @@ void ShardedFleet::worker_loop(Shard& shard) {
 // Admission / eviction
 
 std::size_t ShardedFleet::add_session(SessionSpec spec) {
+  if (options_.fusion_override) {
+    spec.policy = options_.fusion_override;
+  }
   SessionInfo info;
   info.name = spec.name;
   info.channels.reserve(spec.channels.size());

@@ -140,6 +140,10 @@ struct ShardedFleetOptions {
   /// device's baseline evolves deterministically within its shard) and
   /// exports to its own file, `<baseline.dir>/baselines.<shard>.nbrg`.
   BaselineOptions baseline;
+  /// When set, every admitted session fuses with this policy, overriding
+  /// whatever the spec (e.g. a wire client) carried — the daemon-side
+  /// `--fusion` knob.  Restored sessions keep their serialized policy.
+  std::shared_ptr<const core::FusionPolicy> fusion_override;
 };
 
 /// One shard's per-device baselines (see ShardedFleet::baselines()).

@@ -148,6 +148,8 @@ void save_payload(ByteWriter& w, const StatsChannel& c) {
   w.str(c.name);
   w.pod<std::uint8_t>(c.alarm);
   w.pod<std::uint8_t>(c.health);
+  w.pod<double>(c.score);
+  w.pod<double>(c.weight);
   w.pod<std::uint64_t>(c.windows);
   w.pod<std::uint64_t>(c.frames_fed);
 }
@@ -157,9 +159,29 @@ StatsChannel load_stats_channel(ByteReader& r) {
   c.name = r.str();
   c.alarm = r.pod<std::uint8_t>();
   c.health = r.pod<std::uint8_t>();
+  c.score = r.pod<double>();
+  c.weight = r.pod<double>();
   c.windows = r.pod<std::uint64_t>();
   c.frames_fed = r.pod<std::uint64_t>();
   return c;
+}
+
+void save_payload(ByteWriter& w, const StatsBaseline& b) {
+  w.pod<std::uint64_t>(b.shard);
+  w.str(b.model);
+  w.str(b.profile);
+  w.pod<std::uint64_t>(b.prints);
+  w.pod<std::uint64_t>(b.frozen);
+}
+
+StatsBaseline load_stats_baseline(ByteReader& r) {
+  StatsBaseline b;
+  b.shard = r.pod<std::uint64_t>();
+  b.model = r.str();
+  b.profile = r.str();
+  b.prints = r.pod<std::uint64_t>();
+  b.frozen = r.pod<std::uint64_t>();
+  return b;
 }
 
 void save_payload(ByteWriter& w, const StatsSession& s) {
@@ -167,6 +189,8 @@ void save_payload(ByteWriter& w, const StatsSession& s) {
   w.pod<std::uint8_t>(s.evicted);
   w.pod<std::uint8_t>(s.intrusion);
   w.pod<std::int64_t>(s.first_alarm_window);
+  w.str(s.policy);
+  w.pod<double>(s.fused_score);
   w.pod<std::uint64_t>(s.windows);
   w.pod<std::uint64_t>(s.frames_fed);
   w.pod<std::uint64_t>(static_cast<std::uint64_t>(s.channels.size()));
@@ -179,6 +203,8 @@ StatsSession load_stats_session(ByteReader& r) {
   s.evicted = r.pod<std::uint8_t>();
   s.intrusion = r.pod<std::uint8_t>();
   s.first_alarm_window = r.pod<std::int64_t>();
+  s.policy = r.str();
+  s.fused_score = r.pod<double>();
   s.windows = r.pod<std::uint64_t>();
   s.frames_fed = r.pod<std::uint64_t>();
   const auto n = r.pod<std::uint64_t>();
@@ -204,6 +230,8 @@ void save_payload(ByteWriter& w, const Stats& m) {
   w.pod<std::uint8_t>(m.busy);
   w.pod<std::uint64_t>(static_cast<std::uint64_t>(m.per_shard.size()));
   for (const StatsShard& s : m.per_shard) save_payload(w, s);
+  w.pod<std::uint64_t>(static_cast<std::uint64_t>(m.baselines.size()));
+  for (const StatsBaseline& b : m.baselines) save_payload(w, b);
   w.pod<std::uint64_t>(static_cast<std::uint64_t>(m.sessions_detail.size()));
   for (const StatsSession& s : m.sessions_detail) save_payload(w, s);
 }
@@ -226,6 +254,15 @@ Stats load_stats(ByteReader& r) {
   m.per_shard.reserve(static_cast<std::size_t>(n_shards));
   for (std::uint64_t i = 0; i < n_shards; ++i) {
     m.per_shard.push_back(load_stats_shard(r));
+  }
+  const auto n_baselines = r.pod<std::uint64_t>();
+  if (n_baselines > r.remaining()) {
+    throw CheckpointError(nsync::signal::CheckpointErrorKind::kCorrupt,
+                          "STATS baseline count exceeds payload");
+  }
+  m.baselines.reserve(static_cast<std::size_t>(n_baselines));
+  for (std::uint64_t i = 0; i < n_baselines; ++i) {
+    m.baselines.push_back(load_stats_baseline(r));
   }
   const auto n_sessions = r.pod<std::uint64_t>();
   if (n_sessions > r.remaining()) {

@@ -49,7 +49,10 @@ namespace nsync::engine::wire {
 inline constexpr std::uint32_t kMagic = 0x5046534Eu;  // "NSFP" little-endian
 /// v2: ADD_SESSION session specs carry the device model key used by the
 /// per-device baseline registry (empty string = opted out of adaptation).
-inline constexpr std::uint8_t kProtocolVersion = 2;
+/// v3: specs may carry a fusion policy section in the legacy rule slot
+/// (weighted fusion); STATS grows fused score + per-channel score/weight
+/// telemetry and per-device baseline adaptation counters.
+inline constexpr std::uint8_t kProtocolVersion = 3;
 inline constexpr std::size_t kHeaderBytes = 12;
 inline constexpr std::size_t kTrailerBytes = 4;  // crc32
 /// Hard cap on a frame's payload.  Large enough for a multi-minute
@@ -128,6 +131,8 @@ struct StatsChannel {
   std::string name;
   std::uint8_t alarm = 0;
   std::uint8_t health = 0;  ///< core::ChannelHealth
+  double score = 0.0;       ///< normalized OCC margin (1.0 = at threshold)
+  double weight = 0.0;      ///< normalized fusion weight (0 when offline)
   std::uint64_t windows = 0;
   std::uint64_t frames_fed = 0;
 };
@@ -137,6 +142,8 @@ struct StatsSession {
   std::uint8_t evicted = 0;
   std::uint8_t intrusion = 0;
   std::int64_t first_alarm_window = -1;
+  std::string policy;        ///< fusion policy name ("any", "weighted", ...)
+  double fused_score = 0.0;  ///< live fused anomaly score
   std::uint64_t windows = 0;
   std::uint64_t frames_fed = 0;
   std::vector<StatsChannel> channels;
@@ -161,6 +168,18 @@ struct StatsShard {
   std::uint8_t in_flight = 0;
 };
 
+/// Per-device baseline adaptation telemetry: how often each (model,
+/// sensor-profile) baseline has folded an eligible print vs frozen an
+/// ineligible one — operators watch this to spot channels that stopped
+/// adapting (every print alarming or unhealthy).
+struct StatsBaseline {
+  std::uint64_t shard = 0;
+  std::string model;
+  std::string profile;      ///< channel name (sensor profile)
+  std::uint64_t prints = 0; ///< eligible folds accepted, ever
+  std::uint64_t frozen = 0; ///< ineligible folds rejected, ever
+};
+
 struct Stats {
   std::uint64_t shards = 0;
   std::uint64_t sessions = 0;
@@ -171,6 +190,7 @@ struct Stats {
   std::uint64_t queued_frames = 0;
   std::uint8_t busy = 0;
   std::vector<StatsShard> per_shard;
+  std::vector<StatsBaseline> baselines;       ///< adaptation counters
   std::vector<StatsSession> sessions_detail;  ///< when requested
 };
 

@@ -181,6 +181,7 @@ DriftScenarioResult run_drift_scenario(const DriftScenarioConfig& cfg) {
     engine::SessionSpec spec;
     spec.name = "print-" + std::to_string(p);
     spec.model = model;
+    spec.policy = cfg.fusion;
     spec.channels.push_back({channel, reference, ncfg, factory});
     const std::size_t id = engine.add_session(std::move(spec));
     engine.feed(id, channel, corrupted.view());

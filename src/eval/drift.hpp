@@ -27,9 +27,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/discriminator.hpp"
+#include "core/fusion.hpp"
 #include "engine/baseline_registry.hpp"
 
 namespace nsync::eval {
@@ -53,6 +55,10 @@ struct DriftScenarioConfig {
   double offset_drift_per_frame = 0.0;
   /// Baseline-registry adaptation knobs for the adaptive arm.
   engine::AdaptationPolicy policy;
+  /// Fusion policy for the adaptive arm's sessions (null = default
+  /// VotingPolicy(kAny)).  The scenario is single-channel, so any sane
+  /// policy must agree with the fixed arm in the control run.
+  std::shared_ptr<const core::FusionPolicy> fusion;
   std::uint64_t seed = 7;
 
   /// Throws std::invalid_argument when any field is out of range.

@@ -40,15 +40,16 @@ std::size_t count_invalid(const std::vector<std::uint8_t>& valid) {
 }
 
 /// Builds and fits the fused detector: one NSYNC/DWM member per channel,
-/// trained on the clean training runs.
+/// trained on the clean training runs.  fit() also trains the fusion
+/// policy (a WeightedPolicy learns its reliability weights here).
 core::FusionIds build_fused(
     const std::map<sensors::SideChannel, ChannelData>& data,
-    PrinterKind printer, core::FusionRule rule, double r,
+    PrinterKind printer, std::shared_ptr<core::FusionPolicy> policy, double r,
     const core::HealthPolicy& health) {
   if (data.empty()) {
     throw std::invalid_argument("fault_tolerance: no channels");
   }
-  core::FusionIds fused(rule);
+  core::FusionIds fused(std::move(policy));
   const std::size_t n_train = data.begin()->second.train.size();
   for (const auto& [ch, cd] : data) {
     if (cd.train.size() != n_train) {
@@ -117,7 +118,18 @@ FaultSweepResult run_fault_sweep(
     const std::map<sensors::SideChannel, ChannelData>& data,
     PrinterKind printer, std::span<const double> rates, std::uint64_t seed,
     core::FusionRule rule, double r, const core::HealthPolicy& health) {
-  const core::FusionIds fused = build_fused(data, printer, rule, r, health);
+  return run_fault_sweep(data, printer, rates, seed,
+                         std::make_shared<core::VotingPolicy>(rule), r,
+                         health);
+}
+
+FaultSweepResult run_fault_sweep(
+    const std::map<sensors::SideChannel, ChannelData>& data,
+    PrinterKind printer, std::span<const double> rates, std::uint64_t seed,
+    std::shared_ptr<core::FusionPolicy> policy, double r,
+    const core::HealthPolicy& health) {
+  const core::FusionIds fused =
+      build_fused(data, printer, std::move(policy), r, health);
   const std::size_t n_test = checked_test_count(data);
   const auto& labels = data.begin()->second.test;
 
@@ -149,6 +161,8 @@ FaultSweepResult run_fault_sweep(
       const RunOutcome& o = outcomes[i];
       const bool malicious = labels[i].malicious;
       pt.fused.add(o.detection.intrusion, malicious);
+      pt.fused_scores.push_back(o.detection.fused_score);
+      pt.malicious.push_back(malicious ? 1 : 0);
       pt.non_finite_feature = pt.non_finite_feature || o.non_finite;
       for (const auto& [name, d] : o.detection.per_channel) {
         pt.per_channel[name].confusion.add(d.intrusion, malicious);
@@ -182,7 +196,8 @@ OfflineScenarioResult run_offline_channel_scenario(
     throw std::invalid_argument(
         "run_offline_channel_scenario: dark channel not in data");
   }
-  const core::FusionIds fused = build_fused(data, printer, rule, r, health);
+  const core::FusionIds fused = build_fused(
+      data, printer, std::make_shared<core::VotingPolicy>(rule), r, health);
   const std::size_t n_test = checked_test_count(data);
   const auto& labels = data.begin()->second.test;
   const std::string dark_name = sensors::side_channel_name(dark);

@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <span>
 #include <string>
 #include <utility>
@@ -54,6 +55,11 @@ struct FaultSweepPoint {
   double rate = 0.0;
   Confusion fused;  ///< health-aware fused verdicts
   std::map<std::string, ChannelFaultStats> per_channel;
+  /// Per-test-run fused anomaly scores with matching ground-truth flags,
+  /// in dataset order — raw material for a post-hoc threshold sweep
+  /// (TPR-at-matched-FPR comparisons across fusion policies).
+  std::vector<double> fused_scores;
+  std::vector<std::uint8_t> malicious;
   /// True if any NaN/Inf reached a feature array anywhere — the
   /// degradation chain failed if so.
   bool non_finite_feature = false;
@@ -70,6 +76,16 @@ struct FaultSweepResult {
     const std::map<sensors::SideChannel, ChannelData>& data,
     PrinterKind printer, std::span<const double> rates, std::uint64_t seed,
     core::FusionRule rule = core::FusionRule::kAny, double r = 0.3,
+    const core::HealthPolicy& health = {});
+
+/// Policy arm: same sweep, but fusing with an arbitrary FusionPolicy
+/// (fitted on the clean training runs by FusionIds::fit, so a
+/// WeightedPolicy learns its reliability weights here).  The rule
+/// overload above is equivalent to passing a VotingPolicy.
+[[nodiscard]] FaultSweepResult run_fault_sweep(
+    const std::map<sensors::SideChannel, ChannelData>& data,
+    PrinterKind printer, std::span<const double> rates, std::uint64_t seed,
+    std::shared_ptr<core::FusionPolicy> policy, double r = 0.3,
     const core::HealthPolicy& health = {});
 
 /// Outcome of the sensor-goes-dark scenario.

@@ -18,9 +18,11 @@
 #include <vector>
 
 #include "core/detection_core.hpp"
+#include "core/fusion.hpp"
 #include "core/health.hpp"
 #include "core/nsync.hpp"
 #include "engine/monitor_engine.hpp"
+#include "engine/session_codec.hpp"
 #include "runtime/thread_pool.hpp"
 #include "sensors/fault_injector.hpp"
 #include "signal/checkpoint.hpp"
@@ -435,6 +437,159 @@ TEST(HealthCheckpoint, WarmUpGateSurvivesRestore) {
 }
 
 // ---------------------------------------------------------------------------
+// Fusion policy codec
+
+TEST(FusionPolicyCodec, VotingKeepsTheLegacyByteEncoding) {
+  // A VotingPolicy must serialize to exactly the historical bare rule u32
+  // — that is what keeps pre-policy checkpoints, wire peers and the
+  // bitwise parity suite byte-compatible.
+  for (core::FusionRule rule :
+       {core::FusionRule::kAny, core::FusionRule::kMajority,
+        core::FusionRule::kAll}) {
+    ByteWriter w;
+    engine::save_fusion_policy(w, core::VotingPolicy(rule));
+    ByteWriter legacy;
+    legacy.pod<std::uint32_t>(static_cast<std::uint32_t>(rule));
+    const std::vector<std::uint8_t> got(w.data().begin(), w.data().end());
+    const std::vector<std::uint8_t> want(legacy.data().begin(),
+                                         legacy.data().end());
+    EXPECT_EQ(got, want) << core::fusion_rule_name(rule);
+
+    ByteReader r(legacy.data());
+    const auto policy = engine::load_fusion_policy(r);
+    EXPECT_NO_THROW(r.finish());
+    const auto* voting =
+        dynamic_cast<const core::VotingPolicy*>(policy.get());
+    ASSERT_NE(voting, nullptr);
+    EXPECT_EQ(voting->rule(), rule);
+  }
+}
+
+TEST(FusionPolicyCodec, WeightedRoundTripsConfigAndWeightsBitwise) {
+  core::WeightedPolicyConfig cfg;
+  cfg.threshold = 0.625;
+  cfg.degraded_weight = 0.25;
+  cfg.score_cap = 6.5;
+  cfg.spread_floor = 0.03125;
+  const core::WeightedPolicy policy(cfg, {{"ACC", 0.59375}, {"AUD", 0.40625}});
+  ByteWriter w;
+  engine::save_fusion_policy(w, policy);
+  ByteReader r(w.data());
+  const auto loaded = engine::load_fusion_policy(r);
+  EXPECT_NO_THROW(r.finish());
+  const auto* weighted =
+      dynamic_cast<const core::WeightedPolicy*>(loaded.get());
+  ASSERT_NE(weighted, nullptr);
+  EXPECT_TRUE(weighted->trained());
+  EXPECT_EQ(weighted->config().threshold, cfg.threshold);
+  EXPECT_EQ(weighted->config().degraded_weight, cfg.degraded_weight);
+  EXPECT_EQ(weighted->config().score_cap, cfg.score_cap);
+  EXPECT_EQ(weighted->config().spread_floor, cfg.spread_floor);
+  ASSERT_EQ(weighted->weights().size(), 2u);
+  EXPECT_EQ(weighted->weights()[0].first, "ACC");
+  EXPECT_EQ(weighted->weights()[0].second, 0.59375);
+  EXPECT_EQ(weighted->weights()[1].first, "AUD");
+  EXPECT_EQ(weighted->weights()[1].second, 0.40625);
+  // save(load(x)) == x: the codec is an exact inverse.
+  ByteWriter w2;
+  engine::save_fusion_policy(w2, *loaded);
+  const std::vector<std::uint8_t> a(w.data().begin(), w.data().end());
+  const std::vector<std::uint8_t> b(w2.data().begin(), w2.data().end());
+  EXPECT_EQ(a, b);
+
+  // An untrained weighted policy (uniform weights) round-trips too.
+  ByteWriter wu;
+  engine::save_fusion_policy(wu, core::WeightedPolicy());
+  ByteReader ru(wu.data());
+  const auto untrained = engine::load_fusion_policy(ru);
+  EXPECT_NO_THROW(ru.finish());
+  const auto* uw = dynamic_cast<const core::WeightedPolicy*>(untrained.get());
+  ASSERT_NE(uw, nullptr);
+  EXPECT_FALSE(uw->trained());
+  EXPECT_TRUE(uw->weights().empty());
+}
+
+TEST(FusionPolicyCodec, UnknownSubVersionIsTypedBadVersion) {
+  // A policy section from a future build must surface as kBadVersion —
+  // never a silent misread of bytes this build cannot interpret.
+  ByteWriter w;
+  w.pod<std::uint32_t>(engine::kFusionPolicyMarker);
+  w.pod<std::uint8_t>(engine::kFusionPolicyVersion + 1);
+  w.pod<std::uint8_t>(0);  // bytes a future layout might carry
+  ByteReader r(w.data());
+  try {
+    (void)engine::load_fusion_policy(r);
+    FAIL() << "unknown policy sub-version accepted";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.kind(), CheckpointErrorKind::kBadVersion);
+  }
+}
+
+TEST(FusionPolicyCodec, CorruptPolicyBytesAreTypedCorrupt) {
+  // Legacy slot with an out-of-range rule (and not the marker).
+  {
+    ByteWriter w;
+    w.pod<std::uint32_t>(7);
+    ByteReader r(w.data());
+    try {
+      (void)engine::load_fusion_policy(r);
+      FAIL() << "unknown rule accepted";
+    } catch (const CheckpointError& e) {
+      EXPECT_EQ(e.kind(), CheckpointErrorKind::kCorrupt);
+    }
+  }
+  // Marker + current version + unknown policy kind.
+  {
+    ByteWriter w;
+    w.pod<std::uint32_t>(engine::kFusionPolicyMarker);
+    w.pod<std::uint8_t>(engine::kFusionPolicyVersion);
+    w.pod<std::uint8_t>(9);
+    ByteReader r(w.data());
+    try {
+      (void)engine::load_fusion_policy(r);
+      FAIL() << "unknown policy kind accepted";
+    } catch (const CheckpointError& e) {
+      EXPECT_EQ(e.kind(), CheckpointErrorKind::kCorrupt);
+    }
+  }
+  // Weighted payloads whose trained flag and weight count disagree, and
+  // hostile weight values: all typed kCorrupt, never raw invalid_argument.
+  const auto weighted_bytes = [](std::uint8_t trained, std::uint64_t count,
+                                 double weight) {
+    ByteWriter w;
+    w.pod<std::uint32_t>(engine::kFusionPolicyMarker);
+    w.pod<std::uint8_t>(engine::kFusionPolicyVersion);
+    w.pod<std::uint8_t>(
+        static_cast<std::uint8_t>(core::FusionPolicyKind::kWeighted));
+    w.pod<double>(0.75);   // threshold
+    w.pod<double>(0.5);    // degraded_weight
+    w.pod<double>(8.0);    // score_cap
+    w.pod<double>(0.02);   // spread_floor
+    w.pod<std::uint8_t>(trained);
+    w.pod<std::uint64_t>(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      w.str("CH" + std::to_string(i));
+      w.pod<double>(weight);
+    }
+    return w.take();
+  };
+  for (const auto& bytes :
+       {weighted_bytes(1, 0, 0.5),    // trained but weightless
+        weighted_bytes(0, 2, 0.5),    // untrained with weights
+        weighted_bytes(2, 1, 0.5),    // bad trained flag
+        weighted_bytes(1, 2, -1.0)})  // negative weight
+  {
+    ByteReader r(bytes);
+    try {
+      (void)engine::load_fusion_policy(r);
+      FAIL() << "corrupt weighted policy accepted";
+    } catch (const CheckpointError& e) {
+      EXPECT_EQ(e.kind(), CheckpointErrorKind::kCorrupt);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Streaming fleet fixtures
 
 Signal make_reference(std::size_t frames, std::uint64_t seed) {
@@ -767,6 +922,123 @@ TEST_F(CheckpointFleetTest, CheckpointWhileDegradedRestoresHealthCounters) {
   feed_rounds(revived, chunk, kill, rounds);
   EXPECT_TRUE(revived.serialize() == baseline.serialize())
       << "state diverged after restoring a degraded-channel checkpoint";
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Fusion policy recovery
+
+TEST_F(CheckpointFleetTest, VotingPolicyParityBitwiseAcrossRulesAndKillPoints) {
+  // An explicit VotingPolicy in the spec must be indistinguishable — in
+  // serialized bytes, through any kill/restore point — from the legacy
+  // rule field it replaced.
+  const std::string path = temp_path("fleet-voting-parity.nckp");
+  const std::size_t chunk = 113;
+  const std::size_t rounds = rounds_for(chunk);
+  for (core::FusionRule rule :
+       {core::FusionRule::kAny, core::FusionRule::kMajority,
+        core::FusionRule::kAll}) {
+    SCOPED_TRACE(core::fusion_rule_name(rule));
+    const auto make_rule_engine = [&](bool explicit_policy) {
+      MonitorEngine eng;
+      for (const char* name : {"benign-print", "tampered-print"}) {
+        SessionSpec spec = make_session(name);
+        if (explicit_policy) {
+          spec.policy = std::make_shared<core::VotingPolicy>(rule);
+        } else {
+          spec.rule = rule;  // the historical field, policy left null
+        }
+        eng.add_session(std::move(spec));
+      }
+      return eng;
+    };
+
+    MonitorEngine legacy = make_rule_engine(false);
+    feed_rounds(legacy, chunk, 0, rounds);
+    const std::vector<std::uint8_t> legacy_bytes = legacy.serialize();
+
+    MonitorEngine modern = make_rule_engine(true);
+    feed_rounds(modern, chunk, 0, rounds);
+    EXPECT_TRUE(modern.serialize() == legacy_bytes)
+        << "explicit VotingPolicy broke byte parity with the rule field";
+
+    for (const double frac : {0.25, 0.5, 0.75}) {
+      SCOPED_TRACE("kill at " + std::to_string(frac));
+      const std::size_t kill = std::max<std::size_t>(
+          1, static_cast<std::size_t>(static_cast<double>(rounds) * frac));
+      {
+        MonitorEngine victim = make_rule_engine(true);
+        feed_rounds(victim, chunk, 0, kill);
+        victim.checkpoint(path);
+      }
+      MonitorEngine revived = MonitorEngine::restore(path);
+      EXPECT_EQ(revived.snapshot(0).policy, core::fusion_rule_name(rule));
+      feed_rounds(revived, chunk, kill, rounds);
+      EXPECT_TRUE(revived.serialize() == legacy_bytes)
+          << "restored voting-policy fleet diverged from the legacy run";
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST_F(CheckpointFleetTest, WeightedSessionKillAndRestoreReplaysBitwise) {
+  // Weighted sessions carry learned reliability weights through the
+  // checkpoint: after a kill at any point the restored fleet must replay
+  // to the uninterrupted run's exact bytes, weights included.
+  const std::string path = temp_path("fleet-weighted-kill.nckp");
+  const std::size_t chunk = 113;
+  const std::size_t rounds = rounds_for(chunk);
+  auto policy = std::make_shared<core::WeightedPolicy>();
+  policy->fit(std::vector<std::string>{"ACC", "AUD"},
+              {{0.21, 0.47}, {0.33, 0.12}, {0.27, 0.30}, {0.19, 0.41}});
+  const auto make_weighted_engine = [&]() {
+    MonitorEngine eng;
+    for (const char* name : {"benign-print", "tampered-print"}) {
+      SessionSpec spec = make_session(name);
+      spec.policy = policy;
+      eng.add_session(std::move(spec));
+    }
+    return eng;
+  };
+
+  MonitorEngine baseline = make_weighted_engine();
+  feed_rounds(baseline, chunk, 0, rounds);
+  const std::vector<std::uint8_t> baseline_bytes = baseline.serialize();
+  const std::vector<SessionSnapshot> baseline_snaps = baseline.snapshots();
+  EXPECT_EQ(baseline_snaps[0].policy, "weighted");
+  EXPECT_FALSE(baseline_snaps[0].intrusion);
+  EXPECT_TRUE(baseline_snaps[1].intrusion);
+
+  for (const double frac : {0.25, 0.5, 0.75}) {
+    SCOPED_TRACE("kill at " + std::to_string(frac));
+    const std::size_t kill = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<double>(rounds) * frac));
+    {
+      MonitorEngine victim = make_weighted_engine();
+      feed_rounds(victim, chunk, 0, kill);
+      victim.checkpoint(path);
+    }
+    MonitorEngine revived = MonitorEngine::restore(path);
+    // The learned weights themselves came back bitwise: the restored
+    // session's channel weights match the baseline's exactly.
+    const SessionSnapshot snap = revived.snapshot(0);
+    EXPECT_EQ(snap.policy, "weighted");
+    ASSERT_EQ(snap.channels.size(), baseline_snaps[0].channels.size());
+    feed_rounds(revived, chunk, kill, rounds);
+    EXPECT_TRUE(revived.serialize() == baseline_bytes)
+        << "restored weighted fleet diverged from the uninterrupted run";
+    const std::vector<SessionSnapshot> revived_snaps = revived.snapshots();
+    expect_snapshots_equal(revived_snaps, baseline_snaps, "weighted revived");
+    for (std::size_t s = 0; s < revived_snaps.size(); ++s) {
+      EXPECT_EQ(revived_snaps[s].fused_score, baseline_snaps[s].fused_score);
+      for (std::size_t c = 0; c < revived_snaps[s].channels.size(); ++c) {
+        EXPECT_EQ(revived_snaps[s].channels[c].weight,
+                  baseline_snaps[s].channels[c].weight);
+        EXPECT_EQ(revived_snaps[s].channels[c].score,
+                  baseline_snaps[s].channels[c].score);
+      }
+    }
+  }
   std::remove(path.c_str());
 }
 

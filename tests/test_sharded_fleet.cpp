@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/fusion.hpp"
 #include "core/nsync.hpp"
 #include "engine/frame_queue.hpp"
 #include "engine/monitor_engine.hpp"
@@ -633,5 +634,84 @@ TEST(ShardedFleet, RestoreRejectsMissingAndInconsistentShardFiles) {
     FAIL() << "restore with swapped shard files must throw";
   } catch (const CheckpointError& e) {
     EXPECT_EQ(e.kind(), CheckpointErrorKind::kMismatch);
+  }
+}
+
+// --- Fusion policies across shards ------------------------------------------
+
+TEST(ShardedFleet, FusionOverrideReplacesAdmittedSpecPolicies) {
+  // The daemon-side --fusion knob: every admitted session fuses with the
+  // override regardless of what its spec carried.
+  const Fixture fx(2, /*attack_session=*/1);
+  ShardedFleetOptions opts;
+  opts.shards = 2;
+  opts.fusion_override =
+      std::make_shared<core::VotingPolicy>(core::FusionRule::kAll);
+  ShardedFleet fleet(opts);
+  for (std::size_t s = 0; s < fx.sessions(); ++s) {
+    fleet.add_session(fx.spec(s));  // the spec itself says kAny
+  }
+  replay(fx, [&](std::size_t s, const std::string& ch, const SignalView& v) {
+    ASSERT_EQ(fleet.feed(s, ch, v).status, FeedStatus::kOk);
+  });
+  fleet.flush();
+  for (const auto& snap : fleet.snapshots()) {
+    EXPECT_EQ(snap.policy, "all") << snap.name;
+  }
+  // Verdicts under the override: the tampered session corrupts both
+  // channels, so even kAll convicts it; the benign one stays clean.
+  EXPECT_FALSE(fleet.snapshot(0).intrusion);
+  EXPECT_TRUE(fleet.snapshot(1).intrusion);
+}
+
+TEST(ShardedFleet, WeightedSessionsAreShardInvariant) {
+  // Weighted fusion must be pure scheduling too: identical fused scores,
+  // policies and verdicts on a plain MonitorEngine and any shard count.
+  const Fixture fx(3, /*attack_session=*/1);
+  auto policy = std::make_shared<core::WeightedPolicy>();
+  policy->fit(fx.channels,
+              {{0.21, 0.47}, {0.33, 0.12}, {0.27, 0.30}, {0.19, 0.41}});
+  const auto weighted_spec = [&](std::size_t s) {
+    engine::SessionSpec sp = fx.spec(s);
+    sp.policy = policy;
+    return sp;
+  };
+
+  MonitorEngine eng;
+  for (std::size_t s = 0; s < fx.sessions(); ++s) {
+    eng.add_session(weighted_spec(s));
+  }
+  replay(fx, [&](std::size_t s, const std::string& ch, const SignalView& v) {
+    eng.feed(s, ch, v);
+    eng.poll();
+  });
+  const std::vector<engine::SessionSnapshot> baseline = eng.snapshots();
+  EXPECT_EQ(baseline[0].policy, "weighted");
+  EXPECT_FALSE(baseline[0].intrusion);
+  EXPECT_TRUE(baseline[1].intrusion);
+
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{3}}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ShardedFleetOptions opts;
+    opts.shards = shards;
+    ShardedFleet fleet(opts);
+    for (std::size_t s = 0; s < fx.sessions(); ++s) {
+      fleet.add_session(weighted_spec(s));
+    }
+    replay(fx, [&](std::size_t s, const std::string& ch, const SignalView& v) {
+      ASSERT_EQ(fleet.feed(s, ch, v).status, FeedStatus::kOk);
+    });
+    fleet.flush();
+    const std::vector<engine::SessionSnapshot> got = fleet.snapshots();
+    ASSERT_EQ(got.size(), baseline.size());
+    for (std::size_t s = 0; s < got.size(); ++s) {
+      EXPECT_EQ(to_verdict(got[s]), to_verdict(baseline[s]));
+      EXPECT_EQ(got[s].policy, baseline[s].policy);
+      EXPECT_EQ(got[s].fused_score, baseline[s].fused_score);
+      for (std::size_t c = 0; c < got[s].channels.size(); ++c) {
+        EXPECT_EQ(got[s].channels[c].score, baseline[s].channels[c].score);
+        EXPECT_EQ(got[s].channels[c].weight, baseline[s].channels[c].weight);
+      }
+    }
   }
 }

@@ -6,17 +6,21 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cmath>
 #include <cstdint>
 #include <cstring>
 #include <filesystem>
+#include <memory>
 #include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "core/fusion.hpp"
 #include "core/nsync.hpp"
 #include "engine/fleet_server.hpp"
+#include "engine/session_codec.hpp"
 #include "engine/sharded_fleet.hpp"
 #include "engine/wire_client.hpp"
 #include "engine/wire_protocol.hpp"
@@ -155,6 +159,67 @@ TEST(WireProtocol, EveryMessageTypeRoundTrips) {
   }
 }
 
+TEST(WireProtocol, AddSessionRoundTripsWeightedPolicy) {
+  wire::AddSession msg;
+  msg.spec = tiny_spec("printer-w");
+  core::WeightedPolicyConfig cfg;
+  cfg.threshold = 0.8125;
+  msg.spec.policy = std::make_shared<core::WeightedPolicy>(
+      cfg, std::vector<std::pair<std::string, double>>{{"ACC", 1.0}});
+  const std::vector<std::uint8_t> bytes = wire::encode(msg);
+  wire::Message out;
+  ASSERT_EQ(decode_one(bytes, out), wire::DecodeStatus::kFrame);
+  const auto& got = std::get<wire::AddSession>(out);
+  ASSERT_NE(got.spec.policy, nullptr);
+  const auto* weighted =
+      dynamic_cast<const core::WeightedPolicy*>(got.spec.policy.get());
+  ASSERT_NE(weighted, nullptr);
+  EXPECT_TRUE(weighted->trained());
+  EXPECT_EQ(weighted->config().threshold, 0.8125);
+  ASSERT_EQ(weighted->weights().size(), 1u);
+  EXPECT_EQ(weighted->weights()[0].first, "ACC");
+  EXPECT_EQ(weighted->weights()[0].second, 1.0);
+}
+
+TEST(WireProtocol, StatsRoundTripsFusionAndBaselineTelemetry) {
+  wire::Stats m;
+  m.shards = 1;
+  m.sessions = 1;
+  wire::StatsBaseline base;
+  base.shard = 1;
+  base.model = "UM3";
+  base.profile = "ACC";
+  base.prints = 12;
+  base.frozen = 3;
+  m.baselines.push_back(base);
+  wire::StatsSession ss;
+  ss.name = "printer-0";
+  ss.intrusion = 1;
+  ss.first_alarm_window = 64;
+  ss.policy = "weighted";
+  ss.fused_score = 1.328125;
+  ss.channels.push_back(
+      wire::StatsChannel{"ACC", 1, 0, 1.75, 0.59375, 10, 320});
+  m.sessions_detail.push_back(ss);
+
+  const std::vector<std::uint8_t> bytes = wire::encode(m);
+  wire::Message out;
+  ASSERT_EQ(decode_one(bytes, out), wire::DecodeStatus::kFrame);
+  const auto& got = std::get<wire::Stats>(out);
+  ASSERT_EQ(got.baselines.size(), 1u);
+  EXPECT_EQ(got.baselines[0].shard, 1u);
+  EXPECT_EQ(got.baselines[0].model, "UM3");
+  EXPECT_EQ(got.baselines[0].profile, "ACC");
+  EXPECT_EQ(got.baselines[0].prints, 12u);
+  EXPECT_EQ(got.baselines[0].frozen, 3u);
+  ASSERT_EQ(got.sessions_detail.size(), 1u);
+  EXPECT_EQ(got.sessions_detail[0].policy, "weighted");
+  EXPECT_EQ(got.sessions_detail[0].fused_score, 1.328125);
+  ASSERT_EQ(got.sessions_detail[0].channels.size(), 1u);
+  EXPECT_EQ(got.sessions_detail[0].channels[0].score, 1.75);
+  EXPECT_EQ(got.sessions_detail[0].channels[0].weight, 0.59375);
+}
+
 // --- Incremental decoding ---------------------------------------------------
 
 TEST(WireProtocol, DecodesByteByByte) {
@@ -271,6 +336,48 @@ TEST(WireProtocol, MalformedPayloadSkipsFrameAndContinues) {
   EXPECT_FALSE(detail.empty());
   ASSERT_EQ(d.next(out), wire::DecodeStatus::kFrame);
   EXPECT_EQ(std::get<wire::Evict>(out).session, 9u);
+}
+
+TEST(WireProtocol, PolicyUnknownSubVersionIsFrameLocalMalformed) {
+  // An ADD_SESSION from a future client whose policy section carries an
+  // unknown sub-version: the framing is fine, only the payload cannot be
+  // interpreted.  Per the two-tier error discipline that is a frame-local
+  // kMalformed — the stream must NOT be poisoned and the next frame
+  // decodes normally.
+  wire::AddSession msg;
+  msg.spec = tiny_spec("fwd-compat");
+  msg.spec.policy = std::make_shared<core::WeightedPolicy>();
+  std::vector<std::uint8_t> frame = wire::encode(msg);
+  // Locate the policy marker in the payload (nothing before it — two
+  // short strings and a frame header — can contain four 0xFF bytes) and
+  // bump the sub-version that follows it.
+  const std::uint8_t marker[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+  const auto it =
+      std::search(frame.begin() + wire::kHeaderBytes, frame.end(),
+                  std::begin(marker), std::end(marker));
+  ASSERT_NE(it, frame.end()) << "policy marker not found in the payload";
+  *(it + 4) = engine::kFusionPolicyVersion + 1;
+  // Recompute the payload CRC so the sub-version is the only problem.
+  const std::size_t payload_len = frame.size() - wire::kHeaderBytes - 4;
+  const std::uint32_t crc =
+      nsync::signal::crc32(frame.data() + wire::kHeaderBytes, payload_len);
+  std::memcpy(frame.data() + frame.size() - 4, &crc, sizeof(crc));
+
+  // Byte-at-a-time reassembly: kNeedMore until the very last byte.
+  wire::FrameDecoder d;
+  wire::Message out;
+  for (std::size_t i = 0; i + 1 < frame.size(); ++i) {
+    d.feed(std::span<const std::uint8_t>(&frame[i], 1));
+    ASSERT_EQ(d.next(out), wire::DecodeStatus::kNeedMore) << "byte " << i;
+  }
+  d.feed(std::span<const std::uint8_t>(&frame.back(), 1));
+  std::string detail;
+  EXPECT_EQ(d.next(out, &detail), wire::DecodeStatus::kMalformed);
+  EXPECT_NE(detail.find("sub-version"), std::string::npos) << detail;
+  EXPECT_FALSE(d.poisoned());
+  d.feed(wire::encode(wire::Evict{3}));
+  ASSERT_EQ(d.next(out), wire::DecodeStatus::kFrame);
+  EXPECT_EQ(std::get<wire::Evict>(out).session, 3u);
 }
 
 TEST(WireProtocol, TrailingGarbageAfterPayloadIsMalformed) {
