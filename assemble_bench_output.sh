@@ -31,6 +31,7 @@ section() {  # section <file> <name>
   section "$extras" bench_ext_layer_detection
   section "$extras" bench_ext_multi_session
   section "$extras" bench_ext_online_dtw
+  section "$extras" bench_ext_resilience
   for name in \
       bench_fig01_time_noise bench_fig02_no_sync_distance \
       bench_fig06_dwm_params bench_fig10_hdisp_consistency \

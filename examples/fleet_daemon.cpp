@@ -28,10 +28,20 @@
 // weights fit them locally and send the policy in the spec instead.
 // Restored sessions keep their checkpointed policy either way.
 //
+// Resilience: --idle-timeout-ms reaps connections that go silent (dead
+// peers, half-open TCP links) instead of leaking a thread per ghost
+// client; --write-timeout-ms closes consumers that cannot drain a reply;
+// --max-conns answers connects beyond the cap with a typed BUSY error
+// carrying a retry-after hint, which reconnecting clients honor.  The
+// transport counters (accepted / busy-rejected / accept errors / idle
+// reaped / write timeouts) are printed at shutdown.
+//
 //   ./fleet_daemon --listen <uds-path> [--tcp <port>] [--shards N]
 //                  [--checkpoint <dir>] [--resume] [--baseline-dir <dir>]
 //                  [--policy block|drop-oldest|reject] [--queue-frames N]
 //                  [--fusion any|majority|all|weighted]
+//                  [--idle-timeout-ms N] [--write-timeout-ms N]
+//                  [--max-conns N]
 #include <csignal>
 #include <cstdint>
 #include <filesystem>
@@ -65,6 +75,11 @@ int main(int argc, char** argv) {
   std::string policy = "block";
   std::string fusion;  // empty = honor each client spec's policy
   std::size_t queue_frames = 1u << 20;
+  // 30 s default: generous against paced feeders, still bounded against
+  // half-open peers.  0 disables.
+  std::uint32_t idle_timeout_ms = 30000;
+  std::uint32_t write_timeout_ms = 0;
+  std::size_t max_conns = 0;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -86,12 +101,20 @@ int main(int argc, char** argv) {
       fusion = argv[++i];
     } else if (arg == "--queue-frames" && i + 1 < argc) {
       queue_frames = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--idle-timeout-ms" && i + 1 < argc) {
+      idle_timeout_ms = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (arg == "--write-timeout-ms" && i + 1 < argc) {
+      write_timeout_ms = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+    } else if (arg == "--max-conns" && i + 1 < argc) {
+      max_conns = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: fleet_daemon --listen <uds-path> [--tcp <port>]"
                 << " [--shards N] [--checkpoint <dir>] [--resume]"
                 << " [--baseline-dir <dir>]"
                 << " [--policy block|drop-oldest|reject] [--queue-frames N]"
-                << " [--fusion any|majority|all|weighted]\n";
+                << " [--fusion any|majority|all|weighted]"
+                << " [--idle-timeout-ms N] [--write-timeout-ms N]"
+                << " [--max-conns N]\n";
       return 0;
     } else {
       std::cerr << "fleet_daemon: unknown argument " << arg
@@ -164,6 +187,9 @@ int main(int argc, char** argv) {
   engine::FleetServerOptions sopts;
   sopts.uds_path = uds_path;
   sopts.tcp_port = tcp_port;
+  sopts.idle_timeout_ms = idle_timeout_ms;
+  sopts.write_timeout_ms = write_timeout_ms;
+  sopts.max_connections = max_conns;
   engine::FleetServer server(*fleet, sopts);
   try {
     server.start();
@@ -185,6 +211,7 @@ int main(int argc, char** argv) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
 
+  const engine::FleetServerStats sstats = server.stats();
   server.stop();
   // Final checkpoint so a graceful shutdown preserves everything staged.
   if (!checkpoint_dir.empty()) {
@@ -195,5 +222,10 @@ int main(int argc, char** argv) {
   std::cout << "shutdown: " << stats.sessions << " sessions, "
             << stats.windows << " windows, " << stats.shed_frames
             << " shed, " << stats.rejected_frames << " rejected\n";
+  std::cout << "transport: " << sstats.connections_accepted << " accepted, "
+            << sstats.connections_busy_rejected << " busy-rejected, "
+            << sstats.accept_errors << " accept errors, "
+            << sstats.idle_reaped << " idle-reaped, "
+            << sstats.write_timeouts << " write timeouts\n";
   return 0;
 }

@@ -11,11 +11,17 @@
 //     N worker shards, each with a private engine and a bounded frame
 //     queue.  Verdicts are bitwise identical to the unsharded path.
 //   * --connect <uds-path>: client mode — the same dataset is replayed
-//     over the NSFP wire protocol to a running fleet_daemon; sessions are
-//     admitted with ADD_SESSION, frames stream via FEED, and the final
-//     verdicts come back from POLL_STATS.  If the daemon already holds
-//     the sessions (a resumed daemon), the client picks each channel's
-//     stream up at the frames_fed offset the daemon reports.
+//     over the NSFP wire protocol to a running fleet_daemon through
+//     ResilientWireClient; sessions are admitted with ADD_SESSION (the
+//     daemon re-attaches by name, so fresh and resumed daemons take the
+//     same path), frames stream via FEED at explicit absolute offsets,
+//     and the final verdicts come back from POLL_STATS.  With --retry N
+//     the client survives up to N reconnects per call (daemon restart,
+//     dropped connection, kBusy admission rejection) and resyncs its feed
+//     cursors from the daemon's frames_fed offsets, so no frame is ever
+//     double-counted.  Without --retry, a refused connection or a mid-run
+//     disconnect exits with code 3 (transport failure) and a clear
+//     message; daemon-side typed errors keep exiting with code 2.
 //   * --listen <uds-path>: serve an (initially empty) fleet over a socket
 //     — a minimal in-example daemon; see fleet_daemon for the real one.
 //
@@ -46,7 +52,8 @@
 // networked runs keep fusing identically.
 //
 //   ./fleet_monitor [sessions] [attack_session]
-//                   [--shards N] [--connect <uds>] [--listen <uds>]
+//                   [--shards N] [--connect <uds> [--retry N]]
+//                   [--listen <uds>]
 //                   [--checkpoint <dir>] [--resume] [--pace-ms <n>]
 //                   [--fusion any|majority|all|weighted]
 //                   [--rounds R --baseline-dir <dir> [--model <name>]]
@@ -66,6 +73,7 @@
 #include "core/nsync.hpp"
 #include "engine/fleet_server.hpp"
 #include "engine/monitor_engine.hpp"
+#include "engine/resilient_client.hpp"
 #include "engine/sharded_fleet.hpp"
 #include "engine/wire_client.hpp"
 #include "signal/checkpoint.hpp"
@@ -412,14 +420,22 @@ int run_rounds(std::size_t n_sessions, std::size_t attack_session,
   return 0;
 }
 
-/// Client mode: replay the dataset over the NSFP socket.
+/// Client mode: replay the dataset over the NSFP socket through the
+/// reconnecting client.  `retries` transport failures per call are
+/// absorbed with backoff + idempotent resync before giving up.
 int run_client(const std::string& uds_path, std::size_t n_sessions,
                std::size_t attack_session, long pace_ms,
-               const std::string& fusion) {
+               const std::string& fusion, std::size_t retries) {
   constexpr std::size_t kChunk = 256;
   try {
-    engine::WireClient client = engine::WireClient::connect_uds(uds_path);
-    const engine::wire::HelloOk hello = client.hello("fleet_monitor");
+    engine::ResilientClientOptions copts;
+    copts.client_name = "fleet_monitor";
+    copts.max_attempts = retries + 1;
+    copts.backoff_base_ms = 50;
+    copts.backoff_cap_ms = 2000;
+    engine::ResilientWireClient client(
+        engine::WireEndpoint{uds_path, /*tcp_port=*/0}, copts);
+    const engine::wire::HelloOk hello = client.connect_now();
     const bool fresh = hello.sessions == 0;
     if (!fresh && hello.sessions != n_sessions) {
       std::cerr << "fleet_monitor: daemon holds " << hello.sessions
@@ -427,34 +443,35 @@ int run_client(const std::string& uds_path, std::size_t n_sessions,
       return 2;
     }
     Dataset d = build_dataset(n_sessions, attack_session, /*calibrate=*/fresh);
+    if (!fresh) {
+      // A resumed daemon re-attaches our ADD_SESSIONs by name and keeps
+      // its checkpointed per-session state, so the re-sent specs only
+      // need to be well-formed — no recalibration.
+      d.thresholds.assign(d.channels.size(), core::Thresholds{});
+    }
 
+    // ADD_SESSION is idempotent by name, so fresh and resumed daemons
+    // take the same path: register everything, then read the acked
+    // cursors back (zero for new sessions, frames_fed for restored ones).
+    const std::shared_ptr<const core::FusionPolicy> policy =
+        fresh ? make_policy(fusion, d) : nullptr;
+    std::vector<std::uint64_t> handles;
+    for (std::size_t s = 0; s < n_sessions; ++s) {
+      handles.push_back(client.add_session(make_spec(d, s, "", policy)));
+      if (fresh) {
+        std::cout << "admitted printer-" << s << " as session " << handles[s]
+                  << "\n";
+      }
+    }
+    if (!fresh) {
+      std::cout << "resuming " << n_sessions << " sessions over the wire\n";
+    }
     std::vector<std::vector<std::size_t>> offsets(
         n_sessions, std::vector<std::size_t>(d.channels.size(), 0));
-    if (fresh) {
-      // The policy travels inside the ADD_SESSION spec, weights included;
-      // a resumed daemon already holds it in its restored sessions.
-      const std::shared_ptr<const core::FusionPolicy> policy =
-          make_policy(fusion, d);
-      for (std::size_t s = 0; s < n_sessions; ++s) {
-        const engine::wire::AddSessionOk ok =
-            client.add_session(make_spec(d, s, "", policy));
-        std::cout << "admitted printer-" << s << " as session " << ok.session
-                  << " on shard " << ok.shard << "\n";
+    for (std::size_t s = 0; s < n_sessions; ++s) {
+      for (std::size_t c = 0; c < d.channels.size(); ++c) {
+        offsets[s][c] = client.acked(handles[s], d.channels[c]);
       }
-    } else {
-      // Resumed daemon: pick every channel's stream up where the
-      // restored fleet says it stopped.
-      const engine::wire::Stats st = client.poll_stats(true);
-      for (std::size_t s = 0; s < n_sessions; ++s) {
-        for (const auto& ch : st.sessions_detail.at(s).channels) {
-          for (std::size_t c = 0; c < d.channels.size(); ++c) {
-            if (d.channels[c] == ch.name) {
-              offsets[s][c] = static_cast<std::size_t>(ch.frames_fed);
-            }
-          }
-        }
-      }
-      std::cout << "resuming " << n_sessions << " sessions over the wire\n";
     }
 
     bool more = true;
@@ -466,10 +483,14 @@ int run_client(const std::string& uds_path, std::size_t n_sessions,
           const std::size_t off = offsets[s][c];
           if (off >= sig.frames()) continue;
           const std::size_t hi = std::min(off + kChunk, sig.frames());
-          client.feed(s, d.channels[c],
-                      signal::SignalView(sig).slice(off, hi));
-          offsets[s][c] = hi;
-          if (hi < sig.frames()) more = true;
+          const engine::ResilientWireClient::FeedOutcome out = client.feed(
+              handles[s], d.channels[c], signal::SignalView(sig).slice(off, hi),
+              off);
+          // cursor is authoritative either way: past `hi` after a resync
+          // fast-forward, below `off` when the daemon lost frames
+          // (restarted fresh) and we must rewind and re-feed.
+          offsets[s][c] = out.cursor;
+          if (out.cursor < sig.frames()) more = true;
         }
       }
       if (pace_ms > 0) {
@@ -487,13 +508,25 @@ int run_client(const std::string& uds_path, std::size_t n_sessions,
     std::cout << "fleet over the wire: " << st.sessions << " sessions on "
               << st.shards << " shards, " << st.windows << " windows\n";
     for (const auto& s : st.sessions_detail) print_verdict(s);
+    const engine::ResilientWireClient::Telemetry& t = client.telemetry();
+    if (t.reconnects > 0 || t.transport_errors > 0) {
+      std::cout << "transport: " << t.reconnects << " reconnects, "
+                << t.transport_errors << " errors, "
+                << t.fast_forwarded_frames << " frames fast-forwarded, "
+                << t.rewinds << " rewinds\n";
+    }
     return 0;
   } catch (const engine::WireError& e) {
     std::cerr << "fleet_monitor: daemon error: " << e.what() << "\n";
     return 2;
   } catch (const std::exception& e) {
-    std::cerr << "fleet_monitor: " << e.what() << "\n";
-    return 2;
+    // Transport failure (connection refused, mid-run disconnect, retries
+    // exhausted): distinct exit code so scripts can tell "daemon said no"
+    // from "daemon unreachable".
+    std::cerr << "fleet_monitor: transport failure: " << e.what()
+              << (retries == 0 ? " (use --retry N to reconnect)" : "")
+              << "\n";
+    return 3;
   }
 }
 
@@ -509,6 +542,7 @@ int main(int argc, char** argv) {
   std::string fusion = "any";
   std::size_t rounds = 0;
   std::size_t shards = 0;
+  std::size_t retries = 0;
   bool resume = false;
   long pace_ms = 0;
   for (int i = 1; i < argc; ++i) {
@@ -531,11 +565,14 @@ int main(int argc, char** argv) {
       fusion = argv[++i];
     } else if (arg == "--connect" && i + 1 < argc) {
       connect_path = argv[++i];
+    } else if (arg == "--retry" && i + 1 < argc) {
+      retries = static_cast<std::size_t>(std::stoul(argv[++i]));
     } else if (arg == "--listen" && i + 1 < argc) {
       listen_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: fleet_monitor [sessions] [attack_session]"
-                << " [--shards N] [--connect <uds>] [--listen <uds>]"
+                << " [--shards N] [--connect <uds> [--retry N]]"
+                << " [--listen <uds>]"
                 << " [--checkpoint <dir>] [--resume] [--pace-ms <n>]"
                 << " [--fusion any|majority|all|weighted]"
                 << " [--rounds R --baseline-dir <dir> [--model <name>]]\n";
@@ -577,7 +614,7 @@ int main(int argc, char** argv) {
 
   if (!connect_path.empty()) {
     return run_client(connect_path, n_sessions, attack_session, pace_ms,
-                      fusion);
+                      fusion, retries);
   }
 
   if (rounds > 0) {

@@ -8,8 +8,13 @@
 //
 // The raw input doubles as a chunking schedule: the first byte selects a
 // feed granularity so the same corpus exercises both bulk and
-// byte-at-a-time reassembly, where resynchronization bugs live.  Decoded
-// frames are re-encoded and decoded again to pin the codec round-trip.
+// byte-at-a-time reassembly, where resynchronization bugs live.  The
+// second byte optionally splices a well-formed v4 keepalive or overload
+// frame (PING, PONG, or a BUSY error with a retry-after hint) ahead of
+// the raw remainder, so those frames are always reassembled through the
+// same hostile chunking — and the raw tail gets to corrupt the stream
+// right at a real frame boundary.  Decoded frames are re-encoded and
+// decoded again to pin the codec round-trip.
 //
 // Build: cmake -DNSYNC_BUILD_FUZZERS=ON (requires Clang; see
 // fuzz/CMakeLists.txt).  Run: ./fuzz/fuzz_frame_protocol -max_total_time=60
@@ -18,6 +23,7 @@
 #include <cstdint>
 #include <span>
 #include <string>
+#include <vector>
 
 #include "engine/wire_protocol.hpp"
 
@@ -63,21 +69,52 @@ void drain(wire::FrameDecoder& decoder) {
 
 }  // namespace
 
+// A valid keepalive/overload frame to splice ahead of the fuzz bytes.
+// The nonce is derived from the selector byte so the corpus can vary it.
+std::vector<std::uint8_t> prelude(std::uint8_t selector) {
+  switch (selector & 0x3) {
+    case 1:
+      return wire::encode(
+          wire::Ping{0x9E3779B97F4A7C15ull ^ (std::uint64_t{selector} << 32)});
+    case 2:
+      return wire::encode(
+          wire::Pong{0xC2B2AE3D27D4EB4Full ^ (std::uint64_t{selector} << 24)});
+    case 3: {
+      wire::Error busy;
+      busy.code = wire::ErrorCode::kBusy;
+      busy.message = "connection limit reached";
+      busy.retry_after_ms = static_cast<std::uint32_t>(selector) * 37u;
+      return wire::encode(busy);
+    }
+    default:
+      return {};
+  }
+}
+
 extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
                                       std::size_t size) {
-  if (size == 0) {
+  if (size < 2) {
     return 0;
   }
-  // First byte picks the chunk size (1..256); the rest is the stream.
+  // First byte picks the chunk size (1..256); the second selects an
+  // optional PING/PONG/BUSY prelude; the rest is the stream.
   const std::size_t chunk = static_cast<std::size_t>(data[0]) + 1;
-  const std::span<const std::uint8_t> stream(data + 1, size - 1);
+  std::vector<std::uint8_t> stream = prelude(data[1]);
+  const std::size_t prelude_len = stream.size();
+  stream.insert(stream.end(), data + 2, data + size);
 
   wire::FrameDecoder decoder;
+  std::size_t fed = 0;
   for (std::size_t off = 0; off < stream.size(); off += chunk) {
     const std::size_t n = std::min(chunk, stream.size() - off);
-    decoder.feed(stream.subspan(off, n));
+    decoder.feed(std::span<const std::uint8_t>(stream).subspan(off, n));
+    fed += n;
     drain(decoder);
     if (decoder.poisoned()) {
+      // A well-formed prelude can never poison the stream on its own.
+      if (fed <= prelude_len) {
+        __builtin_trap();
+      }
       break;
     }
   }

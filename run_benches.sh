@@ -43,6 +43,9 @@ for b in "$@"; do
   if [ "$b" = "bench_ext_fusion" ]; then
     EXTRA_FLAGS="--json ${NSYNC_BENCH_JSON:-BENCH_fusion.json}"
   fi
+  if [ "$b" = "bench_ext_resilience" ]; then
+    EXTRA_FLAGS="--json ${NSYNC_BENCH_JSON:-BENCH_resilience.json}"
+  fi
   # shellcheck disable=SC2086  # THREAD_FLAGS/EXTRA_FLAGS intentionally split
   NSYNC_THREADS="${NSYNC_THREADS:-}" ./build/bench/"$b" $THREAD_FLAGS \
     $EXTRA_FLAGS 2>&1

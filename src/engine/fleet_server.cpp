@@ -1,14 +1,18 @@
 #include "engine/fleet_server.hpp"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 #include "signal/checkpoint.hpp"
@@ -20,29 +24,61 @@ namespace {
 using wire::ErrorCode;
 using wire::Message;
 
-/// Writes the whole buffer, retrying on EINTR/partial writes.  Returns
-/// false when the peer is gone (the caller drops the connection).
-bool write_all(int fd, const std::uint8_t* data, std::size_t n) {
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+enum class WriteOutcome : std::uint8_t { kOk, kTimeout, kPeerGone };
+
+/// Writes the whole buffer on a non-blocking fd, parking in poll(POLLOUT)
+/// when the socket buffer is full.  `timeout_ms == 0` waits indefinitely;
+/// otherwise the whole buffer must drain within the deadline or the call
+/// gives up — the slow-consumer guard.
+WriteOutcome write_all_deadline(int fd, const std::uint8_t* data,
+                                std::size_t n, std::uint32_t timeout_ms) {
+  using Clock = std::chrono::steady_clock;
+  const Clock::time_point deadline =
+      Clock::now() + std::chrono::milliseconds(timeout_ms);
   while (n > 0) {
 #ifdef MSG_NOSIGNAL
     const ssize_t w = ::send(fd, data, n, MSG_NOSIGNAL);
 #else
     const ssize_t w = ::write(fd, data, n);
 #endif
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return false;
+    if (w > 0) {
+      data += w;
+      n -= static_cast<std::size_t>(w);
+      continue;
     }
-    data += w;
-    n -= static_cast<std::size_t>(w);
+    if (w < 0 && errno == EINTR) continue;
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      int wait_ms = -1;
+      if (timeout_ms > 0) {
+        const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - Clock::now());
+        if (left.count() <= 0) return WriteOutcome::kTimeout;
+        wait_ms = static_cast<int>(left.count());
+      }
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      const int ready = ::poll(&pfd, 1, wait_ms);
+      if (ready < 0 && errno != EINTR) return WriteOutcome::kPeerGone;
+      if (ready == 0 && timeout_ms > 0) return WriteOutcome::kTimeout;
+      continue;
+    }
+    return WriteOutcome::kPeerGone;
   }
-  return true;
+  return WriteOutcome::kOk;
 }
 
-wire::Error make_error(ErrorCode code, std::string message) {
+wire::Error make_error(ErrorCode code, std::string message,
+                       std::uint32_t retry_after_ms = 0) {
   wire::Error e;
   e.code = code;
   e.message = std::move(message);
+  e.retry_after_ms = retry_after_ms;
   return e;
 }
 
@@ -81,6 +117,7 @@ wire::Stats to_stats(const FleetStats& fs) {
   m.rejected_frames = fs.rejected_frames;
   m.queued_frames = fs.queued_frames;
   m.busy = fs.busy ? 1 : 0;
+  m.failed_shards = fs.failed_shards;
   m.per_shard.reserve(fs.per_shard.size());
   for (const ShardStats& s : fs.per_shard) {
     wire::StatsShard ws;
@@ -95,6 +132,9 @@ wire::Stats to_stats(const FleetStats& fs) {
     ws.polls = s.polls;
     ws.windows = s.windows;
     ws.feed_errors = s.feed_errors;
+    ws.failed = s.failed ? 1 : 0;
+    ws.restarts = s.restarts;
+    ws.discarded_frames = s.discarded_frames;
     ws.checkpoints_written = s.checkpoints_written;
     ws.latency_samples = s.latency_samples;
     ws.p50_feed_to_verdict_us = s.p50_feed_to_verdict_us;
@@ -121,6 +161,17 @@ struct RequestVisitor {
 
   Message operator()(const wire::AddSession& a) const {
     try {
+      // Idempotent re-attach: a reconnecting client re-issues its specs
+      // after a resync; a live session with the same name answers with
+      // the existing id instead of admitting a duplicate.  The stored
+      // session state (spec, offsets, verdicts) wins over the re-sent
+      // spec — that is exactly what makes the resync exactly-once.
+      if (const auto existing = fleet.find_live_session(a.spec.name)) {
+        wire::AddSessionOk ok;
+        ok.session = *existing;
+        ok.shard = fleet.shard_of(*existing);
+        return ok;
+      }
       // The decoder validated structure; add_session validates semantics
       // (empty specs, non-DWM configs, ...).
       SessionSpec spec = a.spec;
@@ -161,6 +212,9 @@ struct RequestVisitor {
                           "frame width does not match channel");
       case FeedStatus::kEvicted:
         return make_error(ErrorCode::kEvicted, "session was evicted");
+      case FeedStatus::kShardFailed:
+        return make_error(ErrorCode::kShardFailed,
+                          "the session's shard worker failed");
     }
     return make_error(ErrorCode::kInternal, "unhandled feed status");
   }
@@ -193,13 +247,24 @@ struct RequestVisitor {
 
   Message operator()(const wire::Evict& e) const {
     try {
-      fleet.evict_session(static_cast<std::size_t>(e.session));
+      if (!fleet.evict_session(static_cast<std::size_t>(e.session))) {
+        // Double-EVICT is a frame-local typed error, not success: the
+        // caller's view of the session lifecycle is out of sync and it
+        // should know.  (A reconnecting client treats this as done.)
+        return make_error(ErrorCode::kEvicted, "session already evicted");
+      }
       return wire::EvictOk{};
     } catch (const std::out_of_range&) {
       return make_error(ErrorCode::kUnknownSession, "no such session");
     } catch (const nsync::signal::CheckpointError& err) {
       return make_error(ErrorCode::kInternal, err.what());
     }
+  }
+
+  Message operator()(const wire::Ping& p) const {
+    wire::Pong pong;
+    pong.nonce = p.nonce;
+    return pong;
   }
 
   // Reply types arriving as requests are protocol misuse, not framing
@@ -209,6 +274,7 @@ struct RequestVisitor {
   Message operator()(const wire::FeedOk&) const { return misuse(); }
   Message operator()(const wire::Stats&) const { return misuse(); }
   Message operator()(const wire::EvictOk&) const { return misuse(); }
+  Message operator()(const wire::Pong&) const { return misuse(); }
   Message operator()(const wire::Error&) const { return misuse(); }
 
   static Message misuse() {
@@ -327,10 +393,58 @@ void FleetServer::accept_loop() {
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
     if (ready <= 0) continue;  // timeout or EINTR — recheck stopping_
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
-    if (fd < 0) continue;
-    connections_accepted_.fetch_add(1);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Persistent accept() failures (EMFILE/ENFILE fd exhaustion, ...)
+      // leave the listen socket readable, so a bare retry hot-spins at
+      // 100 % CPU for as long as the condition lasts.  Count and back off.
+      accept_errors_.fetch_add(1);
+      if (options_.accept_error_backoff_ms > 0) {
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(options_.accept_error_backoff_ms));
+      }
+      continue;
+    }
+    set_nonblocking(fd);
     const std::scoped_lock lock(conns_mu_);
     reap_finished_locked();
+    if (options_.max_connections > 0 &&
+        conns_.size() >= options_.max_connections) {
+      // Admission cap: answer with a typed busy error (so a well-behaved
+      // client backs off for retry_after_ms) and close.  The reply write
+      // is bounded too — an attacker filling the cap cannot also wedge
+      // the accept loop.
+      busy_rejected_.fetch_add(1);
+      const std::vector<std::uint8_t> bytes = wire::encode(
+          make_error(ErrorCode::kBusy, "connection limit reached",
+                     options_.busy_retry_after_ms));
+      const std::uint32_t budget =
+          std::max<std::uint32_t>(options_.write_timeout_ms, 100);
+      write_all_deadline(fd, bytes.data(), bytes.size(), budget);
+      // Half-close and drain: if the client's first request is already
+      // sitting unread in our receive buffer, a bare close() turns into a
+      // reset that can destroy the busy reply in flight.  Shut down the
+      // write side so the client sees EOF after the reply, then read until
+      // the peer closes (bounded, so a flood cannot wedge the accept loop).
+      ::shutdown(fd, SHUT_WR);
+      const auto drain_deadline =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(budget);
+      char scratch[256];
+      for (;;) {
+        const auto now = std::chrono::steady_clock::now();
+        if (now >= drain_deadline) break;
+        pollfd pfd{fd, POLLIN, 0};
+        const int left = static_cast<int>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                drain_deadline - now)
+                .count());
+        if (::poll(&pfd, 1, std::max(left, 1)) <= 0) break;
+        if (::read(fd, scratch, sizeof scratch) <= 0) break;
+      }
+      ::close(fd);
+      continue;
+    }
+    connections_accepted_.fetch_add(1);
     Connection conn;
     conn.fd = fd;
     conn.done = std::make_shared<std::atomic<bool>>(false);
@@ -343,14 +457,58 @@ void FleetServer::accept_loop() {
   }
 }
 
+bool FleetServer::write_reply(int fd, const std::vector<std::uint8_t>& bytes) {
+  switch (write_all_deadline(fd, bytes.data(), bytes.size(),
+                             options_.write_timeout_ms)) {
+    case WriteOutcome::kOk:
+      return true;
+    case WriteOutcome::kTimeout:
+      write_timeouts_.fetch_add(1);
+      return false;
+    case WriteOutcome::kPeerGone:
+      return false;
+  }
+  return false;
+}
+
 void FleetServer::serve_connection(int fd) {
+  using Clock = std::chrono::steady_clock;
   wire::FrameDecoder decoder;
   std::vector<std::uint8_t> rx(64 * 1024);
   bool open = true;
+  Clock::time_point last_activity = Clock::now();
   while (open && !stopping_.load()) {
+    // Poll in short ticks so stop() and the idle deadline are both
+    // honored; any byte from the peer resets the idle clock.
+    int tick_ms = 100;
+    if (options_.idle_timeout_ms > 0) {
+      const auto idle_left =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              last_activity +
+              std::chrono::milliseconds(options_.idle_timeout_ms) -
+              Clock::now());
+      if (idle_left.count() <= 0) {
+        idle_reaped_.fetch_add(1);
+        break;
+      }
+      tick_ms = static_cast<int>(
+          std::min<std::int64_t>(tick_ms, idle_left.count()));
+    }
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    const int ready = ::poll(&pfd, 1, tick_ms);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;  // tick: recheck stopping_ / idle deadline
     const ssize_t n = ::read(fd, rx.data(), rx.size());
-    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;
+    }
     if (n <= 0) break;  // peer closed or error
+    last_activity = Clock::now();
     decoder.feed(std::span<const std::uint8_t>(
         rx.data(), static_cast<std::size_t>(n)));
 
@@ -385,11 +543,27 @@ void FleetServer::serve_connection(int fd) {
           break;
       }
       const std::vector<std::uint8_t> bytes = wire::encode(reply);
-      if (!write_all(fd, bytes.data(), bytes.size())) close_after = true;
+      if (!write_reply(fd, bytes)) close_after = true;
       if (close_after) open = false;
     }
   }
   ::close(fd);
+}
+
+FleetServerStats FleetServer::stats() const {
+  FleetServerStats s;
+  s.connections_accepted = connections_accepted_.load();
+  s.connections_busy_rejected = busy_rejected_.load();
+  s.accept_errors = accept_errors_.load();
+  s.idle_reaped = idle_reaped_.load();
+  s.write_timeouts = write_timeouts_.load();
+  {
+    const std::scoped_lock lock(conns_mu_);
+    for (const Connection& c : conns_) {
+      if (!c.done->load()) ++s.open_connections;
+    }
+  }
+  return s;
 }
 
 }  // namespace nsync::engine

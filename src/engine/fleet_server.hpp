@@ -14,6 +14,15 @@
 // ERROR reply and the connection continues; stream-poisoning failures (bad
 // magic/version/CRC/length) get a final ERROR reply and the connection is
 // closed, because the byte stream can no longer be trusted.
+//
+// Resilience (deadline I/O): per-connection reads and writes run through
+// poll() with configurable deadlines.  A connection that stays silent past
+// idle_timeout_ms is reaped (half-open clients no longer leak a thread and
+// an fd forever), a reply write that cannot complete within
+// write_timeout_ms closes the slow consumer instead of wedging its thread,
+// and an admission cap (max_connections) answers excess connects with a
+// typed kBusy error carrying a retry-after-ms hint.  All of it is
+// accounted in FleetServerStats.
 #ifndef NSYNC_ENGINE_FLEET_SERVER_HPP
 #define NSYNC_ENGINE_FLEET_SERVER_HPP
 
@@ -38,6 +47,34 @@ struct FleetServerOptions {
   /// 127.0.0.1:tcp_port instead.
   std::uint16_t tcp_port = 0;
   int backlog = 16;
+  /// Idle-read deadline per connection in milliseconds: a client that
+  /// sends nothing for this long (dead peer, half-open TCP, stalled
+  /// byte-at-a-time writer) is reaped.  0 disables the deadline.
+  std::uint32_t idle_timeout_ms = 0;
+  /// Bounded write deadline per reply in milliseconds: a consumer that
+  /// cannot drain a reply within this long is closed instead of wedging
+  /// the connection thread forever.  0 waits indefinitely.
+  std::uint32_t write_timeout_ms = 0;
+  /// Admission cap: when non-zero, a connect beyond this many live
+  /// connections is answered with a typed kBusy error (carrying
+  /// busy_retry_after_ms) and closed.  0 = unlimited.
+  std::size_t max_connections = 0;
+  /// Retry-after hint attached to kBusy admission rejections.
+  std::uint32_t busy_retry_after_ms = 250;
+  /// Backoff slept after a persistent accept() error (e.g. EMFILE) so the
+  /// accept loop cannot hot-spin while the condition lasts.
+  std::uint32_t accept_error_backoff_ms = 20;
+};
+
+/// Monotonic transport-level counters (detection work is accounted in
+/// FleetStats; these cover the socket layer the fleet sits behind).
+struct FleetServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_busy_rejected = 0;  ///< admission-cap refusals
+  std::uint64_t accept_errors = 0;              ///< accept() failures
+  std::uint64_t idle_reaped = 0;     ///< connections closed by idle deadline
+  std::uint64_t write_timeouts = 0;  ///< slow consumers closed mid-write
+  std::size_t open_connections = 0;  ///< live connection threads right now
 };
 
 /// Accepts NSFP connections and applies their requests to a ShardedFleet.
@@ -66,6 +103,9 @@ class FleetServer {
     return connections_accepted_.load();
   }
 
+  /// Snapshot of the transport-level counters.
+  [[nodiscard]] FleetServerStats stats() const;
+
   /// Maps one decoded request onto the fleet and returns the reply
   /// message.  Pure dispatch — no socket involved — so tests can exercise
   /// the full request surface without a transport.
@@ -76,6 +116,9 @@ class FleetServer {
   void accept_loop();
   void serve_connection(int fd);
   void reap_finished_locked();
+  /// Deadline-bounded full-buffer write; counts a write timeout and
+  /// returns false when the consumer cannot drain in time.
+  bool write_reply(int fd, const std::vector<std::uint8_t>& bytes);
 
   ShardedFleet& fleet_;
   FleetServerOptions options_;
@@ -83,8 +126,12 @@ class FleetServer {
   std::uint16_t bound_port_ = 0;
   std::atomic<bool> stopping_{false};
   std::atomic<std::size_t> connections_accepted_{0};
+  std::atomic<std::uint64_t> busy_rejected_{0};
+  std::atomic<std::uint64_t> accept_errors_{0};
+  std::atomic<std::uint64_t> idle_reaped_{0};
+  std::atomic<std::uint64_t> write_timeouts_{0};
   std::thread accept_thread_;
-  std::mutex conns_mu_;
+  mutable std::mutex conns_mu_;
   struct Connection {
     int fd = -1;
     std::thread thread;

@@ -115,6 +115,21 @@ void FrameQueue::close() {
   cv_idle_.notify_all();
 }
 
+std::size_t FrameQueue::discard_pending() {
+  std::size_t dropped = 0;
+  {
+    const std::scoped_lock lock(mu_);
+    for (const FrameBatch& b : items_) {
+      if (b.kind == FrameBatch::Kind::kFeed) dropped += b.frames.frames();
+    }
+    items_.clear();
+    queued_frames_ = 0;
+  }
+  cv_space_.notify_all();
+  cv_idle_.notify_all();
+  return dropped;
+}
+
 void FrameQueue::wait_idle() {
   std::unique_lock lock(mu_);
   cv_idle_.wait(lock, [&] {

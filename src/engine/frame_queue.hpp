@@ -116,6 +116,13 @@ class FrameQueue {
   /// accepted batch has been acknowledged — the flush barrier.
   void wait_idle();
 
+  /// Drops every queued batch without processing it and wakes blocked
+  /// producers.  Supervision path: when a shard worker dies, the backlog
+  /// behind the failure no longer aligns with the engine state it will be
+  /// restored to, so it is discarded (and accounted by the caller) rather
+  /// than replayed.  Returns the number of feed frames dropped.
+  std::size_t discard_pending();
+
   [[nodiscard]] FrameQueueStats stats() const;
 
  private:

@@ -58,6 +58,7 @@ std::string feed_status_name(FeedStatus s) {
     case FeedStatus::kUnknownChannel: return "unknown-channel";
     case FeedStatus::kChannelMismatch: return "channel-mismatch";
     case FeedStatus::kEvicted: return "evicted";
+    case FeedStatus::kShardFailed: return "shard-failed";
   }
   return "?";
 }
@@ -94,10 +95,11 @@ ShardedFleet::ShardedFleet(ShardedFleetOptions options)
 
 void ShardedFleet::start_workers() {
   if (options_.shards == 0) return;  // inline mode: no queues, no threads
-  for (auto& shard : shards_) {
-    shard->queue = std::make_unique<FrameQueue>(options_.queue_capacity_frames,
-                                                options_.overflow);
-    shard->worker = std::thread([this, s = shard.get()] { worker_loop(*s); });
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard* s = shards_[i].get();
+    s->queue = std::make_unique<FrameQueue>(options_.queue_capacity_frames,
+                                            options_.overflow);
+    s->worker = std::thread([this, i, s] { worker_loop(i, *s); });
   }
 }
 
@@ -113,46 +115,99 @@ ShardedFleet::~ShardedFleet() {
 // ---------------------------------------------------------------------------
 // Worker
 
-void ShardedFleet::worker_loop(Shard& shard) {
+void ShardedFleet::worker_loop(std::size_t index, Shard& shard) {
   std::vector<FrameBatch> batches;
   while (shard.queue->pop_all(batches)) {
-    bool evicted_any = false;
-    {
-      const std::scoped_lock lock(shard.mu);
-      for (const auto& b : batches) {
-        if (b.kind == FrameBatch::Kind::kEvict) {
-          shard.engine->evict_session(b.session);
-          evicted_any = true;
-          continue;
-        }
-        try {
-          shard.engine->feed(b.session, b.channel, b.frames.view());
-        } catch (const std::exception&) {
-          // feed() validated at ingest; an engine-side failure here is a
-          // race with eviction (frames queued before the evict command of
-          // a re-used... never: ids are not reused) or a bug.  Either
-          // way: count it, keep the shard alive.
-          ++shard.feed_errors;
-        }
-      }
-      shard.windows += shard.engine->poll_inline();
-      ++shard.polls;
-      shard.batches += batches.size();
-      // Make eviction durable on the spot instead of waiting for the
-      // next periodic trigger: a restore must not resurrect a session
-      // the caller was told is gone.
-      if (evicted_any && !options_.checkpoint_dir.empty()) {
-        shard.engine->checkpoint(shard.engine->checkpoint_path());
-      }
-      const auto now = std::chrono::steady_clock::now();
-      for (const auto& b : batches) {
-        if (b.kind == FrameBatch::Kind::kFeed) {
-          shard.latency.record(now - b.enqueued_at);
-        }
-      }
+    try {
+      process_batches(index, shard, batches);
+    } catch (const std::exception& e) {
+      shard.queue->mark_processed();
+      if (supervise_failure(index, shard, e.what())) continue;
+      return;  // permanent failure: queue closed and drained
+    } catch (...) {
+      shard.queue->mark_processed();
+      if (supervise_failure(index, shard, "non-standard exception")) continue;
+      return;
     }
     shard.queue->mark_processed();
   }
+}
+
+void ShardedFleet::process_batches(std::size_t index, Shard& shard,
+                                   const std::vector<FrameBatch>& batches) {
+  bool evicted_any = false;
+  const std::scoped_lock lock(shard.mu);
+  for (const auto& b : batches) {
+    if (options_.worker_fault_hook) options_.worker_fault_hook(index, b);
+    if (b.kind == FrameBatch::Kind::kEvict) {
+      shard.engine->evict_session(b.session);
+      evicted_any = true;
+      continue;
+    }
+    try {
+      shard.engine->feed(b.session, b.channel, b.frames.view());
+    } catch (const std::exception&) {
+      // feed() validated at ingest; an engine-side failure here is a
+      // race with eviction (frames queued before the evict command of
+      // a re-used... never: ids are not reused) or a bug.  Either
+      // way: count it, keep the shard alive.
+      ++shard.feed_errors;
+    }
+  }
+  shard.windows += shard.engine->poll_inline();
+  ++shard.polls;
+  shard.batches += batches.size();
+  // Make eviction durable on the spot instead of waiting for the
+  // next periodic trigger: a restore must not resurrect a session
+  // the caller was told is gone.
+  if (evicted_any && !options_.checkpoint_dir.empty()) {
+    shard.engine->checkpoint(shard.engine->checkpoint_path());
+  }
+  const auto now = std::chrono::steady_clock::now();
+  for (const auto& b : batches) {
+    if (b.kind == FrameBatch::Kind::kFeed) {
+      shard.latency.record(now - b.enqueued_at);
+    }
+  }
+}
+
+bool ShardedFleet::supervise_failure(std::size_t index, Shard& shard,
+                                     const std::string& what) {
+  {
+    const std::scoped_lock lock(shard.mu);
+    shard.failure_reason = what;
+  }
+  shard.failed.store(true, std::memory_order_release);
+  // The backlog queued behind the failure is contiguous with the *failed*
+  // engine state, not with the checkpoint a restart would restore — drop
+  // and account it either way; feeders resync from frames_fed offsets.
+  shard.discarded_frames.fetch_add(shard.queue->discard_pending(),
+                                   std::memory_order_relaxed);
+  const bool want_restart = options_.supervision.restart_from_checkpoint &&
+                            !options_.checkpoint_dir.empty() &&
+                            shard.restarts.load(std::memory_order_relaxed) <
+                                options_.supervision.max_restarts;
+  if (want_restart) {
+    try {
+      MonitorEngine restored = MonitorEngine::restore(
+          options_.checkpoint_dir + "/" + shard_checkpoint_filename(index),
+          engine_options(index));
+      const std::scoped_lock lock(shard.mu);
+      *shard.engine = std::move(restored);
+      shard.restarts.fetch_add(1, std::memory_order_relaxed);
+      shard.failed.store(false, std::memory_order_release);
+      return true;
+    } catch (const std::exception&) {
+      // No usable checkpoint: fall through to permanent failure.
+    }
+  }
+  // Permanent failure: close the queue so blocked producers unblock and
+  // drop whatever raced in, leaving the queue empty and idle — flush()
+  // and the destructor can never hang on a dead worker.
+  shard.queue->close();
+  shard.discarded_frames.fetch_add(shard.queue->discard_pending(),
+                                   std::memory_order_relaxed);
+  return false;
 }
 
 // ---------------------------------------------------------------------------
@@ -192,14 +247,14 @@ std::size_t ShardedFleet::add_session(SessionSpec spec) {
   return id;
 }
 
-void ShardedFleet::evict_session(std::size_t session) {
+bool ShardedFleet::evict_session(std::size_t session) {
   const std::unique_lock registry_lock(registry_mu_);
   if (session >= registry_.size()) {
     throw std::out_of_range("ShardedFleet: no session " +
                             std::to_string(session));
   }
   SessionInfo& info = registry_[session];
-  if (info.evicted) return;
+  if (info.evicted) return false;
   info.evicted = true;
   Shard& shard = *shards_[info.shard];
   if (options_.shards == 0) {
@@ -208,13 +263,24 @@ void ShardedFleet::evict_session(std::size_t session) {
     if (!options_.checkpoint_dir.empty()) {
       shard.engine->checkpoint(shard.engine->checkpoint_path());
     }
-    return;
+    return true;
   }
   FrameBatch evict;
   evict.kind = FrameBatch::Kind::kEvict;
   evict.session = info.local;
   evict.enqueued_at = std::chrono::steady_clock::now();
   shard.queue->push(std::move(evict));
+  return true;
+}
+
+std::optional<std::size_t> ShardedFleet::find_live_session(
+    const std::string& name) const {
+  const std::shared_lock lock(registry_mu_);
+  for (std::size_t i = registry_.size(); i > 0; --i) {
+    const SessionInfo& info = registry_[i - 1];
+    if (!info.evicted && info.name == name) return i - 1;
+  }
+  return std::nullopt;
 }
 
 std::size_t ShardedFleet::sessions() const {
@@ -269,6 +335,10 @@ FeedResult ShardedFleet::feed(std::size_t session, const std::string& channel,
     local = info.local;
   }
   Shard& shard = *shards_[shard_idx];
+  if (shard.failed.load(std::memory_order_acquire)) {
+    result.status = FeedStatus::kShardFailed;
+    return result;
+  }
 
   if (options_.shards == 0) {
     const std::scoped_lock lock(shard.mu);
@@ -288,7 +358,12 @@ FeedResult ShardedFleet::feed(std::size_t session, const std::string& channel,
   const FrameQueue::PushResult push = shard.queue->push(std::move(batch));
   result.queued_frames = push.queued_frames;
   if (!push.accepted) {
-    result.status = FeedStatus::kRejected;
+    // A push can also fail because supervision closed the queue between
+    // the failed-flag check above and here; surface that as the typed
+    // shard failure rather than phantom overload.
+    result.status = shard.failed.load(std::memory_order_acquire)
+                        ? FeedStatus::kShardFailed
+                        : FeedStatus::kRejected;
     return result;
   }
   result.accepted_frames = frames.frames();
@@ -360,8 +435,13 @@ FleetStats ShardedFleet::stats() const {
     ShardStats s;
     s.shard = i;
     if (shard.queue) s.queue = shard.queue->stats();
+    s.failed = shard.failed.load(std::memory_order_acquire);
+    s.restarts = shard.restarts.load(std::memory_order_relaxed);
+    s.discarded_frames = shard.discarded_frames.load(std::memory_order_relaxed);
+    if (s.failed) ++out.failed_shards;
     {
       const std::scoped_lock lock(shard.mu);
+      s.failure_reason = shard.failure_reason;
       s.batches = shard.batches;
       s.polls = shard.polls;
       s.windows = shard.windows;

@@ -40,11 +40,14 @@
 #define NSYNC_ENGINE_SHARDED_FLEET_HPP
 
 #include <array>
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <string>
 #include <thread>
@@ -80,6 +83,7 @@ enum class FeedStatus : std::uint8_t {
   kUnknownChannel,   ///< session has no channel of that name
   kChannelMismatch,  ///< frame width does not match the channel's
   kEvicted,          ///< session was evicted
+  kShardFailed,      ///< the session's shard worker died (supervision)
 };
 
 [[nodiscard]] std::string feed_status_name(FeedStatus s);
@@ -99,6 +103,10 @@ struct ShardStats {
   std::uint64_t polls = 0;    ///< drain rounds run by the worker
   std::uint64_t windows = 0;  ///< windows processed by this shard
   std::uint64_t feed_errors = 0;  ///< engine-side feed failures (bug guard)
+  bool failed = false;            ///< worker died and was not restarted
+  std::uint64_t restarts = 0;     ///< restart-from-checkpoint recoveries
+  std::uint64_t discarded_frames = 0;  ///< backlog dropped at failure
+  std::string failure_reason;     ///< what() of the escaped exception
   std::uint64_t checkpoints_written = 0;
   std::uint64_t latency_samples = 0;
   double p50_feed_to_verdict_us = 0.0;
@@ -114,6 +122,7 @@ struct FleetStats {
   std::uint64_t rejected_frames = 0;  ///< kReject overload refusals only
   std::uint64_t closed_frames = 0;    ///< shutdown-drain refusals
   std::size_t queued_frames = 0;
+  std::size_t failed_shards = 0;  ///< shards currently failed (supervision)
   bool busy = false;  ///< any shard queue non-empty or in flight
   double p50_feed_to_verdict_us = 0.0;  ///< merged across shards
   double p99_feed_to_verdict_us = 0.0;
@@ -144,6 +153,22 @@ struct ShardedFleetOptions {
   /// whatever the spec (e.g. a wire client) carried — the daemon-side
   /// `--fusion` knob.  Restored sessions keep their serialized policy.
   std::shared_ptr<const core::FusionPolicy> fusion_override;
+  /// Shard-worker supervision.  An exception escaping a worker loop marks
+  /// the shard failed: its sessions answer kShardFailed while every other
+  /// shard keeps serving.  With restart_from_checkpoint (and a
+  /// checkpoint_dir) the shard instead restores its engine from the last
+  /// `fleet.<i>.nckp`, discards the misaligned queue backlog (counted in
+  /// ShardStats::discarded_frames) and resumes — feeders must resync
+  /// their cursors from the snapshot frames_fed offsets, exactly like a
+  /// daemon restart.
+  struct Supervision {
+    bool restart_from_checkpoint = false;
+    std::size_t max_restarts = 3;  ///< per shard; beyond this it stays failed
+  };
+  Supervision supervision;
+  /// Test/chaos hook: invoked on the worker thread before each batch is
+  /// applied.  Throwing from it simulates a worker-loop failure.
+  std::function<void(std::size_t shard, const FrameBatch&)> worker_fault_hook;
 };
 
 /// One shard's per-device baselines (see ShardedFleet::baselines()).
@@ -176,8 +201,17 @@ class ShardedFleet {
   /// the eviction so it lands *in order* with the frames already queued.
   /// The engine-side state is released when the shard worker processes
   /// it.  Throws std::out_of_range on an unknown id; idempotent once
-  /// admitted.
-  void evict_session(std::size_t session);
+  /// admitted.  Returns true when this call performed the eviction, false
+  /// when the session was already evicted — the wire layer surfaces the
+  /// latter as a typed kEvicted error instead of silently succeeding.
+  bool evict_session(std::size_t session);
+
+  /// Most recently admitted live (non-evicted) session with this name, if
+  /// any.  The wire layer uses it to make ADD_SESSION idempotent: a
+  /// reconnecting client re-issuing its specs re-attaches to the existing
+  /// sessions instead of admitting duplicates.
+  [[nodiscard]] std::optional<std::size_t> find_live_session(
+      const std::string& name) const;
 
   /// Ids ever issued (including evicted sessions).
   [[nodiscard]] std::size_t sessions() const;
@@ -235,6 +269,12 @@ class ShardedFleet {
     std::uint64_t windows = 0;
     std::uint64_t feed_errors = 0;
     LatencyHistogram latency;
+    // Supervision state.  `failed` is atomic so the feed hot path can
+    // check it without taking mu; failure_reason is guarded by mu.
+    std::atomic<bool> failed{false};
+    std::atomic<std::uint64_t> restarts{0};
+    std::atomic<std::uint64_t> discarded_frames{0};
+    std::string failure_reason;
   };
 
   struct ChannelInfo {
@@ -257,7 +297,15 @@ class ShardedFleet {
 
   [[nodiscard]] MonitorEngineOptions engine_options(std::size_t shard) const;
   void start_workers();
-  void worker_loop(Shard& shard);
+  void worker_loop(std::size_t index, Shard& shard);
+  void process_batches(std::size_t index, Shard& shard,
+                       const std::vector<FrameBatch>& batches);
+  /// Handles an exception that escaped batch processing.  Returns true
+  /// when the shard was restarted from its checkpoint and the worker loop
+  /// should continue; false when the failure is permanent (queue closed
+  /// and drained so flush() can never hang on the dead worker).
+  bool supervise_failure(std::size_t index, Shard& shard,
+                         const std::string& what);
   [[nodiscard]] std::size_t effective_shards() const {
     return options_.shards == 0 ? 1 : options_.shards;
   }

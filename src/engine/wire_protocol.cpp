@@ -116,6 +116,9 @@ void save_payload(ByteWriter& w, const StatsShard& s) {
   w.pod<std::uint64_t>(s.polls);
   w.pod<std::uint64_t>(s.windows);
   w.pod<std::uint64_t>(s.feed_errors);
+  w.pod<std::uint8_t>(s.failed);
+  w.pod<std::uint64_t>(s.restarts);
+  w.pod<std::uint64_t>(s.discarded_frames);
   w.pod<std::uint64_t>(s.checkpoints_written);
   w.pod<std::uint64_t>(s.latency_samples);
   w.pod<double>(s.p50_feed_to_verdict_us);
@@ -136,6 +139,13 @@ StatsShard load_stats_shard(ByteReader& r) {
   s.polls = r.pod<std::uint64_t>();
   s.windows = r.pod<std::uint64_t>();
   s.feed_errors = r.pod<std::uint64_t>();
+  s.failed = r.pod<std::uint8_t>();
+  if (s.failed > 1) {
+    throw CheckpointError(nsync::signal::CheckpointErrorKind::kCorrupt,
+                          "STATS shard failed flag out of range");
+  }
+  s.restarts = r.pod<std::uint64_t>();
+  s.discarded_frames = r.pod<std::uint64_t>();
   s.checkpoints_written = r.pod<std::uint64_t>();
   s.latency_samples = r.pod<std::uint64_t>();
   s.p50_feed_to_verdict_us = r.pod<double>();
@@ -228,6 +238,7 @@ void save_payload(ByteWriter& w, const Stats& m) {
   w.pod<std::uint64_t>(m.rejected_frames);
   w.pod<std::uint64_t>(m.queued_frames);
   w.pod<std::uint8_t>(m.busy);
+  w.pod<std::uint64_t>(m.failed_shards);
   w.pod<std::uint64_t>(static_cast<std::uint64_t>(m.per_shard.size()));
   for (const StatsShard& s : m.per_shard) save_payload(w, s);
   w.pod<std::uint64_t>(static_cast<std::uint64_t>(m.baselines.size()));
@@ -246,6 +257,7 @@ Stats load_stats(ByteReader& r) {
   m.rejected_frames = r.pod<std::uint64_t>();
   m.queued_frames = r.pod<std::uint64_t>();
   m.busy = r.pod<std::uint8_t>();
+  m.failed_shards = r.pod<std::uint64_t>();
   const auto n_shards = r.pod<std::uint64_t>();
   if (n_shards > r.remaining()) {
     throw CheckpointError(nsync::signal::CheckpointErrorKind::kCorrupt,
@@ -288,21 +300,43 @@ Evict load_evict(ByteReader& r) {
 
 void save_payload(ByteWriter&, const EvictOk&) {}
 
+void save_payload(ByteWriter& w, const Ping& m) {
+  w.pod<std::uint64_t>(m.nonce);
+}
+
+Ping load_ping(ByteReader& r) {
+  Ping m;
+  m.nonce = r.pod<std::uint64_t>();
+  return m;
+}
+
+void save_payload(ByteWriter& w, const Pong& m) {
+  w.pod<std::uint64_t>(m.nonce);
+}
+
+Pong load_pong(ByteReader& r) {
+  Pong m;
+  m.nonce = r.pod<std::uint64_t>();
+  return m;
+}
+
 void save_payload(ByteWriter& w, const Error& m) {
   w.pod<std::uint32_t>(static_cast<std::uint32_t>(m.code));
   w.str(m.message);
+  w.pod<std::uint32_t>(m.retry_after_ms);
 }
 
 Error load_error(ByteReader& r) {
   const auto raw = r.pod<std::uint32_t>();
   if (raw < static_cast<std::uint32_t>(ErrorCode::kBadFrame) ||
-      raw > static_cast<std::uint32_t>(ErrorCode::kInternal)) {
+      raw > static_cast<std::uint32_t>(ErrorCode::kShardFailed)) {
     throw CheckpointError(nsync::signal::CheckpointErrorKind::kCorrupt,
                           "ERROR code out of range");
   }
   Error m;
   m.code = static_cast<ErrorCode>(raw);
   m.message = r.str();
+  m.retry_after_ms = r.pod<std::uint32_t>();
   return m;
 }
 
@@ -342,6 +376,12 @@ Message load_payload(MsgType type, std::span<const std::uint8_t> payload) {
     case MsgType::kEvictOk:
       m = EvictOk{};
       break;
+    case MsgType::kPing:
+      m = load_ping(r);
+      break;
+    case MsgType::kPong:
+      m = load_pong(r);
+      break;
     case MsgType::kError:
       m = load_error(r);
       break;
@@ -357,11 +397,13 @@ bool known_type(std::uint8_t t) {
     case MsgType::kFeed:
     case MsgType::kPollStats:
     case MsgType::kEvict:
+    case MsgType::kPing:
     case MsgType::kHelloOk:
     case MsgType::kAddSessionOk:
     case MsgType::kFeedOk:
     case MsgType::kStats:
     case MsgType::kEvictOk:
+    case MsgType::kPong:
     case MsgType::kError:
       return true;
   }
@@ -398,6 +440,10 @@ std::string error_code_name(ErrorCode c) {
       return "overloaded";
     case ErrorCode::kInternal:
       return "internal";
+    case ErrorCode::kBusy:
+      return "busy";
+    case ErrorCode::kShardFailed:
+      return "shard-failed";
   }
   return "unknown";
 }
@@ -438,6 +484,8 @@ MsgType message_type(const Message& m) {
     MsgType operator()(const Stats&) const { return MsgType::kStats; }
     MsgType operator()(const Evict&) const { return MsgType::kEvict; }
     MsgType operator()(const EvictOk&) const { return MsgType::kEvictOk; }
+    MsgType operator()(const Ping&) const { return MsgType::kPing; }
+    MsgType operator()(const Pong&) const { return MsgType::kPong; }
     MsgType operator()(const Error&) const { return MsgType::kError; }
   };
   return std::visit(Visitor{}, m);

@@ -21,6 +21,7 @@
 //   FEED         -> FEED_OK         stage frames for one channel
 //   POLL_STATS   -> STATS           fleet/shard stats (+ session snapshots)
 //   EVICT        -> EVICT_OK        evict a session
+//   PING         -> PONG            keepalive / liveness probe (echoes nonce)
 //   (any)        -> ERROR           typed failure (ErrorCode + message)
 //
 // Framing errors are split into two classes: *stream-poisoning* ones (bad
@@ -52,7 +53,10 @@ inline constexpr std::uint32_t kMagic = 0x5046534Eu;  // "NSFP" little-endian
 /// v3: specs may carry a fusion policy section in the legacy rule slot
 /// (weighted fusion); STATS grows fused score + per-channel score/weight
 /// telemetry and per-device baseline adaptation counters.
-inline constexpr std::uint8_t kProtocolVersion = 3;
+/// v4: PING/PONG keepalive pair; ERROR carries a retry-after-ms hint
+/// (kBusy admission rejections); new kBusy/kShardFailed error codes;
+/// STATS shard rows carry supervision state (failed/restarts/discarded).
+inline constexpr std::uint8_t kProtocolVersion = 4;
 inline constexpr std::size_t kHeaderBytes = 12;
 inline constexpr std::size_t kTrailerBytes = 4;  // crc32
 /// Hard cap on a frame's payload.  Large enough for a multi-minute
@@ -66,11 +70,13 @@ enum class MsgType : std::uint8_t {
   kFeed = 0x03,
   kPollStats = 0x04,
   kEvict = 0x05,
+  kPing = 0x06,
   kHelloOk = 0x81,
   kAddSessionOk = 0x82,
   kFeedOk = 0x83,
   kStats = 0x84,
   kEvictOk = 0x85,
+  kPong = 0x86,
   kError = 0xFF,
 };
 
@@ -85,6 +91,8 @@ enum class ErrorCode : std::uint32_t {
   kEvicted = 8,
   kOverloaded = 9,   ///< backpressure: queue full under kReject policy
   kInternal = 10,
+  kBusy = 11,         ///< admission cap hit; honor Error::retry_after_ms
+  kShardFailed = 12,  ///< the session's shard worker failed (supervision)
 };
 
 [[nodiscard]] std::string error_code_name(ErrorCode c);
@@ -161,6 +169,9 @@ struct StatsShard {
   std::uint64_t polls = 0;
   std::uint64_t windows = 0;
   std::uint64_t feed_errors = 0;
+  std::uint8_t failed = 0;  ///< worker loop died (supervision)
+  std::uint64_t restarts = 0;
+  std::uint64_t discarded_frames = 0;  ///< backlog dropped at failure
   std::uint64_t checkpoints_written = 0;
   std::uint64_t latency_samples = 0;
   double p50_feed_to_verdict_us = 0.0;
@@ -189,6 +200,7 @@ struct Stats {
   std::uint64_t rejected_frames = 0;
   std::uint64_t queued_frames = 0;
   std::uint8_t busy = 0;
+  std::uint64_t failed_shards = 0;
   std::vector<StatsShard> per_shard;
   std::vector<StatsBaseline> baselines;       ///< adaptation counters
   std::vector<StatsSession> sessions_detail;  ///< when requested
@@ -200,14 +212,27 @@ struct Evict {
 
 struct EvictOk {};
 
+/// Keepalive / liveness probe.  The server echoes the nonce back in PONG,
+/// so a reconnecting client can distinguish "new connection is live" from
+/// "stale bytes of an old reply still in flight".
+struct Ping {
+  std::uint64_t nonce = 0;
+};
+
+struct Pong {
+  std::uint64_t nonce = 0;
+};
+
 struct Error {
   ErrorCode code = ErrorCode::kInternal;
   std::string message;
+  /// Back-off hint in milliseconds (kBusy admission rejections); 0 = none.
+  std::uint32_t retry_after_ms = 0;
 };
 
 using Message =
     std::variant<Hello, HelloOk, AddSession, AddSessionOk, Feed, FeedOk,
-                 PollStats, Stats, Evict, EvictOk, Error>;
+                 PollStats, Stats, Evict, EvictOk, Ping, Pong, Error>;
 
 [[nodiscard]] MsgType message_type(const Message& m);
 
